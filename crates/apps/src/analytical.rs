@@ -1,0 +1,196 @@
+//! The analytical test objective of paper Eq. 11.
+//!
+//! ```text
+//! y(t, x) = 1 + e^{−(x+1)^{t+1}} · cos(2πx) · Σ_{i=1}^{5} sin(2πx (t+2)^i)
+//! ```
+//!
+//! A highly non-convex 1-D family: larger `t` produces faster oscillation
+//! and a harder global-optimization problem (paper Fig. 2). Used by the
+//! parallel-scaling experiment (Fig. 3) and the performance-model study
+//! (Fig. 4 left).
+
+use crate::{noise, HpcApp, MachineModel};
+use gptune_space::{Param, Space, Value};
+
+/// The sequential analytical application (`β = 1` in Table 2).
+pub struct AnalyticalApp {
+    task_space: Space,
+    tuning_space: Space,
+    noise_sigma: f64,
+}
+
+impl AnalyticalApp {
+    /// Creates the app with the given multiplicative noise σ (0 = exact).
+    pub fn new(noise_sigma: f64) -> AnalyticalApp {
+        AnalyticalApp {
+            task_space: Space::builder().param(Param::real("t", 0.0, 10.0)).build(),
+            tuning_space: Space::builder().param(Param::real("x", 0.0, 1.0)).build(),
+            noise_sigma,
+        }
+    }
+
+    /// The exact objective of Eq. 11 (no noise).
+    pub fn exact(t: f64, x: f64) -> f64 {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let mut s = 0.0;
+        for i in 1..=5 {
+            s += (two_pi * x * (t + 2.0).powi(i)).sin();
+        }
+        1.0 + (-(x + 1.0).powf(t + 1.0)).exp() * (two_pi * x).cos() * s
+    }
+
+    /// Brute-force reference minimum over a dense grid (for ratio-to-true
+    /// reporting in Fig. 4).
+    pub fn true_minimum(t: f64, grid: usize) -> (f64, f64) {
+        let mut best = (0.0, f64::INFINITY);
+        for j in 0..=grid {
+            let x = j as f64 / grid as f64;
+            let y = Self::exact(t, x);
+            if y < best.1 {
+                best = (x, y);
+            }
+        }
+        best
+    }
+}
+
+impl HpcApp for AnalyticalApp {
+    fn name(&self) -> &str {
+        "analytical"
+    }
+
+    fn task_space(&self) -> &Space {
+        &self.task_space
+    }
+
+    fn tuning_space(&self) -> &Space {
+        &self.tuning_space
+    }
+
+    fn evaluate(&self, task: &[Value], config: &[Value], seed: u64) -> Vec<f64> {
+        let t = task[0].as_real();
+        let x = config[0].as_real();
+        let y = Self::exact(t, x);
+        let f = noise::lognormal_factor(noise::hash_point(task, config, seed), self.noise_sigma);
+        // The objective can be near zero or negative-adjacent; apply noise
+        // additively scaled by |y| to stay well-defined.
+        vec![y * f]
+    }
+
+    /// The noisy coarse model of Sec. 6.4:
+    /// `ỹ(t,x) = (1 + 0.1·r(x))·y(t,x)`, `r ~ N(0,1)` (seeded by `x` only,
+    /// matching the paper's `r(x)` notation).
+    fn model_features(&self, task: &[Value], config: &[Value]) -> Option<Vec<f64>> {
+        let t = task[0].as_real();
+        let x = config[0].as_real();
+        let y = Self::exact(t, x);
+        let r = noise::standard_normal(noise::hash_point(&[], config, 0xfeed));
+        Some(vec![(1.0 + 0.1 * r) * y])
+    }
+}
+
+/// Builds the `δ = 20` task list `t = 0, 0.5, …, 9.5` used in Sec. 6.4.
+pub fn default_tasks() -> Vec<Vec<Value>> {
+    (0..20).map(|i| vec![Value::Real(i as f64 * 0.5)]).collect()
+}
+
+/// Reuses the Cori machine type so callers can size worker pools uniformly.
+pub fn machine() -> MachineModel {
+    MachineModel::cori_noiseless(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches_formula_at_zero() {
+        // x = 0: cos(0)=1, all sin(0)=0 → y = 1.
+        for &t in &[0.0, 1.0, 5.0] {
+            assert!((AnalyticalApp::exact(t, 0.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn objective_in_plausible_range() {
+        // The envelope e^{-(x+1)^{t+1}} ≤ e^{-1}; |cos·Σsin| ≤ 5 → y ∈ [1−5e⁻¹, 1+5e⁻¹].
+        for j in 0..200 {
+            let x = j as f64 / 199.0;
+            for &t in &[0.0, 2.0, 4.5, 8.0] {
+                let y = AnalyticalApp::exact(t, x);
+                assert!(y > 1.0 - 5.0 / std::f64::consts::E - 1e-9);
+                assert!(y < 1.0 + 5.0 / std::f64::consts::E + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn harder_for_larger_t() {
+        // Count sign changes of dy/dx as a proxy for multimodality. The
+        // envelope confines the action to small x for large t, so sample
+        // densely near 0 where the oscillations live.
+        let wiggles = |t: f64| {
+            let n = 20_000;
+            let mut count = 0;
+            let mut prev = AnalyticalApp::exact(t, 0.0);
+            let mut prev_up = false;
+            let mut first = true;
+            for j in 1..n {
+                let y = AnalyticalApp::exact(t, 0.3 * j as f64 / (n - 1) as f64);
+                let up = y > prev;
+                if !first && up != prev_up {
+                    count += 1;
+                }
+                prev = y;
+                prev_up = up;
+                first = false;
+            }
+            count
+        };
+        assert!(wiggles(4.0) > wiggles(0.5), "{} vs {}", wiggles(4.0), wiggles(0.5));
+    }
+
+    #[test]
+    fn true_minimum_below_function_values() {
+        let (xmin, ymin) = AnalyticalApp::true_minimum(3.0, 4000);
+        assert!((0.0..=1.0).contains(&xmin));
+        for j in 0..100 {
+            let x = j as f64 / 99.0;
+            assert!(AnalyticalApp::exact(3.0, x) >= ymin - 1e-9);
+        }
+    }
+
+    #[test]
+    fn evaluate_noiseless_matches_exact() {
+        let app = AnalyticalApp::new(0.0);
+        let y = app.evaluate(&[Value::Real(2.0)], &[Value::Real(0.25)], 1)[0];
+        assert_eq!(y, AnalyticalApp::exact(2.0, 0.25));
+    }
+
+    #[test]
+    fn model_features_noisy_but_correlated() {
+        let app = AnalyticalApp::new(0.0);
+        let t = vec![Value::Real(4.0)];
+        let mut num = 0.0;
+        let mut den_a = 0.0;
+        let mut den_b = 0.0;
+        for j in 0..50 {
+            let x = vec![Value::Real(j as f64 / 49.0)];
+            let y = AnalyticalApp::exact(4.0, j as f64 / 49.0);
+            let m = app.model_features(&t, &x).unwrap()[0];
+            num += y * m;
+            den_a += y * y;
+            den_b += m * m;
+        }
+        let corr = num / (den_a.sqrt() * den_b.sqrt());
+        assert!(corr > 0.95, "corr {corr}");
+    }
+
+    #[test]
+    fn default_tasks_are_twenty() {
+        let t = default_tasks();
+        assert_eq!(t.len(), 20);
+        assert_eq!(t[0][0].as_real(), 0.0);
+        assert_eq!(t[19][0].as_real(), 9.5);
+    }
+}

@@ -1,0 +1,319 @@
+//! hypre (BoomerAMG-preconditioned GMRES) simulator.
+//!
+//! Task `t = [n1, n2, n3]`: the structured 3-D Poisson grid (paper
+//! Sec. 6.2). Tuning: the 3-D process grid `(p1, p2)` (with
+//! `p3 = ⌊P/(p1·p2)⌋`) plus AMG algorithmic knobs — 12 parameters of
+//! integer, real and categorical type, matching the paper's `β = 12`.
+//!
+//! The cost model is a textbook AMG complexity analysis: the coarsening and
+//! interpolation choices set the operator complexity `C_op` and the
+//! per-V-cycle convergence factor `ρ`; iterations to a fixed tolerance are
+//! `ln(tol)/ln(ρ)`; per-iteration cost is `C_op · gridpoints / P_eff` plus
+//! boundary-exchange communication that depends on the process-grid aspect
+//! relative to the (possibly anisotropic) domain.
+
+use crate::{noise, HpcApp, MachineModel};
+use gptune_space::{Config, Param, Space, Value};
+
+/// Coarsening algorithm choices (BoomerAMG's common set).
+pub const COARSEN_CHOICES: [&str; 6] = ["CLJP", "Falgout", "PMIS", "HMIS", "RS", "CGC"];
+/// Smoother choices.
+pub const RELAX_CHOICES: [&str; 5] = ["Jacobi", "hybrid-GS", "l1-GS", "SOR", "Chebyshev"];
+/// Interpolation operator choices.
+pub const INTERP_CHOICES: [&str; 6] = [
+    "classical",
+    "direct",
+    "multipass",
+    "extended+i",
+    "standard",
+    "FF1",
+];
+
+/// hypre simulator bound to a machine.
+pub struct HypreApp {
+    machine: MachineModel,
+    task_space: Space,
+    tuning_space: Space,
+}
+
+impl HypreApp {
+    /// Creates the app; grid sizes range over `[10, 100]` per dimension as
+    /// in Table 4's task sampling.
+    pub fn new(machine: MachineModel) -> HypreApp {
+        let p_max = machine.total_cores() as i64;
+        let task_space = Space::builder()
+            .param(Param::int("n1", 10, 100))
+            .param(Param::int("n2", 10, 100))
+            .param(Param::int("n3", 10, 100))
+            .build();
+        let tuning_space = Space::builder()
+            .param(Param::int_log("p1", 1, p_max)) // 0
+            .param(Param::int_log("p2", 1, p_max)) // 1
+            .param(Param::categorical("coarsen", &COARSEN_CHOICES)) // 2
+            .param(Param::categorical("relax", &RELAX_CHOICES)) // 3
+            .param(Param::categorical("interp", &INTERP_CHOICES)) // 4
+            .param(Param::real("strong_threshold", 0.1, 0.9)) // 5
+            .param(Param::real("trunc_factor", 0.0, 0.5)) // 6
+            .param(Param::int("pmax_elmts", 2, 12)) // 7
+            .param(Param::int("agg_levels", 0, 4)) // 8
+            .param(Param::int("relax_sweeps", 1, 4)) // 9
+            .param(Param::real("max_row_sum", 0.5, 1.0)) // 10
+            .param(Param::int("smooth_levels", 0, 3)) // 11
+            .constraint("p1*p2<=P", move |c| {
+                c[0].as_int().saturating_mul(c[1].as_int()) <= p_max
+            })
+            .build();
+        HypreApp {
+            machine,
+            task_space,
+            tuning_space,
+        }
+    }
+
+    /// Noise-free runtime model of GMRES+BoomerAMG to a fixed tolerance.
+    pub fn runtime_model(&self, task: &[i64], x: &HypreConfig) -> f64 {
+        let p_max = self.machine.total_cores() as f64;
+        let (n1, n2, n3) = (task[0] as f64, task[1] as f64, task[2] as f64);
+        let points = n1 * n2 * n3;
+        let p1 = x.p1 as f64;
+        let p2 = x.p2 as f64;
+        let p3 = (p_max / (p1 * p2)).floor().max(1.0);
+        let p = p1 * p2 * p3;
+
+        // --- Operator complexity from coarsening/interpolation choices ---
+        let coarsen_complexity = [1.9, 1.6, 1.25, 1.3, 1.7, 1.5][x.coarsen];
+        let interp_growth = [1.15, 1.0, 1.05, 1.3, 1.2, 1.1][x.interp];
+        // Truncation and pmax prune interpolation stencils (less memory /
+        // work, slightly worse convergence).
+        let prune = 1.0 - 0.35 * x.trunc_factor - 0.015 * (12 - x.pmax_elmts) as f64;
+        let agg_reduction = 1.0 - 0.10 * x.agg_levels as f64;
+        let c_op = (coarsen_complexity * interp_growth * prune.max(0.5) * agg_reduction.max(0.5))
+            .max(1.05);
+
+        // --- Convergence factor ρ ---
+        let relax_rho = [0.62, 0.42, 0.45, 0.47, 0.40][x.relax];
+        // Strong threshold: sweet spot depends on anisotropy of the grid.
+        let aniso = (n1.max(n2).max(n3) / n1.min(n2).min(n3)).ln();
+        let theta_opt = 0.25 + 0.35 * (aniso / (1.0 + aniso));
+        let theta_penalty = 1.0 + 1.8 * (x.strong_threshold - theta_opt).powi(2);
+        // Aggressive coarsening and truncation degrade convergence.
+        let agg_penalty = 1.0 + 0.09 * x.agg_levels as f64 + 0.35 * x.trunc_factor;
+        // Extra smoothing improves ρ with diminishing returns.
+        let sweep_gain = 1.0 / (1.0 + 0.35 * (x.relax_sweeps - 1) as f64);
+        let smooth_gain = 1.0 / (1.0 + 0.12 * x.smooth_levels as f64);
+        let row_sum_penalty = 1.0 + 0.3 * (1.0 - x.max_row_sum).powi(2) * aniso;
+        let rho = (relax_rho * theta_penalty * agg_penalty * sweep_gain * smooth_gain
+            * row_sum_penalty)
+            .clamp(0.05, 0.99);
+
+        let iters = (1e-8f64.ln() / rho.ln()).ceil().max(1.0);
+
+        // --- Per-iteration cost ---
+        let flops_per_iter = points
+            * c_op
+            * (22.0 + 12.0 * x.relax_sweeps as f64 + 6.0 * x.smooth_levels as f64);
+        // Stencil code runs memory-bound, far below peak.
+        let rate = self.machine.flop_rate * 0.06;
+        let p_eff = p.powf(0.85);
+        let t_comp = iters * flops_per_iter / (rate * p_eff);
+
+        // --- Communication: halo exchanges; mismatch between the process
+        // grid aspect and the domain aspect inflates surface area. ---
+        let local1 = n1 / p1;
+        let local2 = n2 / p2;
+        let local3 = n3 / p3;
+        let surface = 2.0 * (local1 * local2 + local2 * local3 + local1 * local3).max(1.0);
+        let levels = (points.ln() / 8.0f64.ln()).ceil();
+        let msgs = iters * levels * 8.0;
+        let t_comm = msgs * self.machine.latency * 40.0
+            + iters * surface * levels * 8.0 * self.machine.time_per_word * 30.0;
+
+        // --- Setup cost (coarsening + building P). ---
+        let setup_weight = [1.6, 1.3, 0.9, 1.0, 1.2, 1.4][x.coarsen]
+            * [1.0, 0.8, 1.1, 1.5, 1.2, 1.0][x.interp];
+        let t_setup = points * c_op * 24.0 * setup_weight / (rate * p_eff);
+
+        t_setup + t_comp + t_comm
+    }
+}
+
+/// Decoded hypre tuning configuration.
+#[derive(Debug, Clone)]
+pub struct HypreConfig {
+    /// First process-grid extent (the third is derived from `P/(p1·p2)`).
+    pub p1: i64,
+    /// Second process-grid extent.
+    pub p2: i64,
+    /// Coarsening algorithm index into [`COARSEN_CHOICES`].
+    pub coarsen: usize,
+    /// Smoother index into [`RELAX_CHOICES`].
+    pub relax: usize,
+    /// Interpolation operator index into [`INTERP_CHOICES`].
+    pub interp: usize,
+    /// Strength-of-connection threshold.
+    pub strong_threshold: f64,
+    /// Interpolation truncation factor.
+    pub trunc_factor: f64,
+    /// Max interpolation stencil size.
+    pub pmax_elmts: i64,
+    /// Aggressive-coarsening levels.
+    pub agg_levels: i64,
+    /// Smoother sweeps per level.
+    pub relax_sweeps: i64,
+    /// Max row sum for dependency filtering.
+    pub max_row_sum: f64,
+    /// Levels with complex smoothers.
+    pub smooth_levels: i64,
+}
+
+impl HypreConfig {
+    /// Decodes a raw configuration vector.
+    pub fn from_values(c: &[Value]) -> HypreConfig {
+        HypreConfig {
+            p1: c[0].as_int(),
+            p2: c[1].as_int(),
+            coarsen: c[2].as_cat(),
+            relax: c[3].as_cat(),
+            interp: c[4].as_cat(),
+            strong_threshold: c[5].as_real(),
+            trunc_factor: c[6].as_real(),
+            pmax_elmts: c[7].as_int(),
+            agg_levels: c[8].as_int(),
+            relax_sweeps: c[9].as_int(),
+            max_row_sum: c[10].as_real(),
+            smooth_levels: c[11].as_int(),
+        }
+    }
+}
+
+impl HpcApp for HypreApp {
+    fn name(&self) -> &str {
+        "hypre"
+    }
+
+    fn task_space(&self) -> &Space {
+        &self.task_space
+    }
+
+    fn tuning_space(&self) -> &Space {
+        &self.tuning_space
+    }
+
+    fn evaluate(&self, task: &[Value], config: &[Value], seed: u64) -> Vec<f64> {
+        if !self.tuning_space.is_valid(config) {
+            return vec![f64::INFINITY];
+        }
+        let t: Vec<i64> = task.iter().map(|v| v.as_int()).collect();
+        let x = HypreConfig::from_values(config);
+        let y = self.runtime_model(&t, &x);
+        let f = noise::lognormal_factor(
+            noise::hash_point(task, config, seed),
+            self.machine.noise_sigma,
+        );
+        vec![y * f]
+    }
+
+    fn default_config(&self) -> Option<Config> {
+        // hypre defaults: Falgout coarsening, hybrid-GS, classical
+        // interpolation, θ = 0.25, near-cubic process grid.
+        let p_max = self.machine.total_cores() as i64;
+        let p1 = ((p_max as f64).cbrt().round() as i64).max(1);
+        Some(vec![
+            Value::Int(p1),
+            Value::Int(p1),
+            Value::Cat(1),
+            Value::Cat(1),
+            Value::Cat(0),
+            Value::Real(0.25),
+            Value::Real(0.0),
+            Value::Int(4),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Real(0.9),
+            Value::Int(0),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> HypreApp {
+        HypreApp::new(MachineModel::cori_noiseless(1))
+    }
+
+    fn task(n1: i64, n2: i64, n3: i64) -> Vec<Value> {
+        vec![Value::Int(n1), Value::Int(n2), Value::Int(n3)]
+    }
+
+    #[test]
+    fn default_is_valid_and_finite() {
+        let a = app();
+        let d = a.default_config().unwrap();
+        assert!(a.tuning_space().is_valid(&d));
+        let y = a.evaluate(&task(50, 50, 50), &d, 0);
+        assert!(y[0].is_finite() && y[0] > 0.0);
+    }
+
+    #[test]
+    fn larger_grids_cost_more() {
+        let a = app();
+        let d = a.default_config().unwrap();
+        // Small grids are latency-bound (a fixed per-iteration message
+        // cost), so the ratio is well below the 91× point-count ratio.
+        let small = a.evaluate(&task(20, 20, 20), &d, 0)[0];
+        let large = a.evaluate(&task(90, 90, 90), &d, 0)[0];
+        assert!(large > small * 4.0, "{small} vs {large}");
+    }
+
+    #[test]
+    fn anisotropy_shifts_optimal_threshold() {
+        let a = app();
+        let mut d = a.default_config().unwrap();
+        // Isotropic grid: θ = 0.25 near-optimal.
+        let iso = task(50, 50, 50);
+        d[5] = Value::Real(0.25);
+        let iso_low = a.evaluate(&iso, &d, 0)[0];
+        d[5] = Value::Real(0.8);
+        let iso_high = a.evaluate(&iso, &d, 0)[0];
+        assert!(iso_low < iso_high);
+        // Strongly anisotropic grid: larger θ wins.
+        let aniso = task(100, 10, 10);
+        d[5] = Value::Real(0.25);
+        let an_low = a.evaluate(&aniso, &d, 0)[0];
+        d[5] = Value::Real(0.55);
+        let an_mid = a.evaluate(&aniso, &d, 0)[0];
+        assert!(an_mid < an_low, "{an_mid} vs {an_low}");
+    }
+
+    #[test]
+    fn process_grid_constraint() {
+        let a = app();
+        let mut d = a.default_config().unwrap();
+        d[0] = Value::Int(32);
+        d[1] = Value::Int(32); // 1024 ranks > 32 cores
+        assert!(a.evaluate(&task(50, 50, 50), &d, 0)[0].is_infinite());
+    }
+
+    #[test]
+    fn smoother_choice_matters() {
+        let a = app();
+        let mut d = a.default_config().unwrap();
+        let t = task(60, 60, 60);
+        let times: Vec<f64> = (0..RELAX_CHOICES.len())
+            .map(|r| {
+                d[3] = Value::Cat(r);
+                a.evaluate(&t, &d, 0)[0]
+            })
+            .collect();
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = times.iter().cloned().fold(0.0, f64::max);
+        assert!(worst / best > 1.15, "smoother sweep too flat: {times:?}");
+    }
+
+    #[test]
+    fn twelve_tunable_parameters() {
+        assert_eq!(app().tuning_space().dim(), 12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Parameterised machine model — the stand-in for NERSC Cori.
+//!
+//! Cori's Haswell partition (paper Sec. 6.2): 2,388 nodes, two 16-core
+//! Intel Xeon E5-2698v3 per node, 128 GB DDR4. The simulators charge
+//! computation at an effective per-core flop rate and communication with a
+//! latency/bandwidth (α-β) model, which is exactly the granularity of the
+//! paper's own performance model (Eq. 7: `C_flop·t_flop + C_msg·t_msg +
+//! C_vol·t_vol`).
+
+/// Machine parameters used by all application simulators.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Number of nodes allocated to the application.
+    pub nodes: usize,
+    /// Effective per-core flop rate for well-blocked BLAS-3 kernels
+    /// (flops/s).
+    pub flop_rate: f64,
+    /// Per-message latency (s) — `t_msg` of Eq. 7.
+    pub latency: f64,
+    /// Inverse bandwidth per 8-byte word (s/word) — `t_vol` of Eq. 7.
+    pub time_per_word: f64,
+    /// Log-normal run-to-run noise σ (0 disables noise).
+    pub noise_sigma: f64,
+}
+
+impl MachineModel {
+    /// A Cori-Haswell-like machine with the given node count.
+    ///
+    /// 32 cores/node; ~36.8 Gflop/s/core peak derated to an effective
+    /// 20 Gflop/s for blocked kernels; ~1 µs MPI latency; ~8 GB/s per-link
+    /// bandwidth → 1e-9 s per 8-byte word; 5% run-to-run noise (the level
+    /// at which min-of-3 sampling visibly helps, as on the real machine).
+    pub fn cori(nodes: usize) -> MachineModel {
+        MachineModel {
+            cores_per_node: 32,
+            nodes: nodes.max(1),
+            flop_rate: 2.0e10,
+            latency: 1.0e-6,
+            time_per_word: 1.0e-9,
+            noise_sigma: 0.05,
+        }
+    }
+
+    /// Same machine without stochastic noise (for deterministic tests).
+    pub fn cori_noiseless(nodes: usize) -> MachineModel {
+        MachineModel {
+            noise_sigma: 0.0,
+            ..MachineModel::cori(nodes)
+        }
+    }
+
+    /// Total core count available to the application (`p_max`).
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_node * self.nodes
+    }
+
+    /// Effective parallel efficiency of `threads` BLAS threads within one
+    /// process (sub-linear: memory-bandwidth bound).
+    pub fn thread_efficiency(&self, threads: usize) -> f64 {
+        (threads.max(1) as f64).powf(0.9)
+    }
+
+    /// Effective BLAS-3 efficiency of blocking factor `b` (small blocks are
+    /// BLAS-2-like; the ramp saturates around b≈64).
+    pub fn block_efficiency(&self, b: f64) -> f64 {
+        let b = b.max(1.0);
+        (b / (b + 16.0)).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cori_core_counts() {
+        assert_eq!(MachineModel::cori(1).total_cores(), 32);
+        assert_eq!(MachineModel::cori(64).total_cores(), 2048);
+        assert_eq!(MachineModel::cori(0).total_cores(), 32); // clamped
+    }
+
+    #[test]
+    fn block_efficiency_monotone_saturating() {
+        let m = MachineModel::cori(1);
+        assert!(m.block_efficiency(1.0) < m.block_efficiency(16.0));
+        assert!(m.block_efficiency(16.0) < m.block_efficiency(128.0));
+        assert!(m.block_efficiency(4096.0) <= 1.0);
+    }
+
+    #[test]
+    fn thread_efficiency_sublinear() {
+        let m = MachineModel::cori(1);
+        assert_eq!(m.thread_efficiency(1), 1.0);
+        let e32 = m.thread_efficiency(32);
+        assert!(e32 > 16.0 && e32 < 32.0);
+    }
+
+    #[test]
+    fn noiseless_variant() {
+        assert_eq!(MachineModel::cori_noiseless(4).noise_sigma, 0.0);
+        assert_eq!(MachineModel::cori(4).noise_sigma, 0.05);
+    }
+}

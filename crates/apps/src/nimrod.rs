@@ -1,0 +1,235 @@
+//! NIMROD (fusion-plasma MHD, spectral elements) simulator.
+//!
+//! Like [`M3D_C1`](crate::m3dc1), NIMROD marches a stiff MHD system in time
+//! and solves nonsymmetric sparse systems with SuperLU_DIST as a block-
+//! Jacobi preconditioner for GMRES. The task is again the number of time
+//! steps; tuning adds the matrix-assembly block sizes
+//! `x = [ROWPERM, COLPERM, p_r, NSUP, NREL, nxbl, nybl]` (`β = 7`, paper
+//! Sec. 6.2). Each paper simulation uses 6 Cori nodes.
+
+use crate::m3dc1::{COLPERM_CHOICES, ROWPERM_CHOICES};
+use crate::{noise, HpcApp, MachineModel};
+use gptune_space::{Config, Param, Space, Value};
+
+/// NIMROD simulator bound to a machine (paper: 6 Cori nodes).
+pub struct NimrodApp {
+    machine: MachineModel,
+    task_space: Space,
+    tuning_space: Space,
+    /// Spectral-element plane dimension.
+    n_plane: f64,
+    /// Nonzeros of the plane system.
+    nnz_plane: f64,
+}
+
+impl NimrodApp {
+    /// Creates the app with the paper's fixed geometry.
+    pub fn new(machine: MachineModel) -> NimrodApp {
+        let p_max = machine.total_cores() as i64;
+        let task_space = Space::builder()
+            .param(Param::int("steps", 1, 200))
+            .build();
+        let tuning_space = Space::builder()
+            .param(Param::categorical("ROWPERM", &ROWPERM_CHOICES)) // 0
+            .param(Param::categorical("COLPERM", &COLPERM_CHOICES)) // 1
+            .param(Param::int_log("p_r", 1, p_max)) // 2
+            .param(Param::int_log("NSUP", 16, 512)) // 3
+            .param(Param::int("NREL", 4, 64)) // 4
+            .param(Param::int_log("nxbl", 1, 64)) // 5
+            .param(Param::int_log("nybl", 1, 64)) // 6
+            .constraint("NREL<=NSUP", |c| c[4].as_int() <= c[3].as_int())
+            .build();
+        NimrodApp {
+            machine,
+            task_space,
+            tuning_space,
+            n_plane: 900_000.0,
+            nnz_plane: 52_000_000.0,
+        }
+    }
+
+    /// Noise-free cost of one run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn runtime_model(
+        &self,
+        steps: f64,
+        rowperm: usize,
+        colperm: usize,
+        p_r: f64,
+        nsup: f64,
+        nrel: f64,
+        nxbl: f64,
+        nybl: f64,
+    ) -> f64 {
+        let p = self.machine.total_cores() as f64;
+        let p_c = (p / p_r).floor().max(1.0);
+        let p_used = p_r * p_c;
+
+        let fill = match colperm {
+            0 => 10.0,
+            1 => 2.2,
+            2 => 1.6,
+            3 => 1.9,
+            _ => 1.4,
+        };
+        let pad = 1.0 + 0.0022 * nsup + 0.004 * nrel;
+        let nnz_lu = self.nnz_plane * fill * pad;
+
+        // MC64 is a serial per-factorization cost (per step), traded
+        // against GMRES iteration count — same structure as M3D_C1.
+        let (rowperm_step, gmres_iters) = match rowperm {
+            0 => (0.0, 40.0),
+            _ => (2.0e-8 * self.nnz_plane, 26.0),
+        };
+
+        let flops_fact = 2.0 * nnz_lu * (nnz_lu / self.n_plane) * 0.35;
+        let eff = self.machine.block_efficiency(nsup) * 0.55;
+        let p_eff = p_used.powf(0.70);
+        let ideal_pr = (p_used.sqrt() * 0.8).max(1.0);
+        let aspect = 1.0 + 0.07 * ((p_r / ideal_pr).ln()).powi(2);
+        let t_fact = flops_fact / (self.machine.flop_rate * eff * p_eff) * aspect;
+
+        let t_iter = (4.0 * nnz_lu / (self.machine.flop_rate * 0.03 * p_used.powf(0.5)))
+            + 60.0 * self.machine.latency * (p_used.max(2.0)).log2();
+        let t_gmres = gmres_iters * t_iter;
+
+        // Spectral-element assembly: decomposed into nxbl × nybl blocks.
+        // Too few blocks starve cache; too many pay loop/indexing
+        // overhead — an interior optimum in each direction.
+        let blocks = nxbl * nybl;
+        let cache_eff = (blocks / (blocks + 24.0)).max(0.1);
+        let overhead = 1.0 + 0.004 * blocks;
+        let t_assembly = 30.0 * self.nnz_plane * overhead
+            / (self.machine.flop_rate * 0.05 * cache_eff * p_used.powf(0.9));
+
+        steps * (rowperm_step + t_fact + t_gmres + t_assembly)
+    }
+}
+
+impl HpcApp for NimrodApp {
+    fn name(&self) -> &str {
+        "nimrod"
+    }
+
+    fn task_space(&self) -> &Space {
+        &self.task_space
+    }
+
+    fn tuning_space(&self) -> &Space {
+        &self.tuning_space
+    }
+
+    fn evaluate(&self, task: &[Value], config: &[Value], seed: u64) -> Vec<f64> {
+        if !self.tuning_space.is_valid(config) {
+            return vec![f64::INFINITY];
+        }
+        let steps = task[0].as_int() as f64;
+        let y = self.runtime_model(
+            steps,
+            config[0].as_cat(),
+            config[1].as_cat(),
+            config[2].as_int() as f64,
+            config[3].as_int() as f64,
+            config[4].as_int() as f64,
+            config[5].as_int() as f64,
+            config[6].as_int() as f64,
+        );
+        let f = noise::lognormal_factor(
+            noise::hash_point(task, config, seed),
+            self.machine.noise_sigma,
+        );
+        vec![y * f]
+    }
+
+    fn default_config(&self) -> Option<Config> {
+        let p = self.machine.total_cores() as i64;
+        Some(vec![
+            Value::Cat(1),
+            Value::Cat(4),
+            Value::Int(((p as f64).sqrt() as i64).max(1)),
+            Value::Int(128),
+            Value::Int(20),
+            Value::Int(4),
+            Value::Int(4),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> NimrodApp {
+        NimrodApp::new(MachineModel::cori_noiseless(6))
+    }
+
+    fn cfg(rp: usize, cp: usize, p_r: i64, nsup: i64, nrel: i64, nx: i64, ny: i64) -> Vec<Value> {
+        vec![
+            Value::Cat(rp),
+            Value::Cat(cp),
+            Value::Int(p_r),
+            Value::Int(nsup),
+            Value::Int(nrel),
+            Value::Int(nx),
+            Value::Int(ny),
+        ]
+    }
+
+    #[test]
+    fn seven_tuning_parameters() {
+        assert_eq!(app().tuning_space().dim(), 7);
+    }
+
+    #[test]
+    fn cost_linear_in_steps() {
+        let a = app();
+        let c = cfg(1, 4, 8, 128, 20, 8, 8);
+        let t3 = a.evaluate(&[Value::Int(3)], &c, 0)[0];
+        let t15 = a.evaluate(&[Value::Int(15)], &c, 0)[0];
+        let ratio = t15 / t3;
+        assert!(ratio > 4.2 && ratio < 5.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn assembly_blocks_have_interior_optimum() {
+        let a = app();
+        let t = [Value::Int(10)];
+        let tiny = a.evaluate(&t, &cfg(1, 4, 8, 128, 20, 1, 1), 0)[0];
+        let mid = a.evaluate(&t, &cfg(1, 4, 8, 128, 20, 8, 8), 0)[0];
+        let huge = a.evaluate(&t, &cfg(1, 4, 8, 128, 20, 64, 64), 0)[0];
+        assert!(mid < tiny, "mid {mid} vs tiny {tiny}");
+        assert!(mid < huge, "mid {mid} vs huge {huge}");
+    }
+
+    #[test]
+    fn optimum_transfers_across_step_counts() {
+        let a = app();
+        let probes = [
+            cfg(0, 0, 1, 16, 4, 1, 1),
+            cfg(1, 4, 8, 128, 20, 8, 8),
+            cfg(1, 2, 16, 256, 32, 16, 4),
+            cfg(0, 4, 64, 64, 8, 2, 32),
+        ];
+        let best_at = |steps: i64| {
+            probes
+                .iter()
+                .enumerate()
+                .min_by(|(_, x), (_, y)| {
+                    let tx = a.evaluate(&[Value::Int(steps)], x, 0)[0];
+                    let ty = a.evaluate(&[Value::Int(steps)], y, 0)[0];
+                    tx.partial_cmp(&ty).unwrap()
+                })
+                .unwrap()
+                .0
+        };
+        assert_eq!(best_at(3), best_at(15));
+    }
+
+    #[test]
+    fn default_valid() {
+        let a = app();
+        let d = a.default_config().unwrap();
+        assert!(a.tuning_space().is_valid(&d));
+        assert!(a.evaluate(&[Value::Int(15)], &d, 0)[0].is_finite());
+    }
+}

@@ -1,0 +1,175 @@
+//! ScaLAPACK PDSYEVX (symmetric eigensolver) simulator.
+//!
+//! Task `t = [m]` (the paper enforces `m = n`), tuning `x = [b, p, p_r]`
+//! (with `b_r = b_c = b`, Sec. 6.2). The dominant cost is Householder
+//! tridiagonalization (`4m³/3` flops, only half BLAS-3-able), followed by
+//! bisection + inverse iteration and back-transformation (`2m³` flops for
+//! all eigenvectors). The best runtime scales as `O(m³)` — visible in
+//! Fig. 5 (right).
+
+use crate::{noise, HpcApp, MachineModel};
+use gptune_space::{Config, Param, Space, Value};
+
+/// PDSYEVX simulator bound to a machine.
+pub struct PdsyevxApp {
+    machine: MachineModel,
+    task_space: Space,
+    tuning_space: Space,
+}
+
+impl PdsyevxApp {
+    /// Creates the app; matrix dimension up to `max_dim` (paper: `m ≤ 7000`
+    /// on 1 Cori node).
+    pub fn new(machine: MachineModel, max_dim: i64) -> PdsyevxApp {
+        let p_max = machine.total_cores() as i64;
+        let task_space = Space::builder()
+            .param(Param::int("m", 128, max_dim))
+            .build();
+        let tuning_space = Space::builder()
+            .param(Param::int_log("b", 4, 512))
+            .param(Param::int_log("p", 1, p_max))
+            .param(Param::int_log("p_r", 1, p_max))
+            .constraint("p_r<=p", |c| c[2].as_int() <= c[1].as_int())
+            .build();
+        PdsyevxApp {
+            machine,
+            task_space,
+            tuning_space,
+        }
+    }
+
+    /// Noise-free runtime model.
+    pub fn runtime_model(&self, m: f64, b: f64, p: f64, p_r: f64) -> f64 {
+        let p_max = self.machine.total_cores() as f64;
+        let p_c = (p / p_r).floor().max(1.0);
+        let nthreads = (p_max / p).floor().max(1.0);
+
+        // Tridiagonalization: 4m³/3 flops, half of which are BLAS-2
+        // (memory bound, insensitive to b), half BLAS-3 via blocking.
+        let flops_trd = 4.0 * m * m * m / 3.0;
+        let eff_b = self.machine.block_efficiency(b);
+        let eff_t = self.machine.thread_efficiency(nthreads as usize);
+        let rate3 = self.machine.flop_rate * eff_b * eff_t;
+        let rate2 = self.machine.flop_rate * 0.08 * eff_t.sqrt(); // BLAS-2 memory-bound
+        let t_trd = 0.5 * flops_trd / (rate3 * p) + 0.5 * flops_trd / (rate2 * p);
+
+        // Eigenvector back-transformation: 2m³ flops, BLAS-3 friendly.
+        let t_back = 2.0 * m * m * m / (rate3 * p);
+
+        // Tridiagonal eigensolve: O(m²) per process group, poorly parallel.
+        let t_tri = 30.0 * m * m / (self.machine.flop_rate * 0.02 * p.sqrt());
+
+        // Communication: panel broadcasts along rows/columns.
+        let log_pr = p_r.max(2.0).log2();
+        let log_pc = p_c.max(2.0).log2();
+        let c_msg = (m / b) * 4.0 * (log_pr + log_pc);
+        let c_vol = m * m / p_r * log_pc + m * m / p_c * log_pr + 2.0 * b * m;
+        let imbalance = (1.0 + b * p_r / m) * (1.0 + b * p_c / m);
+        let aspect = 1.0 + 0.03 * ((p_r / p_c).ln()).abs();
+
+        (t_trd + t_back) * imbalance
+            + t_tri
+            + (c_msg * self.machine.latency + c_vol * 8.0 * self.machine.time_per_word) * aspect
+    }
+}
+
+impl HpcApp for PdsyevxApp {
+    fn name(&self) -> &str {
+        "pdsyevx"
+    }
+
+    fn task_space(&self) -> &Space {
+        &self.task_space
+    }
+
+    fn tuning_space(&self) -> &Space {
+        &self.tuning_space
+    }
+
+    fn evaluate(&self, task: &[Value], config: &[Value], seed: u64) -> Vec<f64> {
+        if !self.tuning_space.is_valid(config) {
+            return vec![f64::INFINITY];
+        }
+        let m = task[0].as_int() as f64;
+        let b = config[0].as_int() as f64;
+        let p = config[1].as_int() as f64;
+        let p_r = config[2].as_int() as f64;
+        let t = self.runtime_model(m, b, p, p_r);
+        let f = noise::lognormal_factor(
+            noise::hash_point(task, config, seed),
+            self.machine.noise_sigma,
+        );
+        vec![t * f]
+    }
+
+    fn default_config(&self) -> Option<Config> {
+        // A naive but common configuration: all ranks in a single process
+        // row (`p_r = 1`) — what an untuned launch script produces. The
+        // grid shape is precisely what the paper tunes.
+        let p = self.machine.total_cores() as i64;
+        Some(vec![Value::Int(32), Value::Int(p), Value::Int(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> PdsyevxApp {
+        PdsyevxApp::new(MachineModel::cori_noiseless(1), 8000)
+    }
+
+    fn cfg(b: i64, p: i64, p_r: i64) -> Vec<Value> {
+        vec![Value::Int(b), Value::Int(p), Value::Int(p_r)]
+    }
+
+    #[test]
+    fn cubic_scaling_in_m() {
+        let a = app();
+        let c = cfg(32, 32, 4);
+        let t1 = a.evaluate(&[Value::Int(2000)], &c, 0)[0];
+        let t2 = a.evaluate(&[Value::Int(4000)], &c, 0)[0];
+        // Doubling m should multiply runtime by roughly 4–8 (m²–m³ mix).
+        assert!(t2 / t1 > 3.5 && t2 / t1 < 9.0, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn interior_block_optimum() {
+        let a = app();
+        let t = vec![Value::Int(7000)];
+        let tiny = a.evaluate(&t, &cfg(4, 32, 4), 0)[0];
+        let mid = a.evaluate(&t, &cfg(48, 32, 4), 0)[0];
+        let huge = a.evaluate(&t, &cfg(512, 32, 4), 0)[0];
+        assert!(mid < tiny && mid < huge, "tiny {tiny} mid {mid} huge {huge}");
+    }
+
+    #[test]
+    fn constraint_checked() {
+        let a = app();
+        assert!(a.evaluate(&[Value::Int(4000)], &cfg(32, 4, 8), 0)[0].is_infinite());
+    }
+
+    #[test]
+    fn default_valid_and_finite() {
+        let a = app();
+        let d = a.default_config().unwrap();
+        assert!(a.tuning_space().is_valid(&d));
+        assert!(a.evaluate(&[Value::Int(5000)], &d, 0)[0].is_finite());
+    }
+
+    #[test]
+    fn process_count_tradeoff_exists() {
+        // Using every core is not automatically optimal (threads help the
+        // memory-bound BLAS-2 phase less than more ranks hurt the
+        // tridiagonal solve) — there must be real structure to tune.
+        let a = app();
+        let t = vec![Value::Int(7000)];
+        let vals: Vec<f64> = [1i64, 4, 8, 16, 32]
+            .iter()
+            .map(|&p| a.evaluate(&t, &cfg(48, p, (p as f64).sqrt() as i64), 0)[0])
+            .collect();
+        let best = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = vals.iter().cloned().fold(0.0, f64::max);
+        assert!(worst / best > 1.3, "p sweep too flat: {vals:?}");
+    }
+}

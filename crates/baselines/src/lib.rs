@@ -1,0 +1,188 @@
+//! Baseline tuners GPTune is compared against (paper Secs. 5–6.6).
+//!
+//! * [`OpenTunerLike`] — a faithful stand-in for OpenTuner: an AUC
+//!   multi-armed bandit adaptively allocates evaluations across an ensemble
+//!   of model-free techniques (random, mutation, crossover, differential
+//!   step, simplex reflection, annealed jitter) that all share one results
+//!   database;
+//! * [`HpBandSterLike`] — HpBandSter with the multi-armed-bandit/hyperband
+//!   feature disabled (as configured in the paper's comparison): a Tree
+//!   Parzen Estimator proposes each next configuration;
+//! * [`SingleTaskGpTuner`] — GPTune's own Bayesian optimization with
+//!   `δ = 1` (single-task learning), the reference point for the
+//!   multitask-vs-single-task studies (Fig. 5, Table 3);
+//! * [`SurfLike`] — SuRf (Sec. 5): random-forest surrogate search with
+//!   native categorical handling;
+//! * [`RandomTuner`] — uniform random sampling, the floor.
+//!
+//! All baselines are single-task (the paper runs OpenTuner/HpBandSter
+//! "separately on each task" because they do not support multitask
+//! learning) and share the [`Tuner`] interface.
+
+pub mod hpbandster;
+pub mod opentuner;
+pub mod random;
+pub mod single_task;
+pub mod surf;
+
+pub use hpbandster::HpBandSterLike;
+pub use opentuner::OpenTunerLike;
+pub use random::RandomTuner;
+pub use single_task::SingleTaskGpTuner;
+pub use surf::SurfLike;
+
+use gptune_core::TuningProblem;
+use gptune_space::{sampling, Config, Space};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Outcome of one baseline tuning run on one task.
+#[derive(Debug, Clone)]
+pub struct TunerRun {
+    /// All `(config, objective)` evaluations in order.
+    pub samples: Vec<(Config, f64)>,
+    /// Best configuration found.
+    pub best_config: Config,
+    /// Best finite objective found (`INFINITY` if all runs failed).
+    pub best_value: f64,
+}
+
+impl TunerRun {
+    /// Builds a run summary from the raw sample list.
+    pub fn from_samples(samples: Vec<(Config, f64)>) -> TunerRun {
+        assert!(!samples.is_empty(), "TunerRun: no samples");
+        let (best_config, best_value) = samples
+            .iter()
+            .filter(|(_, y)| y.is_finite())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(c, y)| (c.clone(), *y))
+            .unwrap_or_else(|| (samples[0].0.clone(), f64::INFINITY));
+        TunerRun {
+            samples,
+            best_config,
+            best_value,
+        }
+    }
+
+    /// The observation sequence (for the stability metric).
+    pub fn trajectory(&self) -> Vec<f64> {
+        self.samples.iter().map(|(_, y)| *y).collect()
+    }
+}
+
+/// A single-task tuner with a fixed evaluation budget `ε_tot`.
+pub trait Tuner {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Tunes task `task_idx` of `problem` with `budget` evaluations.
+    fn tune_task(
+        &self,
+        problem: &TuningProblem,
+        task_idx: usize,
+        budget: usize,
+        seed: u64,
+    ) -> TunerRun;
+}
+
+/// Draws one feasible configuration uniformly at random (with rejection).
+pub(crate) fn random_valid(space: &Space, rng: &mut StdRng, tries: usize) -> Option<Config> {
+    for _ in 0..tries {
+        let u: Vec<f64> = (0..space.dim()).map(|_| rng.gen::<f64>()).collect();
+        let cfg = space.denormalize(&u);
+        if space.is_valid(&cfg) {
+            return Some(cfg);
+        }
+    }
+    None
+}
+
+/// Snaps a normalized point to a feasible, non-duplicate configuration,
+/// jittering then falling back to random. Shared by all proposal-based
+/// baselines.
+pub(crate) fn repair(
+    space: &Space,
+    u: &[f64],
+    existing: &[(Config, f64)],
+    rng: &mut StdRng,
+) -> Config {
+    let dup = |cfg: &Config| existing.iter().any(|(c, _)| c == cfg);
+    let mut cfg = space.denormalize(u);
+    let mut tries = 0;
+    while (!space.is_valid(&cfg) || dup(&cfg)) && tries < 60 {
+        let jittered: Vec<f64> = u
+            .iter()
+            .map(|v| (v + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0))
+            .collect();
+        cfg = space.denormalize(&jittered);
+        tries += 1;
+    }
+    if !space.is_valid(&cfg) || dup(&cfg) {
+        if let Some(c) = random_valid(space, rng, 500) {
+            if !dup(&c) {
+                return c;
+            }
+        }
+    }
+    cfg
+}
+
+/// Shared initial design: a small LHS like every real tuner uses.
+pub(crate) fn initial_design(
+    space: &Space,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<Config> {
+    sampling::sample_space(space, n, rng, 200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Value};
+    use rand::SeedableRng;
+
+    #[test]
+    fn tuner_run_summary() {
+        let samples = vec![
+            (vec![Value::Real(0.1)], 3.0),
+            (vec![Value::Real(0.2)], f64::INFINITY),
+            (vec![Value::Real(0.3)], 1.0),
+        ];
+        let run = TunerRun::from_samples(samples);
+        assert_eq!(run.best_value, 1.0);
+        assert_eq!(run.best_config, vec![Value::Real(0.3)]);
+        assert_eq!(run.trajectory().len(), 3);
+    }
+
+    #[test]
+    fn tuner_run_all_failed() {
+        let samples = vec![(vec![Value::Real(0.1)], f64::INFINITY)];
+        let run = TunerRun::from_samples(samples);
+        assert!(run.best_value.is_infinite());
+    }
+
+    #[test]
+    fn repair_avoids_duplicates() {
+        let space = Space::builder().param(Param::int("x", 0, 3)).build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let existing = vec![(vec![Value::Int(1)], 1.0)];
+        let cfg = repair(&space, &[0.375], &existing, &mut rng); // would snap to 1
+        assert_ne!(cfg, vec![Value::Int(1)]);
+        assert!(space.is_valid(&cfg));
+    }
+
+    #[test]
+    fn random_valid_respects_constraints() {
+        let space = Space::builder()
+            .param(Param::int("a", 0, 9))
+            .param(Param::int("b", 0, 9))
+            .constraint("a<b", |c| c[0].as_int() < c[1].as_int())
+            .build();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let c = random_valid(&space, &mut rng, 100).unwrap();
+            assert!(c[0].as_int() < c[1].as_int());
+        }
+    }
+}

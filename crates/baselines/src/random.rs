@@ -1,0 +1,69 @@
+//! Uniform random search — the floor every tuner must beat (paper Sec. 5
+//! lists it among the "simplest black-box optimization methods").
+
+use crate::{random_valid, Tuner, TunerRun};
+use gptune_core::TuningProblem;
+use gptune_space::Config;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform random tuner.
+#[derive(Debug, Default)]
+pub struct RandomTuner;
+
+impl Tuner for RandomTuner {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn tune_task(
+        &self,
+        problem: &TuningProblem,
+        task_idx: usize,
+        budget: usize,
+        seed: u64,
+    ) -> TunerRun {
+        assert!(budget > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples: Vec<(Config, f64)> = Vec::with_capacity(budget);
+        for k in 0..budget {
+            let cfg = random_valid(&problem.tuning_space, &mut rng, 500)
+                .expect("no feasible configuration found");
+            let y = problem.evaluate(task_idx, &cfg, seed.wrapping_add(k as u64 * 13))[0];
+            samples.push((cfg, y));
+        }
+        TunerRun::from_samples(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Space, Value};
+
+    fn problem() -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        TuningProblem::new("r", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+            vec![(x[0].as_real() - 0.5).powi(2)]
+        })
+    }
+
+    #[test]
+    fn uses_exact_budget_and_improves() {
+        let p = problem();
+        let run = RandomTuner.tune_task(&p, 0, 50, 1);
+        assert_eq!(run.samples.len(), 50);
+        assert!(run.best_value < 0.01);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        let a = RandomTuner.tune_task(&p, 0, 10, 7);
+        let b = RandomTuner.tune_task(&p, 0, 10, 7);
+        assert_eq!(a.best_value, b.best_value);
+        let c = RandomTuner.tune_task(&p, 0, 10, 8);
+        assert_ne!(a.best_value, c.best_value);
+    }
+}

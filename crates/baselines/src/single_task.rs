@@ -1,0 +1,104 @@
+//! Single-task GP Bayesian optimization — GPTune with `δ = 1`.
+//!
+//! The single-task-learning reference of Fig. 5 / Table 3: the same
+//! surrogate-model machinery (GP fit by multi-start L-BFGS, EI maximized by
+//! PSO), but with no cross-task information sharing. Implemented as a thin
+//! driver over [`gptune_core::mla::tune`] with one task, so the comparison
+//! isolates exactly the multitask ingredient.
+
+use crate::{Tuner, TunerRun};
+use gptune_core::{mla, MlaOptions, TuningProblem};
+
+/// Single-task GP tuner (GPTune `δ = 1`).
+#[derive(Debug, Clone)]
+pub struct SingleTaskGpTuner {
+    /// MLA options used for the inner run (budget/seed are overridden per
+    /// call).
+    pub options: MlaOptions,
+}
+
+impl Default for SingleTaskGpTuner {
+    fn default() -> Self {
+        let mut options = MlaOptions::default();
+        options.lcm.q = 1;
+        options.lcm.n_starts = 3;
+        SingleTaskGpTuner { options }
+    }
+}
+
+impl Tuner for SingleTaskGpTuner {
+    fn name(&self) -> &str {
+        "gp-single-task"
+    }
+
+    fn tune_task(
+        &self,
+        problem: &TuningProblem,
+        task_idx: usize,
+        budget: usize,
+        seed: u64,
+    ) -> TunerRun {
+        // Restrict the problem to the one task.
+        let single = TuningProblem {
+            tasks: vec![problem.tasks[task_idx].clone()],
+            ..problem.clone()
+        };
+        let opts = self.options.clone().with_budget(budget).with_seed(seed);
+        let result = mla::tune(&single, &opts);
+        let tr = &result.per_task[0];
+        TunerRun::from_samples(tr.samples.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Space, Value};
+
+    fn problem() -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 2.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        TuningProblem::new(
+            "st",
+            ts,
+            ps,
+            vec![vec![Value::Real(0.0)], vec![Value::Real(1.0)]],
+            |t, x, _| vec![1.0 + (x[0].as_real() - 0.3 - 0.2 * t[0].as_real()).powi(2)],
+        )
+    }
+
+    fn fast() -> SingleTaskGpTuner {
+        let mut t = SingleTaskGpTuner::default();
+        t.options.lcm.n_starts = 2;
+        t.options.lcm.lbfgs.max_iters = 25;
+        t.options.pso.particles = 20;
+        t.options.pso.iters = 15;
+        t.options.log_objective = false;
+        t
+    }
+
+    #[test]
+    fn tunes_selected_task_only() {
+        let p = problem();
+        // Task 1's optimum is x = 0.5.
+        let run = fast().tune_task(&p, 1, 14, 3);
+        assert_eq!(run.samples.len(), 14);
+        assert!(
+            (run.best_config[0].as_real() - 0.5).abs() < 0.1,
+            "best x {}",
+            run.best_config[0].as_real()
+        );
+    }
+
+    #[test]
+    fn beats_random_on_average() {
+        let p = problem();
+        let mut gp = 0.0;
+        let mut rd = 0.0;
+        for s in 0..3 {
+            gp += fast().tune_task(&p, 0, 14, s).best_value;
+            rd += crate::RandomTuner.tune_task(&p, 0, 14, s).best_value;
+        }
+        assert!(gp <= rd * 1.02, "gp {gp} vs random {rd}");
+    }
+}

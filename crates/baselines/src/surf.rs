@@ -1,0 +1,181 @@
+//! SuRf-style random-forest tuner.
+//!
+//! SuRf ("Search using Random Forest", Balaprakash — paper Sec. 5) models
+//! application performance with a random forest and searches the model for
+//! its optimum; "one of its main strengths is its ability to handle
+//! categorical parameters in an elegant way" — axis-aligned tree splits
+//! treat the encoded categorical cells natively. This stand-in:
+//!
+//! 1. evaluates an initial Latin-hypercube design;
+//! 2. fits a [`RandomForest`] on the archive each iteration;
+//! 3. scores a large candidate pool by a lower-confidence-bound on the
+//!    ensemble (`mean − κ·std`, the across-tree std as exploration) and
+//!    evaluates the best unseen candidate.
+
+use crate::{initial_design, repair, Tuner, TunerRun};
+use gptune_core::TuningProblem;
+use gptune_opt::forest::{ForestOptions, RandomForest};
+use gptune_space::Config;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SuRf-like tuner.
+#[derive(Debug)]
+pub struct SurfLike {
+    /// Forest configuration.
+    pub forest: ForestOptions,
+    /// Candidate-pool size per iteration.
+    pub candidates: usize,
+    /// Exploration weight on the across-tree standard deviation.
+    pub kappa: f64,
+    /// Initial design size.
+    pub n_initial: usize,
+}
+
+impl Default for SurfLike {
+    fn default() -> Self {
+        SurfLike {
+            forest: ForestOptions::default(),
+            candidates: 200,
+            kappa: 1.5,
+            n_initial: 5,
+        }
+    }
+}
+
+impl Tuner for SurfLike {
+    fn name(&self) -> &str {
+        "surf"
+    }
+
+    fn tune_task(
+        &self,
+        problem: &TuningProblem,
+        task_idx: usize,
+        budget: usize,
+        seed: u64,
+    ) -> TunerRun {
+        assert!(budget > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = &problem.tuning_space;
+        let dim = space.dim();
+        let mut samples: Vec<(Config, f64)> = Vec::with_capacity(budget);
+
+        for cfg in initial_design(space, self.n_initial.min(budget), &mut rng) {
+            let y = problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
+            samples.push((cfg, y));
+        }
+
+        while samples.len() < budget {
+            // Need at least two finite observations for a useful model.
+            let finite = samples.iter().filter(|(_, y)| y.is_finite()).count();
+            let proposal: Vec<f64> = if finite < 2 {
+                (0..dim).map(|_| rng.gen::<f64>()).collect()
+            } else {
+                let xs: Vec<Vec<f64>> = samples.iter().map(|(c, _)| space.normalize(c)).collect();
+                let ys: Vec<f64> = samples.iter().map(|(_, y)| *y).collect();
+                let forest = RandomForest::fit(&xs, &ys, &self.forest, &mut rng);
+                // Score a candidate pool: half uniform, half jitters of the
+                // incumbent best (local refinement).
+                let best_u = {
+                    let (bc, _) = samples
+                        .iter()
+                        .filter(|(_, y)| y.is_finite())
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .unwrap();
+                    space.normalize(bc)
+                };
+                let mut best_score = f64::INFINITY;
+                let mut best_cand: Vec<f64> = best_u.clone();
+                for k in 0..self.candidates {
+                    let cand: Vec<f64> = if k % 2 == 0 {
+                        (0..dim).map(|_| rng.gen::<f64>()).collect()
+                    } else {
+                        best_u
+                            .iter()
+                            .map(|v| (v + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0))
+                            .collect()
+                    };
+                    let (mean, var) = forest.predict(&cand);
+                    let score = mean - self.kappa * var.sqrt();
+                    if score < best_score {
+                        best_score = score;
+                        best_cand = cand;
+                    }
+                }
+                best_cand
+            };
+            let cfg = repair(space, &proposal, &samples, &mut rng);
+            let y = problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
+            samples.push((cfg, y));
+        }
+        TunerRun::from_samples(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Space, Value};
+
+    fn problem() -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder()
+            .param(Param::real("x", 0.0, 1.0))
+            .param(Param::categorical("alg", &["a", "b", "c"]))
+            .build();
+        TuningProblem::new("sf", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+            // Categorical "b" is the good branch; x optimum depends on it.
+            let penalty = match x[1].as_cat() {
+                1 => 0.0,
+                _ => 0.5,
+            };
+            vec![(x[0].as_real() - 0.4).powi(2) + penalty + 0.1]
+        })
+    }
+
+    #[test]
+    fn finds_categorical_plus_continuous_optimum() {
+        let run = SurfLike::default().tune_task(&problem(), 0, 50, 5);
+        assert_eq!(run.samples.len(), 50);
+        assert!(run.best_value < 0.15, "best {}", run.best_value);
+        assert_eq!(run.best_config[1].as_cat(), 1, "should pick branch b");
+    }
+
+    #[test]
+    fn better_than_random_on_average() {
+        let p = problem();
+        let mut sf = 0.0;
+        let mut rd = 0.0;
+        for s in 0..5 {
+            sf += SurfLike::default().tune_task(&p, 0, 30, s).best_value;
+            rd += crate::RandomTuner.tune_task(&p, 0, 30, s).best_value;
+        }
+        assert!(sf <= rd * 1.05, "surf {sf} vs random {rd}");
+    }
+
+    #[test]
+    fn survives_failed_evaluations() {
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let p = TuningProblem::new("ff", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+            let v = x[0].as_real();
+            if v < 0.4 {
+                vec![f64::INFINITY]
+            } else {
+                vec![v]
+            }
+        });
+        let run = SurfLike::default().tune_task(&p, 0, 25, 2);
+        assert!(run.best_value.is_finite());
+        assert!(run.best_config[0].as_real() >= 0.4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        let a = SurfLike::default().tune_task(&p, 0, 15, 9);
+        let b = SurfLike::default().tune_task(&p, 0, 15, 9);
+        assert_eq!(a.best_value, b.best_value);
+    }
+}

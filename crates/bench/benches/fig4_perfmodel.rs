@@ -1,0 +1,119 @@
+//! Fig. 4 — advantage of incorporating coarse performance models
+//! (paper Sec. 6.4).
+//!
+//! **Left (analytical)**: MLA with and without the noisy model
+//! `ỹ = (1 + 0.1·r(x))·y(t,x)` on δ tasks of Eq. 11, budgets ε_tot ∈
+//! {20, 40, 80}. Paper: ratio(no-model / with-model) ≥ 1 for all tasks,
+//! largest for big t and small budgets; the true minimum is attained at
+//! most points with the model.
+//!
+//! **Right (PDGEQRF)**: the Eq. 7 communication model with on-the-fly
+//! hyperparameter estimation, 5 random tasks `m, n < 20000`, ε_tot ∈
+//! {10, 20, 40}. Paper: up to 35% improvement at ε_tot = 10, fading as the
+//! budget grows.
+//!
+//! This harness uses δ = 10 analytical tasks (t = 0, 1, …, 9) and budgets
+//! {10, 20, 40} to stay laptop-sized; the PDGEQRF half matches the paper's
+//! task count.
+
+use gptune::apps::{AnalyticalApp, HpcApp, MachineModel, PdgeqrfApp};
+use gptune::core::{mla, MlaOptions};
+use gptune::problem_from_app;
+use gptune::space::Value;
+use gptune_bench::{banner, random_qr_tasks};
+use std::sync::Arc;
+
+fn opts(budget: usize, seed: u64) -> MlaOptions {
+    let mut o = MlaOptions::default().with_budget(budget).with_seed(seed);
+    o.lcm.n_starts = 3;
+    o.lcm.lbfgs.max_iters = 25;
+    o
+}
+
+fn main() {
+    banner(
+        "Fig. 4 — benefit of coarse performance models",
+        "left: analytical fn, δ=20, ε_tot∈{20,40,80}; right: PDGEQRF, 5 tasks, ε_tot∈{10,20,40}",
+        "left: analytical fn, δ=10, ε_tot∈{10,20,40}; right: PDGEQRF, 5 tasks, ε_tot∈{10,20,40}",
+    );
+
+    // ---------------- Left: analytical function ----------------
+    println!("\n[left] analytical function with noisy model ỹ = (1+0.1·r(x))·y(t,x)");
+    let app: Arc<dyn HpcApp> = Arc::new(AnalyticalApp::new(0.0));
+    let tasks: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Real(i as f64)]).collect();
+    let problem = problem_from_app(Arc::clone(&app), tasks.clone());
+
+    // Eq. 11 can dip below zero, so raw-value ratios are ill-defined;
+    // report the ratio of *optimality gaps* (regret vs the true minimum)
+    // instead — ≥ 1 still means the model helped. The acquisition search
+    // gets a large PSO budget in both arms: with the model enabled the EI
+    // surface embeds the (free) model evaluations, so a big swarm is what
+    // lets the tuner exploit them — the paper's "generate large numbers of
+    // samples" remark.
+    for &budget in &[10usize, 20, 40] {
+        let mut o_plain = opts(budget, 100 + budget as u64);
+        o_plain.log_objective = false;
+        o_plain.pso.particles = 80;
+        o_plain.pso.iters = 80;
+        let mut o_model = o_plain.clone();
+        o_model.use_model_features = true;
+
+        let r_plain = mla::tune(&problem, &o_plain);
+        let r_model = mla::tune(&problem, &o_model);
+
+        let mut wins = 0;
+        let mut attained = 0;
+        print!("  ε_tot={budget:<3} gap-ratio(no-model/model): ");
+        for (i, task) in tasks.iter().enumerate() {
+            let t = task[0].as_real();
+            let (_, y_true) = AnalyticalApp::true_minimum(t, 200_000);
+            let gap_plain = (r_plain.per_task[i].best_value - y_true).max(1e-6);
+            let gap_model = (r_model.per_task[i].best_value - y_true).max(1e-6);
+            let ratio = gap_plain / gap_model;
+            if ratio >= 1.0 - 1e-9 {
+                wins += 1;
+            }
+            if gap_model < 0.05 {
+                attained += 1;
+            }
+            if ratio > 999.0 {
+                print!(">999 ");
+            } else {
+                print!("{ratio:.2} ");
+            }
+        }
+        println!("| model ≥ parity on {wins}/10 tasks, near-true min on {attained}/10");
+    }
+
+    // ---------------- Right: PDGEQRF with Eq. 7 model ----------------
+    println!("\n[right] PDGEQRF with Eq. 7 model, on-the-fly (t_flop,t_msg,t_vol) fitting");
+    let machine = MachineModel::cori(16);
+    let qr_app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(machine, 20_000));
+    let qr_tasks = random_qr_tasks(5, 20_000, 21);
+    let qr_problem = problem_from_app(Arc::clone(&qr_app), qr_tasks.clone());
+
+    println!(
+        "{:>8} {:>30} {:>16}",
+        "ε_tot", "per-task ratio (no-model/model)", "tasks with ≥1"
+    );
+    for &budget in &[10usize, 20, 40] {
+        let mut o_plain = opts(budget, 300 + budget as u64);
+        o_plain.runs_per_eval = 3;
+        let mut o_model = o_plain.clone();
+        o_model.use_model_features = true;
+        o_model.fit_model_coefficients = true;
+
+        let r_plain = mla::tune(&qr_problem, &o_plain);
+        let r_model = mla::tune(&qr_problem, &o_model);
+
+        let ratios: Vec<f64> = (0..qr_tasks.len())
+            .map(|i| r_plain.per_task[i].best_value / r_model.per_task[i].best_value)
+            .collect();
+        let geq = ratios.iter().filter(|&&r| r >= 1.0 - 1e-9).count();
+        let txt: Vec<String> = ratios.iter().map(|r| format!("{r:.2}")).collect();
+        println!("{:>8} {:>30} {:>13}/5", budget, txt.join(" "), geq);
+    }
+
+    println!("\nShape check vs paper: the model helps most at the smallest budget and on the");
+    println!("hardest (large-t) analytical tasks; the effect fades as ε_tot grows.");
+}

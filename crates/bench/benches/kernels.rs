@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks for the computational substrates: blocked
+//! GEMM, sequential vs parallel Cholesky (the modeling-phase bottleneck),
+//! LCM likelihood+gradient evaluation, LCM fitting, and the EI/PSO search.
+//!
+//! These quantify the building blocks behind Fig. 3's phase times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gptune::gp::gp::expected_improvement;
+use gptune::gp::{LcmFitOptions, LcmModel, Prediction};
+use gptune::la::{blas, Cholesky, CholeskyOptions, Matrix};
+use gptune::opt::pso::{self, PsoOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn spd(n: usize) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 11.0);
+    let mut a = blas::matmul(&b, &b.transpose());
+    a.add_diagonal(n as f64);
+    a
+}
+
+fn lcm_data(n_per_task: usize, tasks: usize) -> (Vec<Vec<f64>>, Vec<usize>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut xs = Vec::new();
+    let mut task_of = Vec::new();
+    let mut y = Vec::new();
+    for t in 0..tasks {
+        for _ in 0..n_per_task {
+            let x: f64 = rng.gen();
+            xs.push(vec![x]);
+            task_of.push(t);
+            y.push((6.0 * x).sin() + 0.3 * t as f64 + 0.01 * rng.gen::<f64>());
+        }
+    }
+    (xs, task_of, y)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[64usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i + j) % 7) as f64);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * j) % 5) as f64);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |bench, _| {
+            bench.iter(|| black_box(blas::matmul(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| black_box(blas::par_matmul(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky");
+    g.sample_size(20);
+    for &n in &[128usize, 256, 512] {
+        let a = spd(n);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |bench, _| {
+            bench.iter(|| black_box(Cholesky::factor(&a).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(Cholesky::factor_parallel(&a, &CholeskyOptions::default()).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lcm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcm");
+    g.sample_size(10);
+    for &n_per in &[20usize, 40] {
+        let (xs, task_of, y) = lcm_data(n_per, 5);
+        // One likelihood+gradient evaluation at fixed hyperparameters.
+        let hp = gptune::gp::LcmHyperparams {
+            q: 2,
+            n_tasks: 5,
+            dim: 1,
+            lengthscales: vec![vec![0.3], vec![0.6]],
+            a: vec![vec![0.5; 5], vec![0.2; 5]],
+            b: vec![vec![0.01; 5]; 2],
+            d: vec![0.01; 5],
+        };
+        let theta = hp.pack();
+        g.bench_with_input(
+            BenchmarkId::new("nll_grad", n_per * 5),
+            &n_per,
+            |bench, _| {
+                let mut grad = vec![0.0; theta.len()];
+                bench.iter(|| {
+                    black_box(LcmModel::nll_at(&xs, &task_of, &y, 5, 2, &theta, &mut grad))
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("fit", n_per * 5), &n_per, |bench, _| {
+            let opts = LcmFitOptions {
+                n_starts: 1,
+                ..Default::default()
+            };
+            bench.iter(|| black_box(LcmModel::fit(&xs, &task_of, &y, 5, &opts)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acquisition");
+    g.bench_function("expected_improvement", |bench| {
+        let p = Prediction {
+            mean: 0.5,
+            variance: 0.2,
+        };
+        bench.iter(|| black_box(expected_improvement(&p, 0.4)))
+    });
+    g.bench_function("pso_search_2d", |bench| {
+        let opts = PsoOptions {
+            particles: 30,
+            iters: 30,
+            ..Default::default()
+        };
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut f = |x: &[f64]| (x[0] - 0.3).powi(2) + (x[1] - 0.6).powi(2);
+            black_box(pso::minimize(&mut f, 2, &[], &opts, &mut rng))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_cholesky, bench_lcm, bench_acquisition);
+criterion_main!(benches);

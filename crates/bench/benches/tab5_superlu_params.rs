@@ -1,0 +1,81 @@
+//! Table 5 — default vs single-objective-optimal SuperLU_DIST parameters
+//! on the matrix Si2 (paper Sec. 6.7).
+//!
+//! Paper: with ε_tot = 80 on 8 Cori nodes, the time-optimal and
+//! memory-optimal configurations differ vastly from the defaults
+//! (COLPERM 4→2, NSUP 128→295 for time / 128→31 for memory, …), and tuning
+//! achieves "83% improvement in time or 93% improvement in memory".
+//!
+//! This harness runs the same protocol: single-objective MLA once per
+//! objective with ε_tot = 80, then prints the three parameter rows and the
+//! achieved (time, memory) of each.
+
+use gptune::apps::{HpcApp, MachineModel, SuperluApp};
+use gptune::core::{mla, MlaOptions};
+use gptune::problem_from_app_objective;
+use gptune::space::Value;
+use gptune_bench::banner;
+use std::sync::Arc;
+
+fn fmt_config(c: &[Value]) -> String {
+    format!(
+        "{:>8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        c[0].as_cat(),
+        c[1].as_int(),
+        c[2].as_int(),
+        c[3].as_int(),
+        c[4].as_int(),
+        c[5].as_int()
+    )
+}
+
+fn main() {
+    banner(
+        "Table 5 — SuperLU_DIST default vs tuned parameters (Si2)",
+        "ε_tot=80, 8 Cori nodes; separate time-optimal and memory-optimal rows",
+        "identical protocol on the simulated SuperLU_DIST",
+    );
+
+    let app: Arc<dyn HpcApp> = Arc::new(SuperluApp::new(MachineModel::cori(8)));
+    let tasks = SuperluApp::tasks(1); // Si2
+    let default_cfg = app.default_config().unwrap();
+    let default_out = app.evaluate(&tasks[0], &default_cfg, 0);
+
+    let mut opts = MlaOptions::default().with_budget(80).with_seed(55);
+    opts.lcm.n_starts = 3;
+    opts.lcm.lbfgs.max_iters = 25;
+
+    let mut rows: Vec<(String, Vec<Value>, Vec<f64>)> =
+        vec![("Default".into(), default_cfg.clone(), default_out.clone())];
+    for (idx, label) in [(0usize, "Time"), (1usize, "Memory")] {
+        let problem = problem_from_app_objective(Arc::clone(&app), tasks.clone(), idx);
+        let r = mla::tune(&problem, &opts);
+        let cfg = r.per_task[0].best_config.clone();
+        let out = app.evaluate(&tasks[0], &cfg, 0);
+        rows.push((label.to_string(), cfg, out));
+    }
+
+    println!(
+        "\n{:<10} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6} | {:>10} {:>12}",
+        "", "COLPERM", "LOOK", "p", "p_r", "NSUP", "NREL", "time (s)", "memory (MB)"
+    );
+    for (label, cfg, out) in &rows {
+        println!(
+            "{:<10} {} | {:>10.4} {:>12.2}",
+            label,
+            fmt_config(cfg),
+            out[0],
+            out[1]
+        );
+    }
+
+    let t_impr = 100.0 * (1.0 - rows[1].2[0] / rows[0].2[0]);
+    let m_impr = 100.0 * (1.0 - rows[2].2[1] / rows[0].2[1]);
+    println!(
+        "\nimprovement vs default: time {:.0}% (paper: 83%), memory {:.0}% (paper: 93%)",
+        t_impr, m_impr
+    );
+    println!("\nShape check vs paper: the tuned rows differ sharply from the defaults, the");
+    println!("time-optimal NSUP is much larger than the memory-optimal NSUP, and both tuned");
+    println!("rows improve their own objective substantially over the default.");
+}

@@ -1,0 +1,87 @@
+//! Transfer-learning experiment (extension of the paper's goal 3:
+//! archive & reuse of tuning data).
+//!
+//! Protocol: tune δ source PDSYEVX tasks and archive the samples; then
+//! tune a held-out task at several tiny fresh budgets, comparing
+//!
+//! * **TLA-2** (archive folded into the joint LCM),
+//! * **cold start** (same tuner, no archive),
+//! * **TLA-1** (zero fresh evaluations — pure prediction from source
+//!   optima).
+//!
+//! Expected shape: transfer dominates at the smallest budgets and the gap
+//! closes as the fresh budget grows — the same "fewer samples needed"
+//! story as the paper's performance-model study (Fig. 4).
+
+use gptune::apps::{HpcApp, MachineModel, PdsyevxApp};
+use gptune::core::{mla, tla, History, MlaOptions};
+use gptune::problem_from_app;
+use gptune::space::Value;
+use gptune_bench::banner;
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "TLA — transfer learning from archived tuning data",
+        "(extension; paper Sec. 1 goal 3 + GPTune Users Guide TLA)",
+        "PDSYEVX: 4 sources (ε_tot=16 each) → new task at fresh budgets {2,4,8}",
+    );
+
+    let app: Arc<dyn HpcApp> = Arc::new(PdsyevxApp::new(MachineModel::cori(1), 8000));
+    let sources: Vec<Vec<Value>> = [3000i64, 4500, 6000, 7500]
+        .iter()
+        .map(|&m| vec![Value::Int(m)])
+        .collect();
+    let target = vec![Value::Int(5200)];
+    let mut all = sources.clone();
+    all.push(target.clone());
+    let target_idx = all.len() - 1;
+
+    // Phase 1: archive the sources.
+    let source_problem = problem_from_app(Arc::clone(&app), sources);
+    let mut opts = MlaOptions::default().with_budget(16).with_seed(7);
+    opts.lcm.n_starts = 2;
+    opts.lcm.lbfgs.max_iters = 20;
+    let archive = History::from_mla(&source_problem.name, &mla::tune(&source_problem, &opts));
+    println!("\narchived {} source evaluations", archive.len());
+
+    let problem = problem_from_app(Arc::clone(&app), all);
+
+    // TLA-1 reference point.
+    if let Some(cfg) = tla::predict_transfer_config(&problem, &archive, target_idx) {
+        let y = app.evaluate(&target, &cfg, 0)[0];
+        println!("TLA-1 (0 fresh evals): {:.3}s", y);
+    }
+
+    println!(
+        "\n{:>12} {:>12} {:>12} {:>10}",
+        "fresh evals", "TLA-2", "cold start", "gain"
+    );
+    for &budget in &[2usize, 4, 8] {
+        let mut t = 0.0;
+        let mut c = 0.0;
+        for seed in 0..3u64 {
+            let mut topts = MlaOptions::default().with_budget(budget).with_seed(40 + seed);
+            topts.lcm.n_starts = 2;
+            topts.lcm.lbfgs.max_iters = 20;
+            topts.n_initial = Some((budget / 2).max(1).min(budget));
+            let (with_h, _) = tla::transfer_tune(&problem, &archive, target_idx, &topts);
+            let empty = History::new(&problem.name);
+            let (cold, _) = tla::transfer_tune(&problem, &empty, target_idx, &topts);
+            t += with_h.best_value;
+            c += cold.best_value;
+        }
+        t /= 3.0;
+        c /= 3.0;
+        println!(
+            "{:>12} {:>11.3}s {:>11.3}s {:>9.1}%",
+            budget,
+            t,
+            c,
+            100.0 * (1.0 - t / c)
+        );
+    }
+
+    println!("\nShape check: TLA-2 ≤ cold start at every budget, with the largest relative");
+    println!("gain at the smallest fresh budget; TLA-1 alone is already competitive.");
+}

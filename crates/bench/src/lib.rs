@@ -1,0 +1,87 @@
+//! Shared helpers for the experiment harnesses.
+//!
+//! Every bench target regenerates one table or figure of the paper (see
+//! `DESIGN.md` §3 for the index). The paper's runs used up to 64 Cori
+//! nodes and hours of machine time; the harnesses run the same tuner code
+//! on the simulated applications at laptop scale, so task counts and
+//! budgets are sometimes reduced — each harness states its deviations in
+//! its header.
+
+use gptune::space::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, paper: &str, ours: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{id}");
+    println!("  paper setup : {paper}");
+    println!("  this harness: {ours}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Random PDGEQRF tasks `m, n < max_dim` (paper Secs. 6.4–6.6).
+pub fn random_qr_tasks(count: usize, max_dim: i64, seed: u64) -> Vec<Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            vec![
+                Value::Int(rng.gen_range(1000..max_dim)),
+                Value::Int(rng.gen_range(1000..max_dim)),
+            ]
+        })
+        .collect()
+}
+
+/// Random hypre tasks `10 ≤ n_i ≤ 100` (paper Sec. 6.6).
+pub fn random_hypre_tasks(count: usize, seed: u64) -> Vec<Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..3)
+                .map(|_| Value::Int(rng.gen_range(10..=100)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Formats a row of f64 cells.
+pub fn row(label: &str, values: &[f64], width: usize, prec: usize) -> String {
+    let mut s = format!("{label:<24}");
+    for v in values {
+        s.push_str(&format!(" {v:>width$.prec$}"));
+    }
+    s
+}
+
+/// A crude fixed-width ASCII sparkline for printed "figures".
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-300);
+    values
+        .iter()
+        .map(|v| GLYPHS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_generators_deterministic() {
+        assert_eq!(random_qr_tasks(3, 5000, 1), random_qr_tasks(3, 5000, 1));
+        assert_ne!(random_qr_tasks(3, 5000, 1), random_qr_tasks(3, 5000, 2));
+        assert_eq!(random_hypre_tasks(4, 9).len(), 4);
+    }
+
+    #[test]
+    fn sparkline_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

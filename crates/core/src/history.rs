@@ -1,0 +1,216 @@
+//! Tuning-history database (paper goal 3: archive and reuse tuning data
+//! across executions so tuning improves over time).
+//!
+//! The history stores `(task, config, outputs)` triples in a
+//! JSON-serializable form keyed by problem name. A new MLA run can seed its
+//! sampling phase from matching archived records, exactly like GPTune's
+//! shared-database workflow.
+
+use gptune_space::{Config, Value};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// One archived evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Record {
+    /// Task parameters.
+    pub task: Config,
+    /// Tuning configuration.
+    pub config: Config,
+    /// Objective outputs (`γ` values).
+    pub outputs: Vec<f64>,
+}
+
+/// A tuning-history archive for one problem.
+#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+pub struct History {
+    /// Problem name the records belong to.
+    pub problem: String,
+    /// Archived evaluations.
+    pub records: Vec<Record>,
+}
+
+impl History {
+    /// Empty history for a problem.
+    pub fn new(problem: impl Into<String>) -> History {
+        History {
+            problem: problem.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one evaluation.
+    pub fn push(&mut self, task: Config, config: Config, outputs: Vec<f64>) {
+        self.records.push(Record {
+            task,
+            config,
+            outputs,
+        });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records whose task equals `task` exactly.
+    pub fn for_task(&self, task: &[Value]) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| r.task.as_slice() == task)
+            .collect()
+    }
+
+    /// Best (minimum) first-output record for a task, if any is finite.
+    pub fn best_for_task(&self, task: &[Value]) -> Option<&Record> {
+        self.for_task(task)
+            .into_iter()
+            .filter(|r| r.outputs.first().is_some_and(|v| v.is_finite()))
+            .min_by(|a, b| a.outputs[0].partial_cmp(&b.outputs[0]).unwrap())
+    }
+
+    /// Merges another history (same problem) into this one, skipping exact
+    /// duplicates.
+    pub fn merge(&mut self, other: &History) {
+        assert_eq!(
+            self.problem, other.problem,
+            "History::merge: different problems"
+        );
+        for r in &other.records {
+            if !self.records.contains(r) {
+                self.records.push(r.clone());
+            }
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("history serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<History> {
+        serde_json::from_str(s)
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &Path) -> std::io::Result<History> {
+        let mut s = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut s)?;
+        History::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Builds a history from an MLA result.
+    pub fn from_mla(problem_name: &str, result: &crate::mla::MlaResult) -> History {
+        let mut h = History::new(problem_name);
+        for tr in &result.per_task {
+            for (cfg, y) in &tr.samples {
+                h.push(tr.task.clone(), cfg.clone(), vec![*y]);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_history() -> History {
+        let mut h = History::new("pdgeqrf");
+        h.push(
+            vec![Value::Int(1000), Value::Int(1000)],
+            vec![Value::Int(32), Value::Int(32)],
+            vec![1.5],
+        );
+        h.push(
+            vec![Value::Int(1000), Value::Int(1000)],
+            vec![Value::Int(64), Value::Int(64)],
+            vec![1.2],
+        );
+        h.push(
+            vec![Value::Int(2000), Value::Int(2000)],
+            vec![Value::Int(64), Value::Int(64)],
+            vec![4.0],
+        );
+        h
+    }
+
+    #[test]
+    fn push_and_query() {
+        let h = sample_history();
+        assert_eq!(h.len(), 3);
+        let t1 = vec![Value::Int(1000), Value::Int(1000)];
+        assert_eq!(h.for_task(&t1).len(), 2);
+        let best = h.best_for_task(&t1).unwrap();
+        assert_eq!(best.outputs[0], 1.2);
+    }
+
+    #[test]
+    fn best_skips_non_finite() {
+        let mut h = History::new("x");
+        h.push(vec![Value::Int(1)], vec![Value::Int(1)], vec![f64::INFINITY]);
+        h.push(vec![Value::Int(1)], vec![Value::Int(2)], vec![3.0]);
+        assert_eq!(h.best_for_task(&[Value::Int(1)]).unwrap().outputs[0], 3.0);
+        let mut h2 = History::new("y");
+        h2.push(vec![Value::Int(1)], vec![Value::Int(1)], vec![f64::NAN]);
+        assert!(h2.best_for_task(&[Value::Int(1)]).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = sample_history();
+        let s = h.to_json();
+        let back = History::from_json(&s).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let h = sample_history();
+        let dir = std::env::temp_dir().join("gptune_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.json");
+        h.save(&path).unwrap();
+        let back = History::load(&path).unwrap();
+        assert_eq!(h, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_dedups() {
+        let mut a = sample_history();
+        let b = sample_history();
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        let mut c = History::new("pdgeqrf");
+        c.push(vec![Value::Int(9)], vec![Value::Int(9)], vec![9.0]);
+        a.merge(&c);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_different_problems_panics() {
+        let mut a = History::new("a");
+        let b = History::new("b");
+        a.merge(&b);
+    }
+
+    #[test]
+    fn corrupt_json_is_error() {
+        assert!(History::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Evaluation metrics of paper Sec. 6.6.
+//!
+//! * `WinTask` — *final* performance: the percentage of tasks on which one
+//!   tuner's best objective beats another's;
+//! * `stability` — *anytime* performance: for one task,
+//!   `mean_j( y*(t, x_1..j) ) / y*(t)` where `y*(t, x_1..j)` is the best
+//!   value among the first `j` samples and `y*(t)` is the best value over
+//!   all samples of all tuners. 1.0 is perfect (the very first sample was
+//!   already optimal); larger is worse.
+
+/// Percentage (0–100) of tasks where `ours[i] <= theirs[i]` (ties count as
+/// wins, matching "finds a better or equal objective minimum").
+pub fn win_task(ours: &[f64], theirs: &[f64]) -> f64 {
+    assert_eq!(ours.len(), theirs.len(), "win_task: length mismatch");
+    assert!(!ours.is_empty(), "win_task: empty");
+    let wins = ours
+        .iter()
+        .zip(theirs)
+        .filter(|(a, b)| a <= b || (!a.is_finite() && !b.is_finite()))
+        .count();
+    100.0 * wins as f64 / ours.len() as f64
+}
+
+/// Stability of one task's trajectory against the global best `y_star`.
+///
+/// `trajectory` is the sequence of observed objective values in evaluation
+/// order (not the running minimum — that is computed here).
+pub fn stability(trajectory: &[f64], y_star: f64) -> f64 {
+    assert!(!trajectory.is_empty(), "stability: empty trajectory");
+    assert!(
+        y_star.is_finite() && y_star > 0.0,
+        "stability: reference must be positive and finite"
+    );
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &y in trajectory {
+        if y < best {
+            best = y;
+        }
+        // Until the first finite sample the tuner has nothing; charge the
+        // worst finite value later samples achieve by skipping (GPTune's
+        // runlogs simply have no entry before the first success).
+        if best.is_finite() {
+            sum += best / y_star;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Mean stability across tasks: each row of `trajectories` is one task's
+/// observation sequence; `y_stars` are the per-task global best values.
+pub fn mean_stability(trajectories: &[Vec<f64>], y_stars: &[f64]) -> f64 {
+    assert_eq!(trajectories.len(), y_stars.len());
+    assert!(!trajectories.is_empty());
+    trajectories
+        .iter()
+        .zip(y_stars)
+        .map(|(t, &s)| stability(t, s))
+        .sum::<f64>()
+        / trajectories.len() as f64
+}
+
+/// Ratio `theirs/ours` per task — the y-axis of Fig. 6 (`≥ 1` means we win).
+pub fn best_ratio(ours: &[f64], theirs: &[f64]) -> Vec<f64> {
+    assert_eq!(ours.len(), theirs.len());
+    ours.iter().zip(theirs).map(|(a, b)| b / a).collect()
+}
+
+/// 2-D hypervolume indicator for minimization: the area dominated by the
+/// front within the box `[0, reference]²`. Larger is better; used to
+/// compare the quality of Pareto fronts (Fig. 7's multitask-vs-single-task
+/// comparison, quantified).
+///
+/// Points outside the reference box contribute only their clipped part;
+/// dominated and non-finite points contribute nothing extra.
+pub fn hypervolume_2d(front: &[Vec<f64>], reference: &[f64; 2]) -> f64 {
+    assert!(reference.iter().all(|r| r.is_finite() && *r > 0.0));
+    // Keep finite points clipped into the box.
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .filter(|p| p.len() == 2 && p.iter().all(|v| v.is_finite()))
+        .map(|p| (p[0].max(0.0), p[1].max(0.0)))
+        .filter(|(a, b)| *a < reference[0] && *b < reference[1])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sweep by ascending first objective; track the running minimum of the
+    // second objective so dominated points add nothing.
+    pts.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.partial_cmp(&y.1).unwrap()));
+    let mut hv = 0.0;
+    let mut prev_x = pts[0].0;
+    let mut best_y = pts[0].1;
+    for &(x, y) in &pts[1..] {
+        if y < best_y {
+            hv += (x - prev_x) * (reference[1] - best_y);
+            prev_x = x;
+            best_y = y;
+        }
+    }
+    hv += (reference[0] - prev_x) * (reference[1] - best_y);
+    // Left strip from 0 to the first point is NOT dominated (minimization:
+    // nothing dominates x < min_x). The sweep above already starts at the
+    // first point, so nothing to add.
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn win_task_counts_ties_as_wins() {
+        let ours = [1.0, 2.0, 3.0, 4.0];
+        let theirs = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(win_task(&ours, &theirs), 75.0);
+    }
+
+    #[test]
+    fn win_task_all_and_none() {
+        assert_eq!(win_task(&[1.0], &[2.0]), 100.0);
+        assert_eq!(win_task(&[2.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn win_task_handles_failures() {
+        // Both failed: neither better — count as win (tie).
+        assert_eq!(win_task(&[f64::INFINITY], &[f64::INFINITY]), 100.0);
+        // We failed, they succeeded: loss.
+        assert_eq!(win_task(&[f64::INFINITY], &[1.0]), 0.0);
+        // We succeeded, they failed: win.
+        assert_eq!(win_task(&[1.0], &[f64::INFINITY]), 100.0);
+    }
+
+    #[test]
+    fn stability_perfect_tuner() {
+        // First sample is already the global best: stability = 1.
+        assert_eq!(stability(&[1.0, 5.0, 9.0], 1.0), 1.0);
+    }
+
+    #[test]
+    fn stability_late_discovery_is_worse() {
+        let early = stability(&[1.0, 1.0, 1.0, 1.0], 1.0);
+        let late = stability(&[4.0, 4.0, 4.0, 1.0], 1.0);
+        assert!(late > early);
+        assert_eq!(early, 1.0);
+        assert_eq!(late, (4.0 + 4.0 + 4.0 + 1.0) / 4.0);
+    }
+
+    #[test]
+    fn stability_uses_running_minimum() {
+        // A spike after a good value must not hurt.
+        let s = stability(&[2.0, 10.0, 10.0], 1.0);
+        assert_eq!(s, 2.0);
+    }
+
+    #[test]
+    fn stability_initial_failures_skipped() {
+        let s = stability(&[f64::INFINITY, 2.0, 1.0], 1.0);
+        assert_eq!(s, (2.0 + 1.0) / 2.0);
+        assert_eq!(stability(&[f64::INFINITY], 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn mean_stability_averages() {
+        let t = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let m = mean_stability(&t, &[1.0, 1.0]);
+        assert_eq!(m, 1.5);
+    }
+
+    #[test]
+    fn best_ratio_orientation() {
+        let r = best_ratio(&[1.0, 4.0], &[2.0, 2.0]);
+        assert_eq!(r, vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn hypervolume_single_point() {
+        // Point (1,1) in box [0,4]²: dominates a 3×3 area.
+        let hv = hypervolume_2d(&[vec![1.0, 1.0]], &[4.0, 4.0]);
+        assert!((hv - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_two_tradeoff_points() {
+        // (1,3) dominates [1,4]×[3,4] (area 3), (3,1) dominates
+        // [3,4]×[1,4] (area 3), overlap [3,4]² (area 1) → union = 5.
+        let hv = hypervolume_2d(&[vec![1.0, 3.0], vec![3.0, 1.0]], &[4.0, 4.0]);
+        assert!((hv - 5.0).abs() < 1e-12, "hv {hv}");
+    }
+
+    #[test]
+    fn hypervolume_dominated_point_adds_nothing() {
+        let base = hypervolume_2d(&[vec![1.0, 1.0]], &[4.0, 4.0]);
+        let with_dominated = hypervolume_2d(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[4.0, 4.0]);
+        assert_eq!(base, with_dominated);
+    }
+
+    #[test]
+    fn hypervolume_monotone_in_front_quality() {
+        let worse = hypervolume_2d(&[vec![2.0, 2.0]], &[4.0, 4.0]);
+        let better = hypervolume_2d(&[vec![1.0, 1.5]], &[4.0, 4.0]);
+        assert!(better > worse);
+    }
+
+    #[test]
+    fn hypervolume_ignores_outside_and_nonfinite() {
+        let hv = hypervolume_2d(
+            &[vec![5.0, 1.0], vec![f64::INFINITY, 0.1], vec![1.0, 1.0]],
+            &[4.0, 4.0],
+        );
+        assert!((hv - 9.0).abs() < 1e-12);
+        assert_eq!(hypervolume_2d(&[], &[4.0, 4.0]), 0.0);
+    }
+}

@@ -1,0 +1,684 @@
+//! Algorithm 1: single-objective multitask Bayesian optimization.
+//!
+//! The MLA loop of paper Sec. 3.1:
+//!
+//! 1. **Sampling phase** — `ε = ε_tot/2` initial configurations per task
+//!    from a Latin-hypercube design, evaluated (in parallel) through the
+//!    black box;
+//! 2. **Modeling phase** — fit one LCM surrogate jointly over all `δ`
+//!    tasks by multi-start L-BFGS on the log marginal likelihood;
+//! 3. **Search phase** — per task, maximize Expected Improvement with PSO
+//!    and evaluate the winner; repeat 2–3 until `ε = ε_tot`.
+//!
+//! Parallelism mirrors Sec. 4: objective evaluations fan out over a worker
+//! group, the modeling phase runs inside a bounded pool (L-BFGS restarts ∥,
+//! blocked-parallel Cholesky), and the search phase parallelizes over
+//! tasks.
+
+use crate::options::{Acquisition, MlaOptions, SearchMethod};
+use crate::perfmodel::{FeatureScaler, LinearPerfModel};
+use crate::problem::TuningProblem;
+use gptune_gp::gp::{expected_improvement, lower_confidence_bound, probability_of_improvement};
+use gptune_gp::{LcmFitOptions, LcmModel};
+use gptune_opt::{cmaes, de, pso};
+use gptune_runtime::{with_pool, Phase, PhaseTimer, WorkerGroup};
+use gptune_space::sampling;
+use gptune_space::{Config, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Result for one task.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// The task parameters.
+    pub task: Config,
+    /// Best configuration found.
+    pub best_config: Config,
+    /// Best (finite) objective value found; `INFINITY` if every run failed.
+    pub best_value: f64,
+    /// All evaluated `(config, value)` pairs in evaluation order — the
+    /// anytime trajectory used by the stability metric.
+    pub samples: Vec<(Config, f64)>,
+}
+
+impl TaskResult {
+    /// Best-so-far value after each evaluation (the anytime curve).
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.samples
+            .iter()
+            .map(|(_, y)| {
+                if *y < best {
+                    best = *y;
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Result of a full MLA run.
+#[derive(Debug, Clone)]
+pub struct MlaResult {
+    /// Per-task outcomes, index-aligned with `problem.tasks`.
+    pub per_task: Vec<TaskResult>,
+    /// Phase-time breakdown (objective / modeling / search).
+    pub stats: gptune_runtime::PhaseStats,
+}
+
+/// Internal bookkeeping shared with the multi-objective driver.
+pub(crate) struct Evaluations {
+    /// `(task_idx, config)` of every evaluation, in order.
+    pub points: Vec<(usize, Config)>,
+    /// Objective vectors, aligned with `points`.
+    pub outputs: Vec<Vec<f64>>,
+}
+
+impl Evaluations {
+    pub(crate) fn new() -> Evaluations {
+        Evaluations {
+            points: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Deduplication key for a configuration within a task.
+    pub(crate) fn contains(&self, task_idx: usize, config: &[Value]) -> bool {
+        self.points
+            .iter()
+            .any(|(t, c)| *t == task_idx && c.as_slice() == config)
+    }
+}
+
+/// Evaluates a batch of `(task, config)` points in parallel over the
+/// evaluation worker group, honouring min-of-k runs and recording virtual
+/// objective time (output 0 is the runtime; repeated runs all cost time).
+pub(crate) fn evaluate_batch(
+    problem: &TuningProblem,
+    batch: Vec<(usize, Config)>,
+    opts: &MlaOptions,
+    timer: &PhaseTimer,
+    eval_offset: usize,
+) -> Vec<Vec<f64>> {
+    let group = WorkerGroup::spawn(opts.eval_workers);
+    let objective = problem.objective.clone();
+    let tasks = problem.tasks.clone();
+    let runs = opts.runs_per_eval.max(1);
+    let gamma = problem.n_objectives;
+    let seed = opts.seed;
+    let indexed: Vec<(usize, (usize, Config))> = batch.into_iter().enumerate().collect();
+    let results = group.map(indexed, move |(k, (task_idx, config))| {
+        let base = seed
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add((eval_offset + k) as u64 * 1000);
+        let mut best = vec![f64::INFINITY; gamma];
+        let mut spent = 0.0;
+        for r in 0..runs {
+            let out = objective(&tasks[task_idx], &config, base.wrapping_add(r as u64));
+            assert_eq!(out.len(), gamma, "objective arity mismatch");
+            if out[0].is_finite() {
+                spent += out[0].max(0.0);
+            }
+            for (b, v) in best.iter_mut().zip(&out) {
+                if *v < *b {
+                    *b = *v;
+                }
+            }
+        }
+        (best, spent)
+    });
+    group.shutdown();
+    results
+        .into_iter()
+        .map(|(best, spent)| {
+            timer.add_objective_run(spent);
+            best
+        })
+        .collect()
+}
+
+/// Draws the initial per-task designs (sampling phase).
+pub(crate) fn initial_designs(
+    problem: &TuningProblem,
+    n_init: usize,
+    rng: &mut StdRng,
+) -> Vec<(usize, Config)> {
+    let mut batch = Vec::with_capacity(n_init * problem.n_tasks());
+    for task_idx in 0..problem.n_tasks() {
+        let samples = sampling::sample_space(&problem.tuning_space, n_init, rng, 200);
+        assert!(
+            !samples.is_empty(),
+            "no feasible configuration found for task {task_idx} — check constraints"
+        );
+        for s in samples {
+            batch.push((task_idx, s));
+        }
+    }
+    batch
+}
+
+/// The surrogate input representation: normalized tuning coordinates plus
+/// (optionally) performance-model features.
+pub(crate) struct SurrogateInputs {
+    /// Normalized LCM inputs, one per evaluation.
+    pub xs: Vec<Vec<f64>>,
+    /// Task index per evaluation.
+    pub task_of: Vec<usize>,
+    /// Feature machinery to enrich *new* candidate points, when enabled.
+    pub enrich: Option<Enricher>,
+}
+
+/// Enriches candidate configurations with scaled performance-model features.
+pub(crate) struct Enricher {
+    scaler: FeatureScaler,
+    fitted: Option<LinearPerfModel>,
+}
+
+impl Enricher {
+    /// Features for a candidate config of a given task.
+    pub(crate) fn features(
+        &self,
+        problem: &TuningProblem,
+        task_idx: usize,
+        config: &[Value],
+    ) -> Vec<f64> {
+        let raw = problem
+            .model_features(task_idx, config)
+            .expect("enricher requires a model");
+        let cooked = match &self.fitted {
+            Some(m) => vec![m.predict(&raw)],
+            None => raw,
+        };
+        self.scaler.transform(&cooked)
+    }
+}
+
+/// Builds the LCM inputs from the evaluation archive (paper Sec. 3.3 when
+/// model features are enabled).
+pub(crate) fn build_inputs(
+    problem: &TuningProblem,
+    evals: &Evaluations,
+    objective_idx: usize,
+    opts: &MlaOptions,
+) -> (SurrogateInputs, Vec<f64>) {
+    let y: Vec<f64> = evals
+        .outputs
+        .iter()
+        .map(|o| transform_objective(o[objective_idx], opts.log_objective))
+        .collect();
+
+    let base: Vec<Vec<f64>> = evals
+        .points
+        .iter()
+        .map(|(_, c)| problem.tuning_space.normalize(c))
+        .collect();
+    let task_of: Vec<usize> = evals.points.iter().map(|(t, _)| *t).collect();
+
+    let enrich = if opts.use_model_features && problem.model.is_some() {
+        let raw: Vec<Vec<f64>> = evals
+            .points
+            .iter()
+            .map(|(t, c)| problem.model_features(*t, c).expect("model present"))
+            .collect();
+        let fitted = if opts.fit_model_coefficients {
+            // Fit against the raw (not log) runtime: Eq. 7 is additive in
+            // machine time.
+            let raw_y: Vec<f64> = evals.outputs.iter().map(|o| o[objective_idx]).collect();
+            LinearPerfModel::fit(&raw, &raw_y)
+        } else {
+            None
+        };
+        let cooked: Vec<Vec<f64>> = match &fitted {
+            Some(m) => raw.iter().map(|r| vec![m.predict(r)]).collect(),
+            None => raw,
+        };
+        let scaler = FeatureScaler::fit(&cooked);
+        Some(Enricher { scaler, fitted })
+    } else {
+        None
+    };
+
+    let xs: Vec<Vec<f64>> = match &enrich {
+        Some(e) => evals
+            .points
+            .iter()
+            .zip(&base)
+            .map(|((t, c), b)| {
+                let mut v = b.clone();
+                v.extend(e.features(problem, *t, c));
+                v
+            })
+            .collect(),
+        None => base,
+    };
+
+    (
+        SurrogateInputs {
+            xs,
+            task_of,
+            enrich,
+        },
+        y,
+    )
+}
+
+/// Objective transform for modeling (log for positive runtimes).
+pub(crate) fn transform_objective(y: f64, log: bool) -> f64 {
+    if !y.is_finite() {
+        return f64::INFINITY; // LCM replaces with worst finite
+    }
+    if log {
+        y.max(1e-12).ln()
+    } else {
+        y
+    }
+}
+
+/// One EI/PSO search for a single task. Returns a feasible, non-duplicate
+/// configuration.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search_task(
+    problem: &TuningProblem,
+    model: &LcmModel,
+    inputs: &SurrogateInputs,
+    evals: &Evaluations,
+    task_idx: usize,
+    y_best_model: f64,
+    opts: &MlaOptions,
+    rng: &mut StdRng,
+) -> Config {
+    let beta = problem.beta();
+
+    // EI over the normalized tuning coordinates; enrichment features are
+    // computed per candidate (they are a function of the config).
+    let mut acq = |u: &[f64]| -> f64 {
+        let config = problem.tuning_space.denormalize(u);
+        if !problem.tuning_space.is_valid(&config) {
+            // Worst possible score outside the feasible region (EI would be
+            // 0 but LCB can be negative, so +∞ is the safe barrier).
+            return f64::INFINITY;
+        }
+        let x_model: Vec<f64> = match &inputs.enrich {
+            Some(e) => {
+                let mut v = u.to_vec();
+                v.extend(e.features(problem, task_idx, &config));
+                v
+            }
+            None => u.to_vec(),
+        };
+        let pred = model.predict(task_idx, &x_model);
+        // All acquisition scores are maximized; PSO minimizes the negation.
+        -match opts.acquisition {
+            Acquisition::ExpectedImprovement => expected_improvement(&pred, y_best_model),
+            Acquisition::LowerConfidenceBound { kappa } => lower_confidence_bound(&pred, kappa),
+            Acquisition::ProbabilityOfImprovement => {
+                probability_of_improvement(&pred, y_best_model)
+            }
+        }
+    };
+
+    // Seed the swarm with the incumbent best of this task.
+    let mut seeds: Vec<Vec<f64>> = Vec::new();
+    let mut best_seen = f64::INFINITY;
+    let mut best_cfg: Option<&Config> = None;
+    for ((t, c), o) in evals.points.iter().zip(&evals.outputs) {
+        if *t == task_idx && o[0] < best_seen {
+            best_seen = o[0];
+            best_cfg = Some(c);
+        }
+    }
+    if let Some(c) = best_cfg {
+        seeds.push(problem.tuning_space.normalize(c));
+    }
+
+    // The swarm/population budget is shared across methods so ablations
+    // compare at equal acquisition-evaluation cost.
+    let acq_budget = opts.pso.particles * (opts.pso.iters + 1);
+    let result = match opts.search_method {
+        SearchMethod::Pso => pso::minimize(&mut acq, beta, &seeds, &opts.pso, rng),
+        SearchMethod::DifferentialEvolution => {
+            let de_opts = de::DeOptions {
+                population: opts.pso.particles.max(4),
+                generations: opts.pso.iters,
+                ..Default::default()
+            };
+            de::minimize(&mut acq, beta, &seeds, &de_opts, rng)
+        }
+        SearchMethod::Cmaes => {
+            let cm_opts = cmaes::CmaesOptions {
+                max_evals: acq_budget,
+                ..Default::default()
+            };
+            cmaes::minimize(&mut acq, beta, seeds.first().map(|s| s.as_slice()), &cm_opts, rng)
+        }
+    };
+    let mut candidate = problem.tuning_space.denormalize(&result.x);
+
+    // Repair: feasible and not a duplicate of an existing sample.
+    let mut tries = 0;
+    while (!problem.tuning_space.is_valid(&candidate) || evals.contains(task_idx, &candidate))
+        && tries < 100
+    {
+        let jitter: Vec<f64> = result
+            .x
+            .iter()
+            .map(|v| (v + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0))
+            .collect();
+        candidate = problem.tuning_space.denormalize(&jitter);
+        tries += 1;
+    }
+    if !problem.tuning_space.is_valid(&candidate) || evals.contains(task_idx, &candidate) {
+        // Full fallback: random feasible sample.
+        let fresh = sampling::sample_space(&problem.tuning_space, 1, rng, 500);
+        if let Some(f) = fresh.into_iter().next() {
+            candidate = f;
+        }
+    }
+    candidate
+}
+
+/// Runs single-objective multitask MLA (Algorithm 1).
+///
+/// # Panics
+/// Panics if the problem is multi-objective (`γ > 1`) — use
+/// [`crate::mla_mo::tune_multiobjective`], or select one output with a
+/// wrapper objective.
+pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
+    assert_eq!(
+        problem.n_objectives, 1,
+        "mla::tune is single-objective; γ = {} given",
+        problem.n_objectives
+    );
+    let timer = PhaseTimer::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let delta = problem.n_tasks();
+    let n_init = opts.initial_samples();
+
+    // --- Sampling phase ---
+    let mut evals = Evaluations::new();
+    let batch = initial_designs(problem, n_init, &mut rng);
+    let outputs = timer.time(Phase::Objective, || {
+        evaluate_batch(problem, batch.clone(), opts, &timer, 0)
+    });
+    evals.points = batch;
+    evals.outputs = outputs;
+
+    // --- MLA iterations ---
+    let mut eps = evals.points.len() / delta.max(1);
+    let mut iteration = 0usize;
+    while eps < opts.eps_total {
+        // Modeling phase.
+        let (inputs, y) = build_inputs(problem, &evals, 0, opts);
+        let lcm_opts = LcmFitOptions {
+            seed: opts.lcm.seed.wrapping_add(iteration as u64 * 7919),
+            ..opts.lcm.clone()
+        };
+        let model = timer.time(Phase::Modeling, || {
+            with_pool(opts.model_workers, || {
+                LcmModel::fit(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
+            })
+        });
+
+        // Search phase: one new point per task, parallel over tasks.
+        let new_points: Vec<(usize, Config)> = timer.time(Phase::Search, || {
+            let seeds: Vec<u64> = (0..delta).map(|i| {
+                opts.seed
+                    .wrapping_add(0x5bd1e995)
+                    .wrapping_mul(iteration as u64 + 1)
+                    .wrapping_add(i as u64 * 104729)
+            }).collect();
+            with_pool(opts.search_workers, || {
+                (0..delta)
+                    .into_par_iter()
+                    .map(|task_idx| {
+                        let mut trng = StdRng::seed_from_u64(seeds[task_idx]);
+                        let y_best_model = evals
+                            .points
+                            .iter()
+                            .zip(&evals.outputs)
+                            .filter(|((t, _), o)| *t == task_idx && o[0].is_finite())
+                            .map(|(_, o)| transform_objective(o[0], opts.log_objective))
+                            .fold(f64::INFINITY, f64::min);
+                        let cfg = search_task(
+                            problem,
+                            &model,
+                            &inputs,
+                            &evals,
+                            task_idx,
+                            y_best_model,
+                            opts,
+                            &mut trng,
+                        );
+                        (task_idx, cfg)
+                    })
+                    .collect()
+            })
+        });
+
+        // Evaluate the δ new points.
+        let offset = evals.points.len();
+        let outputs = timer.time(Phase::Objective, || {
+            evaluate_batch(problem, new_points.clone(), opts, &timer, offset)
+        });
+        evals.points.extend(new_points);
+        evals.outputs.extend(outputs);
+        eps += 1;
+        iteration += 1;
+    }
+
+    finalize(problem, evals, timer)
+}
+
+/// Assembles per-task results from the evaluation archive.
+pub(crate) fn finalize(problem: &TuningProblem, evals: Evaluations, timer: PhaseTimer) -> MlaResult {
+    let per_task = (0..problem.n_tasks())
+        .map(|task_idx| {
+            let mut samples = Vec::new();
+            let mut best_value = f64::INFINITY;
+            let mut best_config: Option<Config> = None;
+            for ((t, c), o) in evals.points.iter().zip(&evals.outputs) {
+                if *t != task_idx {
+                    continue;
+                }
+                samples.push((c.clone(), o[0]));
+                if o[0] < best_value {
+                    best_value = o[0];
+                    best_config = Some(c.clone());
+                }
+            }
+            TaskResult {
+                task: problem.tasks[task_idx].clone(),
+                best_config: best_config
+                    .unwrap_or_else(|| samples.first().map(|(c, _)| c.clone()).unwrap_or_default()),
+                best_value,
+                samples,
+            }
+        })
+        .collect();
+    MlaResult {
+        per_task,
+        stats: timer.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Space};
+
+    /// Smooth 1-D family: minimum at x = 0.2 + 0.06·t.
+    fn toy_problem(delta: usize) -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 10.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let tasks: Vec<Config> = (0..delta).map(|i| vec![Value::Real(i as f64)]).collect();
+        TuningProblem::new("toy", ts, ps, tasks, |t, x, _| {
+            let opt = 0.2 + 0.06 * t[0].as_real();
+            vec![1.0 + (x[0].as_real() - opt).powi(2)]
+        })
+    }
+
+    fn fast_opts(budget: usize) -> MlaOptions {
+        let mut o = MlaOptions::default().with_budget(budget).with_seed(3);
+        o.lcm.n_starts = 2;
+        o.lcm.lbfgs.max_iters = 30;
+        o.pso.particles = 20;
+        o.pso.iters = 15;
+        o.log_objective = false;
+        o
+    }
+
+    #[test]
+    fn single_task_finds_minimum() {
+        let p = toy_problem(1);
+        let r = tune(&p, &fast_opts(14));
+        assert_eq!(r.per_task.len(), 1);
+        let best_x = r.per_task[0].best_config[0].as_real();
+        assert!((best_x - 0.2).abs() < 0.08, "best_x {best_x}");
+        assert!(r.per_task[0].best_value < 1.01);
+        assert_eq!(r.per_task[0].samples.len(), 14);
+    }
+
+    #[test]
+    fn multitask_finds_all_minima() {
+        let p = toy_problem(3);
+        let r = tune(&p, &fast_opts(12));
+        for (i, tr) in r.per_task.iter().enumerate() {
+            let opt = 0.2 + 0.06 * i as f64;
+            assert!(
+                (tr.best_config[0].as_real() - opt).abs() < 0.12,
+                "task {i}: {} vs {opt}",
+                tr.best_config[0].as_real()
+            );
+        }
+    }
+
+    #[test]
+    fn beats_random_sampling_at_equal_budget() {
+        // The acquisition loop must add value over its own initial LHS.
+        let p = toy_problem(2);
+        let mut o = fast_opts(16);
+        o.n_initial = Some(8);
+        let r = tune(&p, &o);
+        let mla_best: f64 = r.per_task.iter().map(|t| t.best_value).sum();
+        // Pure random: same budget entirely random (n_initial = ε_tot).
+        let mut o2 = fast_opts(16);
+        o2.n_initial = Some(16);
+        let r2 = tune(&p, &o2);
+        let rand_best: f64 = r2.per_task.iter().map(|t| t.best_value).sum();
+        assert!(
+            mla_best <= rand_best + 1e-6,
+            "MLA {mla_best} vs random {rand_best}"
+        );
+    }
+
+    #[test]
+    fn stats_track_phases_and_evals() {
+        let p = toy_problem(2);
+        let r = tune(&p, &fast_opts(10));
+        assert_eq!(r.stats.n_evals, 2 * 10);
+        assert!(r.stats.modeling_wall.as_nanos() > 0);
+        assert!(r.stats.search_wall.as_nanos() > 0);
+        assert!(r.stats.objective_virtual_secs > 0.0);
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let p = toy_problem(1);
+        let r = tune(&p, &fast_opts(12));
+        let curve = r.per_task[0].best_so_far();
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(curve.len(), 12);
+    }
+
+    #[test]
+    fn respects_constraints_and_failures() {
+        // Infeasible region below x = 0.5; objective fails (∞) for x > 0.9.
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder()
+            .param(Param::real("x", 0.0, 1.0))
+            .constraint("x>=0.5", |c| c[0].as_real() >= 0.5)
+            .build();
+        let p = TuningProblem::new("constrained", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+            let xv = x[0].as_real();
+            if xv > 0.9 {
+                vec![f64::INFINITY]
+            } else {
+                vec![(xv - 0.6).powi(2) + 0.5]
+            }
+        });
+        let r = tune(&p, &fast_opts(12));
+        let tr = &r.per_task[0];
+        for (c, _) in &tr.samples {
+            assert!(c[0].as_real() >= 0.5, "sampled infeasible {c:?}");
+        }
+        assert!(tr.best_value.is_finite());
+        assert!((tr.best_config[0].as_real() - 0.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn no_duplicate_samples_within_task() {
+        let p = toy_problem(1);
+        let r = tune(&p, &fast_opts(16));
+        let s = &r.per_task[0].samples;
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                assert_ne!(s[i].0, s[j].0, "duplicate at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn model_features_accepted() {
+        let p = toy_problem(2).with_model(|t, x, | {
+            let opt = 0.2 + 0.06 * t[0].as_real();
+            vec![(x[0].as_real() - opt).abs()]
+        });
+        let mut o = fast_opts(10);
+        o.use_model_features = true;
+        let r = tune(&p, &o);
+        assert!(r.per_task.iter().all(|t| t.best_value.is_finite()));
+    }
+
+    #[test]
+    fn alternative_acquisitions_also_converge() {
+        let p = toy_problem(1);
+        for acq in [
+            Acquisition::LowerConfidenceBound { kappa: 2.0 },
+            Acquisition::ProbabilityOfImprovement,
+        ] {
+            let mut o = fast_opts(14);
+            o.acquisition = acq;
+            let r = tune(&p, &o);
+            let best_x = r.per_task[0].best_config[0].as_real();
+            assert!(
+                (best_x - 0.2).abs() < 0.15,
+                "{acq:?}: best_x {best_x}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternative_search_methods_also_converge() {
+        let p = toy_problem(1);
+        for method in [SearchMethod::DifferentialEvolution, SearchMethod::Cmaes] {
+            let mut o = fast_opts(14);
+            o.search_method = method;
+            let r = tune(&p, &o);
+            let best_x = r.per_task[0].best_config[0].as_real();
+            assert!(
+                (best_x - 0.2).abs() < 0.15,
+                "{method:?}: best_x {best_x}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn multiobjective_rejected() {
+        let p = toy_problem(1).with_objectives(2);
+        let _ = tune(&p, &fast_opts(8));
+    }
+}

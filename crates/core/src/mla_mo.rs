@@ -1,0 +1,339 @@
+//! Algorithm 2: multi-objective multitask MLA.
+//!
+//! Per paper Sec. 3.2: the modeling phase builds **one LCM per objective**
+//! `y^s(t, x)`, and the search phase runs NSGA-II on the vector of
+//! per-objective Expected Improvements, evaluating `k` new configurations
+//! per iteration. The result per task is the Pareto front of the
+//! *observed* samples (the black dots of Fig. 7).
+
+use crate::mla::{
+    build_inputs, evaluate_batch, initial_designs, transform_objective, Evaluations,
+};
+use crate::options::MlaOptions;
+use crate::problem::TuningProblem;
+use gptune_gp::gp::expected_improvement;
+use gptune_gp::{LcmFitOptions, LcmModel};
+use gptune_opt::nsga2::{self, pareto_front_indices};
+use gptune_runtime::{with_pool, Phase, PhaseTimer};
+use gptune_space::{sampling, Config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// One point of a task's observed Pareto front.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The configuration.
+    pub config: Config,
+    /// Its `γ` objective values.
+    pub objectives: Vec<f64>,
+}
+
+/// Multi-objective result for one task.
+#[derive(Debug, Clone)]
+pub struct MoTaskResult {
+    /// The task parameters.
+    pub task: Config,
+    /// Non-dominated subset of the evaluated samples.
+    pub pareto_front: Vec<ParetoPoint>,
+    /// All evaluated `(config, objectives)` in evaluation order.
+    pub samples: Vec<(Config, Vec<f64>)>,
+}
+
+/// Result of a multi-objective MLA run.
+#[derive(Debug, Clone)]
+pub struct MoMlaResult {
+    /// Per-task outcomes, aligned with `problem.tasks`.
+    pub per_task: Vec<MoTaskResult>,
+    /// Phase-time breakdown.
+    pub stats: gptune_runtime::PhaseStats,
+}
+
+/// Runs multi-objective multitask MLA (Algorithm 2).
+pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaResult {
+    let gamma = problem.n_objectives;
+    assert!(gamma >= 2, "use mla::tune for single-objective problems");
+    let timer = PhaseTimer::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let delta = problem.n_tasks();
+    let n_init = opts.initial_samples();
+    let k = opts.k_per_iter.max(1);
+
+    // --- Sampling phase ---
+    let mut evals = Evaluations::new();
+    let batch = initial_designs(problem, n_init, &mut rng);
+    let outputs = timer.time(Phase::Objective, || {
+        evaluate_batch(problem, batch.clone(), opts, &timer, 0)
+    });
+    evals.points = batch;
+    evals.outputs = outputs;
+
+    let mut eps = evals.points.len() / delta.max(1);
+    let mut iteration = 0usize;
+    while eps < opts.eps_total {
+        // Modeling phase: one LCM per objective (paper line 3 of Alg. 2).
+        let per_objective: Vec<_> = (0..gamma)
+            .map(|s| build_inputs(problem, &evals, s, opts))
+            .collect();
+        let models: Vec<LcmModel> = timer.time(Phase::Modeling, || {
+            with_pool(opts.model_workers, || {
+                per_objective
+                    .iter()
+                    .enumerate()
+                    .map(|(s, (inputs, y))| {
+                        let lcm_opts = LcmFitOptions {
+                            seed: opts
+                                .lcm
+                                .seed
+                                .wrapping_add(iteration as u64 * 7919)
+                                .wrapping_add(s as u64 * 65537),
+                            ..opts.lcm.clone()
+                        };
+                        LcmModel::fit(&inputs.xs, &inputs.task_of, y, delta, &lcm_opts)
+                    })
+                    .collect()
+            })
+        });
+
+        // Search phase: NSGA-II over the vector of −EI_s per task.
+        let new_points: Vec<(usize, Config)> = timer.time(Phase::Search, || {
+            let seeds: Vec<u64> = (0..delta)
+                .map(|i| {
+                    opts.seed
+                        .wrapping_add(0xabcd_ef12)
+                        .wrapping_mul(iteration as u64 + 3)
+                        .wrapping_add(i as u64 * 7561)
+                })
+                .collect();
+            with_pool(opts.search_workers, || {
+                (0..delta)
+                    .into_par_iter()
+                    .flat_map(|task_idx| {
+                        let mut trng = StdRng::seed_from_u64(seeds[task_idx]);
+                        // Per-objective incumbents (model scale).
+                        let y_best: Vec<f64> = (0..gamma)
+                            .map(|s| {
+                                evals
+                                    .points
+                                    .iter()
+                                    .zip(&evals.outputs)
+                                    .filter(|((t, _), o)| *t == task_idx && o[s].is_finite())
+                                    .map(|(_, o)| transform_objective(o[s], opts.log_objective))
+                                    .fold(f64::INFINITY, f64::min)
+                            })
+                            .collect();
+
+                        let beta = problem.beta();
+                        let mut acq = |u: &[f64]| -> Vec<f64> {
+                            let config = problem.tuning_space.denormalize(u);
+                            if !problem.tuning_space.is_valid(&config) {
+                                return vec![0.0; gamma];
+                            }
+                            (0..gamma)
+                                .map(|s| {
+                                    let (inputs, _) = &per_objective[s];
+                                    let x_model: Vec<f64> = match &inputs.enrich {
+                                        Some(e) => {
+                                            let mut v = u.to_vec();
+                                            v.extend(e.features(problem, task_idx, &config));
+                                            v
+                                        }
+                                        None => u.to_vec(),
+                                    };
+                                    let pred = models[s].predict(task_idx, &x_model);
+                                    -expected_improvement(&pred, y_best[s])
+                                })
+                                .collect()
+                        };
+
+                        // Seed NSGA-II with the observed Pareto points.
+                        let observed: Vec<Vec<f64>> = evals
+                            .points
+                            .iter()
+                            .zip(&evals.outputs)
+                            .filter(|((t, _), _)| *t == task_idx)
+                            .map(|((_, c), _)| problem.tuning_space.normalize(c))
+                            .collect();
+
+                        let front =
+                            nsga2::minimize(&mut acq, beta, gamma, &observed, &opts.nsga, &mut trng);
+
+                        // Pick up to k distinct, feasible, non-duplicate
+                        // configurations from the front.
+                        let mut picked: Vec<(usize, Config)> = Vec::new();
+                        for sol in front {
+                            if picked.len() >= k {
+                                break;
+                            }
+                            let cfg = problem.tuning_space.denormalize(&sol.x);
+                            if problem.tuning_space.is_valid(&cfg)
+                                && !evals.contains(task_idx, &cfg)
+                                && !picked.iter().any(|(_, c)| c == &cfg)
+                            {
+                                picked.push((task_idx, cfg));
+                            }
+                        }
+                        // Top up with random feasible samples if the front
+                        // was too small or collapsed onto known points.
+                        while picked.len() < k {
+                            let fresh =
+                                sampling::sample_space(&problem.tuning_space, 1, &mut trng, 300);
+                            match fresh.into_iter().next() {
+                                Some(c)
+                                    if !evals.contains(task_idx, &c)
+                                        && !picked.iter().any(|(_, pc)| pc == &c) =>
+                                {
+                                    picked.push((task_idx, c));
+                                }
+                                Some(_) => continue,
+                                None => break,
+                            }
+                        }
+                        picked
+                    })
+                    .collect()
+            })
+        });
+
+        let offset = evals.points.len();
+        let outputs = timer.time(Phase::Objective, || {
+            evaluate_batch(problem, new_points.clone(), opts, &timer, offset)
+        });
+        evals.points.extend(new_points);
+        evals.outputs.extend(outputs);
+        eps += k;
+        iteration += 1;
+    }
+
+    // --- Finalize: observed Pareto front per task ---
+    let per_task = (0..delta)
+        .map(|task_idx| {
+            let samples: Vec<(Config, Vec<f64>)> = evals
+                .points
+                .iter()
+                .zip(&evals.outputs)
+                .filter(|((t, _), _)| *t == task_idx)
+                .map(|((_, c), o)| (c.clone(), o.clone()))
+                .collect();
+            let finite: Vec<usize> = (0..samples.len())
+                .filter(|&i| samples[i].1.iter().all(|v| v.is_finite()))
+                .collect();
+            let objs: Vec<Vec<f64>> = finite.iter().map(|&i| samples[i].1.clone()).collect();
+            let front_idx = pareto_front_indices(&objs);
+            let pareto_front = front_idx
+                .into_iter()
+                .map(|fi| {
+                    let i = finite[fi];
+                    ParetoPoint {
+                        config: samples[i].0.clone(),
+                        objectives: samples[i].1.clone(),
+                    }
+                })
+                .collect();
+            MoTaskResult {
+                task: problem.tasks[task_idx].clone(),
+                pareto_front,
+                samples,
+            }
+        })
+        .collect();
+
+    MoMlaResult {
+        per_task,
+        stats: timer.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_opt::nsga2::dominates;
+    use gptune_space::{Param, Space, Value};
+
+    /// Bi-objective toy: f1 = (x−0.2)², f2 = (x−0.8)² — the Pareto set is
+    /// the whole segment x ∈ [0.2, 0.8].
+    fn toy_mo(delta: usize) -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 4.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let tasks: Vec<Config> = (0..delta).map(|i| vec![Value::Real(i as f64)]).collect();
+        TuningProblem::new("toy-mo", ts, ps, tasks, |t, x, _| {
+            let shift = 0.02 * t[0].as_real();
+            let xv = x[0].as_real();
+            vec![
+                1.0 + (xv - 0.2 - shift).powi(2),
+                1.0 + (xv - 0.8 - shift).powi(2),
+            ]
+        })
+        .with_objectives(2)
+    }
+
+    fn fast_opts(budget: usize) -> MlaOptions {
+        let mut o = MlaOptions::default().with_budget(budget).with_seed(5);
+        o.lcm.n_starts = 2;
+        o.lcm.lbfgs.max_iters = 25;
+        o.nsga.population = 24;
+        o.nsga.generations = 15;
+        o.k_per_iter = 3;
+        o.log_objective = false;
+        o
+    }
+
+    #[test]
+    fn produces_nonempty_mutually_nondominated_front() {
+        let p = toy_mo(1);
+        let r = tune_multiobjective(&p, &fast_opts(20));
+        let front = &r.per_task[0].pareto_front;
+        assert!(front.len() >= 3, "front size {}", front.len());
+        for a in front {
+            for b in front {
+                if !std::ptr::eq(a, b) {
+                    assert!(!dominates(&a.objectives, &b.objectives));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn front_spans_the_tradeoff() {
+        let p = toy_mo(1);
+        let r = tune_multiobjective(&p, &fast_opts(24));
+        let front = &r.per_task[0].pareto_front;
+        let xs: Vec<f64> = front.iter().map(|p| p.config[0].as_real()).collect();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Should cover a good chunk of the [0.2, 0.8] Pareto segment.
+        assert!(lo < 0.4, "lo {lo}");
+        assert!(hi > 0.6, "hi {hi}");
+    }
+
+    #[test]
+    fn multitask_fronts_for_every_task() {
+        let p = toy_mo(3);
+        let r = tune_multiobjective(&p, &fast_opts(14));
+        assert_eq!(r.per_task.len(), 3);
+        for tr in &r.per_task {
+            assert!(!tr.pareto_front.is_empty());
+            assert!(tr.samples.len() >= 14);
+        }
+    }
+
+    #[test]
+    fn budget_accounting_with_k() {
+        let p = toy_mo(1);
+        let mut o = fast_opts(16);
+        o.n_initial = Some(8);
+        o.k_per_iter = 4;
+        let r = tune_multiobjective(&p, &o);
+        // 8 initial + 2 iterations × 4 = 16.
+        assert_eq!(r.per_task[0].samples.len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_objective_rejected() {
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let p = TuningProblem::new("so", ts, ps, vec![vec![Value::Real(0.0)]], |_, _, _| vec![1.0]);
+        let _ = tune_multiobjective(&p, &fast_opts(8));
+    }
+}

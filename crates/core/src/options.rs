@@ -1,0 +1,165 @@
+//! MLA configuration.
+
+use gptune_gp::LcmFitOptions;
+
+use gptune_opt::nsga2::Nsga2Options;
+use gptune_opt::pso::PsoOptions;
+
+/// Global optimizer used to maximize the acquisition function in the
+/// search phase. The paper uses PSO ("global, evolutionary algorithms
+/// such as the Particle Swarm Optimization algorithm"); DE and CMA-ES are
+/// drop-in alternatives for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMethod {
+    /// Particle swarm optimization (the paper's choice).
+    Pso,
+    /// Differential evolution.
+    DifferentialEvolution,
+    /// CMA-ES.
+    Cmaes,
+}
+
+/// Acquisition function for the single-objective search phase. The paper
+/// uses Expected Improvement (Sec. 3.1); the alternatives support
+/// ablation studies of this design choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Expected Improvement (the paper's choice).
+    ExpectedImprovement,
+    /// Lower Confidence Bound with exploration weight `κ`.
+    LowerConfidenceBound {
+        /// Exploration weight (typical values 1–3).
+        kappa: f64,
+    },
+    /// Probability of Improvement.
+    ProbabilityOfImprovement,
+}
+
+/// Options controlling the MLA tuners (Algorithms 1 & 2).
+#[derive(Debug, Clone)]
+pub struct MlaOptions {
+    /// Total function evaluations per task `ε_tot`.
+    pub eps_total: usize,
+    /// Initial random sample count per task; defaults to `ε_tot / 2`
+    /// (paper Sec. 3.1) when `None`.
+    pub n_initial: Option<usize>,
+    /// LCM fitting configuration (latent count `Q`, multi-start count
+    /// `n_start`, inner L-BFGS budget, base seed).
+    pub lcm: LcmFitOptions,
+    /// Acquisition function maximized in the search phase.
+    pub acquisition: Acquisition,
+    /// Global optimizer for the acquisition search.
+    pub search_method: SearchMethod,
+    /// PSO configuration for the single-objective acquisition search.
+    pub pso: PsoOptions,
+    /// NSGA-II configuration for the multi-objective search.
+    pub nsga: Nsga2Options,
+    /// Points evaluated per multi-objective iteration (`k` in Algorithm 2).
+    pub k_per_iter: usize,
+    /// Repeated runs per evaluation with the elementwise minimum kept
+    /// (the paper uses 3 for PDGEQRF/PDSYEVX).
+    pub runs_per_eval: usize,
+    /// Model `log(y)` instead of `y` — appropriate for runtimes, which are
+    /// positive and often span decades.
+    pub log_objective: bool,
+    /// Use the problem's coarse performance model as extra LCM features
+    /// (paper Sec. 3.3), when the problem provides one.
+    pub use_model_features: bool,
+    /// Fit linear coefficients of the performance-model features against
+    /// observed outputs before each modeling phase and enrich with the
+    /// fitted scalar prediction (the Eq. 7 hyperparameter update) instead
+    /// of the raw features.
+    pub fit_model_coefficients: bool,
+    /// Worker threads for parallel objective evaluation (the spawned
+    /// "function evaluation" group of Sec. 4.2).
+    pub eval_workers: usize,
+    /// Worker threads for the modeling phase (L-BFGS restarts + parallel
+    /// covariance factorization; Sec. 4.3).
+    pub model_workers: usize,
+    /// Worker threads for the per-task search phase (Sec. 4.3).
+    pub search_workers: usize,
+    /// Base RNG seed for sampling/search/noise.
+    pub seed: u64,
+}
+
+impl Default for MlaOptions {
+    fn default() -> Self {
+        MlaOptions {
+            eps_total: 20,
+            n_initial: None,
+            lcm: LcmFitOptions::default(),
+            acquisition: Acquisition::ExpectedImprovement,
+            search_method: SearchMethod::Pso,
+            pso: PsoOptions {
+                particles: 30,
+                iters: 30,
+                ..Default::default()
+            },
+            nsga: Nsga2Options {
+                population: 40,
+                generations: 40,
+                ..Default::default()
+            },
+            k_per_iter: 4,
+            runs_per_eval: 1,
+            log_objective: true,
+            use_model_features: false,
+            fit_model_coefficients: false,
+            eval_workers: 4,
+            model_workers: 1,
+            search_workers: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl MlaOptions {
+    /// Resolved initial sample count (`ε_tot / 2`, at least 2).
+    pub fn initial_samples(&self) -> usize {
+        self.n_initial.unwrap_or(self.eps_total / 2).clamp(2, self.eps_total.max(2))
+    }
+
+    /// Convenience: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.lcm.seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(17);
+        self
+    }
+
+    /// Convenience: sets the evaluation budget.
+    pub fn with_budget(mut self, eps_total: usize) -> Self {
+        self.eps_total = eps_total;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_defaults_to_half_budget() {
+        let o = MlaOptions::default().with_budget(40);
+        assert_eq!(o.initial_samples(), 20);
+    }
+
+    #[test]
+    fn initial_floor_of_two() {
+        let o = MlaOptions::default().with_budget(3);
+        assert_eq!(o.initial_samples(), 2);
+    }
+
+    #[test]
+    fn explicit_initial_respected() {
+        let mut o = MlaOptions::default().with_budget(20);
+        o.n_initial = Some(15);
+        assert_eq!(o.initial_samples(), 15);
+    }
+
+    #[test]
+    fn with_seed_propagates_to_lcm() {
+        let a = MlaOptions::default().with_seed(1);
+        let b = MlaOptions::default().with_seed(2);
+        assert_ne!(a.lcm.seed, b.lcm.seed);
+    }
+}

@@ -1,0 +1,220 @@
+//! Coarse-performance-model incorporation (paper Sec. 3.3).
+//!
+//! Two mechanisms, composable with the MLA loop:
+//!
+//! 1. **Feature enrichment** — the model outputs `ỹ(t, x)` become extra
+//!    LCM input dimensions: points `[x, ỹ(t,x)]` live in an enriched space
+//!    of dimension `β + γ̃`. Feature columns are rescaled to the unit
+//!    interval (signed-log first, since flop/byte counts span decades) so
+//!    the ARD kernel sees comparable coordinates.
+//! 2. **Hyperparameter update** — when the model is linear in unknown
+//!    machine coefficients (Eq. 7: `ỹ = C_flop·t_flop + C_msg·t_msg +
+//!    C_vol·t_vol`), the coefficients are re-fit to the observed samples by
+//!    non-negative least squares before each modeling phase, and the fitted
+//!    scalar prediction is used as a single enriched feature. The paper
+//!    notes a bad coefficient estimate is worse than no model — fitting
+//!    on-the-fly is the cure.
+
+use gptune_la::{qr, Matrix};
+
+/// Rescaler for one feature column: signed-log then min–max to `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct FeatureScaler {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl FeatureScaler {
+    /// Fits the scaler on observed feature rows (needs ≥ 1 row).
+    pub fn fit(rows: &[Vec<f64>]) -> FeatureScaler {
+        assert!(!rows.is_empty(), "FeatureScaler::fit: no rows");
+        let dim = rows[0].len();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for r in rows {
+            assert_eq!(r.len(), dim, "FeatureScaler::fit: ragged rows");
+            for (d, &v) in r.iter().enumerate() {
+                let t = signed_log(v);
+                if t.is_finite() {
+                    lo[d] = lo[d].min(t);
+                    hi[d] = hi[d].max(t);
+                }
+            }
+        }
+        // Degenerate columns map to 0.5.
+        for d in 0..dim {
+            if !lo[d].is_finite() || !hi[d].is_finite() {
+                lo[d] = 0.0;
+                hi[d] = 0.0;
+            }
+        }
+        FeatureScaler { lo, hi }
+    }
+
+    /// Feature dimension `γ̃`.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Transforms one feature row to unit coordinates (clamped — new
+    /// acquisition points may fall outside the observed range).
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim());
+        row.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let span = self.hi[d] - self.lo[d];
+                if span <= 0.0 {
+                    0.5
+                } else {
+                    ((signed_log(v) - self.lo[d]) / span).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+}
+
+/// `sign(v) · ln(1 + |v|)` — order-preserving compression for quantities
+/// spanning many decades (flop counts vs message counts).
+pub fn signed_log(v: f64) -> f64 {
+    if v.is_nan() {
+        return f64::NAN;
+    }
+    v.signum() * v.abs().ln_1p()
+}
+
+/// The Eq. 7 performance model with unknown non-negative machine
+/// coefficients, re-fit on the fly.
+#[derive(Debug, Clone)]
+pub struct LinearPerfModel {
+    /// Fitted coefficients (`t_flop, t_msg, t_vol, …`), one per feature.
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearPerfModel {
+    /// Fits coefficients by non-negative least squares of `y` (or `log` —
+    /// the caller passes whichever scale it models) against the feature
+    /// columns. Returns `None` when the fit is impossible (too few
+    /// samples, rank-deficient features).
+    pub fn fit(features: &[Vec<f64>], y: &[f64]) -> Option<LinearPerfModel> {
+        let n = features.len();
+        if n == 0 || n != y.len() {
+            return None;
+        }
+        let dim = features[0].len();
+        if dim == 0 || n < dim {
+            return None;
+        }
+        // Only finite rows participate.
+        let rows: Vec<usize> = (0..n)
+            .filter(|&i| y[i].is_finite() && features[i].iter().all(|v| v.is_finite()))
+            .collect();
+        if rows.len() < dim {
+            return None;
+        }
+        let a = Matrix::from_fn(rows.len(), dim, |i, j| features[rows[i]][j]);
+        let b: Vec<f64> = rows.iter().map(|&i| y[i]).collect();
+        let coefficients = qr::lstsq_nonneg(&a, &b).ok()?;
+        if coefficients.iter().all(|&c| c == 0.0) {
+            return None;
+        }
+        Some(LinearPerfModel { coefficients })
+    }
+
+    /// Predicted output `ŷ = Σ_j coef_j · feature_j`.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.coefficients.len());
+        features
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(f, c)| f * c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_log_monotone_and_symmetric() {
+        assert!(signed_log(10.0) > signed_log(1.0));
+        assert!(signed_log(1.0) > signed_log(0.0));
+        assert_eq!(signed_log(0.0), 0.0);
+        assert_eq!(signed_log(-5.0), -signed_log(5.0));
+    }
+
+    #[test]
+    fn scaler_roundtrip_bounds() {
+        let rows = vec![vec![1.0, 1e12], vec![100.0, 1e6], vec![10.0, 1e9]];
+        let s = FeatureScaler::fit(&rows);
+        for r in &rows {
+            let t = s.transform(r);
+            assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // Extremes map to 0 and 1.
+        assert_eq!(s.transform(&[1.0, 1e6]), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[100.0, 1e12]), vec![1.0, 1.0]);
+        // Out-of-range clamps.
+        assert_eq!(s.transform(&[1e9, 1.0]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn scaler_degenerate_column() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let s = FeatureScaler::fit(&rows);
+        assert_eq!(s.transform(&[7.0]), vec![0.5]);
+        assert_eq!(s.transform(&[123.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn scaler_ignores_nan_rows_in_range() {
+        let rows = vec![vec![f64::NAN], vec![1.0], vec![3.0]];
+        let s = FeatureScaler::fit(&rows);
+        let t = s.transform(&[2.0]);
+        assert!(t[0] > 0.0 && t[0] < 1.0);
+    }
+
+    #[test]
+    fn linear_model_recovers_coefficients() {
+        // y = 2·f0 + 0.5·f1, exactly.
+        let features: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![(i + 1) as f64, ((i * 3) % 7) as f64])
+            .collect();
+        let y: Vec<f64> = features.iter().map(|f| 2.0 * f[0] + 0.5 * f[1]).collect();
+        let m = LinearPerfModel::fit(&features, &y).unwrap();
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((m.coefficients[1] - 0.5).abs() < 1e-9);
+        assert!((m.predict(&[4.0, 2.0]) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_model_clamps_negative_physics() {
+        // A feature anti-correlated with runtime must not get a negative
+        // machine coefficient.
+        let features = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 4.0],
+            vec![3.0, 3.0],
+            vec![4.0, 2.0],
+            vec![5.0, 1.0],
+        ];
+        let y = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let m = LinearPerfModel::fit(&features, &y).unwrap();
+        assert!(m.coefficients.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn linear_model_insufficient_data() {
+        assert!(LinearPerfModel::fit(&[vec![1.0, 2.0]], &[1.0]).is_none());
+        assert!(LinearPerfModel::fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn linear_model_skips_nonfinite_samples() {
+        let features = vec![vec![1.0], vec![2.0], vec![3.0], vec![f64::NAN]];
+        let y = vec![2.0, 4.0, 6.0, 100.0];
+        let m = LinearPerfModel::fit(&features, &y).unwrap();
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-9);
+    }
+}

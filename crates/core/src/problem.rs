@@ -1,0 +1,177 @@
+//! The tuning-problem abstraction (paper Sec. 2).
+
+use gptune_space::{Config, Space, Value};
+use std::sync::Arc;
+
+/// Type of the black-box objective: `(task, config, seed) → γ outputs`.
+pub type ObjectiveFn = Arc<dyn Fn(&[Value], &[Value], u64) -> Vec<f64> + Send + Sync>;
+
+/// Type of the optional coarse performance model: `(task, config) → ỹ(t,x)`
+/// feature vector of dimension `γ̃` (paper Sec. 3.3).
+pub type ModelFn = Arc<dyn Fn(&[Value], &[Value]) -> Vec<f64> + Send + Sync>;
+
+/// A complete tuning problem: the spaces `IS`/`PS`/`OS`, the selected tasks
+/// `T ∈ IS^δ`, the objective, and the optional performance model `MS`.
+#[derive(Clone)]
+pub struct TuningProblem {
+    /// Problem name (used in logs and the history DB).
+    pub name: String,
+    /// Task parameter space `IS`.
+    pub task_space: Space,
+    /// Tuning parameter space `PS` (with constraints).
+    pub tuning_space: Space,
+    /// The `δ` tasks under consideration.
+    pub tasks: Vec<Config>,
+    /// Output-space dimension `γ`.
+    pub n_objectives: usize,
+    /// Black-box objective.
+    pub objective: ObjectiveFn,
+    /// Optional coarse performance model (`γ̃`-dimensional features).
+    pub model: Option<ModelFn>,
+}
+
+impl TuningProblem {
+    /// Builds a single-objective problem from closures.
+    pub fn new(
+        name: impl Into<String>,
+        task_space: Space,
+        tuning_space: Space,
+        tasks: Vec<Config>,
+        objective: impl Fn(&[Value], &[Value], u64) -> Vec<f64> + Send + Sync + 'static,
+    ) -> TuningProblem {
+        let tasks_ok = tasks.iter().all(|t| t.len() == task_space.dim());
+        assert!(tasks_ok, "TuningProblem: task arity mismatch");
+        assert!(!tasks.is_empty(), "TuningProblem: need at least one task");
+        TuningProblem {
+            name: name.into(),
+            task_space,
+            tuning_space,
+            tasks,
+            n_objectives: 1,
+            objective: Arc::new(objective),
+            model: None,
+        }
+    }
+
+    /// Sets the number of objectives `γ`.
+    pub fn with_objectives(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.n_objectives = n;
+        self
+    }
+
+    /// Attaches a coarse performance model.
+    pub fn with_model(
+        mut self,
+        model: impl Fn(&[Value], &[Value]) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.model = Some(Arc::new(model));
+        self
+    }
+
+    /// Number of tasks `δ`.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Tuning-space dimension `β`.
+    pub fn beta(&self) -> usize {
+        self.tuning_space.dim()
+    }
+
+    /// Evaluates the objective for task index `i`.
+    pub fn evaluate(&self, task_idx: usize, config: &[Value], seed: u64) -> Vec<f64> {
+        let out = (self.objective)(&self.tasks[task_idx], config, seed);
+        assert_eq!(
+            out.len(),
+            self.n_objectives,
+            "objective returned {} values, expected {}",
+            out.len(),
+            self.n_objectives
+        );
+        out
+    }
+
+    /// Evaluates the performance model for task index `i`, if present.
+    pub fn model_features(&self, task_idx: usize, config: &[Value]) -> Option<Vec<f64>> {
+        self.model
+            .as_ref()
+            .map(|m| m(&self.tasks[task_idx], config))
+    }
+
+    /// Normalized coordinates of a task (used when the surrogate needs task
+    /// features; MLA itself indexes tasks discretely).
+    pub fn normalize_task(&self, task_idx: usize) -> Vec<f64> {
+        self.task_space.normalize(&self.tasks[task_idx])
+    }
+}
+
+impl std::fmt::Debug for TuningProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuningProblem")
+            .field("name", &self.name)
+            .field("n_tasks", &self.n_tasks())
+            .field("beta", &self.beta())
+            .field("n_objectives", &self.n_objectives)
+            .field("has_model", &self.model.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::Param;
+
+    fn toy() -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        TuningProblem::new(
+            "toy",
+            ts,
+            ps,
+            vec![vec![Value::Real(0.0)], vec![Value::Real(1.0)]],
+            |t, x, _| vec![(t[0].as_real() - x[0].as_real()).abs()],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let p = toy();
+        assert_eq!(p.n_tasks(), 2);
+        assert_eq!(p.beta(), 1);
+        assert_eq!(p.n_objectives, 1);
+        assert!(p.model.is_none());
+    }
+
+    #[test]
+    fn evaluate_routes_task() {
+        let p = toy();
+        let y0 = p.evaluate(0, &[Value::Real(0.25)], 0);
+        let y1 = p.evaluate(1, &[Value::Real(0.25)], 0);
+        assert!((y0[0] - 0.25).abs() < 1e-15);
+        assert!((y1[0] - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn with_model_attaches_features() {
+        let p = toy().with_model(|_, x, | vec![x[0].as_real() * 2.0]);
+        let f = p.model_features(0, &[Value::Real(0.3)]).unwrap();
+        assert!((f[0] - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_objective_arity_panics() {
+        let p = toy().with_objectives(2);
+        let _ = p.evaluate(0, &[Value::Real(0.5)], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn task_arity_mismatch_panics() {
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let _ = TuningProblem::new("bad", ts, ps, vec![vec![]], |_, _, _| vec![0.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! GPTune-style runlog formatting.
+//!
+//! The reference implementation prints, per task, the optimal tuning
+//! parameters after `Popt`, the optimal objective values after `Oopt`, and
+//! the tuner time breakdown after `stats:` (paper Appendix A.4: "The
+//! optimal tuning parameters and objective function values are printed
+//! after 'Popt' and 'Oopt' for each task. The tuner time breakdown is
+//! printed after 'stats:'."). This module renders our results in the same
+//! shape so run outputs are comparable side by side with GPTune's.
+
+use crate::mla::MlaResult;
+use crate::mla_mo::MoMlaResult;
+use crate::problem::TuningProblem;
+use std::fmt::Write as _;
+
+/// Renders a single-objective MLA result as a GPTune-style runlog.
+pub fn format_mla(problem: &TuningProblem, result: &MlaResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "tuner: GPTune-rs MLA  problem: {}", problem.name);
+    for (i, tr) in result.per_task.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "tid: {i}    t: {}",
+            problem.task_space.format_config(&tr.task)
+        );
+        let _ = writeln!(
+            out,
+            "    Popt: {}",
+            problem.tuning_space.format_config(&tr.best_config)
+        );
+        let _ = writeln!(out, "    Oopt: {:.6}", tr.best_value);
+        let _ = writeln!(out, "    nth : {}", best_sample_index(tr) + 1);
+    }
+    let _ = writeln!(out, "{}", result.stats.report());
+    out
+}
+
+/// Renders a multi-objective MLA result (one `Popt`/`Oopt` pair per Pareto
+/// point, matching GPTune's multi-objective runlogs).
+pub fn format_mla_mo(problem: &TuningProblem, result: &MoMlaResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tuner: GPTune-rs MLA (multi-objective)  problem: {}",
+        problem.name
+    );
+    for (i, tr) in result.per_task.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "tid: {i}    t: {}    |Pareto| = {}",
+            problem.task_space.format_config(&tr.task),
+            tr.pareto_front.len()
+        );
+        for p in &tr.pareto_front {
+            let objs: Vec<String> = p.objectives.iter().map(|v| format!("{v:.6}")).collect();
+            let _ = writeln!(
+                out,
+                "    Popt: {}    Oopt: [{}]",
+                problem.tuning_space.format_config(&p.config),
+                objs.join(", ")
+            );
+        }
+    }
+    let _ = writeln!(out, "{}", result.stats.report());
+    out
+}
+
+/// Index (0-based) of the evaluation that achieved the best value —
+/// useful for anytime-performance inspection.
+fn best_sample_index(tr: &crate::mla::TaskResult) -> usize {
+    let mut best = f64::INFINITY;
+    let mut idx = 0;
+    for (k, (_, y)) in tr.samples.iter().enumerate() {
+        if *y < best {
+            best = *y;
+            idx = k;
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mla;
+    use crate::mla_mo;
+    use crate::options::MlaOptions;
+    use gptune_space::{Param, Space, Value};
+
+    fn fast_opts(budget: usize) -> MlaOptions {
+        let mut o = MlaOptions::default().with_budget(budget).with_seed(1);
+        o.lcm.n_starts = 1;
+        o.lcm.lbfgs.max_iters = 10;
+        o.log_objective = false;
+        o
+    }
+
+    fn toy() -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        TuningProblem::new(
+            "toy",
+            ts,
+            ps,
+            vec![vec![Value::Real(0.5)]],
+            |_, x, _| vec![1.0 + (x[0].as_real() - 0.4).powi(2)],
+        )
+    }
+
+    #[test]
+    fn mla_runlog_has_popt_oopt_stats() {
+        let p = toy();
+        let r = mla::tune(&p, &fast_opts(6));
+        let log = format_mla(&p, &r);
+        assert!(log.contains("Popt:"), "{log}");
+        assert!(log.contains("Oopt:"), "{log}");
+        assert!(log.contains("stats:"), "{log}");
+        assert!(log.contains("tid: 0"), "{log}");
+    }
+
+    #[test]
+    fn mo_runlog_prints_every_front_point() {
+        let p = {
+            let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+            let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+            TuningProblem::new("mo", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+                let v = x[0].as_real();
+                vec![1.0 + (v - 0.2).powi(2), 1.0 + (v - 0.8).powi(2)]
+            })
+            .with_objectives(2)
+        };
+        let mut o = fast_opts(10);
+        o.k_per_iter = 2;
+        let r = mla_mo::tune_multiobjective(&p, &o);
+        let log = format_mla_mo(&p, &r);
+        let popt_count = log.matches("Popt:").count();
+        assert_eq!(popt_count, r.per_task[0].pareto_front.len());
+        assert!(log.contains("|Pareto| ="));
+    }
+
+    #[test]
+    fn best_sample_index_found() {
+        let p = toy();
+        let r = mla::tune(&p, &fast_opts(8));
+        let idx = best_sample_index(&r.per_task[0]);
+        assert_eq!(r.per_task[0].samples[idx].1, r.per_task[0].best_value);
+    }
+}

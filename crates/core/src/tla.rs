@@ -1,0 +1,305 @@
+//! Transfer Learning Autotuning (TLA).
+//!
+//! The paper's goal 3 is to "support archiving and reusing tuning data from
+//! multiple executions to allow tuning to improve over time"; the GPTune
+//! Users Guide develops this into *TLA*: tuning a **new** task by reusing
+//! archived samples of previously tuned tasks. Two mechanisms:
+//!
+//! * [`predict_transfer_config`] (TLA-1): zero new evaluations — predict a
+//!   good configuration for the target task by inverse-distance-weighted
+//!   regression of the source tasks' optima over the normalized task space;
+//! * [`transfer_tune`] (TLA-2): run the MLA loop for the target task only,
+//!   with the archived source samples folded into the joint LCM, so the
+//!   multitask surrogate transfers the sources' structure to the target
+//!   from the very first iteration.
+
+use crate::history::History;
+use crate::mla::{
+    build_inputs, evaluate_batch, search_task, transform_objective, Evaluations, TaskResult,
+};
+use crate::options::MlaOptions;
+use crate::problem::TuningProblem;
+use gptune_gp::{LcmFitOptions, LcmModel};
+use gptune_runtime::{with_pool, Phase, PhaseTimer};
+use gptune_space::{sampling, Config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// TLA-1: predicts a configuration for `target_idx` from the best archived
+/// configuration of every *other* task, weighted by inverse squared
+/// distance in the normalized task space. Returns `None` when no source
+/// task has a finite best.
+pub fn predict_transfer_config(
+    problem: &TuningProblem,
+    history: &History,
+    target_idx: usize,
+) -> Option<Config> {
+    let target_u = problem.normalize_task(target_idx);
+    let mut weights: Vec<f64> = Vec::new();
+    let mut configs: Vec<Vec<f64>> = Vec::new();
+    for (i, task) in problem.tasks.iter().enumerate() {
+        if i == target_idx {
+            continue;
+        }
+        let Some(best) = history.best_for_task(task) else {
+            continue;
+        };
+        let u = problem.task_space.normalize(task);
+        let d2: f64 = u
+            .iter()
+            .zip(&target_u)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        weights.push(1.0 / (d2 + 1e-6));
+        configs.push(problem.tuning_space.normalize(&best.config));
+    }
+    if configs.is_empty() {
+        return None;
+    }
+    let total: f64 = weights.iter().sum();
+    let beta = problem.beta();
+    let mut blended = vec![0.0; beta];
+    for (w, c) in weights.iter().zip(&configs) {
+        for d in 0..beta {
+            blended[d] += w / total * c[d];
+        }
+    }
+    let cfg = problem.tuning_space.denormalize(&blended);
+    if problem.tuning_space.is_valid(&cfg) {
+        Some(cfg)
+    } else {
+        // Fall back to the nearest source's best configuration verbatim.
+        let nearest = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?
+            .0;
+        let cfg = problem.tuning_space.denormalize(&configs[nearest]);
+        problem.tuning_space.is_valid(&cfg).then_some(cfg)
+    }
+}
+
+/// TLA-2: tunes only `target_idx`, with every matching archived record of
+/// `history` preloaded into the joint LCM. The `opts.eps_total` budget
+/// counts *fresh* evaluations of the target task; archived data is free.
+///
+/// Returns the target's [`TaskResult`] (samples are the fresh evaluations)
+/// plus the phase statistics of the run.
+pub fn transfer_tune(
+    problem: &TuningProblem,
+    history: &History,
+    target_idx: usize,
+    opts: &MlaOptions,
+) -> (TaskResult, gptune_runtime::PhaseStats) {
+    assert_eq!(problem.n_objectives, 1, "TLA is single-objective");
+    assert!(target_idx < problem.n_tasks());
+    let timer = PhaseTimer::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x7177_11aa);
+    let delta = problem.n_tasks();
+
+    // Preload archived records whose task exactly matches a problem task.
+    let mut evals = Evaluations::new();
+    for record in &history.records {
+        if let Some(idx) = problem.tasks.iter().position(|t| t == &record.task) {
+            if problem.tuning_space.is_valid(&record.config) && !evals.contains(idx, &record.config)
+            {
+                evals.points.push((idx, record.config.clone()));
+                evals.outputs.push(record.outputs.clone());
+            }
+        }
+    }
+
+    // Initial fresh samples on the target: the TLA-1 prediction first, then
+    // an LHS design.
+    let n_init = opts.initial_samples().min(opts.eps_total);
+    let mut batch: Vec<(usize, Config)> = Vec::new();
+    if let Some(cfg) = predict_transfer_config(problem, history, target_idx) {
+        if !evals.contains(target_idx, &cfg) {
+            batch.push((target_idx, cfg));
+        }
+    }
+    for cfg in sampling::sample_space(&problem.tuning_space, n_init, &mut rng, 200) {
+        if batch.len() >= n_init {
+            break;
+        }
+        if !evals.contains(target_idx, &cfg) && !batch.iter().any(|(_, c)| c == &cfg) {
+            batch.push((target_idx, cfg));
+        }
+    }
+    let outputs = timer.time(Phase::Objective, || {
+        evaluate_batch(problem, batch.clone(), opts, &timer, 0)
+    });
+    let mut fresh: Vec<(Config, f64)> = batch
+        .iter()
+        .zip(&outputs)
+        .map(|((_, c), o)| (c.clone(), o[0]))
+        .collect();
+    evals.points.extend(batch);
+    evals.outputs.extend(outputs);
+
+    // MLA iterations on the target only.
+    let mut iteration = 0usize;
+    while fresh.len() < opts.eps_total {
+        let (inputs, y) = build_inputs(problem, &evals, 0, opts);
+        let lcm_opts = LcmFitOptions {
+            seed: opts.lcm.seed.wrapping_add(iteration as u64 * 104_729),
+            ..opts.lcm.clone()
+        };
+        let model = timer.time(Phase::Modeling, || {
+            with_pool(opts.model_workers, || {
+                LcmModel::fit(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
+            })
+        });
+
+        let y_best_model = evals
+            .points
+            .iter()
+            .zip(&evals.outputs)
+            .filter(|((t, _), o)| *t == target_idx && o[0].is_finite())
+            .map(|(_, o)| transform_objective(o[0], opts.log_objective))
+            .fold(f64::INFINITY, f64::min);
+
+        let cfg = timer.time(Phase::Search, || {
+            search_task(
+                problem,
+                &model,
+                &inputs,
+                &evals,
+                target_idx,
+                y_best_model,
+                opts,
+                &mut rng,
+            )
+        });
+        let offset = evals.points.len();
+        let out = timer.time(Phase::Objective, || {
+            evaluate_batch(problem, vec![(target_idx, cfg.clone())], opts, &timer, offset)
+        });
+        fresh.push((cfg.clone(), out[0][0]));
+        evals.points.push((target_idx, cfg));
+        evals.outputs.push(out.into_iter().next().unwrap());
+        iteration += 1;
+    }
+
+    let (best_config, best_value) = fresh
+        .iter()
+        .filter(|(_, y)| y.is_finite())
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(c, y)| (c.clone(), *y))
+        .unwrap_or_else(|| (fresh[0].0.clone(), f64::INFINITY));
+
+    (
+        TaskResult {
+            task: problem.tasks[target_idx].clone(),
+            best_config,
+            best_value,
+            samples: fresh,
+        },
+        timer.snapshot(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Space, Value};
+
+    /// Family with optimum drifting linearly in t: x* = 0.2 + 0.05 t.
+    fn family(delta: usize) -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 10.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let tasks: Vec<Config> = (0..delta).map(|i| vec![Value::Real(i as f64)]).collect();
+        TuningProblem::new("family", ts, ps, tasks, |t, x, _| {
+            vec![1.0 + (x[0].as_real() - 0.2 - 0.05 * t[0].as_real()).powi(2)]
+        })
+    }
+
+    fn seeded_history(problem: &TuningProblem, skip: usize) -> History {
+        // Archive near-optimal samples for every task except `skip`.
+        let mut h = History::new(&problem.name);
+        for (i, task) in problem.tasks.iter().enumerate() {
+            if i == skip {
+                continue;
+            }
+            let t = task[0].as_real();
+            for dx in [-0.05, 0.0, 0.08, 0.3] {
+                let x = (0.2 + 0.05 * t + dx).clamp(0.0, 1.0);
+                let y = problem.evaluate(i, &[Value::Real(x)], 0)[0];
+                h.push(task.clone(), vec![Value::Real(x)], vec![y]);
+            }
+        }
+        h
+    }
+
+    fn fast_opts(budget: usize) -> MlaOptions {
+        let mut o = MlaOptions::default().with_budget(budget).with_seed(3);
+        o.lcm.n_starts = 2;
+        o.lcm.lbfgs.max_iters = 20;
+        o.pso.particles = 20;
+        o.pso.iters = 15;
+        o.log_objective = false;
+        o
+    }
+
+    #[test]
+    fn tla1_interpolates_source_optima() {
+        let p = family(5);
+        let h = seeded_history(&p, 2);
+        let cfg = predict_transfer_config(&p, &h, 2).unwrap();
+        // Target t=2 → optimum x*=0.30; blended prediction should be close.
+        let x = cfg[0].as_real();
+        assert!((x - 0.30).abs() < 0.08, "predicted {x}");
+    }
+
+    #[test]
+    fn tla1_none_without_sources() {
+        let p = family(3);
+        let h = History::new("family");
+        assert!(predict_transfer_config(&p, &h, 1).is_none());
+    }
+
+    #[test]
+    fn tla2_beats_cold_start_at_tiny_budget() {
+        let p = family(5);
+        let h = seeded_history(&p, 2);
+        let budget = 4;
+        let (with_history, _) = transfer_tune(&p, &h, 2, &fast_opts(budget));
+        let (cold, _) = transfer_tune(&p, &History::new("family"), 2, &fast_opts(budget));
+        assert_eq!(with_history.samples.len(), budget);
+        assert!(
+            with_history.best_value <= cold.best_value + 1e-9,
+            "transfer {} vs cold {}",
+            with_history.best_value,
+            cold.best_value
+        );
+        // Near the true optimum 0.30 with only 4 evaluations.
+        assert!(
+            (with_history.best_config[0].as_real() - 0.30).abs() < 0.08,
+            "best x {}",
+            with_history.best_config[0].as_real()
+        );
+    }
+
+    #[test]
+    fn tla2_budget_counts_fresh_only() {
+        let p = family(4);
+        let h = seeded_history(&p, 3);
+        let (r, stats) = transfer_tune(&p, &h, 3, &fast_opts(6));
+        assert_eq!(r.samples.len(), 6);
+        assert_eq!(stats.n_evals, 6);
+    }
+
+    #[test]
+    fn tla2_skips_invalid_archived_records() {
+        let p = family(3);
+        let mut h = seeded_history(&p, 1);
+        // Poison with an out-of-domain record; it must be ignored.
+        h.push(
+            p.tasks[0].clone(),
+            vec![Value::Real(7.0)], // outside [0,1]
+            vec![0.0],
+        );
+        let (r, _) = transfer_tune(&p, &h, 1, &fast_opts(4));
+        assert!(r.best_value.is_finite());
+    }
+}

@@ -1,0 +1,201 @@
+//! ARD stationary kernels — the paper's Eq. 3 Gaussian kernel
+//! (`σ_q = 1`), plus a Matérn 5/2 alternative for ablation studies.
+
+/// Kernel family of an [`ArdKernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Squared exponential (the paper's Eq. 3 Gaussian kernel):
+    /// `k(x,x') = exp(−½ Σ_d ((x_d−x'_d)/l_d)²)`.
+    SquaredExponential,
+    /// Matérn 5/2: `k(r) = (1 + √5 r + 5r²/3)·exp(−√5 r)` with
+    /// `r² = Σ_d ((x_d−x'_d)/l_d)²` — rougher sample paths, often a better
+    /// match for performance surfaces with kinks (cache-size cliffs).
+    Matern52,
+}
+
+/// Automatic-relevance-determination stationary kernel with one
+/// lengthscale per input dimension and unit amplitude (the task
+/// coefficients `a_{i,q}` of the LCM absorb the scale, as the paper notes
+/// when fixing `σ_q = 1`).
+#[derive(Debug, Clone)]
+pub struct ArdKernel {
+    /// Kernel family.
+    pub kind: KernelKind,
+    /// Per-dimension lengthscales, all strictly positive.
+    pub lengthscales: Vec<f64>,
+}
+
+/// Backwards-compatible name: the paper's default Gaussian ARD kernel.
+pub type SeArdKernel = ArdKernel;
+
+impl ArdKernel {
+    /// Squared-exponential kernel with the given lengthscales (the
+    /// default used throughout the tuner, matching the paper).
+    pub fn new(lengthscales: Vec<f64>) -> Self {
+        Self::with_kind(KernelKind::SquaredExponential, lengthscales)
+    }
+
+    /// Kernel of an explicit family.
+    pub fn with_kind(kind: KernelKind, lengthscales: Vec<f64>) -> Self {
+        assert!(
+            lengthscales.iter().all(|&l| l > 0.0 && l.is_finite()),
+            "ArdKernel: lengthscales must be positive and finite"
+        );
+        ArdKernel { kind, lengthscales }
+    }
+
+    /// Isotropic kernel with `dim` equal lengthscales (squared exponential).
+    pub fn isotropic(dim: usize, l: f64) -> Self {
+        ArdKernel::new(vec![l; dim])
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.lengthscales.len()
+    }
+
+    /// Scaled squared distance `r² = Σ_d ((x_d − y_d)/l_d)²`.
+    #[inline]
+    fn r2(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim());
+        debug_assert_eq!(y.len(), self.dim());
+        let mut s = 0.0;
+        for ((xi, yi), l) in x.iter().zip(y).zip(&self.lengthscales) {
+            let z = (xi - yi) / l;
+            s += z * z;
+        }
+        s
+    }
+
+    /// Kernel value `k(x, y)`.
+    #[inline]
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        let r2 = self.r2(x, y);
+        match self.kind {
+            KernelKind::SquaredExponential => (-0.5 * r2).exp(),
+            KernelKind::Matern52 => {
+                let r = r2.sqrt();
+                let s5r = 5.0_f64.sqrt() * r;
+                (1.0 + s5r + 5.0 * r2 / 3.0) * (-s5r).exp()
+            }
+        }
+    }
+
+    /// Partial derivative of `k(x, y)` with respect to `log l_d`
+    /// (hyperparameters are optimized in log space).
+    ///
+    /// `k_val` must be `self.eval(x, y)` — passing it avoids recomputing
+    /// the exponential for the squared-exponential case.
+    #[inline]
+    pub fn grad_log_lengthscale(&self, x: &[f64], y: &[f64], d: usize, k_val: f64) -> f64 {
+        let z = (x[d] - y[d]) / self.lengthscales[d];
+        let z2 = z * z;
+        match self.kind {
+            // ∂k/∂log l_d = k · z_d².
+            KernelKind::SquaredExponential => k_val * z2,
+            // k(r) = (1 + √5 r + 5r²/3) e^{−√5 r};
+            // dk/dr = −(5r/3)(1 + √5 r) e^{−√5 r};
+            // ∂r/∂log l_d = −z_d²/r  ⇒
+            // ∂k/∂log l_d = (5/3)(1 + √5 r) e^{−√5 r} · z_d².
+            KernelKind::Matern52 => {
+                let r = self.r2(x, y).sqrt();
+                let s5r = 5.0_f64.sqrt() * r;
+                (5.0 / 3.0) * (1.0 + s5r) * (-s5r).exp() * z2
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_similarity_is_one_for_both_kinds() {
+        let x = [0.1, 0.7, 0.3];
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = ArdKernel::with_kind(kind, vec![0.5; 3]);
+            assert_eq!(k.eval(&x, &x), 1.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_and_decaying() {
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = ArdKernel::with_kind(kind, vec![0.3, 0.6]);
+            let a = [0.0, 0.0];
+            let b = [0.2, 0.1];
+            let c = [0.9, 0.9];
+            assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+            assert!(k.eval(&a, &b) > k.eval(&a, &c));
+            assert!(k.eval(&a, &c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn known_value_se() {
+        let k = ArdKernel::new(vec![1.0]);
+        let v = k.eval(&[0.0], &[1.0]);
+        assert!((v - (-0.5f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn known_value_matern() {
+        // r = 1: k = (1 + √5 + 5/3) e^{−√5}.
+        let k = ArdKernel::with_kind(KernelKind::Matern52, vec![1.0]);
+        let v = k.eval(&[0.0], &[1.0]);
+        let s5 = 5.0_f64.sqrt();
+        let expect = (1.0 + s5 + 5.0 / 3.0) * (-s5).exp();
+        assert!((v - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matern_has_heavier_tail_than_se() {
+        let se = ArdKernel::new(vec![0.2]);
+        let mt = ArdKernel::with_kind(KernelKind::Matern52, vec![0.2]);
+        // Far apart, the Matérn kernel decays only exponentially while SE
+        // decays like exp(−r²/2).
+        assert!(mt.eval(&[0.0], &[1.0]) > se.eval(&[0.0], &[1.0]));
+    }
+
+    #[test]
+    fn ard_lengthscales_weight_dimensions() {
+        let k = ArdKernel::new(vec![0.05, 5.0]);
+        let base = [0.5, 0.5];
+        let move0 = [0.6, 0.5];
+        let move1 = [0.5, 0.6];
+        assert!(k.eval(&base, &move0) < k.eval(&base, &move1));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_both_kinds() {
+        let x = [0.2, 0.8];
+        let y = [0.6, 0.3];
+        let l = [0.4, 0.9];
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = ArdKernel::with_kind(kind, l.to_vec());
+            let kv = k.eval(&x, &y);
+            for d in 0..2 {
+                let g = k.grad_log_lengthscale(&x, &y, d, kv);
+                let h = 1e-6_f64;
+                let mut lp = l.to_vec();
+                lp[d] *= h.exp();
+                let mut lm = l.to_vec();
+                lm[d] *= (-h).exp();
+                let fd = (ArdKernel::with_kind(kind, lp).eval(&x, &y)
+                    - ArdKernel::with_kind(kind, lm).eval(&x, &y))
+                    / (2.0 * h);
+                assert!(
+                    (g - fd).abs() < 1e-6,
+                    "{kind:?} dim {d}: analytic {g} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_lengthscale_rejected() {
+        let _ = ArdKernel::new(vec![0.5, 0.0]);
+    }
+}

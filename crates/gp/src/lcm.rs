@@ -1,0 +1,923 @@
+//! Linear Coregionalization Model — the multitask GP at the core of MLA.
+//!
+//! Implements the paper's Eqs. 1–6: covariance assembly (Eq. 4), marginal
+//! log-likelihood with full analytic gradients, prediction (Eqs. 5–6), and
+//! multi-start L-BFGS hyperparameter fitting (Sec. 3.1 "Modeling phase" /
+//! Sec. 4.3). Hyperparameters with positivity constraints (lengthscales,
+//! `b`, `d`) are optimized in log space, so the inner optimization is
+//! unconstrained.
+
+use crate::kernel::{ArdKernel, KernelKind};
+use gptune_la::{Cholesky, CholeskyOptions, Matrix};
+use gptune_opt::lbfgs::{self, LbfgsOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Matrix size above which the blocked rayon-parallel Cholesky is used.
+const PARALLEL_CHOL_THRESHOLD: usize = 192;
+
+/// LCM hyperparameters (paper Eq. 4).
+#[derive(Debug, Clone)]
+pub struct LcmHyperparams {
+    /// Number of latent GPs `Q ≤ δ`.
+    pub q: usize,
+    /// Number of tasks `δ`.
+    pub n_tasks: usize,
+    /// Input dimension `β` (tuning space, possibly enriched with
+    /// performance-model features per Sec. 3.3).
+    pub dim: usize,
+    /// Per-latent-function ARD lengthscales `l_d^q`, indexed `[q][d]`.
+    pub lengthscales: Vec<Vec<f64>>,
+    /// Task mixing coefficients `a_{i,q}`, indexed `[q][i]`.
+    pub a: Vec<Vec<f64>>,
+    /// Per-task diagonal regularization `b_{i,q} ≥ 0`, indexed `[q][i]`.
+    pub b: Vec<Vec<f64>>,
+    /// Per-task noise `d_i ≥ 0`.
+    pub d: Vec<f64>,
+}
+
+impl LcmHyperparams {
+    /// Number of scalar degrees of freedom.
+    pub fn n_params(&self) -> usize {
+        self.q * (self.dim + 2 * self.n_tasks) + self.n_tasks
+    }
+
+    /// Packs into the unconstrained optimization vector:
+    /// `[log l | a | log b]` per latent function, then `log d`.
+    pub fn pack(&self) -> Vec<f64> {
+        let mut theta = Vec::with_capacity(self.n_params());
+        for q in 0..self.q {
+            theta.extend(self.lengthscales[q].iter().map(|l| l.ln()));
+            theta.extend(self.a[q].iter().copied());
+            theta.extend(self.b[q].iter().map(|b| b.max(1e-300).ln()));
+        }
+        theta.extend(self.d.iter().map(|d| d.max(1e-300).ln()));
+        theta
+    }
+
+    /// Inverse of [`pack`](Self::pack).
+    pub fn unpack(q: usize, n_tasks: usize, dim: usize, theta: &[f64]) -> LcmHyperparams {
+        assert_eq!(theta.len(), q * (dim + 2 * n_tasks) + n_tasks, "unpack: arity");
+        let mut it = theta.iter().copied();
+        let mut take = |n: usize| -> Vec<f64> { (0..n).map(|_| it.next().unwrap()).collect() };
+        let mut lengthscales = Vec::with_capacity(q);
+        let mut a = Vec::with_capacity(q);
+        let mut b = Vec::with_capacity(q);
+        for _ in 0..q {
+            lengthscales.push(take(dim).into_iter().map(f64::exp).collect());
+            a.push(take(n_tasks));
+            b.push(take(n_tasks).into_iter().map(f64::exp).collect());
+        }
+        let d = take(n_tasks).into_iter().map(f64::exp).collect();
+        LcmHyperparams {
+            q,
+            n_tasks,
+            dim,
+            lengthscales,
+            a,
+            b,
+            d,
+        }
+    }
+
+    /// Random initial guess for one multi-start restart.
+    pub fn random_init(q: usize, n_tasks: usize, dim: usize, rng: &mut impl Rng) -> LcmHyperparams {
+        let mut lengthscales = Vec::with_capacity(q);
+        let mut a = Vec::with_capacity(q);
+        let mut b = Vec::with_capacity(q);
+        for _ in 0..q {
+            lengthscales.push((0..dim).map(|_| 10f64.powf(rng.gen_range(-1.0..0.3))).collect());
+            a.push((0..n_tasks).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            b.push((0..n_tasks).map(|_| 10f64.powf(rng.gen_range(-4.0..-1.0))).collect());
+        }
+        let d = (0..n_tasks).map(|_| 10f64.powf(rng.gen_range(-4.0..-1.0))).collect();
+        LcmHyperparams {
+            q,
+            n_tasks,
+            dim,
+            lengthscales,
+            a,
+            b,
+            d,
+        }
+    }
+}
+
+/// Options for [`LcmModel::fit`].
+#[derive(Debug, Clone)]
+pub struct LcmFitOptions {
+    /// Number of latent functions `Q` (clamped to `δ`).
+    pub q: usize,
+    /// Latent kernel family (the paper uses the Gaussian/SE kernel of
+    /// Eq. 3; Matérn 5/2 is available for ablations).
+    pub kernel: KernelKind,
+    /// Number of random L-BFGS restarts (`n_start` in Sec. 4.3), run in
+    /// parallel on the ambient rayon pool.
+    pub n_starts: usize,
+    /// Inner L-BFGS configuration.
+    pub lbfgs: LbfgsOptions,
+    /// Base RNG seed for the restarts (restart `k` uses `seed + k`).
+    pub seed: u64,
+}
+
+impl Default for LcmFitOptions {
+    fn default() -> Self {
+        LcmFitOptions {
+            q: 2,
+            kernel: KernelKind::SquaredExponential,
+            n_starts: 4,
+            lbfgs: LbfgsOptions {
+                max_iters: 80,
+                grad_tol: 1e-5,
+                f_tol: 1e-9,
+                ..Default::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// Posterior prediction at one point (paper Eqs. 5–6).
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    /// Posterior mean `μ*`.
+    pub mean: f64,
+    /// Posterior variance `σ*²` (non-negative).
+    pub variance: f64,
+}
+
+/// A fitted multitask LCM surrogate.
+#[derive(Debug, Clone)]
+pub struct LcmModel {
+    hp: LcmHyperparams,
+    kernel: KernelKind,
+    /// Sample inputs in normalized coordinates.
+    xs: Vec<Vec<f64>>,
+    /// Task index of each sample.
+    task_of: Vec<usize>,
+    /// Standardized outputs.
+    y_std_vals: Vec<f64>,
+    /// Output standardization: `y_raw = y_std · scale + shift`.
+    shift: f64,
+    scale: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    nll: f64,
+}
+
+/// Internal: training data shared between likelihood evaluations.
+struct LcmData<'a> {
+    xs: &'a [Vec<f64>],
+    task_of: &'a [usize],
+    y: &'a [f64],
+    n_tasks: usize,
+    dim: usize,
+    kernel: KernelKind,
+}
+
+impl LcmModel {
+    /// Fits an LCM to multitask data.
+    ///
+    /// * `xs` — sample inputs, already normalized to the unit cube;
+    /// * `task_of` — task index (`< n_tasks`) per sample;
+    /// * `y` — raw objective values (standardized internally).
+    ///
+    /// # Panics
+    /// Panics on arity mismatches or empty data.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        opts: &LcmFitOptions,
+    ) -> LcmModel {
+        let n = xs.len();
+        assert!(n > 0, "LcmModel::fit: empty data");
+        assert_eq!(task_of.len(), n);
+        assert_eq!(y.len(), n);
+        assert!(task_of.iter().all(|&t| t < n_tasks));
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == dim));
+        let q = opts.q.clamp(1, n_tasks);
+
+        // Standardize outputs (ignore non-finite values for the statistics;
+        // they are replaced by the worst finite value so the model treats
+        // failed runs as very bad, mirroring GPTune's handling).
+        let finite: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
+        assert!(!finite.is_empty(), "LcmModel::fit: all outputs non-finite");
+        let worst = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let cleaned: Vec<f64> = y
+            .iter()
+            .map(|&v| if v.is_finite() { v } else { worst })
+            .collect();
+        let shift = cleaned.iter().sum::<f64>() / n as f64;
+        let var = cleaned.iter().map(|v| (v - shift) * (v - shift)).sum::<f64>() / n as f64;
+        let scale = var.sqrt().max(1e-12);
+        let y_std_vals: Vec<f64> = cleaned.iter().map(|v| (v - shift) / scale).collect();
+
+        let data = LcmData {
+            xs,
+            task_of,
+            y: &y_std_vals,
+            n_tasks,
+            dim,
+            kernel: opts.kernel,
+        };
+
+        // Multi-start L-BFGS over the packed hyperparameters, in parallel.
+        let results: Vec<(f64, Vec<f64>)> = (0..opts.n_starts.max(1))
+            .into_par_iter()
+            .map(|k| {
+                let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(k as u64));
+                let init = LcmHyperparams::random_init(q, n_tasks, dim, &mut rng).pack();
+                let r = lbfgs::minimize(
+                    |theta, grad| nll_and_grad(&data, q, theta, grad),
+                    &init,
+                    &opts.lbfgs,
+                );
+                (r.value, r.x)
+            })
+            .collect();
+
+        let (best_nll, best_theta) = results
+            .into_iter()
+            .filter(|(v, _)| v.is_finite())
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .unwrap_or_else(|| {
+                // All restarts diverged: fall back to a fixed default.
+                let hp = LcmHyperparams {
+                    q,
+                    n_tasks,
+                    dim,
+                    lengthscales: vec![vec![0.3; dim]; q],
+                    a: vec![vec![1.0; n_tasks]; q],
+                    b: vec![vec![1e-3; n_tasks]; q],
+                    d: vec![1e-3; n_tasks],
+                };
+                let theta = hp.pack();
+                let mut g = vec![0.0; theta.len()];
+                let v = nll_and_grad(&data, q, &theta, &mut g);
+                (v, theta)
+            });
+
+        let hp = LcmHyperparams::unpack(q, n_tasks, dim, &best_theta);
+        let sigma = build_covariance(&data, &hp);
+        let chol = Cholesky::factor_with_jitter(&sigma, 0.0, 12)
+            .expect("LCM covariance not factorizable even with jitter");
+        let alpha = chol.solve(&y_std_vals);
+
+        LcmModel {
+            hp,
+            kernel: opts.kernel,
+            xs: xs.to_vec(),
+            task_of: task_of.to_vec(),
+            y_std_vals,
+            shift,
+            scale,
+            chol,
+            alpha,
+            nll: best_nll,
+        }
+    }
+
+    /// The fitted hyperparameters.
+    pub fn hyperparams(&self) -> &LcmHyperparams {
+        &self.hp
+    }
+
+    /// Negative log marginal likelihood at the fitted hyperparameters
+    /// (standardized outputs).
+    pub fn nll(&self) -> f64 {
+        self.nll
+    }
+
+    /// Number of training samples.
+    pub fn n_samples(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Posterior prediction for `task` at normalized point `x`
+    /// (paper Eqs. 5–6), in the raw output scale.
+    pub fn predict(&self, task: usize, x: &[f64]) -> Prediction {
+        assert!(task < self.hp.n_tasks, "predict: task out of range");
+        assert_eq!(x.len(), self.hp.dim, "predict: dim mismatch");
+        let n = self.xs.len();
+        let kernels: Vec<ArdKernel> = (0..self.hp.q)
+            .map(|q| ArdKernel::with_kind(self.kernel, self.hp.lengthscales[q].clone()))
+            .collect();
+
+        // Cross covariance k* between (task, x) and every training point.
+        let mut kstar = vec![0.0; n];
+        for (p, xp) in self.xs.iter().enumerate() {
+            let tp = self.task_of[p];
+            let mut s = 0.0;
+            for q in 0..self.hp.q {
+                let coeff = self.hp.a[q][task] * self.hp.a[q][tp]
+                    + if tp == task { self.hp.b[q][task] } else { 0.0 };
+                if coeff != 0.0 {
+                    s += coeff * kernels[q].eval(x, xp);
+                }
+            }
+            kstar[p] = s;
+        }
+
+        // Prior variance at (task, x): Σ_q (a² + b)  (latent variance; the
+        // observation noise d is excluded so EI reasons about f, not y).
+        let prior: f64 = (0..self.hp.q)
+            .map(|q| self.hp.a[q][task] * self.hp.a[q][task] + self.hp.b[q][task])
+            .sum();
+
+        let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = self.chol.solve(&kstar);
+        let reduction: f64 = kstar.iter().zip(&v).map(|(k, s)| k * s).sum();
+        let var_std = (prior - reduction).max(1e-12);
+
+        Prediction {
+            mean: mean_std * self.scale + self.shift,
+            variance: var_std * self.scale * self.scale,
+        }
+    }
+
+    /// Best observed (raw) output for a task, if it has samples.
+    pub fn best_observed(&self, task: usize) -> Option<f64> {
+        self.task_of
+            .iter()
+            .zip(&self.y_std_vals)
+            .filter(|(t, _)| **t == task)
+            .map(|(_, y)| y * self.scale + self.shift)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Leave-one-out cross-validation diagnostics (Sundararajan–Keerthi):
+    /// with `K = Σ` and `α = K⁻¹y`, the LOO residual of point `i` is
+    /// `α_i / [K⁻¹]_{ii}` and its predictive variance `1/[K⁻¹]_{ii}` —
+    /// computed from the stored factorization without refitting.
+    ///
+    /// Returns `(rmse, mean_standardized_sq)` in the *standardized* output
+    /// scale: `rmse` is the LOO prediction error, and
+    /// `mean_standardized_sq` is the mean of squared standardized residuals,
+    /// which should be ≈ 1 for a well-calibrated model (≫ 1 =
+    /// overconfident, ≪ 1 = underconfident).
+    pub fn loo_diagnostics(&self) -> (f64, f64) {
+        let n = self.xs.len();
+        let kinv = self.chol.inverse();
+        let mut sq_err = 0.0;
+        let mut std_sq = 0.0;
+        for i in 0..n {
+            let kii = kinv.get(i, i).max(1e-300);
+            let residual = self.alpha[i] / kii;
+            let variance = 1.0 / kii;
+            sq_err += residual * residual;
+            std_sq += residual * residual / variance.max(1e-300);
+        }
+        ((sq_err / n as f64).sqrt(), std_sq / n as f64)
+    }
+
+    /// Spectral condition number of the fitted covariance matrix — large
+    /// values explain jitter retries and unstable hyperparameter fits.
+    pub fn covariance_condition_number(&self) -> f64 {
+        // Reconstruct Σ = L Lᵀ from the stored factor and diagonalize.
+        let l = self.chol.l();
+        let n = l.rows();
+        let mut sigma = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut v = 0.0;
+                for k in 0..=j {
+                    v += l.get(i, k) * l.get(j, k);
+                }
+                sigma.set(i, j, v);
+                sigma.set(j, i, v);
+            }
+        }
+        gptune_la::SymmetricEigen::new(&sigma).condition_number()
+    }
+
+    /// Log marginal likelihood and gradient at arbitrary packed
+    /// hyperparameters — exposed for tests and diagnostics.
+    pub fn nll_at(
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        q: usize,
+        theta: &[f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        Self::nll_at_with_kernel(
+            xs,
+            task_of,
+            y,
+            n_tasks,
+            q,
+            KernelKind::SquaredExponential,
+            theta,
+            grad,
+        )
+    }
+
+    /// [`LcmModel::nll_at`] with an explicit kernel family.
+    #[allow(clippy::too_many_arguments)]
+    pub fn nll_at_with_kernel(
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        q: usize,
+        kernel: KernelKind,
+        theta: &[f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        let dim = xs[0].len();
+        let data = LcmData {
+            xs,
+            task_of,
+            y,
+            n_tasks,
+            dim,
+            kernel,
+        };
+        nll_and_grad(&data, q, theta, grad)
+    }
+}
+
+/// Assembles the `N × N` LCM covariance (paper Eq. 4).
+fn build_covariance(data: &LcmData<'_>, hp: &LcmHyperparams) -> Matrix {
+    let n = data.xs.len();
+    let mut sigma = Matrix::zeros(n, n);
+    for q in 0..hp.q {
+        let kern = ArdKernel::with_kind(data.kernel, hp.lengthscales[q].clone());
+        for i in 0..n {
+            let ti = data.task_of[i];
+            for j in 0..=i {
+                let tj = data.task_of[j];
+                let coeff = hp.a[q][ti] * hp.a[q][tj] + if ti == tj { hp.b[q][ti] } else { 0.0 };
+                if coeff != 0.0 {
+                    let kv = kern.eval(&data.xs[i], &data.xs[j]);
+                    sigma.add_at(i, j, coeff * kv);
+                }
+            }
+        }
+    }
+    // Mirror to the upper triangle and add noise.
+    for i in 0..n {
+        for j in 0..i {
+            let v = sigma.get(i, j);
+            sigma.set(j, i, v);
+        }
+        sigma.add_at(i, i, hp.d[data.task_of[i]] + 1e-10);
+    }
+    sigma
+}
+
+/// Negative log marginal likelihood and its gradient w.r.t. the packed
+/// hyperparameters. Returns `+∞` (with untouched gradient) when the
+/// covariance is not factorizable, which the L-BFGS line search treats as a
+/// barrier.
+fn nll_and_grad(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -> f64 {
+    let n = data.xs.len();
+    let hp = LcmHyperparams::unpack(q, data.n_tasks, data.dim, theta);
+
+    // Guard against absurd hyperparameters that would overflow the kernel.
+    if hp
+        .lengthscales
+        .iter()
+        .flatten()
+        .any(|&l| !(1e-6..=1e6).contains(&l))
+        || hp.d.iter().chain(hp.b.iter().flatten()).any(|&v| v > 1e12)
+    {
+        grad.iter_mut().for_each(|g| *g = f64::NAN);
+        return f64::INFINITY;
+    }
+
+    // Per-latent kernel matrices (symmetric, stored dense).
+    let kernels: Vec<ArdKernel> = (0..q)
+        .map(|qq| ArdKernel::with_kind(data.kernel, hp.lengthscales[qq].clone()))
+        .collect();
+    let kmats: Vec<Matrix> = kernels
+        .iter()
+        .map(|kern| {
+            let mut k = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = kern.eval(&data.xs[i], &data.xs[j]);
+                    k.set(i, j, v);
+                    k.set(j, i, v);
+                }
+            }
+            k
+        })
+        .collect();
+
+    // Σ assembly from the cached K_q.
+    let mut sigma = Matrix::zeros(n, n);
+    for qq in 0..q {
+        for i in 0..n {
+            let ti = data.task_of[i];
+            for j in 0..=i {
+                let tj = data.task_of[j];
+                let coeff =
+                    hp.a[qq][ti] * hp.a[qq][tj] + if ti == tj { hp.b[qq][ti] } else { 0.0 };
+                if coeff != 0.0 {
+                    sigma.add_at(i, j, coeff * kmats[qq].get(i, j));
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..i {
+            let v = sigma.get(i, j);
+            sigma.set(j, i, v);
+        }
+        sigma.add_at(i, i, hp.d[data.task_of[i]] + 1e-10);
+    }
+
+    let chol = if n >= PARALLEL_CHOL_THRESHOLD {
+        Cholesky::factor_parallel(&sigma, &CholeskyOptions::default())
+    } else {
+        Cholesky::factor(&sigma)
+    };
+    let chol = match chol {
+        Ok(c) => c,
+        Err(_) => {
+            grad.iter_mut().for_each(|g| *g = f64::NAN);
+            return f64::INFINITY;
+        }
+    };
+
+    let alpha = chol.solve(data.y);
+    let nll = 0.5 * data.y.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>()
+        + 0.5 * chol.log_det()
+        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+    // W = Σ⁻¹ − α αᵀ; gradient of NLL w.r.t. θ_k is 0.5 Σ_ij W_ij ∂Σ_ij.
+    let sinv = chol.inverse();
+    let mut w = sinv;
+    for i in 0..n {
+        for j in 0..n {
+            w.add_at(i, j, -alpha[i] * alpha[j]);
+        }
+    }
+
+    grad.iter_mut().for_each(|g| *g = 0.0);
+    let mut off = 0;
+    for qq in 0..q {
+        let kq = &kmats[qq];
+        // ∂Σ/∂ log l_d^q = coeff(i,j) · ∂K_q(i,j)/∂ log l_d (kernel-specific).
+        let kern = &kernels[qq];
+        for dd in 0..data.dim {
+            let mut g = 0.0;
+            for i in 0..n {
+                let ti = data.task_of[i];
+                for j in 0..i {
+                    let tj = data.task_of[j];
+                    let coeff =
+                        hp.a[qq][ti] * hp.a[qq][tj] + if ti == tj { hp.b[qq][ti] } else { 0.0 };
+                    if coeff == 0.0 {
+                        continue;
+                    }
+                    let dk = kern.grad_log_lengthscale(&data.xs[i], &data.xs[j], dd, kq.get(i, j));
+                    // Off-diagonal pairs appear twice in the full sum.
+                    g += w.get(i, j) * coeff * dk;
+                }
+                // Diagonal contribution has zero distance → zero gradient.
+            }
+            grad[off + dd] = 0.5 * 2.0 * g;
+        }
+        // ∂Σ/∂ a_{r,q} = (δ_{i,r} a_{j,q} + δ_{j,r} a_{i,q}) K_q(i,j).
+        for r in 0..data.n_tasks {
+            let mut g = 0.0;
+            for i in 0..n {
+                let ti = data.task_of[i];
+                for j in 0..n {
+                    let tj = data.task_of[j];
+                    let da = if ti == r { hp.a[qq][tj] } else { 0.0 }
+                        + if tj == r { hp.a[qq][ti] } else { 0.0 };
+                    if da != 0.0 {
+                        g += w.get(i, j) * da * kq.get(i, j);
+                    }
+                }
+            }
+            grad[off + data.dim + r] = 0.5 * g;
+        }
+        // ∂Σ/∂ log b_{r,q} = δ_{i,j-tasks} b_{r,q} K_q(i,j) on same-task pairs.
+        for r in 0..data.n_tasks {
+            let br = hp.b[qq][r];
+            let mut g = 0.0;
+            for i in 0..n {
+                if data.task_of[i] != r {
+                    continue;
+                }
+                for j in 0..n {
+                    if data.task_of[j] != r {
+                        continue;
+                    }
+                    g += w.get(i, j) * kq.get(i, j);
+                }
+            }
+            grad[off + data.dim + data.n_tasks + r] = 0.5 * g * br;
+        }
+        off += data.dim + 2 * data.n_tasks;
+    }
+    // ∂Σ/∂ log d_r = d_r on the diagonal of task r.
+    for r in 0..data.n_tasks {
+        let dr = hp.d[r];
+        let mut g = 0.0;
+        for i in 0..n {
+            if data.task_of[i] == r {
+                g += w.get(i, i);
+            }
+        }
+        grad[off + r] = 0.5 * g * dr;
+    }
+
+    nll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_multitask_data(per_task: usize) -> (Vec<Vec<f64>>, Vec<usize>, Vec<f64>) {
+        // Two related tasks: y = sin(2πx) + task·0.5, sampled on a grid.
+        let mut xs = Vec::new();
+        let mut tasks = Vec::new();
+        let mut ys = Vec::new();
+        for t in 0..2usize {
+            for j in 0..per_task {
+                let x = (j as f64 + 0.5) / per_task as f64;
+                xs.push(vec![x]);
+                tasks.push(t);
+                ys.push((2.0 * std::f64::consts::PI * x).sin() + t as f64 * 0.5);
+            }
+        }
+        (xs, tasks, ys)
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (xs, tasks, ys) = toy_multitask_data(5);
+        // Standardize y like fit does, so scales are sane.
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let std = (ys.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / ys.len() as f64).sqrt();
+        let y: Vec<f64> = ys.iter().map(|v| (v - mean) / std).collect();
+
+        let q = 2;
+        let hp = LcmHyperparams {
+            q,
+            n_tasks: 2,
+            dim: 1,
+            lengthscales: vec![vec![0.3], vec![0.7]],
+            a: vec![vec![0.8, -0.5], vec![0.2, 0.9]],
+            b: vec![vec![0.01, 0.02], vec![0.03, 0.015]],
+            d: vec![0.05, 0.04],
+        };
+        let theta = hp.pack();
+        let mut grad = vec![0.0; theta.len()];
+        let f0 = LcmModel::nll_at(&xs, &tasks, &y, 2, q, &theta, &mut grad);
+        assert!(f0.is_finite());
+
+        let h = 1e-6;
+        for k in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[k] += h;
+            let mut tm = theta.clone();
+            tm[k] -= h;
+            let mut dummy = vec![0.0; theta.len()];
+            let fp = LcmModel::nll_at(&xs, &tasks, &y, 2, q, &tp, &mut dummy);
+            let fm = LcmModel::nll_at(&xs, &tasks, &y, 2, q, &tm, &mut dummy);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad[k] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "param {k}: analytic {} vs fd {fd}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn matern_gradient_matches_finite_differences() {
+        let (xs, tasks, ys) = toy_multitask_data(5);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let std = (ys.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / ys.len() as f64).sqrt();
+        let y: Vec<f64> = ys.iter().map(|v| (v - mean) / std).collect();
+        let hp = LcmHyperparams {
+            q: 1,
+            n_tasks: 2,
+            dim: 1,
+            lengthscales: vec![vec![0.35]],
+            a: vec![vec![0.8, -0.5]],
+            b: vec![vec![0.01, 0.02]],
+            d: vec![0.05, 0.04],
+        };
+        let theta = hp.pack();
+        let mut grad = vec![0.0; theta.len()];
+        let f0 = LcmModel::nll_at_with_kernel(
+            &xs,
+            &tasks,
+            &y,
+            2,
+            1,
+            KernelKind::Matern52,
+            &theta,
+            &mut grad,
+        );
+        assert!(f0.is_finite());
+        let h = 1e-6;
+        for k in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[k] += h;
+            let mut tm = theta.clone();
+            tm[k] -= h;
+            let mut dummy = vec![0.0; theta.len()];
+            let fp = LcmModel::nll_at_with_kernel(&xs, &tasks, &y, 2, 1, KernelKind::Matern52, &tp, &mut dummy);
+            let fm = LcmModel::nll_at_with_kernel(&xs, &tasks, &y, 2, 1, KernelKind::Matern52, &tm, &mut dummy);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad[k] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "param {k}: analytic {} vs fd {fd}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn fit_with_matern_kernel_interpolates() {
+        let (xs, tasks, ys) = toy_multitask_data(10);
+        let opts = LcmFitOptions {
+            kernel: KernelKind::Matern52,
+            ..Default::default()
+        };
+        let model = LcmModel::fit(&xs, &tasks, &ys, 2, &opts);
+        for (i, x) in xs.iter().enumerate() {
+            let p = model.predict(tasks[i], x);
+            assert!((p.mean - ys[i]).abs() < 0.2, "at {x:?}: {} vs {}", p.mean, ys[i]);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let hp = LcmHyperparams {
+            q: 2,
+            n_tasks: 3,
+            dim: 2,
+            lengthscales: vec![vec![0.3, 1.2], vec![0.7, 0.1]],
+            a: vec![vec![0.8, -0.5, 0.1], vec![0.2, 0.9, -1.3]],
+            b: vec![vec![0.01, 0.02, 0.5], vec![0.03, 0.015, 0.2]],
+            d: vec![0.05, 0.04, 0.001],
+        };
+        let theta = hp.pack();
+        assert_eq!(theta.len(), hp.n_params());
+        let back = LcmHyperparams::unpack(2, 3, 2, &theta);
+        for q in 0..2 {
+            for d in 0..2 {
+                assert!((back.lengthscales[q][d] - hp.lengthscales[q][d]).abs() < 1e-12);
+            }
+            for t in 0..3 {
+                assert!((back.a[q][t] - hp.a[q][t]).abs() < 1e-12);
+                assert!((back.b[q][t] - hp.b[q][t]).abs() < 1e-12);
+            }
+        }
+        for t in 0..3 {
+            assert!((back.d[t] - hp.d[t]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_interpolates_smooth_function() {
+        let (xs, tasks, ys) = toy_multitask_data(10);
+        let model = LcmModel::fit(&xs, &tasks, &ys, 2, &LcmFitOptions::default());
+        // Predict near training points: error and variance should be small.
+        for (i, x) in xs.iter().enumerate() {
+            let p = model.predict(tasks[i], x);
+            assert!(
+                (p.mean - ys[i]).abs() < 0.15,
+                "at x={:?}: pred {} vs true {}",
+                x,
+                p.mean,
+                ys[i]
+            );
+        }
+        // Far from data (extrapolating in-between is fine; check variance
+        // at a training point is below variance at a fresh midpoint).
+        let p_train = model.predict(0, &xs[3]);
+        let p_new = model.predict(0, &[xs[3][0] + 0.049]);
+        assert!(p_train.variance <= p_new.variance + 1e-9);
+    }
+
+    #[test]
+    fn multitask_transfers_information() {
+        // Task 0 densely sampled; task 1 has only 3 samples of the SAME
+        // function. LCM prediction on task 1 should beat a constant-mean
+        // baseline thanks to transfer through the shared latent GP.
+        let f = |x: f64| (2.0 * std::f64::consts::PI * x).sin();
+        let mut xs = Vec::new();
+        let mut tasks = Vec::new();
+        let mut ys = Vec::new();
+        for j in 0..12 {
+            let x = (j as f64 + 0.5) / 12.0;
+            xs.push(vec![x]);
+            tasks.push(0usize);
+            ys.push(f(x));
+        }
+        for &x in &[0.1, 0.5, 0.9] {
+            xs.push(vec![x]);
+            tasks.push(1usize);
+            ys.push(f(x));
+        }
+        let model = LcmModel::fit(&xs, &tasks, &ys, 2, &LcmFitOptions::default());
+        let mut err = 0.0;
+        let mut base = 0.0;
+        let y1mean = (f(0.1) + f(0.5) + f(0.9)) / 3.0;
+        for j in 0..20 {
+            let x = (j as f64 + 0.5) / 20.0;
+            let p = model.predict(1, &[x]);
+            err += (p.mean - f(x)).powi(2);
+            base += (y1mean - f(x)).powi(2);
+        }
+        assert!(err < base * 0.5, "transfer err {err} vs baseline {base}");
+    }
+
+    #[test]
+    fn handles_non_finite_outputs() {
+        let (xs, tasks, mut ys) = toy_multitask_data(6);
+        ys[3] = f64::INFINITY;
+        ys[7] = f64::NAN;
+        let model = LcmModel::fit(&xs, &tasks, &ys, 2, &LcmFitOptions::default());
+        let p = model.predict(0, &[0.5]);
+        assert!(p.mean.is_finite());
+        assert!(p.variance.is_finite() && p.variance >= 0.0);
+    }
+
+    #[test]
+    fn best_observed_tracks_minimum() {
+        let (xs, tasks, ys) = toy_multitask_data(8);
+        let model = LcmModel::fit(&xs, &tasks, &ys, 2, &LcmFitOptions::default());
+        let m0 = model.best_observed(0).unwrap();
+        let true_min = ys
+            .iter()
+            .zip(&tasks)
+            .filter(|(_, t)| **t == 0)
+            .map(|(y, _)| *y)
+            .fold(f64::INFINITY, f64::min);
+        assert!((m0 - true_min).abs() < 1e-9 * (1.0 + true_min.abs()));
+    }
+
+    #[test]
+    fn single_point_single_task() {
+        let model = LcmModel::fit(
+            &[vec![0.5]],
+            &[0],
+            &[3.0],
+            1,
+            &LcmFitOptions {
+                n_starts: 1,
+                ..Default::default()
+            },
+        );
+        let p = model.predict(0, &[0.5]);
+        assert!((p.mean - 3.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn loo_diagnostics_sane_on_smooth_data() {
+        let (xs, tasks, ys) = toy_multitask_data(12);
+        let model = LcmModel::fit(&xs, &tasks, &ys, 2, &LcmFitOptions::default());
+        let (rmse, calib) = model.loo_diagnostics();
+        // Smooth noiseless data: LOO error well under the unit output std.
+        assert!(rmse < 0.6, "rmse {rmse}");
+        assert!(calib.is_finite() && calib > 0.0, "calibration {calib}");
+        // LOO must be worse on pure-noise data than on smooth data.
+        let noise_y: Vec<f64> = (0..ys.len())
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let noisy = LcmModel::fit(&xs, &tasks, &noise_y, 2, &LcmFitOptions::default());
+        let (rmse_noise, _) = noisy.loo_diagnostics();
+        assert!(rmse_noise > rmse, "{rmse_noise} vs {rmse}");
+    }
+
+    #[test]
+    fn condition_number_reported() {
+        let (xs, tasks, ys) = toy_multitask_data(6);
+        let model = LcmModel::fit(&xs, &tasks, &ys, 2, &LcmFitOptions::default());
+        let cond = model.covariance_condition_number();
+        assert!(cond >= 1.0 && cond.is_finite(), "cond {cond}");
+    }
+
+    #[test]
+    fn q_clamped_to_task_count() {
+        let (xs, tasks, ys) = toy_multitask_data(4);
+        let model = LcmModel::fit(
+            &xs,
+            &tasks,
+            &ys,
+            2,
+            &LcmFitOptions {
+                q: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(model.hyperparams().q, 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the GP/LCM substrate.
+
+use gptune_gp::gp::{erfc, expected_improvement, norm_cdf};
+use gptune_gp::{LcmFitOptions, LcmModel, Prediction, SeArdKernel};
+use gptune_la::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernel_gram_matrix_is_psd(
+        xs in proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, 2), 2..12),
+        l in 0.05f64..2.0,
+    ) {
+        let k = SeArdKernel::isotropic(2, l);
+        let n = xs.len();
+        let mut gram = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                gram.set(i, j, k.eval(&xs[i], &xs[j]));
+            }
+        }
+        // PSD up to jitter (duplicate points make it singular but not
+        // indefinite): the jittered Cholesky must succeed.
+        prop_assert!(Cholesky::factor_with_jitter(&gram, 1e-10, 12).is_ok());
+    }
+
+    #[test]
+    fn kernel_bounded_and_peaked_at_zero_distance(
+        x in proptest::collection::vec(0.0f64..=1.0, 3),
+        y in proptest::collection::vec(0.0f64..=1.0, 3),
+        l in 0.05f64..2.0,
+    ) {
+        let k = SeArdKernel::isotropic(3, l);
+        let v = k.eval(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(v <= k.eval(&x, &x));
+    }
+
+    #[test]
+    fn ei_nonnegative_and_monotone_in_best(mean in -5.0f64..5.0, var in 1e-6f64..4.0, best in -5.0f64..5.0) {
+        let p = Prediction { mean, variance: var };
+        let ei = expected_improvement(&p, best);
+        prop_assert!(ei >= 0.0);
+        prop_assert!(ei.is_finite());
+        // A worse incumbent (larger best) can only increase EI.
+        let ei2 = expected_improvement(&p, best + 1.0);
+        prop_assert!(ei2 >= ei - 1e-12);
+    }
+
+    #[test]
+    fn norm_cdf_monotone_bounded(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ca = norm_cdf(lo);
+        let cb = norm_cdf(hi);
+        prop_assert!((0.0..=1.0).contains(&ca));
+        prop_assert!((0.0..=1.0).contains(&cb));
+        prop_assert!(cb >= ca - 1e-12);
+        prop_assert!((erfc(a) - (2.0 - erfc(-a))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lcm_predictions_finite_with_sane_variance(
+        raw in proptest::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 6..14),
+        q in 1usize..3,
+    ) {
+        // Two tasks, alternating assignment, smooth outputs.
+        let xs: Vec<Vec<f64>> = raw.iter().map(|(x, _)| vec![*x]).collect();
+        let task_of: Vec<usize> = (0..xs.len()).map(|i| i % 2).collect();
+        let y: Vec<f64> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (x, n))| (4.0 * x).sin() + 0.3 * (i % 2) as f64 + 0.05 * n)
+            .collect();
+        let opts = LcmFitOptions {
+            q,
+            n_starts: 1,
+            ..Default::default()
+        };
+        let model = LcmModel::fit(&xs, &task_of, &y, 2, &opts);
+        for probe in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for t in 0..2 {
+                let p = model.predict(t, &[probe]);
+                prop_assert!(p.mean.is_finite());
+                prop_assert!(p.variance.is_finite() && p.variance >= 0.0);
+            }
+        }
+        // Predictive mean near a training point should be closer to that
+        // training value than to the data's extreme range bound.
+        let p = model.predict(task_of[0], &xs[0]);
+        let ymin = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ymax = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p.mean >= ymin - (ymax - ymin) - 1.0);
+        prop_assert!(p.mean <= ymax + (ymax - ymin) + 1.0);
+    }
+
+    #[test]
+    fn lcm_gradient_is_consistent_everywhere(seed_vals in proptest::collection::vec(0.1f64..0.9, 4)) {
+        // Random small dataset, random-but-reasonable hyperparameters: the
+        // analytic gradient must match finite differences.
+        let xs: Vec<Vec<f64>> = seed_vals.iter().map(|v| vec![*v]).collect();
+        let task_of = vec![0usize, 1, 0, 1];
+        let y = vec![0.1, 0.6, -0.2, 0.9];
+        let hp = gptune_gp::LcmHyperparams {
+            q: 1,
+            n_tasks: 2,
+            dim: 1,
+            lengthscales: vec![vec![0.4]],
+            a: vec![vec![0.7, -0.3]],
+            b: vec![vec![0.02, 0.05]],
+            d: vec![0.03, 0.02],
+        };
+        let theta = hp.pack();
+        let mut grad = vec![0.0; theta.len()];
+        let f0 = LcmModel::nll_at(&xs, &task_of, &y, 2, 1, &theta, &mut grad);
+        prop_assert!(f0.is_finite());
+        let h = 1e-6;
+        for k in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[k] += h;
+            let mut tm = theta.clone();
+            tm[k] -= h;
+            let mut dummy = vec![0.0; theta.len()];
+            let fp = LcmModel::nll_at(&xs, &task_of, &y, 2, 1, &tp, &mut dummy);
+            let fm = LcmModel::nll_at(&xs, &task_of, &y, 2, 1, &tm, &mut dummy);
+            let fd = (fp - fm) / (2.0 * h);
+            prop_assert!((grad[k] - fd).abs() < 1e-3 * (1.0 + fd.abs()),
+                "param {k}: {} vs {fd}", grad[k]);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! BLAS-like level-1/2/3 kernels.
+//!
+//! The level-3 `gemm` has both a sequential blocked form and a
+//! rayon-parallel form that splits the output by row panels; the parallel
+//! form is what the blocked Cholesky uses for its trailing-matrix update,
+//! which is where almost all the flops of the LCM covariance factorization
+//! live.
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Cache-friendly block edge for the blocked kernels.
+const BLOCK: usize = 64;
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y ← y + alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`, with scaling to avoid overflow.
+pub fn nrm2(x: &[f64]) -> f64 {
+    let amax = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    if amax == 0.0 || !amax.is_finite() {
+        return amax;
+    }
+    let s: f64 = x.iter().map(|v| (v / amax) * (v / amax)).sum();
+    amax * s.sqrt()
+}
+
+/// `x ← alpha * x`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// General matrix-vector product `y ← alpha * A x + beta * y`.
+pub fn gemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.cols(), x.len(), "gemv: A.cols != x.len");
+    assert_eq!(a.rows(), y.len(), "gemv: A.rows != y.len");
+    for i in 0..a.rows() {
+        let row = a.row(i);
+        y[i] = beta * y[i] + alpha * dot(row, x);
+    }
+}
+
+/// Transposed matrix-vector product `y ← alpha * Aᵀ x + beta * y`.
+pub fn gemv_t(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.rows(), x.len(), "gemv_t: A.rows != x.len");
+    assert_eq!(a.cols(), y.len(), "gemv_t: A.cols != y.len");
+    for v in y.iter_mut() {
+        *v *= beta;
+    }
+    for i in 0..a.rows() {
+        let row = a.row(i);
+        let xi = alpha * x[i];
+        axpy(xi, row, y);
+    }
+}
+
+/// Rank-1 update `A ← A + alpha * x yᵀ`.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
+    assert_eq!(a.rows(), x.len());
+    assert_eq!(a.cols(), y.len());
+    for i in 0..a.rows() {
+        let xi = alpha * x[i];
+        axpy(xi, y, a.row_mut(i));
+    }
+}
+
+/// Sequential blocked general matrix multiply `C ← alpha * A B + beta * C`.
+pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "gemm: inner dims");
+    assert_eq!(c.rows(), a.rows(), "gemm: C rows");
+    assert_eq!(c.cols(), b.cols(), "gemm: C cols");
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    // i-k-j loop order keeps B and C accesses stride-1.
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let arow = &a.row(i)[k0..k1];
+                let crow = c.row_mut(i);
+                for (kk, &aik) in arow.iter().enumerate() {
+                    let aik = alpha * aik;
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(k0 + kk);
+                    for j in 0..n {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rayon-parallel `C ← alpha * A B + beta * C`, parallelised over row panels
+/// of `C` (each output row depends on one row of `A` only, so panels are
+/// independent).
+pub fn par_gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "par_gemm: inner dims");
+    assert_eq!(c.rows(), a.rows(), "par_gemm: C rows");
+    assert_eq!(c.cols(), b.cols(), "par_gemm: C cols");
+    let n = c.cols();
+    let k = a.cols();
+    c.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, crow)| {
+            if beta != 1.0 {
+                for v in crow.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            let arow = a.row(i);
+            for k0 in (0..k).step_by(BLOCK) {
+                let k1 = (k0 + BLOCK).min(k);
+                for (kk, &aik) in arow[k0..k1].iter().enumerate() {
+                    let aik = alpha * aik;
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(k0 + kk);
+                    for j in 0..n {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+        });
+}
+
+/// `C ← alpha * A Bᵀ + beta * C` (sequential).
+pub fn gemm_nt(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.cols(), "gemm_nt: inner dims");
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.rows());
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for j in 0..b.rows() {
+            crow[j] = beta * crow[j] + alpha * dot(arow, b.row(j));
+        }
+    }
+}
+
+/// `C ← alpha * Aᵀ B + beta * C` (sequential).
+pub fn gemm_tn(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.rows(), b.rows(), "gemm_tn: inner dims");
+    assert_eq!(c.rows(), a.cols());
+    assert_eq!(c.cols(), b.cols());
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    for kk in 0..a.rows() {
+        let arow = a.row(kk);
+        let brow = b.row(kk);
+        for i in 0..a.cols() {
+            let aik = alpha * arow[i];
+            if aik == 0.0 {
+                continue;
+            }
+            axpy(aik, brow, c.row_mut(i));
+        }
+    }
+}
+
+/// Convenience product returning a fresh matrix `A B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// Convenience parallel product returning a fresh matrix `A B`.
+pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    par_gemm(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn arange(r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| ((i * c + j) % 13) as f64 - 6.0)
+    }
+
+    #[test]
+    fn dot_axpy_nrm2() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn nrm2_avoids_overflow() {
+        let big = 1e200;
+        let n = nrm2(&[big, big]);
+        assert!(n.is_finite());
+        assert!((n - big * 2.0_f64.sqrt()).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut y = vec![1.0; 3];
+        gemv(2.0, &a, &[1.0, 1.0], 1.0, &mut y);
+        assert_eq!(y, vec![7.0, 15.0, 23.0]);
+        let mut z = vec![0.0; 2];
+        gemv_t(1.0, &a, &[1.0, 1.0, 1.0], 0.0, &mut z);
+        assert_eq!(z, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Matrix::zeros(2, 3);
+        ger(2.0, &[1.0, 2.0], &[1.0, 0.0, -1.0], &mut a);
+        assert_eq!(a.row(0), &[2.0, 0.0, -2.0]);
+        assert_eq!(a.row(1), &[4.0, 0.0, -4.0]);
+    }
+
+    #[test]
+    fn gemm_matches_naive_nonsquare() {
+        let a = arange(7, 130);
+        let b = arange(130, 5);
+        let c = matmul(&a, &b);
+        let r = naive_matmul(&a, &b);
+        let maxdiff = c.as_slice().iter().zip(r.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        assert!(maxdiff < 1e-10);
+    }
+
+    #[test]
+    fn par_gemm_matches_gemm() {
+        let a = arange(97, 71);
+        let b = arange(71, 83);
+        let c1 = matmul(&a, &b);
+        let c2 = par_matmul(&a, &b);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn gemm_beta_accumulates() {
+        let a = Matrix::identity(3);
+        let b = Matrix::filled(3, 3, 2.0);
+        let mut c = Matrix::filled(3, 3, 1.0);
+        gemm(1.0, &a, &b, 3.0, &mut c);
+        assert_eq!(c.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn gemm_nt_and_tn_match_naive() {
+        let a = arange(6, 9);
+        let b = arange(4, 9); // for nt: C = A Bᵀ is 6x4
+        let mut c = Matrix::zeros(6, 4);
+        gemm_nt(1.0, &a, &b, 0.0, &mut c);
+        let r = naive_matmul(&a, &b.transpose());
+        assert_eq!(c, r);
+
+        let a2 = arange(9, 6);
+        let b2 = arange(9, 4);
+        let mut c2 = Matrix::zeros(6, 4);
+        gemm_tn(1.0, &a2, &b2, 0.0, &mut c2);
+        let r2 = naive_matmul(&a2.transpose(), &b2);
+        assert_eq!(c2, r2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gemm_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut c = Matrix::zeros(2, 3);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+    }
+}

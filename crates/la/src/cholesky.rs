@@ -1,0 +1,460 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Two code paths:
+//!
+//! * [`Cholesky::factor`] — textbook unblocked right-looking factorization,
+//!   optimal for the small-to-medium covariance matrices of single tasks;
+//! * [`Cholesky::factor_parallel`] — blocked right-looking factorization
+//!   whose trailing-matrix (SYRK) update is parallelised with rayon over row
+//!   panels. This is the stand-in for GPTune's ScaLAPACK-parallelised
+//!   factorization of the LCM covariance matrix (paper Sec. 4.3): the
+//!   `O(ε³δ³)` trailing update dominates and scales with worker count.
+//!
+//! [`Cholesky::factor_with_jitter`] implements the standard GP trick of
+//! retrying with exponentially increasing diagonal jitter when the kernel
+//! matrix is numerically semi-definite (duplicated samples, tiny
+//! lengthscales).
+
+use crate::triangular;
+use crate::{LaError, Matrix, Result};
+use rayon::prelude::*;
+
+/// Options controlling the blocked parallel factorization.
+#[derive(Debug, Clone)]
+pub struct CholeskyOptions {
+    /// Block (panel) width for the blocked algorithm.
+    pub block: usize,
+}
+
+impl Default for CholeskyOptions {
+    fn default() -> Self {
+        CholeskyOptions { block: 64 }
+    }
+}
+
+/// The lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// ```
+/// use gptune_la::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let chol = Cholesky::factor(&a).unwrap();
+/// let x = chol.solve(&[8.0, 7.0]); // solves A x = b
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.50).abs() < 1e-12);
+/// assert!(chol.log_det() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that was added to the diagonal to achieve positive
+    /// definiteness (0 when none was needed).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Unblocked sequential factorization. Only the lower triangle of `a` is
+    /// referenced.
+    pub fn factor(a: &Matrix) -> Result<Cholesky> {
+        assert!(a.is_square(), "Cholesky: matrix must be square");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        // Copy lower triangle.
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+        }
+        factor_lower_in_place(&mut l, 0)?;
+        Ok(Cholesky { l, jitter: 0.0 })
+    }
+
+    /// Blocked factorization with a rayon-parallel trailing update.
+    ///
+    /// Call inside a scoped rayon thread pool to control worker count (the
+    /// runtime crate does exactly that to emulate `1` vs `32` MPI workers).
+    pub fn factor_parallel(a: &Matrix, opts: &CholeskyOptions) -> Result<Cholesky> {
+        assert!(a.is_square(), "Cholesky: matrix must be square");
+        let n = a.rows();
+        let nb = opts.block.max(8);
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+        }
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + nb).min(n);
+            // Factor the diagonal block A[k0..k1, k0..k1] in place.
+            factor_block(&mut l, k0, k1)?;
+            if k1 < n {
+                // Panel solve: L[k1.., k0..k1] ← A[k1.., k0..k1] * L11⁻ᵀ.
+                panel_solve(&mut l, k0, k1, n);
+                // Trailing SYRK: A22 ← A22 − L21 L21ᵀ (lower triangle only),
+                // parallel over the rows of the trailing matrix.
+                trailing_update(&mut l, k0, k1, n);
+            }
+            k0 = k1;
+        }
+        // Zero the strict upper triangle (was scratch).
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l.set(i, j, 0.0);
+            }
+        }
+        Ok(Cholesky { l, jitter: 0.0 })
+    }
+
+    /// Factorizes `a + jitter·I`, starting from `initial_jitter` (or 0) and
+    /// multiplying the jitter by 10 on each failure, up to `max_tries`
+    /// attempts. Mirrors GPy's behaviour, which the reference GPTune relies
+    /// on for ill-conditioned LCM covariances.
+    pub fn factor_with_jitter(a: &Matrix, initial_jitter: f64, max_tries: usize) -> Result<Cholesky> {
+        match Cholesky::factor(a) {
+            Ok(c) => return Ok(c),
+            Err(_) if max_tries > 0 => {}
+            Err(e) => return Err(e),
+        }
+        let mean_diag = (0..a.rows()).map(|i| a.get(i, i)).sum::<f64>() / a.rows().max(1) as f64;
+        let mut jitter = if initial_jitter > 0.0 {
+            initial_jitter
+        } else {
+            1e-10 * mean_diag.abs().max(1e-300)
+        };
+        let mut last = LaError::NotPositiveDefinite { pivot: 0 };
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter);
+            match Cholesky::factor(&aj) {
+                Ok(mut c) => {
+                    c.jitter = jitter;
+                    return Ok(c);
+                }
+                Err(e) => last = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last)
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Jitter added to the diagonal (0 if the matrix was SPD as given).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b`, overwriting `b` with `x`.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        triangular::solve_lower(&self.l, b);
+        triangular::solve_lower_transpose(&self.l, b);
+    }
+
+    /// Solves `A x = b` into a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A X = B`, overwriting `B`.
+    pub fn solve_matrix_in_place(&self, b: &mut Matrix) {
+        assert_eq!(b.rows(), self.dim());
+        triangular::solve_lower_matrix(&self.l, b);
+        // Now solve Lᵀ X = Y column-block-wise: iterate rows bottom-up.
+        let n = self.dim();
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let lji = self.l.get(j, i);
+                if lji == 0.0 {
+                    continue;
+                }
+                let (bi, bj) = b.rows_mut_pair(i, j);
+                for (x, y) in bi.iter_mut().zip(bj.iter()) {
+                    *x -= lji * y;
+                }
+            }
+            let d = self.l.get(i, i);
+            for v in b.row_mut(i) {
+                *v /= d;
+            }
+        }
+    }
+
+    /// `log |A| = 2 Σ log L_ii` — the log-determinant term of the GP
+    /// marginal likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse `A⁻¹` (needed for the trace terms of the LCM
+    /// likelihood gradient, where every hyperparameter needs
+    /// `tr(Σ⁻¹ ∂Σ/∂θ)`).
+    pub fn inverse(&self) -> Matrix {
+        let linv = triangular::invert_lower(&self.l);
+        // A⁻¹ = L⁻ᵀ L⁻¹.
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // (L⁻ᵀ L⁻¹)_{ij} = Σ_k L⁻¹_{ki} L⁻¹_{kj}, k ≥ max(i, j) = i.
+                let mut s = 0.0;
+                for k in i..n {
+                    s += linv.get(k, i) * linv.get(k, j);
+                }
+                inv.set(i, j, s);
+                inv.set(j, i, s);
+            }
+        }
+        inv
+    }
+}
+
+/// Unblocked in-place factorization of the lower triangle starting at the
+/// given pivot offset (used both standalone and for diagonal blocks).
+fn factor_lower_in_place(l: &mut Matrix, offset: usize) -> Result<()> {
+    let n = l.rows();
+    for j in offset..n {
+        let mut d = l.get(j, j);
+        {
+            let row = l.row(j);
+            for k in offset..j {
+                d -= row[k] * row[k];
+            }
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(LaError::NotPositiveDefinite { pivot: j });
+        }
+        let d = d.sqrt();
+        l.set(j, j, d);
+        for i in (j + 1)..n {
+            let mut s = l.get(i, j);
+            for k in offset..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, s / d);
+        }
+    }
+    Ok(())
+}
+
+/// Factors the diagonal block `l[k0..k1, k0..k1]` in place (columns `k0..k1`
+/// already hold the Schur-complement values from previous trailing updates).
+fn factor_block(l: &mut Matrix, k0: usize, k1: usize) -> Result<()> {
+    for j in k0..k1 {
+        let mut d = l.get(j, j);
+        for k in k0..j {
+            let v = l.get(j, k);
+            d -= v * v;
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(LaError::NotPositiveDefinite { pivot: j });
+        }
+        let d = d.sqrt();
+        l.set(j, j, d);
+        for i in (j + 1)..k1 {
+            let mut s = l.get(i, j);
+            for k in k0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, s / d);
+        }
+    }
+    Ok(())
+}
+
+/// Panel solve `L21 ← A21 L11⁻ᵀ` for rows `k1..n`, columns `k0..k1`.
+fn panel_solve(l: &mut Matrix, k0: usize, k1: usize, n: usize) {
+    // Copy the diagonal block (small) so we can mutate rows below freely.
+    let nb = k1 - k0;
+    let mut l11 = Matrix::zeros(nb, nb);
+    for i in 0..nb {
+        for j in 0..=i {
+            l11.set(i, j, l.get(k0 + i, k0 + j));
+        }
+    }
+    let cols = l.cols();
+    let rows = l.as_mut_slice();
+    rows[k1 * cols..n * cols]
+        .par_chunks_mut(cols)
+        .for_each(|row| {
+            // Solve L11 xᵀ = rowᵀ over the panel columns (forward subst).
+            for j in 0..nb {
+                let mut s = row[k0 + j];
+                for k in 0..j {
+                    s -= l11.get(j, k) * row[k0 + k];
+                }
+                row[k0 + j] = s / l11.get(j, j);
+            }
+        });
+}
+
+/// Trailing update `A22 ← A22 − L21 L21ᵀ` on the lower triangle, parallel
+/// over trailing rows.
+fn trailing_update(l: &mut Matrix, k0: usize, k1: usize, n: usize) {
+    let cols = l.cols();
+    // Snapshot the panel L21 (rows k1..n, cols k0..k1) — read-only below.
+    let nb = k1 - k0;
+    let mut panel = Matrix::zeros(n - k1, nb);
+    for i in k1..n {
+        panel
+            .row_mut(i - k1)
+            .copy_from_slice(&l.row(i)[k0..k1]);
+    }
+    let data = l.as_mut_slice();
+    data[k1 * cols..n * cols]
+        .par_chunks_mut(cols)
+        .enumerate()
+        .for_each(|(ri, row)| {
+            let i = k1 + ri;
+            let pi = panel.row(ri);
+            for j in k1..=i {
+                let pj = panel.row(j - k1);
+                let mut s = 0.0;
+                for k in 0..nb {
+                    s += pi[k] * pj[k];
+                }
+                row[j] -= s;
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+
+    fn spd(n: usize) -> Matrix {
+        // A = B Bᵀ + n·I with B a deterministic pseudo-random matrix.
+        let b = Matrix::from_fn(n, n, |i, j| (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 11.0);
+        let mut a = matmul(&b, &b.transpose());
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(12);
+        let c = Cholesky::factor(&a).unwrap();
+        let rec = matmul(c.l(), &c.l().transpose());
+        for i in 0..12 {
+            for j in 0..12 {
+                assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = spd(150);
+        let c1 = Cholesky::factor(&a).unwrap();
+        let c2 = Cholesky::factor_parallel(&a, &CholeskyOptions { block: 32 }).unwrap();
+        let diff = (0..150)
+            .flat_map(|i| (0..150).map(move |j| (i, j)))
+            .map(|(i, j)| (c1.l().get(i, j) - c2.l().get(i, j)).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-9, "max diff {diff}");
+    }
+
+    #[test]
+    fn parallel_handles_uneven_blocks() {
+        let a = spd(37);
+        let c = Cholesky::factor_parallel(&a, &CholeskyOptions { block: 16 }).unwrap();
+        let rec = matmul(c.l(), &c.l().transpose());
+        assert!((0..37).all(|i| (rec.get(i, i) - a.get(i, i)).abs() < 1e-9));
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = spd(9);
+        let c = Cholesky::factor(&a).unwrap();
+        let x_true: Vec<f64> = (0..9).map(|i| (i as f64 - 4.0) / 3.0).collect();
+        let mut b = vec![0.0; 9];
+        for i in 0..9 {
+            b[i] = (0..9).map(|j| a.get(i, j) * x_true[j]).sum();
+        }
+        let x = c.solve(&b);
+        for i in 0..9 {
+            assert!((x[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_matches_vector_solves() {
+        let a = spd(7);
+        let c = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_fn(7, 3, |i, j| (i + j) as f64);
+        let mut bm = b.clone();
+        c.solve_matrix_in_place(&mut bm);
+        for j in 0..3 {
+            let col: Vec<f64> = b.col(j);
+            let x = c.solve(&col);
+            for i in 0..7 {
+                assert!((bm.get(i, j) - x[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_matches_lu_reference() {
+        let a = spd(6);
+        let c = Cholesky::factor(&a).unwrap();
+        // Reference: product of eigen-free determinant via LU (use naive
+        // expansion through our own LU once available; here compare against
+        // 2*sum(log diag) identity on a diagonal matrix).
+        let mut d = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            d.set(i, i, (i + 1) as f64);
+        }
+        let cd = Cholesky::factor(&d).unwrap();
+        let expect = (1.0_f64 * 2.0 * 3.0 * 4.0).ln();
+        assert!((cd.log_det() - expect).abs() < 1e-12);
+        assert!(c.log_det().is_finite());
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let a = spd(8);
+        let c = Cholesky::factor(&a).unwrap();
+        let inv = c.inverse();
+        let prod = matmul(&a, &inv);
+        for i in 0..8 {
+            for j in 0..8 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // indefinite
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LaError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_recovers_semidefinite() {
+        // Rank-1 PSD matrix: xxᵀ, singular but fixable with jitter.
+        let x = [1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(3, 3, |i, j| x[i] * x[j]);
+        assert!(Cholesky::factor(&a).is_err());
+        let c = Cholesky::factor_with_jitter(&a, 0.0, 12).unwrap();
+        assert!(c.jitter() > 0.0);
+        // Solve should run without panicking.
+        let _ = c.solve(&[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn jitter_zero_tries_propagates_error() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]);
+        assert!(Cholesky::factor_with_jitter(&a, 0.0, 0).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! Used for diagnostics of the GP machinery: conditioning of LCM
+//! covariance matrices (which drives the jitter retries) and PSD
+//! verification in tests. Jacobi is slow (`O(n³)` per sweep) but simple,
+//! unconditionally stable, and exact enough for matrices of the sizes the
+//! tuner factorizes.
+
+use crate::Matrix;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, ascending.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns, aligned with
+    /// `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the decomposition (the strictly upper triangle of `a` is
+    /// trusted; the lower is assumed symmetric).
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> SymmetricEigen {
+        assert!(a.is_square(), "SymmetricEigen: matrix must be square");
+        let n = a.rows();
+        let mut m = a.clone();
+        m.symmetrize();
+        let mut v = Matrix::identity(n);
+
+        const MAX_SWEEPS: usize = 64;
+        for _ in 0..MAX_SWEEPS {
+            let off = off_diagonal_norm(&m);
+            if off < 1e-14 * m.norm_fro().max(1e-300) {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m.get(p, q);
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = m.get(p, p);
+                    let aqq = m.get(q, q);
+                    // Rotation angle zeroing (p, q).
+                    let theta = 0.5 * (aqq - app) / apq;
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    rotate(&mut m, p, q, c, s);
+                    rotate_columns(&mut v, p, q, c, s);
+                }
+            }
+        }
+
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let eigenvalues: Vec<f64> = pairs.iter().map(|(v, _)| *v).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (col, (_, old)) in pairs.iter().enumerate() {
+            for r in 0..n {
+                eigenvectors.set(r, col, v.get(r, *old));
+            }
+        }
+        SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        }
+    }
+
+    /// Spectral condition number `λ_max / λ_min` (infinite when the
+    /// smallest eigenvalue is ≤ 0).
+    pub fn condition_number(&self) -> f64 {
+        let min = *self.eigenvalues.first().expect("non-empty");
+        let max = *self.eigenvalues.last().expect("non-empty");
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// `true` iff all eigenvalues exceed `-tol` (numerically PSD).
+    pub fn is_positive_semidefinite(&self, tol: f64) -> bool {
+        self.eigenvalues.iter().all(|&l| l > -tol)
+    }
+}
+
+/// Frobenius norm of the off-diagonal part.
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let v = m.get(i, j);
+                s += v * v;
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies the two-sided Jacobi rotation `J(p,q,θ)ᵀ M J(p,q,θ)` in place.
+fn rotate(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    for k in 0..n {
+        let mkp = m.get(k, p);
+        let mkq = m.get(k, q);
+        m.set(k, p, c * mkp - s * mkq);
+        m.set(k, q, s * mkp + c * mkq);
+    }
+    for k in 0..n {
+        let mpk = m.get(p, k);
+        let mqk = m.get(q, k);
+        m.set(p, k, c * mpk - s * mqk);
+        m.set(q, k, s * mpk + c * mqk);
+    }
+}
+
+/// Applies the rotation to the eigenvector accumulator (columns p, q).
+fn rotate_columns(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut d = Matrix::zeros(4, 4);
+        for (i, &v) in [4.0, 1.0, 3.0, 2.0].iter().enumerate() {
+            d.set(i, i, v);
+        }
+        let e = SymmetricEigen::new(&d);
+        assert_eq!(e.eigenvalues, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a);
+        assert!((e.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let b = Matrix::from_fn(6, 6, |i, j| (((i * 13 + j * 7) % 11) as f64 - 5.0) / 5.0);
+        let mut a = matmul(&b, &b.transpose());
+        a.add_diagonal(1.0);
+        let e = SymmetricEigen::new(&a);
+        // V Vᵀ = I.
+        let vvt = matmul(&e.eigenvectors, &e.eigenvectors.transpose());
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vvt.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+        // A v_k = λ_k v_k.
+        for k in 0..6 {
+            let vk = e.eigenvectors.col(k);
+            let mut av = vec![0.0; 6];
+            crate::blas::gemv(1.0, &a, &vk, 0.0, &mut av);
+            for i in 0..6 {
+                assert!(
+                    (av[i] - e.eigenvalues[k] * vk[i]).abs() < 1e-9,
+                    "eigpair {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let b = Matrix::from_fn(5, 5, |i, j| ((i + 2 * j) % 7) as f64 / 3.0);
+        let mut a = matmul(&b, &b.transpose());
+        a.add_diagonal(0.5);
+        let e = SymmetricEigen::new(&a);
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn condition_number_and_psd() {
+        let a = Matrix::from_rows(&[&[10.0, 0.0], &[0.0, 0.1]]);
+        let e = SymmetricEigen::new(&a);
+        assert!((e.condition_number() - 100.0).abs() < 1e-9);
+        assert!(e.is_positive_semidefinite(1e-12));
+
+        let indefinite = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let e2 = SymmetricEigen::new(&indefinite);
+        assert!(!e2.is_positive_semidefinite(1e-12));
+        assert_eq!(e2.condition_number(), f64::INFINITY);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[7.0]]);
+        let e = SymmetricEigen::new(&a);
+        assert_eq!(e.eigenvalues, vec![7.0]);
+    }
+}

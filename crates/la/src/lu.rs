@@ -1,0 +1,166 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for general (non-symmetric) linear systems — e.g. the normal
+//! equations fallback in the performance-model fit and a few app-simulator
+//! internals. `PA = LU` with unit lower-triangular `L` stored below the
+//! diagonal of the packed factor.
+
+use crate::{LaError, Matrix, Result};
+
+/// Packed LU factorization `PA = LU`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper part holds `U`.
+    lu: Matrix,
+    /// Row permutation: row `i` of `U` came from row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1/-1), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix with partial (row) pivoting.
+    pub fn factor(a: &Matrix) -> Result<Lu> {
+        assert!(a.is_square(), "Lu: matrix must be square");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot: largest |value| in column k at or below the diagonal.
+            let mut p = k;
+            let mut pmax = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(LaError::Singular { pivot: k });
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                perm.swap(p, k);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let m = lu.get(i, k) / pivot;
+                lu.set(i, k, m);
+                if m == 0.0 {
+                    continue;
+                }
+                let (ri, rk) = lu.rows_mut_pair(i, k);
+                for j in (k + 1)..n {
+                    ri[j] -= m * rk[j];
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` into a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Lu::solve: dims");
+        // Apply permutation.
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward: L y = Pb (unit diagonal).
+        for i in 0..n {
+            let row = self.lu.row(i);
+            let mut s = x[i];
+            for (j, xj) in x[..i].iter().enumerate() {
+                s -= row[j] * xj;
+            }
+            x[i] = s;
+        }
+        // Backward: U x = y.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= row[j] * x[j];
+            }
+            x[i] = s / row[i];
+        }
+        x
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_3x3() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, -2.0, 9.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!((x[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 4.0]);
+        assert!((x[0] - 4.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+        assert!((lu.det() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn det_matches_manual() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[2.0, 4.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LaError::Singular { .. })));
+    }
+
+    #[test]
+    fn random_system_roundtrip() {
+        let n = 20;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let v = ((i * 37 + j * 13 + 5) % 19) as f64 - 9.0;
+            if i == j {
+                v + 25.0
+            } else {
+                v
+            }
+        });
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = (0..n).map(|j| a.get(i, j) * x_true[j]).sum();
+        }
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+}

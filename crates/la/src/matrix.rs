@@ -1,0 +1,406 @@
+//! Row-major dense matrix type.
+
+/// A dense, row-major, heap-allocated `f64` matrix.
+///
+/// Storage is a single contiguous `Vec<f64>` of length `rows * cols`;
+/// element `(i, j)` lives at index `i * cols + j`. Row-major layout keeps
+/// kernel inner loops stride-1 over the second index, which is the access
+/// pattern of every kernel in this crate.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` iff the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to element `(i, j)`.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Immutable view of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Two disjoint mutable row views `(i, k)`, `i != k` (used by pivoting).
+    pub fn rows_mut_pair(&mut self, i: usize, k: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(i, k, "rows_mut_pair requires distinct rows");
+        let c = self.cols;
+        let (lo, hi) = if i < k { (i, k) } else { (k, i) };
+        let (a, b) = self.data.split_at_mut(hi * c);
+        let lo_row = &mut a[lo * c..(lo + 1) * c];
+        let hi_row = &mut b[..c];
+        if i < k {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        }
+    }
+
+    /// Swaps rows `i` and `k` in place.
+    pub fn swap_rows(&mut self, i: usize, k: usize) {
+        if i == k {
+            return;
+        }
+        let (a, b) = self.rows_mut_pair(i, k);
+        a.swap_with_slice(b);
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Extracts the contiguous submatrix with rows `r0..r1` and columns `c0..c1`.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for (oi, i) in (r0..r1).enumerate() {
+            out.row_mut(oi)
+                .copy_from_slice(&self.row(i)[c0..c1]);
+        }
+        out
+    }
+
+    /// Elementwise in-place scaling.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square());
+        (0..self.rows).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (∞-norm of the vectorised matrix).
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// `true` iff `|A - Aᵀ|` entries are all within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrizes in place: `A ← (A + Aᵀ)/2`.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square());
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let v = 0.5 * (self.get(i, j) + self.get(j, i));
+                self.set(i, j, v);
+                self.set(j, i, v);
+            }
+        }
+    }
+
+    /// Adds `value` to every diagonal entry (covariance jitter).
+    pub fn add_diagonal(&mut self, value: f64) {
+        assert!(self.is_square());
+        let n = self.rows;
+        for i in 0..n {
+            self.data[i * n + i] += value;
+        }
+    }
+
+    /// `true` iff any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            write!(f, "  [")?;
+            let cshow = self.cols.min(8);
+            for j in 0..cshow {
+                write!(f, "{:10.4}", self.get(i, j))?;
+                if j + 1 < cshow {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn from_rows_and_get_set() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.get(1, 0), 3.0);
+        m.set(1, 0, 7.0);
+        assert_eq!(m.get(1, 0), 7.0);
+        m.add_at(1, 0, 1.0);
+        assert_eq!(m.get(1, 0), 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.get(0, 0), m.get(1, 2));
+        assert_eq!(s.get(1, 1), m.get(2, 3));
+    }
+
+    #[test]
+    fn swap_rows_and_pair_views() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5.0, 6.0]);
+        assert_eq!(m.row(2), &[1.0, 2.0]);
+        let (a, b) = m.rows_mut_pair(2, 1);
+        a[0] = -1.0;
+        b[1] = -2.0;
+        assert_eq!(m.get(2, 0), -1.0);
+        assert_eq!(m.get(1, 1), -2.0);
+    }
+
+    #[test]
+    fn symmetry_helpers() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[2.5, 1.0]]);
+        assert!(!m.is_symmetric(1e-12));
+        assert!(m.is_symmetric(1.0));
+        m.symmetrize();
+        assert!(m.is_symmetric(1e-15));
+        assert_eq!(m.get(0, 1), 2.25);
+    }
+
+    #[test]
+    fn norms_and_scale() {
+        let mut m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.norm_fro() - 5.0).abs() < 1e-15);
+        assert_eq!(m.norm_max(), 4.0);
+        m.scale(2.0);
+        assert_eq!(m.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn axpy_matrix() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn add_diagonal_jitter() {
+        let mut m = Matrix::zeros(3, 3);
+        m.add_diagonal(0.5);
+        assert_eq!(m.trace(), 1.5);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m.set(0, 1, f64::NAN);
+        assert!(m.has_non_finite());
+    }
+}

@@ -1,0 +1,317 @@
+//! Householder QR factorization and least squares.
+//!
+//! The performance-model update phase of the paper (Sec. 3.3) fits the
+//! hyperparameters `(t_flop, t_msg, t_vol)` of Eq. 7 to observed samples by
+//! linear least squares; QR is the numerically stable way to do that.
+
+use crate::{LaError, Matrix, Result};
+
+/// Compact Householder QR of an `m × n` matrix with `m ≥ n`.
+///
+/// Stores the Householder vectors below the diagonal of the packed factor
+/// and `R` on and above it, LAPACK-style.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    qr: Matrix,
+    /// Householder scalars `tau_k` with `H_k = I − tau_k v vᵀ`.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a` (requires `rows ≥ cols`).
+    pub fn factor(a: &Matrix) -> Qr {
+        let (m, n) = (a.rows(), a.cols());
+        assert!(m >= n, "Qr: requires rows >= cols");
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                let v = qr.get(i, k);
+                norm2 += v * v;
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let akk = qr.get(k, k);
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            // v = x − alpha e1, normalised so v[k] = 1.
+            let v0 = akk - alpha;
+            tau[k] = -v0 / alpha; // standard tau = (alpha − x1)/alpha sign-adjusted
+            for i in (k + 1)..m {
+                let v = qr.get(i, k) / v0;
+                qr.set(i, k, v);
+            }
+            qr.set(k, k, alpha);
+            // Apply H_k to trailing columns.
+            for j in (k + 1)..n {
+                let mut s = qr.get(k, j);
+                for i in (k + 1)..m {
+                    s += qr.get(i, k) * qr.get(i, j);
+                }
+                s *= tau[k];
+                qr.add_at(k, j, -s);
+                for i in (k + 1)..m {
+                    let vik = qr.get(i, k);
+                    qr.add_at(i, j, -s * vik);
+                }
+            }
+        }
+        Qr { qr, tau }
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(b.len(), m);
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k];
+            for i in (k + 1)..m {
+                s += self.qr.get(i, k) * b[i];
+            }
+            s *= self.tau[k];
+            b[k] -= s;
+            for i in (k + 1)..m {
+                b[i] -= s * self.qr.get(i, k);
+            }
+        }
+    }
+
+    /// The upper-triangular factor `R` (n × n).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r.set(i, j, self.qr.get(i, j));
+            }
+        }
+        r
+    }
+
+    /// Explicitly forms the thin `Q` (m × n) — mainly for tests.
+    pub fn q(&self) -> Matrix {
+        let (m, n) = (self.rows(), self.cols());
+        let mut q = Matrix::zeros(m, n);
+        let mut e = vec![0.0; m];
+        for j in 0..n {
+            e.iter_mut().for_each(|v| *v = 0.0);
+            e[j] = 1.0;
+            // Q e_j = H_1 … H_n e_j: apply reflectors in reverse.
+            for k in (0..n).rev() {
+                if self.tau[k] == 0.0 {
+                    continue;
+                }
+                let mut s = e[k];
+                for i in (k + 1)..m {
+                    s += self.qr.get(i, k) * e[i];
+                }
+                s *= self.tau[k];
+                e[k] -= s;
+                for i in (k + 1)..m {
+                    e[i] -= s * self.qr.get(i, k);
+                }
+            }
+            for i in 0..m {
+                q.set(i, j, e[i]);
+            }
+        }
+        q
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// Returns `Err(RankDeficient)` when `R` has a (near-)zero diagonal.
+    pub fn solve_lstsq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(b.len(), m, "solve_lstsq: dims");
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back substitution on R.
+        let tol = 1e-13 * self.qr.get(0, 0).abs().max(1.0);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let d = self.qr.get(i, i);
+            if d.abs() <= tol {
+                return Err(LaError::RankDeficient { rank: i });
+            }
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr.get(i, j) * x[j];
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot least squares `min ‖A x − b‖₂` via Householder QR.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a).solve_lstsq(b)
+}
+
+/// Least squares with nonnegativity clamping: solves the unconstrained
+/// problem, then iteratively removes (zeroes and drops) negative
+/// coefficients and re-solves on the remaining columns. A simple active-set
+/// scheme that suffices for the 3-coefficient performance-model fit, where
+/// machine-time coefficients must be ≥ 0.
+pub fn lstsq_nonneg(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.cols();
+    let mut active: Vec<usize> = (0..n).collect();
+    loop {
+        if active.is_empty() {
+            return Ok(vec![0.0; n]);
+        }
+        let sub = {
+            let mut s = Matrix::zeros(a.rows(), active.len());
+            for i in 0..a.rows() {
+                for (cj, &j) in active.iter().enumerate() {
+                    s.set(i, cj, a.get(i, j));
+                }
+            }
+            s
+        };
+        let x = lstsq(&sub, b)?;
+        if let Some(worst) = x
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v < 0.0)
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+        {
+            active.remove(worst);
+            continue;
+        }
+        let mut full = vec![0.0; n];
+        for (cj, &j) in active.iter().enumerate() {
+            full[j] = x[cj];
+        }
+        return Ok(full);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+
+    fn test_matrix(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| (((i * 7 + j * 3 + 1) % 11) as f64 - 5.0) / 5.0 + if i == j { 2.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = test_matrix(8, 5);
+        let f = Qr::factor(&a);
+        let rec = matmul(&f.q(), &f.r());
+        for i in 0..8 {
+            for j in 0..5 {
+                assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = test_matrix(10, 4);
+        let q = Qr::factor(&a).q();
+        let qtq = matmul(&q.transpose(), &q);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        let a = test_matrix(6, 6);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let mut b = vec![0.0; 6];
+        for i in 0..6 {
+            b[i] = (0..6).map(|j| a.get(i, j) * x_true[j]).sum();
+        }
+        let x = lstsq(&a, &b).unwrap();
+        for i in 0..6 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lstsq_overdetermined_line_fit() {
+        // Fit y = 2 + 3 t to noiseless data.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 + 3.0 * t).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal() {
+        let a = test_matrix(9, 3);
+        let b: Vec<f64> = (0..9).map(|i| ((i * 5 + 2) % 7) as f64).collect();
+        let x = lstsq(&a, &b).unwrap();
+        // Residual r = b − Ax must satisfy Aᵀ r = 0.
+        let mut r = b.clone();
+        for i in 0..9 {
+            let ax: f64 = (0..3).map(|j| a.get(i, j) * x[j]).sum();
+            r[i] -= ax;
+        }
+        for j in 0..3 {
+            let dot: f64 = (0..9).map(|i| a.get(i, j) * r[i]).sum();
+            assert!(dot.abs() < 1e-10, "col {j} dot {dot}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Two identical columns.
+        let a = Matrix::from_fn(5, 2, |i, _| i as f64 + 1.0);
+        assert!(matches!(
+            lstsq(&a, &[1.0, 2.0, 3.0, 4.0, 5.0]),
+            Err(LaError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn nonneg_clamps_negative_coefficient() {
+        // b strongly anti-correlated with column 1 → unconstrained fit gives
+        // a negative coefficient which must be clamped to 0.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [3.0, 2.0, 1.0];
+        let x = lstsq_nonneg(&a, &b).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0));
+        // Unconstrained solution is [4, −1]; clamped should keep col 0 only.
+        assert!(x[1] == 0.0);
+        assert!(x[0] > 0.0);
+    }
+
+    #[test]
+    fn nonneg_keeps_positive_solution() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = [1.0, 2.0, 3.0];
+        let x = lstsq_nonneg(&a, &b).unwrap();
+        let u = lstsq(&a, &b).unwrap();
+        assert!((x[0] - u[0]).abs() < 1e-12);
+        assert!((x[1] - u[1]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! Triangular solves (forward/backward substitution).
+//!
+//! These are the building blocks of the Cholesky-based covariance solves in
+//! the GP/LCM code: `Σ⁻¹ y` is computed as two triangular solves against the
+//! Cholesky factor `L`.
+
+use crate::Matrix;
+
+/// Solves `L x = b` in place where `L` is lower triangular (only the lower
+/// triangle of `l` is referenced).
+///
+/// # Panics
+/// Panics on dimension mismatch or zero diagonal (callers guarantee a
+/// successfully factorized `L`).
+pub fn solve_lower(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    assert!(l.is_square() && b.len() == n, "solve_lower: dims");
+    for i in 0..n {
+        let row = l.row(i);
+        let mut s = b[i];
+        for (j, bj) in b[..i].iter().enumerate() {
+            s -= row[j] * bj;
+        }
+        let d = row[i];
+        assert!(d != 0.0, "solve_lower: zero diagonal at {i}");
+        b[i] = s / d;
+    }
+}
+
+/// Solves `Lᵀ x = b` in place where `L` is lower triangular.
+pub fn solve_lower_transpose(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    assert!(l.is_square() && b.len() == n, "solve_lower_transpose: dims");
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= l.get(j, i) * b[j];
+        }
+        let d = l.get(i, i);
+        assert!(d != 0.0, "solve_lower_transpose: zero diagonal at {i}");
+        b[i] = s / d;
+    }
+}
+
+/// Solves `U x = b` in place where `U` is upper triangular (only the upper
+/// triangle of `u` is referenced).
+pub fn solve_upper(u: &Matrix, b: &mut [f64]) {
+    let n = u.rows();
+    assert!(u.is_square() && b.len() == n, "solve_upper: dims");
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= row[j] * b[j];
+        }
+        let d = row[i];
+        assert!(d != 0.0, "solve_upper: zero diagonal at {i}");
+        b[i] = s / d;
+    }
+}
+
+/// Solves `L X = B` column-block-wise, overwriting `B` with the solution.
+/// This is the `trsm` used by the blocked Cholesky panel update.
+pub fn solve_lower_matrix(l: &Matrix, b: &mut Matrix) {
+    let n = l.rows();
+    assert!(l.is_square() && b.rows() == n, "solve_lower_matrix: dims");
+    for i in 0..n {
+        let li = l.row(i).to_vec(); // copy row to sidestep borrow of b rows
+        let diag = li[i];
+        assert!(diag != 0.0, "solve_lower_matrix: zero diagonal at {i}");
+        for j in 0..i {
+            let lij = li[j];
+            if lij == 0.0 {
+                continue;
+            }
+            let (bi, bj) = b.rows_mut_pair(i, j);
+            for (x, y) in bi.iter_mut().zip(bj.iter()) {
+                *x -= lij * y;
+            }
+        }
+        for v in b.row_mut(i) {
+            *v /= diag;
+        }
+    }
+}
+
+/// Solves `X Lᵀ = B` in place (right-side trsm with the transposed factor),
+/// i.e. each row `x` of `X` satisfies `L x = b` for the matching row of `B`.
+pub fn solve_lower_transpose_right(l: &Matrix, b: &mut Matrix) {
+    let n = l.rows();
+    assert!(l.is_square() && b.cols() == n, "solve_lower_transpose_right: dims");
+    for r in 0..b.rows() {
+        let row = b.row_mut(r);
+        // Solve L x = rowᵀ by forward substitution over columns.
+        for i in 0..n {
+            let mut s = row[i];
+            for j in 0..i {
+                s -= l.get(i, j) * row[j];
+            }
+            row[i] = s / l.get(i, i);
+        }
+    }
+}
+
+/// Inverts a lower-triangular matrix in place, returning a fresh matrix.
+pub fn invert_lower(l: &Matrix) -> Matrix {
+    let n = l.rows();
+    assert!(l.is_square());
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e.iter_mut().for_each(|v| *v = 0.0);
+        e[j] = 1.0;
+        solve_lower(l, &mut e);
+        for i in j..n {
+            inv.set(i, j, e[i]);
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+
+    fn lower3() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[-1.0, 2.0, 4.0]])
+    }
+
+    #[test]
+    fn solve_lower_known() {
+        let l = lower3();
+        // b = L * [1, 2, 3]^T
+        let mut b = vec![2.0, 7.0, 15.0];
+        solve_lower(&l, &mut b);
+        assert!((b[0] - 1.0).abs() < 1e-14);
+        assert!((b[1] - 2.0).abs() < 1e-14);
+        assert!((b[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_lower_transpose_known() {
+        let l = lower3();
+        let lt = l.transpose();
+        // b = L^T * x for x = [1, -1, 2]
+        let x = [1.0, -1.0, 2.0];
+        let mut b = vec![0.0; 3];
+        for i in 0..3 {
+            b[i] = (0..3).map(|j| lt.get(i, j) * x[j]).sum();
+        }
+        solve_lower_transpose(&l, &mut b);
+        for i in 0..3 {
+            assert!((b[i] - x[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn solve_upper_known() {
+        let u = lower3().transpose();
+        let x = [2.0, 0.5, -1.0];
+        let mut b = vec![0.0; 3];
+        for i in 0..3 {
+            b[i] = (0..3).map(|j| u.get(i, j) * x[j]).sum();
+        }
+        solve_upper(&u, &mut b);
+        for i in 0..3 {
+            assert!((b[i] - x[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn solve_lower_matrix_matches_vector_solves() {
+        let l = lower3();
+        let x_true = Matrix::from_rows(&[&[1.0, 4.0], &[2.0, 5.0], &[3.0, 6.0]]);
+        let mut b = matmul(&l, &x_true);
+        solve_lower_matrix(&l, &mut b);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((b.get(i, j) - x_true.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_right_transpose() {
+        let l = lower3();
+        // X L^T = B with X known
+        let x_true = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, -1.0, 1.0]]);
+        let mut b = matmul(&x_true, &l.transpose());
+        solve_lower_transpose_right(&l, &mut b);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert!((b.get(i, j) - x_true.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_lower_gives_identity() {
+        let l = lower3();
+        let inv = invert_lower(&l);
+        let prod = matmul(&l, &inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - expect).abs() < 1e-13);
+            }
+        }
+        // Inverse of lower triangular is lower triangular.
+        assert_eq!(inv.get(0, 1), 0.0);
+        assert_eq!(inv.get(0, 2), 0.0);
+        assert_eq!(inv.get(1, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_diagonal_panics() {
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0]]);
+        let mut b = vec![1.0, 1.0];
+        solve_lower(&l, &mut b);
+    }
+}

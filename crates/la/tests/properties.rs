@@ -1,0 +1,164 @@
+//! Property-based tests for the dense linear algebra kernels.
+
+use gptune_la::{blas, qr, triangular, Cholesky, CholeskyOptions, Lu, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: an n×n matrix with entries in [-1, 1].
+fn square(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n)
+        .prop_map(move |v| Matrix::from_vec(n, n, v))
+}
+
+/// Strategy: an SPD matrix A = B Bᵀ + n·I.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    square(n).prop_map(move |b| {
+        let mut a = blas::matmul(&b, &b.transpose());
+        a.add_diagonal(n as f64);
+        a
+    })
+}
+
+fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cholesky_reconstructs_spd(a in spd(8)) {
+        let c = Cholesky::factor(&a).unwrap();
+        let rec = blas::matmul(c.l(), &c.l().transpose());
+        prop_assert!(max_abs_diff(&rec, &a) < 1e-8);
+    }
+
+    #[test]
+    fn parallel_cholesky_agrees(a in spd(40)) {
+        let c1 = Cholesky::factor(&a).unwrap();
+        let c2 = Cholesky::factor_parallel(&a, &CholeskyOptions { block: 16 }).unwrap();
+        prop_assert!(max_abs_diff(c1.l(), c2.l()) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse(a in spd(7), x in proptest::collection::vec(-2.0f64..2.0, 7)) {
+        let c = Cholesky::factor(&a).unwrap();
+        let mut b = vec![0.0; 7];
+        blas::gemv(1.0, &a, &x, 0.0, &mut b);
+        let xs = c.solve(&b);
+        for (u, v) in xs.iter().zip(&x) {
+            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn logdet_consistent_with_scaling(a in spd(6), s in 0.5f64..2.0) {
+        // |sA| = s^n |A|  →  log|sA| = n ln s + log|A|.
+        let c1 = Cholesky::factor(&a).unwrap();
+        let mut sa = a.clone();
+        sa.scale(s);
+        let c2 = Cholesky::factor(&sa).unwrap();
+        prop_assert!((c2.log_det() - (6.0 * s.ln() + c1.log_det())).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lu_solves_well_conditioned_systems(b in square(6), x in proptest::collection::vec(-2.0f64..2.0, 6)) {
+        // Make it diagonally dominant so it is nonsingular.
+        let mut a = b;
+        a.add_diagonal(8.0);
+        let lu = Lu::factor(&a).unwrap();
+        let mut rhs = vec![0.0; 6];
+        blas::gemv(1.0, &a, &x, 0.0, &mut rhs);
+        let xs = lu.solve(&rhs);
+        for (u, v) in xs.iter().zip(&x) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn qr_q_orthonormal_and_reconstructs(v in proptest::collection::vec(-1.0f64..1.0, 9 * 4)) {
+        let mut a = Matrix::from_vec(9, 4, v);
+        for i in 0..4 {
+            a.add_at(i, i, 3.0); // ensure full rank
+        }
+        let f = qr::Qr::factor(&a);
+        let q = f.q();
+        let qtq = blas::matmul(&q.transpose(), &q);
+        prop_assert!(max_abs_diff(&qtq, &Matrix::identity(4)) < 1e-9);
+        let rec = blas::matmul(&q, &f.r());
+        prop_assert!(max_abs_diff(&rec, &a) < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_columns(
+        v in proptest::collection::vec(-1.0f64..1.0, 10 * 3),
+        b in proptest::collection::vec(-3.0f64..3.0, 10),
+    ) {
+        let mut a = Matrix::from_vec(10, 3, v);
+        for i in 0..3 {
+            a.add_at(i, i, 3.0);
+        }
+        let x = qr::lstsq(&a, &b).unwrap();
+        let mut r = b.clone();
+        for (i, ri) in r.iter_mut().enumerate() {
+            let ax: f64 = (0..3).map(|j| a.get(i, j) * x[j]).sum();
+            *ri -= ax;
+        }
+        for j in 0..3 {
+            let d: f64 = (0..10).map(|i| a.get(i, j) * r[i]).sum();
+            prop_assert!(d.abs() < 1e-7, "column {j}: {d}");
+        }
+    }
+
+    #[test]
+    fn lstsq_nonneg_never_negative(
+        v in proptest::collection::vec(-1.0f64..1.0, 8 * 3),
+        b in proptest::collection::vec(-3.0f64..3.0, 8),
+    ) {
+        let mut a = Matrix::from_vec(8, 3, v);
+        for i in 0..3 {
+            a.add_at(i, i, 2.0);
+        }
+        if let Ok(x) = qr::lstsq_nonneg(&a, &b) {
+            prop_assert!(x.iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn triangular_inverse_roundtrip(v in proptest::collection::vec(0.5f64..2.0, 6 * 6)) {
+        let mut l = Matrix::from_vec(6, 6, v);
+        // Lower triangular with safe diagonal.
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                l.set(i, j, 0.0);
+            }
+            l.add_at(i, i, 1.0);
+        }
+        let inv = triangular::invert_lower(&l);
+        let prod = blas::matmul(&l, &inv);
+        prop_assert!(max_abs_diff(&prod, &Matrix::identity(6)) < 1e-9);
+    }
+
+    #[test]
+    fn gemm_associates_with_vectors(
+        v in proptest::collection::vec(-1.0f64..1.0, 5 * 5),
+        x in proptest::collection::vec(-1.0f64..1.0, 5),
+    ) {
+        // (A B) x == A (B x)
+        let a = Matrix::from_vec(5, 5, v.clone());
+        let b = Matrix::from_vec(5, 5, v.iter().rev().cloned().collect());
+        let ab = blas::matmul(&a, &b);
+        let mut lhs = vec![0.0; 5];
+        blas::gemv(1.0, &ab, &x, 0.0, &mut lhs);
+        let mut bx = vec![0.0; 5];
+        blas::gemv(1.0, &b, &x, 0.0, &mut bx);
+        let mut rhs = vec![0.0; 5];
+        blas::gemv(1.0, &a, &bx, 0.0, &mut rhs);
+        for (u, w) in lhs.iter().zip(&rhs) {
+            prop_assert!((u - w).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Sliding-window AUC multi-armed bandit.
+//!
+//! OpenTuner's meta-technique (paper Sec. 5) "allocates and distributes the
+//! function evaluations over a collection of optimization methods in
+//! multiple arms in order to adaptively select the best performing method".
+//! The concrete algorithm is Ansel et al.'s area-under-curve credit
+//! assignment over a sliding window of improvement outcomes, plus an
+//! exploration bonus `C·sqrt(2·ln t / n_arm)`.
+
+/// AUC bandit over a fixed set of arms.
+#[derive(Debug, Clone)]
+pub struct AucBandit {
+    window: usize,
+    c: f64,
+    /// Per-arm sliding window of outcomes (true = proposal improved best).
+    history: Vec<Vec<bool>>,
+    /// Per-arm total use count.
+    uses: Vec<usize>,
+    /// Total decisions made.
+    t: usize,
+}
+
+impl AucBandit {
+    /// Creates a bandit over `arms` arms with the given sliding-window size
+    /// and exploration constant (OpenTuner defaults: window 500, C = 0.05).
+    pub fn new(arms: usize, window: usize, c: f64) -> Self {
+        assert!(arms > 0, "AucBandit: need at least one arm");
+        AucBandit {
+            window: window.max(1),
+            c,
+            history: vec![Vec::new(); arms],
+            uses: vec![0; arms],
+            t: 0,
+        }
+    }
+
+    /// Number of arms.
+    pub fn arms(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Selects the next arm: any never-used arm first (round-robin), then
+    /// highest AUC + exploration score.
+    pub fn select(&mut self) -> usize {
+        self.t += 1;
+        if let Some(unused) = self.uses.iter().position(|&u| u == 0) {
+            return unused;
+        }
+        let lnt = (self.t as f64).ln().max(0.0);
+        let (best, _) = (0..self.arms())
+            .map(|a| {
+                let exploit = self.auc(a);
+                let explore = self.c * (2.0 * lnt / self.uses[a] as f64).sqrt();
+                (a, exploit + explore)
+            })
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .unwrap();
+        best
+    }
+
+    /// Records the outcome of using `arm` (`improved` = the proposal beat
+    /// the incumbent best).
+    pub fn reward(&mut self, arm: usize, improved: bool) {
+        self.uses[arm] += 1;
+        let h = &mut self.history[arm];
+        h.push(improved);
+        if h.len() > self.window {
+            h.remove(0);
+        }
+    }
+
+    /// Area-under-curve credit: recent improvements weigh more
+    /// (weight i+1 for the i-th oldest outcome), normalised to [0,1].
+    fn auc(&self, arm: usize) -> f64 {
+        let h = &self.history[arm];
+        if h.is_empty() {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &ok) in h.iter().enumerate() {
+            let w = (i + 1) as f64;
+            den += w;
+            if ok {
+                num += w;
+            }
+        }
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explores_all_arms_first() {
+        let mut b = AucBandit::new(3, 100, 0.05);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let a = b.select();
+            seen.insert(a);
+            b.reward(a, false);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn converges_to_winning_arm() {
+        let mut b = AucBandit::new(3, 50, 0.05);
+        // Arm 1 always improves, others never.
+        let mut picks = vec![0usize; 3];
+        for _ in 0..200 {
+            let a = b.select();
+            picks[a] += 1;
+            b.reward(a, a == 1);
+        }
+        assert!(picks[1] > 150, "picks = {picks:?}");
+    }
+
+    #[test]
+    fn recency_weighting_adapts() {
+        let mut b = AucBandit::new(2, 20, 0.0);
+        // Arm 0 good early, then goes cold; arm 1 warms up.
+        for i in 0..40 {
+            let a = b.select();
+            let improved = if i < 20 { a == 0 } else { a == 1 };
+            b.reward(a, improved);
+        }
+        // After the switch, fresh selections should favour arm 1.
+        let mut recent = vec![0usize; 2];
+        for _ in 0..20 {
+            let a = b.select();
+            recent[a] += 1;
+            b.reward(a, a == 1);
+        }
+        assert!(recent[1] > recent[0], "recent = {recent:?}");
+    }
+
+    #[test]
+    fn window_bounds_history() {
+        let mut b = AucBandit::new(1, 5, 0.05);
+        for _ in 0..20 {
+            b.reward(0, true);
+        }
+        assert_eq!(b.history[0].len(), 5);
+    }
+}

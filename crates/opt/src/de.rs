@@ -1,0 +1,140 @@
+//! Differential evolution (DE/rand/1/bin) on the unit hypercube.
+//!
+//! One of the model-free global techniques in the OpenTuner-style ensemble
+//! (paper Sec. 5 groups it with the "global approaches").
+
+use crate::{OptResult};
+use rand::Rng;
+
+/// DE configuration.
+#[derive(Debug, Clone)]
+pub struct DeOptions {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Differential weight `F`.
+    pub f_weight: f64,
+    /// Crossover probability `CR`.
+    pub crossover: f64,
+}
+
+impl Default for DeOptions {
+    fn default() -> Self {
+        DeOptions {
+            population: 30,
+            generations: 50,
+            f_weight: 0.7,
+            crossover: 0.9,
+        }
+    }
+}
+
+/// Minimizes `f` over `[0,1]^dim` with DE/rand/1/bin.
+pub fn minimize(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    dim: usize,
+    seeds: &[Vec<f64>],
+    opts: &DeOptions,
+    rng: &mut impl Rng,
+) -> OptResult {
+    let np = opts.population.max(4);
+    let mut evals = 0usize;
+    let mut pop: Vec<Vec<f64>> = seeds
+        .iter()
+        .take(np)
+        .map(|s| {
+            let mut p = s.clone();
+            crate::clamp_unit(&mut p);
+            p
+        })
+        .collect();
+    while pop.len() < np {
+        pop.push((0..dim).map(|_| rng.gen::<f64>()).collect());
+    }
+    let mut vals: Vec<f64> = pop
+        .iter()
+        .map(|p| {
+            evals += 1;
+            nanproof(f(p))
+        })
+        .collect();
+
+    for _ in 0..opts.generations {
+        for i in 0..np {
+            // Pick three distinct indices ≠ i.
+            let mut pick = || loop {
+                let k = rng.gen_range(0..np);
+                if k != i {
+                    return k;
+                }
+            };
+            let (a, b, c) = (pick(), pick(), pick());
+            let jrand = rng.gen_range(0..dim);
+            let mut trial = pop[i].clone();
+            for d in 0..dim {
+                if d == jrand || rng.gen::<f64>() < opts.crossover {
+                    trial[d] =
+                        (pop[a][d] + opts.f_weight * (pop[b][d] - pop[c][d])).clamp(0.0, 1.0);
+                }
+            }
+            let tv = nanproof(f(&trial));
+            evals += 1;
+            if tv <= vals[i] {
+                pop[i] = trial;
+                vals[i] = tv;
+            }
+        }
+    }
+
+    let (bi, bv) = vals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    OptResult {
+        x: pop[bi].clone(),
+        value: *bv,
+        evals,
+    }
+}
+
+fn nanproof(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sphere() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut f = |x: &[f64]| x.iter().map(|v| (v - 0.6) * (v - 0.6)).sum::<f64>();
+        let r = minimize(&mut f, 3, &[], &DeOptions::default(), &mut rng);
+        assert!(r.value < 1e-4, "value {}", r.value);
+    }
+
+    #[test]
+    fn respects_bounds_and_seeds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut f = |x: &[f64]| -x[0]; // push to upper bound
+        let r = minimize(&mut f, 1, &[vec![0.2]], &DeOptions::default(), &mut rng);
+        assert!(r.x[0] <= 1.0 && r.x[0] > 0.95);
+    }
+
+    #[test]
+    fn nan_tolerated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut f = |x: &[f64]| if x[0] < 0.3 { f64::NAN } else { x[0] };
+        let r = minimize(&mut f, 1, &[], &DeOptions::default(), &mut rng);
+        assert!(r.value.is_finite());
+        assert!(r.x[0] >= 0.3);
+    }
+}

@@ -1,0 +1,365 @@
+//! Random-forest regression — the surrogate behind the SuRf baseline.
+//!
+//! SuRf (Balaprakash, cited in paper Sec. 5) "uses random forests to model
+//! the performance of an application and find its optimum", with a
+//! particular strength on categorical parameters. This module implements
+//! the substrate from scratch: CART regression trees (variance-reduction
+//! splits), bootstrap aggregation with per-split feature subsampling, and
+//! ensemble mean/variance prediction (the variance across trees serves as
+//! the exploration signal).
+
+use rand::Rng;
+
+/// Configuration of a [`RandomForest`].
+#[derive(Debug, Clone)]
+pub struct ForestOptions {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_split: usize,
+    /// Features considered per split (`None` = ⌈dim/3⌉, the regression
+    /// default).
+    pub max_features: Option<usize>,
+}
+
+impl Default for ForestOptions {
+    fn default() -> Self {
+        ForestOptions {
+            n_trees: 30,
+            max_depth: 10,
+            min_split: 4,
+            max_features: None,
+        }
+    }
+}
+
+/// A node of a regression tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the `< threshold` child.
+        left: usize,
+        /// Arena index of the `≥ threshold` child.
+        right: usize,
+    },
+}
+
+/// A single CART regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on the rows indexed by `idx`.
+    fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: &[usize],
+        opts: &ForestOptions,
+        rng: &mut impl Rng,
+    ) -> RegressionTree {
+        let mut nodes = Vec::new();
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        let root = Self::build(xs, ys, idx.to_vec(), 0, opts, rng, &mut nodes);
+        debug_assert_eq!(root, 0);
+        tree.nodes = nodes;
+        tree
+    }
+
+    fn build(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        opts: &ForestOptions,
+        rng: &mut impl Rng,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+        let me = nodes.len();
+        nodes.push(Node::Leaf { value: mean }); // placeholder
+
+        if depth >= opts.max_depth || idx.len() < opts.min_split {
+            return me;
+        }
+
+        let dim = xs[0].len();
+        let k = opts
+            .max_features
+            .unwrap_or_else(|| dim.div_ceil(3))
+            .clamp(1, dim);
+        // Sample k distinct candidate features.
+        let mut feats: Vec<usize> = (0..dim).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..dim);
+            feats.swap(i, j);
+        }
+        let feats = &feats[..k];
+
+        // Best split by weighted-variance (SSE) reduction.
+        let parent_sse = sse(ys, &idx, mean);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &f in feats {
+            let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds at midpoints (cap to 16 evenly spread).
+            let step = (vals.len() - 1).div_ceil(16).max(1);
+            for w in (0..vals.len() - 1).step_by(step) {
+                let thr = 0.5 * (vals[w] + vals[w + 1]);
+                let (mut nl, mut sl, mut nr, mut sr) = (0usize, 0.0, 0usize, 0.0);
+                for &i in &idx {
+                    if xs[i][f] < thr {
+                        nl += 1;
+                        sl += ys[i];
+                    } else {
+                        nr += 1;
+                        sr += ys[i];
+                    }
+                }
+                if nl == 0 || nr == 0 {
+                    continue;
+                }
+                let ml = sl / nl as f64;
+                let mr = sr / nr as f64;
+                let child_sse: f64 = idx
+                    .iter()
+                    .map(|&i| {
+                        let m = if xs[i][f] < thr { ml } else { mr };
+                        (ys[i] - m) * (ys[i] - m)
+                    })
+                    .sum();
+                let gain = parent_sse - child_sse;
+                if gain > 1e-12 && best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
+                    best = Some((gain, f, thr));
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            return me;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| xs[i][feature] < threshold);
+        let left = Self::build(xs, ys, left_idx, depth + 1, opts, rng, nodes);
+        let right = Self::build(xs, ys, right_idx, depth + 1, opts, rng, nodes);
+        nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Predicts the leaf mean for `x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if x[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn sse(ys: &[f64], idx: &[usize], mean: f64) -> f64 {
+    idx.iter().map(|&i| (ys[i] - mean) * (ys[i] - mean)).sum()
+}
+
+/// A bagged ensemble of regression trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest. Non-finite targets are clamped to the worst finite
+    /// value (failed application runs are "very slow", as in the tuners).
+    ///
+    /// # Panics
+    /// Panics on empty or mismatched data, or when every target is
+    /// non-finite.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], opts: &ForestOptions, rng: &mut impl Rng) -> RandomForest {
+        assert!(!xs.is_empty(), "RandomForest::fit: empty data");
+        assert_eq!(xs.len(), ys.len());
+        let worst = ys
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(worst.is_finite(), "RandomForest::fit: all targets non-finite");
+        let cleaned: Vec<f64> = ys
+            .iter()
+            .map(|&v| if v.is_finite() { v } else { worst })
+            .collect();
+
+        let n = xs.len();
+        let trees = (0..opts.n_trees.max(1))
+            .map(|_| {
+                // Bootstrap sample.
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                RegressionTree::fit(xs, &cleaned, &idx, opts, rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Ensemble mean and across-tree variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let n = preds.len() as f64;
+        let mean = preds.iter().sum::<f64>() / n;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_data(f: impl Fn(f64, f64) -> f64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let a = (i as f64 + 0.5) / n as f64;
+                let b = (j as f64 + 0.5) / n as f64;
+                xs.push(vec![a, b]);
+                ys.push(f(a, b));
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        // Trees excel at axis-aligned steps.
+        let (xs, ys) = grid_data(|a, _| if a < 0.5 { 1.0 } else { 5.0 }, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let forest = RandomForest::fit(&xs, &ys, &ForestOptions::default(), &mut rng);
+        let (lo, _) = forest.predict(&[0.2, 0.5]);
+        let (hi, _) = forest.predict(&[0.8, 0.5]);
+        assert!((lo - 1.0).abs() < 0.3, "lo {lo}");
+        assert!((hi - 5.0).abs() < 0.3, "hi {hi}");
+    }
+
+    #[test]
+    fn approximates_smooth_function() {
+        let (xs, ys) = grid_data(|a, b| (a - 0.3).powi(2) + (b - 0.7).powi(2), 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let forest = RandomForest::fit(&xs, &ys, &ForestOptions::default(), &mut rng);
+        let mut err = 0.0;
+        for i in 0..20 {
+            let a = (i as f64 + 0.5) / 20.0;
+            let (p, _) = forest.predict(&[a, a]);
+            let truth = (a - 0.3).powi(2) + (a - 0.7).powi(2);
+            err += (p - truth).abs();
+        }
+        assert!(err / 20.0 < 0.05, "mean abs err {}", err / 20.0);
+    }
+
+    #[test]
+    fn variance_higher_near_decision_boundary() {
+        // Bootstrap resampling moves each tree's split threshold slightly,
+        // so ensemble disagreement concentrates near the discontinuity and
+        // vanishes deep inside the flat regions.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let a = (i as f64 + 0.5) / 60.0;
+            xs.push(vec![a]);
+            ys.push(if a < 0.5 { 0.0 } else { 10.0 });
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let forest = RandomForest::fit(&xs, &ys, &ForestOptions::default(), &mut rng);
+        let (_, v_boundary) = forest.predict(&[0.5]);
+        let (_, v_flat) = forest.predict(&[0.1]);
+        assert!(
+            v_boundary >= v_flat,
+            "boundary {v_boundary} flat {v_flat}"
+        );
+        assert!(v_flat < 1.0, "flat region should be near-certain: {v_flat}");
+    }
+
+    #[test]
+    fn handles_constant_targets() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys = vec![2.5; 10];
+        let mut rng = StdRng::seed_from_u64(4);
+        let forest = RandomForest::fit(&xs, &ys, &ForestOptions::default(), &mut rng);
+        let (m, v) = forest.predict(&[0.5]);
+        assert_eq!(m, 2.5);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn non_finite_targets_clamped() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0]).collect();
+        let mut ys: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        ys[3] = f64::INFINITY;
+        let mut rng = StdRng::seed_from_u64(5);
+        let forest = RandomForest::fit(&xs, &ys, &ForestOptions::default(), &mut rng);
+        let (m, _) = forest.predict(&[0.99]);
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_non_finite_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = RandomForest::fit(
+            &[vec![0.1]],
+            &[f64::NAN],
+            &ForestOptions::default(),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (xs, ys) = grid_data(|a, b| a * 7.0 + b, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let opts = ForestOptions {
+            n_trees: 1,
+            max_depth: 2,
+            min_split: 2,
+            max_features: Some(2),
+        };
+        let forest = RandomForest::fit(&xs, &ys, &opts, &mut rng);
+        // Depth-2 binary tree has at most 7 nodes.
+        assert!(forest.trees[0].n_nodes() <= 7);
+    }
+}

@@ -1,0 +1,186 @@
+//! Real-coded genetic algorithm (tournament selection, blend crossover,
+//! Gaussian mutation) — one of the OpenTuner ensemble techniques
+//! (paper Sec. 5 cites Srinivas & Patnaik's survey).
+
+use crate::OptResult;
+use rand::Rng;
+
+/// GA configuration.
+#[derive(Debug, Clone)]
+pub struct GaOptions {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Crossover probability.
+    pub crossover: f64,
+    /// Per-gene mutation probability.
+    pub mutation: f64,
+    /// Gaussian mutation standard deviation (unit-box units).
+    pub sigma: f64,
+    /// Number of elite individuals carried over unchanged.
+    pub elites: usize,
+}
+
+impl Default for GaOptions {
+    fn default() -> Self {
+        GaOptions {
+            population: 30,
+            generations: 50,
+            crossover: 0.9,
+            mutation: 0.15,
+            sigma: 0.1,
+            elites: 2,
+        }
+    }
+}
+
+/// Minimizes `f` over `[0,1]^dim`.
+pub fn minimize(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    dim: usize,
+    seeds: &[Vec<f64>],
+    opts: &GaOptions,
+    rng: &mut impl Rng,
+) -> OptResult {
+    let np = opts.population.max(4);
+    let mut evals = 0usize;
+    let mut pop: Vec<Vec<f64>> = seeds
+        .iter()
+        .take(np)
+        .map(|s| {
+            let mut p = s.clone();
+            crate::clamp_unit(&mut p);
+            p
+        })
+        .collect();
+    while pop.len() < np {
+        pop.push((0..dim).map(|_| rng.gen::<f64>()).collect());
+    }
+    let mut vals: Vec<f64> = pop
+        .iter()
+        .map(|p| {
+            evals += 1;
+            nanproof(f(p))
+        })
+        .collect();
+
+    for _ in 0..opts.generations {
+        // Sort by fitness (ascending = better first).
+        let mut order: Vec<usize> = (0..np).collect();
+        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+
+        let mut next: Vec<Vec<f64>> = order
+            .iter()
+            .take(opts.elites.min(np))
+            .map(|&i| pop[i].clone())
+            .collect();
+        let mut next_vals: Vec<f64> = order
+            .iter()
+            .take(opts.elites.min(np))
+            .map(|&i| vals[i])
+            .collect();
+
+        let tournament = |rng: &mut dyn rand::RngCore| -> usize {
+            let a = (rng.next_u64() % np as u64) as usize;
+            let b = (rng.next_u64() % np as u64) as usize;
+            if vals[a] < vals[b] {
+                a
+            } else {
+                b
+            }
+        };
+
+        while next.len() < np {
+            let pa = tournament(rng);
+            let pb = tournament(rng);
+            let mut child = pop[pa].clone();
+            if rng.gen::<f64>() < opts.crossover {
+                // BLX-style blend.
+                for d in 0..dim {
+                    let w: f64 = rng.gen();
+                    child[d] = (w * pop[pa][d] + (1.0 - w) * pop[pb][d]).clamp(0.0, 1.0);
+                }
+            }
+            for g in child.iter_mut() {
+                if rng.gen::<f64>() < opts.mutation {
+                    *g = (*g + gaussian(rng) * opts.sigma).clamp(0.0, 1.0);
+                }
+            }
+            let v = nanproof(f(&child));
+            evals += 1;
+            next.push(child);
+            next_vals.push(v);
+        }
+        pop = next;
+        vals = next_vals;
+    }
+
+    let (bi, bv) = vals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    OptResult {
+        x: pop[bi].clone(),
+        value: *bv,
+        evals,
+    }
+}
+
+/// Standard normal via Box–Muller (avoids an extra crate dependency).
+pub(crate) fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn nanproof(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sphere() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut f = |x: &[f64]| x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum::<f64>();
+        let r = minimize(&mut f, 3, &[], &GaOptions::default(), &mut rng);
+        assert!(r.value < 1e-2, "value {}", r.value);
+    }
+
+    #[test]
+    fn elitism_never_regresses() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let seed = vec![0.111, 0.222];
+        let mut f = |x: &[f64]| {
+            let d: f64 = x.iter().zip(&[0.111, 0.222]).map(|(a, b)| (a - b).abs()).sum();
+            if d < 1e-12 {
+                -5.0
+            } else {
+                d
+            }
+        };
+        let r = minimize(&mut f, 2, &[seed], &GaOptions::default(), &mut rng);
+        assert_eq!(r.value, -5.0);
+    }
+
+    #[test]
+    fn gaussian_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

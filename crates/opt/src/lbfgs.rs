@@ -1,0 +1,425 @@
+//! Limited-memory BFGS with strong-Wolfe line search.
+//!
+//! This is the optimizer of GPTune's modeling phase (paper Sec. 3.1): the
+//! LCM hyperparameters are found by minimizing the negative log-likelihood,
+//! restarted from several random initial guesses. The implementation is the
+//! standard two-loop recursion of Liu & Nocedal with a bracketing/zoom line
+//! search enforcing the strong Wolfe conditions.
+
+/// Configuration for [`minimize`].
+#[derive(Debug, Clone)]
+pub struct LbfgsOptions {
+    /// History size `m` (number of correction pairs).
+    pub memory: usize,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on `‖g‖∞ / max(1, ‖x‖∞)`.
+    pub grad_tol: f64,
+    /// Convergence tolerance on relative objective decrease.
+    pub f_tol: f64,
+    /// Sufficient-decrease (Armijo) constant `c₁`.
+    pub c1: f64,
+    /// Curvature constant `c₂`.
+    pub c2: f64,
+    /// Maximum line-search function evaluations per iteration.
+    pub max_ls: usize,
+}
+
+impl Default for LbfgsOptions {
+    fn default() -> Self {
+        LbfgsOptions {
+            memory: 10,
+            max_iters: 200,
+            grad_tol: 1e-6,
+            f_tol: 1e-10,
+            c1: 1e-4,
+            c2: 0.9,
+            max_ls: 25,
+        }
+    }
+}
+
+/// Why the optimizer stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LbfgsStatus {
+    /// Gradient norm below tolerance.
+    GradConverged,
+    /// Relative objective decrease below tolerance.
+    FConverged,
+    /// Iteration budget exhausted.
+    MaxIters,
+    /// Line search failed to find an acceptable step (often a sign that the
+    /// objective is returning non-finite values).
+    LineSearchFailed,
+}
+
+/// Result of an L-BFGS run.
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Objective at the final iterate.
+    pub value: f64,
+    /// Gradient at the final iterate.
+    pub grad: Vec<f64>,
+    /// Iterations performed.
+    pub iters: usize,
+    /// Objective/gradient evaluations performed.
+    pub evals: usize,
+    /// Termination reason.
+    pub status: LbfgsStatus,
+}
+
+/// Minimizes `f` starting from `x0`.
+///
+/// The objective closure fills `grad` and returns the value; it is expected
+/// to be deterministic. Non-finite values at the starting point yield an
+/// immediate `LineSearchFailed` result.
+pub fn minimize<F>(mut f: F, x0: &[f64], opts: &LbfgsOptions) -> LbfgsResult
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let mut g = vec![0.0; n];
+    let mut fx = f(&x, &mut g);
+    let mut evals = 1;
+
+    if !fx.is_finite() || g.iter().any(|v| !v.is_finite()) {
+        return LbfgsResult {
+            x,
+            value: fx,
+            grad: g,
+            iters: 0,
+            evals,
+            status: LbfgsStatus::LineSearchFailed,
+        };
+    }
+
+    let m = opts.memory.max(1);
+    let mut s_hist: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut y_hist: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rho_hist: Vec<f64> = Vec::with_capacity(m);
+
+    let mut status = LbfgsStatus::MaxIters;
+    let mut iter = 0;
+    while iter < opts.max_iters {
+        // Convergence on gradient.
+        let xmax = x.iter().fold(1.0_f64, |a, v| a.max(v.abs()));
+        let gmax = g.iter().fold(0.0_f64, |a, v| a.max(v.abs()));
+        if gmax / xmax <= opts.grad_tol {
+            status = LbfgsStatus::GradConverged;
+            break;
+        }
+
+        // Two-loop recursion: d = −H g.
+        let mut q = g.clone();
+        let k = s_hist.len();
+        let mut alpha = vec![0.0; k];
+        for i in (0..k).rev() {
+            alpha[i] = rho_hist[i] * dot(&s_hist[i], &q);
+            for (qj, yj) in q.iter_mut().zip(&y_hist[i]) {
+                *qj -= alpha[i] * yj;
+            }
+        }
+        // Initial Hessian scaling γ = sᵀy / yᵀy.
+        if k > 0 {
+            let sy = dot(&s_hist[k - 1], &y_hist[k - 1]);
+            let yy = dot(&y_hist[k - 1], &y_hist[k - 1]);
+            if yy > 0.0 {
+                let gamma = sy / yy;
+                for qj in q.iter_mut() {
+                    *qj *= gamma;
+                }
+            }
+        }
+        for i in 0..k {
+            let beta = rho_hist[i] * dot(&y_hist[i], &q);
+            for (qj, sj) in q.iter_mut().zip(&s_hist[i]) {
+                *qj += (alpha[i] - beta) * sj;
+            }
+        }
+        let mut d: Vec<f64> = q.iter().map(|v| -v).collect();
+
+        // Ensure descent; fall back to steepest descent otherwise.
+        let mut dg = dot(&d, &g);
+        if !(dg < 0.0) {
+            d = g.iter().map(|v| -v).collect();
+            dg = dot(&d, &g);
+            s_hist.clear();
+            y_hist.clear();
+            rho_hist.clear();
+            if !(dg < 0.0) {
+                status = LbfgsStatus::GradConverged;
+                break;
+            }
+        }
+
+        // Strong-Wolfe line search.
+        let t0 = if s_hist.is_empty() {
+            (1.0 / g.iter().map(|v| v.abs()).fold(0.0, f64::max)).min(1.0)
+        } else {
+            1.0
+        };
+        match wolfe_search(&mut f, &x, fx, &g, &d, dg, t0, opts, &mut evals) {
+            Some((t, fx_new, x_new, g_new)) => {
+                let _ = t;
+                // Update history.
+                let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+                let yv: Vec<f64> = g_new.iter().zip(&g).map(|(a, b)| a - b).collect();
+                let sy = dot(&s, &yv);
+                if sy > 1e-12 * nrm2(&s) * nrm2(&yv) {
+                    if s_hist.len() == m {
+                        s_hist.remove(0);
+                        y_hist.remove(0);
+                        rho_hist.remove(0);
+                    }
+                    rho_hist.push(1.0 / sy);
+                    s_hist.push(s);
+                    y_hist.push(yv);
+                }
+                let rel_dec = (fx - fx_new).abs() / fx.abs().max(1.0);
+                x = x_new;
+                g = g_new;
+                let f_converged = rel_dec <= opts.f_tol;
+                fx = fx_new;
+                iter += 1;
+                if f_converged {
+                    status = LbfgsStatus::FConverged;
+                    break;
+                }
+            }
+            None => {
+                status = LbfgsStatus::LineSearchFailed;
+                break;
+            }
+        }
+    }
+
+    LbfgsResult {
+        x,
+        value: fx,
+        grad: g,
+        iters: iter,
+        evals,
+        status,
+    }
+}
+
+/// Bracketing/zoom strong-Wolfe line search (Nocedal & Wright Alg. 3.5/3.6).
+/// Returns `(t, f(x+td), x+td, g(x+td))` or `None` on failure.
+#[allow(clippy::too_many_arguments)]
+fn wolfe_search<F>(
+    f: &mut F,
+    x: &[f64],
+    f0: f64,
+    _g0: &[f64],
+    d: &[f64],
+    dg0: f64,
+    t0: f64,
+    opts: &LbfgsOptions,
+    evals: &mut usize,
+) -> Option<(f64, f64, Vec<f64>, Vec<f64>)>
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let n = x.len();
+    let probe = |f: &mut F, t: f64, evals: &mut usize| -> (f64, Vec<f64>, Vec<f64>) {
+        let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + t * di).collect();
+        let mut gt = vec![0.0; n];
+        let ft = f(&xt, &mut gt);
+        *evals += 1;
+        (ft, xt, gt)
+    };
+
+    let mut t_prev = 0.0;
+    let mut f_prev = f0;
+    let mut t = t0.max(1e-16);
+    let t_max = 1e10;
+    let mut lo: Option<(f64, f64)> = None; // (t, f)
+    let mut hi: Option<(f64, f64)> = None;
+
+    // Bracketing phase.
+    for i in 0..opts.max_ls {
+        let (ft, xt, gt) = probe(f, t, evals);
+        if !ft.is_finite() {
+            // Step into a bad region; shrink.
+            hi = Some((t, f64::INFINITY));
+            lo = Some((t_prev, f_prev));
+            break;
+        }
+        let dgt = dot(&gt, d);
+        if ft > f0 + opts.c1 * t * dg0 || (i > 0 && ft >= f_prev) {
+            lo = Some((t_prev, f_prev));
+            hi = Some((t, ft));
+            break;
+        }
+        if dgt.abs() <= -opts.c2 * dg0 {
+            return Some((t, ft, xt, gt));
+        }
+        if dgt >= 0.0 {
+            lo = Some((t, ft));
+            hi = Some((t_prev, f_prev));
+            break;
+        }
+        t_prev = t;
+        f_prev = ft;
+        t = (2.0 * t).min(t_max);
+    }
+
+    let (mut t_lo, mut f_lo) = lo?;
+    let (mut t_hi, mut _f_hi) = hi?;
+
+    // Zoom phase.
+    for _ in 0..opts.max_ls {
+        let t_mid = 0.5 * (t_lo + t_hi);
+        if (t_hi - t_lo).abs() < 1e-16 * t_lo.abs().max(1.0) {
+            break;
+        }
+        let (ft, xt, gt) = probe(f, t_mid, evals);
+        if !ft.is_finite() || ft > f0 + opts.c1 * t_mid * dg0 || ft >= f_lo {
+            t_hi = t_mid;
+            _f_hi = ft;
+        } else {
+            let dgt = dot(&gt, d);
+            if dgt.abs() <= -opts.c2 * dg0 {
+                return Some((t_mid, ft, xt, gt));
+            }
+            if dgt * (t_hi - t_lo) >= 0.0 {
+                t_hi = t_lo;
+            }
+            t_lo = t_mid;
+            f_lo = ft;
+        }
+    }
+
+    // Accept the best sufficient-decrease point found, if any.
+    if f_lo < f0 && t_lo > 0.0 {
+        let (ft, xt, gt) = {
+            let xt: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + t_lo * di).collect();
+            let mut gt = vec![0.0; n];
+            let ft = f(&xt, &mut gt);
+            *evals += 1;
+            (ft, xt, gt)
+        };
+        if ft.is_finite() && ft < f0 {
+            return Some((t_lo, ft, xt, gt));
+        }
+    }
+    None
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn nrm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: &[f64], g: &mut [f64]) -> f64 {
+        // f = Σ i (x_i − i)², minimum at x_i = i.
+        let mut f = 0.0;
+        for (i, (xi, gi)) in x.iter().zip(g.iter_mut()).enumerate() {
+            let c = (i + 1) as f64;
+            let d = xi - i as f64;
+            f += c * d * d;
+            *gi = 2.0 * c * d;
+        }
+        f
+    }
+
+    #[test]
+    fn quadratic_converges_to_exact_minimum() {
+        let r = minimize(quadratic, &[5.0; 6], &LbfgsOptions::default());
+        assert!(matches!(r.status, LbfgsStatus::GradConverged | LbfgsStatus::FConverged));
+        for (i, xi) in r.x.iter().enumerate() {
+            assert!((xi - i as f64).abs() < 1e-5, "x[{i}]={xi}");
+        }
+        assert!(r.value < 1e-9);
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let rosen = |x: &[f64], g: &mut [f64]| {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -400.0 * a * (b - a * a) - 2.0 * (1.0 - a);
+            g[1] = 200.0 * (b - a * a);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let r = minimize(
+            rosen,
+            &[-1.2, 1.0],
+            &LbfgsOptions {
+                max_iters: 500,
+                ..Default::default()
+            },
+        );
+        assert!(r.value < 1e-8, "value {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-3);
+        assert!((r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn already_at_minimum_stops_immediately() {
+        let r = minimize(quadratic, &[0.0, 1.0, 2.0], &LbfgsOptions::default());
+        assert_eq!(r.status, LbfgsStatus::GradConverged);
+        assert_eq!(r.iters, 0);
+    }
+
+    #[test]
+    fn nan_objective_reports_failure() {
+        let bad = |_x: &[f64], g: &mut [f64]| {
+            g[0] = f64::NAN;
+            f64::NAN
+        };
+        let r = minimize(bad, &[1.0], &LbfgsOptions::default());
+        assert_eq!(r.status, LbfgsStatus::LineSearchFailed);
+    }
+
+    #[test]
+    fn objective_with_barrier_region() {
+        // f = −log(x) + x: minimum at x = 1; NaN for x ≤ 0 exercises the
+        // shrinking bracket.
+        let barrier = |x: &[f64], g: &mut [f64]| {
+            if x[0] <= 0.0 {
+                g[0] = f64::NAN;
+                return f64::NAN;
+            }
+            g[0] = -1.0 / x[0] + 1.0;
+            -x[0].ln() + x[0]
+        };
+        let r = minimize(barrier, &[3.0], &LbfgsOptions::default());
+        assert!((r.x[0] - 1.0).abs() < 1e-5, "x={}", r.x[0]);
+    }
+
+    #[test]
+    fn high_dimensional_ill_conditioned() {
+        // f = Σ κ_i x_i² with condition number 1e4.
+        let f = |x: &[f64], g: &mut [f64]| {
+            let n = x.len();
+            let mut fx = 0.0;
+            for i in 0..n {
+                let k = 10f64.powf(4.0 * i as f64 / (n - 1) as f64);
+                fx += k * x[i] * x[i];
+                g[i] = 2.0 * k * x[i];
+            }
+            fx
+        };
+        let r = minimize(
+            f,
+            &[1.0; 20],
+            &LbfgsOptions {
+                max_iters: 2000,
+                grad_tol: 1e-8,
+                f_tol: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(r.value < 1e-10, "value {}", r.value);
+    }
+}

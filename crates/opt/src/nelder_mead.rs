@@ -1,0 +1,207 @@
+//! Nelder–Mead downhill simplex on the unit hypercube — the canonical
+//! *local* model-free technique of the OpenTuner ensemble (paper Sec. 5).
+
+use crate::OptResult;
+
+/// Nelder–Mead configuration (standard coefficients).
+#[derive(Debug, Clone)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Initial simplex edge length (unit-box units).
+    pub init_step: f64,
+    /// Convergence tolerance on the simplex value spread.
+    pub f_tol: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 400,
+            init_step: 0.15,
+            f_tol: 1e-10,
+        }
+    }
+}
+
+/// Minimizes `f` over `[0,1]^dim` from the given start point.
+pub fn minimize(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> OptResult {
+    let dim = x0.len();
+    assert!(dim > 0);
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut evals = 0usize;
+    let eval = |f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus a step along each axis (reflected if at the
+    // upper boundary).
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(dim + 1);
+    let mut start = x0.to_vec();
+    crate::clamp_unit(&mut start);
+    simplex.push(start.clone());
+    for d in 0..dim {
+        let mut p = start.clone();
+        p[d] = if p[d] + opts.init_step <= 1.0 {
+            p[d] + opts.init_step
+        } else {
+            p[d] - opts.init_step
+        };
+        simplex.push(p);
+    }
+    let mut vals: Vec<f64> = simplex.iter().map(|p| eval(f, p, &mut evals)).collect();
+
+    while evals < opts.max_evals {
+        // Order.
+        let mut order: Vec<usize> = (0..=dim).collect();
+        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+        let best = order[0];
+        let worst = order[dim];
+        let second_worst = order[dim - 1];
+
+        if (vals[worst] - vals[best]).abs() <= opts.f_tol * (1.0 + vals[best].abs()) {
+            break;
+        }
+
+        // Centroid excluding the worst.
+        let mut centroid = vec![0.0; dim];
+        for (i, p) in simplex.iter().enumerate() {
+            if i == worst {
+                continue;
+            }
+            for d in 0..dim {
+                centroid[d] += p[d];
+            }
+        }
+        for c in &mut centroid {
+            *c /= dim as f64;
+        }
+
+        let blend = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| (c + t * (c - w)).clamp(0.0, 1.0))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = blend(alpha);
+        let fr = eval(f, &xr, &mut evals);
+        if fr < vals[best] {
+            // Expansion.
+            let xe = blend(gamma);
+            let fe = eval(f, &xe, &mut evals);
+            if fe < fr {
+                simplex[worst] = xe;
+                vals[worst] = fe;
+            } else {
+                simplex[worst] = xr;
+                vals[worst] = fr;
+            }
+        } else if fr < vals[second_worst] {
+            simplex[worst] = xr;
+            vals[worst] = fr;
+        } else {
+            // Contraction.
+            let xc = blend(-rho);
+            let fc = eval(f, &xc, &mut evals);
+            if fc < vals[worst] {
+                simplex[worst] = xc;
+                vals[worst] = fc;
+            } else {
+                // Shrink toward the best.
+                let best_point = simplex[best].clone();
+                for i in 0..=dim {
+                    if i == best {
+                        continue;
+                    }
+                    for d in 0..dim {
+                        simplex[i][d] = best_point[d] + sigma * (simplex[i][d] - best_point[d]);
+                    }
+                    vals[i] = eval(f, &simplex[i], &mut evals);
+                }
+            }
+        }
+    }
+
+    let (bi, bv) = vals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    OptResult {
+        x: simplex[bi].clone(),
+        value: *bv,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let mut f = |x: &[f64]| (x[0] - 0.3).powi(2) + 2.0 * (x[1] - 0.7).powi(2);
+        let r = minimize(&mut f, &[0.9, 0.1], &NelderMeadOptions::default());
+        assert!(r.value < 1e-8, "value {}", r.value);
+        assert!((r.x[0] - 0.3).abs() < 1e-3);
+        assert!((r.x[1] - 0.7).abs() < 1e-3);
+    }
+
+    #[test]
+    fn boundary_minimum() {
+        let mut f = |x: &[f64]| -x[0] - x[1];
+        let r = minimize(&mut f, &[0.5, 0.5], &NelderMeadOptions::default());
+        assert!(r.x[0] > 0.99 && r.x[1] > 0.99);
+    }
+
+    #[test]
+    fn start_near_upper_bound_builds_valid_simplex() {
+        let mut f = |x: &[f64]| (x[0] - 0.95).powi(2);
+        let r = minimize(&mut f, &[1.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 0.95).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut n = 0usize;
+        let mut f = |x: &[f64]| {
+            n += 1;
+            (x[0] - 0.5).powi(2)
+        };
+        let opts = NelderMeadOptions {
+            max_evals: 30,
+            f_tol: 0.0,
+            ..Default::default()
+        };
+        let _ = minimize(&mut f, &[0.1], &opts);
+        // The loop may finish its current step, so allow a small overshoot
+        // (≤ dim+2 evals per iteration for 1-D shrink).
+        assert!(n <= 30 + 4, "n = {n}");
+    }
+
+    #[test]
+    fn nan_region_handled() {
+        let mut f = |x: &[f64]| {
+            if x[0] < 0.2 {
+                f64::NAN
+            } else {
+                (x[0] - 0.4).powi(2)
+            }
+        };
+        let r = minimize(&mut f, &[0.6], &NelderMeadOptions::default());
+        assert!((r.x[0] - 0.4).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Particle Swarm Optimization on the unit hypercube.
+//!
+//! The paper's search phase (Sec. 3.1) maximizes the Expected-Improvement
+//! acquisition with PSO: "we can generate large numbers of samples and use
+//! global, evolutionary algorithms such as PSO to optimize the EI". The EI
+//! surface is cheap, so a moderately sized swarm with a few dozen iterations
+//! is plenty.
+
+use crate::{clamp_unit, OptResult};
+use rand::Rng;
+
+/// PSO configuration (standard inertia-weight PSO with velocity clamping).
+#[derive(Debug, Clone)]
+pub struct PsoOptions {
+    /// Number of particles.
+    pub particles: usize,
+    /// Number of iterations.
+    pub iters: usize,
+    /// Inertia weight at the first iteration (decays linearly to `w_end`).
+    pub w_start: f64,
+    /// Inertia weight at the last iteration.
+    pub w_end: f64,
+    /// Cognitive acceleration (pull toward the particle's own best).
+    pub c1: f64,
+    /// Social acceleration (pull toward the swarm's best).
+    pub c2: f64,
+    /// Maximum velocity per dimension (fraction of the unit box).
+    pub v_max: f64,
+}
+
+impl Default for PsoOptions {
+    fn default() -> Self {
+        PsoOptions {
+            particles: 40,
+            iters: 50,
+            w_start: 0.9,
+            w_end: 0.4,
+            c1: 1.5,
+            c2: 1.5,
+            v_max: 0.25,
+        }
+    }
+}
+
+/// Minimizes `f` over `[0,1]^dim` with PSO.
+///
+/// `seeds` optionally injects known-good starting points (GPTune seeds the
+/// swarm with the incumbent best sample so the acquisition search never
+/// regresses). Remaining particles are placed uniformly at random.
+///
+/// ```
+/// use gptune_opt::pso::{minimize, PsoOptions};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut f = |x: &[f64]| (x[0] - 0.3_f64).powi(2);
+/// let r = minimize(&mut f, 1, &[], &PsoOptions::default(), &mut rng);
+/// assert!((r.x[0] - 0.3).abs() < 0.02);
+/// ```
+pub fn minimize(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    dim: usize,
+    seeds: &[Vec<f64>],
+    opts: &PsoOptions,
+    rng: &mut impl Rng,
+) -> OptResult {
+    assert!(dim > 0, "pso: dim must be positive");
+    let np = opts.particles.max(2);
+    let mut evals = 0usize;
+
+    // Initialise positions and velocities.
+    let mut pos: Vec<Vec<f64>> = Vec::with_capacity(np);
+    for s in seeds.iter().take(np) {
+        assert_eq!(s.len(), dim, "pso: seed dimension mismatch");
+        let mut p = s.clone();
+        clamp_unit(&mut p);
+        pos.push(p);
+    }
+    while pos.len() < np {
+        pos.push((0..dim).map(|_| rng.gen::<f64>()).collect());
+    }
+    let mut vel: Vec<Vec<f64>> = (0..np)
+        .map(|_| {
+            (0..dim)
+                .map(|_| (rng.gen::<f64>() - 0.5) * opts.v_max)
+                .collect()
+        })
+        .collect();
+
+    let mut pbest = pos.clone();
+    let mut pbest_val: Vec<f64> = pos
+        .iter()
+        .map(|p| {
+            evals += 1;
+            sanitize(f(p))
+        })
+        .collect();
+
+    let (mut gbest_idx, _) = pbest_val
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    let mut gbest = pbest[gbest_idx].clone();
+    let mut gbest_val = pbest_val[gbest_idx];
+
+    for it in 0..opts.iters {
+        let w = opts.w_start + (opts.w_end - opts.w_start) * it as f64 / opts.iters.max(1) as f64;
+        for i in 0..np {
+            for d in 0..dim {
+                let r1 = rng.gen::<f64>();
+                let r2 = rng.gen::<f64>();
+                let v = w * vel[i][d]
+                    + opts.c1 * r1 * (pbest[i][d] - pos[i][d])
+                    + opts.c2 * r2 * (gbest[d] - pos[i][d]);
+                vel[i][d] = v.clamp(-opts.v_max, opts.v_max);
+                pos[i][d] = (pos[i][d] + vel[i][d]).clamp(0.0, 1.0);
+            }
+            let val = sanitize(f(&pos[i]));
+            evals += 1;
+            if val < pbest_val[i] {
+                pbest_val[i] = val;
+                pbest[i].clone_from(&pos[i]);
+                if val < gbest_val {
+                    gbest_val = val;
+                    gbest.clone_from(&pos[i]);
+                    gbest_idx = i;
+                }
+            }
+        }
+    }
+    let _ = gbest_idx;
+
+    OptResult {
+        x: gbest,
+        value: gbest_val,
+        evals,
+    }
+}
+
+/// NaN-proofing: swarm logic needs totally ordered values.
+fn sanitize(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sphere_minimum_found() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut f = |x: &[f64]| x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum::<f64>();
+        let r = minimize(&mut f, 4, &[], &PsoOptions::default(), &mut rng);
+        assert!(r.value < 1e-4, "value {}", r.value);
+        for xi in &r.x {
+            assert!((xi - 0.3).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn multimodal_rastrigin_like() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut f = |x: &[f64]| {
+            x.iter()
+                .map(|&v| {
+                    let z = (v - 0.7) * 10.0;
+                    z * z - 8.0 * (2.0 * std::f64::consts::PI * z).cos() + 8.0
+                })
+                .sum::<f64>()
+        };
+        let r = minimize(
+            &mut f,
+            2,
+            &[],
+            &PsoOptions {
+                particles: 80,
+                iters: 120,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!((r.x[0] - 0.7).abs() < 0.05, "x0 {}", r.x[0]);
+        assert!((r.x[1] - 0.7).abs() < 0.05, "x1 {}", r.x[1]);
+    }
+
+    #[test]
+    fn seed_is_never_lost() {
+        // Objective where the seed is already the global optimum on a
+        // plateau — result must not be worse than the seeded value.
+        let mut rng = StdRng::seed_from_u64(3);
+        let seed = vec![0.123, 0.456];
+        let mut f = |x: &[f64]| {
+            let d: f64 = x
+                .iter()
+                .zip(&[0.123, 0.456])
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            if d < 1e-12 {
+                -10.0
+            } else {
+                0.0
+            }
+        };
+        let r = minimize(&mut f, 2, std::slice::from_ref(&seed), &PsoOptions::default(), &mut rng);
+        assert_eq!(r.value, -10.0);
+        assert_eq!(r.x, seed);
+    }
+
+    #[test]
+    fn stays_in_unit_box() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Pull hard toward a corner outside the box.
+        let mut f = |x: &[f64]| x.iter().map(|v| (v - 2.0) * (v - 2.0)).sum::<f64>();
+        let r = minimize(&mut f, 3, &[], &PsoOptions::default(), &mut rng);
+        for xi in &r.x {
+            assert!((0.0..=1.0).contains(xi));
+            assert!((xi - 1.0).abs() < 1e-9, "should press against upper bound");
+        }
+    }
+
+    #[test]
+    fn nan_objective_does_not_poison() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut f = |x: &[f64]| {
+            if x[0] < 0.5 {
+                f64::NAN
+            } else {
+                (x[0] - 0.8) * (x[0] - 0.8)
+            }
+        };
+        let r = minimize(&mut f, 1, &[], &PsoOptions::default(), &mut rng);
+        assert!(r.value.is_finite());
+        assert!((r.x[0] - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn eval_budget_accounting() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut count = 0usize;
+        let mut f = |_: &[f64]| {
+            count += 1;
+            1.0
+        };
+        let opts = PsoOptions {
+            particles: 10,
+            iters: 5,
+            ..Default::default()
+        };
+        let r = minimize(&mut f, 2, &[], &opts, &mut rng);
+        assert_eq!(r.evals, count);
+        assert_eq!(count, 10 + 10 * 5);
+    }
+}

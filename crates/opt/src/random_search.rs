@@ -1,0 +1,121 @@
+//! Random and grid search — the baseline black-box methods the paper lists
+//! first (Sec. 5): cheap, embarrassingly parallel, and the floor any smarter
+//! tuner must beat.
+
+use crate::OptResult;
+use rand::Rng;
+
+/// Minimizes `f` over `[0,1]^dim` with `n` i.i.d. uniform samples.
+pub fn random_search(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    dim: usize,
+    n: usize,
+    rng: &mut impl Rng,
+) -> OptResult {
+    assert!(n > 0, "random_search: need at least one sample");
+    let mut best_x = vec![0.0; dim];
+    let mut best_v = f64::INFINITY;
+    for _ in 0..n {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+        let v = f(&x);
+        let v = if v.is_nan() { f64::INFINITY } else { v };
+        if v < best_v {
+            best_v = v;
+            best_x = x;
+        }
+    }
+    OptResult {
+        x: best_x,
+        value: best_v,
+        evals: n,
+    }
+}
+
+/// Minimizes `f` over a full factorial grid with `points_per_dim` levels per
+/// dimension (cell midpoints). Evaluation count is `points_per_dim^dim` —
+/// the curse of dimensionality the paper warns about; callers must keep
+/// `dim` small.
+pub fn grid_search(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    dim: usize,
+    points_per_dim: usize,
+) -> OptResult {
+    assert!(points_per_dim > 0 && dim > 0);
+    let total = points_per_dim.pow(dim as u32);
+    let mut best_x = vec![0.0; dim];
+    let mut best_v = f64::INFINITY;
+    let mut idx = vec![0usize; dim];
+    for _ in 0..total {
+        let x: Vec<f64> = idx
+            .iter()
+            .map(|&i| (i as f64 + 0.5) / points_per_dim as f64)
+            .collect();
+        let v = f(&x);
+        let v = if v.is_nan() { f64::INFINITY } else { v };
+        if v < best_v {
+            best_v = v;
+            best_x = x;
+        }
+        // Odometer increment.
+        for d in 0..dim {
+            idx[d] += 1;
+            if idx[d] < points_per_dim {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    OptResult {
+        x: best_x,
+        value: best_v,
+        evals: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_finds_decent_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut f = |x: &[f64]| (x[0] - 0.5).powi(2);
+        let r = random_search(&mut f, 1, 200, &mut rng);
+        assert!(r.value < 1e-3);
+        assert_eq!(r.evals, 200);
+    }
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let mut seen = Vec::new();
+        let mut f = |x: &[f64]| {
+            seen.push((x[0], x[1]));
+            (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2)
+        };
+        let r = grid_search(&mut f, 2, 4);
+        assert_eq!(r.evals, 16);
+        assert_eq!(seen.len(), 16);
+        // All 16 midpoints distinct.
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        seen.dedup();
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn grid_hits_exact_midpoint_optimum() {
+        let mut f = |x: &[f64]| (x[0] - 0.125).abs();
+        let r = grid_search(&mut f, 1, 4);
+        assert_eq!(r.x[0], 0.125);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn nan_skipped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut f = |x: &[f64]| if x[0] < 0.9 { f64::NAN } else { x[0] };
+        let r = random_search(&mut f, 1, 500, &mut rng);
+        assert!(r.value.is_finite());
+    }
+}

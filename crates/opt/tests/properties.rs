@@ -1,0 +1,121 @@
+//! Property-based tests for the optimizer substrate.
+
+use gptune_opt::nsga2::{crowding_distance, dominates, non_dominated_sort, pareto_front_indices};
+use gptune_opt::{de, ga, nelder_mead, pso, random_search, sa};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn objvecs(n: usize, m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, m), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dominance_is_strict_partial_order(objs in objvecs(8, 3)) {
+        for a in &objs {
+            // Irreflexive.
+            prop_assert!(!dominates(a, a));
+            for b in &objs {
+                // Asymmetric.
+                if dominates(a, b) {
+                    prop_assert!(!dominates(b, a));
+                }
+                for c in &objs {
+                    // Transitive.
+                    if dominates(a, b) && dominates(b, c) {
+                        prop_assert!(dominates(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_partitions_and_ranks_correctly(objs in objvecs(20, 2)) {
+        let fronts = non_dominated_sort(&objs);
+        // Partition.
+        let mut all: Vec<usize> = fronts.iter().flatten().cloned().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..objs.len()).collect::<Vec<_>>());
+        // Front 0 is mutually non-dominated and undominated globally.
+        for &i in &fronts[0] {
+            for (j, o) in objs.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(o, &objs[i]), "{j} dominates front-0 member {i}");
+                }
+            }
+        }
+        // Every member of front k>0 is dominated by someone in front k−1.
+        for k in 1..fronts.len() {
+            for &i in &fronts[k] {
+                let dominated_by_prev = fronts[k - 1]
+                    .iter()
+                    .any(|&p| dominates(&objs[p], &objs[i]));
+                prop_assert!(dominated_by_prev, "front {k} member {i} not dominated by front {}", k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_indices_are_front_zero(objs in objvecs(15, 3)) {
+        let mut a = pareto_front_indices(&objs);
+        let mut b = non_dominated_sort(&objs).remove(0);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crowding_nonnegative_with_infinite_extremes(objs in objvecs(10, 2)) {
+        let front = pareto_front_indices(&objs);
+        let cd = crowding_distance(&objs, &front);
+        prop_assert_eq!(cd.len(), front.len());
+        for v in &cd {
+            prop_assert!(*v >= 0.0 || v.is_infinite());
+            prop_assert!(!v.is_nan());
+        }
+        if front.len() >= 2 {
+            prop_assert!(cd.iter().any(|v| v.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn optimizers_stay_in_unit_box(seed in 0u64..100, target in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = |x: &[f64]| (x[0] - target).powi(2) + (x[1] - target).powi(2);
+        let check = |x: &[f64]| x.iter().all(|v| (0.0..=1.0).contains(v));
+
+        let r = pso::minimize(&mut f, 2, &[], &pso::PsoOptions { particles: 10, iters: 5, ..Default::default() }, &mut rng);
+        prop_assert!(check(&r.x));
+        let r = de::minimize(&mut f, 2, &[], &de::DeOptions { population: 8, generations: 5, ..Default::default() }, &mut rng);
+        prop_assert!(check(&r.x));
+        let r = ga::minimize(&mut f, 2, &[], &ga::GaOptions { population: 8, generations: 5, ..Default::default() }, &mut rng);
+        prop_assert!(check(&r.x));
+        let r = sa::minimize(&mut f, 2, None, &sa::SaOptions { iters: 30, ..Default::default() }, &mut rng);
+        prop_assert!(check(&r.x));
+        let r = nelder_mead::minimize(&mut f, &[0.5, 0.5], &nelder_mead::NelderMeadOptions { max_evals: 40, ..Default::default() });
+        prop_assert!(check(&r.x));
+        let r = random_search::random_search(&mut f, 2, 20, &mut rng);
+        prop_assert!(check(&r.x));
+    }
+
+    #[test]
+    fn optimizer_result_never_worse_than_seed(seed in 0u64..60) {
+        // With the incumbent injected, PSO/DE/GA must return a value no
+        // worse than the seed's.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = |x: &[f64]| (x[0] - 0.37).powi(2);
+        let seed_pt = vec![0.37];
+        let seed_val = f(&seed_pt);
+
+        let r = pso::minimize(&mut f, 1, std::slice::from_ref(&seed_pt), &pso::PsoOptions { particles: 6, iters: 4, ..Default::default() }, &mut rng);
+        prop_assert!(r.value <= seed_val + 1e-15);
+        let r = de::minimize(&mut f, 1, std::slice::from_ref(&seed_pt), &de::DeOptions { population: 6, generations: 4, ..Default::default() }, &mut rng);
+        prop_assert!(r.value <= seed_val + 1e-15);
+        let r = ga::minimize(&mut f, 1, std::slice::from_ref(&seed_pt), &ga::GaOptions { population: 6, generations: 4, elites: 1, ..Default::default() }, &mut rng);
+        prop_assert!(r.value <= seed_val + 1e-15);
+    }
+}

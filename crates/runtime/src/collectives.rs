@@ -1,0 +1,137 @@
+//! Collective operations over a [`WorkerGroup`](crate::WorkerGroup).
+//!
+//! GPTune's master/worker processes communicate through MPI
+//! inter-communicators (paper Sec. 4.1, Fig. 1): the master scatters task
+//! parameters and sample batches to workers and gathers/reduces their
+//! results. These helpers provide the same collective vocabulary on top of
+//! the thread-based worker group, so tuner code reads like its MPI
+//! counterpart.
+
+use crate::executor::WorkerGroup;
+use std::sync::Arc;
+
+/// Broadcast: every worker slot (`0..parts`) receives a clone of `value`
+/// and maps it through `f`; results return in slot order. The analogue of
+/// `MPI_Bcast` followed by independent local work.
+pub fn broadcast_map<T, R, F>(group: &WorkerGroup, value: T, parts: usize, f: F) -> Vec<R>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    let value = Arc::new(value);
+    let items: Vec<(usize, Arc<T>)> = (0..parts).map(|i| (i, Arc::clone(&value))).collect();
+    let f = Arc::new(f);
+    group.map(items, move |(rank, v)| f(rank, &v))
+}
+
+/// Scatter + gather: distributes `chunks` to the workers, applies `f` to
+/// each, and gathers the transformed chunks in order — `MPI_Scatter` /
+/// `MPI_Gather`.
+pub fn scatter_gather<T, R, F>(group: &WorkerGroup, chunks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    group.map(chunks, f)
+}
+
+/// Reduce: applies `f` to every item in parallel, then folds the partial
+/// results on the master with `combine` — `MPI_Reduce` to rank 0.
+///
+/// `combine` must be associative for the result to be well-defined
+/// independent of chunking (it is applied left-to-right in item order, so
+/// commutativity is not required).
+pub fn map_reduce<T, R, F, C>(group: &WorkerGroup, items: Vec<T>, f: F, combine: C) -> Option<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+    C: Fn(R, R) -> R,
+{
+    let partials = group.map(items, f);
+    partials.into_iter().reduce(combine)
+}
+
+/// All-reduce flavour: like [`map_reduce`], but clones the combined result
+/// back out for every "rank" — `MPI_Allreduce`.
+pub fn map_allreduce<T, R, F, C>(
+    group: &WorkerGroup,
+    items: Vec<T>,
+    f: F,
+    combine: C,
+) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Clone + Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+    C: Fn(R, R) -> R,
+{
+    let n = items.len();
+    match map_reduce(group, items, f, combine) {
+        Some(r) => vec![r; n],
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_every_rank() {
+        let g = WorkerGroup::spawn(3);
+        let out = broadcast_map(&g, 21u64, 5, |rank, v| rank as u64 * 100 + v);
+        assert_eq!(out, vec![21, 121, 221, 321, 421]);
+        g.shutdown();
+    }
+
+    #[test]
+    fn scatter_gather_order() {
+        let g = WorkerGroup::spawn(4);
+        let out = scatter_gather(&g, vec!["a", "bb", "ccc"], |s| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+        g.shutdown();
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let g = WorkerGroup::spawn(4);
+        let sum = map_reduce(&g, (1..=100).collect(), |x: i64| x * x, |a, b| a + b);
+        assert_eq!(sum, Some((1..=100).map(|x: i64| x * x).sum()));
+        g.shutdown();
+    }
+
+    #[test]
+    fn reduce_respects_order_for_nonassociative_check() {
+        // combine is applied in item order, so string concatenation (which
+        // is associative but not commutative) must come out in order.
+        let g = WorkerGroup::spawn(2);
+        let joined = map_reduce(
+            &g,
+            vec![1, 2, 3, 4],
+            |x: i32| x.to_string(),
+            |a, b| format!("{a}{b}"),
+        );
+        assert_eq!(joined.as_deref(), Some("1234"));
+        g.shutdown();
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let g = WorkerGroup::spawn(2);
+        let r = map_reduce(&g, Vec::<i32>::new(), |x| x, |a, b| a + b);
+        assert_eq!(r, None);
+        g.shutdown();
+    }
+
+    #[test]
+    fn allreduce_replicates_result() {
+        let g = WorkerGroup::spawn(3);
+        let out = map_allreduce(&g, vec![1, 2, 3], |x: i32| x, |a, b| a.max(b));
+        assert_eq!(out, vec![3, 3, 3]);
+        assert!(map_allreduce(&g, Vec::<i32>::new(), |x| x, |a, b| a + b).is_empty());
+        g.shutdown();
+    }
+}

@@ -1,0 +1,222 @@
+//! Master/worker executor mirroring GPTune's MPI spawning.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A spawned group of workers connected to the master by a channel pair.
+///
+/// The master (the thread that called [`WorkerGroup::spawn`]) submits jobs
+/// through its end of the job channel; workers execute them and the results
+/// flow back through per-batch return channels — the thread analogue of the
+/// `SpawnedComm` / `ParentComm` inter-communicators in the paper's Fig. 1.
+///
+/// ```
+/// use gptune_runtime::WorkerGroup;
+///
+/// let group = WorkerGroup::spawn(4);
+/// let squares = group.map((0..10).collect(), |i: i64| i * i);
+/// assert_eq!(squares[3], 9);
+/// group.shutdown();
+/// ```
+pub struct WorkerGroup {
+    job_tx: Sender<Job>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl WorkerGroup {
+    /// Spawns `n_workers` workers (at least 1).
+    pub fn spawn(n_workers: usize) -> WorkerGroup {
+        let n = n_workers.max(1);
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let handles = (0..n)
+            .map(|w| {
+                let rx: Receiver<Job> = job_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gptune-worker-{w}"))
+                    .spawn(move || {
+                        // Workers block on the job channel until the master
+                        // drops its sender (≈ MPI_Finalize on the parent).
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerGroup {
+            job_tx,
+            handles,
+            size: n,
+        }
+    }
+
+    /// Number of workers in the group.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Evaluates `f` over `items` on the worker group, preserving input
+    /// order in the returned vector. Blocks the master until the whole
+    /// batch has been returned (the paper's "collect the returning values
+    /// from the workers").
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let (res_tx, res_rx) = unbounded::<(usize, R)>();
+        for (i, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = res_tx.clone();
+            self.job_tx
+                .send(Box::new(move || {
+                    let r = f(item);
+                    // The master may have given up (it never does today,
+                    // but a worker must not panic on a closed channel).
+                    let _ = tx.send((i, r));
+                }))
+                .expect("worker group has shut down");
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, r) = res_rx.recv().expect("worker died before returning");
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    }
+
+    /// Shuts the group down, joining all workers.
+    pub fn shutdown(self) {
+        drop(self.job_tx);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs `f` inside a dedicated rayon pool of `n_threads` workers.
+///
+/// Everything `f` does with rayon (parallel Cholesky trailing updates,
+/// `par_iter` over L-BFGS restarts) is confined to that pool, so worker
+/// counts are controlled exactly as GPTune controls its spawned MPI group
+/// sizes. Panics from `f` propagate.
+pub fn with_pool<R: Send>(n_threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(n_threads.max(1))
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// A monotonically increasing counter shared across workers — convenience
+/// for tests and for capping concurrent evaluations.
+#[derive(Debug, Default)]
+pub struct SharedCounter(AtomicUsize);
+
+impl SharedCounter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        SharedCounter(AtomicUsize::new(0))
+    }
+
+    /// Increments and returns the previous value.
+    pub fn bump(&self) -> usize {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn map_preserves_order() {
+        let g = WorkerGroup::spawn(4);
+        let out = g.map((0..100).collect(), |i: i32| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        g.shutdown();
+    }
+
+    #[test]
+    fn map_actually_uses_multiple_workers() {
+        let g = WorkerGroup::spawn(4);
+        let names = Arc::new(Mutex::new(HashSet::new()));
+        let names2 = Arc::clone(&names);
+        let _ = g.map((0..64).collect::<Vec<i32>>(), move |_| {
+            names2
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().name().unwrap_or("?").to_string());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let used = names.lock().unwrap().len();
+        assert!(used >= 2, "only {used} workers used");
+        g.shutdown();
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = WorkerGroup::spawn(2);
+        let out: Vec<i32> = g.map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+        g.shutdown();
+    }
+
+    #[test]
+    fn multiple_batches_sequentially() {
+        let g = WorkerGroup::spawn(3);
+        for batch in 0..5 {
+            let out = g.map(vec![batch; 10], |x: i32| x + 1);
+            assert!(out.iter().all(|&v| v == batch + 1));
+        }
+        g.shutdown();
+    }
+
+    #[test]
+    fn with_pool_bounds_parallelism() {
+        let threads = with_pool(3, rayon::current_num_threads);
+        assert_eq!(threads, 3);
+        let one = with_pool(1, rayon::current_num_threads);
+        assert_eq!(one, 1);
+    }
+
+    #[test]
+    fn with_pool_runs_parallel_work() {
+        let sum: i64 = with_pool(4, || {
+            use rayon::prelude::*;
+            (0..1000i64).into_par_iter().sum()
+        });
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn shared_counter() {
+        let c = Arc::new(SharedCounter::new());
+        let g = WorkerGroup::spawn(4);
+        let c2 = Arc::clone(&c);
+        let _ = g.map((0..50).collect::<Vec<i32>>(), move |_| {
+            c2.bump();
+        });
+        assert_eq!(c.get(), 50);
+        g.shutdown();
+    }
+}

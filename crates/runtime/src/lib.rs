@@ -1,0 +1,29 @@
+//! Parallel runtime for GPTune-rs — the stand-in for GPTune's MPI-spawning
+//! master/worker model (paper Sec. 4).
+//!
+//! In the reference implementation a single master process runs the GPTune
+//! driver and dynamically spawns groups of MPI worker processes for three
+//! jobs: objective-function evaluation, the modeling phase (parallel over
+//! L-BFGS restarts, with a ScaLAPACK-parallel covariance factorization), and
+//! the search phase (parallel over tasks). Here:
+//!
+//! * [`WorkerGroup`] reproduces the spawn/inter-communicator structure with
+//!   OS threads and crossbeam channels (master keeps one endpoint, the
+//!   worker group the other — the channel pair plays the role of the
+//!   `SpawnedComm`/`ParentComm` inter-communicators of Fig. 1);
+//! * [`with_pool`] runs a closure inside a rayon pool of a prescribed
+//!   worker count, bounding the parallelism of the modeling phase exactly
+//!   like a `-np N` spawn would;
+//! * [`stats`] collects the per-phase time breakdown that GPTune prints
+//!   after "stats:" in its runlogs (used by Table 3 and Fig. 3);
+//! * [`collectives`] offers the MPI collective vocabulary (broadcast,
+//!   scatter/gather, reduce, allreduce) over a worker group, so tuner code
+//!   reads like its MPI counterpart.
+
+pub mod collectives;
+pub mod executor;
+pub mod stats;
+
+pub use collectives::{broadcast_map, map_allreduce, map_reduce, scatter_gather};
+pub use executor::{with_pool, WorkerGroup};
+pub use stats::{Phase, PhaseStats, PhaseTimer};

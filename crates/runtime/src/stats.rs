@@ -1,0 +1,188 @@
+//! Tuner phase statistics — the "stats:" breakdown of GPTune runlogs.
+//!
+//! Table 3 of the paper reports, per tuning run, the wall time spent in the
+//! objective function, the modeling phase, and the search phase. Our
+//! objective functions are simulators that return *virtual* application
+//! seconds, so the objective phase is tracked in virtual seconds while
+//! modeling/search are real wall-clock measurements of this implementation.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// The three phases of an MLA iteration (paper Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Black-box function evaluation (application runs).
+    Objective,
+    /// LCM hyperparameter optimization.
+    Modeling,
+    /// Acquisition-function maximization.
+    Search,
+}
+
+/// Immutable snapshot of accumulated statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Virtual seconds spent inside simulated application runs.
+    pub objective_virtual_secs: f64,
+    /// Wall-clock spent dispatching/evaluating the objective.
+    pub objective_wall: Duration,
+    /// Wall-clock spent in the modeling phase.
+    pub modeling_wall: Duration,
+    /// Wall-clock spent in the search phase.
+    pub search_wall: Duration,
+    /// Number of objective evaluations.
+    pub n_evals: usize,
+}
+
+impl PhaseStats {
+    /// Total tuner time: virtual objective seconds plus real
+    /// modeling/search seconds — the "total" column of Table 3.
+    pub fn total_secs(&self) -> f64 {
+        self.objective_virtual_secs
+            + self.modeling_wall.as_secs_f64()
+            + self.search_wall.as_secs_f64()
+    }
+
+    /// One-line report in the GPTune runlog style.
+    pub fn report(&self) -> String {
+        format!(
+            "stats: total {:.1}s | objective {:.1}s ({} evals) | modeling {:.3}s | search {:.3}s",
+            self.total_secs(),
+            self.objective_virtual_secs,
+            self.n_evals,
+            self.modeling_wall.as_secs_f64(),
+            self.search_wall.as_secs_f64()
+        )
+    }
+}
+
+/// Thread-safe accumulator for [`PhaseStats`].
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    inner: Mutex<PhaseStats>,
+}
+
+impl PhaseTimer {
+    /// Fresh timer with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times a closure under the given phase (wall clock).
+    pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed();
+        let mut s = self.inner.lock();
+        match phase {
+            Phase::Objective => s.objective_wall += dt,
+            Phase::Modeling => s.modeling_wall += dt,
+            Phase::Search => s.search_wall += dt,
+        }
+        r
+    }
+
+    /// Records a simulated application run of `virtual_secs` seconds.
+    pub fn add_objective_run(&self, virtual_secs: f64) {
+        let mut s = self.inner.lock();
+        s.objective_virtual_secs += virtual_secs.max(0.0);
+        s.n_evals += 1;
+    }
+
+    /// Current snapshot.
+    pub fn snapshot(&self) -> PhaseStats {
+        *self.inner.lock()
+    }
+
+    /// Resets every counter.
+    pub fn reset(&self) {
+        *self.inner.lock() = PhaseStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_virtual_objective_time() {
+        let t = PhaseTimer::new();
+        t.add_objective_run(1.5);
+        t.add_objective_run(2.5);
+        let s = t.snapshot();
+        assert_eq!(s.objective_virtual_secs, 4.0);
+        assert_eq!(s.n_evals, 2);
+    }
+
+    #[test]
+    fn negative_virtual_time_clamped() {
+        let t = PhaseTimer::new();
+        t.add_objective_run(-1.0);
+        assert_eq!(t.snapshot().objective_virtual_secs, 0.0);
+        assert_eq!(t.snapshot().n_evals, 1);
+    }
+
+    #[test]
+    fn time_measures_wall_clock() {
+        let t = PhaseTimer::new();
+        let out = t.time(Phase::Modeling, || {
+            std::thread::sleep(Duration::from_millis(20));
+            42
+        });
+        assert_eq!(out, 42);
+        let s = t.snapshot();
+        assert!(s.modeling_wall >= Duration::from_millis(15));
+        assert_eq!(s.search_wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn total_combines_phases() {
+        let t = PhaseTimer::new();
+        t.add_objective_run(10.0);
+        t.time(Phase::Search, || std::thread::sleep(Duration::from_millis(10)));
+        let s = t.snapshot();
+        assert!(s.total_secs() >= 10.0);
+        assert!(s.total_secs() < 10.5);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = PhaseTimer::new();
+        t.add_objective_run(3.0);
+        t.time(Phase::Objective, || ());
+        t.reset();
+        assert_eq!(t.snapshot(), PhaseStats::default());
+    }
+
+    #[test]
+    fn report_mentions_all_phases() {
+        let t = PhaseTimer::new();
+        t.add_objective_run(1.0);
+        let r = t.snapshot().report();
+        assert!(r.contains("objective"));
+        assert!(r.contains("modeling"));
+        assert!(r.contains("search"));
+        assert!(r.contains("1 evals"));
+    }
+
+    #[test]
+    fn concurrent_accumulation() {
+        let t = std::sync::Arc::new(PhaseTimer::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    t.add_objective_run(0.01);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = t.snapshot();
+        assert_eq!(s.n_evals, 800);
+        assert!((s.objective_virtual_secs - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! Parameter spaces for GPTune-rs.
+//!
+//! The paper (Sec. 2) defines three spaces: the task parameter space `IS`,
+//! the tuning parameter space `PS`, and the output space `OS`. `IS` and `PS`
+//! are products of typed parameters — real, integer, or categorical — with
+//! optional constraints linking them (e.g. `p_r ≤ p` for the ScaLAPACK
+//! process grid). This crate provides:
+//!
+//! * [`Param`]/[`ParamKind`] — typed parameter descriptors with linear or
+//!   logarithmic transforms;
+//! * [`Value`]/[`Config`] — concrete parameter settings;
+//! * [`Space`] — a product space with normalization to the unit hypercube
+//!   `[0,1]^β` (all surrogate modelling and acquisition search happens in
+//!   normalized coordinates) and constraint predicates;
+//! * [`sampling`] — uniform, Latin-hypercube (the `lhsmdu` stand-in), and
+//!   Halton samplers with constraint-aware rejection.
+
+pub mod param;
+pub mod sampling;
+pub mod space;
+
+pub use param::{Param, ParamKind, Value};
+pub use space::{Config, Constraint, Space, SpaceBuilder};

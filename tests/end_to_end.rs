@@ -1,0 +1,143 @@
+//! End-to-end integration tests: the full MLA pipeline on the simulated
+//! applications, spanning every crate in the workspace.
+
+use gptune::apps::{AnalyticalApp, HpcApp, MachineModel, PdgeqrfApp};
+use gptune::core::{mla, MlaOptions};
+use gptune::problem_from_app;
+use gptune::space::Value;
+use std::sync::Arc;
+
+fn fast_opts(budget: usize, seed: u64) -> MlaOptions {
+    let mut o = MlaOptions::default().with_budget(budget).with_seed(seed);
+    o.lcm.n_starts = 2;
+    o.lcm.lbfgs.max_iters = 20;
+    o.pso.particles = 25;
+    o.pso.iters = 20;
+    o
+}
+
+#[test]
+fn analytical_multitask_finds_good_minima_on_easy_tasks() {
+    let app: Arc<dyn HpcApp> = Arc::new(AnalyticalApp::new(0.0));
+    let tasks: Vec<Vec<Value>> = [0.0, 0.5, 1.0]
+        .iter()
+        .map(|&t| vec![Value::Real(t)])
+        .collect();
+    let problem = problem_from_app(Arc::clone(&app), tasks.clone());
+    let mut opts = fast_opts(24, 2);
+    opts.log_objective = false;
+    let r = mla::tune(&problem, &opts);
+
+    for (i, tr) in r.per_task.iter().enumerate() {
+        let t = tasks[i][0].as_real();
+        let (_, y_true) = AnalyticalApp::true_minimum(t, 100_000);
+        // Eq. 11 oscillates ~(t+2)^5 times on [0,1], so with ~24 samples a
+        // tuner can only be expected to land in a good basin, not the
+        // exact needle: require within 0.55 of the global minimum (the
+        // objective's full range is ≈ 3.7).
+        assert!(
+            tr.best_value - y_true < 0.55,
+            "task t={t}: found {} vs true {y_true}",
+            tr.best_value
+        );
+    }
+}
+
+#[test]
+fn mla_outperforms_pure_random_at_equal_budget() {
+    // Aggregated over tasks and seeds to damp noise: MLA (half random,
+    // half BO) must beat all-random sampling on the smooth QR surface.
+    let app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(MachineModel::cori_noiseless(4), 20_000));
+    let tasks = vec![
+        vec![Value::Int(8000), Value::Int(8000)],
+        vec![Value::Int(12_000), Value::Int(6000)],
+    ];
+    let problem = problem_from_app(Arc::clone(&app), tasks);
+
+    let mut mla_total = 0.0;
+    let mut rand_total = 0.0;
+    for seed in 0..3u64 {
+        let opts = fast_opts(16, seed);
+        let r = mla::tune(&problem, &opts);
+        mla_total += r.per_task.iter().map(|t| t.best_value).sum::<f64>();
+
+        let mut rand_opts = fast_opts(16, seed);
+        rand_opts.n_initial = Some(16); // the whole budget is random
+        let r2 = mla::tune(&problem, &rand_opts);
+        rand_total += r2.per_task.iter().map(|t| t.best_value).sum::<f64>();
+    }
+    assert!(
+        mla_total < rand_total,
+        "MLA {mla_total} should beat random {rand_total}"
+    );
+}
+
+#[test]
+fn multitask_transfer_helps_low_budget_tasks() {
+    // One "expensive" task gets only a handful of samples; sharing with 4
+    // related tasks should still find a near-optimal block size.
+    let app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(MachineModel::cori_noiseless(4), 20_000));
+    let tasks: Vec<Vec<Value>> = [4000i64, 6000, 8000, 10_000, 12_000]
+        .iter()
+        .map(|&n| vec![Value::Int(n), Value::Int(n)])
+        .collect();
+    let problem = problem_from_app(Arc::clone(&app), tasks.clone());
+    let r = mla::tune(&problem, &fast_opts(10, 5));
+
+    // Compare each task's best against a random baseline of the same size.
+    let mut rand_opts = fast_opts(10, 5);
+    rand_opts.n_initial = Some(10);
+    let r2 = mla::tune(&problem, &rand_opts);
+    let wins = (0..tasks.len())
+        .filter(|&i| r.per_task[i].best_value <= r2.per_task[i].best_value)
+        .count();
+    assert!(wins >= 3, "MLA won only {wins}/5 tasks vs random");
+}
+
+#[test]
+fn stats_accounting_consistent() {
+    let app: Arc<dyn HpcApp> = Arc::new(AnalyticalApp::new(0.0));
+    let problem = problem_from_app(Arc::clone(&app), vec![vec![Value::Real(1.0)]]);
+    let mut opts = fast_opts(12, 9);
+    opts.log_objective = false;
+    opts.runs_per_eval = 2;
+    let r = mla::tune(&problem, &opts);
+    assert_eq!(r.stats.n_evals, 12);
+    assert_eq!(r.per_task[0].samples.len(), 12);
+    assert!(r.stats.total_secs() > 0.0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(MachineModel::cori(2), 10_000));
+    let problem = problem_from_app(
+        Arc::clone(&app),
+        vec![vec![Value::Int(5000), Value::Int(5000)]],
+    );
+    let a = mla::tune(&problem, &fast_opts(10, 77));
+    let b = mla::tune(&problem, &fast_opts(10, 77));
+    assert_eq!(a.per_task[0].best_value, b.per_task[0].best_value);
+    assert_eq!(a.per_task[0].best_config, b.per_task[0].best_config);
+}
+
+#[test]
+fn performance_model_never_hurts_much_and_often_helps() {
+    // On the analytical function with the paper's noisy model feature, the
+    // enriched tuner summed over hard tasks should beat the plain tuner.
+    let app: Arc<dyn HpcApp> = Arc::new(AnalyticalApp::new(0.0));
+    let tasks: Vec<Vec<Value>> = (0..6).map(|i| vec![Value::Real(1.5 * i as f64)]).collect();
+    let problem = problem_from_app(Arc::clone(&app), tasks);
+    let mut plain = fast_opts(12, 8);
+    plain.log_objective = false;
+    let mut enriched = plain.clone();
+    enriched.use_model_features = true;
+
+    let rp = mla::tune(&problem, &plain);
+    let re = mla::tune(&problem, &enriched);
+    let sum_plain: f64 = rp.per_task.iter().map(|t| t.best_value).sum();
+    let sum_enriched: f64 = re.per_task.iter().map(|t| t.best_value).sum();
+    assert!(
+        sum_enriched <= sum_plain + 0.1,
+        "enriched {sum_enriched} vs plain {sum_plain}"
+    );
+}

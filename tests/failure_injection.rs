@@ -1,0 +1,153 @@
+//! Failure-injection integration tests: the tuner must survive the ways
+//! real HPC runs fail — crashed runs (∞), NaN measurements, tasks that
+//! never succeed, and nearly-empty feasible regions.
+
+use gptune::core::{mla, mla_mo, MlaOptions, TuningProblem};
+use gptune::space::{Param, Space, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn fast_opts(budget: usize, seed: u64) -> MlaOptions {
+    let mut o = MlaOptions::default().with_budget(budget).with_seed(seed);
+    o.lcm.n_starts = 2;
+    o.lcm.lbfgs.max_iters = 15;
+    o.pso.particles = 15;
+    o.pso.iters = 10;
+    o.log_objective = false;
+    o
+}
+
+fn spaces() -> (Space, Space) {
+    (
+        Space::builder().param(Param::real("t", 0.0, 1.0)).build(),
+        Space::builder().param(Param::real("x", 0.0, 1.0)).build(),
+    )
+}
+
+#[test]
+fn random_crashes_do_not_derail_tuning() {
+    // ~30% of runs "crash" (∞), deterministically by config hash.
+    let (ts, ps) = spaces();
+    let p = TuningProblem::new("crashy", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+        let v = x[0].as_real();
+        let h = (v * 1e6) as u64;
+        if h % 10 < 3 {
+            vec![f64::INFINITY]
+        } else {
+            vec![1.0 + (v - 0.5).powi(2)]
+        }
+    });
+    let r = mla::tune(&p, &fast_opts(16, 1));
+    let tr = &r.per_task[0];
+    assert_eq!(tr.samples.len(), 16);
+    assert!(tr.best_value.is_finite());
+    assert!((tr.best_config[0].as_real() - 0.5).abs() < 0.2);
+}
+
+#[test]
+fn nan_measurements_treated_as_failures() {
+    let (ts, ps) = spaces();
+    let p = TuningProblem::new("nanny", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+        let v = x[0].as_real();
+        if v > 0.8 {
+            vec![f64::NAN]
+        } else {
+            vec![2.0 - v]
+        }
+    });
+    let r = mla::tune(&p, &fast_opts(12, 2));
+    let tr = &r.per_task[0];
+    assert!(tr.best_value.is_finite());
+    // Best must come from the valid region, near its edge (x → 0.8).
+    assert!(tr.best_config[0].as_real() <= 0.8 + 1e-9);
+    assert!(tr.best_config[0].as_real() > 0.5);
+}
+
+#[test]
+fn task_that_always_fails_does_not_poison_others() {
+    let (ts, ps) = spaces();
+    let p = TuningProblem::new(
+        "half-broken",
+        ts,
+        ps,
+        vec![vec![Value::Real(0.0)], vec![Value::Real(1.0)]],
+        |t, x, _| {
+            if t[0].as_real() > 0.5 {
+                vec![f64::INFINITY] // task 1 never succeeds
+            } else {
+                vec![1.0 + (x[0].as_real() - 0.3).powi(2)]
+            }
+        },
+    );
+    let r = mla::tune(&p, &fast_opts(10, 3));
+    assert!(r.per_task[0].best_value.is_finite());
+    assert!((r.per_task[0].best_config[0].as_real() - 0.3).abs() < 0.15);
+    assert!(r.per_task[1].best_value.is_infinite());
+    assert_eq!(r.per_task[1].samples.len(), 10);
+}
+
+#[test]
+fn tiny_feasible_region_still_tunes() {
+    // Only x ∈ [0.45, 0.55] is feasible: rejection sampling must cope.
+    let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+    let ps = Space::builder()
+        .param(Param::real("x", 0.0, 1.0))
+        .constraint("narrow", |c| (c[0].as_real() - 0.5).abs() <= 0.05)
+        .build();
+    let p = TuningProblem::new("narrow", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+        vec![1.0 + (x[0].as_real() - 0.52).powi(2)]
+    });
+    let r = mla::tune(&p, &fast_opts(8, 4));
+    let tr = &r.per_task[0];
+    assert!(!tr.samples.is_empty());
+    for (cfg, _) in &tr.samples {
+        assert!((cfg[0].as_real() - 0.5).abs() <= 0.05 + 1e-12);
+    }
+    assert!(tr.best_value.is_finite());
+}
+
+#[test]
+fn multiobjective_with_partial_failures() {
+    let (ts, ps) = spaces();
+    let p = TuningProblem::new("mo-fail", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+        let v = x[0].as_real();
+        if v < 0.15 {
+            vec![f64::INFINITY, f64::INFINITY]
+        } else {
+            vec![1.0 + (v - 0.3).powi(2), 1.0 + (v - 0.7).powi(2)]
+        }
+    })
+    .with_objectives(2);
+    let mut o = fast_opts(16, 5);
+    o.k_per_iter = 3;
+    o.nsga.population = 16;
+    o.nsga.generations = 8;
+    let r = mla_mo::tune_multiobjective(&p, &o);
+    let front = &r.per_task[0].pareto_front;
+    assert!(!front.is_empty());
+    for pt in front {
+        assert!(pt.objectives.iter().all(|v| v.is_finite()));
+        assert!(pt.config[0].as_real() >= 0.15);
+    }
+}
+
+#[test]
+fn objective_counts_every_call_even_on_failures() {
+    // The eval counter must count failed runs too (they consume budget on
+    // a real machine even when they crash).
+    let (ts, ps) = spaces();
+    let calls = Arc::new(AtomicUsize::new(0));
+    let calls2 = Arc::clone(&calls);
+    let p = TuningProblem::new("count", ts, ps, vec![vec![Value::Real(0.0)]], move |_, x, _| {
+        calls2.fetch_add(1, Ordering::Relaxed);
+        if x[0].as_real() < 0.5 {
+            vec![f64::INFINITY]
+        } else {
+            vec![1.0]
+        }
+    });
+    let r = mla::tune(&p, &fast_opts(10, 6));
+    assert_eq!(r.per_task[0].samples.len(), 10);
+    assert_eq!(calls.load(Ordering::Relaxed), 10);
+    assert_eq!(r.stats.n_evals, 10);
+}

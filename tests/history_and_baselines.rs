@@ -1,0 +1,128 @@
+//! Integration tests for the history database and baseline tuners used in
+//! the comparison experiments (Fig. 6, Table 4).
+
+use gptune::apps::{HpcApp, HypreApp, MachineModel, PdgeqrfApp};
+use gptune::baselines::{HpBandSterLike, OpenTunerLike, RandomTuner, Tuner};
+use gptune::core::{metrics, mla, History, MlaOptions};
+use gptune::problem_from_app;
+use gptune::space::Value;
+use std::sync::Arc;
+
+fn fast_opts(budget: usize, seed: u64) -> MlaOptions {
+    let mut o = MlaOptions::default().with_budget(budget).with_seed(seed);
+    o.lcm.n_starts = 2;
+    o.lcm.lbfgs.max_iters = 20;
+    o
+}
+
+#[test]
+fn history_roundtrips_an_mla_run() {
+    let app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(MachineModel::cori(2), 10_000));
+    let problem = problem_from_app(
+        Arc::clone(&app),
+        vec![vec![Value::Int(4000), Value::Int(4000)]],
+    );
+    let r = mla::tune(&problem, &fast_opts(8, 1));
+    let h = History::from_mla(&problem.name, &r);
+    assert_eq!(h.len(), 8);
+
+    let dir = std::env::temp_dir().join("gptune_it_history");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.json");
+    h.save(&path).unwrap();
+    let loaded = History::load(&path).unwrap();
+    assert_eq!(h, loaded);
+    // The archived best matches the run's best.
+    let best = loaded
+        .best_for_task(&[Value::Int(4000), Value::Int(4000)])
+        .unwrap();
+    assert_eq!(best.outputs[0], r.per_task[0].best_value);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn all_baselines_run_all_apps_budget_exactly() {
+    let app: Arc<dyn HpcApp> = Arc::new(HypreApp::new(MachineModel::cori(1)));
+    let problem = problem_from_app(
+        Arc::clone(&app),
+        vec![vec![Value::Int(30), Value::Int(30), Value::Int(30)]],
+    );
+    let tuners: Vec<Box<dyn Tuner>> = vec![
+        Box::new(RandomTuner),
+        Box::new(OpenTunerLike::default()),
+        Box::new(HpBandSterLike::default()),
+    ];
+    for t in &tuners {
+        let run = t.tune_task(&problem, 0, 12, 3);
+        assert_eq!(run.samples.len(), 12, "{}", t.name());
+        assert!(run.best_value.is_finite(), "{}", t.name());
+        for (c, _) in &run.samples {
+            assert!(problem.tuning_space.is_valid(c), "{}", t.name());
+        }
+    }
+}
+
+#[test]
+fn gptune_competitive_with_baselines_on_qr() {
+    // Aggregate over tasks: GPTune's summed best should not lose to either
+    // baseline by more than 10% at a small budget (it typically wins).
+    let app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(MachineModel::cori(4), 16_000));
+    let tasks: Vec<Vec<Value>> = [4000i64, 8000, 12_000]
+        .iter()
+        .map(|&n| vec![Value::Int(n), Value::Int(n)])
+        .collect();
+    let problem = problem_from_app(Arc::clone(&app), tasks.clone());
+
+    let budget = 10;
+    let gp = mla::tune(&problem, &fast_opts(budget, 7));
+    let gp_best: Vec<f64> = gp.per_task.iter().map(|t| t.best_value).collect();
+
+    for tuner in [&OpenTunerLike::default() as &dyn Tuner, &HpBandSterLike::default()] {
+        let other: Vec<f64> = (0..tasks.len())
+            .map(|i| tuner.tune_task(&problem, i, budget, 100 + i as u64).best_value)
+            .collect();
+        let gp_sum: f64 = gp_best.iter().sum();
+        let other_sum: f64 = other.iter().sum();
+        assert!(
+            gp_sum <= other_sum * 1.10,
+            "GPTune {gp_sum} vs {} {other_sum}",
+            tuner.name()
+        );
+    }
+}
+
+#[test]
+fn win_task_and_stability_pipeline() {
+    // Exercise the metric pipeline on real tuner outputs.
+    let app: Arc<dyn HpcApp> = Arc::new(PdgeqrfApp::new(MachineModel::cori(2), 8000));
+    let tasks = vec![
+        vec![Value::Int(3000), Value::Int(3000)],
+        vec![Value::Int(6000), Value::Int(6000)],
+    ];
+    let problem = problem_from_app(Arc::clone(&app), tasks.clone());
+    let budget = 8;
+
+    let gp = mla::tune(&problem, &fast_opts(budget, 11));
+    let gp_best: Vec<f64> = gp.per_task.iter().map(|t| t.best_value).collect();
+    let gp_traj: Vec<Vec<f64>> = gp
+        .per_task
+        .iter()
+        .map(|t| t.samples.iter().map(|(_, y)| *y).collect())
+        .collect();
+
+    let rnd: Vec<_> = (0..tasks.len())
+        .map(|i| RandomTuner.tune_task(&problem, i, budget, 200 + i as u64))
+        .collect();
+    let rnd_best: Vec<f64> = rnd.iter().map(|r| r.best_value).collect();
+    let rnd_traj: Vec<Vec<f64>> = rnd.iter().map(|r| r.trajectory()).collect();
+
+    let wt = metrics::win_task(&gp_best, &rnd_best);
+    assert!((0.0..=100.0).contains(&wt));
+
+    let y_star: Vec<f64> = (0..tasks.len())
+        .map(|i| gp_best[i].min(rnd_best[i]))
+        .collect();
+    let s_gp = metrics::mean_stability(&gp_traj, &y_star);
+    let s_rnd = metrics::mean_stability(&rnd_traj, &y_star);
+    assert!(s_gp >= 1.0 && s_rnd >= 1.0);
+}

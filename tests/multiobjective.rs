@@ -1,0 +1,109 @@
+//! Integration tests for multi-objective MLA on the SuperLU_DIST simulator
+//! (the Fig. 7 / Table 5 code path).
+
+use gptune::apps::{HpcApp, MachineModel, SuperluApp};
+use gptune::core::{mla, mla_mo, MlaOptions};
+use gptune::opt::nsga2::dominates;
+use gptune::{problem_from_app, problem_from_app_objective};
+use std::sync::Arc;
+
+fn fast_opts(budget: usize, seed: u64) -> MlaOptions {
+    let mut o = MlaOptions::default().with_budget(budget).with_seed(seed);
+    o.lcm.n_starts = 2;
+    o.lcm.lbfgs.max_iters = 20;
+    o.k_per_iter = 4;
+    o.nsga.population = 30;
+    o.nsga.generations = 20;
+    o
+}
+
+#[test]
+fn pareto_front_dominates_default() {
+    let app: Arc<dyn HpcApp> = Arc::new(SuperluApp::new(MachineModel::cori_noiseless(8)));
+    let tasks = SuperluApp::tasks(1); // Si2
+    let problem = problem_from_app(Arc::clone(&app), tasks.clone());
+    let r = mla_mo::tune_multiobjective(&problem, &fast_opts(40, 4));
+
+    let front = &r.per_task[0].pareto_front;
+    assert!(!front.is_empty());
+
+    // Front points must be mutually non-dominated and all finite.
+    for a in front {
+        assert!(a.objectives.iter().all(|v| v.is_finite()));
+        for b in front {
+            if !std::ptr::eq(a, b) {
+                assert!(!dominates(&a.objectives, &b.objectives));
+            }
+        }
+    }
+
+    // The default configuration should be dominated by at least one front
+    // point (paper: "the default objective values are far from optimal").
+    let default_cfg = app.default_config().unwrap();
+    let default_out = app.evaluate(&tasks[0], &default_cfg, 0);
+    assert!(
+        front.iter().any(|p| dominates(&p.objectives, &default_out)),
+        "no front point dominates the default {default_out:?}"
+    );
+}
+
+#[test]
+fn front_exposes_time_memory_tradeoff() {
+    let app: Arc<dyn HpcApp> = Arc::new(SuperluApp::new(MachineModel::cori_noiseless(8)));
+    let tasks = SuperluApp::tasks(1);
+    let problem = problem_from_app(Arc::clone(&app), tasks);
+    let r = mla_mo::tune_multiobjective(&problem, &fast_opts(40, 6));
+    let front = &r.per_task[0].pareto_front;
+    if front.len() >= 2 {
+        // The fastest point must use more memory than the smallest point.
+        let fastest = front
+            .iter()
+            .min_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).unwrap())
+            .unwrap();
+        let smallest = front
+            .iter()
+            .min_by(|a, b| a.objectives[1].partial_cmp(&b.objectives[1]).unwrap())
+            .unwrap();
+        assert!(fastest.objectives[1] >= smallest.objectives[1]);
+        assert!(smallest.objectives[0] >= fastest.objectives[0]);
+    }
+}
+
+#[test]
+fn single_objective_optimum_consistent_with_front() {
+    // The time-only tuned point must not strictly dominate every front
+    // point in *both* objectives (it optimizes only one) — and its time
+    // should be competitive with the front's best time.
+    let app: Arc<dyn HpcApp> = Arc::new(SuperluApp::new(MachineModel::cori_noiseless(8)));
+    let tasks = SuperluApp::tasks(1);
+    let mo = problem_from_app(Arc::clone(&app), tasks.clone());
+    let so = problem_from_app_objective(Arc::clone(&app), tasks.clone(), 0);
+
+    let rmo = mla_mo::tune_multiobjective(&mo, &fast_opts(40, 8));
+    let rso = mla::tune(&so, &fast_opts(40, 8));
+
+    let front = &rmo.per_task[0].pareto_front;
+    let best_front_time = front
+        .iter()
+        .map(|p| p.objectives[0])
+        .fold(f64::INFINITY, f64::min);
+    let so_time = rso.per_task[0].best_value;
+    // Within 2x of each other (both are stochastic searches).
+    assert!(
+        so_time < best_front_time * 2.0 && best_front_time < so_time * 2.0,
+        "single-objective time {so_time} vs front best {best_front_time}"
+    );
+}
+
+#[test]
+fn multitask_multiobjective_runs_all_tasks() {
+    let app: Arc<dyn HpcApp> = Arc::new(SuperluApp::new(MachineModel::cori_noiseless(8)));
+    let tasks = SuperluApp::tasks(4);
+    let problem = problem_from_app(Arc::clone(&app), tasks);
+    let r = mla_mo::tune_multiobjective(&problem, &fast_opts(16, 10));
+    assert_eq!(r.per_task.len(), 4);
+    for tr in &r.per_task {
+        assert!(!tr.pareto_front.is_empty());
+        assert!(tr.samples.len() >= 16);
+    }
+}
