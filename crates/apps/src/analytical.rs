@@ -147,7 +147,12 @@ mod tests {
             }
             count
         };
-        assert!(wiggles(4.0) > wiggles(0.5), "{} vs {}", wiggles(4.0), wiggles(0.5));
+        assert!(
+            wiggles(4.0) > wiggles(0.5),
+            "{} vs {}",
+            wiggles(4.0),
+            wiggles(0.5)
+        );
     }
 
     #[test]

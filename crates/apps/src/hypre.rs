@@ -102,16 +102,15 @@ impl HypreApp {
         let sweep_gain = 1.0 / (1.0 + 0.35 * (x.relax_sweeps - 1) as f64);
         let smooth_gain = 1.0 / (1.0 + 0.12 * x.smooth_levels as f64);
         let row_sum_penalty = 1.0 + 0.3 * (1.0 - x.max_row_sum).powi(2) * aniso;
-        let rho = (relax_rho * theta_penalty * agg_penalty * sweep_gain * smooth_gain
-            * row_sum_penalty)
-            .clamp(0.05, 0.99);
+        let rho =
+            (relax_rho * theta_penalty * agg_penalty * sweep_gain * smooth_gain * row_sum_penalty)
+                .clamp(0.05, 0.99);
 
         let iters = (1e-8f64.ln() / rho.ln()).ceil().max(1.0);
 
         // --- Per-iteration cost ---
-        let flops_per_iter = points
-            * c_op
-            * (22.0 + 12.0 * x.relax_sweeps as f64 + 6.0 * x.smooth_levels as f64);
+        let flops_per_iter =
+            points * c_op * (22.0 + 12.0 * x.relax_sweeps as f64 + 6.0 * x.smooth_levels as f64);
         // Stencil code runs memory-bound, far below peak.
         let rate = self.machine.flop_rate * 0.06;
         let p_eff = p.powf(0.85);
@@ -129,8 +128,8 @@ impl HypreApp {
             + iters * surface * levels * 8.0 * self.machine.time_per_word * 30.0;
 
         // --- Setup cost (coarsening + building P). ---
-        let setup_weight = [1.6, 1.3, 0.9, 1.0, 1.2, 1.4][x.coarsen]
-            * [1.0, 0.8, 1.1, 1.5, 1.2, 1.0][x.interp];
+        let setup_weight =
+            [1.6, 1.3, 0.9, 1.0, 1.2, 1.4][x.coarsen] * [1.0, 0.8, 1.1, 1.5, 1.2, 1.0][x.interp];
         let t_setup = points * c_op * 24.0 * setup_weight / (rate * p_eff);
 
         t_setup + t_comp + t_comm

@@ -16,7 +16,6 @@
 //! values are *virtual* (simulated seconds/bytes) and are what the
 //! experiment harnesses report.
 
-
 // Index-based loops keep the cost-model formulas close to the paper's notation.
 #![allow(clippy::needless_range_loop)]
 

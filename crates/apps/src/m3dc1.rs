@@ -36,9 +36,7 @@ impl M3dc1App {
     /// Creates the app with the paper's fixed geometry discretization.
     pub fn new(machine: MachineModel) -> M3dc1App {
         let p_max = machine.total_cores() as i64;
-        let task_space = Space::builder()
-            .param(Param::int("steps", 1, 200))
-            .build();
+        let task_space = Space::builder().param(Param::int("steps", 1, 200)).build();
         let tuning_space = Space::builder()
             .param(Param::categorical("ROWPERM", &ROWPERM_CHOICES)) // 0
             .param(Param::categorical("COLPERM", &COLPERM_CHOICES)) // 1
@@ -57,7 +55,15 @@ impl M3dc1App {
     }
 
     /// Noise-free cost of one run with the given step count.
-    pub fn runtime_model(&self, steps: f64, rowperm: usize, colperm: usize, p_r: f64, nsup: f64, nrel: f64) -> f64 {
+    pub fn runtime_model(
+        &self,
+        steps: f64,
+        rowperm: usize,
+        colperm: usize,
+        p_r: f64,
+        nsup: f64,
+        nrel: f64,
+    ) -> f64 {
         let p = self.machine.total_cores() as f64;
         let p_c = (p / p_r).floor().max(1.0);
         let p_used = p_r * p_c;

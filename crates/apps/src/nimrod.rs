@@ -26,9 +26,7 @@ impl NimrodApp {
     /// Creates the app with the paper's fixed geometry.
     pub fn new(machine: MachineModel) -> NimrodApp {
         let p_max = machine.total_cores() as i64;
-        let task_space = Space::builder()
-            .param(Param::int("steps", 1, 200))
-            .build();
+        let task_space = Space::builder().param(Param::int("steps", 1, 200)).build();
         let tuning_space = Space::builder()
             .param(Param::categorical("ROWPERM", &ROWPERM_CHOICES)) // 0
             .param(Param::categorical("COLPERM", &COLPERM_CHOICES)) // 1

@@ -169,7 +169,12 @@ mod tests {
     }
 
     fn cfg(b_r: i64, b_c: i64, p: i64, p_r: i64) -> Vec<Value> {
-        vec![Value::Int(b_r), Value::Int(b_c), Value::Int(p), Value::Int(p_r)]
+        vec![
+            Value::Int(b_r),
+            Value::Int(b_c),
+            Value::Int(p),
+            Value::Int(p_r),
+        ]
     }
 
     #[test]
@@ -187,7 +192,10 @@ mod tests {
         let t = vec![Value::Int(20000), Value::Int(20000)];
         let serial = a.evaluate(&t, &cfg(64, 64, 1, 1), 0)[0];
         let parallel = a.evaluate(&t, &cfg(64, 64, 128, 16), 0)[0];
-        assert!(parallel < serial / 4.0, "serial {serial} parallel {parallel}");
+        assert!(
+            parallel < serial / 4.0,
+            "serial {serial} parallel {parallel}"
+        );
     }
 
     #[test]
@@ -264,7 +272,9 @@ mod tests {
             truth.push(a.evaluate(&t, c, 0)[0]);
             let f = a.model_features(&t, c).unwrap();
             coarse.push(
-                f[0] / a.machine.flop_rate + f[1] * a.machine.latency + f[2] * 8.0 * a.machine.time_per_word,
+                f[0] / a.machine.flop_rate
+                    + f[1] * a.machine.latency
+                    + f[2] * 8.0 * a.machine.time_per_word,
             );
         }
         // Pearson correlation of log values.
@@ -277,7 +287,10 @@ mod tests {
         let da: f64 = lt.iter().map(|a| (a - mt) * (a - mt)).sum::<f64>().sqrt();
         let db: f64 = lc.iter().map(|b| (b - mc) * (b - mc)).sum::<f64>().sqrt();
         let corr = num / (da * db);
-        assert!(corr > 0.6, "corr {corr}: coarse model should be informative");
+        assert!(
+            corr > 0.6,
+            "corr {corr}: coarse model should be informative"
+        );
     }
 
     #[test]

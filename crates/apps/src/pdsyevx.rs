@@ -140,7 +140,10 @@ mod tests {
         let tiny = a.evaluate(&t, &cfg(4, 32, 4), 0)[0];
         let mid = a.evaluate(&t, &cfg(48, 32, 4), 0)[0];
         let huge = a.evaluate(&t, &cfg(512, 32, 4), 0)[0];
-        assert!(mid < tiny && mid < huge, "tiny {tiny} mid {mid} huge {huge}");
+        assert!(
+            mid < tiny && mid < huge,
+            "tiny {tiny} mid {mid} huge {huge}"
+        );
     }
 
     #[test]

@@ -38,14 +38,54 @@ pub struct MatrixInfo {
 /// SuiteSparse collection; `base_fill` calibrated to give realistic
 /// sparse-direct factor sizes).
 pub const PARSEC_MATRICES: &[MatrixInfo] = &[
-    MatrixInfo { name: "Si2", n: 769.0, nnz: 17801.0, base_fill: 8.0 },
-    MatrixInfo { name: "SiH4", n: 5041.0, nnz: 171903.0, base_fill: 14.0 },
-    MatrixInfo { name: "SiNa", n: 5743.0, nnz: 102265.0, base_fill: 18.0 },
-    MatrixInfo { name: "Na5", n: 5832.0, nnz: 305630.0, base_fill: 12.0 },
-    MatrixInfo { name: "benzene", n: 8219.0, nnz: 242669.0, base_fill: 16.0 },
-    MatrixInfo { name: "Si10H16", n: 17077.0, nnz: 875923.0, base_fill: 22.0 },
-    MatrixInfo { name: "Si5H12", n: 19896.0, nnz: 738598.0, base_fill: 24.0 },
-    MatrixInfo { name: "SiO", n: 33401.0, nnz: 1317655.0, base_fill: 28.0 },
+    MatrixInfo {
+        name: "Si2",
+        n: 769.0,
+        nnz: 17801.0,
+        base_fill: 8.0,
+    },
+    MatrixInfo {
+        name: "SiH4",
+        n: 5041.0,
+        nnz: 171903.0,
+        base_fill: 14.0,
+    },
+    MatrixInfo {
+        name: "SiNa",
+        n: 5743.0,
+        nnz: 102265.0,
+        base_fill: 18.0,
+    },
+    MatrixInfo {
+        name: "Na5",
+        n: 5832.0,
+        nnz: 305630.0,
+        base_fill: 12.0,
+    },
+    MatrixInfo {
+        name: "benzene",
+        n: 8219.0,
+        nnz: 242669.0,
+        base_fill: 16.0,
+    },
+    MatrixInfo {
+        name: "Si10H16",
+        n: 17077.0,
+        nnz: 875923.0,
+        base_fill: 22.0,
+    },
+    MatrixInfo {
+        name: "Si5H12",
+        n: 19896.0,
+        nnz: 738598.0,
+        base_fill: 24.0,
+    },
+    MatrixInfo {
+        name: "SiO",
+        n: 33401.0,
+        nnz: 1317655.0,
+        base_fill: 28.0,
+    },
 ];
 
 /// Column-permutation choices (SuperLU_DIST's `ColPerm_t` order, so the
@@ -217,9 +257,8 @@ impl SuperluApp {
 
         // BLAS-3 efficiency of supernodal GEMMs; sparse updates never reach
         // dense efficiency.
-        let eff = self.machine.block_efficiency(nsup) * 0.6
-            + 0.05 * (nrel / 64.0); // relaxation slightly improves small blocks
-        // Sparse LU strong-scales sub-linearly.
+        let eff = self.machine.block_efficiency(nsup) * 0.6 + 0.05 * (nrel / 64.0); // relaxation slightly improves small blocks
+                                                                                    // Sparse LU strong-scales sub-linearly.
         let p_eff = p.powf(0.72);
         // Grid aspect: SuperLU_DIST prefers modestly flat grids (p_r ≲ p_c).
         let ideal_pr = (p.sqrt() * 0.7).max(1.0);
@@ -233,10 +272,10 @@ impl SuperluApp {
         let overlap = 1.0 / (1.0 + 0.35 * look) + 0.012 * look;
         let c_msg = panels * 8.0 * (p.max(2.0)).log2();
         let c_vol = nnz_stored / p.sqrt() * 2.0;
-        let t_comm =
-            (c_msg * self.machine.latency * 50.0 + c_vol * 8.0 * self.machine.time_per_word)
-                * overlap
-                * aspect;
+        let t_comm = (c_msg * self.machine.latency * 50.0
+            + c_vol * 8.0 * self.machine.time_per_word)
+            * overlap
+            * aspect;
 
         // Symbolic + ordering setup time: METIS is the most expensive
         // ordering to compute.
@@ -336,8 +375,18 @@ mod tests {
         let t = vec![Value::Cat(5)]; // Si10H16
         let natural = a.evaluate(&t, &cfg(0, 10, 64, 8, 128, 20), 0);
         let metis = a.evaluate(&t, &cfg(4, 10, 64, 8, 128, 20), 0);
-        assert!(natural[0] > metis[0] * 2.0, "time {} vs {}", natural[0], metis[0]);
-        assert!(natural[1] > metis[1] * 2.0, "mem {} vs {}", natural[1], metis[1]);
+        assert!(
+            natural[0] > metis[0] * 2.0,
+            "time {} vs {}",
+            natural[0],
+            metis[0]
+        );
+        assert!(
+            natural[1] > metis[1] * 2.0,
+            "mem {} vs {}",
+            natural[1],
+            metis[1]
+        );
     }
 
     #[test]
@@ -346,8 +395,18 @@ mod tests {
         let t = vec![Value::Cat(5)]; // Si10H16
         let small = a.evaluate(&t, &cfg(4, 10, 64, 8, 24, 8), 0);
         let large = a.evaluate(&t, &cfg(4, 10, 64, 8, 320, 40), 0);
-        assert!(large[0] < small[0], "large NSUP should be faster: {} vs {}", large[0], small[0]);
-        assert!(large[1] > small[1], "large NSUP should use more memory: {} vs {}", large[1], small[1]);
+        assert!(
+            large[0] < small[0],
+            "large NSUP should be faster: {} vs {}",
+            large[0],
+            small[0]
+        );
+        assert!(
+            large[1] > small[1],
+            "large NSUP should use more memory: {} vs {}",
+            large[1],
+            small[1]
+        );
     }
 
     #[test]
@@ -359,7 +418,12 @@ mod tests {
             .map(|&l| a.evaluate(&t, &cfg(4, l, 256, 11, 128, 20), 0)[0])
             .collect();
         assert!(times[1] < times[0], "look 8 {} vs 2 {}", times[1], times[0]);
-        assert!(times[1] < times[2], "look 8 {} vs 30 {}", times[1], times[2]);
+        assert!(
+            times[1] < times[2],
+            "look 8 {} vs 30 {}",
+            times[1],
+            times[2]
+        );
     }
 
     #[test]
@@ -416,7 +480,11 @@ mod tests {
     fn default_config_valid() {
         let a = app();
         let d = a.default_config().unwrap();
-        assert!(a.tuning_space().is_valid(&d), "{:?}", a.tuning_space().violated_constraints(&d));
+        assert!(
+            a.tuning_space().is_valid(&d),
+            "{:?}",
+            a.tuning_space().violated_constraints(&d)
+        );
     }
 
     #[test]

@@ -56,11 +56,8 @@ impl Tuner for HpBandSterLike {
 
         // Initial design.
         for cfg in initial_design(space, self.n_initial.min(budget), &mut rng) {
-            let y = problem.evaluate(
-                task_idx,
-                &cfg,
-                seed.wrapping_add(samples.len() as u64 * 13),
-            )[0];
+            let y =
+                problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
             samples.push((cfg, y));
         }
 
@@ -73,11 +70,8 @@ impl Tuner for HpBandSterLike {
                 tpe::propose(&xs, &ys, dim, &self.tpe, &mut rng)
             };
             let cfg = repair(space, &u, &samples, &mut rng);
-            let y = problem.evaluate(
-                task_idx,
-                &cfg,
-                seed.wrapping_add(samples.len() as u64 * 13),
-            )[0];
+            let y =
+                problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
             samples.push((cfg, y));
         }
         TunerRun::from_samples(samples)

@@ -128,11 +128,7 @@ pub(crate) fn repair(
 }
 
 /// Shared initial design: a small LHS like every real tuner uses.
-pub(crate) fn initial_design(
-    space: &Space,
-    n: usize,
-    rng: &mut StdRng,
-) -> Vec<Config> {
+pub(crate) fn initial_design(space: &Space, n: usize, rng: &mut StdRng) -> Vec<Config> {
     sampling::sample_space(space, n, rng, 200)
 }
 

@@ -198,11 +198,8 @@ impl Tuner for OpenTunerLike {
                 &mut rng,
             );
             let cfg = repair(space, &u, &samples, &mut rng);
-            let y = problem.evaluate(
-                task_idx,
-                &cfg,
-                seed.wrapping_add(samples.len() as u64 * 13),
-            )[0];
+            let y =
+                problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
             let improved = y < best;
             if improved {
                 best = y;

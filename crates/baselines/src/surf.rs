@@ -62,7 +62,8 @@ impl Tuner for SurfLike {
         let mut samples: Vec<(Config, f64)> = Vec::with_capacity(budget);
 
         for cfg in initial_design(space, self.n_initial.min(budget), &mut rng) {
-            let y = problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
+            let y =
+                problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
             samples.push((cfg, y));
         }
 
@@ -106,7 +107,8 @@ impl Tuner for SurfLike {
                 best_cand
             };
             let cfg = repair(space, &proposal, &samples, &mut rng);
-            let y = problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
+            let y =
+                problem.evaluate(task_idx, &cfg, seed.wrapping_add(samples.len() as u64 * 13))[0];
             samples.push((cfg, y));
         }
         TunerRun::from_samples(samples)

@@ -35,7 +35,13 @@ fn score(problem: &gptune::core::TuningProblem, make: impl Fn(u64) -> MlaOptions
         total += r
             .per_task
             .iter()
-            .map(|t| if t.best_value.is_finite() { t.best_value } else { 1e3 })
+            .map(|t| {
+                if t.best_value.is_finite() {
+                    t.best_value
+                } else {
+                    1e3
+                }
+            })
             .sum::<f64>();
     }
     total / 3.0
@@ -78,7 +84,12 @@ fn main() {
     }
 
     println!("\n[3] initial-design fraction of ε_tot:");
-    for (label, init) in [("1/4", budget / 4), ("1/2 (paper)", budget / 2), ("3/4", 3 * budget / 4), ("all-random", budget)] {
+    for (label, init) in [
+        ("1/4", budget / 4),
+        ("1/2 (paper)", budget / 2),
+        ("3/4", 3 * budget / 4),
+        ("all-random", budget),
+    ] {
         let s = score(&problem, |seed| {
             let mut o = base_opts(budget, seed);
             o.n_initial = Some(init.max(2));

@@ -31,6 +31,8 @@ fn main() {
         }
         println!();
     }
-    println!("\nShape check: larger t ⇒ faster oscillation near x = 0 and a deeper envelope decay,");
+    println!(
+        "\nShape check: larger t ⇒ faster oscillation near x = 0 and a deeper envelope decay,"
+    );
     println!("matching the paper's description of increasingly hard black-box problems.");
 }

@@ -30,7 +30,9 @@ fn main() {
     let app: Arc<dyn HpcApp> = Arc::new(AnalyticalApp::new(0.0));
     let tasks = gptune::apps::analytical::default_tasks(); // δ = 20
     let problem = problem_from_app(Arc::clone(&app), tasks);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let many = cores.clamp(2, 8);
     if cores == 1 {
         println!("\nNOTE: this host exposes a single CPU; the worker columns cannot show real");

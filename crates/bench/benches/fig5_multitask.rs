@@ -89,7 +89,11 @@ fn main() {
             flops[i] / 1e12,
             tr.best_value,
             worst,
-            if i == 0 { "   <- the single-task target" } else { "" }
+            if i == 0 {
+                "   <- the single-task target"
+            } else {
+                ""
+            }
         );
     }
     println!(

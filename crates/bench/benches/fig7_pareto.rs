@@ -49,31 +49,41 @@ fn main() {
     let default_out = app.evaluate(&tasks[0], &default_cfg, 0);
 
     println!("\n[left] Si2 — log-scale landmarks:");
-    println!("  default          : time {:>9.4}s  mem {:>9.2} MB", default_out[0], default_out[1]);
+    println!(
+        "  default          : time {:>9.4}s  mem {:>9.2} MB",
+        default_out[0], default_out[1]
+    );
     for (idx, label) in [(0usize, "time-only optim"), (1usize, "memory-only opt")] {
         let so = problem_from_app_objective(Arc::clone(&app), tasks.clone(), idx);
         let sr = mla::tune(&so, &opts(80, 83));
         let out = app.evaluate(&tasks[0], &sr.per_task[0].best_config, 0);
-        let on_front = !front
-            .iter()
-            .any(|p| dominates(&p.objectives, &out));
+        let on_front = !front.iter().any(|p| dominates(&p.objectives, &out));
         println!(
             "  {label}  : time {:>9.4}s  mem {:>9.2} MB   ({})",
             out[0],
             out[1],
-            if on_front { "on/near the multi-objective front" } else { "dominated by the front" }
+            if on_front {
+                "on/near the multi-objective front"
+            } else {
+                "dominated by the front"
+            }
         );
     }
     println!("  multi-objective front ({} points):", front.len());
     for p in &front {
-        println!("    time {:>9.4}s  mem {:>9.2} MB", p.objectives[0], p.objectives[1]);
+        println!(
+            "    time {:>9.4}s  mem {:>9.2} MB",
+            p.objectives[0], p.objectives[1]
+        );
     }
-    let dominated_default = front
-        .iter()
-        .any(|p| dominates(&p.objectives, &default_out));
+    let dominated_default = front.iter().any(|p| dominates(&p.objectives, &default_out));
     println!(
         "  default dominated by the front: {}",
-        if dominated_default { "yes (as in the paper)" } else { "no" }
+        if dominated_default {
+            "yes (as in the paper)"
+        } else {
+            "no"
+        }
     );
 
     // ---------------- Right: 8 matrices, multitask vs single-task ----------------
@@ -97,17 +107,24 @@ fn main() {
         // Count cross-dominations.
         let s_dom = sfront
             .iter()
-            .filter(|s| mfront.iter().any(|m| dominates(&s.objectives, &m.objectives)))
+            .filter(|s| {
+                mfront
+                    .iter()
+                    .any(|m| dominates(&s.objectives, &m.objectives))
+            })
             .count();
         let m_dom = mfront
             .iter()
-            .filter(|m| sfront.iter().any(|s| dominates(&m.objectives, &s.objectives)))
+            .filter(|m| {
+                sfront
+                    .iter()
+                    .any(|s| dominates(&m.objectives, &s.objectives))
+            })
             .count();
         total_s_dom += s_dom;
         total_m_dom += m_dom;
         // Hypervolume in a shared reference box (joint nadir × 1.1).
-        let all_pts: Vec<&gptune::core::ParetoPoint> =
-            mfront.iter().chain(sfront.iter()).collect();
+        let all_pts: Vec<&gptune::core::ParetoPoint> = mfront.iter().chain(sfront.iter()).collect();
         let reference = [
             1.1 * all_pts
                 .iter()

@@ -14,7 +14,9 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn spd(n: usize) -> Matrix {
-    let b = Matrix::from_fn(n, n, |i, j| (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 11.0);
+    let b = Matrix::from_fn(n, n, |i, j| {
+        (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 11.0
+    });
     let mut a = blas::matmul(&b, &b.transpose());
     a.add_diagonal(n as f64);
     a
@@ -129,5 +131,11 @@ fn bench_acquisition(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_cholesky, bench_lcm, bench_acquisition);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_cholesky,
+    bench_lcm,
+    bench_acquisition
+);
 criterion_main!(benches);

@@ -109,10 +109,7 @@ fn main() {
     // ---------------- M3D_C1 ----------------
     let m3d: Arc<dyn HpcApp> = Arc::new(M3dc1App::new(MachineModel::cori(1)));
     println!("\nM3D_C1 (single: t=3, ε_tot=80 | multi: t=1,1,1,3, ε_tot=20):");
-    println!(
-        "{:<14} {:>11} {:>11}",
-        "", "minimum(s)", "total app(s)"
-    );
+    println!("{:<14} {:>11} {:>11}", "", "minimum(s)", "total app(s)");
     let m3d_single = problem_from_app(Arc::clone(&m3d), vec![vec![Value::Int(3)]]);
     let mut o = opts(80, 29);
     o.runs_per_eval = 1;
@@ -135,18 +132,13 @@ fn main() {
     let m = mla::tune(&m3d_multi, &o);
     println!(
         "{:<14} {:>11.2} {:>11.0}",
-        "multitask",
-        m.per_task[3].best_value,
-        m.stats.objective_virtual_secs
+        "multitask", m.per_task[3].best_value, m.stats.objective_virtual_secs
     );
 
     // ---------------- NIMROD ----------------
     let nim: Arc<dyn HpcApp> = Arc::new(NimrodApp::new(MachineModel::cori(6)));
     println!("\nNIMROD (single: t=15, ε_tot=80 | multi: t=3,3,3,15, ε_tot=20):");
-    println!(
-        "{:<14} {:>11} {:>11}",
-        "", "minimum(s)", "total app(s)"
-    );
+    println!("{:<14} {:>11} {:>11}", "", "minimum(s)", "total app(s)");
     let nim_single = problem_from_app(Arc::clone(&nim), vec![vec![Value::Int(15)]]);
     let mut o = opts(80, 37);
     o.runs_per_eval = 1;
@@ -169,9 +161,7 @@ fn main() {
     let m = mla::tune(&nim_multi, &o);
     println!(
         "{:<14} {:>11.2} {:>11.0}",
-        "multitask",
-        m.per_task[3].best_value,
-        m.stats.objective_virtual_secs
+        "multitask", m.per_task[3].best_value, m.stats.objective_virtual_secs
     );
 
     println!("\nShape check vs paper: multitask attains similar minima with much lower total");

@@ -53,8 +53,10 @@ fn main() {
             let mut ot_traj = Vec::new();
             let mut hb_traj = Vec::new();
             for i in 0..delta {
-                let ot = OpenTunerLike::default().tune_task(&problem, i, budget, seed + 300 + i as u64);
-                let hb = HpBandSterLike::default().tune_task(&problem, i, budget, seed + 600 + i as u64);
+                let ot =
+                    OpenTunerLike::default().tune_task(&problem, i, budget, seed + 300 + i as u64);
+                let hb =
+                    HpBandSterLike::default().tune_task(&problem, i, budget, seed + 600 + i as u64);
                 ot_best.push(ot.best_value);
                 hb_best.push(hb.best_value);
                 ot_traj.push(ot.trajectory());

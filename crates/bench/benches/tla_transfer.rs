@@ -61,7 +61,9 @@ fn main() {
         let mut t = 0.0;
         let mut c = 0.0;
         for seed in 0..3u64 {
-            let mut topts = MlaOptions::default().with_budget(budget).with_seed(40 + seed);
+            let mut topts = MlaOptions::default()
+                .with_budget(budget)
+                .with_seed(40 + seed);
             topts.lcm.n_starts = 2;
             topts.lcm.lbfgs.max_iters = 20;
             topts.n_initial = Some((budget / 2).max(1).min(budget));

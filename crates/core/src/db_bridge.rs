@@ -1,0 +1,457 @@
+//! Boundary between the tuner and the `gptune-db` storage layer.
+//!
+//! `gptune-db` is deliberately dependency-free, so it defines its own value
+//! and stats types rather than depending on `gptune-space` /
+//! `gptune-runtime`. This module converts at the boundary — `Value ↔
+//! DbValue`, `PhaseStats ↔ RunStats` — and builds the derived identities
+//! the archive is keyed on: the *problem signature* (a stable hash of the
+//! problem's structure) and the deterministic *run id*. It also holds the
+//! load/store glue the MLA loops use: warm-start preloading, checkpoint
+//! construction, and end-of-run archiving.
+
+use crate::history::History;
+use crate::mla::Evaluations;
+use crate::options::MlaOptions;
+use crate::problem::TuningProblem;
+use gptune_db::{
+    fnv1a, Checkpoint, CheckpointKind, Db, DbEntry, DbRecord, DbValue, Provenance, Query, RunStats,
+    RunSummary,
+};
+use gptune_runtime::PhaseStats;
+use gptune_space::{Config, Param, ParamKind, Value};
+use std::path::Path;
+use std::time::Duration;
+
+/// `gptune_space::Value` → storage value.
+pub fn value_to_db(v: &Value) -> DbValue {
+    match v {
+        Value::Real(x) => DbValue::Real(*x),
+        Value::Int(x) => DbValue::Int(*x),
+        Value::Cat(i) => DbValue::Cat(*i),
+    }
+}
+
+/// Storage value → `gptune_space::Value`.
+pub fn db_to_value(v: &DbValue) -> Value {
+    match v {
+        DbValue::Real(x) => Value::Real(*x),
+        DbValue::Int(x) => Value::Int(*x),
+        DbValue::Cat(i) => Value::Cat(*i),
+    }
+}
+
+/// Converts a configuration to its storage form.
+pub fn config_to_db(c: &[Value]) -> Vec<DbValue> {
+    c.iter().map(value_to_db).collect()
+}
+
+/// Converts a stored configuration back to space values.
+pub fn db_to_config(c: &[DbValue]) -> Config {
+    c.iter().map(db_to_value).collect()
+}
+
+/// Stable signature of a problem's *structure*: name, task space, tuning
+/// space, and objective count — but **not** the selected tasks, so runs
+/// over different task subsets of one problem share a journal (which is
+/// what lets TLA transfer records across tasks). Two problems that share a
+/// name but differ structurally get distinct journals.
+pub fn problem_signature(problem: &TuningProblem) -> u64 {
+    let mut text = String::new();
+    text.push_str(&problem.name);
+    text.push('\u{1f}');
+    for p in problem.task_space.params() {
+        push_param(&mut text, p);
+    }
+    text.push('\u{1f}');
+    for p in problem.tuning_space.params() {
+        push_param(&mut text, p);
+    }
+    text.push('\u{1f}');
+    text.push_str(&problem.n_objectives.to_string());
+    fnv1a(text.as_bytes())
+}
+
+/// Canonical text form of one parameter for signature hashing. Hand-rolled
+/// (not `Debug`) so the signature is stable across compiler versions.
+fn push_param(out: &mut String, p: &Param) {
+    out.push('|');
+    out.push_str(&p.name);
+    match &p.kind {
+        ParamKind::Real { low, high, log } => {
+            out.push_str(&format!(":r[{low};{high};{log}]"));
+        }
+        ParamKind::Int { low, high, log } => {
+            out.push_str(&format!(":i[{low};{high};{log}]"));
+        }
+        ParamKind::Categorical { choices } => {
+            out.push_str(&format!(":c[{}]", choices.join(";")));
+        }
+    }
+}
+
+/// `PhaseStats` → plain-number storage stats.
+pub fn stats_to_db(s: &PhaseStats) -> RunStats {
+    RunStats {
+        objective_virtual_secs: s.objective_virtual_secs,
+        objective_wall_secs: s.objective_wall.as_secs_f64(),
+        modeling_wall_secs: s.modeling_wall.as_secs_f64(),
+        search_wall_secs: s.search_wall.as_secs_f64(),
+        n_evals: s.n_evals as u64,
+    }
+}
+
+/// Storage stats → `PhaseStats` (used when resuming from a checkpoint).
+pub fn stats_from_db(s: &RunStats) -> PhaseStats {
+    let secs = |x: f64| Duration::from_secs_f64(x.max(0.0));
+    PhaseStats {
+        objective_virtual_secs: s.objective_virtual_secs,
+        objective_wall: secs(s.objective_wall_secs),
+        modeling_wall: secs(s.modeling_wall_secs),
+        search_wall: secs(s.search_wall_secs),
+        n_evals: s.n_evals as usize,
+    }
+}
+
+/// Deterministic run identifier: the same options always produce the same
+/// id, so an interrupted run and its resumption archive as *one* run (and
+/// re-archiving after a replayed resume deduplicates on merge).
+pub fn run_id(opts: &MlaOptions, delta: usize) -> String {
+    format!("seed{}-eps{}-d{delta}", opts.seed, opts.eps_total)
+}
+
+/// Provenance stamped on every record this run archives.
+pub fn provenance(opts: &MlaOptions, delta: usize) -> Provenance {
+    Provenance {
+        seed: opts.seed,
+        run: run_id(opts, delta),
+        machine: opts.machine_id.clone(),
+    }
+}
+
+/// Opens the archive configured in the options, if any. An unopenable
+/// archive is a configuration error and panics loudly — silently tuning
+/// without durability would defeat the point of asking for it.
+pub(crate) fn open_db(opts: &MlaOptions) -> Option<Db> {
+    opts.db_path.as_ref().map(|p| {
+        Db::open(p).unwrap_or_else(|e| {
+            panic!("gptune-db: cannot open archive at {}: {e}", p.display());
+        })
+    })
+}
+
+/// Builds a checkpoint of the in-flight MLA state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn checkpoint_from_run(
+    kind: CheckpointKind,
+    sig: u64,
+    opts: &MlaOptions,
+    evals: &Evaluations,
+    iteration: usize,
+    eps: usize,
+    n_preloaded: usize,
+    stats: &PhaseStats,
+) -> Checkpoint {
+    Checkpoint {
+        kind,
+        sig,
+        seed: opts.seed,
+        eps_total: opts.eps_total,
+        iteration,
+        eps,
+        n_preloaded,
+        points: evals
+            .points
+            .iter()
+            .map(|(t, c)| (*t, config_to_db(c)))
+            .collect(),
+        outputs: evals.outputs.clone(),
+        stats: stats_to_db(stats),
+    }
+}
+
+/// Builds and atomically persists a checkpoint of the in-flight state.
+/// Failure panics: the user asked for durability; losing it is loud.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_checkpoint(
+    db: &Db,
+    kind: CheckpointKind,
+    sig: u64,
+    opts: &MlaOptions,
+    evals: &Evaluations,
+    iteration: usize,
+    eps: usize,
+    n_preloaded: usize,
+    stats: &PhaseStats,
+) {
+    let ckpt = checkpoint_from_run(kind, sig, opts, evals, iteration, eps, n_preloaded, stats);
+    db.save_checkpoint(&ckpt)
+        .unwrap_or_else(|e| panic!("gptune-db: cannot write checkpoint: {e}"));
+}
+
+/// Rehydrates the evaluation archive from a checkpoint.
+pub(crate) fn evals_from_checkpoint(ckpt: &Checkpoint) -> Evaluations {
+    Evaluations {
+        points: ckpt
+            .points
+            .iter()
+            .map(|(t, c)| (*t, db_to_config(c)))
+            .collect(),
+        outputs: ckpt.outputs.clone(),
+    }
+}
+
+/// A loaded checkpoint is only usable when it describes *this* run: same
+/// loop kind, same budget, and task indices within range. (Signature and
+/// seed already matched — they key the checkpoint file.)
+pub(crate) fn checkpoint_matches(
+    ckpt: &Checkpoint,
+    kind: CheckpointKind,
+    opts: &MlaOptions,
+    delta: usize,
+) -> bool {
+    ckpt.kind == kind
+        && ckpt.eps_total == opts.eps_total
+        && ckpt.points.iter().all(|(t, _)| *t < delta)
+        && ckpt.points.len() == ckpt.outputs.len()
+}
+
+/// Archived evaluations matching this problem's tasks, as
+/// `(task_idx, config, outputs)` triples ready to preload (the MLA warm
+/// start). Records with foreign tasks, wrong arity, or infeasible
+/// configurations are skipped.
+pub(crate) fn preload_from_db(
+    db: &Db,
+    problem: &TuningProblem,
+    sig: u64,
+) -> std::io::Result<Vec<(usize, Config, Vec<f64>)>> {
+    let recs = db.query(
+        &problem.name,
+        sig,
+        &Query {
+            n_outputs: Some(problem.n_objectives),
+            ..Default::default()
+        },
+    )?;
+    let mut out = Vec::new();
+    for r in recs {
+        let task = db_to_config(&r.task);
+        let Some(idx) = problem.tasks.iter().position(|t| t == &task) else {
+            continue;
+        };
+        let cfg = db_to_config(&r.config);
+        if cfg.len() == problem.beta() && problem.tuning_space.is_valid(&cfg) {
+            out.push((idx, cfg, r.outputs));
+        }
+    }
+    Ok(out)
+}
+
+/// Appends this run's fresh evaluations (skipping the `n_preloaded`
+/// archived ones) plus a run summary to the problem's journal. Returns the
+/// number of entries written.
+pub(crate) fn archive_run(
+    db: &Db,
+    problem: &TuningProblem,
+    sig: u64,
+    evals: &Evaluations,
+    n_preloaded: usize,
+    prov: &Provenance,
+    stats: &PhaseStats,
+) -> std::io::Result<usize> {
+    let fresh = evals.points.len().saturating_sub(n_preloaded);
+    let mut entries: Vec<DbEntry> = Vec::with_capacity(fresh + 1);
+    for ((t, cfg), out) in evals
+        .points
+        .iter()
+        .zip(&evals.outputs)
+        .skip(n_preloaded.min(evals.points.len()))
+    {
+        entries.push(DbEntry::Eval(DbRecord {
+            problem: problem.name.clone(),
+            sig,
+            task: config_to_db(&problem.tasks[*t]),
+            config: config_to_db(cfg),
+            outputs: out.clone(),
+            prov: prov.clone(),
+        }));
+    }
+    entries.push(DbEntry::Run(RunSummary {
+        problem: problem.name.clone(),
+        sig,
+        prov: prov.clone(),
+        stats: stats_to_db(stats),
+    }));
+    db.append(&entries)
+}
+
+/// Loads every archived evaluation of `problem` from a `gptune-db` archive
+/// into a core [`History`] — the bridge that feeds archived data to
+/// [`crate::tla::transfer_tune`] and [`crate::tla::predict_transfer_config`].
+pub fn history_from_db(db_path: &Path, problem: &TuningProblem) -> std::io::Result<History> {
+    let db = Db::open(db_path)?;
+    let sig = problem_signature(problem);
+    let recs = db.query(
+        &problem.name,
+        sig,
+        &Query {
+            n_outputs: Some(problem.n_objectives),
+            ..Default::default()
+        },
+    )?;
+    let mut h = History::new(&problem.name);
+    for r in recs {
+        h.push(db_to_config(&r.task), db_to_config(&r.config), r.outputs);
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Space};
+
+    fn toy(name: &str) -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 10.0)).build();
+        let ps = Space::builder()
+            .param(Param::real("x", 0.0, 1.0))
+            .param(Param::int("b", 1, 64))
+            .build();
+        TuningProblem::new(
+            name,
+            ts,
+            ps,
+            vec![vec![Value::Real(1.0)], vec![Value::Real(2.0)]],
+            |_, x, _| vec![x[0].as_real()],
+        )
+    }
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gptune_bridge_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [Value::Real(0.25), Value::Int(-3), Value::Cat(2)] {
+            assert_eq!(db_to_value(&value_to_db(&v)), v);
+        }
+    }
+
+    #[test]
+    fn signature_ignores_tasks_but_not_structure() {
+        let a = toy("p");
+        let mut b = toy("p");
+        b.tasks = vec![vec![Value::Real(7.0)]];
+        assert_eq!(problem_signature(&a), problem_signature(&b));
+
+        let renamed = toy("q");
+        assert_ne!(problem_signature(&a), problem_signature(&renamed));
+
+        let wider = {
+            let ts = Space::builder().param(Param::real("t", 0.0, 10.0)).build();
+            let ps = Space::builder()
+                .param(Param::real("x", 0.0, 2.0)) // different bound
+                .param(Param::int("b", 1, 64))
+                .build();
+            TuningProblem::new("p", ts, ps, vec![vec![Value::Real(1.0)]], |_, x, _| {
+                vec![x[0].as_real()]
+            })
+        };
+        assert_ne!(problem_signature(&a), problem_signature(&wider));
+
+        let mo = toy("p").with_objectives(2);
+        assert_ne!(problem_signature(&a), problem_signature(&mo));
+    }
+
+    #[test]
+    fn stats_roundtrip_through_db_form() {
+        let s = PhaseStats {
+            objective_virtual_secs: 12.5,
+            objective_wall: Duration::from_millis(250),
+            modeling_wall: Duration::from_millis(1500),
+            search_wall: Duration::from_millis(750),
+            n_evals: 14,
+        };
+        let back = stats_from_db(&stats_to_db(&s));
+        assert_eq!(back.n_evals, 14);
+        assert!((back.objective_virtual_secs - 12.5).abs() < 1e-12);
+        assert!((back.modeling_wall.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_id_is_deterministic() {
+        let o = MlaOptions::default().with_seed(9).with_budget(30);
+        assert_eq!(run_id(&o, 2), run_id(&o, 2));
+        assert_ne!(run_id(&o, 2), run_id(&o, 3));
+        assert_eq!(run_id(&o, 2), "seed9-eps30-d2");
+    }
+
+    #[test]
+    fn checkpoint_evals_roundtrip() {
+        let evals = Evaluations {
+            points: vec![
+                (0, vec![Value::Real(0.5), Value::Int(8)]),
+                (1, vec![Value::Real(0.75), Value::Int(16)]),
+            ],
+            outputs: vec![vec![1.0], vec![2.0]],
+        };
+        let o = MlaOptions::default().with_seed(4).with_budget(10);
+        let c = checkpoint_from_run(
+            CheckpointKind::Mla,
+            0xabc,
+            &o,
+            &evals,
+            3,
+            7,
+            0,
+            &PhaseStats::default(),
+        );
+        assert!(checkpoint_matches(&c, CheckpointKind::Mla, &o, 2));
+        assert!(!checkpoint_matches(&c, CheckpointKind::MlaMo, &o, 2));
+        assert!(!checkpoint_matches(&c, CheckpointKind::Mla, &o, 1));
+        let other_budget = MlaOptions::default().with_seed(4).with_budget(12);
+        assert!(!checkpoint_matches(
+            &c,
+            CheckpointKind::Mla,
+            &other_budget,
+            2
+        ));
+        let back = evals_from_checkpoint(&c);
+        assert_eq!(back.points, evals.points);
+        assert_eq!(back.outputs, evals.outputs);
+    }
+
+    #[test]
+    fn archive_then_preload_and_history() {
+        let root = tmp_root("arch");
+        let db = Db::open(&root).unwrap();
+        let p = toy("arch");
+        let sig = problem_signature(&p);
+        let evals = Evaluations {
+            points: vec![
+                (0, vec![Value::Real(0.5), Value::Int(8)]),
+                (1, vec![Value::Real(0.25), Value::Int(4)]),
+            ],
+            outputs: vec![vec![1.5], vec![2.5]],
+        };
+        let o = MlaOptions::default().with_seed(1).with_budget(2);
+        let prov = provenance(&o, p.n_tasks());
+        let n = archive_run(&db, &p, sig, &evals, 0, &prov, &PhaseStats::default()).unwrap();
+        assert_eq!(n, 3, "2 evals + 1 run summary");
+
+        let pre = preload_from_db(&db, &p, sig).unwrap();
+        assert_eq!(pre.len(), 2);
+        assert_eq!(pre[0].0, 0);
+        assert_eq!(pre[1].2, vec![2.5]);
+
+        let h = history_from_db(&root, &p).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.best_for_task(&p.tasks[0]).unwrap().outputs[0], 1.5);
+
+        // Preloaded records are excluded from a later archive pass.
+        let n2 = archive_run(&db, &p, sig, &evals, 2, &prov, &PhaseStats::default()).unwrap();
+        assert_eq!(n2, 1, "only the run summary");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -8,7 +8,7 @@
 
 use gptune_space::{Config, Value};
 use serde::{Deserialize, Serialize};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 /// One archived evaluation.
@@ -99,10 +99,11 @@ impl History {
         serde_json::from_str(s)
     }
 
-    /// Saves to a file.
+    /// Saves to a file, atomically: the JSON is written to a temp sibling,
+    /// fsynced, and renamed over `path`, so a crash mid-save can never
+    /// leave a torn archive (the previous version survives intact).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_json().as_bytes())
+        gptune_db::atomic_write(path, self.to_json().as_bytes())
     }
 
     /// Loads from a file.
@@ -161,7 +162,11 @@ mod tests {
     #[test]
     fn best_skips_non_finite() {
         let mut h = History::new("x");
-        h.push(vec![Value::Int(1)], vec![Value::Int(1)], vec![f64::INFINITY]);
+        h.push(
+            vec![Value::Int(1)],
+            vec![Value::Int(1)],
+            vec![f64::INFINITY],
+        );
         h.push(vec![Value::Int(1)], vec![Value::Int(2)], vec![3.0]);
         assert_eq!(h.best_for_task(&[Value::Int(1)]).unwrap().outputs[0], 3.0);
         let mut h2 = History::new("y");
@@ -187,6 +192,28 @@ mod tests {
         let back = History::load(&path).unwrap();
         assert_eq!(h, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically_without_litter() {
+        let dir =
+            std::env::temp_dir().join(format!("gptune_history_atomic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.json");
+        sample_history().save(&path).unwrap();
+        let mut h2 = sample_history();
+        h2.push(vec![Value::Int(5)], vec![Value::Int(5)], vec![5.0]);
+        h2.save(&path).unwrap();
+        assert_eq!(History::load(&path).unwrap(), h2);
+        // The temp sibling used for the atomic rename must be gone.
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "h.json")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,12 +13,17 @@
 //! * [`perfmodel`] — incorporation of coarse performance models (Sec. 3.3):
 //!   feature enrichment `[x, ỹ(t,x)]` plus on-the-fly least-squares updates
 //!   of the model hyperparameters (`t_flop, t_msg, t_vol` of Eq. 7);
-//! * [`history`] — the archive/reuse database (goal 3 of the paper:
-//!   "support archiving and reusing tuning data from multiple executions");
+//! * [`history`] — the in-memory archive/reuse records (goal 3 of the
+//!   paper: "support archiving and reusing tuning data from multiple
+//!   executions");
+//! * [`db_bridge`] — the boundary to `gptune-db`, the crash-safe on-disk
+//!   history database: problem signatures, warm-start preloading,
+//!   checkpoint/resume, and end-of-run archiving;
 //! * [`metrics`] — the evaluation metrics of Sec. 6: `WinTask` (final
 //!   performance) and `stability` (anytime performance), plus Pareto
 //!   utilities.
 
+pub mod db_bridge;
 pub mod history;
 pub mod metrics;
 pub mod mla;
@@ -29,10 +34,11 @@ pub mod problem;
 pub mod runlog;
 pub mod tla;
 
+pub use db_bridge::{history_from_db, problem_signature};
 pub use history::History;
 pub use metrics::{hypervolume_2d, mean_stability, stability, win_task};
 pub use mla::{MlaResult, TaskResult};
 pub use mla_mo::{MoMlaResult, MoTaskResult, ParetoPoint};
 pub use options::{Acquisition, MlaOptions, SearchMethod};
 pub use problem::TuningProblem;
-pub use tla::{predict_transfer_config, transfer_tune};
+pub use tla::{predict_transfer_config, transfer_tune, transfer_tune_from_db};

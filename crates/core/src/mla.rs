@@ -15,9 +15,11 @@
 //! blocked-parallel Cholesky), and the search phase parallelizes over
 //! tasks.
 
+use crate::db_bridge;
 use crate::options::{Acquisition, MlaOptions, SearchMethod};
 use crate::perfmodel::{FeatureScaler, LinearPerfModel};
 use crate::problem::TuningProblem;
+use gptune_db::CheckpointKind;
 use gptune_gp::gp::{expected_improvement, lower_confidence_bound, probability_of_improvement};
 use gptune_gp::{LcmFitOptions, LcmModel};
 use gptune_opt::{cmaes, de, pso};
@@ -65,6 +67,11 @@ pub struct MlaResult {
     pub per_task: Vec<TaskResult>,
     /// Phase-time breakdown (objective / modeling / search).
     pub stats: gptune_runtime::PhaseStats,
+    /// `false` when the run was preempted by
+    /// [`MlaOptions::stop_after_iterations`] before exhausting `ε_tot`
+    /// (a checkpoint holds the in-flight state; rerunning with the same
+    /// options resumes it).
+    pub completed: bool,
 }
 
 /// Internal bookkeeping shared with the multi-objective driver.
@@ -350,7 +357,13 @@ pub(crate) fn search_task(
                 max_evals: acq_budget,
                 ..Default::default()
             };
-            cmaes::minimize(&mut acq, beta, seeds.first().map(|s| s.as_slice()), &cm_opts, rng)
+            cmaes::minimize(
+                &mut acq,
+                beta,
+                seeds.first().map(|s| s.as_slice()),
+                &cm_opts,
+                rng,
+            )
         }
     };
     let mut candidate = problem.tuning_space.denormalize(&result.x);
@@ -380,10 +393,20 @@ pub(crate) fn search_task(
 
 /// Runs single-objective multitask MLA (Algorithm 1).
 ///
+/// With [`MlaOptions::with_db`] the run participates in the shared history
+/// database: completed runs archive their evaluations, warm starts preload
+/// matching archived records, and (with
+/// [`MlaOptions::checkpoint_every`] > 0) the in-flight state is
+/// periodically checkpointed. A rerun with identical options resumes a
+/// matching checkpoint and — because all post-sampling randomness is
+/// derived from `(seed, iteration, task)` — converges to the *identical*
+/// result an uninterrupted run would have produced.
+///
 /// # Panics
 /// Panics if the problem is multi-objective (`γ > 1`) — use
 /// [`crate::mla_mo::tune_multiobjective`], or select one output with a
-/// wrapper objective.
+/// wrapper objective. Also panics when a configured archive cannot be
+/// opened or written (durability was requested; losing it is loud).
 pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
     assert_eq!(
         problem.n_objectives, 1,
@@ -391,23 +414,91 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         problem.n_objectives
     );
     let timer = PhaseTimer::new();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
     let delta = problem.n_tasks();
     let n_init = opts.initial_samples();
+    let db = db_bridge::open_db(opts);
+    let sig = db_bridge::problem_signature(problem);
 
-    // --- Sampling phase ---
+    // --- Resume: adopt a checkpoint that matches this exact run ---
     let mut evals = Evaluations::new();
-    let batch = initial_designs(problem, n_init, &mut rng);
-    let outputs = timer.time(Phase::Objective, || {
-        evaluate_batch(problem, batch.clone(), opts, &timer, 0)
-    });
-    evals.points = batch;
-    evals.outputs = outputs;
+    let mut iteration = 0usize;
+    let mut eps = 0usize;
+    let mut n_preloaded = 0usize;
+    let mut resumed = false;
+    if opts.checkpointing() {
+        let db = db.as_ref().expect("checkpointing() implies db_path");
+        match db.load_checkpoint(sig, opts.seed) {
+            Ok(Some(ckpt))
+                if db_bridge::checkpoint_matches(&ckpt, CheckpointKind::Mla, opts, delta) =>
+            {
+                evals = db_bridge::evals_from_checkpoint(&ckpt);
+                iteration = ckpt.iteration;
+                eps = ckpt.eps;
+                n_preloaded = ckpt.n_preloaded;
+                timer.restore(db_bridge::stats_from_db(&ckpt.stats));
+                resumed = true;
+            }
+            Ok(_) => {} // no checkpoint, or one from a different run shape
+            Err(e) => eprintln!("gptune-db: ignoring unreadable checkpoint: {e}"),
+        }
+    }
+
+    if !resumed {
+        // --- Warm start: preload matching archived evaluations (free
+        // observations for the surrogate; excluded from budget/results) ---
+        if opts.warm_start_from_db {
+            if let Some(db) = &db {
+                let pre = db_bridge::preload_from_db(db, problem, sig)
+                    .unwrap_or_else(|e| panic!("gptune-db: cannot read archive: {e}"));
+                for (t, cfg, out) in pre {
+                    if !evals.contains(t, &cfg) {
+                        evals.points.push((t, cfg));
+                        evals.outputs.push(out);
+                    }
+                }
+                n_preloaded = evals.points.len();
+            }
+        }
+
+        // --- Sampling phase ---
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let batch = initial_designs(problem, n_init, &mut rng);
+        let offset = evals.points.len();
+        let outputs = timer.time(Phase::Objective, || {
+            evaluate_batch(problem, batch.clone(), opts, &timer, offset)
+        });
+        evals.points.extend(batch);
+        evals.outputs.extend(outputs);
+        eps = (evals.points.len() - n_preloaded) / delta.max(1);
+
+        // Checkpoint the (expensive) initial design immediately: a run
+        // killed in its first iteration then resumes without re-evaluating.
+        if opts.checkpointing() {
+            db_bridge::write_checkpoint(
+                db.as_ref().expect("checkpointing() implies db_path"),
+                CheckpointKind::Mla,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                eps,
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
+    }
 
     // --- MLA iterations ---
-    let mut eps = evals.points.len() / delta.max(1);
-    let mut iteration = 0usize;
+    let mut iters_this_process = 0usize;
+    let mut completed = true;
     while eps < opts.eps_total {
+        if opts
+            .stop_after_iterations
+            .is_some_and(|n| iters_this_process >= n)
+        {
+            completed = false;
+            break;
+        }
         // Modeling phase.
         let (inputs, y) = build_inputs(problem, &evals, 0, opts);
         let lcm_opts = LcmFitOptions {
@@ -422,12 +513,14 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
 
         // Search phase: one new point per task, parallel over tasks.
         let new_points: Vec<(usize, Config)> = timer.time(Phase::Search, || {
-            let seeds: Vec<u64> = (0..delta).map(|i| {
-                opts.seed
-                    .wrapping_add(0x5bd1e995)
-                    .wrapping_mul(iteration as u64 + 1)
-                    .wrapping_add(i as u64 * 104729)
-            }).collect();
+            let seeds: Vec<u64> = (0..delta)
+                .map(|i| {
+                    opts.seed
+                        .wrapping_add(0x5bd1e995)
+                        .wrapping_mul(iteration as u64 + 1)
+                        .wrapping_add(i as u64 * 104729)
+                })
+                .collect();
             with_pool(opts.search_workers, || {
                 (0..delta)
                     .into_par_iter()
@@ -465,19 +558,76 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         evals.outputs.extend(outputs);
         eps += 1;
         iteration += 1;
+        iters_this_process += 1;
+
+        if opts.checkpointing() && iteration % opts.checkpoint_every == 0 {
+            db_bridge::write_checkpoint(
+                db.as_ref().expect("checkpointing() implies db_path"),
+                CheckpointKind::Mla,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                eps,
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
     }
 
-    finalize(problem, evals, timer)
+    // --- Archive / checkpoint the outcome ---
+    if let Some(db) = &db {
+        if completed {
+            let prov = db_bridge::provenance(opts, delta);
+            db_bridge::archive_run(
+                db,
+                problem,
+                sig,
+                &evals,
+                n_preloaded,
+                &prov,
+                &timer.snapshot(),
+            )
+            .unwrap_or_else(|e| panic!("gptune-db: cannot archive run: {e}"));
+            if opts.checkpointing() {
+                let _ = db.clear_checkpoint(sig, opts.seed);
+            }
+        } else if opts.checkpointing() {
+            // Preempted: persist the final in-flight state for the resumer.
+            db_bridge::write_checkpoint(
+                db,
+                CheckpointKind::Mla,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                eps,
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
+    }
+
+    finalize(problem, evals, timer, n_preloaded, completed)
 }
 
-/// Assembles per-task results from the evaluation archive.
-pub(crate) fn finalize(problem: &TuningProblem, evals: Evaluations, timer: PhaseTimer) -> MlaResult {
+/// Assembles per-task results from the evaluation archive. The first
+/// `n_preloaded` evaluations are archived warm-start records, not this
+/// run's work — they informed the surrogate but are excluded from the
+/// reported samples/best so budgeted runs stay comparable.
+pub(crate) fn finalize(
+    problem: &TuningProblem,
+    evals: Evaluations,
+    timer: PhaseTimer,
+    n_preloaded: usize,
+    completed: bool,
+) -> MlaResult {
     let per_task = (0..problem.n_tasks())
         .map(|task_idx| {
             let mut samples = Vec::new();
             let mut best_value = f64::INFINITY;
             let mut best_config: Option<Config> = None;
-            for ((t, c), o) in evals.points.iter().zip(&evals.outputs) {
+            for ((t, c), o) in evals.points.iter().zip(&evals.outputs).skip(n_preloaded) {
                 if *t != task_idx {
                     continue;
                 }
@@ -499,6 +649,7 @@ pub(crate) fn finalize(problem: &TuningProblem, evals: Evaluations, timer: Phase
     MlaResult {
         per_task,
         stats: timer.snapshot(),
+        completed,
     }
 }
 
@@ -601,14 +752,20 @@ mod tests {
             .param(Param::real("x", 0.0, 1.0))
             .constraint("x>=0.5", |c| c[0].as_real() >= 0.5)
             .build();
-        let p = TuningProblem::new("constrained", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
-            let xv = x[0].as_real();
-            if xv > 0.9 {
-                vec![f64::INFINITY]
-            } else {
-                vec![(xv - 0.6).powi(2) + 0.5]
-            }
-        });
+        let p = TuningProblem::new(
+            "constrained",
+            ts,
+            ps,
+            vec![vec![Value::Real(0.0)]],
+            |_, x, _| {
+                let xv = x[0].as_real();
+                if xv > 0.9 {
+                    vec![f64::INFINITY]
+                } else {
+                    vec![(xv - 0.6).powi(2) + 0.5]
+                }
+            },
+        );
         let r = tune(&p, &fast_opts(12));
         let tr = &r.per_task[0];
         for (c, _) in &tr.samples {
@@ -632,7 +789,7 @@ mod tests {
 
     #[test]
     fn model_features_accepted() {
-        let p = toy_problem(2).with_model(|t, x, | {
+        let p = toy_problem(2).with_model(|t, x| {
             let opt = 0.2 + 0.06 * t[0].as_real();
             vec![(x[0].as_real() - opt).abs()]
         });
@@ -653,10 +810,7 @@ mod tests {
             o.acquisition = acq;
             let r = tune(&p, &o);
             let best_x = r.per_task[0].best_config[0].as_real();
-            assert!(
-                (best_x - 0.2).abs() < 0.15,
-                "{acq:?}: best_x {best_x}"
-            );
+            assert!((best_x - 0.2).abs() < 0.15, "{acq:?}: best_x {best_x}");
         }
     }
 
@@ -668,10 +822,7 @@ mod tests {
             o.search_method = method;
             let r = tune(&p, &o);
             let best_x = r.per_task[0].best_config[0].as_real();
-            assert!(
-                (best_x - 0.2).abs() < 0.15,
-                "{method:?}: best_x {best_x}"
-            );
+            assert!((best_x - 0.2).abs() < 0.15, "{method:?}: best_x {best_x}");
         }
     }
 

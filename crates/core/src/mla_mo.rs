@@ -6,11 +6,11 @@
 //! per iteration. The result per task is the Pareto front of the
 //! *observed* samples (the black dots of Fig. 7).
 
-use crate::mla::{
-    build_inputs, evaluate_batch, initial_designs, transform_objective, Evaluations,
-};
+use crate::db_bridge;
+use crate::mla::{build_inputs, evaluate_batch, initial_designs, transform_objective, Evaluations};
 use crate::options::MlaOptions;
 use crate::problem::TuningProblem;
+use gptune_db::CheckpointKind;
 use gptune_gp::gp::expected_improvement;
 use gptune_gp::{LcmFitOptions, LcmModel};
 use gptune_opt::nsga2::{self, pareto_front_indices};
@@ -47,30 +47,105 @@ pub struct MoMlaResult {
     pub per_task: Vec<MoTaskResult>,
     /// Phase-time breakdown.
     pub stats: gptune_runtime::PhaseStats,
+    /// `false` when the run was preempted by
+    /// [`MlaOptions::stop_after_iterations`] before exhausting `ε_tot`
+    /// (a checkpoint holds the in-flight state; rerunning with the same
+    /// options resumes it).
+    pub completed: bool,
 }
 
 /// Runs multi-objective multitask MLA (Algorithm 2).
+///
+/// Shares the archive/checkpoint/resume machinery of [`crate::mla::tune`]:
+/// with [`MlaOptions::with_db`] completed runs archive their evaluations,
+/// and with [`MlaOptions::checkpoint_every`] an interrupted run resumes to
+/// the identical result an uninterrupted run would have produced.
 pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaResult {
     let gamma = problem.n_objectives;
     assert!(gamma >= 2, "use mla::tune for single-objective problems");
     let timer = PhaseTimer::new();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
     let delta = problem.n_tasks();
     let n_init = opts.initial_samples();
     let k = opts.k_per_iter.max(1);
+    let db = db_bridge::open_db(opts);
+    let sig = db_bridge::problem_signature(problem);
 
-    // --- Sampling phase ---
+    // --- Resume: adopt a checkpoint that matches this exact run ---
     let mut evals = Evaluations::new();
-    let batch = initial_designs(problem, n_init, &mut rng);
-    let outputs = timer.time(Phase::Objective, || {
-        evaluate_batch(problem, batch.clone(), opts, &timer, 0)
-    });
-    evals.points = batch;
-    evals.outputs = outputs;
-
-    let mut eps = evals.points.len() / delta.max(1);
     let mut iteration = 0usize;
+    let mut eps = 0usize;
+    let mut n_preloaded = 0usize;
+    let mut resumed = false;
+    if opts.checkpointing() {
+        let db = db.as_ref().expect("checkpointing() implies db_path");
+        match db.load_checkpoint(sig, opts.seed) {
+            Ok(Some(ckpt))
+                if db_bridge::checkpoint_matches(&ckpt, CheckpointKind::MlaMo, opts, delta) =>
+            {
+                evals = db_bridge::evals_from_checkpoint(&ckpt);
+                iteration = ckpt.iteration;
+                eps = ckpt.eps;
+                n_preloaded = ckpt.n_preloaded;
+                timer.restore(db_bridge::stats_from_db(&ckpt.stats));
+                resumed = true;
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("gptune-db: ignoring unreadable checkpoint: {e}"),
+        }
+    }
+
+    if !resumed {
+        // --- Warm start from the archive ---
+        if opts.warm_start_from_db {
+            if let Some(db) = &db {
+                let pre = db_bridge::preload_from_db(db, problem, sig)
+                    .unwrap_or_else(|e| panic!("gptune-db: cannot read archive: {e}"));
+                for (t, cfg, out) in pre {
+                    if !evals.contains(t, &cfg) {
+                        evals.points.push((t, cfg));
+                        evals.outputs.push(out);
+                    }
+                }
+                n_preloaded = evals.points.len();
+            }
+        }
+
+        // --- Sampling phase ---
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let batch = initial_designs(problem, n_init, &mut rng);
+        let offset = evals.points.len();
+        let outputs = timer.time(Phase::Objective, || {
+            evaluate_batch(problem, batch.clone(), opts, &timer, offset)
+        });
+        evals.points.extend(batch);
+        evals.outputs.extend(outputs);
+        eps = (evals.points.len() - n_preloaded) / delta.max(1);
+
+        if opts.checkpointing() {
+            db_bridge::write_checkpoint(
+                db.as_ref().expect("checkpointing() implies db_path"),
+                CheckpointKind::MlaMo,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                eps,
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
+    }
+
+    let mut iters_this_process = 0usize;
+    let mut completed = true;
     while eps < opts.eps_total {
+        if opts
+            .stop_after_iterations
+            .is_some_and(|n| iters_this_process >= n)
+        {
+            completed = false;
+            break;
+        }
         // Modeling phase: one LCM per objective (paper line 3 of Alg. 2).
         let per_objective: Vec<_> = (0..gamma)
             .map(|s| build_inputs(problem, &evals, s, opts))
@@ -155,8 +230,9 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
                             .map(|((_, c), _)| problem.tuning_space.normalize(c))
                             .collect();
 
-                        let front =
-                            nsga2::minimize(&mut acq, beta, gamma, &observed, &opts.nsga, &mut trng);
+                        let front = nsga2::minimize(
+                            &mut acq, beta, gamma, &observed, &opts.nsga, &mut trng,
+                        );
 
                         // Pick up to k distinct, feasible, non-duplicate
                         // configurations from the front.
@@ -203,15 +279,65 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         evals.outputs.extend(outputs);
         eps += k;
         iteration += 1;
+        iters_this_process += 1;
+
+        if opts.checkpointing() && iteration % opts.checkpoint_every == 0 {
+            db_bridge::write_checkpoint(
+                db.as_ref().expect("checkpointing() implies db_path"),
+                CheckpointKind::MlaMo,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                eps,
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
     }
 
-    // --- Finalize: observed Pareto front per task ---
+    // --- Archive / checkpoint the outcome ---
+    if let Some(db) = &db {
+        if completed {
+            let prov = db_bridge::provenance(opts, delta);
+            db_bridge::archive_run(
+                db,
+                problem,
+                sig,
+                &evals,
+                n_preloaded,
+                &prov,
+                &timer.snapshot(),
+            )
+            .unwrap_or_else(|e| panic!("gptune-db: cannot archive run: {e}"));
+            if opts.checkpointing() {
+                let _ = db.clear_checkpoint(sig, opts.seed);
+            }
+        } else if opts.checkpointing() {
+            db_bridge::write_checkpoint(
+                db,
+                CheckpointKind::MlaMo,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                eps,
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
+    }
+
+    // --- Finalize: observed Pareto front per task (the first
+    // `n_preloaded` evaluations are archived warm-start records, excluded
+    // from the reported samples exactly as in `mla::finalize`) ---
     let per_task = (0..delta)
         .map(|task_idx| {
             let samples: Vec<(Config, Vec<f64>)> = evals
                 .points
                 .iter()
                 .zip(&evals.outputs)
+                .skip(n_preloaded)
                 .filter(|((t, _), _)| *t == task_idx)
                 .map(|((_, c), o)| (c.clone(), o.clone()))
                 .collect();
@@ -241,6 +367,7 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
     MoMlaResult {
         per_task,
         stats: timer.snapshot(),
+        completed,
     }
 }
 
@@ -333,7 +460,9 @@ mod tests {
     fn single_objective_rejected() {
         let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
         let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
-        let p = TuningProblem::new("so", ts, ps, vec![vec![Value::Real(0.0)]], |_, _, _| vec![1.0]);
+        let p = TuningProblem::new("so", ts, ps, vec![vec![Value::Real(0.0)]], |_, _, _| {
+            vec![1.0]
+        });
         let _ = tune_multiobjective(&p, &fast_opts(8));
     }
 }

@@ -80,6 +80,28 @@ pub struct MlaOptions {
     pub search_workers: usize,
     /// Base RNG seed for sampling/search/noise.
     pub seed: u64,
+    /// Archive directory of the shared history database (`gptune-db`).
+    /// When set, every completed run appends its evaluations and a
+    /// run-summary (`stats:`) line to the problem's journal, and
+    /// checkpoint/resume becomes available.
+    pub db_path: Option<std::path::PathBuf>,
+    /// Write a checkpoint every `n` MLA iterations (0 disables periodic
+    /// checkpoints). Requires `db_path`. The sampling phase always
+    /// checkpoints once when enabled, so even a run killed in its first
+    /// iteration resumes without re-evaluating the initial design.
+    pub checkpoint_every: usize,
+    /// Cooperative preemption for walltime-limited jobs: stop after this
+    /// many MLA iterations *in this process*, writing a final checkpoint
+    /// (when checkpointing is enabled) and returning the partial result
+    /// with `completed = false`. `None` runs to budget exhaustion.
+    pub stop_after_iterations: Option<usize>,
+    /// Preload matching archived evaluations from the database as free
+    /// extra observations before the sampling phase (the MLA warm start;
+    /// archived data does not count against `eps_total`).
+    pub warm_start_from_db: bool,
+    /// Machine identifier recorded in archive provenance (GPTune archives
+    /// are keyed by machine so cross-machine records stay comparable).
+    pub machine_id: Option<String>,
 }
 
 impl Default for MlaOptions {
@@ -109,6 +131,11 @@ impl Default for MlaOptions {
             model_workers: 1,
             search_workers: 1,
             seed: 0,
+            db_path: None,
+            checkpoint_every: 0,
+            stop_after_iterations: None,
+            warm_start_from_db: false,
+            machine_id: None,
         }
     }
 }
@@ -116,7 +143,9 @@ impl Default for MlaOptions {
 impl MlaOptions {
     /// Resolved initial sample count (`ε_tot / 2`, at least 2).
     pub fn initial_samples(&self) -> usize {
-        self.n_initial.unwrap_or(self.eps_total / 2).clamp(2, self.eps_total.max(2))
+        self.n_initial
+            .unwrap_or(self.eps_total / 2)
+            .clamp(2, self.eps_total.max(2))
     }
 
     /// Convenience: sets the seed.
@@ -130,6 +159,26 @@ impl MlaOptions {
     pub fn with_budget(mut self, eps_total: usize) -> Self {
         self.eps_total = eps_total;
         self
+    }
+
+    /// Convenience: attaches a shared history database (archive root
+    /// directory). Completed runs archive their evaluations there;
+    /// checkpoint/resume and warm starts read from it.
+    pub fn with_db(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.db_path = Some(path.into());
+        self
+    }
+
+    /// Convenience: checkpoints the in-flight run state every `n` MLA
+    /// iterations (0 disables). Requires [`MlaOptions::with_db`].
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// `true` when this options set can read/write checkpoints.
+    pub fn checkpointing(&self) -> bool {
+        self.db_path.is_some() && self.checkpoint_every > 0
     }
 }
 
@@ -161,5 +210,23 @@ mod tests {
         let a = MlaOptions::default().with_seed(1);
         let b = MlaOptions::default().with_seed(2);
         assert_ne!(a.lcm.seed, b.lcm.seed);
+    }
+
+    #[test]
+    fn db_and_checkpoint_builders() {
+        let o = MlaOptions::default();
+        assert!(!o.checkpointing());
+        let o = o.with_db("/tmp/archive").checkpoint_every(2);
+        assert_eq!(
+            o.db_path.as_deref(),
+            Some(std::path::Path::new("/tmp/archive"))
+        );
+        assert_eq!(o.checkpoint_every, 2);
+        assert!(o.checkpointing());
+        // checkpoint_every without a db is not checkpointing.
+        let mut o2 = MlaOptions::default().checkpoint_every(3);
+        assert!(!o2.checkpointing());
+        o2.checkpoint_every = 0;
+        assert!(!o2.checkpointing());
     }
 }

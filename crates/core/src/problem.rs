@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn with_model_attaches_features() {
-        let p = toy().with_model(|_, x, | vec![x[0].as_real() * 2.0]);
+        let p = toy().with_model(|_, x| vec![x[0].as_real() * 2.0]);
         let f = p.model_features(0, &[Value::Real(0.3)]).unwrap();
         assert!((f[0] - 0.6).abs() < 1e-15);
     }

@@ -12,6 +12,7 @@ use crate::mla::MlaResult;
 use crate::mla_mo::MoMlaResult;
 use crate::problem::TuningProblem;
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Renders a single-objective MLA result as a GPTune-style runlog.
 pub fn format_mla(problem: &TuningProblem, result: &MlaResult) -> String {
@@ -65,6 +66,40 @@ pub fn format_mla_mo(problem: &TuningProblem, result: &MoMlaResult) -> String {
     out
 }
 
+/// Renders the archived run summaries of a problem from a `gptune-db`
+/// archive: one `run:` header plus `stats:` phase-breakdown line per
+/// archived tuner execution, so historical runs read side by side in the
+/// same shape as live runlogs.
+pub fn format_archived_runs(problem: &TuningProblem, db_path: &Path) -> std::io::Result<String> {
+    let db = gptune_db::Db::open(db_path)?;
+    let sig = crate::db_bridge::problem_signature(problem);
+    let summaries = db.run_summaries(&problem.name, sig)?;
+    let n_archived = db
+        .query(&problem.name, sig, &gptune_db::Query::default())?
+        .len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "archive: {}  problem: {}  sig: {sig:016x}  archived evals: {n_archived}",
+        db_path.display(),
+        problem.name
+    );
+    if summaries.is_empty() {
+        let _ = writeln!(out, "    (no archived runs)");
+    }
+    for s in &summaries {
+        let _ = writeln!(
+            out,
+            "run: {}  seed: {}  machine: {}",
+            s.prov.run,
+            s.prov.seed,
+            s.prov.machine.as_deref().unwrap_or("-")
+        );
+        let _ = writeln!(out, "    {}", s.stats.report());
+    }
+    Ok(out)
+}
+
 /// Index (0-based) of the evaluation that achieved the best value —
 /// useful for anytime-performance inspection.
 fn best_sample_index(tr: &crate::mla::TaskResult) -> usize {
@@ -98,13 +133,9 @@ mod tests {
     fn toy() -> TuningProblem {
         let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
         let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
-        TuningProblem::new(
-            "toy",
-            ts,
-            ps,
-            vec![vec![Value::Real(0.5)]],
-            |_, x, _| vec![1.0 + (x[0].as_real() - 0.4).powi(2)],
-        )
+        TuningProblem::new("toy", ts, ps, vec![vec![Value::Real(0.5)]], |_, x, _| {
+            vec![1.0 + (x[0].as_real() - 0.4).powi(2)]
+        })
     }
 
     #[test]
@@ -136,6 +167,24 @@ mod tests {
         let popt_count = log.matches("Popt:").count();
         assert_eq!(popt_count, r.per_task[0].pareto_front.len());
         assert!(log.contains("|Pareto| ="));
+    }
+
+    #[test]
+    fn archived_runs_render_stats_breakdown() {
+        let dir = std::env::temp_dir().join(format!("gptune_runlog_db_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = toy();
+        let empty = format_archived_runs(&p, &dir).unwrap();
+        assert!(empty.contains("(no archived runs)"), "{empty}");
+        let o = fast_opts(6).with_db(&dir);
+        let r = mla::tune(&p, &o);
+        assert!(r.completed);
+        let log = format_archived_runs(&p, &dir).unwrap();
+        assert!(log.contains("run: seed1-eps6-d1"), "{log}");
+        assert!(log.contains("stats:"), "{log}");
+        assert!(log.contains("(6 evals)"), "{log}");
+        assert!(log.contains("archived evals: 6"), "{log}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use gptune_runtime::{with_pool, Phase, PhaseTimer};
 use gptune_space::{sampling, Config};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 
 /// TLA-1: predicts a configuration for `target_idx` from the best archived
 /// configuration of every *other* task, weighted by inverse squared
@@ -77,6 +78,20 @@ pub fn predict_transfer_config(
         let cfg = problem.tuning_space.denormalize(&configs[nearest]);
         problem.tuning_space.is_valid(&cfg).then_some(cfg)
     }
+}
+
+/// TLA-2 fed directly from a `gptune-db` archive: loads every archived
+/// evaluation of `problem` (its journal is shared across tasks precisely
+/// so transfer learning can reuse other tasks' records) and runs
+/// [`transfer_tune`] on `target_idx`.
+pub fn transfer_tune_from_db(
+    problem: &TuningProblem,
+    db_path: &Path,
+    target_idx: usize,
+    opts: &MlaOptions,
+) -> std::io::Result<(TaskResult, gptune_runtime::PhaseStats)> {
+    let history = crate::db_bridge::history_from_db(db_path, problem)?;
+    Ok(transfer_tune(problem, &history, target_idx, opts))
 }
 
 /// TLA-2: tunes only `target_idx`, with every matching archived record of
@@ -173,7 +188,13 @@ pub fn transfer_tune(
         });
         let offset = evals.points.len();
         let out = timer.time(Phase::Objective, || {
-            evaluate_batch(problem, vec![(target_idx, cfg.clone())], opts, &timer, offset)
+            evaluate_batch(
+                problem,
+                vec![(target_idx, cfg.clone())],
+                opts,
+                &timer,
+                offset,
+            )
         });
         fresh.push((cfg.clone(), out[0][0]));
         evals.points.push((target_idx, cfg));

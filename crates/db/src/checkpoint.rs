@@ -1,0 +1,349 @@
+//! Checkpoint files: the full in-flight state of an MLA run.
+//!
+//! A checkpoint captures everything the tuner loop needs to continue
+//! mid-budget: the evaluation archive so far (points + outputs), the
+//! iteration counters, and the accumulated phase statistics. All later
+//! randomness in the MLA loop is derived deterministically from
+//! `(seed, iteration, task)` — no raw RNG state needs to be serialized —
+//! so a resumed run replays the remaining iterations exactly as the
+//! uninterrupted run would have executed them.
+//!
+//! Checkpoints are snapshots: written atomically (temp + rename), loaded
+//! strictly (a checkpoint that fails to parse is reported, not silently
+//! truncated — unlike journals, half a checkpoint is useless).
+
+use crate::fsio;
+use crate::json::{self, Json};
+use crate::record::{DbValue, RunStats};
+use std::io;
+use std::path::Path;
+
+/// Which tuner loop wrote the checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// Single-objective MLA (Algorithm 1).
+    Mla,
+    /// Multi-objective MLA (Algorithm 2).
+    MlaMo,
+}
+
+impl CheckpointKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            CheckpointKind::Mla => "mla",
+            CheckpointKind::MlaMo => "mla_mo",
+        }
+    }
+
+    fn parse(s: &str) -> Option<CheckpointKind> {
+        match s {
+            "mla" => Some(CheckpointKind::Mla),
+            "mla_mo" => Some(CheckpointKind::MlaMo),
+            _ => None,
+        }
+    }
+}
+
+/// Serialized in-flight MLA state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Which loop wrote this.
+    pub kind: CheckpointKind,
+    /// Problem signature the state belongs to.
+    pub sig: u64,
+    /// Base RNG seed of the run (resume requires an exact match).
+    pub seed: u64,
+    /// Total evaluation budget `ε_tot` of the run.
+    pub eps_total: usize,
+    /// Completed MLA iterations.
+    pub iteration: usize,
+    /// Per-task evaluations consumed so far (`ε`).
+    pub eps: usize,
+    /// Archived records preloaded before the run's own sampling (warm
+    /// start / TLA); excluded from results on resume exactly as they were
+    /// in the original run.
+    pub n_preloaded: usize,
+    /// `(task_idx, config)` of every evaluation, in order.
+    pub points: Vec<(usize, Vec<DbValue>)>,
+    /// Objective vectors aligned with `points`.
+    pub outputs: Vec<Vec<f64>>,
+    /// Accumulated phase statistics at checkpoint time.
+    pub stats: RunStats,
+}
+
+impl Checkpoint {
+    /// Serializes to pretty-stable single-line JSON.
+    pub fn to_json_string(&self) -> String {
+        let points = Json::Arr(
+            self.points
+                .iter()
+                .map(|(t, cfg)| {
+                    Json::Arr(vec![
+                        Json::Int(*t as i64),
+                        Json::Arr(cfg.iter().map(dbvalue_to_json).collect()),
+                    ])
+                })
+                .collect(),
+        );
+        let outputs = Json::Arr(
+            self.outputs
+                .iter()
+                .map(|o| Json::Arr(o.iter().map(|x| Json::from_f64(*x)).collect()))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("v".into(), Json::Int(crate::record::FORMAT_VERSION)),
+            ("kind".into(), Json::Str(self.kind.as_str().into())),
+            ("sig".into(), Json::Str(format!("{:016x}", self.sig))),
+            ("seed".into(), Json::from_u64(self.seed)),
+            ("eps_total".into(), Json::Int(self.eps_total as i64)),
+            ("iteration".into(), Json::Int(self.iteration as i64)),
+            ("eps".into(), Json::Int(self.eps as i64)),
+            ("n_preloaded".into(), Json::Int(self.n_preloaded as i64)),
+            ("points".into(), points),
+            ("outputs".into(), outputs),
+            ("stats".into(), stats_to_json(&self.stats)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a checkpoint document.
+    pub fn from_json_str(s: &str) -> Result<Checkpoint, String> {
+        let j = json::parse(s).map_err(|e| e.to_string())?;
+        let kind = j
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(CheckpointKind::parse)
+            .ok_or("bad 'kind'")?;
+        let sig = j
+            .get("sig")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or("bad 'sig'")?;
+        let seed = j.get("seed").and_then(Json::as_u64).ok_or("bad 'seed'")?;
+        let usize_field = |k: &str| -> Result<usize, String> {
+            j.get(k)
+                .and_then(Json::as_i64)
+                .and_then(|x| usize::try_from(x).ok())
+                .ok_or_else(|| format!("bad '{k}'"))
+        };
+        let eps_total = usize_field("eps_total")?;
+        let iteration = usize_field("iteration")?;
+        let eps = usize_field("eps")?;
+        let n_preloaded = usize_field("n_preloaded")?;
+        let points = j
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("bad 'points'")?
+            .iter()
+            .map(|p| {
+                let pair = p.as_arr()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                let t = usize::try_from(pair[0].as_i64()?).ok()?;
+                let cfg: Option<Vec<DbValue>> =
+                    pair[1].as_arr()?.iter().map(dbvalue_from_json).collect();
+                Some((t, cfg?))
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or("bad 'points'")?;
+        let outputs = j
+            .get("outputs")
+            .and_then(Json::as_arr)
+            .ok_or("bad 'outputs'")?
+            .iter()
+            .map(|o| o.as_arr()?.iter().map(Json::as_f64).collect())
+            .collect::<Option<Vec<Vec<f64>>>>()
+            .ok_or("bad 'outputs'")?;
+        if points.len() != outputs.len() {
+            return Err("points/outputs length mismatch".into());
+        }
+        let stats = j.get("stats").map(stats_from_json).unwrap_or_default();
+        Ok(Checkpoint {
+            kind,
+            sig,
+            seed,
+            eps_total,
+            iteration,
+            eps,
+            n_preloaded,
+            points,
+            outputs,
+            stats,
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut doc = self.to_json_string();
+        doc.push('\n');
+        fsio::atomic_write(path, doc.as_bytes())
+    }
+
+    /// Loads a checkpoint. `Ok(None)` when the file does not exist;
+    /// `Err` when it exists but cannot be parsed (corrupt snapshot —
+    /// surfaced to the caller, who decides whether to start fresh).
+    pub fn load(path: &Path) -> io::Result<Option<Checkpoint>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Checkpoint::from_json_str(&text)
+            .map(Some)
+            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+    }
+
+    /// Removes the checkpoint file (run completed). Missing is fine.
+    pub fn remove(path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn dbvalue_to_json(v: &DbValue) -> Json {
+    match v {
+        DbValue::Real(x) => Json::Obj(vec![("r".into(), Json::from_f64(*x))]),
+        DbValue::Int(x) => Json::Obj(vec![("i".into(), Json::Int(*x))]),
+        DbValue::Cat(i) => Json::Obj(vec![("c".into(), Json::Int(*i as i64))]),
+    }
+}
+
+fn dbvalue_from_json(j: &Json) -> Option<DbValue> {
+    if let Some(r) = j.get("r") {
+        return Some(DbValue::Real(r.as_f64()?));
+    }
+    if let Some(i) = j.get("i") {
+        return Some(DbValue::Int(i.as_i64()?));
+    }
+    if let Some(c) = j.get("c") {
+        return usize::try_from(c.as_i64()?).ok().map(DbValue::Cat);
+    }
+    None
+}
+
+fn stats_to_json(s: &RunStats) -> Json {
+    Json::Obj(vec![
+        (
+            "objective_s".into(),
+            Json::from_f64(s.objective_virtual_secs),
+        ),
+        (
+            "objective_wall_s".into(),
+            Json::from_f64(s.objective_wall_secs),
+        ),
+        ("modeling_s".into(), Json::from_f64(s.modeling_wall_secs)),
+        ("search_s".into(), Json::from_f64(s.search_wall_secs)),
+        ("n_evals".into(), Json::from_u64(s.n_evals)),
+    ])
+}
+
+fn stats_from_json(j: &Json) -> RunStats {
+    let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    RunStats {
+        objective_virtual_secs: f("objective_s"),
+        objective_wall_secs: f("objective_wall_s"),
+        modeling_wall_secs: f("modeling_s"),
+        search_wall_secs: f("search_s"),
+        n_evals: j.get("n_evals").and_then(Json::as_u64).unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gptune_db_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            kind: CheckpointKind::Mla,
+            sig: 0x1234_5678_9abc_def0,
+            seed: 3,
+            eps_total: 20,
+            iteration: 4,
+            eps: 14,
+            n_preloaded: 2,
+            points: vec![
+                (0, vec![DbValue::Real(0.25), DbValue::Int(32)]),
+                (1, vec![DbValue::Real(0.75), DbValue::Int(64)]),
+                (0, vec![DbValue::Cat(1), DbValue::Int(16)]),
+            ],
+            outputs: vec![vec![1.5], vec![f64::INFINITY], vec![2.25]],
+            stats: RunStats {
+                objective_virtual_secs: 55.5,
+                objective_wall_secs: 0.25,
+                modeling_wall_secs: 1.5,
+                search_wall_secs: 0.75,
+                n_evals: 14,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let c = sample();
+        let back = Checkpoint::from_json_str(&c.to_json_string()).unwrap();
+        assert_eq!(back.kind, c.kind);
+        assert_eq!(back.sig, c.sig);
+        assert_eq!(back.points, c.points);
+        assert_eq!(back.outputs[0], c.outputs[0]);
+        assert_eq!(back.outputs[1], c.outputs[1]);
+        assert_eq!(back.stats, c.stats);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_on_disk_and_remove() {
+        let d = tmpdir("disk");
+        let p = d.join("ckpt.json");
+        assert_eq!(Checkpoint::load(&p).unwrap(), None);
+        let c = sample();
+        c.save(&p).unwrap();
+        assert_eq!(Checkpoint::load(&p).unwrap(), Some(c.clone()));
+        // Overwrite is atomic and replaces fully.
+        let mut c2 = c.clone();
+        c2.iteration = 5;
+        c2.save(&p).unwrap();
+        assert_eq!(Checkpoint::load(&p).unwrap().unwrap().iteration, 5);
+        Checkpoint::remove(&p).unwrap();
+        assert_eq!(Checkpoint::load(&p).unwrap(), None);
+        Checkpoint::remove(&p).unwrap(); // idempotent
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_loud() {
+        let d = tmpdir("corrupt");
+        let p = d.join("ckpt.json");
+        std::fs::write(&p, "{\"kind\":\"mla\",\"sig\":").unwrap();
+        let e = Checkpoint::load(&p).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let mut c = sample();
+        c.outputs.pop();
+        assert!(Checkpoint::from_json_str(&c.to_json_string()).is_err());
+    }
+
+    #[test]
+    fn mo_kind_roundtrips() {
+        let mut c = sample();
+        c.kind = CheckpointKind::MlaMo;
+        let back = Checkpoint::from_json_str(&c.to_json_string()).unwrap();
+        assert_eq!(back.kind, CheckpointKind::MlaMo);
+    }
+}

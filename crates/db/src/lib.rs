@@ -1,0 +1,45 @@
+//! `gptune-db` — the crash-safe shared history database (paper goal 3:
+//! "archive and reuse performance data across executions").
+//!
+//! The GPTune workflow accumulates every objective evaluation into a
+//! shared archive that later runs reuse (MLA warm starts, TLA transfer
+//! tuning). At production scale that archive must survive killed runs and
+//! concurrent writers, which the in-memory [`gptune-core`] `History` with
+//! a whole-file JSON dump cannot. This crate is the durable substrate:
+//!
+//! * [`journal`] — one append-only JSONL file per problem signature.
+//!   Writers append whole lines and fsync; recovery tolerates a torn
+//!   final line (dropped) and corrupt interior lines (skipped, counted)
+//!   so a crash costs at most the record being written;
+//! * [`lock`] — advisory lockfile (`O_CREAT|O_EXCL`) protocol with stale
+//!   detection, so multiple tuner processes share one archive without
+//!   lost records;
+//! * [`fsio`] — atomic snapshot writes (temp + fsync + rename +
+//!   dir-fsync) used by checkpoints, compaction, and `History::save`;
+//! * [`checkpoint`] — full in-flight MLA state (evaluations, iteration
+//!   counters, phase stats) so an interrupted run resumes mid-budget and
+//!   converges to the identical result as an uninterrupted run;
+//! * [`record`] — the versioned journal line format (eval records + run
+//!   summaries carrying the `stats:` phase breakdown), with
+//!   forward-compatible parsing (unknown kinds/fields are skipped);
+//! * [`db`] — the archive directory API: append, query (by task /
+//!   output arity / finiteness), merge, compact, checkpoint lifecycle.
+//!
+//! The crate is deliberately dependency-free (std only), including its
+//! JSON codec ([`json`]): the storage layer must build wherever the tuner
+//! builds.
+
+pub mod checkpoint;
+pub mod db;
+pub mod fsio;
+pub mod journal;
+pub mod json;
+pub mod lock;
+pub mod record;
+
+pub use checkpoint::{Checkpoint, CheckpointKind};
+pub use db::{Db, Query};
+pub use fsio::atomic_write;
+pub use journal::RecoveryReport;
+pub use lock::{FileLock, LockOptions};
+pub use record::{fnv1a, DbEntry, DbRecord, DbValue, Provenance, RunStats, RunSummary};

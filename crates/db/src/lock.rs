@@ -1,0 +1,207 @@
+//! Advisory file locking for shared archives.
+//!
+//! Multiple tuner processes may append to one journal. Rather than relying
+//! on platform-specific `flock`, the lock is a *lockfile*: `<path>.lock`
+//! created with `O_CREAT|O_EXCL` (atomic on every platform std supports).
+//! Whoever creates the file owns the lock; dropping the guard removes it.
+//!
+//! Crash recovery: a holder that dies leaves the lockfile behind, so
+//! acquisition treats a lockfile older than `stale_after` as abandoned and
+//! breaks it. The lockfile records the owner PID and a timestamp for
+//! debugging.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+/// How lock acquisition behaves under contention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockOptions {
+    /// Give up after this long waiting for the lock.
+    pub timeout: Duration,
+    /// Delay between acquisition attempts.
+    pub retry_every: Duration,
+    /// Break a lockfile whose mtime is older than this (holder presumed
+    /// dead).
+    pub stale_after: Duration,
+}
+
+impl Default for LockOptions {
+    fn default() -> Self {
+        LockOptions {
+            timeout: Duration::from_secs(10),
+            retry_every: Duration::from_millis(2),
+            stale_after: Duration::from_secs(30),
+        }
+    }
+}
+
+/// An acquired advisory lock. Released (lockfile removed) on drop.
+#[derive(Debug)]
+pub struct FileLock {
+    lock_path: PathBuf,
+}
+
+impl FileLock {
+    /// Acquires the advisory lock guarding `resource` (the lockfile is
+    /// `<resource>.lock`), waiting up to `opts.timeout`.
+    pub fn acquire(resource: &Path, opts: &LockOptions) -> io::Result<FileLock> {
+        let lock_path = lock_path_for(resource);
+        if let Some(d) = lock_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(d)?;
+        }
+        let start = Instant::now();
+        loop {
+            match OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(mut f) => {
+                    let stamp = SystemTime::now()
+                        .duration_since(SystemTime::UNIX_EPOCH)
+                        .map(|d| d.as_secs())
+                        .unwrap_or(0);
+                    let _ = writeln!(f, "pid={} t={stamp}", std::process::id());
+                    let _ = f.sync_data();
+                    return Ok(FileLock { lock_path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    // Contended: break stale locks, otherwise wait and retry.
+                    if is_stale(&lock_path, opts.stale_after) {
+                        // Racy removal is fine: whoever wins create_new next
+                        // owns the lock; losers keep retrying.
+                        let _ = fs::remove_file(&lock_path);
+                        continue;
+                    }
+                    if start.elapsed() >= opts.timeout {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("lock {} held too long", lock_path.display()),
+                        ));
+                    }
+                    std::thread::sleep(opts.retry_every);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The lockfile path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.lock_path
+    }
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.lock_path);
+    }
+}
+
+/// Lockfile path guarding `resource`.
+pub fn lock_path_for(resource: &Path) -> PathBuf {
+    let mut name = resource
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "resource".to_string());
+    name.push_str(".lock");
+    resource.with_file_name(name)
+}
+
+fn is_stale(lock_path: &Path, stale_after: Duration) -> bool {
+    match fs::metadata(lock_path).and_then(|m| m.modified()) {
+        Ok(mtime) => match SystemTime::now().duration_since(mtime) {
+            Ok(age) => age > stale_after,
+            Err(_) => false, // mtime in the future: clock skew, not stale
+        },
+        Err(_) => false, // vanished: next create_new attempt resolves it
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gptune_db_lock_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let d = tmpdir("basic");
+        let r = d.join("journal.jsonl");
+        let l = FileLock::acquire(&r, &LockOptions::default()).unwrap();
+        assert!(l.path().exists());
+        drop(l);
+        let l2 = FileLock::acquire(&r, &LockOptions::default()).unwrap();
+        drop(l2);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn contention_times_out() {
+        let d = tmpdir("timeout");
+        let r = d.join("j.jsonl");
+        let _held = FileLock::acquire(&r, &LockOptions::default()).unwrap();
+        let fast = LockOptions {
+            timeout: Duration::from_millis(40),
+            retry_every: Duration::from_millis(5),
+            stale_after: Duration::from_secs(60),
+        };
+        let e = FileLock::acquire(&r, &fast).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn stale_lock_is_broken() {
+        let d = tmpdir("stale");
+        let r = d.join("j.jsonl");
+        // Simulate a dead holder's leftover lockfile.
+        fs::write(lock_path_for(&r), "pid=0 t=0").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let opts = LockOptions {
+            timeout: Duration::from_millis(500),
+            retry_every: Duration::from_millis(2),
+            stale_after: Duration::from_millis(10),
+        };
+        let l = FileLock::acquire(&r, &opts).unwrap();
+        drop(l);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn mutual_exclusion_across_threads() {
+        let d = tmpdir("mutex");
+        let r = Arc::new(d.join("j.jsonl"));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            let inside = Arc::clone(&inside);
+            let max_seen = Arc::clone(&max_seen);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let _l = FileLock::acquire(&r, &LockOptions::default()).unwrap();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_seen.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(200));
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "lock not exclusive");
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,454 @@
+//! Journal record types and their JSONL encoding.
+//!
+//! A journal line is a single JSON object with a `"kind"` discriminator:
+//!
+//! * `"eval"` — one archived objective evaluation: problem identity
+//!   (name + signature), task values, tuning-configuration values,
+//!   objective outputs, and provenance (seed, run id, machine);
+//! * `"run"` — a run summary carrying the `stats:` phase breakdown of one
+//!   tuner execution, so archived runs render side-by-side like GPTune
+//!   runlogs.
+//!
+//! Unknown kinds and unknown fields are skipped by readers, which is the
+//! forward-compatibility contract: a v2 writer must only *add* fields or
+//! kinds.
+
+use crate::json::Json;
+
+/// Current journal format version stamped on every line.
+pub const FORMAT_VERSION: i64 = 1;
+
+/// A typed parameter value, mirroring `gptune_space::Value` without the
+/// dependency (the core crate converts at the boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbValue {
+    /// Real-valued parameter.
+    Real(f64),
+    /// Integer parameter.
+    Int(i64),
+    /// Categorical parameter (index into the choice list).
+    Cat(usize),
+}
+
+impl DbValue {
+    fn to_json(&self) -> Json {
+        match self {
+            DbValue::Real(x) => Json::Obj(vec![("r".into(), Json::from_f64(*x))]),
+            DbValue::Int(x) => Json::Obj(vec![("i".into(), Json::Int(*x))]),
+            DbValue::Cat(i) => Json::Obj(vec![("c".into(), Json::Int(*i as i64))]),
+        }
+    }
+
+    fn from_json(j: &Json) -> Option<DbValue> {
+        if let Some(r) = j.get("r") {
+            return Some(DbValue::Real(r.as_f64()?));
+        }
+        if let Some(i) = j.get("i") {
+            return Some(DbValue::Int(i.as_i64()?));
+        }
+        if let Some(c) = j.get("c") {
+            let idx = c.as_i64()?;
+            return usize::try_from(idx).ok().map(DbValue::Cat);
+        }
+        None
+    }
+
+    /// Numeric view (matches `Value::as_f64` semantics).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            DbValue::Real(x) => *x,
+            DbValue::Int(x) => *x as f64,
+            DbValue::Cat(i) => *i as f64,
+        }
+    }
+}
+
+fn values_to_json(vs: &[DbValue]) -> Json {
+    Json::Arr(vs.iter().map(|v| v.to_json()).collect())
+}
+
+fn values_from_json(j: &Json) -> Option<Vec<DbValue>> {
+    j.as_arr()?.iter().map(DbValue::from_json).collect()
+}
+
+/// Where a record came from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Provenance {
+    /// Base RNG seed of the producing run.
+    pub seed: u64,
+    /// Run identifier (stable for all records of one tuner execution).
+    pub run: String,
+    /// Machine/model identifier, when known.
+    pub machine: Option<String>,
+}
+
+impl Provenance {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("seed".to_string(), Json::from_u64(self.seed)),
+            ("run".to_string(), Json::Str(self.run.clone())),
+        ];
+        if let Some(m) = &self.machine {
+            pairs.push(("machine".to_string(), Json::Str(m.clone())));
+        }
+        Json::Obj(pairs)
+    }
+
+    fn from_json(j: &Json) -> Provenance {
+        Provenance {
+            seed: j.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            run: j
+                .get("run")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            machine: j.get("machine").and_then(Json::as_str).map(str::to_string),
+        }
+    }
+}
+
+/// The `stats:` phase breakdown of one tuner run (mirrors
+/// `gptune_runtime::PhaseStats` in plain numbers).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunStats {
+    /// Virtual seconds inside simulated application runs.
+    pub objective_virtual_secs: f64,
+    /// Wall-clock seconds dispatching the objective.
+    pub objective_wall_secs: f64,
+    /// Wall-clock seconds in the modeling phase.
+    pub modeling_wall_secs: f64,
+    /// Wall-clock seconds in the search phase.
+    pub search_wall_secs: f64,
+    /// Number of objective evaluations.
+    pub n_evals: u64,
+}
+
+impl RunStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "objective_s".into(),
+                Json::from_f64(self.objective_virtual_secs),
+            ),
+            (
+                "objective_wall_s".into(),
+                Json::from_f64(self.objective_wall_secs),
+            ),
+            ("modeling_s".into(), Json::from_f64(self.modeling_wall_secs)),
+            ("search_s".into(), Json::from_f64(self.search_wall_secs)),
+            ("n_evals".into(), Json::from_u64(self.n_evals)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> RunStats {
+        let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        RunStats {
+            objective_virtual_secs: f("objective_s"),
+            objective_wall_secs: f("objective_wall_s"),
+            modeling_wall_secs: f("modeling_s"),
+            search_wall_secs: f("search_s"),
+            n_evals: j.get("n_evals").and_then(Json::as_u64).unwrap_or(0),
+        }
+    }
+
+    /// Total tuner seconds (virtual objective + modeling + search), the
+    /// "total" column of the paper's Table 3.
+    pub fn total_secs(&self) -> f64 {
+        self.objective_virtual_secs + self.modeling_wall_secs + self.search_wall_secs
+    }
+
+    /// One-line report in the GPTune runlog style.
+    pub fn report(&self) -> String {
+        format!(
+            "stats: total {:.1}s | objective {:.1}s ({} evals) | modeling {:.3}s | search {:.3}s",
+            self.total_secs(),
+            self.objective_virtual_secs,
+            self.n_evals,
+            self.modeling_wall_secs,
+            self.search_wall_secs
+        )
+    }
+}
+
+/// One archived evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbRecord {
+    /// Problem name.
+    pub problem: String,
+    /// Problem signature (hash of name, spaces, objective count).
+    pub sig: u64,
+    /// Task parameter values.
+    pub task: Vec<DbValue>,
+    /// Tuning configuration values.
+    pub config: Vec<DbValue>,
+    /// Objective outputs (may contain non-finite values for failed runs).
+    pub outputs: Vec<f64>,
+    /// Provenance of the evaluation.
+    pub prov: Provenance,
+}
+
+/// A run summary line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Problem name.
+    pub problem: String,
+    /// Problem signature.
+    pub sig: u64,
+    /// Provenance (seed, run id, machine).
+    pub prov: Provenance,
+    /// Phase breakdown of the run.
+    pub stats: RunStats,
+}
+
+/// One parsed journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbEntry {
+    /// An archived evaluation.
+    Eval(DbRecord),
+    /// A run summary.
+    Run(RunSummary),
+}
+
+impl DbEntry {
+    /// Problem signature of the entry.
+    pub fn sig(&self) -> u64 {
+        match self {
+            DbEntry::Eval(r) => r.sig,
+            DbEntry::Run(r) => r.sig,
+        }
+    }
+
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            DbEntry::Eval(r) => Json::Obj(vec![
+                ("v".into(), Json::Int(FORMAT_VERSION)),
+                ("kind".into(), Json::Str("eval".into())),
+                ("problem".into(), Json::Str(r.problem.clone())),
+                ("sig".into(), Json::Str(format!("{:016x}", r.sig))),
+                ("task".into(), values_to_json(&r.task)),
+                ("config".into(), values_to_json(&r.config)),
+                (
+                    "outputs".into(),
+                    Json::Arr(r.outputs.iter().map(|x| Json::from_f64(*x)).collect()),
+                ),
+                ("prov".into(), r.prov.to_json()),
+            ])
+            .to_string(),
+            DbEntry::Run(r) => Json::Obj(vec![
+                ("v".into(), Json::Int(FORMAT_VERSION)),
+                ("kind".into(), Json::Str("run".into())),
+                ("problem".into(), Json::Str(r.problem.clone())),
+                ("sig".into(), Json::Str(format!("{:016x}", r.sig))),
+                ("prov".into(), r.prov.to_json()),
+                ("stats".into(), r.stats.to_json()),
+            ])
+            .to_string(),
+        }
+    }
+
+    /// Parses one journal line. `Ok(None)` means the line is valid JSON of
+    /// an unknown kind (skipped for forward compatibility); `Err` means the
+    /// line is torn or malformed.
+    pub fn from_line(line: &str) -> Result<Option<DbEntry>, String> {
+        let j = crate::json::parse(line).map_err(|e| e.to_string())?;
+        let kind = j.get("kind").and_then(Json::as_str).unwrap_or("eval");
+        let problem = j
+            .get("problem")
+            .and_then(Json::as_str)
+            .ok_or("missing 'problem'")?
+            .to_string();
+        let sig = parse_sig(&j).ok_or("missing 'sig'")?;
+        let prov = j.get("prov").map(Provenance::from_json).unwrap_or_default();
+        match kind {
+            "eval" => {
+                let task =
+                    values_from_json(j.get("task").ok_or("missing 'task'")?).ok_or("bad 'task'")?;
+                let config = values_from_json(j.get("config").ok_or("missing 'config'")?)
+                    .ok_or("bad 'config'")?;
+                let outputs: Vec<f64> = j
+                    .get("outputs")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing 'outputs'")?
+                    .iter()
+                    .map(|x| x.as_f64().ok_or("bad output"))
+                    .collect::<Result<_, _>>()?;
+                Ok(Some(DbEntry::Eval(DbRecord {
+                    problem,
+                    sig,
+                    task,
+                    config,
+                    outputs,
+                    prov,
+                })))
+            }
+            "run" => {
+                let stats = j.get("stats").map(RunStats::from_json).unwrap_or_default();
+                Ok(Some(DbEntry::Run(RunSummary {
+                    problem,
+                    sig,
+                    prov,
+                    stats,
+                })))
+            }
+            _ => Ok(None), // unknown kind from a newer writer: skip
+        }
+    }
+
+    /// Deduplication key: evals collapse on (sig, task, config, outputs);
+    /// run summaries on (sig, run id).
+    pub fn dedup_key(&self) -> String {
+        match self {
+            DbEntry::Eval(r) => {
+                let mut k = format!("e:{:016x}", r.sig);
+                for v in r.task.iter().chain(&r.config) {
+                    k.push_str(&format!("|{}", v.to_json()));
+                }
+                for o in &r.outputs {
+                    k.push_str(&format!("|{}", Json::from_f64(*o)));
+                }
+                k
+            }
+            DbEntry::Run(r) => format!("r:{:016x}|{}", r.sig, r.prov.run),
+        }
+    }
+}
+
+fn parse_sig(j: &Json) -> Option<u64> {
+    let s = j.get("sig")?;
+    if let Some(text) = s.as_str() {
+        u64::from_str_radix(text, 16).ok()
+    } else {
+        s.as_u64()
+    }
+}
+
+/// FNV-1a hash of a byte stream — the problem-signature primitive. Stable
+/// across platforms and versions (unlike `DefaultHasher`), so archives
+/// written on one machine resolve on another.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> DbRecord {
+        DbRecord {
+            problem: "pdgeqrf".into(),
+            sig: 0xdead_beef_0123_4567,
+            task: vec![DbValue::Int(1000), DbValue::Int(1000)],
+            config: vec![DbValue::Int(32), DbValue::Real(0.5), DbValue::Cat(2)],
+            outputs: vec![1.5, f64::INFINITY],
+            prov: Provenance {
+                seed: u64::MAX - 1,
+                run: "seed3-eps20".into(),
+                machine: Some("cori-haswell-4".into()),
+            },
+        }
+    }
+
+    #[test]
+    fn eval_roundtrip() {
+        let e = DbEntry::Eval(sample_record());
+        let line = e.to_line();
+        assert!(!line.contains('\n'));
+        let back = DbEntry::from_line(&line).unwrap().unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn run_summary_roundtrip() {
+        let e = DbEntry::Run(RunSummary {
+            problem: "superlu".into(),
+            sig: 42,
+            prov: Provenance {
+                seed: 7,
+                run: "seed7".into(),
+                machine: None,
+            },
+            stats: RunStats {
+                objective_virtual_secs: 120.5,
+                objective_wall_secs: 0.8,
+                modeling_wall_secs: 2.25,
+                search_wall_secs: 1.125,
+                n_evals: 60,
+            },
+        });
+        let back = DbEntry::from_line(&e.to_line()).unwrap().unwrap();
+        assert_eq!(back, e);
+        if let DbEntry::Run(r) = &back {
+            assert!((r.stats.total_secs() - 123.875).abs() < 1e-12);
+            assert!(r.stats.report().contains("60 evals"));
+        }
+    }
+
+    #[test]
+    fn nonfinite_outputs_roundtrip() {
+        let mut r = sample_record();
+        r.outputs = vec![f64::NAN, f64::NEG_INFINITY, 3.0];
+        let back = DbEntry::from_line(&DbEntry::Eval(r).to_line())
+            .unwrap()
+            .unwrap();
+        if let DbEntry::Eval(b) = back {
+            assert!(b.outputs[0].is_nan());
+            assert_eq!(b.outputs[1], f64::NEG_INFINITY);
+            assert_eq!(b.outputs[2], 3.0);
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_skipped_not_error() {
+        let line = r#"{"v":3,"kind":"shard-manifest","problem":"x","sig":"00000000000000ff"}"#;
+        assert_eq!(DbEntry::from_line(line).unwrap(), None);
+    }
+
+    #[test]
+    fn newer_version_with_extra_fields_still_parses() {
+        let mut e = DbEntry::Eval(sample_record()).to_line();
+        // Simulate a v2 writer adding fields.
+        e.insert(1, ' ');
+        let e = e.replacen("{ ", "{\"future_field\":[1,2,3],", 1);
+        let e = e.replace("\"v\":1", "\"v\":2");
+        let back = DbEntry::from_line(&e).unwrap().unwrap();
+        assert_eq!(back, DbEntry::Eval(sample_record()));
+    }
+
+    #[test]
+    fn torn_line_is_error() {
+        let line = DbEntry::Eval(sample_record()).to_line();
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(DbEntry::from_line(&line[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn dedup_key_separates_records() {
+        let a = DbEntry::Eval(sample_record());
+        let mut r2 = sample_record();
+        r2.outputs = vec![1.5, 2.0];
+        let b = DbEntry::Eval(r2);
+        assert_ne!(a.dedup_key(), b.dedup_key());
+        assert_eq!(a.dedup_key(), a.clone().dedup_key());
+        // Provenance does NOT affect eval identity (same measurement from
+        // two runs merges to one record).
+        let mut r3 = sample_record();
+        r3.prov.run = "other-run".into();
+        assert_eq!(a.dedup_key(), DbEntry::Eval(r3).dedup_key());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

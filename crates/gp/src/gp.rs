@@ -131,7 +131,9 @@ mod tests {
         let gp = SingleTaskGp::fit(&xs, &ys, &LcmFitOptions::default());
         let p = gp.predict(&[0.4]);
         assert!(p.mean.abs() < 0.05, "mean at optimum {}", p.mean);
-        assert!((gp.best_observed() - ys.iter().cloned().fold(f64::INFINITY, f64::min)).abs() < 1e-12);
+        assert!(
+            (gp.best_observed() - ys.iter().cloned().fold(f64::INFINITY, f64::min)).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -182,10 +184,19 @@ mod tests {
 
     #[test]
     fn lcb_prefers_low_mean_and_high_variance() {
-        let a = Prediction { mean: 1.0, variance: 0.01 };
-        let b = Prediction { mean: 1.0, variance: 1.0 };
+        let a = Prediction {
+            mean: 1.0,
+            variance: 0.01,
+        };
+        let b = Prediction {
+            mean: 1.0,
+            variance: 1.0,
+        };
         assert!(lower_confidence_bound(&b, 2.0) > lower_confidence_bound(&a, 2.0));
-        let c = Prediction { mean: 0.5, variance: 0.01 };
+        let c = Prediction {
+            mean: 0.5,
+            variance: 0.01,
+        };
         assert!(lower_confidence_bound(&c, 2.0) > lower_confidence_bound(&a, 2.0));
         // κ = 0 reduces to pure exploitation (negated mean).
         assert_eq!(lower_confidence_bound(&a, 0.0), -1.0);
@@ -193,13 +204,19 @@ mod tests {
 
     #[test]
     fn pi_bounded_and_sensible() {
-        let p = Prediction { mean: 0.0, variance: 1.0 };
+        let p = Prediction {
+            mean: 0.0,
+            variance: 1.0,
+        };
         let at_best = probability_of_improvement(&p, 0.0);
         assert!((at_best - 0.5).abs() < 1e-7);
         assert!(probability_of_improvement(&p, 10.0) > 0.99);
         assert!(probability_of_improvement(&p, -10.0) < 0.01);
         // Deterministic predictions degenerate to a step function.
-        let d = Prediction { mean: 1.0, variance: 0.0 };
+        let d = Prediction {
+            mean: 1.0,
+            variance: 0.0,
+        };
         assert_eq!(probability_of_improvement(&d, 2.0), 1.0);
         assert_eq!(probability_of_improvement(&d, 0.5), 0.0);
     }

@@ -58,7 +58,11 @@ impl LcmHyperparams {
 
     /// Inverse of [`pack`](Self::pack).
     pub fn unpack(q: usize, n_tasks: usize, dim: usize, theta: &[f64]) -> LcmHyperparams {
-        assert_eq!(theta.len(), q * (dim + 2 * n_tasks) + n_tasks, "unpack: arity");
+        assert_eq!(
+            theta.len(),
+            q * (dim + 2 * n_tasks) + n_tasks,
+            "unpack: arity"
+        );
         let mut it = theta.iter().copied();
         let mut take = |n: usize| -> Vec<f64> { (0..n).map(|_| it.next().unwrap()).collect() };
         let mut lengthscales = Vec::with_capacity(q);
@@ -87,11 +91,21 @@ impl LcmHyperparams {
         let mut a = Vec::with_capacity(q);
         let mut b = Vec::with_capacity(q);
         for _ in 0..q {
-            lengthscales.push((0..dim).map(|_| 10f64.powf(rng.gen_range(-1.0..0.3))).collect());
+            lengthscales.push(
+                (0..dim)
+                    .map(|_| 10f64.powf(rng.gen_range(-1.0..0.3)))
+                    .collect(),
+            );
             a.push((0..n_tasks).map(|_| rng.gen_range(-1.0..1.0)).collect());
-            b.push((0..n_tasks).map(|_| 10f64.powf(rng.gen_range(-4.0..-1.0))).collect());
+            b.push(
+                (0..n_tasks)
+                    .map(|_| 10f64.powf(rng.gen_range(-4.0..-1.0)))
+                    .collect(),
+            );
         }
-        let d = (0..n_tasks).map(|_| 10f64.powf(rng.gen_range(-4.0..-1.0))).collect();
+        let d = (0..n_tasks)
+            .map(|_| 10f64.powf(rng.gen_range(-4.0..-1.0)))
+            .collect();
         LcmHyperparams {
             q,
             n_tasks,
@@ -212,7 +226,11 @@ impl LcmModel {
             .map(|&v| if v.is_finite() { v } else { worst })
             .collect();
         let shift = cleaned.iter().sum::<f64>() / n as f64;
-        let var = cleaned.iter().map(|v| (v - shift) * (v - shift)).sum::<f64>() / n as f64;
+        let var = cleaned
+            .iter()
+            .map(|v| (v - shift) * (v - shift))
+            .sum::<f64>()
+            / n as f64;
         let scale = var.sqrt().max(1e-12);
         let y_std_vals: Vec<f64> = cleaned.iter().map(|v| (v - shift) / scale).collect();
 
@@ -517,8 +535,7 @@ fn nll_and_grad(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -
             let ti = data.task_of[i];
             for j in 0..=i {
                 let tj = data.task_of[j];
-                let coeff =
-                    hp.a[qq][ti] * hp.a[qq][tj] + if ti == tj { hp.b[qq][ti] } else { 0.0 };
+                let coeff = hp.a[qq][ti] * hp.a[qq][tj] + if ti == tj { hp.b[qq][ti] } else { 0.0 };
                 if coeff != 0.0 {
                     sigma.add_at(i, j, coeff * kmats[qq].get(i, j));
                 }
@@ -731,8 +748,26 @@ mod tests {
             let mut tm = theta.clone();
             tm[k] -= h;
             let mut dummy = vec![0.0; theta.len()];
-            let fp = LcmModel::nll_at_with_kernel(&xs, &tasks, &y, 2, 1, KernelKind::Matern52, &tp, &mut dummy);
-            let fm = LcmModel::nll_at_with_kernel(&xs, &tasks, &y, 2, 1, KernelKind::Matern52, &tm, &mut dummy);
+            let fp = LcmModel::nll_at_with_kernel(
+                &xs,
+                &tasks,
+                &y,
+                2,
+                1,
+                KernelKind::Matern52,
+                &tp,
+                &mut dummy,
+            );
+            let fm = LcmModel::nll_at_with_kernel(
+                &xs,
+                &tasks,
+                &y,
+                2,
+                1,
+                KernelKind::Matern52,
+                &tm,
+                &mut dummy,
+            );
             let fd = (fp - fm) / (2.0 * h);
             assert!(
                 (grad[k] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
@@ -752,7 +787,12 @@ mod tests {
         let model = LcmModel::fit(&xs, &tasks, &ys, 2, &opts);
         for (i, x) in xs.iter().enumerate() {
             let p = model.predict(tasks[i], x);
-            assert!((p.mean - ys[i]).abs() < 0.2, "at {x:?}: {} vs {}", p.mean, ys[i]);
+            assert!(
+                (p.mean - ys[i]).abs() < 0.2,
+                "at {x:?}: {} vs {}",
+                p.mean,
+                ys[i]
+            );
         }
     }
 

@@ -20,7 +20,6 @@
 //! * [`gp`] — single-task convenience wrapper (the `δ = 1` degenerate case
 //!   used by single-task-learning comparisons).
 
-
 // Index-based loops over covariance entries mirror the paper's equations.
 #![allow(clippy::needless_range_loop)]
 

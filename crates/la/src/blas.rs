@@ -264,7 +264,12 @@ mod tests {
         let b = arange(130, 5);
         let c = matmul(&a, &b);
         let r = naive_matmul(&a, &b);
-        let maxdiff = c.as_slice().iter().zip(r.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        let maxdiff = c
+            .as_slice()
+            .iter()
+            .zip(r.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
         assert!(maxdiff < 1e-10);
     }
 

@@ -106,7 +106,11 @@ impl Cholesky {
     /// multiplying the jitter by 10 on each failure, up to `max_tries`
     /// attempts. Mirrors GPy's behaviour, which the reference GPTune relies
     /// on for ill-conditioned LCM covariances.
-    pub fn factor_with_jitter(a: &Matrix, initial_jitter: f64, max_tries: usize) -> Result<Cholesky> {
+    pub fn factor_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<Cholesky> {
         match Cholesky::factor(a) {
             Ok(c) => return Ok(c),
             Err(_) if max_tries > 0 => {}
@@ -302,9 +306,7 @@ fn trailing_update(l: &mut Matrix, k0: usize, k1: usize, n: usize) {
     let nb = k1 - k0;
     let mut panel = Matrix::zeros(n - k1, nb);
     for i in k1..n {
-        panel
-            .row_mut(i - k1)
-            .copy_from_slice(&l.row(i)[k0..k1]);
+        panel.row_mut(i - k1).copy_from_slice(&l.row(i)[k0..k1]);
     }
     let data = l.as_mut_slice();
     data[k1 * cols..n * cols]
@@ -331,7 +333,9 @@ mod tests {
 
     fn spd(n: usize) -> Matrix {
         // A = B Bᵀ + n·I with B a deterministic pseudo-random matrix.
-        let b = Matrix::from_fn(n, n, |i, j| (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 11.0);
+        let b = Matrix::from_fn(n, n, |i, j| {
+            (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 11.0
+        });
         let mut a = matmul(&b, &b.transpose());
         a.add_diagonal(n as f64);
         a

@@ -26,7 +26,6 @@
 //! programming errors); numerical failure (non-SPD, singular) is reported via
 //! [`LaError`].
 
-
 // Index-based loops are the natural idiom for the BLAS-like kernels below,
 // and `!(x > 0.0)` deliberately treats NaN as failure in factorizations.
 #![allow(clippy::needless_range_loop)]

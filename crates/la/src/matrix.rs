@@ -66,7 +66,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every position.
@@ -188,8 +192,7 @@ impl Matrix {
         assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
         let mut out = Matrix::zeros(r1 - r0, c1 - c0);
         for (oi, i) in (r0..r1).enumerate() {
-            out.row_mut(oi)
-                .copy_from_slice(&self.row(i)[c0..c1]);
+            out.row_mut(oi).copy_from_slice(&self.row(i)[c0..c1]);
         }
         out
     }

@@ -212,7 +212,9 @@ mod tests {
     use crate::blas::matmul;
 
     fn test_matrix(m: usize, n: usize) -> Matrix {
-        Matrix::from_fn(m, n, |i, j| (((i * 7 + j * 3 + 1) % 11) as f64 - 5.0) / 5.0 + if i == j { 2.0 } else { 0.0 })
+        Matrix::from_fn(m, n, |i, j| {
+            (((i * 7 + j * 3 + 1) % 11) as f64 - 5.0) / 5.0 + if i == j { 2.0 } else { 0.0 }
+        })
     }
 
     #[test]

@@ -88,7 +88,10 @@ pub fn solve_lower_matrix(l: &Matrix, b: &mut Matrix) {
 /// i.e. each row `x` of `X` satisfies `L x = b` for the matching row of `B`.
 pub fn solve_lower_transpose_right(l: &Matrix, b: &mut Matrix) {
     let n = l.rows();
-    assert!(l.is_square() && b.cols() == n, "solve_lower_transpose_right: dims");
+    assert!(
+        l.is_square() && b.cols() == n,
+        "solve_lower_transpose_right: dims"
+    );
     for r in 0..b.rows() {
         let row = b.row_mut(r);
         // Solve L x = rowᵀ by forward substitution over columns.

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 /// Strategy: an n×n matrix with entries in [-1, 1].
 fn square(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-1.0f64..1.0, n * n)
-        .prop_map(move |v| Matrix::from_vec(n, n, v))
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| Matrix::from_vec(n, n, v))
 }
 
 /// Strategy: an SPD matrix A = B Bᵀ + n·I.

@@ -46,7 +46,10 @@ pub fn minimize(
 ) -> OptResult {
     assert!(dim > 0, "cmaes: dim must be positive");
     let n = dim as f64;
-    let lambda = opts.lambda.unwrap_or(4 + (3.0 * n.ln()).floor() as usize).max(4);
+    let lambda = opts
+        .lambda
+        .unwrap_or(4 + (3.0 * n.ln()).floor() as usize)
+        .max(4);
     let mu = lambda / 2;
 
     // Recombination weights: log-decreasing over the best μ.
@@ -63,7 +66,8 @@ pub fn minimize(
     let cc = (4.0 + mu_eff / n) / (n + 4.0 + 2.0 * mu_eff / n);
     let cs = (mu_eff + 2.0) / (n + mu_eff + 5.0);
     let c1 = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff);
-    let cmu = (1.0 - c1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0) * (n + 2.0) + mu_eff));
+    let cmu =
+        (1.0 - c1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0) * (n + 2.0) + mu_eff));
     let damps = 1.0 + 2.0 * ((mu_eff - 1.0) / (n + 1.0)).sqrt().max(0.0) + cs;
     let chi_n = n.sqrt() * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
 

@@ -3,7 +3,7 @@
 //! One of the model-free global techniques in the OpenTuner-style ensemble
 //! (paper Sec. 5 groups it with the "global approaches").
 
-use crate::{OptResult};
+use crate::OptResult;
 use rand::Rng;
 
 /// DE configuration.

@@ -175,7 +175,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    cur = if x[*feature] < *threshold { *left } else { *right };
+                    cur = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -204,7 +208,12 @@ impl RandomForest {
     /// # Panics
     /// Panics on empty or mismatched data, or when every target is
     /// non-finite.
-    pub fn fit(xs: &[Vec<f64>], ys: &[f64], opts: &ForestOptions, rng: &mut impl Rng) -> RandomForest {
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        opts: &ForestOptions,
+        rng: &mut impl Rng,
+    ) -> RandomForest {
         assert!(!xs.is_empty(), "RandomForest::fit: empty data");
         assert_eq!(xs.len(), ys.len());
         let worst = ys
@@ -212,7 +221,10 @@ impl RandomForest {
             .copied()
             .filter(|v| v.is_finite())
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(worst.is_finite(), "RandomForest::fit: all targets non-finite");
+        assert!(
+            worst.is_finite(),
+            "RandomForest::fit: all targets non-finite"
+        );
         let cleaned: Vec<f64> = ys
             .iter()
             .map(|&v| if v.is_finite() { v } else { worst })
@@ -307,10 +319,7 @@ mod tests {
         let forest = RandomForest::fit(&xs, &ys, &ForestOptions::default(), &mut rng);
         let (_, v_boundary) = forest.predict(&[0.5]);
         let (_, v_flat) = forest.predict(&[0.1]);
-        assert!(
-            v_boundary >= v_flat,
-            "boundary {v_boundary} flat {v_flat}"
-        );
+        assert!(v_boundary >= v_flat, "boundary {v_boundary} flat {v_flat}");
         assert!(v_flat < 1.0, "flat region should be near-certain: {v_flat}");
     }
 

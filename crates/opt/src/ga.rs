@@ -162,7 +162,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let seed = vec![0.111, 0.222];
         let mut f = |x: &[f64]| {
-            let d: f64 = x.iter().zip(&[0.111, 0.222]).map(|(a, b)| (a - b).abs()).sum();
+            let d: f64 = x
+                .iter()
+                .zip(&[0.111, 0.222])
+                .map(|(a, b)| (a - b).abs())
+                .sum();
             if d < 1e-12 {
                 -5.0
             } else {

@@ -336,7 +336,10 @@ mod tests {
     #[test]
     fn quadratic_converges_to_exact_minimum() {
         let r = minimize(quadratic, &[5.0; 6], &LbfgsOptions::default());
-        assert!(matches!(r.status, LbfgsStatus::GradConverged | LbfgsStatus::FConverged));
+        assert!(matches!(
+            r.status,
+            LbfgsStatus::GradConverged | LbfgsStatus::FConverged
+        ));
         for (i, xi) in r.x.iter().enumerate() {
             assert!((xi - i as f64).abs() < 1e-5, "x[{i}]={xi}");
         }

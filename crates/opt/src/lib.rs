@@ -17,7 +17,6 @@
 //! unit hypercube that `gptune-space` normalizes into) and **minimizes** its
 //! objective; maximize by negating.
 
-
 // Index-based loops are the natural idiom for the population/array math
 // below, and `!(x < 0.0)` deliberately treats NaN as a failed descent check.
 #![allow(clippy::needless_range_loop)]

@@ -238,7 +238,11 @@ pub fn minimize(
             } else {
                 let cd = crowding_distance(&objs, front);
                 let mut order: Vec<usize> = (0..front.len()).collect();
-                order.sort_by(|&a, &b| cd[b].partial_cmp(&cd[a]).unwrap_or(std::cmp::Ordering::Equal));
+                order.sort_by(|&a, &b| {
+                    cd[b]
+                        .partial_cmp(&cd[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
                 for &k in order.iter().take(pop_size - keep.len()) {
                     keep.push(front[k]);
                 }
@@ -361,7 +365,12 @@ mod tests {
 
     #[test]
     fn crowding_boundary_infinite() {
-        let objs = vec![vec![0.0, 4.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![4.0, 0.0]];
+        let objs = vec![
+            vec![0.0, 4.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![4.0, 0.0],
+        ];
         let front = vec![0, 1, 2, 3];
         let cd = crowding_distance(&objs, &front);
         assert!(cd[0].is_infinite());
@@ -450,7 +459,12 @@ mod tests {
 
     #[test]
     fn pareto_front_indices_simple() {
-        let objs = vec![vec![2.0, 2.0], vec![1.0, 3.0], vec![3.0, 1.0], vec![3.0, 3.0]];
+        let objs = vec![
+            vec![2.0, 2.0],
+            vec![1.0, 3.0],
+            vec![3.0, 1.0],
+            vec![3.0, 3.0],
+        ];
         let mut idx = pareto_front_indices(&objs);
         idx.sort_unstable();
         assert_eq!(idx, vec![0, 1, 2]);

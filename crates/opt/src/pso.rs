@@ -208,7 +208,13 @@ mod tests {
                 0.0
             }
         };
-        let r = minimize(&mut f, 2, std::slice::from_ref(&seed), &PsoOptions::default(), &mut rng);
+        let r = minimize(
+            &mut f,
+            2,
+            std::slice::from_ref(&seed),
+            &PsoOptions::default(),
+            &mut rng,
+        );
         assert_eq!(r.value, -10.0);
         assert_eq!(r.x, seed);
     }

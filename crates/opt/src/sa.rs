@@ -125,7 +125,16 @@ mod tests {
             n += 1;
             0.0
         };
-        let r = minimize(&mut f, 1, None, &SaOptions { iters: 37, ..Default::default() }, &mut rng);
+        let r = minimize(
+            &mut f,
+            1,
+            None,
+            &SaOptions {
+                iters: 37,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(r.evals, n);
         assert_eq!(n, 38);
     }

@@ -179,7 +179,15 @@ mod tests {
     #[test]
     fn infinite_values_ignored() {
         let mut rng = StdRng::seed_from_u64(4);
-        let xs = vec![vec![0.1], vec![0.2], vec![0.3], vec![0.9], vec![0.95], vec![0.85], vec![0.5]];
+        let xs = vec![
+            vec![0.1],
+            vec![0.2],
+            vec![0.3],
+            vec![0.9],
+            vec![0.95],
+            vec![0.85],
+            vec![0.5],
+        ];
         let ys = vec![f64::INFINITY, 0.1, 0.2, 5.0, 6.0, 7.0, f64::NAN];
         let p = propose(&xs, &ys, 1, &TpeOptions::default(), &mut rng);
         assert!(p[0].is_finite());

@@ -56,12 +56,7 @@ where
 
 /// All-reduce flavour: like [`map_reduce`], but clones the combined result
 /// back out for every "rank" — `MPI_Allreduce`.
-pub fn map_allreduce<T, R, F, C>(
-    group: &WorkerGroup,
-    items: Vec<T>,
-    f: F,
-    combine: C,
-) -> Vec<R>
+pub fn map_allreduce<T, R, F, C>(group: &WorkerGroup, items: Vec<T>, f: F, combine: C) -> Vec<R>
 where
     T: Send + 'static,
     R: Clone + Send + 'static,

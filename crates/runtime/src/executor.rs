@@ -94,7 +94,10 @@ impl WorkerGroup {
             let (i, r) = res_rx.recv().expect("worker died before returning");
             slots[i] = Some(r);
         }
-        slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+        slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect()
     }
 
     /// Shuts the group down, joining all workers.

@@ -99,6 +99,13 @@ impl PhaseTimer {
     pub fn reset(&self) {
         *self.inner.lock() = PhaseStats::default();
     }
+
+    /// Overwrites the accumulated counters — used when resuming an
+    /// interrupted run from a checkpoint, so the final `stats:` line
+    /// covers the whole run rather than only the post-resume portion.
+    pub fn restore(&self, s: PhaseStats) {
+        *self.inner.lock() = s;
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +147,9 @@ mod tests {
     fn total_combines_phases() {
         let t = PhaseTimer::new();
         t.add_objective_run(10.0);
-        t.time(Phase::Search, || std::thread::sleep(Duration::from_millis(10)));
+        t.time(Phase::Search, || {
+            std::thread::sleep(Duration::from_millis(10))
+        });
         let s = t.snapshot();
         assert!(s.total_secs() >= 10.0);
         assert!(s.total_secs() < 10.5);
@@ -153,6 +162,22 @@ mod tests {
         t.time(Phase::Objective, || ());
         t.reset();
         assert_eq!(t.snapshot(), PhaseStats::default());
+    }
+
+    #[test]
+    fn restore_overwrites_counters() {
+        let t = PhaseTimer::new();
+        t.add_objective_run(1.0);
+        let saved = PhaseStats {
+            objective_virtual_secs: 42.0,
+            n_evals: 7,
+            ..Default::default()
+        };
+        t.restore(saved);
+        assert_eq!(t.snapshot(), saved);
+        // Accumulation continues on top of the restored state.
+        t.add_objective_run(1.0);
+        assert_eq!(t.snapshot().n_evals, 8);
     }
 
     #[test]

@@ -31,16 +31,27 @@ impl Param {
         assert!(low < high, "Param::real: low must be < high");
         Param {
             name: name.into(),
-            kind: ParamKind::Real { low, high, log: false },
+            kind: ParamKind::Real {
+                low,
+                high,
+                log: false,
+            },
         }
     }
 
     /// A log-scaled real parameter on `[low, high]`, `low > 0`.
     pub fn real_log(name: impl Into<String>, low: f64, high: f64) -> Param {
-        assert!(0.0 < low && low < high, "Param::real_log: need 0 < low < high");
+        assert!(
+            0.0 < low && low < high,
+            "Param::real_log: need 0 < low < high"
+        );
         Param {
             name: name.into(),
-            kind: ParamKind::Real { low, high, log: true },
+            kind: ParamKind::Real {
+                low,
+                high,
+                log: true,
+            },
         }
     }
 
@@ -49,16 +60,27 @@ impl Param {
         assert!(low <= high, "Param::int: low must be <= high");
         Param {
             name: name.into(),
-            kind: ParamKind::Int { low, high, log: false },
+            kind: ParamKind::Int {
+                low,
+                high,
+                log: false,
+            },
         }
     }
 
     /// A log-scaled integer parameter on `[low, high]`, `low > 0`.
     pub fn int_log(name: impl Into<String>, low: i64, high: i64) -> Param {
-        assert!(0 < low && low <= high, "Param::int_log: need 0 < low <= high");
+        assert!(
+            0 < low && low <= high,
+            "Param::int_log: need 0 < low <= high"
+        );
         Param {
             name: name.into(),
-            kind: ParamKind::Int { low, high, log: true },
+            kind: ParamKind::Int {
+                low,
+                high,
+                log: true,
+            },
         }
     }
 
@@ -93,8 +115,8 @@ impl Param {
                     // Midpoint in log cell space.
                     let lo = *low as f64;
                     let hi = *high as f64;
-                    ((*x as f64).ln() - lo.ln()) / (hi.ln() - lo.ln() + f64::MIN_POSITIVE)
-                        .max(f64::MIN_POSITIVE)
+                    ((*x as f64).ln() - lo.ln())
+                        / (hi.ln() - lo.ln() + f64::MIN_POSITIVE).max(f64::MIN_POSITIVE)
                 } else {
                     ((x - low) as f64 + 0.5) / cells
                 }

@@ -24,7 +24,10 @@ pub struct Constraint {
 
 impl Constraint {
     /// Creates a named constraint from a predicate.
-    pub fn new(name: impl Into<String>, pred: impl Fn(&[Value]) -> bool + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        pred: impl Fn(&[Value]) -> bool + Send + Sync + 'static,
+    ) -> Self {
         Constraint {
             name: name.into(),
             pred: Arc::new(pred),
@@ -124,11 +127,7 @@ impl Space {
     /// `true` iff every value is in its domain and all constraints hold.
     pub fn is_valid(&self, config: &[Value]) -> bool {
         config.len() == self.dim()
-            && self
-                .params
-                .iter()
-                .zip(config)
-                .all(|(p, v)| p.contains(v))
+            && self.params.iter().zip(config).all(|(p, v)| p.contains(v))
             && self.constraints.iter().all(|c| c.check(config))
     }
 
@@ -201,7 +200,10 @@ impl SpaceBuilder {
 
     /// Finalizes the space.
     pub fn build(self) -> Space {
-        assert!(!self.params.is_empty(), "Space must have at least one parameter");
+        assert!(
+            !self.params.is_empty(),
+            "Space must have at least one parameter"
+        );
         Space {
             params: self.params,
             constraints: self.constraints,
@@ -271,7 +273,10 @@ mod tests {
     #[test]
     fn format_config_names_categoricals() {
         let s = Space::builder()
-            .param(Param::categorical("COLPERM", &["NATURAL", "MMD_AT_PLUS_A", "METIS"]))
+            .param(Param::categorical(
+                "COLPERM",
+                &["NATURAL", "MMD_AT_PLUS_A", "METIS"],
+            ))
             .param(Param::int("NSUP", 16, 256))
             .build();
         let txt = s.format_config(&[Value::Cat(2), Value::Int(128)]);

@@ -162,8 +162,7 @@ mod tests {
         let n = 50;
         // Edges of a path over a "bit-reversal-ish" shuffle.
         let shuffle: Vec<usize> = (0..n).map(|i| (i * 23) % n).collect();
-        let edges: Vec<(usize, usize)> =
-            (0..n - 1).map(|i| (shuffle[i], shuffle[i + 1])).collect();
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (shuffle[i], shuffle[i + 1])).collect();
         let p = SparsePattern::from_edges(n, &edges);
         let bandwidth = |pat: &SparsePattern| {
             (0..pat.n())

@@ -66,7 +66,10 @@ impl SparsePattern {
         assert_eq!(perm.len(), n, "permute: wrong length");
         let mut inv = vec![usize::MAX; n];
         for (new, &old) in perm.iter().enumerate() {
-            assert!(old < n && inv[old] == usize::MAX, "permute: not a permutation");
+            assert!(
+                old < n && inv[old] == usize::MAX,
+                "permute: not a permutation"
+            );
             inv[old] = new;
         }
         let mut adj = vec![Vec::new(); n];

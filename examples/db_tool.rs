@@ -1,0 +1,158 @@
+//! `db_tool` — command-line maintenance for `gptune-db` archives.
+//!
+//! ```text
+//! cargo run --example db_tool -- inspect <archive>
+//! cargo run --example db_tool -- merge   <dst-archive> <src-archive>
+//! cargo run --example db_tool -- compact <archive>
+//! cargo run --example db_tool -- export  <archive> <journal.jsonl>
+//! ```
+//!
+//! * `inspect` — per-journal entry counts, recovery health (torn tails,
+//!   corrupt lines), archived run summaries with their `stats:` phase
+//!   breakdown, and any in-flight checkpoints;
+//! * `merge` — folds every journal of a second archive into the first,
+//!   matching journals by file name (names embed problem + signature, so
+//!   structurally different problems never mix) and deduplicating records;
+//! * `compact` — deduplicates and heals every journal in place;
+//! * `export` — prints a journal's evaluation records as CSV on stdout.
+
+use gptune::db::{journal, Db, DbEntry, DbValue, LockOptions};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let result = match strs.as_slice() {
+        ["inspect", archive] => inspect(Path::new(archive)),
+        ["merge", dst, src] => merge(Path::new(dst), Path::new(src)),
+        ["compact", archive] => compact(Path::new(archive)),
+        ["export", archive, journal] => export(Path::new(archive), journal),
+        _ => {
+            eprintln!(
+                "usage: db_tool inspect <archive>\n\
+                 \u{20}      db_tool merge <dst-archive> <src-archive>\n\
+                 \u{20}      db_tool compact <archive>\n\
+                 \u{20}      db_tool export <archive> <journal.jsonl>"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("db_tool: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn inspect(root: &Path) -> std::io::Result<()> {
+    let db = Db::open(root)?;
+    let journals = db.journals()?;
+    println!("archive: {}  journals: {}", root.display(), journals.len());
+    for (name, _) in &journals {
+        let (entries, report) = journal::load(&root.join(name))?;
+        let evals = entries
+            .iter()
+            .filter(|e| matches!(e, DbEntry::Eval(_)))
+            .count();
+        let mut health = String::new();
+        if report.dropped_torn_tail {
+            health.push_str("  [torn tail dropped]");
+        }
+        if report.n_corrupt_interior > 0 {
+            health.push_str(&format!(
+                "  [{} corrupt lines skipped]",
+                report.n_corrupt_interior
+            ));
+        }
+        if report.n_unknown_kind > 0 {
+            health.push_str(&format!(
+                "  [{} unknown-kind lines skipped]",
+                report.n_unknown_kind
+            ));
+        }
+        println!(
+            "  {name}: {} entries ({evals} evals, {} runs){health}",
+            entries.len(),
+            entries.len() - evals
+        );
+        for e in &entries {
+            if let DbEntry::Run(r) = e {
+                println!(
+                    "    run: {}  seed: {}  machine: {}",
+                    r.prov.run,
+                    r.prov.seed,
+                    r.prov.machine.as_deref().unwrap_or("-")
+                );
+                println!("        {}", r.stats.report());
+            }
+        }
+    }
+    let mut checkpoints: Vec<String> = std::fs::read_dir(root)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("ckpt-") && n.ends_with(".json"))
+        .collect();
+    checkpoints.sort();
+    for c in &checkpoints {
+        println!("  in-flight checkpoint: {c}");
+    }
+    Ok(())
+}
+
+fn merge(dst_root: &Path, src_root: &Path) -> std::io::Result<()> {
+    let dst = Db::open(dst_root)?;
+    let src = Db::open(src_root)?;
+    let lock = LockOptions::default();
+    let mut total = 0usize;
+    // Journal file names embed problem + signature, so matching by name is
+    // exactly matching by (problem, sig).
+    for (name, _) in src.journals()? {
+        let added = journal::merge(&dst.root().join(&name), &src_root.join(&name), &lock)?;
+        println!("  {name}: +{added}");
+        total += added;
+    }
+    println!("merged {total} new entries into {}", dst_root.display());
+    Ok(())
+}
+
+fn compact(root: &Path) -> std::io::Result<()> {
+    let db = Db::open(root)?;
+    let lock = LockOptions::default();
+    for (name, _) in db.journals()? {
+        let (kept, dropped) = journal::compact(&root.join(&name), &lock)?;
+        println!("  {name}: kept {kept}, dropped {dropped}");
+    }
+    Ok(())
+}
+
+fn export(root: &Path, journal_name: &str) -> std::io::Result<()> {
+    let (entries, _) = journal::load(&root.join(journal_name))?;
+    println!("task,config,outputs,run,seed");
+    for e in &entries {
+        if let DbEntry::Eval(r) = e {
+            println!(
+                "{},{},{},{},{}",
+                csv_values(&r.task),
+                csv_values(&r.config),
+                r.outputs
+                    .iter()
+                    .map(|y| y.to_string())
+                    .collect::<Vec<_>>()
+                    .join(";"),
+                r.prov.run,
+                r.prov.seed
+            );
+        }
+    }
+    Ok(())
+}
+
+fn csv_values(vs: &[DbValue]) -> String {
+    vs.iter()
+        .map(|v| match v {
+            DbValue::Real(x) => x.to_string(),
+            DbValue::Int(i) => i.to_string(),
+            DbValue::Cat(c) => format!("#{c}"),
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}

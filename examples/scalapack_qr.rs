@@ -41,7 +41,10 @@ fn main() {
     base.runs_per_eval = 3; // min-of-3 noise mitigation, as in the paper
     base.lcm.n_starts = 3;
 
-    println!("PDGEQRF multitask tuning: δ = {} tasks, ε_tot = {budget}, min-of-3 runs", tasks.len());
+    println!(
+        "PDGEQRF multitask tuning: δ = {} tasks, ε_tot = {budget}, min-of-3 runs",
+        tasks.len()
+    );
 
     // Without the coarse performance model.
     let r_plain = mla::tune(&problem, &base);

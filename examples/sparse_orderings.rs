@@ -14,7 +14,9 @@
 //! ```
 
 use gptune::apps::{HpcApp, MachineModel, SuperluApp, PARSEC_MATRICES};
-use gptune_sparse::{fill_count, minimum_degree, natural_order, reverse_cuthill_mckee, SparsePattern};
+use gptune_sparse::{
+    fill_count, minimum_degree, natural_order, reverse_cuthill_mckee, SparsePattern,
+};
 
 fn study(name: &str, pattern: &SparsePattern) {
     let orderings: [(&str, Vec<usize>); 3] = [
@@ -22,11 +24,7 @@ fn study(name: &str, pattern: &SparsePattern) {
         ("RCM", reverse_cuthill_mckee(pattern)),
         ("min-degree", minimum_degree(pattern)),
     ];
-    println!(
-        "\n{name}: n = {}, nnz = {}",
-        pattern.n(),
-        pattern.nnz()
-    );
+    println!("\n{name}: n = {}, nnz = {}", pattern.n(), pattern.nnz());
     println!(
         "  {:<12} {:>12} {:>10} {:>14}",
         "ordering", "nnz(L)", "fill", "sym. flops"

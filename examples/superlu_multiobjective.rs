@@ -71,7 +71,9 @@ fn main() {
     // time or 93% in memory compared to default").
     if let (Some(fastest), Some(smallest)) = (
         front.first(),
-        front.iter().min_by(|a, b| a.objectives[1].partial_cmp(&b.objectives[1]).unwrap()),
+        front
+            .iter()
+            .min_by(|a, b| a.objectives[1].partial_cmp(&b.objectives[1]).unwrap()),
     ) {
         println!(
             "\nvs default: time improved {:.0}%  |  memory improved {:.0}%",

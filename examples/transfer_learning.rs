@@ -37,7 +37,10 @@ fn main() {
     let source_problem = problem_from_app(Arc::clone(&app), source_tasks.clone());
     let mut opts = MlaOptions::default().with_budget(16).with_seed(21);
     opts.lcm.n_starts = 3;
-    println!("Phase 1: tuning {} source tasks with ε_tot = 16 each…", source_tasks.len());
+    println!(
+        "Phase 1: tuning {} source tasks with ε_tot = 16 each…",
+        source_tasks.len()
+    );
     let source_result = mla::tune(&source_problem, &opts);
     let history = History::from_mla(&source_problem.name, &source_result);
     println!("  archived {} evaluations\n", history.len());
@@ -45,7 +48,9 @@ fn main() {
     // Phase 2: tune the new task with a tiny fresh budget.
     let problem = problem_from_app(Arc::clone(&app), all_tasks);
     let fresh_budget = 5;
-    let mut topts = MlaOptions::default().with_budget(fresh_budget).with_seed(22);
+    let mut topts = MlaOptions::default()
+        .with_budget(fresh_budget)
+        .with_seed(22);
     topts.lcm.n_starts = 3;
     topts.n_initial = Some(3);
 

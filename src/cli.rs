@@ -287,8 +287,17 @@ mod tests {
     #[test]
     fn parse_full_invocation() {
         let a = parse_tune_args(&strs(&[
-            "--app", "pdgeqrf", "--nodes", "4", "--budget", "12", "--tasks",
-            "8000x8000, 12000x6000", "--seed", "7", "--model",
+            "--app",
+            "pdgeqrf",
+            "--nodes",
+            "4",
+            "--budget",
+            "12",
+            "--tasks",
+            "8000x8000, 12000x6000",
+            "--seed",
+            "7",
+            "--model",
         ]))
         .unwrap();
         assert_eq!(a.app, "pdgeqrf");
@@ -305,7 +314,10 @@ mod tests {
         assert!(parse_tune_args(&strs(&["--tasks", "1"])).is_err()); // no app
         assert!(parse_tune_args(&strs(&["--app", "nope", "--tasks", "1"])).is_err());
         assert!(parse_tune_args(&strs(&["--app", "pdsyevx"])).is_err()); // no tasks
-        assert!(parse_tune_args(&strs(&["--app", "pdsyevx", "--tasks", "1", "--budget", "x"])).is_err());
+        assert!(parse_tune_args(&strs(&[
+            "--app", "pdsyevx", "--tasks", "1", "--budget", "x"
+        ]))
+        .is_err());
         assert!(parse_tune_args(&strs(&["--app", "pdsyevx", "--tasks", "1", "--wat"])).is_err());
         assert!(parse_tune_args(&strs(&["--app", "pdsyevx", "--tasks", "1", "--budget"])).is_err());
     }
@@ -316,13 +328,22 @@ mod tests {
             parse_task("pdgeqrf", "100x200").unwrap(),
             vec![Value::Int(100), Value::Int(200)]
         );
-        assert_eq!(parse_task("pdsyevx", "4096").unwrap(), vec![Value::Int(4096)]);
-        assert_eq!(parse_task("superlu_dist", "si2").unwrap(), vec![Value::Cat(0)]);
+        assert_eq!(
+            parse_task("pdsyevx", "4096").unwrap(),
+            vec![Value::Int(4096)]
+        );
+        assert_eq!(
+            parse_task("superlu_dist", "si2").unwrap(),
+            vec![Value::Cat(0)]
+        );
         assert_eq!(
             parse_task("hypre", "10x20x30").unwrap(),
             vec![Value::Int(10), Value::Int(20), Value::Int(30)]
         );
-        assert_eq!(parse_task("analytical", "2.5").unwrap(), vec![Value::Real(2.5)]);
+        assert_eq!(
+            parse_task("analytical", "2.5").unwrap(),
+            vec![Value::Real(2.5)]
+        );
         assert!(parse_task("pdgeqrf", "100").is_err());
         assert!(parse_task("superlu_dist", "NoSuchMatrix").is_err());
         assert!(parse_task("hypre", "10x20").is_err());

@@ -31,6 +31,7 @@ pub mod cli;
 pub use gptune_apps as apps;
 pub use gptune_baselines as baselines;
 pub use gptune_core as core;
+pub use gptune_db as db;
 pub use gptune_gp as gp;
 pub use gptune_la as la;
 pub use gptune_opt as opt;
@@ -98,16 +99,22 @@ pub fn problem_from_app_objective(
     let task_space = app.task_space().clone();
     let tuning_space = app.tuning_space().clone();
     let obj_app = Arc::clone(&app);
-    TuningProblem::new(name, task_space, tuning_space, tasks, move |task, config, seed| {
-        let out = obj_app.evaluate(task, config, seed);
-        vec![out[objective_idx]]
-    })
+    TuningProblem::new(
+        name,
+        task_space,
+        tuning_space,
+        tasks,
+        move |task, config, seed| {
+            let out = obj_app.evaluate(task, config, seed);
+            vec![out[objective_idx]]
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gptune_apps::{AnalyticalApp, PdgeqrfApp, SuperluApp, MachineModel};
+    use gptune_apps::{AnalyticalApp, MachineModel, PdgeqrfApp, SuperluApp};
     use gptune_space::Value;
 
     #[test]

@@ -148,7 +148,12 @@ fn infeasible_configs_rejected_with_infinity() {
     // violating the grid constraint.
     use gptune::space::Value;
     let app = PdgeqrfApp::new(MachineModel::cori(2), 10_000);
-    let bad = vec![Value::Int(64), Value::Int(64), Value::Int(4), Value::Int(32)];
+    let bad = vec![
+        Value::Int(64),
+        Value::Int(64),
+        Value::Int(4),
+        Value::Int(32),
+    ];
     let out = app.evaluate(&[Value::Int(4000), Value::Int(4000)], &bad, 0);
     assert!(out[0].is_infinite());
 }

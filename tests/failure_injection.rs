@@ -109,14 +109,20 @@ fn tiny_feasible_region_still_tunes() {
 #[test]
 fn multiobjective_with_partial_failures() {
     let (ts, ps) = spaces();
-    let p = TuningProblem::new("mo-fail", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
-        let v = x[0].as_real();
-        if v < 0.15 {
-            vec![f64::INFINITY, f64::INFINITY]
-        } else {
-            vec![1.0 + (v - 0.3).powi(2), 1.0 + (v - 0.7).powi(2)]
-        }
-    })
+    let p = TuningProblem::new(
+        "mo-fail",
+        ts,
+        ps,
+        vec![vec![Value::Real(0.0)]],
+        |_, x, _| {
+            let v = x[0].as_real();
+            if v < 0.15 {
+                vec![f64::INFINITY, f64::INFINITY]
+            } else {
+                vec![1.0 + (v - 0.3).powi(2), 1.0 + (v - 0.7).powi(2)]
+            }
+        },
+    )
     .with_objectives(2);
     let mut o = fast_opts(16, 5);
     o.k_per_iter = 3;
@@ -138,14 +144,20 @@ fn objective_counts_every_call_even_on_failures() {
     let (ts, ps) = spaces();
     let calls = Arc::new(AtomicUsize::new(0));
     let calls2 = Arc::clone(&calls);
-    let p = TuningProblem::new("count", ts, ps, vec![vec![Value::Real(0.0)]], move |_, x, _| {
-        calls2.fetch_add(1, Ordering::Relaxed);
-        if x[0].as_real() < 0.5 {
-            vec![f64::INFINITY]
-        } else {
-            vec![1.0]
-        }
-    });
+    let p = TuningProblem::new(
+        "count",
+        ts,
+        ps,
+        vec![vec![Value::Real(0.0)]],
+        move |_, x, _| {
+            calls2.fetch_add(1, Ordering::Relaxed);
+            if x[0].as_real() < 0.5 {
+                vec![f64::INFINITY]
+            } else {
+                vec![1.0]
+            }
+        },
+    );
     let r = mla::tune(&p, &fast_opts(10, 6));
     assert_eq!(r.per_task[0].samples.len(), 10);
     assert_eq!(calls.load(Ordering::Relaxed), 10);

@@ -77,9 +77,16 @@ fn gptune_competitive_with_baselines_on_qr() {
     let gp = mla::tune(&problem, &fast_opts(budget, 7));
     let gp_best: Vec<f64> = gp.per_task.iter().map(|t| t.best_value).collect();
 
-    for tuner in [&OpenTunerLike::default() as &dyn Tuner, &HpBandSterLike::default()] {
+    for tuner in [
+        &OpenTunerLike::default() as &dyn Tuner,
+        &HpBandSterLike::default(),
+    ] {
         let other: Vec<f64> = (0..tasks.len())
-            .map(|i| tuner.tune_task(&problem, i, budget, 100 + i as u64).best_value)
+            .map(|i| {
+                tuner
+                    .tune_task(&problem, i, budget, 100 + i as u64)
+                    .best_value
+            })
             .collect();
         let gp_sum: f64 = gp_best.iter().sum();
         let other_sum: f64 = other.iter().sum();

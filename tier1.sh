@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must build, pass tests, and be lint-clean.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy -- -D warnings
