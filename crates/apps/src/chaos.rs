@@ -1,0 +1,297 @@
+//! Deterministic fault injection for the simulated applications.
+//!
+//! Real tuning campaigns lose evaluations to crashes (invalid block sizes
+//! aborting ScaLAPACK), hangs (deadlocked MPI collectives), and transient
+//! node glitches. [`FaultyApp`] wraps any [`HpcApp`] and injects those
+//! faults *deterministically*: whether a given `(task, config)` crashes or
+//! hangs is a pure function of the point and the chaos seed, exactly like
+//! the run-to-run noise in [`noise`]. That makes chaos tests reproducible —
+//! the same chaos seed always kills the same configurations, so a killed
+//! and resumed run sees the same fault pattern as an uninterrupted one.
+//!
+//! Fault bands are carved out of a single uniform draw per point:
+//! `[0, crash_rate)` crashes, `[crash_rate, crash_rate + hang_rate)` hangs.
+//! Transient faults additionally mix in the evaluation seed, so a retry
+//! (which the executor salts with the attempt number) can succeed where
+//! the first attempt failed.
+
+use crate::{noise, HpcApp};
+use gptune_runtime::TransientSignal;
+use gptune_space::{Config, Space, Value};
+use std::time::Duration;
+
+/// Salt for the persistent (per-point) fault draw.
+const PERSISTENT_SALT: u64 = 0x7c3a_11e5_9d2f_0b61;
+/// Salt for the transient (per-point-per-seed) fault draw.
+const TRANSIENT_SALT: u64 = 0x2b99_4c6d_e0f7_8a13;
+
+/// A persistent, deterministic fault attached to a `(task, config)` point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Every evaluation of the point panics.
+    Crash,
+    /// Every evaluation of the point sleeps for [`FaultSpec::hang`] before
+    /// returning normally (long enough to trip a watchdog deadline, short
+    /// enough that the worker thread eventually frees itself).
+    Hang,
+}
+
+/// Fault-injection rates and seed for a [`FaultyApp`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Fraction of `(task, config)` points that crash every evaluation.
+    pub crash_rate: f64,
+    /// Fraction of `(task, config)` points that hang every evaluation.
+    pub hang_rate: f64,
+    /// Per-evaluation probability of a retryable transient fault
+    /// (signalled via [`TransientSignal`], varies with the seed).
+    pub transient_rate: f64,
+    /// How long a hanging point sleeps before returning.
+    pub hang: Duration,
+    /// Seed of the fault pattern: different seeds kill different points.
+    pub chaos_seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            crash_rate: 0.0,
+            hang_rate: 0.0,
+            transient_rate: 0.0,
+            hang: Duration::from_secs(1),
+            chaos_seed: 0,
+        }
+    }
+}
+
+/// Wraps an application and injects deterministic faults per [`FaultSpec`].
+pub struct FaultyApp<A: HpcApp> {
+    inner: A,
+    spec: FaultSpec,
+    name: String,
+}
+
+impl<A: HpcApp> FaultyApp<A> {
+    /// Wraps `inner`; the wrapper reports its name as `chaos(<inner>)`.
+    pub fn new(inner: A, spec: FaultSpec) -> FaultyApp<A> {
+        let name = format!("chaos({})", inner.name());
+        FaultyApp { inner, spec, name }
+    }
+
+    /// The wrapped application.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// The persistent fault injected at this point, if any — a pure
+    /// function of `(task, config, chaos_seed)`, so tests can predict
+    /// which configurations will fail.
+    pub fn persistent_fault(&self, task: &[Value], config: &[Value]) -> Option<InjectedFault> {
+        let u = noise::uniform01(noise::hash_point(
+            task,
+            config,
+            self.spec.chaos_seed ^ PERSISTENT_SALT,
+        ));
+        if u < self.spec.crash_rate {
+            Some(InjectedFault::Crash)
+        } else if u < self.spec.crash_rate + self.spec.hang_rate {
+            Some(InjectedFault::Hang)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this evaluation (point *and* seed) hits a transient fault.
+    /// Distinct seeds redraw, so the executor's attempt-salted retries can
+    /// succeed where the first attempt failed.
+    pub fn injects_transient(&self, task: &[Value], config: &[Value], seed: u64) -> bool {
+        let u = noise::uniform01(noise::hash_point(
+            task,
+            config,
+            self.spec
+                .chaos_seed
+                .wrapping_add(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                ^ TRANSIENT_SALT,
+        ));
+        u < self.spec.transient_rate
+    }
+}
+
+impl<A: HpcApp> HpcApp for FaultyApp<A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn task_space(&self) -> &Space {
+        self.inner.task_space()
+    }
+
+    fn tuning_space(&self) -> &Space {
+        self.inner.tuning_space()
+    }
+
+    fn n_objectives(&self) -> usize {
+        self.inner.n_objectives()
+    }
+
+    fn evaluate(&self, task: &[Value], config: &[Value], seed: u64) -> Vec<f64> {
+        match self.persistent_fault(task, config) {
+            Some(InjectedFault::Crash) => {
+                panic!("injected crash at {:?} / {:?}", task, config);
+            }
+            Some(InjectedFault::Hang) => {
+                std::thread::sleep(self.spec.hang);
+            }
+            None => {}
+        }
+        if self.injects_transient(task, config, seed) {
+            std::panic::panic_any(TransientSignal(format!(
+                "injected transient fault at {:?} / {:?} (seed {seed})",
+                task, config
+            )));
+        }
+        self.inner.evaluate(task, config, seed)
+    }
+
+    fn model_features(&self, task: &[Value], config: &[Value]) -> Option<Vec<f64>> {
+        self.inner.model_features(task, config)
+    }
+
+    fn default_config(&self) -> Option<Config> {
+        self.inner.default_config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalyticalApp;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn spec(crash: f64, hang: f64, transient: f64) -> FaultSpec {
+        FaultSpec {
+            crash_rate: crash,
+            hang_rate: hang,
+            transient_rate: transient,
+            hang: Duration::from_millis(5),
+            chaos_seed: 42,
+        }
+    }
+
+    fn points(n: usize) -> Vec<(Vec<Value>, Vec<Value>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    vec![Value::Real(1.0 + (i % 7) as f64)],
+                    vec![Value::Real(i as f64 / n as f64)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fault_pattern_is_deterministic() {
+        let a = FaultyApp::new(AnalyticalApp::new(0.0), spec(0.2, 0.1, 0.0));
+        let b = FaultyApp::new(AnalyticalApp::new(0.0), spec(0.2, 0.1, 0.0));
+        for (t, c) in points(200) {
+            assert_eq!(a.persistent_fault(&t, &c), b.persistent_fault(&t, &c));
+        }
+    }
+
+    #[test]
+    fn different_chaos_seeds_kill_different_points() {
+        let a = FaultyApp::new(AnalyticalApp::new(0.0), spec(0.3, 0.0, 0.0));
+        let mut other = spec(0.3, 0.0, 0.0);
+        other.chaos_seed = 43;
+        let b = FaultyApp::new(AnalyticalApp::new(0.0), other);
+        let differs = points(200)
+            .iter()
+            .any(|(t, c)| a.persistent_fault(t, c) != b.persistent_fault(t, c));
+        assert!(differs, "chaos seed should reshuffle the fault pattern");
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honored() {
+        let app = FaultyApp::new(AnalyticalApp::new(0.0), spec(0.15, 0.1, 0.0));
+        let pts = points(4000);
+        let crashes = pts
+            .iter()
+            .filter(|(t, c)| app.persistent_fault(t, c) == Some(InjectedFault::Crash))
+            .count() as f64
+            / pts.len() as f64;
+        let hangs = pts
+            .iter()
+            .filter(|(t, c)| app.persistent_fault(t, c) == Some(InjectedFault::Hang))
+            .count() as f64
+            / pts.len() as f64;
+        assert!((crashes - 0.15).abs() < 0.03, "crash fraction {crashes}");
+        assert!((hangs - 0.1).abs() < 0.03, "hang fraction {hangs}");
+    }
+
+    #[test]
+    fn crash_point_panics_and_clean_point_delegates() {
+        let app = FaultyApp::new(AnalyticalApp::new(0.0), spec(0.3, 0.0, 0.0));
+        let pts = points(100);
+        let crash = pts
+            .iter()
+            .find(|(t, c)| app.persistent_fault(t, c) == Some(InjectedFault::Crash))
+            .expect("30% crash rate should hit within 100 points");
+        let clean = pts
+            .iter()
+            .find(|(t, c)| app.persistent_fault(t, c).is_none())
+            .expect("most points should be clean");
+
+        let r = catch_unwind(AssertUnwindSafe(|| app.evaluate(&crash.0, &crash.1, 7)));
+        assert!(r.is_err(), "crash point must panic");
+
+        let y = app.evaluate(&clean.0, &clean.1, 7);
+        assert_eq!(y, app.inner().evaluate(&clean.0, &clean.1, 7));
+    }
+
+    #[test]
+    fn hang_point_sleeps_then_returns_inner_value() {
+        let app = FaultyApp::new(AnalyticalApp::new(0.0), spec(0.0, 0.5, 0.0));
+        let pts = points(50);
+        let hang = pts
+            .iter()
+            .find(|(t, c)| app.persistent_fault(t, c) == Some(InjectedFault::Hang))
+            .expect("50% hang rate should hit within 50 points");
+        let start = std::time::Instant::now();
+        let y = app.evaluate(&hang.0, &hang.1, 3);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        assert_eq!(y, app.inner().evaluate(&hang.0, &hang.1, 3));
+    }
+
+    #[test]
+    fn transient_fault_panics_with_signal_and_varies_with_seed() {
+        let app = FaultyApp::new(AnalyticalApp::new(0.0), spec(0.0, 0.0, 0.3));
+        let t = vec![Value::Real(2.0)];
+        let c = vec![Value::Real(0.4)];
+        let faulty_seed = (0..200u64)
+            .find(|&s| app.injects_transient(&t, &c, s))
+            .expect("30% transient rate should hit within 200 seeds");
+        let clean_seed = (0..200u64)
+            .find(|&s| !app.injects_transient(&t, &c, s))
+            .expect("some seed must be clean");
+
+        let r = catch_unwind(AssertUnwindSafe(|| app.evaluate(&t, &c, faulty_seed)));
+        let payload = r.expect_err("transient evaluation must panic");
+        assert!(
+            payload.downcast_ref::<TransientSignal>().is_some(),
+            "panic payload must be TransientSignal so the executor retries"
+        );
+
+        let y = app.evaluate(&t, &c, clean_seed);
+        assert!(y[0].is_finite());
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let app = FaultyApp::new(AnalyticalApp::new(0.0), FaultSpec::default());
+        for (t, c) in points(50) {
+            assert_eq!(app.persistent_fault(&t, &c), None);
+            assert!(!app.injects_transient(&t, &c, 9));
+            assert_eq!(app.evaluate(&t, &c, 9), app.inner().evaluate(&t, &c, 9));
+        }
+    }
+}

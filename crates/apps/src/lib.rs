@@ -20,6 +20,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod analytical;
+pub mod chaos;
 pub mod hypre;
 pub mod m3dc1;
 pub mod machine;
@@ -30,6 +31,7 @@ pub mod pdsyevx;
 pub mod superlu;
 
 pub use analytical::AnalyticalApp;
+pub use chaos::{FaultSpec, FaultyApp, InjectedFault};
 pub use hypre::HypreApp;
 pub use m3dc1::M3dc1App;
 pub use machine::MachineModel;

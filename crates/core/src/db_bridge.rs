@@ -10,14 +10,14 @@
 //! construction, and end-of-run archiving.
 
 use crate::history::History;
-use crate::mla::Evaluations;
+use crate::mla::{EvalFailure, Evaluations};
 use crate::options::MlaOptions;
 use crate::problem::TuningProblem;
 use gptune_db::{
-    fnv1a, Checkpoint, CheckpointKind, Db, DbEntry, DbRecord, DbValue, Provenance, Query, RunStats,
-    RunSummary,
+    fnv1a, Checkpoint, CheckpointKind, CkptFail, Db, DbEntry, DbRecord, DbValue, FailKind,
+    FailRecord, Provenance, Query, RunStats, RunSummary,
 };
-use gptune_runtime::PhaseStats;
+use gptune_runtime::{FailureKind, PhaseStats};
 use gptune_space::{Config, Param, ParamKind, Value};
 use std::path::Path;
 use std::time::Duration;
@@ -48,6 +48,26 @@ pub fn config_to_db(c: &[Value]) -> Vec<DbValue> {
 /// Converts a stored configuration back to space values.
 pub fn db_to_config(c: &[DbValue]) -> Config {
     c.iter().map(db_to_value).collect()
+}
+
+/// Runtime failure classification → storage form.
+pub fn failure_kind_to_db(k: FailureKind) -> FailKind {
+    match k {
+        FailureKind::Crashed => FailKind::Crashed,
+        FailureKind::TimedOut => FailKind::TimedOut,
+        FailureKind::Invalid => FailKind::Invalid,
+        FailureKind::Transient => FailKind::Transient,
+    }
+}
+
+/// Storage failure classification → runtime form.
+pub fn db_to_failure_kind(k: FailKind) -> FailureKind {
+    match k {
+        FailKind::Crashed => FailureKind::Crashed,
+        FailKind::TimedOut => FailureKind::TimedOut,
+        FailKind::Invalid => FailureKind::Invalid,
+        FailKind::Transient => FailureKind::Transient,
+    }
 }
 
 /// Stable signature of a problem's *structure*: name, task space, tuning
@@ -97,6 +117,11 @@ pub fn stats_to_db(s: &PhaseStats) -> RunStats {
         modeling_wall_secs: s.modeling_wall.as_secs_f64(),
         search_wall_secs: s.search_wall.as_secs_f64(),
         n_evals: s.n_evals as u64,
+        n_crashed: s.n_crashed as u64,
+        n_timed_out: s.n_timed_out as u64,
+        n_invalid: s.n_invalid as u64,
+        n_transient: s.n_transient as u64,
+        n_retries: s.n_retries as u64,
     }
 }
 
@@ -109,6 +134,11 @@ pub fn stats_from_db(s: &RunStats) -> PhaseStats {
         modeling_wall: secs(s.modeling_wall_secs),
         search_wall: secs(s.search_wall_secs),
         n_evals: s.n_evals as usize,
+        n_crashed: s.n_crashed as usize,
+        n_timed_out: s.n_timed_out as usize,
+        n_invalid: s.n_invalid as usize,
+        n_transient: s.n_transient as usize,
+        n_retries: s.n_retries as usize,
     }
 }
 
@@ -166,6 +196,16 @@ pub(crate) fn checkpoint_from_run(
             .collect(),
         outputs: evals.outputs.clone(),
         stats: stats_to_db(stats),
+        fails: evals
+            .failures
+            .iter()
+            .map(|f| CkptFail {
+                index: f.index,
+                kind: failure_kind_to_db(f.kind),
+                attempts: f.attempts as u64,
+                elapsed_secs: f.elapsed_secs,
+            })
+            .collect(),
     }
 }
 
@@ -197,6 +237,16 @@ pub(crate) fn evals_from_checkpoint(ckpt: &Checkpoint) -> Evaluations {
             .map(|(t, c)| (*t, db_to_config(c)))
             .collect(),
         outputs: ckpt.outputs.clone(),
+        failures: ckpt
+            .fails
+            .iter()
+            .map(|f| EvalFailure {
+                index: f.index,
+                kind: db_to_failure_kind(f.kind),
+                attempts: f.attempts as u32,
+                elapsed_secs: f.elapsed_secs,
+            })
+            .collect(),
     }
 }
 
@@ -247,8 +297,12 @@ pub(crate) fn preload_from_db(
 }
 
 /// Appends this run's fresh evaluations (skipping the `n_preloaded`
-/// archived ones) plus a run summary to the problem's journal. Returns the
-/// number of entries written.
+/// archived ones), its classified failure records, and a run summary to
+/// the problem's journal. Returns the number of entries written.
+///
+/// Failure records make the fault knowledge durable: a later run that
+/// reads the archive loads them via [`known_failures`] and never
+/// re-executes a configuration recorded as crashing.
 pub(crate) fn archive_run(
     db: &Db,
     problem: &TuningProblem,
@@ -275,6 +329,22 @@ pub(crate) fn archive_run(
             prov: prov.clone(),
         }));
     }
+    for f in &evals.failures {
+        if f.index < n_preloaded || f.index >= evals.points.len() {
+            continue;
+        }
+        let (t, cfg) = &evals.points[f.index];
+        entries.push(DbEntry::Fail(FailRecord {
+            problem: problem.name.clone(),
+            sig,
+            task: config_to_db(&problem.tasks[*t]),
+            config: config_to_db(cfg),
+            kind: failure_kind_to_db(f.kind),
+            attempts: f.attempts as u64,
+            elapsed_secs: f.elapsed_secs,
+            prov: prov.clone(),
+        }));
+    }
     entries.push(DbEntry::Run(RunSummary {
         problem: problem.name.clone(),
         sig,
@@ -282,6 +352,33 @@ pub(crate) fn archive_run(
         stats: stats_to_db(stats),
     }));
     db.append(&entries)
+}
+
+/// Archived failure records matching this problem's tasks, as
+/// `(task_idx, config, kind)` triples — the skip set the evaluation layer
+/// consults before executing a configuration. Records with foreign tasks
+/// or wrong config arity are ignored.
+pub(crate) fn known_failures(
+    db: &Db,
+    problem: &TuningProblem,
+    sig: u64,
+) -> std::io::Result<Vec<(usize, Config, FailureKind)>> {
+    let recs = db.failures(&problem.name, sig)?;
+    let mut out: Vec<(usize, Config, FailureKind)> = Vec::new();
+    for r in recs {
+        let task = db_to_config(&r.task);
+        let Some(idx) = problem.tasks.iter().position(|t| t == &task) else {
+            continue;
+        };
+        let cfg = db_to_config(&r.config);
+        if cfg.len() != problem.beta() {
+            continue;
+        }
+        if !out.iter().any(|(t, c, _)| *t == idx && *c == cfg) {
+            out.push((idx, cfg, db_to_failure_kind(r.kind)));
+        }
+    }
+    Ok(out)
 }
 
 /// Loads every archived evaluation of `problem` from a `gptune-db` archive
@@ -372,11 +469,33 @@ mod tests {
             modeling_wall: Duration::from_millis(1500),
             search_wall: Duration::from_millis(750),
             n_evals: 14,
+            n_crashed: 2,
+            n_timed_out: 1,
+            n_invalid: 3,
+            n_transient: 4,
+            n_retries: 9,
         };
         let back = stats_from_db(&stats_to_db(&s));
         assert_eq!(back.n_evals, 14);
         assert!((back.objective_virtual_secs - 12.5).abs() < 1e-12);
         assert!((back.modeling_wall.as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(back.n_crashed, 2);
+        assert_eq!(back.n_timed_out, 1);
+        assert_eq!(back.n_invalid, 3);
+        assert_eq!(back.n_transient, 4);
+        assert_eq!(back.n_retries, 9);
+    }
+
+    #[test]
+    fn failure_kind_roundtrips_through_db_form() {
+        for k in [
+            FailureKind::Crashed,
+            FailureKind::TimedOut,
+            FailureKind::Invalid,
+            FailureKind::Transient,
+        ] {
+            assert_eq!(db_to_failure_kind(failure_kind_to_db(k)), k);
+        }
     }
 
     #[test]
@@ -395,6 +514,12 @@ mod tests {
                 (1, vec![Value::Real(0.75), Value::Int(16)]),
             ],
             outputs: vec![vec![1.0], vec![2.0]],
+            failures: vec![EvalFailure {
+                index: 1,
+                kind: FailureKind::TimedOut,
+                attempts: 2,
+                elapsed_secs: 0.4,
+            }],
         };
         let o = MlaOptions::default().with_seed(4).with_budget(10);
         let c = checkpoint_from_run(
@@ -420,6 +545,7 @@ mod tests {
         let back = evals_from_checkpoint(&c);
         assert_eq!(back.points, evals.points);
         assert_eq!(back.outputs, evals.outputs);
+        assert_eq!(back.failures, evals.failures);
     }
 
     #[test]
@@ -434,6 +560,7 @@ mod tests {
                 (1, vec![Value::Real(0.25), Value::Int(4)]),
             ],
             outputs: vec![vec![1.5], vec![2.5]],
+            failures: vec![],
         };
         let o = MlaOptions::default().with_seed(1).with_budget(2);
         let prov = provenance(&o, p.n_tasks());
@@ -450,6 +577,43 @@ mod tests {
         assert_eq!(h.best_for_task(&p.tasks[0]).unwrap().outputs[0], 1.5);
 
         // Preloaded records are excluded from a later archive pass.
+        let n2 = archive_run(&db, &p, sig, &evals, 2, &prov, &PhaseStats::default()).unwrap();
+        assert_eq!(n2, 1, "only the run summary");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn archive_persists_failures_and_known_failures_reloads_them() {
+        let root = tmp_root("fails");
+        let db = Db::open(&root).unwrap();
+        let p = toy("fails");
+        let sig = problem_signature(&p);
+        let bad_cfg = vec![Value::Real(0.9), Value::Int(32)];
+        let evals = Evaluations {
+            points: vec![
+                (0, vec![Value::Real(0.5), Value::Int(8)]),
+                (1, bad_cfg.clone()),
+            ],
+            outputs: vec![vec![1.5], vec![f64::INFINITY]],
+            failures: vec![EvalFailure {
+                index: 1,
+                kind: FailureKind::Crashed,
+                attempts: 1,
+                elapsed_secs: 0.01,
+            }],
+        };
+        let o = MlaOptions::default().with_seed(1).with_budget(2);
+        let prov = provenance(&o, p.n_tasks());
+        let n = archive_run(&db, &p, sig, &evals, 0, &prov, &PhaseStats::default()).unwrap();
+        assert_eq!(n, 4, "2 evals + 1 fail + 1 run summary");
+
+        let known = known_failures(&db, &p, sig).unwrap();
+        assert_eq!(known.len(), 1);
+        assert_eq!(known[0].0, 1);
+        assert_eq!(known[0].1, bad_cfg);
+        assert_eq!(known[0].2, FailureKind::Crashed);
+
+        // Failures pointing at preloaded points are not re-archived.
         let n2 = archive_run(&db, &p, sig, &evals, 2, &prov, &PhaseStats::default()).unwrap();
         assert_eq!(n2, 1, "only the run summary");
         let _ = std::fs::remove_dir_all(&root);

@@ -23,7 +23,9 @@ use gptune_db::CheckpointKind;
 use gptune_gp::gp::{expected_improvement, lower_confidence_bound, probability_of_improvement};
 use gptune_gp::{LcmFitOptions, LcmModel};
 use gptune_opt::{cmaes, de, pso};
-use gptune_runtime::{with_pool, Phase, PhaseTimer, WorkerGroup};
+use gptune_runtime::{
+    with_pool, EvalOutcome, FailureKind, JobStatus, Phase, PhaseTimer, WorkerGroup,
+};
 use gptune_space::sampling;
 use gptune_space::{Config, Value};
 use rand::rngs::StdRng;
@@ -74,12 +76,31 @@ pub struct MlaResult {
     pub completed: bool,
 }
 
+/// A failed evaluation, classified by the fault-tolerant runtime and kept
+/// alongside the (censored) output it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EvalFailure {
+    /// Index into [`Evaluations::points`] of the evaluation that failed.
+    pub index: usize,
+    /// Failure classification.
+    pub kind: FailureKind,
+    /// Execution attempts behind the failure (0 = skipped because the
+    /// archive already recorded this configuration as failing).
+    pub attempts: u32,
+    /// Seconds lost to the failure (wall-clock for crashes/timeouts,
+    /// virtual objective seconds for invalid measurements).
+    pub elapsed_secs: f64,
+}
+
 /// Internal bookkeeping shared with the multi-objective driver.
 pub(crate) struct Evaluations {
     /// `(task_idx, config)` of every evaluation, in order.
     pub points: Vec<(usize, Config)>,
-    /// Objective vectors, aligned with `points`.
+    /// Objective vectors, aligned with `points` (failed evaluations hold
+    /// `INFINITY` in every component).
     pub outputs: Vec<Vec<f64>>,
+    /// Classified failures, each pointing into `points`.
+    pub failures: Vec<EvalFailure>,
 }
 
 impl Evaluations {
@@ -87,6 +108,7 @@ impl Evaluations {
         Evaluations {
             points: Vec::new(),
             outputs: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -99,50 +121,166 @@ impl Evaluations {
 }
 
 /// Evaluates a batch of `(task, config)` points in parallel over the
-/// evaluation worker group, honouring min-of-k runs and recording virtual
-/// objective time (output 0 is the runtime; repeated runs all cost time).
+/// fault-tolerant evaluation worker group, honouring min-of-k runs and
+/// recording virtual objective time (output 0 is the runtime; repeated
+/// runs all cost time).
+///
+/// Runs under the [`gptune_runtime::FaultPolicy`] derived from `opts`: a
+/// panicking objective is isolated, a hung one is expired by the watchdog
+/// deadline, and transient faults are retried with backoff. Failed
+/// evaluations come back censored (`INFINITY` in every output component)
+/// plus a classified [`EvalFailure`] record. Points matching
+/// `known_failed` — the failure set persisted by earlier runs — are not
+/// re-executed at all: they return the censored output immediately with
+/// an `attempts == 0` record.
+///
+/// Retry attempts perturb the objective seed (attempt 0 reproduces the
+/// fault-free seed exactly), so a *transient* fault injected by seed is
+/// actually survivable while deterministic behavior is unchanged.
 pub(crate) fn evaluate_batch(
     problem: &TuningProblem,
     batch: Vec<(usize, Config)>,
     opts: &MlaOptions,
     timer: &PhaseTimer,
     eval_offset: usize,
-) -> Vec<Vec<f64>> {
-    let group = WorkerGroup::spawn(opts.eval_workers);
-    let objective = problem.objective.clone();
-    let tasks = problem.tasks.clone();
-    let runs = opts.runs_per_eval.max(1);
+    known_failed: &[(usize, Config, FailureKind)],
+) -> (Vec<Vec<f64>>, Vec<EvalFailure>) {
     let gamma = problem.n_objectives;
-    let seed = opts.seed;
-    let indexed: Vec<(usize, (usize, Config))> = batch.into_iter().enumerate().collect();
-    let results = group.map(indexed, move |(k, (task_idx, config))| {
-        let base = seed
-            .wrapping_mul(0x100000001b3)
-            .wrapping_add((eval_offset + k) as u64 * 1000);
-        let mut best = vec![f64::INFINITY; gamma];
-        let mut spent = 0.0;
-        for r in 0..runs {
-            let out = objective(&tasks[task_idx], &config, base.wrapping_add(r as u64));
-            assert_eq!(out.len(), gamma, "objective arity mismatch");
-            if out[0].is_finite() {
-                spent += out[0].max(0.0);
+    let mut outputs: Vec<Vec<f64>> = vec![Vec::new(); batch.len()];
+    let mut failures: Vec<EvalFailure> = Vec::new();
+
+    // Skip configurations the archive already recorded as failing.
+    let mut live: Vec<(usize, (usize, Config))> = Vec::new();
+    for (k, (task_idx, config)) in batch.into_iter().enumerate() {
+        match known_failed
+            .iter()
+            .find(|(t, c, _)| *t == task_idx && *c == config)
+        {
+            Some((_, _, kind)) => {
+                outputs[k] = vec![f64::INFINITY; gamma];
+                failures.push(EvalFailure {
+                    index: eval_offset + k,
+                    kind: *kind,
+                    attempts: 0,
+                    elapsed_secs: 0.0,
+                });
+                timer.add_objective_run(0.0);
+                timer.add_failure(*kind);
             }
-            for (b, v) in best.iter_mut().zip(&out) {
-                if *v < *b {
-                    *b = *v;
+            None => live.push((k, (task_idx, config))),
+        }
+    }
+
+    if !live.is_empty() {
+        let group = WorkerGroup::spawn(opts.eval_workers);
+        let objective = problem.objective.clone();
+        let tasks = problem.tasks.clone();
+        let runs = opts.runs_per_eval.max(1);
+        let seed = opts.seed;
+        let policy = opts.fault_policy();
+        let slots: Vec<usize> = live.iter().map(|(k, _)| *k).collect();
+        let outcomes = group
+            .try_map(live, &policy, move |(k, (task_idx, config)), attempt| {
+                let base = seed
+                    .wrapping_mul(0x100000001b3)
+                    .wrapping_add((eval_offset + k) as u64 * 1000)
+                    .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut best = vec![f64::INFINITY; gamma];
+                let mut spent = 0.0;
+                for r in 0..runs {
+                    let out = objective(&tasks[*task_idx], config, base.wrapping_add(r as u64));
+                    assert_eq!(out.len(), gamma, "objective arity mismatch");
+                    if out[0].is_finite() {
+                        spent += out[0].max(0.0);
+                    }
+                    for (b, v) in best.iter_mut().zip(&out) {
+                        if *v < *b {
+                            *b = *v;
+                        }
+                    }
+                }
+                if best[0].is_finite() {
+                    JobStatus::Ok((best, spent))
+                } else {
+                    JobStatus::Invalid((best, spent))
+                }
+            })
+            .expect("freshly spawned evaluation group is open");
+        group.shutdown();
+
+        for (k, outcome) in slots.into_iter().zip(outcomes) {
+            let attempts = outcome.attempts();
+            if attempts > 1 {
+                timer.add_retries((attempts - 1) as usize);
+            }
+            match outcome {
+                EvalOutcome::Ok {
+                    value: (best, spent),
+                    ..
+                } => {
+                    timer.add_objective_run(spent);
+                    outputs[k] = best;
+                }
+                EvalOutcome::Invalid {
+                    value: (best, spent),
+                    attempts,
+                } => {
+                    timer.add_objective_run(spent);
+                    timer.add_failure(FailureKind::Invalid);
+                    failures.push(EvalFailure {
+                        index: eval_offset + k,
+                        kind: FailureKind::Invalid,
+                        attempts,
+                        elapsed_secs: spent,
+                    });
+                    outputs[k] = best;
+                }
+                failed => {
+                    let kind = failed
+                        .failure_kind()
+                        .expect("non-Ok outcome has a failure kind");
+                    let elapsed_secs = match &failed {
+                        EvalOutcome::Crashed { elapsed, .. }
+                        | EvalOutcome::TimedOut { elapsed, .. }
+                        | EvalOutcome::Transient { elapsed, .. } => elapsed.as_secs_f64(),
+                        _ => 0.0,
+                    };
+                    timer.add_objective_run(0.0);
+                    timer.add_failure(kind);
+                    failures.push(EvalFailure {
+                        index: eval_offset + k,
+                        kind,
+                        attempts,
+                        elapsed_secs,
+                    });
+                    outputs[k] = vec![f64::INFINITY; gamma];
                 }
             }
         }
-        (best, spent)
-    });
-    group.shutdown();
-    results
-        .into_iter()
-        .map(|(best, spent)| {
-            timer.add_objective_run(spent);
-            best
-        })
-        .collect()
+    }
+
+    failures.sort_by_key(|f| f.index);
+    (outputs, failures)
+}
+
+/// Failure set persisted by earlier runs, loaded for runs that read from
+/// the archive (warm starts and checkpointed runs) so known-crashing
+/// configurations are never re-executed. Fresh runs without a database
+/// skip nothing.
+pub(crate) fn load_known_failures(
+    db: &Option<gptune_db::Db>,
+    problem: &TuningProblem,
+    sig: u64,
+    opts: &MlaOptions,
+) -> Vec<(usize, Config, FailureKind)> {
+    if !(opts.warm_start_from_db || opts.checkpointing()) {
+        return Vec::new();
+    }
+    match db {
+        Some(db) => db_bridge::known_failures(db, problem, sig)
+            .unwrap_or_else(|e| panic!("gptune-db: cannot read failure records: {e}")),
+        None => Vec::new(),
+    }
 }
 
 /// Draws the initial per-task designs (sampling phase).
@@ -209,11 +347,13 @@ pub(crate) fn build_inputs(
     objective_idx: usize,
     opts: &MlaOptions,
 ) -> (SurrogateInputs, Vec<f64>) {
-    let y: Vec<f64> = evals
-        .outputs
-        .iter()
-        .map(|o| transform_objective(o[objective_idx], opts.log_objective))
-        .collect();
+    let y: Vec<f64> = censor_failures(
+        evals
+            .outputs
+            .iter()
+            .map(|o| transform_objective(o[objective_idx], opts.log_objective))
+            .collect(),
+    );
 
     let base: Vec<Vec<f64>> = evals
         .points
@@ -273,13 +413,40 @@ pub(crate) fn build_inputs(
 /// Objective transform for modeling (log for positive runtimes).
 pub(crate) fn transform_objective(y: f64, log: bool) -> f64 {
     if !y.is_finite() {
-        return f64::INFINITY; // LCM replaces with worst finite
+        return f64::INFINITY; // censored by `censor_failures` before the fit
     }
     if log {
         y.max(1e-12).ln()
     } else {
         y
     }
+}
+
+/// Censors failed evaluations for the surrogate fit: every non-finite
+/// target becomes a penalty one spread above the worst observed success —
+/// GPTune's "large value" treatment of failed runs. The surrogate learns
+/// that the region is bad without an infinity degenerating the fit (the
+/// raw `INFINITY` would collapse onto the worst success, erasing the
+/// failure signal), and a batch where *everything* failed still yields a
+/// finite (constant) target vector instead of panicking the LCM.
+pub(crate) fn censor_failures(mut y: Vec<f64>) -> Vec<f64> {
+    if y.iter().all(|v| v.is_finite()) {
+        return y;
+    }
+    let finite: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
+    let penalty = if finite.is_empty() {
+        0.0
+    } else {
+        let worst = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+        worst + (worst - best).max(1.0)
+    };
+    for v in &mut y {
+        if !v.is_finite() {
+            *v = penalty;
+        }
+    }
+    y
 }
 
 /// One EI/PSO search for a single task. Returns a feasible, non-duplicate
@@ -418,6 +585,7 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
     let n_init = opts.initial_samples();
     let db = db_bridge::open_db(opts);
     let sig = db_bridge::problem_signature(problem);
+    let known_failed = load_known_failures(&db, problem, sig, opts);
 
     // --- Resume: adopt a checkpoint that matches this exact run ---
     let mut evals = Evaluations::new();
@@ -464,11 +632,12 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let batch = initial_designs(problem, n_init, &mut rng);
         let offset = evals.points.len();
-        let outputs = timer.time(Phase::Objective, || {
-            evaluate_batch(problem, batch.clone(), opts, &timer, offset)
+        let (outputs, fails) = timer.time(Phase::Objective, || {
+            evaluate_batch(problem, batch.clone(), opts, &timer, offset, &known_failed)
         });
         evals.points.extend(batch);
         evals.outputs.extend(outputs);
+        evals.failures.extend(fails);
         eps = (evals.points.len() - n_preloaded) / delta.max(1);
 
         // Checkpoint the (expensive) initial design immediately: a run
@@ -551,11 +720,19 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
 
         // Evaluate the δ new points.
         let offset = evals.points.len();
-        let outputs = timer.time(Phase::Objective, || {
-            evaluate_batch(problem, new_points.clone(), opts, &timer, offset)
+        let (outputs, fails) = timer.time(Phase::Objective, || {
+            evaluate_batch(
+                problem,
+                new_points.clone(),
+                opts,
+                &timer,
+                offset,
+                &known_failed,
+            )
         });
         evals.points.extend(new_points);
         evals.outputs.extend(outputs);
+        evals.failures.extend(fails);
         eps += 1;
         iteration += 1;
         iters_this_process += 1;
@@ -831,5 +1008,84 @@ mod tests {
     fn multiobjective_rejected() {
         let p = toy_problem(1).with_objectives(2);
         let _ = tune(&p, &fast_opts(8));
+    }
+
+    #[test]
+    fn censoring_penalizes_failures_above_worst_success() {
+        let y = censor_failures(vec![1.0, f64::INFINITY, 3.0, f64::NAN]);
+        assert_eq!(y[0], 1.0);
+        assert_eq!(y[2], 3.0);
+        // Penalty = worst + max(spread, 1) = 3 + 2 = 5.
+        assert_eq!(y[1], 5.0);
+        assert_eq!(y[3], 5.0);
+        // All-failed batches become a finite constant (no LCM panic).
+        let all = censor_failures(vec![f64::INFINITY, f64::NAN]);
+        assert_eq!(all, vec![0.0, 0.0]);
+        // Fully-finite input is untouched.
+        assert_eq!(censor_failures(vec![2.0, 4.0]), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn crashing_objective_is_isolated_and_censored() {
+        // The objective panics on the left half of the domain; LHS
+        // stratification guarantees the sampling phase hits it, and the
+        // tuner must survive, classify, and still find the right optimum.
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let p = TuningProblem::new("crashy", ts, ps, vec![vec![Value::Real(0.0)]], |_, x, _| {
+            let xv = x[0].as_real();
+            assert!(xv >= 0.5, "simulated application crash at x = {xv}");
+            vec![1.0 + (xv - 0.7).powi(2)]
+        });
+        let r = tune(&p, &fast_opts(10));
+        let tr = &r.per_task[0];
+        assert_eq!(tr.samples.len(), 10);
+        assert!(tr.best_value.is_finite());
+        assert!((tr.best_config[0].as_real() - 0.7).abs() < 0.1);
+        assert!(r.stats.n_crashed >= 1, "stats: {:?}", r.stats);
+        // Crashed evaluations appear in the samples as censored INFINITY.
+        assert!(tr.samples.iter().any(|(_, y)| y.is_infinite()));
+        assert_eq!(r.stats.n_evals, 10);
+    }
+
+    #[test]
+    fn evaluate_batch_skips_known_failed_configs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = Arc::clone(&calls);
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let p = TuningProblem::new(
+            "skippy",
+            ts,
+            ps,
+            vec![vec![Value::Real(0.0)]],
+            move |_, x, _| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                vec![x[0].as_real()]
+            },
+        );
+        let bad: Config = vec![Value::Real(0.25)];
+        let good: Config = vec![Value::Real(0.75)];
+        let known = vec![(0usize, bad.clone(), FailureKind::Crashed)];
+        let timer = PhaseTimer::new();
+        let (outputs, fails) = evaluate_batch(
+            &p,
+            vec![(0, bad), (0, good)],
+            &MlaOptions::default(),
+            &timer,
+            5,
+            &known,
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "known-failed re-executed");
+        assert!(outputs[0][0].is_infinite());
+        assert_eq!(outputs[1], vec![0.75]);
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].index, 5);
+        assert_eq!(fails[0].kind, FailureKind::Crashed);
+        assert_eq!(fails[0].attempts, 0);
+        assert_eq!(timer.snapshot().n_crashed, 1);
+        assert_eq!(timer.snapshot().n_evals, 2);
     }
 }

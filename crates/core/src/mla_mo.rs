@@ -7,7 +7,10 @@
 //! *observed* samples (the black dots of Fig. 7).
 
 use crate::db_bridge;
-use crate::mla::{build_inputs, evaluate_batch, initial_designs, transform_objective, Evaluations};
+use crate::mla::{
+    build_inputs, evaluate_batch, initial_designs, load_known_failures, transform_objective,
+    Evaluations,
+};
 use crate::options::MlaOptions;
 use crate::problem::TuningProblem;
 use gptune_db::CheckpointKind;
@@ -69,6 +72,7 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
     let k = opts.k_per_iter.max(1);
     let db = db_bridge::open_db(opts);
     let sig = db_bridge::problem_signature(problem);
+    let known_failed = load_known_failures(&db, problem, sig, opts);
 
     // --- Resume: adopt a checkpoint that matches this exact run ---
     let mut evals = Evaluations::new();
@@ -114,11 +118,12 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let batch = initial_designs(problem, n_init, &mut rng);
         let offset = evals.points.len();
-        let outputs = timer.time(Phase::Objective, || {
-            evaluate_batch(problem, batch.clone(), opts, &timer, offset)
+        let (outputs, fails) = timer.time(Phase::Objective, || {
+            evaluate_batch(problem, batch.clone(), opts, &timer, offset, &known_failed)
         });
         evals.points.extend(batch);
         evals.outputs.extend(outputs);
+        evals.failures.extend(fails);
         eps = (evals.points.len() - n_preloaded) / delta.max(1);
 
         if opts.checkpointing() {
@@ -272,11 +277,19 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         });
 
         let offset = evals.points.len();
-        let outputs = timer.time(Phase::Objective, || {
-            evaluate_batch(problem, new_points.clone(), opts, &timer, offset)
+        let (outputs, fails) = timer.time(Phase::Objective, || {
+            evaluate_batch(
+                problem,
+                new_points.clone(),
+                opts,
+                &timer,
+                offset,
+                &known_failed,
+            )
         });
         evals.points.extend(new_points);
         evals.outputs.extend(outputs);
+        evals.failures.extend(fails);
         eps += k;
         iteration += 1;
         iters_this_process += 1;

@@ -4,6 +4,8 @@ use gptune_gp::LcmFitOptions;
 
 use gptune_opt::nsga2::Nsga2Options;
 use gptune_opt::pso::PsoOptions;
+use gptune_runtime::FaultPolicy;
+use std::time::Duration;
 
 /// Global optimizer used to maximize the acquisition function in the
 /// search phase. The paper uses PSO ("global, evolutionary algorithms
@@ -102,6 +104,19 @@ pub struct MlaOptions {
     /// Machine identifier recorded in archive provenance (GPTune archives
     /// are keyed by machine so cross-machine records stay comparable).
     pub machine_id: Option<String>,
+    /// Per-evaluation wall-clock deadline enforced by the evaluation
+    /// worker group's watchdog. An evaluation still running past the
+    /// deadline is abandoned (its worker is replaced) and recorded as
+    /// timed out with a censored objective. `None` disables the watchdog
+    /// — appropriate when the objective is trusted never to hang.
+    pub eval_deadline: Option<Duration>,
+    /// Retry budget for *transient* evaluation failures (spurious node
+    /// faults, recoverable launcher errors). Crashes and invalid
+    /// measurements are never retried — they are assumed deterministic.
+    pub eval_max_retries: u32,
+    /// Base delay of the exponential backoff between transient retries
+    /// (doubles per attempt, capped at 100× the base).
+    pub eval_backoff: Duration,
 }
 
 impl Default for MlaOptions {
@@ -136,6 +151,9 @@ impl Default for MlaOptions {
             stop_after_iterations: None,
             warm_start_from_db: false,
             machine_id: None,
+            eval_deadline: None,
+            eval_max_retries: 2,
+            eval_backoff: Duration::from_millis(5),
         }
     }
 }
@@ -179,6 +197,23 @@ impl MlaOptions {
     /// `true` when this options set can read/write checkpoints.
     pub fn checkpointing(&self) -> bool {
         self.db_path.is_some() && self.checkpoint_every > 0
+    }
+
+    /// Convenience: arms the evaluation watchdog with a per-evaluation
+    /// wall-clock deadline.
+    pub fn with_eval_deadline(mut self, deadline: Duration) -> Self {
+        self.eval_deadline = Some(deadline);
+        self
+    }
+
+    /// The [`FaultPolicy`] the evaluation worker group runs under.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        FaultPolicy {
+            deadline: self.eval_deadline,
+            max_retries: self.eval_max_retries,
+            backoff_base: self.eval_backoff,
+            backoff_cap: self.eval_backoff.saturating_mul(100),
+        }
     }
 }
 
@@ -228,5 +263,23 @@ mod tests {
         assert!(!o2.checkpointing());
         o2.checkpoint_every = 0;
         assert!(!o2.checkpointing());
+    }
+
+    #[test]
+    fn fault_policy_reflects_eval_knobs() {
+        let o = MlaOptions::default();
+        let p = o.fault_policy();
+        assert_eq!(p.deadline, None);
+        assert_eq!(p.max_retries, 2);
+
+        let o = MlaOptions::default().with_eval_deadline(Duration::from_millis(250));
+        let mut o = o;
+        o.eval_max_retries = 5;
+        o.eval_backoff = Duration::from_millis(2);
+        let p = o.fault_policy();
+        assert_eq!(p.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(p.max_retries, 5);
+        assert_eq!(p.backoff_base, Duration::from_millis(2));
+        assert_eq!(p.backoff_cap, Duration::from_millis(200));
     }
 }

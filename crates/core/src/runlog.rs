@@ -188,6 +188,34 @@ mod tests {
     }
 
     #[test]
+    fn runlog_reports_failure_profile() {
+        // Left half of the domain yields unusable measurements; the live
+        // runlog and the archived-run rendering must both carry the
+        // failure profile on their stats lines.
+        let dir = std::env::temp_dir().join(format!("gptune_runlog_faults_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ts = Space::builder().param(Param::real("t", 0.0, 1.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let p = TuningProblem::new("faulty", ts, ps, vec![vec![Value::Real(0.5)]], |_, x, _| {
+            let xv = x[0].as_real();
+            if xv < 0.5 {
+                vec![f64::INFINITY]
+            } else {
+                vec![1.0 + (xv - 0.7).powi(2)]
+            }
+        });
+        let o = fast_opts(8).with_db(&dir);
+        let r = mla::tune(&p, &o);
+        assert!(r.stats.n_invalid >= 1, "stats: {:?}", r.stats);
+        let log = format_mla(&p, &r);
+        assert!(log.contains("faults:"), "{log}");
+        assert!(log.contains("invalid"), "{log}");
+        let archived = format_archived_runs(&p, &dir).unwrap();
+        assert!(archived.contains("faults:"), "{archived}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn best_sample_index_found() {
         let p = toy();
         let r = mla::tune(&p, &fast_opts(8));

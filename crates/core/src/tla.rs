@@ -141,8 +141,8 @@ pub fn transfer_tune(
             batch.push((target_idx, cfg));
         }
     }
-    let outputs = timer.time(Phase::Objective, || {
-        evaluate_batch(problem, batch.clone(), opts, &timer, 0)
+    let (outputs, fails) = timer.time(Phase::Objective, || {
+        evaluate_batch(problem, batch.clone(), opts, &timer, 0, &[])
     });
     let mut fresh: Vec<(Config, f64)> = batch
         .iter()
@@ -151,6 +151,7 @@ pub fn transfer_tune(
         .collect();
     evals.points.extend(batch);
     evals.outputs.extend(outputs);
+    evals.failures.extend(fails);
 
     // MLA iterations on the target only.
     let mut iteration = 0usize;
@@ -187,18 +188,20 @@ pub fn transfer_tune(
             )
         });
         let offset = evals.points.len();
-        let out = timer.time(Phase::Objective, || {
+        let (out, fails) = timer.time(Phase::Objective, || {
             evaluate_batch(
                 problem,
                 vec![(target_idx, cfg.clone())],
                 opts,
                 &timer,
                 offset,
+                &[],
             )
         });
         fresh.push((cfg.clone(), out[0][0]));
         evals.points.push((target_idx, cfg));
         evals.outputs.push(out.into_iter().next().unwrap());
+        evals.failures.extend(fails);
         iteration += 1;
     }
 

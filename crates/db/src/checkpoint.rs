@@ -14,7 +14,7 @@
 
 use crate::fsio;
 use crate::json::{self, Json};
-use crate::record::{DbValue, RunStats};
+use crate::record::{DbValue, FailKind, RunStats};
 use std::io;
 use std::path::Path;
 
@@ -67,8 +67,25 @@ pub struct Checkpoint {
     pub points: Vec<(usize, Vec<DbValue>)>,
     /// Objective vectors aligned with `points`.
     pub outputs: Vec<Vec<f64>>,
+    /// Classified failures among `points` (indices into `points`), so a
+    /// resumed run carries its failure set forward and archives it on
+    /// completion without re-evaluating known-failing configurations.
+    pub fails: Vec<CkptFail>,
     /// Accumulated phase statistics at checkpoint time.
     pub stats: RunStats,
+}
+
+/// One classified failure recorded in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptFail {
+    /// Index into [`Checkpoint::points`].
+    pub index: usize,
+    /// Failure classification.
+    pub kind: FailKind,
+    /// Number of execution attempts.
+    pub attempts: u64,
+    /// Wall-clock seconds from first dispatch to final failure.
+    pub elapsed_secs: f64,
 }
 
 impl Checkpoint {
@@ -102,6 +119,22 @@ impl Checkpoint {
             ("n_preloaded".into(), Json::Int(self.n_preloaded as i64)),
             ("points".into(), points),
             ("outputs".into(), outputs),
+            (
+                "fails".into(),
+                Json::Arr(
+                    self.fails
+                        .iter()
+                        .map(|f| {
+                            Json::Arr(vec![
+                                Json::Int(f.index as i64),
+                                Json::Str(f.kind.as_str().into()),
+                                Json::from_u64(f.attempts),
+                                Json::from_f64(f.elapsed_secs),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("stats".into(), stats_to_json(&self.stats)),
         ])
         .to_string()
@@ -159,6 +192,32 @@ impl Checkpoint {
         if points.len() != outputs.len() {
             return Err("points/outputs length mismatch".into());
         }
+        // Absent in checkpoints written before the fault-tolerant
+        // runtime: default to no recorded failures.
+        let fails = match j.get("fails") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_arr()
+                .ok_or("bad 'fails'")?
+                .iter()
+                .map(|f| {
+                    let parts = f.as_arr()?;
+                    if parts.len() != 4 {
+                        return None;
+                    }
+                    Some(CkptFail {
+                        index: usize::try_from(parts[0].as_i64()?).ok()?,
+                        kind: FailKind::parse(parts[1].as_str()?)?,
+                        attempts: parts[2].as_u64()?,
+                        elapsed_secs: parts[3].as_f64()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("bad 'fails'")?,
+        };
+        if fails.iter().any(|f| f.index >= points.len()) {
+            return Err("fail index out of range".into());
+        }
         let stats = j.get("stats").map(stats_from_json).unwrap_or_default();
         Ok(Checkpoint {
             kind,
@@ -170,6 +229,7 @@ impl Checkpoint {
             n_preloaded,
             points,
             outputs,
+            fails,
             stats,
         })
     }
@@ -227,30 +287,11 @@ fn dbvalue_from_json(j: &Json) -> Option<DbValue> {
 }
 
 fn stats_to_json(s: &RunStats) -> Json {
-    Json::Obj(vec![
-        (
-            "objective_s".into(),
-            Json::from_f64(s.objective_virtual_secs),
-        ),
-        (
-            "objective_wall_s".into(),
-            Json::from_f64(s.objective_wall_secs),
-        ),
-        ("modeling_s".into(), Json::from_f64(s.modeling_wall_secs)),
-        ("search_s".into(), Json::from_f64(s.search_wall_secs)),
-        ("n_evals".into(), Json::from_u64(s.n_evals)),
-    ])
+    s.to_json()
 }
 
 fn stats_from_json(j: &Json) -> RunStats {
-    let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
-    RunStats {
-        objective_virtual_secs: f("objective_s"),
-        objective_wall_secs: f("objective_wall_s"),
-        modeling_wall_secs: f("modeling_s"),
-        search_wall_secs: f("search_s"),
-        n_evals: j.get("n_evals").and_then(Json::as_u64).unwrap_or(0),
-    }
+    RunStats::from_json(j)
 }
 
 #[cfg(test)]
@@ -280,12 +321,20 @@ mod tests {
                 (0, vec![DbValue::Cat(1), DbValue::Int(16)]),
             ],
             outputs: vec![vec![1.5], vec![f64::INFINITY], vec![2.25]],
+            fails: vec![CkptFail {
+                index: 1,
+                kind: FailKind::Crashed,
+                attempts: 2,
+                elapsed_secs: 0.5,
+            }],
             stats: RunStats {
                 objective_virtual_secs: 55.5,
                 objective_wall_secs: 0.25,
                 modeling_wall_secs: 1.5,
                 search_wall_secs: 0.75,
                 n_evals: 14,
+                n_crashed: 1,
+                ..RunStats::default()
             },
         }
     }
@@ -337,6 +386,30 @@ mod tests {
         let mut c = sample();
         c.outputs.pop();
         assert!(Checkpoint::from_json_str(&c.to_json_string()).is_err());
+    }
+
+    #[test]
+    fn fails_roundtrip_and_validate() {
+        let c = sample();
+        let back = Checkpoint::from_json_str(&c.to_json_string()).unwrap();
+        assert_eq!(back.fails, c.fails);
+        // A failure index past the archive is a corrupt snapshot.
+        let mut bad = sample();
+        bad.fails[0].index = bad.points.len();
+        assert!(Checkpoint::from_json_str(&bad.to_json_string()).is_err());
+    }
+
+    #[test]
+    fn checkpoint_without_fails_field_parses_empty() {
+        // Snapshots written before the fault-tolerant runtime have no
+        // "fails" key; they must load with an empty failure set.
+        let mut c = sample();
+        c.fails.clear();
+        let doc = c.to_json_string().replace(",\"fails\":[]", "");
+        assert!(!doc.contains("fails"));
+        let back = Checkpoint::from_json_str(&doc).unwrap();
+        assert_eq!(back.fails, Vec::new());
+        assert_eq!(back.points, c.points);
     }
 
     #[test]

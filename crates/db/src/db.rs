@@ -18,7 +18,7 @@
 use crate::checkpoint::Checkpoint;
 use crate::journal::{self, RecoveryReport};
 use crate::lock::LockOptions;
-use crate::record::{DbEntry, DbRecord, DbValue, RunSummary};
+use crate::record::{DbEntry, DbRecord, DbValue, FailRecord, RunSummary};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -83,6 +83,7 @@ impl Db {
         let (problem, sig) = match first {
             DbEntry::Eval(r) => (r.problem.as_str(), r.sig),
             DbEntry::Run(r) => (r.problem.as_str(), r.sig),
+            DbEntry::Fail(r) => (r.problem.as_str(), r.sig),
         };
         journal::append(&self.journal_path(problem, sig), entries, &self.lock)
     }
@@ -99,7 +100,7 @@ impl Db {
             .into_iter()
             .filter_map(|e| match e {
                 DbEntry::Eval(r) => Some(r),
-                DbEntry::Run(_) => None,
+                _ => None,
             })
             .filter(|r| q.task.as_ref().is_none_or(|t| &r.task == t))
             .filter(|r| q.n_outputs.is_none_or(|n| r.outputs.len() == n))
@@ -114,7 +115,20 @@ impl Db {
             .into_iter()
             .filter_map(|e| match e {
                 DbEntry::Run(r) => Some(r),
-                DbEntry::Eval(_) => None,
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// Archived failure records of a problem, in append order — the
+    /// "known to fail" set consulted before re-evaluating configurations.
+    pub fn failures(&self, problem: &str, sig: u64) -> io::Result<Vec<FailRecord>> {
+        let (entries, _) = self.load(problem, sig)?;
+        Ok(entries
+            .into_iter()
+            .filter_map(|e| match e {
+                DbEntry::Fail(r) => Some(r),
+                _ => None,
             })
             .collect())
     }
@@ -282,6 +296,40 @@ mod tests {
     }
 
     #[test]
+    fn failures_query_filters_fail_entries() {
+        use crate::record::{FailKind, FailRecord};
+        let root = tmp_root("fails");
+        let db = Db::open(&root).unwrap();
+        let fail = DbEntry::Fail(FailRecord {
+            problem: "toy[0]".into(),
+            sig: 0xfeed,
+            task: vec![DbValue::Int(1)],
+            config: vec![DbValue::Int(20)],
+            kind: FailKind::TimedOut,
+            attempts: 1,
+            elapsed_secs: 0.2,
+            prov: Provenance::default(),
+        });
+        db.append(&[rec(1, 10, 1.0), fail.clone(), rec(1, 30, 2.0)])
+            .unwrap();
+        let fails = db.failures("toy[0]", 0xfeed).unwrap();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].kind, FailKind::TimedOut);
+        assert_eq!(fails[0].config, vec![DbValue::Int(20)]);
+        // Fail entries do not leak into eval queries or run summaries.
+        assert_eq!(
+            db.query("toy[0]", 0xfeed, &Query::default()).unwrap().len(),
+            2
+        );
+        assert_eq!(db.run_summaries("toy[0]", 0xfeed).unwrap().len(), 0);
+        // And they dedup like any other entry under compaction.
+        db.append(&[fail]).unwrap();
+        let (kept, dropped) = db.compact("toy[0]", 0xfeed).unwrap();
+        assert_eq!((kept, dropped), (3, 1));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn checkpoint_lifecycle_via_db() {
         use crate::checkpoint::CheckpointKind;
         use crate::record::RunStats;
@@ -298,6 +346,7 @@ mod tests {
             n_preloaded: 0,
             points: vec![(0, vec![DbValue::Real(0.5)])],
             outputs: vec![vec![1.0]],
+            fails: Vec::new(),
             stats: RunStats::default(),
         };
         db.save_checkpoint(&c).unwrap();

@@ -19,8 +19,9 @@
 //! * [`checkpoint`] — full in-flight MLA state (evaluations, iteration
 //!   counters, phase stats) so an interrupted run resumes mid-budget and
 //!   converges to the identical result as an uninterrupted run;
-//! * [`record`] — the versioned journal line format (eval records + run
-//!   summaries carrying the `stats:` phase breakdown), with
+//! * [`record`] — the versioned journal line format (eval records, run
+//!   summaries carrying the `stats:` phase breakdown, and classified
+//!   failure records from the fault-tolerant runtime), with
 //!   forward-compatible parsing (unknown kinds/fields are skipped);
 //! * [`db`] — the archive directory API: append, query (by task /
 //!   output arity / finiteness), merge, compact, checkpoint lifecycle.
@@ -37,9 +38,11 @@ pub mod json;
 pub mod lock;
 pub mod record;
 
-pub use checkpoint::{Checkpoint, CheckpointKind};
+pub use checkpoint::{Checkpoint, CheckpointKind, CkptFail};
 pub use db::{Db, Query};
 pub use fsio::atomic_write;
 pub use journal::RecoveryReport;
 pub use lock::{FileLock, LockOptions};
-pub use record::{fnv1a, DbEntry, DbRecord, DbValue, Provenance, RunStats, RunSummary};
+pub use record::{
+    fnv1a, DbEntry, DbRecord, DbValue, FailKind, FailRecord, Provenance, RunStats, RunSummary,
+};

@@ -7,7 +7,11 @@
 //!   objective outputs, and provenance (seed, run id, machine);
 //! * `"run"` — a run summary carrying the `stats:` phase breakdown of one
 //!   tuner execution, so archived runs render side-by-side like GPTune
-//!   runlogs.
+//!   runlogs;
+//! * `"fail"` — one classified evaluation failure (crash, deadline
+//!   expiry, invalid measurement, exhausted transient retries) with its
+//!   attempt count and elapsed time, so resumed and warm-started runs
+//!   know which configurations are known to fail.
 //!
 //! Unknown kinds and unknown fields are skipped by readers, which is the
 //! forward-compatibility contract: a v2 writer must only *add* fields or
@@ -121,10 +125,20 @@ pub struct RunStats {
     pub search_wall_secs: f64,
     /// Number of objective evaluations.
     pub n_evals: u64,
+    /// Evaluations whose objective panicked.
+    pub n_crashed: u64,
+    /// Evaluations expired by the watchdog deadline.
+    pub n_timed_out: u64,
+    /// Evaluations completed with an unusable measurement.
+    pub n_invalid: u64,
+    /// Evaluations that exhausted their transient retries.
+    pub n_transient: u64,
+    /// Total retry executions across all evaluations.
+    pub n_retries: u64,
 }
 
 impl RunStats {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::Obj(vec![
             (
                 "objective_s".into(),
@@ -137,17 +151,30 @@ impl RunStats {
             ("modeling_s".into(), Json::from_f64(self.modeling_wall_secs)),
             ("search_s".into(), Json::from_f64(self.search_wall_secs)),
             ("n_evals".into(), Json::from_u64(self.n_evals)),
+            ("n_crashed".into(), Json::from_u64(self.n_crashed)),
+            ("n_timed_out".into(), Json::from_u64(self.n_timed_out)),
+            ("n_invalid".into(), Json::from_u64(self.n_invalid)),
+            ("n_transient".into(), Json::from_u64(self.n_transient)),
+            ("n_retries".into(), Json::from_u64(self.n_retries)),
         ])
     }
 
-    fn from_json(j: &Json) -> RunStats {
+    pub(crate) fn from_json(j: &Json) -> RunStats {
         let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        // Failure counters default to 0 for journals written before the
+        // fault-tolerant runtime existed.
+        let u = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
         RunStats {
             objective_virtual_secs: f("objective_s"),
             objective_wall_secs: f("objective_wall_s"),
             modeling_wall_secs: f("modeling_s"),
             search_wall_secs: f("search_s"),
-            n_evals: j.get("n_evals").and_then(Json::as_u64).unwrap_or(0),
+            n_evals: u("n_evals"),
+            n_crashed: u("n_crashed"),
+            n_timed_out: u("n_timed_out"),
+            n_invalid: u("n_invalid"),
+            n_transient: u("n_transient"),
+            n_retries: u("n_retries"),
         }
     }
 
@@ -157,17 +184,89 @@ impl RunStats {
         self.objective_virtual_secs + self.modeling_wall_secs + self.search_wall_secs
     }
 
-    /// One-line report in the GPTune runlog style.
+    /// One-line report in the GPTune runlog style (matches
+    /// `gptune_runtime::PhaseStats::report`, including the failure
+    /// profile when the run saw faults).
     pub fn report(&self) -> String {
-        format!(
+        let mut line = format!(
             "stats: total {:.1}s | objective {:.1}s ({} evals) | modeling {:.3}s | search {:.3}s",
             self.total_secs(),
             self.objective_virtual_secs,
             self.n_evals,
             self.modeling_wall_secs,
             self.search_wall_secs
-        )
+        );
+        let faults = self.n_crashed + self.n_timed_out + self.n_invalid + self.n_transient;
+        if faults + self.n_retries > 0 {
+            line.push_str(&format!(
+                " | faults: {} crashed, {} timed-out, {} invalid, {} transient, {} retries",
+                self.n_crashed, self.n_timed_out, self.n_invalid, self.n_transient, self.n_retries
+            ));
+        }
+        line
     }
+}
+
+/// Failure classification of a `"fail"` journal line — mirrors
+/// `gptune_runtime::FailureKind` without the dependency (this crate is
+/// deliberately dependency-free; the core crate converts at the
+/// boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// The objective panicked.
+    Crashed,
+    /// The objective exceeded the evaluation deadline.
+    TimedOut,
+    /// The objective completed with an unusable measurement.
+    Invalid,
+    /// The objective kept failing transiently.
+    Transient,
+}
+
+impl FailKind {
+    /// Stable lower-case code used on the journal line.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailKind::Crashed => "crashed",
+            FailKind::TimedOut => "timed-out",
+            FailKind::Invalid => "invalid",
+            FailKind::Transient => "transient",
+        }
+    }
+
+    /// Inverse of [`FailKind::as_str`].
+    pub fn parse(s: &str) -> Option<FailKind> {
+        match s {
+            "crashed" => Some(FailKind::Crashed),
+            "timed-out" => Some(FailKind::TimedOut),
+            "invalid" => Some(FailKind::Invalid),
+            "transient" => Some(FailKind::Transient),
+            _ => None,
+        }
+    }
+}
+
+/// One classified evaluation failure, archived alongside the (censored)
+/// evaluation record so later runs can tell *why* a configuration has
+/// non-finite outputs and skip re-evaluating known crashers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailRecord {
+    /// Problem name.
+    pub problem: String,
+    /// Problem signature.
+    pub sig: u64,
+    /// Task parameter values.
+    pub task: Vec<DbValue>,
+    /// Tuning configuration values.
+    pub config: Vec<DbValue>,
+    /// Failure classification.
+    pub kind: FailKind,
+    /// Number of execution attempts (> 1 means transient retries ran).
+    pub attempts: u64,
+    /// Wall-clock seconds from first dispatch to final failure.
+    pub elapsed_secs: f64,
+    /// Provenance of the failing run.
+    pub prov: Provenance,
 }
 
 /// One archived evaluation.
@@ -207,6 +306,8 @@ pub enum DbEntry {
     Eval(DbRecord),
     /// A run summary.
     Run(RunSummary),
+    /// A classified evaluation failure.
+    Fail(FailRecord),
 }
 
 impl DbEntry {
@@ -215,6 +316,7 @@ impl DbEntry {
         match self {
             DbEntry::Eval(r) => r.sig,
             DbEntry::Run(r) => r.sig,
+            DbEntry::Fail(r) => r.sig,
         }
     }
 
@@ -242,6 +344,19 @@ impl DbEntry {
                 ("sig".into(), Json::Str(format!("{:016x}", r.sig))),
                 ("prov".into(), r.prov.to_json()),
                 ("stats".into(), r.stats.to_json()),
+            ])
+            .to_string(),
+            DbEntry::Fail(r) => Json::Obj(vec![
+                ("v".into(), Json::Int(FORMAT_VERSION)),
+                ("kind".into(), Json::Str("fail".into())),
+                ("problem".into(), Json::Str(r.problem.clone())),
+                ("sig".into(), Json::Str(format!("{:016x}", r.sig))),
+                ("task".into(), values_to_json(&r.task)),
+                ("config".into(), values_to_json(&r.config)),
+                ("fail_kind".into(), Json::Str(r.kind.as_str().into())),
+                ("attempts".into(), Json::from_u64(r.attempts)),
+                ("elapsed_s".into(), Json::from_f64(r.elapsed_secs)),
+                ("prov".into(), r.prov.to_json()),
             ])
             .to_string(),
         }
@@ -291,6 +406,31 @@ impl DbEntry {
                     stats,
                 })))
             }
+            "fail" => {
+                let task =
+                    values_from_json(j.get("task").ok_or("missing 'task'")?).ok_or("bad 'task'")?;
+                let config = values_from_json(j.get("config").ok_or("missing 'config'")?)
+                    .ok_or("bad 'config'")?;
+                let kind_str = j
+                    .get("fail_kind")
+                    .and_then(Json::as_str)
+                    .ok_or("missing 'fail_kind'")?;
+                // An unknown failure kind comes from a newer writer with a
+                // richer classification: skip, same as an unknown line kind.
+                let Some(kind) = FailKind::parse(kind_str) else {
+                    return Ok(None);
+                };
+                Ok(Some(DbEntry::Fail(FailRecord {
+                    problem,
+                    sig,
+                    task,
+                    config,
+                    kind,
+                    attempts: j.get("attempts").and_then(Json::as_u64).unwrap_or(1),
+                    elapsed_secs: j.get("elapsed_s").and_then(Json::as_f64).unwrap_or(0.0),
+                    prov,
+                })))
+            }
             _ => Ok(None), // unknown kind from a newer writer: skip
         }
     }
@@ -310,6 +450,13 @@ impl DbEntry {
                 k
             }
             DbEntry::Run(r) => format!("r:{:016x}|{}", r.sig, r.prov.run),
+            DbEntry::Fail(r) => {
+                let mut k = format!("f:{:016x}|{}", r.sig, r.kind.as_str());
+                for v in r.task.iter().chain(&r.config) {
+                    k.push_str(&format!("|{}", v.to_json()));
+                }
+                k
+            }
         }
     }
 }
@@ -379,6 +526,11 @@ mod tests {
                 modeling_wall_secs: 2.25,
                 search_wall_secs: 1.125,
                 n_evals: 60,
+                n_crashed: 3,
+                n_timed_out: 1,
+                n_invalid: 0,
+                n_transient: 2,
+                n_retries: 5,
             },
         });
         let back = DbEntry::from_line(&e.to_line()).unwrap().unwrap();
@@ -386,7 +538,101 @@ mod tests {
         if let DbEntry::Run(r) = &back {
             assert!((r.stats.total_secs() - 123.875).abs() < 1e-12);
             assert!(r.stats.report().contains("60 evals"));
+            assert!(r
+                .stats
+                .report()
+                .contains("faults: 3 crashed, 1 timed-out, 0 invalid, 2 transient, 5 retries"));
         }
+    }
+
+    #[test]
+    fn run_summary_without_failure_counters_parses_as_zero() {
+        // Journals written before the fault-tolerant runtime carry no
+        // failure counters; they must read back as zeros, and the report
+        // line must omit the failure profile.
+        let line = r#"{"v":1,"kind":"run","problem":"old","sig":"000000000000002a","prov":{"seed":1,"run":"seed1"},"stats":{"objective_s":10.0,"n_evals":5}}"#;
+        let back = DbEntry::from_line(line).unwrap().unwrap();
+        if let DbEntry::Run(r) = back {
+            assert_eq!(r.stats.n_evals, 5);
+            assert_eq!(r.stats.n_crashed, 0);
+            assert_eq!(r.stats.n_retries, 0);
+            assert!(!r.stats.report().contains("faults:"));
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    fn sample_fail() -> FailRecord {
+        FailRecord {
+            problem: "pdgeqrf".into(),
+            sig: 0xdead_beef_0123_4567,
+            task: vec![DbValue::Int(1000), DbValue::Int(1000)],
+            config: vec![DbValue::Int(32), DbValue::Real(0.5)],
+            kind: FailKind::Crashed,
+            attempts: 3,
+            elapsed_secs: 1.25,
+            prov: Provenance {
+                seed: 9,
+                run: "seed9-eps20".into(),
+                machine: None,
+            },
+        }
+    }
+
+    #[test]
+    fn fail_record_roundtrip() {
+        for kind in [
+            FailKind::Crashed,
+            FailKind::TimedOut,
+            FailKind::Invalid,
+            FailKind::Transient,
+        ] {
+            let mut r = sample_fail();
+            r.kind = kind;
+            let e = DbEntry::Fail(r);
+            let line = e.to_line();
+            assert!(!line.contains('\n'));
+            let back = DbEntry::from_line(&line).unwrap().unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn fail_kind_roundtrips_through_str() {
+        for k in [
+            FailKind::Crashed,
+            FailKind::TimedOut,
+            FailKind::Invalid,
+            FailKind::Transient,
+        ] {
+            assert_eq!(FailKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(FailKind::parse("oom"), None);
+    }
+
+    #[test]
+    fn unknown_fail_kind_skipped_not_error() {
+        // A newer writer with a richer classification must not break us.
+        let line = DbEntry::Fail(sample_fail())
+            .to_line()
+            .replace("\"crashed\"", "\"oom-killed\"");
+        assert_eq!(DbEntry::from_line(&line).unwrap(), None);
+    }
+
+    #[test]
+    fn fail_dedup_key_separates_kind_and_config() {
+        let a = DbEntry::Fail(sample_fail());
+        let mut b = sample_fail();
+        b.kind = FailKind::TimedOut;
+        assert_ne!(a.dedup_key(), DbEntry::Fail(b).dedup_key());
+        let mut c = sample_fail();
+        c.config[0] = DbValue::Int(64);
+        assert_ne!(a.dedup_key(), DbEntry::Fail(c).dedup_key());
+        // Same failure seen by two runs merges to one record.
+        let mut d = sample_fail();
+        d.prov.run = "other".into();
+        d.attempts = 1;
+        assert_eq!(a.dedup_key(), DbEntry::Fail(d).dedup_key());
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Fault model for the evaluation runtime.
+//!
+//! Real GPTune deployments tune applications that crash, hang, and OOM
+//! mid-run (invalid ScaLAPACK block sizes, node failures on Cori). The
+//! executor therefore classifies every job into a typed [`EvalOutcome`]
+//! instead of letting a misbehaving objective kill a worker or deadlock
+//! the master:
+//!
+//! | outcome     | cause                                   | retried? |
+//! |-------------|------------------------------------------|----------|
+//! | `Ok`        | job returned a value                     | —        |
+//! | `Crashed`   | job panicked                             | no       |
+//! | `TimedOut`  | job exceeded the [`FaultPolicy`] deadline | no       |
+//! | `Invalid`   | job completed but the measurement is unusable (e.g. non-finite runtime) | no |
+//! | `Transient` | job signalled a retryable fault and exhausted its retries | yes, with exponential backoff |
+//!
+//! Transient faults are signalled either by returning
+//! [`JobStatus::Transient`] or by panicking with [`TransientSignal`]
+//! (`std::panic::panic_any(TransientSignal(..))`), so an objective deep
+//! inside a call stack can request a retry without threading a `Result`
+//! all the way up.
+
+use std::time::Duration;
+
+/// Retry/deadline policy applied to every job of a
+/// [`try_map`](crate::WorkerGroup::try_map) batch.
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    /// Per-job wall-clock deadline enforced by the master-side watchdog.
+    /// A job still running past the deadline is marked
+    /// [`EvalOutcome::TimedOut`], its worker is retired, and a
+    /// replacement worker is spawned. `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+    /// Maximum number of *re*-executions after a transient fault
+    /// (0 disables retries; a job runs at most `max_retries + 1` times).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff_base · 2^k`, capped at
+    /// [`FaultPolicy::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            deadline: None,
+            max_retries: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// No deadline, no retries — the policy behind the infallible
+    /// [`map`](crate::WorkerGroup::map).
+    pub fn none() -> Self {
+        FaultPolicy::default()
+    }
+
+    /// Backoff sleep before re-running a job that has already executed
+    /// `attempt + 1` times: `backoff_base · 2^attempt`, capped.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 2u32.saturating_pow(attempt.min(16));
+        self.backoff_base
+            .checked_mul(factor)
+            .map_or(self.backoff_cap, |d| d.min(self.backoff_cap))
+    }
+}
+
+/// What a job reports about a single execution attempt.
+#[derive(Debug)]
+pub enum JobStatus<R> {
+    /// The attempt produced a usable value.
+    Ok(R),
+    /// The attempt completed but the measurement is unusable (e.g. a
+    /// non-finite runtime). Carries the raw value so the caller can
+    /// still record it; never retried.
+    Invalid(R),
+    /// The attempt hit a retryable fault (node glitch, flaky launcher).
+    /// Retried up to [`FaultPolicy::max_retries`] times with backoff.
+    Transient(String),
+}
+
+/// Panic payload that classifies the panic as a transient fault: the
+/// executor retries the job (with backoff) instead of recording a crash.
+#[derive(Debug, Clone)]
+pub struct TransientSignal(pub String);
+
+/// Classified result of one job of a
+/// [`try_map`](crate::WorkerGroup::try_map) batch. `attempts` counts
+/// executions, so `attempts > 1` means transient retries happened.
+#[derive(Debug)]
+pub enum EvalOutcome<R> {
+    /// The job produced a usable value.
+    Ok {
+        /// The job's return value.
+        value: R,
+        /// Number of execution attempts (1 = no retries).
+        attempts: u32,
+    },
+    /// The job panicked (with a payload other than [`TransientSignal`]).
+    Crashed {
+        /// Rendered panic message.
+        message: String,
+        /// Number of execution attempts.
+        attempts: u32,
+        /// Wall-clock from first dispatch to the crash.
+        elapsed: Duration,
+    },
+    /// The watchdog expired the job's deadline; its worker was retired
+    /// and replaced.
+    TimedOut {
+        /// Wall-clock the job had been running when it was expired.
+        elapsed: Duration,
+        /// Attempt that was running when the deadline expired.
+        attempts: u32,
+    },
+    /// The job completed but its measurement is unusable; carries the
+    /// raw value.
+    Invalid {
+        /// The job's (unusable) return value.
+        value: R,
+        /// Number of execution attempts.
+        attempts: u32,
+    },
+    /// The job kept failing transiently and exhausted its retries.
+    Transient {
+        /// Message from the last transient fault.
+        message: String,
+        /// Number of execution attempts.
+        attempts: u32,
+        /// Wall-clock from first dispatch to the final failure.
+        elapsed: Duration,
+    },
+}
+
+impl<R> EvalOutcome<R> {
+    /// `true` for [`EvalOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EvalOutcome::Ok { .. })
+    }
+
+    /// The produced value, for `Ok` and `Invalid` outcomes.
+    pub fn value(&self) -> Option<&R> {
+        match self {
+            EvalOutcome::Ok { value, .. } | EvalOutcome::Invalid { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Number of execution attempts behind this outcome.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            EvalOutcome::Ok { attempts, .. }
+            | EvalOutcome::Crashed { attempts, .. }
+            | EvalOutcome::TimedOut { attempts, .. }
+            | EvalOutcome::Invalid { attempts, .. }
+            | EvalOutcome::Transient { attempts, .. } => *attempts,
+        }
+    }
+
+    /// The failure classification, `None` for `Ok`.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        match self {
+            EvalOutcome::Ok { .. } => None,
+            EvalOutcome::Crashed { .. } => Some(FailureKind::Crashed),
+            EvalOutcome::TimedOut { .. } => Some(FailureKind::TimedOut),
+            EvalOutcome::Invalid { .. } => Some(FailureKind::Invalid),
+            EvalOutcome::Transient { .. } => Some(FailureKind::Transient),
+        }
+    }
+
+    /// Short human-readable description, for panics and logs.
+    pub fn describe(&self) -> String {
+        match self {
+            EvalOutcome::Ok { attempts, .. } => format!("ok after {attempts} attempt(s)"),
+            EvalOutcome::Crashed { message, .. } => format!("crashed: {message}"),
+            EvalOutcome::TimedOut { elapsed, .. } => {
+                format!("timed out after {:.3}s", elapsed.as_secs_f64())
+            }
+            EvalOutcome::Invalid { .. } => "invalid measurement".to_string(),
+            EvalOutcome::Transient {
+                message, attempts, ..
+            } => {
+                format!("transient failure after {attempts} attempt(s): {message}")
+            }
+        }
+    }
+}
+
+/// Failure classification shared by the executor, the phase statistics,
+/// and the persisted failure records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The objective panicked.
+    Crashed,
+    /// The objective exceeded its deadline.
+    TimedOut,
+    /// The objective completed with an unusable measurement.
+    Invalid,
+    /// The objective kept failing transiently.
+    Transient,
+}
+
+impl FailureKind {
+    /// Stable lower-case code, used in logs and the database journal.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::Crashed => "crashed",
+            FailureKind::TimedOut => "timed-out",
+            FailureKind::Invalid => "invalid",
+            FailureKind::Transient => "transient",
+        }
+    }
+
+    /// Inverse of [`FailureKind::as_str`].
+    pub fn parse(s: &str) -> Option<FailureKind> {
+        match s {
+            "crashed" => Some(FailureKind::Crashed),
+            "timed-out" => Some(FailureKind::TimedOut),
+            "invalid" => Some(FailureKind::Invalid),
+            "transient" => Some(FailureKind::Transient),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Typed error returned by [`try_map`](crate::WorkerGroup::try_map) when
+/// the group has been closed ([`close`](crate::WorkerGroup::close) /
+/// [`shutdown`](crate::WorkerGroup::shutdown)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupClosed;
+
+impl std::fmt::Display for GroupClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("worker group has been shut down")
+    }
+}
+
+impl std::error::Error for GroupClosed {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = FaultPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(65),
+            ..FaultPolicy::default()
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(40));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(65));
+        assert_eq!(p.backoff_for(60), Duration::from_millis(65));
+    }
+
+    #[test]
+    fn kind_roundtrips_through_str() {
+        for k in [
+            FailureKind::Crashed,
+            FailureKind::TimedOut,
+            FailureKind::Invalid,
+            FailureKind::Transient,
+        ] {
+            assert_eq!(FailureKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(FailureKind::parse("oom"), None);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let ok: EvalOutcome<i32> = EvalOutcome::Ok {
+            value: 7,
+            attempts: 2,
+        };
+        assert!(ok.is_ok());
+        assert_eq!(ok.value(), Some(&7));
+        assert_eq!(ok.attempts(), 2);
+        assert_eq!(ok.failure_kind(), None);
+
+        let crashed: EvalOutcome<i32> = EvalOutcome::Crashed {
+            message: "boom".into(),
+            attempts: 1,
+            elapsed: Duration::ZERO,
+        };
+        assert!(!crashed.is_ok());
+        assert!(crashed.value().is_none());
+        assert_eq!(crashed.failure_kind(), Some(FailureKind::Crashed));
+        assert!(crashed.describe().contains("boom"));
+    }
+}

@@ -18,12 +18,21 @@
 //!   after "stats:" in its runlogs (used by Table 3 and Fig. 3);
 //! * [`collectives`] offers the MPI collective vocabulary (broadcast,
 //!   scatter/gather, reduce, allreduce) over a worker group, so tuner code
-//!   reads like its MPI counterpart.
+//!   reads like its MPI counterpart;
+//! * [`fault`] is the fault model: every job is panic-isolated, deadlines
+//!   are enforced by a master-side watchdog, transient faults retry with
+//!   exponential backoff, and [`WorkerGroup::try_map`] surfaces it all as
+//!   typed [`EvalOutcome`]s — real tuned applications crash, hang, and
+//!   OOM, and a dead measurement must never kill the tuner.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod collectives;
 pub mod executor;
+pub mod fault;
 pub mod stats;
 
 pub use collectives::{broadcast_map, map_allreduce, map_reduce, scatter_gather};
-pub use executor::{with_pool, WorkerGroup};
+pub use executor::{with_pool, SharedCounter, WorkerGroup};
+pub use fault::{EvalOutcome, FailureKind, FaultPolicy, GroupClosed, JobStatus, TransientSignal};
 pub use stats::{Phase, PhaseStats, PhaseTimer};

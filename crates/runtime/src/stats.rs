@@ -6,6 +6,7 @@
 //! seconds, so the objective phase is tracked in virtual seconds while
 //! modeling/search are real wall-clock measurements of this implementation.
 
+use crate::fault::FailureKind;
 use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
@@ -33,6 +34,16 @@ pub struct PhaseStats {
     pub search_wall: Duration,
     /// Number of objective evaluations.
     pub n_evals: usize,
+    /// Evaluations whose objective panicked.
+    pub n_crashed: usize,
+    /// Evaluations expired by the watchdog deadline.
+    pub n_timed_out: usize,
+    /// Evaluations that completed with an unusable measurement.
+    pub n_invalid: usize,
+    /// Evaluations that exhausted their transient retries.
+    pub n_transient: usize,
+    /// Total retry executions across all evaluations.
+    pub n_retries: usize,
 }
 
 impl PhaseStats {
@@ -44,16 +55,29 @@ impl PhaseStats {
             + self.search_wall.as_secs_f64()
     }
 
-    /// One-line report in the GPTune runlog style.
+    /// Total failed evaluations across all classifications.
+    pub fn n_failed(&self) -> usize {
+        self.n_crashed + self.n_timed_out + self.n_invalid + self.n_transient
+    }
+
+    /// One-line report in the GPTune runlog style. Runs that saw
+    /// failures or retries append their failure profile.
     pub fn report(&self) -> String {
-        format!(
+        let mut line = format!(
             "stats: total {:.1}s | objective {:.1}s ({} evals) | modeling {:.3}s | search {:.3}s",
             self.total_secs(),
             self.objective_virtual_secs,
             self.n_evals,
             self.modeling_wall.as_secs_f64(),
             self.search_wall.as_secs_f64()
-        )
+        );
+        if self.n_failed() + self.n_retries > 0 {
+            line.push_str(&format!(
+                " | faults: {} crashed, {} timed-out, {} invalid, {} transient, {} retries",
+                self.n_crashed, self.n_timed_out, self.n_invalid, self.n_transient, self.n_retries
+            ));
+        }
+        line
     }
 }
 
@@ -88,6 +112,22 @@ impl PhaseTimer {
         let mut s = self.inner.lock();
         s.objective_virtual_secs += virtual_secs.max(0.0);
         s.n_evals += 1;
+    }
+
+    /// Records a classified evaluation failure.
+    pub fn add_failure(&self, kind: FailureKind) {
+        let mut s = self.inner.lock();
+        match kind {
+            FailureKind::Crashed => s.n_crashed += 1,
+            FailureKind::TimedOut => s.n_timed_out += 1,
+            FailureKind::Invalid => s.n_invalid += 1,
+            FailureKind::Transient => s.n_transient += 1,
+        }
+    }
+
+    /// Records `n` retry executions (attempts beyond the first).
+    pub fn add_retries(&self, n: usize) {
+        self.inner.lock().n_retries += n;
     }
 
     /// Current snapshot.
@@ -189,6 +229,27 @@ mod tests {
         assert!(r.contains("modeling"));
         assert!(r.contains("search"));
         assert!(r.contains("1 evals"));
+    }
+
+    #[test]
+    fn failure_profile_appears_only_when_faults_happened() {
+        let t = PhaseTimer::new();
+        t.add_objective_run(1.0);
+        assert!(!t.snapshot().report().contains("faults:"));
+        t.add_failure(FailureKind::Crashed);
+        t.add_failure(FailureKind::TimedOut);
+        t.add_failure(FailureKind::TimedOut);
+        t.add_retries(3);
+        let s = t.snapshot();
+        assert_eq!(s.n_crashed, 1);
+        assert_eq!(s.n_timed_out, 2);
+        assert_eq!(s.n_retries, 3);
+        assert_eq!(s.n_failed(), 3);
+        let r = s.report();
+        assert!(
+            r.contains("faults: 1 crashed, 2 timed-out, 0 invalid, 0 transient, 3 retries"),
+            "{r}"
+        );
     }
 
     #[test]

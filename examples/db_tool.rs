@@ -53,6 +53,10 @@ fn inspect(root: &Path) -> std::io::Result<()> {
             .iter()
             .filter(|e| matches!(e, DbEntry::Eval(_)))
             .count();
+        let fails = entries
+            .iter()
+            .filter(|e| matches!(e, DbEntry::Fail(_)))
+            .count();
         let mut health = String::new();
         if report.dropped_torn_tail {
             health.push_str("  [torn tail dropped]");
@@ -70,9 +74,9 @@ fn inspect(root: &Path) -> std::io::Result<()> {
             ));
         }
         println!(
-            "  {name}: {} entries ({evals} evals, {} runs){health}",
+            "  {name}: {} entries ({evals} evals, {fails} failures, {} runs){health}",
             entries.len(),
-            entries.len() - evals
+            entries.len() - evals - fails
         );
         for e in &entries {
             if let DbEntry::Run(r) = e {

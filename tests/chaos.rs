@@ -1,0 +1,211 @@
+//! Chaos integration tests: full MLA runs against applications that
+//! crash, hang, and fail transiently — injected deterministically by
+//! [`FaultyApp`] — must complete every iteration, keep a finite best per
+//! task, survive a kill-and-resume, and skip configurations the failure
+//! journal already knows to be fatal.
+
+use gptune::apps::{AnalyticalApp, FaultSpec, FaultyApp, MachineModel, PdgeqrfApp};
+use gptune::core::{mla, problem_signature, MlaOptions, TuningProblem};
+use gptune::db::Db;
+use gptune::problem_from_app;
+use gptune::space::{Config, Param, Space, Value};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gptune_it_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn fast_opts(budget: usize, seed: u64) -> MlaOptions {
+    let mut o = MlaOptions::default().with_budget(budget).with_seed(seed);
+    o.lcm.n_starts = 2;
+    o.lcm.lbfgs.max_iters = 15;
+    o.pso.particles = 15;
+    o.pso.iters = 10;
+    o.log_objective = false;
+    o
+}
+
+/// The headline chaos property: with ~15% of the points crashing or
+/// hanging (plus transient faults on top), MLA completes its full budget
+/// on every task, never panics or deadlocks the master, and still finds a
+/// finite best configuration.
+#[test]
+fn chaos_mla_on_analytical_completes_with_finite_best() {
+    let spec = FaultSpec {
+        crash_rate: 0.10,
+        hang_rate: 0.05,
+        transient_rate: 0.15,
+        hang: Duration::from_millis(600),
+        chaos_seed: 11,
+    };
+    let app = Arc::new(FaultyApp::new(AnalyticalApp::new(0.0), spec));
+    let tasks = vec![vec![Value::Real(1.0)], vec![Value::Real(4.0)]];
+    let p = problem_from_app(app, tasks);
+
+    let budget = 16;
+    let o = fast_opts(budget, 3).with_eval_deadline(Duration::from_millis(150));
+    let r = mla::tune(&p, &o);
+
+    assert!(r.completed, "chaos run must finish its budget");
+    for tr in &r.per_task {
+        assert_eq!(tr.samples.len(), budget, "every iteration must complete");
+        assert!(tr.best_value.is_finite(), "best must come from a survivor");
+    }
+    // With 32 distinct points at 15% persistent fault rate the chance of a
+    // fault-free run is < 1e-2; a fault-free pass here means injection is
+    // broken, not that we got lucky.
+    assert!(
+        r.stats.n_failed() >= 1,
+        "faults must actually fire: {:?}",
+        r.stats
+    );
+}
+
+/// Same property on a second application (ScaLAPACK QR simulator) with a
+/// mixed int space and feasibility constraints.
+#[test]
+fn chaos_mla_on_pdgeqrf_completes_with_finite_best() {
+    let spec = FaultSpec {
+        crash_rate: 0.20,
+        hang_rate: 0.0,
+        transient_rate: 0.10,
+        hang: Duration::from_millis(600),
+        chaos_seed: 5,
+    };
+    let app = Arc::new(FaultyApp::new(
+        PdgeqrfApp::new(MachineModel::cori_noiseless(1), 8000),
+        spec,
+    ));
+    let tasks = vec![
+        vec![Value::Int(1000), Value::Int(1000)],
+        vec![Value::Int(2000), Value::Int(2000)],
+    ];
+    let p = problem_from_app(app, tasks);
+
+    let budget = 8;
+    let o = fast_opts(budget, 9).with_eval_deadline(Duration::from_secs(5));
+    let r = mla::tune(&p, &o);
+
+    assert!(r.completed);
+    for tr in &r.per_task {
+        assert_eq!(tr.samples.len(), budget);
+        assert!(tr.best_value.is_finite());
+    }
+}
+
+/// Kill-and-resume under chaos: with the SAME chaos seed the fault
+/// pattern is reproducible, so a run killed every two iterations and
+/// resumed from its checkpoint must converge to the identical result as
+/// the same-seed run that was never interrupted.
+#[test]
+fn interrupted_chaos_mla_resumes_to_identical_result() {
+    let root = tmp_root("resume");
+    let spec = FaultSpec {
+        crash_rate: 0.15,
+        hang_rate: 0.0,
+        transient_rate: 0.10,
+        hang: Duration::from_millis(600),
+        chaos_seed: 21,
+    };
+    let mk_problem = || {
+        let app = Arc::new(FaultyApp::new(AnalyticalApp::new(0.0), spec));
+        let tasks = vec![vec![Value::Real(2.0)], vec![Value::Real(5.0)]];
+        problem_from_app(app, tasks)
+    };
+    let budget = 10;
+
+    // Ground truth: uninterrupted, no database involved.
+    let p = mk_problem();
+    let full = mla::tune(&p, &fast_opts(budget, 7));
+    assert!(full.completed);
+
+    // Interrupted: kill after every 2 iterations, resume until done.
+    let p2 = mk_problem();
+    let mut o = fast_opts(budget, 7).with_db(&root).checkpoint_every(1);
+    o.stop_after_iterations = Some(2);
+    let mut last = mla::tune(&p2, &o);
+    assert!(!last.completed, "budget too small to need a resume");
+    let mut resumes = 0;
+    while !last.completed {
+        last = mla::tune(&p2, &o);
+        resumes += 1;
+        assert!(resumes < 20, "resume loop did not converge");
+    }
+
+    for (a, b) in last.per_task.iter().zip(&full.per_task) {
+        assert_eq!(a.best_config, b.best_config, "Popt differs after resume");
+        assert_eq!(a.best_value, b.best_value, "Oopt differs after resume");
+        assert_eq!(a.samples, b.samples, "trajectory differs after resume");
+    }
+    assert_eq!(last.stats.n_evals, full.stats.n_evals);
+    assert_eq!(
+        last.stats.n_crashed, full.stats.n_crashed,
+        "fault pattern must be reproducible across resumes"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The failure journal closes the loop: a completed run archives its
+/// failures, and a warm-started successor loads them and never spends an
+/// objective call on a configuration known to crash.
+#[test]
+fn warm_start_skips_configs_the_journal_knows_to_crash() {
+    let root = tmp_root("skip");
+    let ts = Space::builder().param(Param::int("t", 0, 1)).build();
+    let ps = Space::builder().param(Param::int("x", 0, 7)).build();
+    let tasks: Vec<Config> = vec![vec![Value::Int(0)]];
+    // Only x = 3 and x = 5 survive; the remaining six configurations of
+    // the 8-point space panic on every call, so any run is guaranteed to
+    // discover (and journal) crashers.
+    let calls: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let calls2 = Arc::clone(&calls);
+    let p = TuningProblem::new("chaos-skip", ts, ps, tasks, move |_, c, _| {
+        let x = c[0].as_int();
+        calls2.lock().unwrap().push(x);
+        if x != 3 && x != 5 {
+            panic!("injected crash at x={x}");
+        }
+        vec![1.0 + 0.1 * (x as f64 - 3.0).powi(2)]
+    });
+    let budget = 8;
+
+    let r1 = mla::tune(&p, &fast_opts(budget, 1).with_db(&root));
+    assert!(r1.completed);
+    assert!(r1.stats.n_crashed >= 1, "run 1 must hit crashers");
+
+    let db = Db::open(&root).unwrap();
+    let sig = problem_signature(&p);
+    let failed: HashSet<i64> = db
+        .failures(&p.name, sig)
+        .unwrap()
+        .iter()
+        .map(|f| match f.config[0] {
+            gptune::db::DbValue::Int(x) => x,
+            ref v => panic!("unexpected config value {v:?}"),
+        })
+        .collect();
+    assert!(!failed.is_empty(), "failures must be archived");
+    assert!(!failed.contains(&3) && !failed.contains(&5));
+
+    calls.lock().unwrap().clear();
+    let mut o2 = fast_opts(budget, 2).with_db(&root);
+    o2.warm_start_from_db = true;
+    let r2 = mla::tune(&p, &o2);
+    assert!(r2.completed);
+    assert_eq!(r2.per_task[0].samples.len(), budget);
+    assert!(r2.per_task[0].best_value.is_finite());
+
+    let second_run_calls = calls.lock().unwrap().clone();
+    for x in &second_run_calls {
+        assert!(
+            !failed.contains(x),
+            "run 2 re-evaluated known-crashing config x={x}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

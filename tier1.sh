@@ -5,5 +5,8 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+# Chaos gate: MLA under injected crashes/hangs/transients must complete,
+# resume deterministically, and skip journaled crashers.
+cargo test -q --test chaos
 cargo fmt --check
 cargo clippy -- -D warnings
