@@ -54,7 +54,7 @@ impl TunerRun {
         let (best_config, best_value) = samples
             .iter()
             .filter(|(_, y)| y.is_finite())
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, y)| (c.clone(), *y))
             .unwrap_or_else(|| (samples[0].0.clone(), f64::INFINITY));
         TunerRun {

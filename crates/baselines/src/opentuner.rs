@@ -76,7 +76,7 @@ impl OpenTunerLike {
         // Sorted finite history, best first.
         let mut ranked: Vec<&(Config, f64)> =
             samples.iter().filter(|(_, y)| y.is_finite()).collect();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         let uniform = |rng: &mut StdRng| (0..dim).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>();
         if ranked.is_empty() {

@@ -82,7 +82,7 @@ impl Tuner for SurfLike {
                     let (bc, _) = samples
                         .iter()
                         .filter(|(_, y)| y.is_finite())
-                        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
                         .unwrap();
                     space.normalize(bc)
                 };

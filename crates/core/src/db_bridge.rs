@@ -161,6 +161,9 @@ pub fn provenance(opts: &MlaOptions, delta: usize) -> Provenance {
 /// Opens the archive configured in the options, if any. An unopenable
 /// archive is a configuration error and panics loudly — silently tuning
 /// without durability would defeat the point of asking for it.
+// PANIC-SAFETY: deliberate fail-fast on a user configuration error; the
+// run must not proceed without the durability the user asked for.
+#[allow(clippy::panic)]
 pub(crate) fn open_db(opts: &MlaOptions) -> Option<Db> {
     opts.db_path.as_ref().map(|p| {
         Db::open(p).unwrap_or_else(|e| {
@@ -212,6 +215,9 @@ pub(crate) fn checkpoint_from_run(
 /// Builds and atomically persists a checkpoint of the in-flight state.
 /// Failure panics: the user asked for durability; losing it is loud.
 #[allow(clippy::too_many_arguments)]
+// PANIC-SAFETY: losing the ability to checkpoint mid-run is fatal by
+// design — continuing would silently void the crash-resume guarantee.
+#[allow(clippy::panic)]
 pub(crate) fn write_checkpoint(
     db: &Db,
     kind: CheckpointKind,

@@ -72,7 +72,7 @@ impl History {
         self.for_task(task)
             .into_iter()
             .filter(|r| r.outputs.first().is_some_and(|v| v.is_finite()))
-            .min_by(|a, b| a.outputs[0].partial_cmp(&b.outputs[0]).unwrap())
+            .min_by(|a, b| a.outputs[0].total_cmp(&b.outputs[0]))
     }
 
     /// Merges another history (same problem) into this one, skipping exact

@@ -93,11 +93,7 @@ pub fn hypervolume_2d(front: &[Vec<f64>], reference: &[f64; 2]) -> f64 {
     }
     // Sweep by ascending first objective; track the running minimum of the
     // second objective so dominated points add nothing.
-    pts.sort_by(|x, y| {
-        x.0.partial_cmp(&y.0)
-            .unwrap()
-            .then(x.1.partial_cmp(&y.1).unwrap())
-    });
+    pts.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
     let mut hv = 0.0;
     let mut prev_x = pts[0].0;
     let mut best_y = pts[0].1;

@@ -179,6 +179,9 @@ pub(crate) fn evaluate_batch(
         let seed = opts.seed;
         let policy = opts.fault_policy();
         let slots: Vec<usize> = live.iter().map(|(k, _)| *k).collect();
+        // PANIC-SAFETY: `group` was spawned on the previous line and no
+        // shutdown() has run, so try_map on it cannot observe a closed group.
+        #[allow(clippy::expect_used)]
         let outcomes = group
             .try_map(live, &policy, move |(k, (task_idx, config)), attempt| {
                 let base = seed
@@ -236,6 +239,10 @@ pub(crate) fn evaluate_batch(
                     outputs[k] = best;
                 }
                 failed => {
+                    // PANIC-SAFETY: this match arm only sees non-Ok
+                    // outcomes, and every non-Ok EvalOutcome variant
+                    // carries a failure kind by construction.
+                    #[allow(clippy::expect_used)]
                     let kind = failed
                         .failure_kind()
                         .expect("non-Ok outcome has a failure kind");
@@ -267,6 +274,9 @@ pub(crate) fn evaluate_batch(
 /// the archive (warm starts and checkpointed runs) so known-crashing
 /// configurations are never re-executed. Fresh runs without a database
 /// skip nothing.
+// PANIC-SAFETY: an unreadable archive on a run that was explicitly asked
+// to use one is fatal by design (same policy as db_bridge::open_db).
+#[allow(clippy::panic)]
 pub(crate) fn load_known_failures(
     db: &Option<gptune_db::Db>,
     problem: &TuningProblem,
@@ -328,6 +338,9 @@ impl Enricher {
         task_idx: usize,
         config: &[Value],
     ) -> Vec<f64> {
+        // PANIC-SAFETY: an Enricher is only constructed (below) when
+        // `problem.model.is_some()`, so model_features cannot return None.
+        #[allow(clippy::expect_used)]
         let raw = problem
             .model_features(task_idx, config)
             .expect("enricher requires a model");
@@ -363,6 +376,9 @@ pub(crate) fn build_inputs(
     let task_of: Vec<usize> = evals.points.iter().map(|(t, _)| *t).collect();
 
     let enrich = if opts.use_model_features && problem.model.is_some() {
+        // PANIC-SAFETY: guarded by `problem.model.is_some()` on the line
+        // above; model_features only returns None when the model is absent.
+        #[allow(clippy::expect_used)]
         let raw: Vec<Vec<f64>> = evals
             .points
             .iter()
@@ -594,6 +610,9 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
     let mut n_preloaded = 0usize;
     let mut resumed = false;
     if opts.checkpointing() {
+        // PANIC-SAFETY: MlaOptions::checkpointing() returns true only when
+        // db_path is set, and open_db opened a Db for every set db_path.
+        #[allow(clippy::expect_used)]
         let db = db.as_ref().expect("checkpointing() implies db_path");
         match db.load_checkpoint(sig, opts.seed) {
             Ok(Some(ckpt))
@@ -616,6 +635,9 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         // observations for the surrogate; excluded from budget/results) ---
         if opts.warm_start_from_db {
             if let Some(db) = &db {
+                // PANIC-SAFETY: unreadable archive on an explicit
+                // warm-start request is fatal by design.
+                #[allow(clippy::panic)]
                 let pre = db_bridge::preload_from_db(db, problem, sig)
                     .unwrap_or_else(|e| panic!("gptune-db: cannot read archive: {e}"));
                 for (t, cfg, out) in pre {
@@ -643,6 +665,9 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         // Checkpoint the (expensive) initial design immediately: a run
         // killed in its first iteration then resumes without re-evaluating.
         if opts.checkpointing() {
+            // PANIC-SAFETY: checkpointing() implies db_path is set, and
+            // open_db opened a Db for every set db_path.
+            #[allow(clippy::expect_used)]
             db_bridge::write_checkpoint(
                 db.as_ref().expect("checkpointing() implies db_path"),
                 CheckpointKind::Mla,
@@ -738,6 +763,9 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         iters_this_process += 1;
 
         if opts.checkpointing() && iteration % opts.checkpoint_every == 0 {
+            // PANIC-SAFETY: checkpointing() implies db_path is set, and
+            // open_db opened a Db for every set db_path.
+            #[allow(clippy::expect_used)]
             db_bridge::write_checkpoint(
                 db.as_ref().expect("checkpointing() implies db_path"),
                 CheckpointKind::Mla,
@@ -756,6 +784,9 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
     if let Some(db) = &db {
         if completed {
             let prov = db_bridge::provenance(opts, delta);
+            // PANIC-SAFETY: losing the final archive write would silently
+            // discard the run's results; fail loudly instead.
+            #[allow(clippy::panic)]
             db_bridge::archive_run(
                 db,
                 problem,

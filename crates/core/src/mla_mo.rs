@@ -81,6 +81,9 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
     let mut n_preloaded = 0usize;
     let mut resumed = false;
     if opts.checkpointing() {
+        // PANIC-SAFETY: MlaOptions::checkpointing() returns true only when
+        // db_path is set, and open_db opened a Db for every set db_path.
+        #[allow(clippy::expect_used)]
         let db = db.as_ref().expect("checkpointing() implies db_path");
         match db.load_checkpoint(sig, opts.seed) {
             Ok(Some(ckpt))
@@ -102,6 +105,9 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         // --- Warm start from the archive ---
         if opts.warm_start_from_db {
             if let Some(db) = &db {
+                // PANIC-SAFETY: unreadable archive on an explicit
+                // warm-start request is fatal by design.
+                #[allow(clippy::panic)]
                 let pre = db_bridge::preload_from_db(db, problem, sig)
                     .unwrap_or_else(|e| panic!("gptune-db: cannot read archive: {e}"));
                 for (t, cfg, out) in pre {
@@ -127,6 +133,9 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         eps = (evals.points.len() - n_preloaded) / delta.max(1);
 
         if opts.checkpointing() {
+            // PANIC-SAFETY: checkpointing() implies db_path is set, and
+            // open_db opened a Db for every set db_path.
+            #[allow(clippy::expect_used)]
             db_bridge::write_checkpoint(
                 db.as_ref().expect("checkpointing() implies db_path"),
                 CheckpointKind::MlaMo,
@@ -295,6 +304,9 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         iters_this_process += 1;
 
         if opts.checkpointing() && iteration % opts.checkpoint_every == 0 {
+            // PANIC-SAFETY: checkpointing() implies db_path is set, and
+            // open_db opened a Db for every set db_path.
+            #[allow(clippy::expect_used)]
             db_bridge::write_checkpoint(
                 db.as_ref().expect("checkpointing() implies db_path"),
                 CheckpointKind::MlaMo,
@@ -313,6 +325,9 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
     if let Some(db) = &db {
         if completed {
             let prov = db_bridge::provenance(opts, delta);
+            // PANIC-SAFETY: losing the final archive write would silently
+            // discard the run's results; fail loudly instead.
+            #[allow(clippy::panic)]
             db_bridge::archive_run(
                 db,
                 problem,

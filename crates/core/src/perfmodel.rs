@@ -115,7 +115,7 @@ impl LinearPerfModel {
         let a = Matrix::from_fn(rows.len(), dim, |i, j| features[rows[i]][j]);
         let b: Vec<f64> = rows.iter().map(|&i| y[i]).collect();
         let coefficients = qr::lstsq_nonneg(&a, &b).ok()?;
-        if coefficients.iter().all(|&c| c == 0.0) {
+        if coefficients.iter().all(|&c| gptune_la::ord::feq(c, 0.0)) {
             return None;
         }
         Some(LinearPerfModel { coefficients })

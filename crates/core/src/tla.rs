@@ -73,7 +73,7 @@ pub fn predict_transfer_config(
         let nearest = weights
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?
+            .max_by(|a, b| a.1.total_cmp(b.1))?
             .0;
         let cfg = problem.tuning_space.denormalize(&configs[nearest]);
         problem.tuning_space.is_valid(&cfg).then_some(cfg)
@@ -198,9 +198,12 @@ pub fn transfer_tune(
                 &[],
             )
         });
-        fresh.push((cfg.clone(), out[0][0]));
+        // evaluate_batch returns one output row per submitted point; a
+        // missing or empty row is treated as a failed measurement.
+        let row = out.into_iter().next().unwrap_or_default();
+        fresh.push((cfg.clone(), row.first().copied().unwrap_or(f64::INFINITY)));
         evals.points.push((target_idx, cfg));
-        evals.outputs.push(out.into_iter().next().unwrap());
+        evals.outputs.push(row);
         evals.failures.extend(fails);
         iteration += 1;
     }
@@ -208,7 +211,7 @@ pub fn transfer_tune(
     let (best_config, best_value) = fresh
         .iter()
         .filter(|(_, y)| y.is_finite())
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(c, y)| (c.clone(), *y))
         .unwrap_or_else(|| (fresh[0].0.clone(), f64::INFINITY));
 

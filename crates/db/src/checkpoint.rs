@@ -174,9 +174,13 @@ impl Checkpoint {
                 if pair.len() != 2 {
                     return None;
                 }
-                let t = usize::try_from(pair[0].as_i64()?).ok()?;
-                let cfg: Option<Vec<DbValue>> =
-                    pair[1].as_arr()?.iter().map(dbvalue_from_json).collect();
+                let t = usize::try_from(pair.first()?.as_i64()?).ok()?;
+                let cfg: Option<Vec<DbValue>> = pair
+                    .get(1)?
+                    .as_arr()?
+                    .iter()
+                    .map(dbvalue_from_json)
+                    .collect();
                 Some((t, cfg?))
             })
             .collect::<Option<Vec<_>>>()
@@ -206,10 +210,10 @@ impl Checkpoint {
                         return None;
                     }
                     Some(CkptFail {
-                        index: usize::try_from(parts[0].as_i64()?).ok()?,
-                        kind: FailKind::parse(parts[1].as_str()?)?,
-                        attempts: parts[2].as_u64()?,
-                        elapsed_secs: parts[3].as_f64()?,
+                        index: usize::try_from(parts.first()?.as_i64()?).ok()?,
+                        kind: FailKind::parse(parts.get(1)?.as_str()?)?,
+                        attempts: parts.get(2)?.as_u64()?,
+                        elapsed_secs: parts.get(3)?.as_f64()?,
                     })
                 })
                 .collect::<Option<Vec<_>>>()

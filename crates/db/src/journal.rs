@@ -112,7 +112,7 @@ fn ends_with_newline(path: &Path) -> io::Result<bool> {
     f.seek(SeekFrom::End(-1))?;
     let mut last = [0u8; 1];
     f.read_exact(&mut last)?;
-    Ok(last[0] == b'\n')
+    Ok(last == [b'\n'])
 }
 
 /// Rewrites a journal keeping the first occurrence of each entry (by

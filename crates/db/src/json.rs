@@ -212,6 +212,7 @@ impl std::error::Error for ParseError {}
 /// Parses a complete JSON document (trailing whitespace allowed).
 pub fn parse(input: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
+        src: input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -225,6 +226,9 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 }
 
 struct Parser<'a> {
+    /// The original input; `bytes` is its byte view. Kept so string
+    /// scanning can consume whole UTF-8 scalars without `unsafe`.
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -247,7 +251,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -271,7 +275,11 @@ impl<'a> Parser<'a> {
     }
 
     fn keyword(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        if self
+            .bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(word.as_bytes()))
+        {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -280,7 +288,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -291,7 +299,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             pairs.push((key, val));
@@ -308,7 +316,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -331,7 +339,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -370,11 +378,16 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so this is
-                    // always on a char boundary).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                    // Consume one UTF-8 scalar. The input is &str and pos
+                    // only ever advances by whole scalars, so pos sits on
+                    // a char boundary; if that invariant were ever broken,
+                    // get() returns None and we report a parse error
+                    // instead of touching unsafe.
+                    let c = self
+                        .src
+                        .get(self.pos..)
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid utf-8 position"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -416,8 +429,11 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected digit in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("invalid number"))?;
         if !is_float {
             if let Ok(x) = text.parse::<i64>() {
                 return Ok(Json::Int(x));

@@ -8,6 +8,7 @@
 //! unconstrained.
 
 use crate::kernel::{ArdKernel, KernelKind};
+use gptune_la::ord::feq;
 use gptune_la::{Cholesky, CholeskyOptions, Matrix};
 use gptune_opt::lbfgs::{self, LbfgsOptions};
 use rand::rngs::StdRng;
@@ -261,7 +262,7 @@ impl LcmModel {
         let (best_nll, best_theta) = results
             .into_iter()
             .filter(|(v, _)| v.is_finite())
-            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .min_by(|a, b| a.0.total_cmp(&b.0))
             .unwrap_or_else(|| {
                 // All restarts diverged: fall back to a fixed default.
                 let hp = LcmHyperparams {
@@ -333,7 +334,7 @@ impl LcmModel {
             for q in 0..self.hp.q {
                 let coeff = self.hp.a[q][task] * self.hp.a[q][tp]
                     + if tp == task { self.hp.b[q][task] } else { 0.0 };
-                if coeff != 0.0 {
+                if !feq(coeff, 0.0) {
                     s += coeff * kernels[q].eval(x, xp);
                 }
             }
@@ -364,7 +365,7 @@ impl LcmModel {
             .zip(&self.y_std_vals)
             .filter(|(t, _)| **t == task)
             .map(|(_, y)| y * self.scale + self.shift)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Leave-one-out cross-validation diagnostics (Sundararajan–Keerthi):
@@ -471,7 +472,7 @@ fn build_covariance(data: &LcmData<'_>, hp: &LcmHyperparams) -> Matrix {
             for j in 0..=i {
                 let tj = data.task_of[j];
                 let coeff = hp.a[q][ti] * hp.a[q][tj] + if ti == tj { hp.b[q][ti] } else { 0.0 };
-                if coeff != 0.0 {
+                if !feq(coeff, 0.0) {
                     let kv = kern.eval(&data.xs[i], &data.xs[j]);
                     sigma.add_at(i, j, coeff * kv);
                 }
@@ -536,7 +537,7 @@ fn nll_and_grad(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -
             for j in 0..=i {
                 let tj = data.task_of[j];
                 let coeff = hp.a[qq][ti] * hp.a[qq][tj] + if ti == tj { hp.b[qq][ti] } else { 0.0 };
-                if coeff != 0.0 {
+                if !feq(coeff, 0.0) {
                     sigma.add_at(i, j, coeff * kmats[qq].get(i, j));
                 }
             }
@@ -591,7 +592,7 @@ fn nll_and_grad(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -
                     let tj = data.task_of[j];
                     let coeff =
                         hp.a[qq][ti] * hp.a[qq][tj] + if ti == tj { hp.b[qq][ti] } else { 0.0 };
-                    if coeff == 0.0 {
+                    if feq(coeff, 0.0) {
                         continue;
                     }
                     let dk = kern.grad_log_lengthscale(&data.xs[i], &data.xs[j], dd, kq.get(i, j));
@@ -611,7 +612,7 @@ fn nll_and_grad(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -
                     let tj = data.task_of[j];
                     let da = if ti == r { hp.a[qq][tj] } else { 0.0 }
                         + if tj == r { hp.a[qq][ti] } else { 0.0 };
-                    if da != 0.0 {
+                    if !feq(da, 0.0) {
                         g += w.get(i, j) * da * kq.get(i, j);
                     }
                 }

@@ -6,6 +6,7 @@
 //! which is where almost all the flops of the LCM covariance factorization
 //! live.
 
+use crate::ord::feq;
 use crate::Matrix;
 use rayon::prelude::*;
 
@@ -34,7 +35,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// Euclidean norm `‖x‖₂`, with scaling to avoid overflow.
 pub fn nrm2(x: &[f64]) -> f64 {
     let amax = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-    if amax == 0.0 || !amax.is_finite() {
+    if feq(amax, 0.0) || !amax.is_finite() {
         return amax;
     }
     let s: f64 = x.iter().map(|v| (v / amax) * (v / amax)).sum();
@@ -88,7 +89,7 @@ pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "gemm: inner dims");
     assert_eq!(c.rows(), a.rows(), "gemm: C rows");
     assert_eq!(c.cols(), b.cols(), "gemm: C cols");
-    if beta != 1.0 {
+    if !feq(beta, 1.0) {
         c.scale(beta);
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
@@ -102,7 +103,7 @@ pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
                 let crow = c.row_mut(i);
                 for (kk, &aik) in arow.iter().enumerate() {
                     let aik = alpha * aik;
-                    if aik == 0.0 {
+                    if feq(aik, 0.0) {
                         continue;
                     }
                     let brow = b.row(k0 + kk);
@@ -128,7 +129,7 @@ pub fn par_gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
         .par_chunks_mut(n)
         .enumerate()
         .for_each(|(i, crow)| {
-            if beta != 1.0 {
+            if !feq(beta, 1.0) {
                 for v in crow.iter_mut() {
                     *v *= beta;
                 }
@@ -138,7 +139,7 @@ pub fn par_gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
                 let k1 = (k0 + BLOCK).min(k);
                 for (kk, &aik) in arow[k0..k1].iter().enumerate() {
                     let aik = alpha * aik;
-                    if aik == 0.0 {
+                    if feq(aik, 0.0) {
                         continue;
                     }
                     let brow = b.row(k0 + kk);
@@ -169,7 +170,7 @@ pub fn gemm_tn(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     assert_eq!(a.rows(), b.rows(), "gemm_tn: inner dims");
     assert_eq!(c.rows(), a.cols());
     assert_eq!(c.cols(), b.cols());
-    if beta != 1.0 {
+    if !feq(beta, 1.0) {
         c.scale(beta);
     }
     for kk in 0..a.rows() {
@@ -177,7 +178,7 @@ pub fn gemm_tn(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
         let brow = b.row(kk);
         for i in 0..a.cols() {
             let aik = alpha * arow[i];
-            if aik == 0.0 {
+            if feq(aik, 0.0) {
                 continue;
             }
             axpy(aik, brow, c.row_mut(i));

@@ -175,7 +175,7 @@ impl Cholesky {
         for i in (0..n).rev() {
             for j in (i + 1)..n {
                 let lji = self.l.get(j, i);
-                if lji == 0.0 {
+                if crate::ord::feq(lji, 0.0) {
                     continue;
                 }
                 let (bi, bj) = b.rows_mut_pair(i, j);

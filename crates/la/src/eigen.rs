@@ -57,7 +57,7 @@ impl SymmetricEigen {
         }
 
         let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let eigenvalues: Vec<f64> = pairs.iter().map(|(v, _)| *v).collect();
         let mut eigenvectors = Matrix::zeros(n, n);
         for (col, (_, old)) in pairs.iter().enumerate() {

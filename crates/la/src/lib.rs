@@ -36,6 +36,7 @@ pub mod cholesky;
 pub mod eigen;
 pub mod lu;
 pub mod matrix;
+pub mod ord;
 pub mod qr;
 pub mod triangular;
 
@@ -43,6 +44,7 @@ pub use cholesky::{Cholesky, CholeskyOptions};
 pub use eigen::SymmetricEigen;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use ord::{argmax, argmin, cmp_f64, feq, max_f64, min_f64, sort_floats};
 pub use qr::Qr;
 
 /// Errors reported by factorization routines.

@@ -5,6 +5,7 @@
 //! internals. `PA = LU` with unit lower-triangular `L` stored below the
 //! diagonal of the packed factor.
 
+use crate::ord::feq;
 use crate::{LaError, Matrix, Result};
 
 /// Packed LU factorization `PA = LU`.
@@ -38,7 +39,7 @@ impl Lu {
                     p = i;
                 }
             }
-            if pmax == 0.0 || !pmax.is_finite() {
+            if feq(pmax, 0.0) || !pmax.is_finite() {
                 return Err(LaError::Singular { pivot: k });
             }
             if p != k {
@@ -50,7 +51,7 @@ impl Lu {
             for i in (k + 1)..n {
                 let m = lu.get(i, k) / pivot;
                 lu.set(i, k, m);
-                if m == 0.0 {
+                if feq(m, 0.0) {
                     continue;
                 }
                 let (ri, rk) = lu.rows_mut_pair(i, k);

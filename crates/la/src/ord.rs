@@ -1,0 +1,210 @@
+//! Checked float ordering and comparison helpers.
+//!
+//! IEEE-754 comparisons are partial: `NaN == NaN` is false, and
+//! `partial_cmp` returns `None` for NaN operands, so `sort_by(|a, b|
+//! a.partial_cmp(b).unwrap())` panics the moment a failed measurement or a
+//! degenerate kernel evaluation produces a NaN. GPTune's search loop must
+//! survive those values (a NaN objective is a *data point* — "this
+//! configuration failed" — not a programming error), so every float
+//! comparison that feeds a sort, an argmin, or a recorded decision goes
+//! through the total-order helpers here.
+//!
+//! The total order used is [`f64::total_cmp`] (IEEE-754 `totalOrder`):
+//! `-NaN < -inf < … < -0.0 < +0.0 < … < +inf < +NaN`. Positive NaNs sort
+//! *last*, which is exactly what a minimizing tuner wants — failed
+//! configurations lose ties against every finite objective value.
+//!
+//! The GX1xx lint tier (see `crates/xtask`) rewrites the rest of the
+//! workspace onto these helpers; this module is the one place allowed to
+//! touch raw float comparison operators (allowlisted in `lint.toml`).
+
+use std::cmp::Ordering;
+
+/// Total-order comparator for `f64`, usable directly as a sort key:
+/// `v.sort_by(cmp_f64)`. Thin named wrapper over [`f64::total_cmp`] so
+/// call sites read as "checked comparator" rather than a method chain.
+#[inline]
+pub fn cmp_f64(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
+
+/// NaN-reflexive equality: like `==` except that `feq(NAN, NAN)` is true
+/// and `feq(0.0, -0.0)` remains true. Use this wherever code needs "is
+/// this the same stored value" semantics (cache hits, convergence checks
+/// against an exact sentinel) rather than IEEE equality.
+#[inline]
+pub fn feq(a: f64, b: f64) -> bool {
+    (a == b) || (a.is_nan() && b.is_nan())
+}
+
+/// Index of the minimum non-NaN element, first occurrence on ties, or
+/// `None` for an empty slice. NaNs are shed, not ordered: a raw
+/// `total_cmp` minimum would let a negative-sign NaN beat `-inf`, so a
+/// failed measurement could silently become the "best" configuration.
+/// An all-NaN slice still returns `Some(0)` (the tuner can then observe
+/// that its best is a failure and act on it).
+#[inline]
+pub fn argmin(values: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if v >= b => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+        .or_else(|| (!values.is_empty()).then_some(0))
+}
+
+/// Index of the maximum non-NaN element, first occurrence on ties, or
+/// `None` for an empty slice. NaNs are shed, not ordered: positive NaN
+/// sorts *above* `+inf` in the total order, so a raw `total_cmp` maximum
+/// would hand a failed measurement the win over every real value. An
+/// all-NaN slice still returns `Some(0)`.
+#[inline]
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if v <= b => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+        .or_else(|| (!values.is_empty()).then_some(0))
+}
+
+/// Sorts a float slice ascending under the IEEE total order (NaNs last).
+/// Stable, so equal keys keep their relative order.
+#[inline]
+pub fn sort_floats(values: &mut [f64]) {
+    values.sort_by(f64::total_cmp);
+}
+
+/// NaN-shedding minimum: if exactly one operand is NaN the other wins;
+/// NaN only survives when both operands are NaN.
+#[inline]
+pub fn min_f64(a: f64, b: f64) -> f64 {
+    if a.is_nan() {
+        return b;
+    }
+    if b.is_nan() {
+        return a;
+    }
+    if b < a {
+        b
+    } else {
+        a
+    }
+}
+
+/// NaN-shedding maximum: if exactly one operand is NaN the other wins;
+/// NaN only survives when both operands are NaN.
+#[inline]
+pub fn max_f64(a: f64, b: f64) -> f64 {
+    if a.is_nan() {
+        return b;
+    }
+    if b.is_nan() {
+        return a;
+    }
+    if b > a {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_f64_is_total_on_nan() {
+        let mut v = vec![3.0, f64::NAN, -1.0, f64::INFINITY, 0.5];
+        v.sort_by(cmp_f64);
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[1], 0.5);
+        assert_eq!(v[2], 3.0);
+        assert_eq!(v[3], f64::INFINITY);
+        assert!(v[4].is_nan());
+    }
+
+    #[test]
+    fn feq_is_nan_reflexive() {
+        assert!(feq(f64::NAN, f64::NAN));
+        assert!(feq(1.5, 1.5));
+        assert!(feq(0.0, -0.0));
+        assert!(!feq(1.0, 2.0));
+        assert!(!feq(f64::NAN, 1.0));
+        assert!(!feq(1.0, f64::NAN));
+    }
+
+    #[test]
+    fn argmin_skips_nan_when_finite_exists() {
+        let v = [f64::NAN, 2.0, 1.0, f64::NAN, 3.0];
+        assert_eq!(argmin(&v), Some(2));
+    }
+
+    #[test]
+    fn argmin_prefers_neg_infinity_and_first_tie() {
+        assert_eq!(argmin(&[1.0, f64::NEG_INFINITY, -5.0]), Some(1));
+        assert_eq!(argmin(&[2.0, 1.0, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn argmin_of_all_nan_still_returns_an_index() {
+        assert_eq!(argmin(&[f64::NAN, f64::NAN]), Some(0));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn argmax_sheds_nan_when_finite_exists() {
+        // Positive NaN sorts *above* +inf in the total order, so a naive
+        // total_cmp argmax would hand the win to a failed measurement —
+        // argmax must shed NaNs instead.
+        let v = [1.0, f64::NAN, 3.0];
+        assert_eq!(argmax(&v), Some(2));
+        assert_eq!(argmax(&[f64::NAN, 2.0, f64::INFINITY]), Some(2));
+        let finite = [1.0, 7.0, 3.0];
+        assert_eq!(argmax(&finite), Some(1));
+        assert_eq!(argmax(&[4.0, 7.0, 7.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), Some(0));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmin_sheds_negative_sign_nan() {
+        // A NaN with the sign bit set sorts *below* -inf under total_cmp;
+        // shedding by is_nan() is immune to the sign bit.
+        let neg_nan = f64::from_bits(f64::NAN.to_bits() | (1 << 63));
+        assert!(neg_nan.is_nan());
+        assert_eq!(argmin(&[neg_nan, f64::NEG_INFINITY, 1.0]), Some(1));
+        assert_eq!(argmax(&[1.0, neg_nan]), Some(0));
+    }
+
+    #[test]
+    fn sort_floats_orders_nan_last() {
+        let mut v = vec![f64::NAN, 1.0, -2.0, f64::NAN, 0.0];
+        sort_floats(&mut v);
+        assert_eq!(&v[..3], &[-2.0, 0.0, 1.0]);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+
+    #[test]
+    fn min_max_shed_nan() {
+        assert_eq!(min_f64(f64::NAN, 2.0), 2.0);
+        assert_eq!(min_f64(2.0, f64::NAN), 2.0);
+        assert_eq!(max_f64(f64::NAN, 2.0), 2.0);
+        assert_eq!(max_f64(2.0, f64::NAN), 2.0);
+        assert!(min_f64(f64::NAN, f64::NAN).is_nan());
+        assert_eq!(min_f64(1.0, 2.0), 1.0);
+        assert_eq!(max_f64(1.0, 2.0), 2.0);
+    }
+}

@@ -4,6 +4,7 @@
 //! hyperparameters `(t_flop, t_msg, t_vol)` of Eq. 7 to observed samples by
 //! linear least squares; QR is the numerically stable way to do that.
 
+use crate::ord::feq;
 use crate::{LaError, Matrix, Result};
 
 /// Compact Householder QR of an `m × n` matrix with `m ≥ n`.
@@ -32,7 +33,7 @@ impl Qr {
                 norm2 += v * v;
             }
             let norm = norm2.sqrt();
-            if norm == 0.0 {
+            if feq(norm, 0.0) {
                 tau[k] = 0.0;
                 continue;
             }
@@ -78,7 +79,7 @@ impl Qr {
         let (m, n) = (self.rows(), self.cols());
         assert_eq!(b.len(), m);
         for k in 0..n {
-            if self.tau[k] == 0.0 {
+            if feq(self.tau[k], 0.0) {
                 continue;
             }
             let mut s = b[k];
@@ -115,7 +116,7 @@ impl Qr {
             e[j] = 1.0;
             // Q e_j = H_1 … H_n e_j: apply reflectors in reverse.
             for k in (0..n).rev() {
-                if self.tau[k] == 0.0 {
+                if feq(self.tau[k], 0.0) {
                     continue;
                 }
                 let mut s = e[k];
@@ -192,7 +193,7 @@ pub fn lstsq_nonneg(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             .iter()
             .enumerate()
             .filter(|(_, v)| **v < 0.0)
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
         {
             active.remove(worst);

@@ -4,6 +4,7 @@
 //! the GP/LCM code: `Σ⁻¹ y` is computed as two triangular solves against the
 //! Cholesky factor `L`.
 
+use crate::ord::feq;
 use crate::Matrix;
 
 /// Solves `L x = b` in place where `L` is lower triangular (only the lower
@@ -22,7 +23,7 @@ pub fn solve_lower(l: &Matrix, b: &mut [f64]) {
             s -= row[j] * bj;
         }
         let d = row[i];
-        assert!(d != 0.0, "solve_lower: zero diagonal at {i}");
+        assert!(!feq(d, 0.0), "solve_lower: zero diagonal at {i}");
         b[i] = s / d;
     }
 }
@@ -37,7 +38,7 @@ pub fn solve_lower_transpose(l: &Matrix, b: &mut [f64]) {
             s -= l.get(j, i) * b[j];
         }
         let d = l.get(i, i);
-        assert!(d != 0.0, "solve_lower_transpose: zero diagonal at {i}");
+        assert!(!feq(d, 0.0), "solve_lower_transpose: zero diagonal at {i}");
         b[i] = s / d;
     }
 }
@@ -54,7 +55,7 @@ pub fn solve_upper(u: &Matrix, b: &mut [f64]) {
             s -= row[j] * b[j];
         }
         let d = row[i];
-        assert!(d != 0.0, "solve_upper: zero diagonal at {i}");
+        assert!(!feq(d, 0.0), "solve_upper: zero diagonal at {i}");
         b[i] = s / d;
     }
 }
@@ -67,10 +68,10 @@ pub fn solve_lower_matrix(l: &Matrix, b: &mut Matrix) {
     for i in 0..n {
         let li = l.row(i).to_vec(); // copy row to sidestep borrow of b rows
         let diag = li[i];
-        assert!(diag != 0.0, "solve_lower_matrix: zero diagonal at {i}");
+        assert!(!feq(diag, 0.0), "solve_lower_matrix: zero diagonal at {i}");
         for j in 0..i {
             let lij = li[j];
-            if lij == 0.0 {
+            if feq(lij, 0.0) {
                 continue;
             }
             let (bi, bj) = b.rows_mut_pair(i, j);

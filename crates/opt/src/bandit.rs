@@ -53,7 +53,7 @@ impl AucBandit {
                 let explore = self.c * (2.0 * lnt / self.uses[a] as f64).sqrt();
                 (a, exploit + explore)
             })
-            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .max_by(|x, y| x.1.total_cmp(&y.1))
             .unwrap();
         best
     }

@@ -132,7 +132,7 @@ pub fn minimize(
 
         // Rank offspring.
         let mut order: Vec<usize> = (0..lambda).collect();
-        order.sort_by(|&a, &bb| vals[a].partial_cmp(&vals[bb]).unwrap());
+        order.sort_by(|&a, &bb| vals[a].total_cmp(&vals[bb]));
 
         // Recombine mean (in x-space; clamping makes x ≠ m + σBDz exactly,
         // which is the standard box-handling simplification).

@@ -90,7 +90,7 @@ pub fn minimize(
     let (bi, bv) = vals
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     OptResult {
         x: pop[bi].clone(),

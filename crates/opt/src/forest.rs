@@ -109,7 +109,7 @@ impl RegressionTree {
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         for &f in feats {
             let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(|a, b| a.total_cmp(b));
             vals.dedup();
             if vals.len() < 2 {
                 continue;

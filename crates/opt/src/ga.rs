@@ -68,7 +68,7 @@ pub fn minimize(
     for _ in 0..opts.generations {
         // Sort by fitness (ascending = better first).
         let mut order: Vec<usize> = (0..np).collect();
-        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+        order.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
 
         let mut next: Vec<Vec<f64>> = order
             .iter()
@@ -119,7 +119,7 @@ pub fn minimize(
     let (bi, bv) = vals
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     OptResult {
         x: pop[bi].clone(),

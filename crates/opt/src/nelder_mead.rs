@@ -64,7 +64,7 @@ pub fn minimize(
     while evals < opts.max_evals {
         // Order.
         let mut order: Vec<usize> = (0..=dim).collect();
-        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+        order.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
         let best = order[0];
         let worst = order[dim];
         let second_worst = order[dim - 1];
@@ -138,7 +138,7 @@ pub fn minimize(
     let (bi, bv) = vals
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     OptResult {
         x: simplex[bi].clone(),

@@ -110,11 +110,7 @@ pub fn crowding_distance(objs: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
     let m = objs[front[0]].len();
     for obj in 0..m {
         let mut order: Vec<usize> = (0..nf).collect();
-        order.sort_by(|&a, &b| {
-            objs[front[a]][obj]
-                .partial_cmp(&objs[front[b]][obj])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| objs[front[a]][obj].total_cmp(&objs[front[b]][obj]));
         let fmin = objs[front[order[0]]][obj];
         let fmax = objs[front[order[nf - 1]]][obj];
         dist[order[0]] = f64::INFINITY;
@@ -238,11 +234,7 @@ pub fn minimize(
             } else {
                 let cd = crowding_distance(&objs, front);
                 let mut order: Vec<usize> = (0..front.len()).collect();
-                order.sort_by(|&a, &b| {
-                    cd[b]
-                        .partial_cmp(&cd[a])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                order.sort_by(|&a, &b| cd[b].total_cmp(&cd[a]));
                 for &k in order.iter().take(pop_size - keep.len()) {
                     keep.push(front[k]);
                 }

@@ -99,7 +99,7 @@ pub fn minimize(
     let (mut gbest_idx, _) = pbest_val
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     let mut gbest = pbest[gbest_idx].clone();
     let mut gbest_val = pbest_val[gbest_idx];

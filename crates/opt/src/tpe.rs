@@ -55,7 +55,7 @@ pub fn propose(
 
     // Split at the γ quantile (at least `min_good` in the good set).
     let mut order = usable.clone();
-    order.sort_by(|&a, &b| ys[a].partial_cmp(&ys[b]).unwrap());
+    order.sort_by(|&a, &b| ys[a].total_cmp(&ys[b]));
     let n_good = ((opts.gamma * order.len() as f64).ceil() as usize)
         .max(opts.min_good)
         .min(order.len() - 1);
@@ -113,7 +113,7 @@ fn log_kde(x: &[f64], points: &[&Vec<f64>], bw: &[f64]) -> f64 {
         })
         .collect();
     let m = logs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-    if m == f64::NEG_INFINITY {
+    if gptune_la::ord::feq(m, f64::NEG_INFINITY) {
         return f64::NEG_INFINITY;
     }
     m + (logs.iter().map(|l| (l - m).exp()).sum::<f64>() / points.len() as f64).ln()

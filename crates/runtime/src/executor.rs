@@ -10,7 +10,7 @@ use crate::fault::{EvalOutcome, FaultPolicy, GroupClosed, JobStatus, TransientSi
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::cell::Cell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -106,6 +106,10 @@ impl WorkerGroup {
         let id = self.shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
         let rx = self.job_rx.clone();
         let shared = Arc::clone(&self.shared);
+        // PANIC-SAFETY: OS thread spawn fails only on resource
+        // exhaustion; the executor cannot make progress without its
+        // workers, so failing fast is the only sound option.
+        #[allow(clippy::expect_used)]
         let handle = std::thread::Builder::new()
             .name(format!("gptune-worker-{id}"))
             .spawn(move || {
@@ -165,19 +169,24 @@ impl WorkerGroup {
         }
         let f = Arc::new(f);
         let (res_tx, res_rx) = unbounded::<Msg<R>>();
-        {
+        // Clone the sender out of the lock rather than sending under it:
+        // an unbounded crossbeam send never blocks, but holding a guard
+        // across a channel op is the executor's one deadlock shape, so the
+        // lock scope covers exactly the open/closed check.
+        let job_tx = {
             let guard = self.job_tx.lock();
-            let job_tx = guard.as_ref().ok_or(GroupClosed)?;
-            for (i, item) in items.into_iter().enumerate() {
-                let f = Arc::clone(&f);
-                let tx = res_tx.clone();
-                let pol = policy.clone();
-                let job: Job = Box::new(move || run_job(i, &item, &*f, &pol, &tx));
-                // The group holds `job_rx`, so send only fails if the
-                // channel is poisoned beyond repair — surface it typed.
-                job_tx.send(job).map_err(|_| GroupClosed)?;
-            }
+            guard.as_ref().cloned().ok_or(GroupClosed)?
+        };
+        for (i, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = res_tx.clone();
+            let pol = policy.clone();
+            let job: Job = Box::new(move || run_job(i, &item, &*f, &pol, &tx));
+            // The group holds `job_rx`, so send only fails if the
+            // channel is poisoned beyond repair — surface it typed.
+            job_tx.send(job).map_err(|_| GroupClosed)?;
         }
+        drop(job_tx);
         drop(res_tx);
         Ok(self.collect(n, policy, res_rx))
     }
@@ -194,7 +203,9 @@ impl WorkerGroup {
         let mut slots: Vec<Option<EvalOutcome<R>>> = (0..n).map(|_| None).collect();
         let mut done = 0usize;
         // job index -> (armed-at, worker id, attempt) for running jobs.
-        let mut running: HashMap<usize, (Instant, u64, u32)> = HashMap::new();
+        // BTreeMap, not HashMap: expiry scans iterate this map, and the
+        // watchdog's replacement order must not depend on hash order.
+        let mut running: BTreeMap<usize, (Instant, u64, u32)> = BTreeMap::new();
         while done < n {
             if let Some(deadline) = policy.deadline {
                 let now = Instant::now();
@@ -205,8 +216,8 @@ impl WorkerGroup {
                     .collect();
                 for j in expired {
                     if let Some((t0, worker, attempt)) = running.remove(&j) {
-                        if slots[j].is_none() {
-                            slots[j] = Some(EvalOutcome::TimedOut {
+                        if let Some(slot @ None) = slots.get_mut(j) {
+                            *slot = Some(EvalOutcome::TimedOut {
                                 elapsed: now.duration_since(t0),
                                 attempts: attempt + 1,
                             });
@@ -259,7 +270,7 @@ impl WorkerGroup {
         msg: Msg<R>,
         slots: &mut [Option<EvalOutcome<R>>],
         done: &mut usize,
-        running: &mut HashMap<usize, (Instant, u64, u32)>,
+        running: &mut BTreeMap<usize, (Instant, u64, u32)>,
     ) {
         match msg {
             Msg::Started {
@@ -267,8 +278,9 @@ impl WorkerGroup {
                 worker,
                 attempt,
             } => {
-                // Ignore late starts of jobs the watchdog already expired.
-                if slots[job].is_none() {
+                // Ignore late starts of jobs the watchdog already expired
+                // (and any out-of-range index from a confused worker).
+                if slots.get(job).is_some_and(Option::is_none) {
                     running.insert(job, (Instant::now(), worker, attempt));
                 }
             }
@@ -277,8 +289,8 @@ impl WorkerGroup {
             }
             Msg::Done { job, outcome } => {
                 running.remove(&job);
-                if slots[job].is_none() {
-                    slots[job] = Some(outcome);
+                if let Some(slot @ None) = slots.get_mut(job) {
+                    *slot = Some(outcome);
                     *done += 1;
                 }
             }
@@ -304,19 +316,25 @@ impl WorkerGroup {
         // them; `map`'s `f` consumes its item, so stage each in a
         // take-once cell (no retries under `FaultPolicy::none`).
         let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
-        let outcomes = self
-            .try_map(cells, &FaultPolicy::none(), move |cell, _attempt| {
-                let item = cell.lock().take().expect("map job dispatched twice");
-                JobStatus::Ok(f(item))
-            })
-            .expect("worker group has shut down");
-        outcomes
-            .into_iter()
-            .map(|o| match o {
-                EvalOutcome::Ok { value, .. } => value,
-                failed => panic!("worker job failed: {}", failed.describe()),
-            })
-            .collect()
+        // PANIC-SAFETY: `map` is the documented panic-propagating wrapper
+        // (its contract above): a failed job or a closed group re-raises
+        // on the master. Fault-tolerant callers use `try_map` instead.
+        #[allow(clippy::expect_used, clippy::panic)]
+        {
+            let outcomes = self
+                .try_map(cells, &FaultPolicy::none(), move |cell, _attempt| {
+                    let item = cell.lock().take().expect("map job dispatched twice");
+                    JobStatus::Ok(f(item))
+                })
+                .expect("worker group has shut down");
+            outcomes
+                .into_iter()
+                .map(|o| match o {
+                    EvalOutcome::Ok { value, .. } => value,
+                    failed => panic!("worker job failed: {}", failed.describe()),
+                })
+                .collect()
+        }
     }
 
     /// Closes the job queue: subsequent [`WorkerGroup::try_map`] calls
@@ -404,7 +422,14 @@ fn run_job<T, R>(
             match caught {
                 Ok(JobStatus::Ok(value)) => EvalOutcome::Ok { value, attempts },
                 Ok(JobStatus::Invalid(value)) => EvalOutcome::Invalid { value, attempts },
-                Ok(JobStatus::Transient(_)) => unreachable!("handled above"),
+                // Defensive: the transient pre-check above intercepts
+                // this variant, but mapping it to Transient keeps run_job
+                // total without an unreachable! in a panic-free tier.
+                Ok(JobStatus::Transient(message)) => EvalOutcome::Transient {
+                    message,
+                    attempts,
+                    elapsed,
+                },
                 Err(payload) => EvalOutcome::Crashed {
                     message: panic_message(payload.as_ref()),
                     attempts,
@@ -435,6 +460,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// counts are controlled exactly as GPTune controls its spawned MPI group
 /// sizes. Panics from `f` propagate.
 pub fn with_pool<R: Send>(n_threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    // PANIC-SAFETY: pool construction fails only on thread-spawn resource
+    // exhaustion; there is no degraded mode that honors the caller's
+    // requested parallelism, so fail fast (documented: panics propagate).
+    #[allow(clippy::expect_used)]
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(n_threads.max(1))
         .build()

@@ -1,0 +1,178 @@
+//! `lint.toml` — the file-level allowlist for the lint suite.
+//!
+//! The format is a deliberately tiny TOML subset (parsed on std alone):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "GX403"
+//! path = "crates/sparse/src/pattern.rs"
+//! reason = "bucket map is sorted before any output is derived"
+//! ```
+//!
+//! `rule` is a rule ID (`GX101`, …) or a tier glob (`GX4*`); `path` is a
+//! repo-relative path prefix; `reason` is mandatory — an allowlist entry
+//! without a reason is itself a lint error (GX291).
+
+/// One allowlist entry.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+    /// Line in lint.toml where the entry starts (for diagnostics).
+    pub line: u32,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Config {
+    pub allows: Vec<AllowEntry>,
+}
+
+/// A malformed `lint.toml` (unknown key, bad syntax). The lint gate treats
+/// this as a hard error: a typo must not silently widen the allowlist.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl Config {
+    /// True when `rule` at `path` is allowlisted. `rule` matches exactly
+    /// or via a trailing-`*` glob; `path` matches by prefix.
+    pub fn allowed(&self, rule: &str, path: &str) -> Option<&AllowEntry> {
+        self.allows.iter().find(|e| {
+            let rule_ok = match e.rule.strip_suffix('*') {
+                Some(prefix) => rule.starts_with(prefix),
+                None => e.rule == rule,
+            };
+            rule_ok && path.starts_with(e.path.as_str())
+        })
+    }
+
+    /// Parses the subset format. Empty/missing content parses to an empty
+    /// allowlist.
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    finish(e, &mut cfg)?;
+                }
+                current = Some(AllowEntry {
+                    line: lineno,
+                    ..AllowEntry::default()
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(ConfigError {
+                    line: lineno,
+                    msg: format!("unknown table {line:?} (only [[allow]] is supported)"),
+                });
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    msg: format!("expected `key = \"value\"`, got {line:?}"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or(ConfigError {
+                    line: lineno,
+                    msg: format!("value for {key:?} must be a double-quoted string"),
+                })?;
+            let Some(entry) = current.as_mut() else {
+                return Err(ConfigError {
+                    line: lineno,
+                    msg: "key outside of an [[allow]] table".to_string(),
+                });
+            };
+            match key {
+                "rule" => entry.rule = value.to_string(),
+                "path" => entry.path = value.to_string(),
+                "reason" => entry.reason = value.to_string(),
+                other => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        msg: format!("unknown key {other:?} (expected rule/path/reason)"),
+                    })
+                }
+            }
+        }
+        if let Some(e) = current.take() {
+            finish(e, &mut cfg)?;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Validates one completed entry: all three keys are mandatory (GX291's
+/// "allowlist entries must carry a reason" is enforced at parse time).
+fn finish(e: AllowEntry, cfg: &mut Config) -> Result<(), ConfigError> {
+    for (field, val) in [("rule", &e.rule), ("path", &e.path), ("reason", &e.reason)] {
+        if val.is_empty() {
+            return Err(ConfigError {
+                line: e.line,
+                msg: format!("[[allow]] entry is missing required key {field:?}"),
+            });
+        }
+    }
+    cfg.allows.push(e);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let cfg = Config::parse(
+            "# comment\n\n[[allow]]\nrule = \"GX403\"\npath = \"crates/sparse/src/\"\nreason = \"sorted later\"\n\n[[allow]]\nrule = \"GX1*\"\npath = \"crates/la/src/ord.rs\"\nreason = \"comparator home\"\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.allows.len(), 2);
+        assert!(cfg
+            .allowed("GX403", "crates/sparse/src/pattern.rs")
+            .is_some());
+        assert!(cfg.allowed("GX403", "crates/gp/src/lcm.rs").is_none());
+        assert!(cfg.allowed("GX101", "crates/la/src/ord.rs").is_some());
+        assert!(cfg.allowed("GX102", "crates/la/src/ord.rs").is_some());
+        assert!(cfg.allowed("GX201", "crates/la/src/ord.rs").is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let err = Config::parse("[[allow]]\nrule = \"GX101\"\npath = \"x\"\n").unwrap_err();
+        assert!(err.msg.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = Config::parse("[[allow]]\nrule = \"GX101\"\npath = \"x\"\nreson = \"typo\"\n")
+            .unwrap_err();
+        assert!(err.msg.contains("reson"), "{err}");
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert!(Config::parse("").expect("empty ok").allows.is_empty());
+    }
+}

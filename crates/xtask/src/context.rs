@@ -1,0 +1,402 @@
+//! Per-file analysis context shared by all rules: which lines are test
+//! code, which lines sit under an `#[allow(clippy::…)]` escape hatch, and
+//! where the comments are (for `// SAFETY:` / `// PANIC-SAFETY:`
+//! justification checks).
+
+use crate::lexer::{Comment, Lexed, Tok, Token};
+
+/// Clippy lint names whose `#[allow(…)]` the suite recognises as escape
+/// hatches — and therefore requires a justification comment for.
+pub const MONITORED_ALLOWS: &[&str] = &[
+    "unwrap_used",
+    "expect_used",
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "indexing_slicing",
+];
+
+/// Marker prefixes accepted as justification comments next to an
+/// `#[allow]` attribute or an `unsafe` block.
+pub const JUSTIFICATION_MARKERS: &[&str] = &["PANIC-SAFETY:", "SAFETY:"];
+
+/// One `#[allow(clippy::…)]` attribute and the item lines it covers.
+#[derive(Debug)]
+pub struct AllowSpan {
+    /// Final path segments of the allowed lints (`unwrap_used`, `panic`, …),
+    /// filtered to [`MONITORED_ALLOWS`].
+    pub lints: Vec<String>,
+    /// Line of the attribute itself.
+    pub attr_line: u32,
+    /// Inclusive line range of the attribute plus the item it covers.
+    pub start: u32,
+    pub end: u32,
+    /// True when a justification comment sits on/adjacent to the attribute.
+    pub justified: bool,
+}
+
+/// Everything the rules need about one source file.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with forward slashes.
+    pub path: &'a str,
+    pub tokens: &'a [Token],
+    pub comments: &'a [Comment],
+    /// Whole file is test/bench/example code (by directory convention).
+    pub test_file: bool,
+    test_spans: Vec<(u32, u32)>,
+    allow_spans: Vec<AllowSpan>,
+}
+
+impl<'a> FileCtx<'a> {
+    pub fn new(path: &'a str, lexed: &'a Lexed) -> FileCtx<'a> {
+        let test_file = is_test_path(path);
+        let (test_spans, allow_spans) = scan_spans(&lexed.tokens, &lexed.comments);
+        FileCtx {
+            path,
+            tokens: &lexed.tokens,
+            comments: &lexed.comments,
+            test_file,
+            test_spans,
+            allow_spans,
+        }
+    }
+
+    /// Name of the workspace crate this file belongs to (`la`, `db`, …);
+    /// the root package maps to `gptune`.
+    pub fn crate_name(&self) -> &str {
+        if let Some(rest) = self.path.strip_prefix("crates/") {
+            rest.split('/').next().unwrap_or("")
+        } else {
+            "gptune"
+        }
+    }
+
+    /// True when `line` lies in test code (test file, `#[cfg(test)]`
+    /// module, or `#[test]` function).
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_file || self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The allow span covering `line` for clippy lint `lint`, if any.
+    pub fn allow_for(&self, line: u32, lint: &str) -> Option<&AllowSpan> {
+        self.allow_spans
+            .iter()
+            .find(|s| s.start <= line && line <= s.end && s.lints.iter().any(|l| l == lint))
+    }
+
+    /// All allow spans (GX290 walks them to verify justifications).
+    pub fn allow_spans(&self) -> &[AllowSpan] {
+        &self.allow_spans
+    }
+
+    /// True when a comment containing one of [`JUSTIFICATION_MARKERS`]
+    /// touches the line window `[lo, hi]`, or appears anywhere in the
+    /// contiguous comment block ending directly above `lo` (a multi-line
+    /// justification puts the marker on its first line).
+    pub fn justification_near(&self, lo: u32, hi: u32) -> bool {
+        let has_marker = |c: &Comment| JUSTIFICATION_MARKERS.iter().any(|m| c.text.contains(m));
+        if self.comments.iter().any(|c| {
+            let c_end = c.line + c.lines_spanned() - 1;
+            c.line <= hi && c_end >= lo && has_marker(c)
+        }) {
+            return true;
+        }
+        let mut line = lo.saturating_sub(1);
+        while line > 0 {
+            let Some(c) = self
+                .comments
+                .iter()
+                .find(|c| c.line <= line && line <= c.line + c.lines_spanned() - 1)
+            else {
+                break;
+            };
+            if has_marker(c) {
+                return true;
+            }
+            line = c.line.saturating_sub(1);
+        }
+        false
+    }
+}
+
+/// Directory conventions for whole-file test code.
+fn is_test_path(path: &str) -> bool {
+    let p = path;
+    p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.starts_with("examples/")
+        || p.contains("/fixtures/")
+}
+
+/// Single pass over the token stream collecting `#[cfg(test)]` / `#[test]`
+/// item spans and `#[allow(clippy::…)]` spans.
+fn scan_spans(tokens: &[Token], comments: &[Comment]) -> (Vec<(u32, u32)>, Vec<AllowSpan>) {
+    let mut test_spans = Vec::new();
+    let mut allow_spans = Vec::new();
+    let last_line = tokens.last().map_or(1, |t| t.line);
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![…]`: applies to the enclosing scope, not the
+        // next item. A file-level `#![allow(clippy::…)]` covers the whole
+        // file; nothing else matters here (`#![cfg_attr(not(test), …)]`
+        // must NOT mark the following item as test code).
+        if i + 1 < tokens.len() && tokens[i + 1].is_punct('!') {
+            let Some(end) = match_delim(tokens, i + 2, '[', ']') else {
+                break;
+            };
+            let lints = monitored_allow_lints(&tokens[i + 3..end]);
+            if !lints.is_empty() {
+                let attr_line = tokens[i].line;
+                allow_spans.push(AllowSpan {
+                    lints,
+                    attr_line,
+                    start: 1,
+                    end: last_line,
+                    justified: justification_window(comments, attr_line),
+                });
+            }
+            i = end + 1;
+            continue;
+        }
+        if i + 1 >= tokens.len() || !tokens[i + 1].is_punct('[') {
+            i += 1;
+            continue;
+        }
+
+        // Accumulate across the run of outer attributes on one item, then
+        // measure the item's extent once.
+        let mut any_test = false;
+        let mut lints: Vec<String> = Vec::new();
+        let mut first_attr_line = tokens[i].line;
+        let mut attr_lines: Vec<u32> = Vec::new();
+        let mut k = i;
+        while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+            let Some(e) = match_delim(tokens, k + 1, '[', ']') else {
+                return (test_spans, allow_spans);
+            };
+            let attr = &tokens[k + 2..e];
+            // `#[cfg(test)]` (or cfg(all/any containing test, un-negated))
+            // gates the item out of production builds; `#[cfg_attr]` does
+            // not, and `#[cfg(not(test))]` is production code.
+            any_test |= attr.first().map(|t| t.is_ident("cfg")) == Some(true)
+                && attr.iter().any(|t| t.is_ident("test"))
+                && !attr.iter().any(|t| t.is_ident("not"));
+            any_test |= attr.len() == 1 && attr[0].is_ident("test");
+            lints.extend(monitored_allow_lints(attr));
+            first_attr_line = first_attr_line.min(tokens[k].line);
+            attr_lines.push(tokens[k].line);
+            k = e + 1;
+        }
+
+        let item_end_line = item_extent(tokens, k);
+        if any_test {
+            test_spans.push((first_attr_line, item_end_line));
+        }
+        if !lints.is_empty() {
+            let justified = attr_lines
+                .iter()
+                .any(|&l| justification_window(comments, l));
+            allow_spans.push(AllowSpan {
+                lints,
+                attr_line: first_attr_line,
+                start: first_attr_line,
+                end: item_end_line,
+                justified,
+            });
+        }
+        i = k.max(i + 1);
+    }
+    (test_spans, allow_spans)
+}
+
+/// True when a justification comment touches lines `[attr_line-2,
+/// attr_line+1]` — directly above, on, or immediately below the attribute.
+fn justification_window(comments: &[Comment], attr_line: u32) -> bool {
+    // Accept a marker anywhere in the contiguous comment block that ends
+    // directly above the attribute (multi-line justifications push the
+    // marker several lines up), or on the attribute's own line / the line
+    // below (trailing-comment style).
+    let has_marker = |c: &Comment| JUSTIFICATION_MARKERS.iter().any(|m| c.text.contains(m));
+    let covers = |c: &Comment, line: u32| {
+        let c_end = c.line + c.lines_spanned() - 1;
+        c.line <= line && line <= c_end
+    };
+    if comments
+        .iter()
+        .any(|c| (covers(c, attr_line) || covers(c, attr_line + 1)) && has_marker(c))
+    {
+        return true;
+    }
+    let mut line = attr_line.saturating_sub(1);
+    while line > 0 {
+        let Some(c) = comments.iter().find(|c| covers(c, line)) else {
+            break;
+        };
+        if has_marker(c) {
+            return true;
+        }
+        line = c.line.saturating_sub(1);
+    }
+    false
+}
+
+/// Final path segments of `allow(...)` lint lists inside one attribute's
+/// tokens, filtered to the monitored set. Handles both `#[allow(…)]` and
+/// `#[cfg_attr(cond, allow(…))]`.
+fn monitored_allow_lints(attr: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < attr.len() {
+        if attr[i].is_ident("allow") && i + 1 < attr.len() && attr[i + 1].is_punct('(') {
+            if let Some(end) = match_delim(attr, i + 1, '(', ')') {
+                // Lint paths separated by commas; keep each path's last
+                // identifier segment.
+                let mut last: Option<&str> = None;
+                for t in &attr[i + 2..end] {
+                    match &t.kind {
+                        Tok::Ident(s) => last = Some(s),
+                        Tok::Punct(',') => {
+                            if let Some(l) = last.take() {
+                                if MONITORED_ALLOWS.contains(&l) {
+                                    out.push(l.to_string());
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(l) = last {
+                    if MONITORED_ALLOWS.contains(&l) {
+                        out.push(l.to_string());
+                    }
+                }
+                i = end;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the closing delimiter matching `tokens[open]` (which must be
+/// `open_c`). Counts only this delimiter kind — contents were already
+/// string/comment-stripped by the lexer, so counting is sound.
+pub fn match_delim(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Last line of the item starting at token `start`: the first `;` or `,`
+/// at zero delimiter depth ends it, or the brace block that opens at zero
+/// depth does.
+fn item_extent(tokens: &[Token], start: usize) -> u32 {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut k = start;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.kind {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren -= 1,
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket -= 1,
+            Tok::Punct('{') if paren == 0 && bracket == 0 => {
+                return match match_delim(tokens, k, '{', '}') {
+                    Some(e) => tokens[e].line,
+                    None => tokens.last().map_or(t.line, |l| l.line),
+                };
+            }
+            Tok::Punct(';') | Tok::Punct(',') if paren == 0 && bracket == 0 => return t.line,
+            _ => {}
+        }
+        k += 1;
+    }
+    tokens.last().map_or(0, |l| l.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_span() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn b() {}\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("crates/la/src/x.rs", &lexed);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(4));
+        assert!(!ctx.in_test(6));
+    }
+
+    #[test]
+    fn test_attr_fn_span() {
+        let src = "#[test]\nfn t() {\n  boom();\n}\nfn prod() {}\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("crates/la/src/x.rs", &lexed);
+        assert!(ctx.in_test(3));
+        assert!(!ctx.in_test(5));
+    }
+
+    #[test]
+    fn allow_span_with_justification() {
+        let src = "// PANIC-SAFETY: spawn failure is unrecoverable at startup.\n#[allow(clippy::expect_used)]\nfn f() {\n  g().expect(\"x\");\n}\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("crates/runtime/src/x.rs", &lexed);
+        let span = ctx.allow_for(4, "expect_used").expect("span covers body");
+        assert!(span.justified);
+        assert!(ctx.allow_for(4, "unwrap_used").is_none());
+    }
+
+    #[test]
+    fn allow_span_without_justification() {
+        let src = "#[allow(clippy::unwrap_used)]\nfn f() {\n  g().unwrap();\n}\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("crates/db/src/x.rs", &lexed);
+        let span = ctx.allow_for(3, "unwrap_used").expect("span covers body");
+        assert!(!span.justified);
+    }
+
+    #[test]
+    fn unmonitored_allow_is_ignored() {
+        let src = "#[allow(dead_code)]\nfn f() {}\n";
+        let lexed = lex(src);
+        let ctx = FileCtx::new("crates/db/src/x.rs", &lexed);
+        assert!(ctx.allow_spans().is_empty());
+    }
+
+    #[test]
+    fn crate_names() {
+        let lexed = lex("");
+        assert_eq!(
+            FileCtx::new("crates/gp/src/lcm.rs", &lexed).crate_name(),
+            "gp"
+        );
+        assert_eq!(FileCtx::new("src/cli.rs", &lexed).crate_name(), "gptune");
+    }
+
+    #[test]
+    fn fixture_dirs_are_test_files() {
+        let lexed = lex("");
+        assert!(FileCtx::new("crates/xtask/tests/fixtures/a.rs", &lexed).test_file);
+        assert!(FileCtx::new("crates/db/tests/x.rs", &lexed).test_file);
+        assert!(!FileCtx::new("crates/db/src/x.rs", &lexed).test_file);
+    }
+}

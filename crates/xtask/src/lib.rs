@@ -1,0 +1,113 @@
+//! gptune-xtask — the workspace lint suite.
+//!
+//! Domain-specific static analysis for the invariants GPTune's correctness
+//! actually rests on, none of which a generic linter checks:
+//!
+//! * **NaN-safety** (GX101–GX103): surrogate fitting must never feed
+//!   NaN/inf into the Cholesky, so float comparisons and sorts must be
+//!   total (`f64::total_cmp`, `gptune_la::ord`).
+//! * **Panic-freedom tiers** (GX201–GX204, GX290): a dead measurement must
+//!   never kill the tuner — the runtime, the db, and the core evaluation
+//!   path stay `unwrap`/`panic!`-free outside explicitly justified escapes.
+//! * **Lock discipline** (GX301): no lock guard held across a channel op
+//!   or join — the master/worker executor's one deadlock shape.
+//! * **Determinism** (GX401–GX403): checkpoint/resume replays to identical
+//!   results only if every random draw is seed-threaded through
+//!   `MlaOptions` and no recorded output depends on hash-map order.
+//! * **Unsafe hygiene** (GX501): every `unsafe` carries a `// SAFETY:`.
+//!
+//! Run it as `cargo run -p gptune-xtask -- lint` (wired into `tier1.sh`);
+//! see `lint.toml` at the workspace root for the allowlist format and
+//! DESIGN.md §"Static-analysis policy" for the full rule catalogue.
+
+pub mod config;
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+use config::Config;
+use context::FileCtx;
+use rules::Diagnostic;
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source text under its repo-relative path.
+pub fn lint_source(path_rel: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let ctx = FileCtx::new(path_rel, &lexed);
+    rules::check_file(&ctx, cfg)
+}
+
+/// Result of a workspace lint run.
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+/// Lints every `crates/*/src/**/*.rs` plus the root package's `src/`
+/// under `root`. Diagnostics are sorted by path then line, so output is
+/// byte-stable across runs.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for file in &files {
+        let source = std::fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diagnostics.extend(lint_source(&rel, &source, cfg));
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(LintReport {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op when absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|x| x == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Loads `lint.toml` from the workspace root (empty allowlist when the
+/// file does not exist).
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(src) => Config::parse(&src).map_err(|e| e.to_string()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}

@@ -1,0 +1,98 @@
+//! `gptune-xtask` CLI.
+//!
+//! ```text
+//! cargo run -p gptune-xtask -- lint            # lint the workspace
+//! cargo run -p gptune-xtask -- lint --root P   # lint another checkout
+//! cargo run -p gptune-xtask -- rules           # print the rule catalogue
+//! ```
+//!
+//! `lint` exits 0 when clean, 1 on violations, 2 on usage/config errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            println!("{:<7} {:<30} description", "id", "name");
+            for r in gptune_xtask::rules::RULES {
+                println!("{:<7} {:<30} {}", r.id, r.name, r.desc);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: gptune-xtask <lint [--root PATH] [--quiet] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace this binary was built from (two levels
+    // up from crates/xtask), so the gate works from any working directory.
+    let root = root.unwrap_or_else(|| {
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.pop();
+        p.pop();
+        p
+    });
+
+    let cfg = match gptune_xtask::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("gptune-xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match gptune_xtask::lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gptune-xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        if !quiet {
+            println!(
+                "gptune-xtask lint: clean ({} files, {} rules, {} allowlist entries)",
+                report.files_scanned,
+                gptune_xtask::rules::RULES.len(),
+                cfg.allows.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            report.diagnostics.iter().map(|d| d.path.as_str()).collect();
+        eprintln!(
+            "gptune-xtask lint: {} violation(s) in {} file(s) — see DESIGN.md §\"Static-analysis policy\"",
+            report.diagnostics.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1017 @@
+//! The GPTune lint rules.
+//!
+//! Rule IDs are tiered by the invariant they protect:
+//!
+//! | tier | IDs   | invariant |
+//! |------|-------|-----------|
+//! | 1    | GX101–GX103 | NaN-safety: no IEEE `==`/`!=`, no `partial_cmp` escapes into ordering |
+//! | 2    | GX201–GX204, GX290 | panic-freedom in the runtime / db / core evaluation path |
+//! | 3    | GX301 | lock discipline: no guard held across channel ops or joins |
+//! | 4    | GX401–GX403 | determinism: every random draw and iteration order is seed-threaded |
+//! | 5    | GX501 | unsafe hygiene: every `unsafe` carries a `// SAFETY:` justification |
+//!
+//! Every rule is a pattern walk over the token stream of [`crate::lexer`]
+//! — deliberately type-blind, so each check documents the (small) set of
+//! shapes it matches. False positives are handled by the `lint.toml`
+//! allowlist or, for the panic tier, by `#[allow(clippy::…)]` plus a
+//! `// PANIC-SAFETY:` justification comment (verified by GX290).
+
+use crate::config::Config;
+use crate::context::{match_delim, FileCtx};
+use crate::lexer::{Tok, Token};
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Static description of one rule, for `gptune-xtask rules`.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub name: &'static str,
+    pub desc: &'static str,
+}
+
+/// The full rule table.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "GX101",
+        name: "float-eq",
+        desc: "no `==`/`!=` against float literals or float constants; use gptune_la::ord::feq",
+    },
+    RuleInfo {
+        id: "GX102",
+        name: "partial-cmp-unwrap",
+        desc: "no `partial_cmp(..).unwrap()/expect()`; use f64::total_cmp or gptune_la::ord",
+    },
+    RuleInfo {
+        id: "GX103",
+        name: "sort-by-partial-cmp",
+        desc: "no raw `partial_cmp` comparators in sort_by/min_by/max_by (NaN mis-sorts); use total_cmp",
+    },
+    RuleInfo {
+        id: "GX201",
+        name: "unwrap",
+        desc: "no `.unwrap()` in panic-free tiers (runtime, db, core evaluation path)",
+    },
+    RuleInfo {
+        id: "GX202",
+        name: "expect",
+        desc: "no `.expect(..)` in panic-free tiers without an #[allow] + justification",
+    },
+    RuleInfo {
+        id: "GX203",
+        name: "panic-macro",
+        desc: "no panic!/unreachable!/todo!/unimplemented! in panic-free tiers",
+    },
+    RuleInfo {
+        id: "GX204",
+        name: "index-without-get",
+        desc: "no `x[i]` indexing in strict panic-free crates (runtime, db); use .get()",
+    },
+    RuleInfo {
+        id: "GX290",
+        name: "allow-without-justification",
+        desc: "#[allow(clippy::unwrap_used/…)] escapes need an adjacent `// PANIC-SAFETY:` comment",
+    },
+    RuleInfo {
+        id: "GX301",
+        name: "lock-across-channel",
+        desc: "no Mutex/RwLock guard held across channel send/recv or thread join (deadlock shape)",
+    },
+    RuleInfo {
+        id: "GX401",
+        name: "ambient-rng",
+        desc: "no thread_rng/from_entropy/OsRng; every RNG must be seeded through MlaOptions",
+    },
+    RuleInfo {
+        id: "GX402",
+        name: "time-derived-seed",
+        desc: "no SystemTime/Instant-derived seeds; seeds must be explicit and recorded",
+    },
+    RuleInfo {
+        id: "GX403",
+        name: "hashmap-iteration",
+        desc: "no iteration over HashMap/HashSet locals (nondeterministic order); use BTreeMap or sort",
+    },
+    RuleInfo {
+        id: "GX501",
+        name: "unsafe-without-safety-comment",
+        desc: "every `unsafe` needs an adjacent `// SAFETY:` comment",
+    },
+];
+
+/// Crates under the strict panic-freedom tier: unwrap/expect/panic macros
+/// *and* bare indexing are violations.
+const PANIC_FREE_STRICT_CRATES: &[&str] = &["runtime", "db"];
+
+/// Core evaluation-path files under the panic-freedom tier (indexing is
+/// exempt there — the numeric kernels index hot loops by design).
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/core/src/mla.rs",
+    "crates/core/src/mla_mo.rs",
+    "crates/core/src/tla.rs",
+    "crates/core/src/db_bridge.rs",
+];
+
+/// Crates exempt from the panic tier entirely: the lint tool itself (a
+/// dev-side binary whose failure mode is a failed gate, not a lost run).
+const DEV_TOOL_CRATES: &[&str] = &["xtask", "bench"];
+
+/// Runs every rule over one file.
+pub fn check_file(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let push = |line: u32, rule: &'static str, msg: String, out: &mut Vec<Diagnostic>| {
+        if cfg.allowed(rule, ctx.path).is_none() {
+            out.push(Diagnostic {
+                path: ctx.path.to_string(),
+                line,
+                rule,
+                msg,
+            });
+        }
+    };
+
+    float_eq(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    partial_cmp(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    panic_tier(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    allow_justifications(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    lock_discipline(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    determinism(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    unsafe_hygiene(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    out
+}
+
+type Emit<'e> = dyn FnMut(u32, &'static str, String, &mut Vec<Diagnostic>) + 'e;
+
+// ---------------------------------------------------------------- tier 1
+
+/// GX101: `==` / `!=` where either adjacent operand token is a float
+/// literal or an `f64::NAN`-style constant. Type-blind, so comparisons of
+/// float *variables* are only caught when one side is a literal — which
+/// covers every violation shape seen in this codebase (`x == 0.0`,
+/// `beta != 1.0`).
+fn float_eq(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    let t = ctx.tokens;
+    let mut i = 0usize;
+    while i + 1 < t.len() {
+        let (is_eq, op): (bool, &str) = if t[i].is_punct('=') && t[i + 1].is_punct('=') {
+            // Exclude `<=`, `>=`, `+=`… (the `=` then belongs to a
+            // compound operator) and `===`-like runs (not Rust anyway).
+            let prev_compound =
+                i > 0 && matches!(t[i - 1].kind, Tok::Punct(c) if "+-*/%^&|<>!=".contains(c));
+            (!prev_compound, "==")
+        } else if t[i].is_punct('!') && t[i + 1].is_punct('=') {
+            (true, "!=")
+        } else {
+            (false, "")
+        };
+        if !is_eq {
+            i += 1;
+            continue;
+        }
+        let line = t[i].line;
+        if ctx.in_test(line) {
+            i += 2;
+            continue;
+        }
+        let left_float = i > 0 && is_float_operand_end(t, i - 1);
+        let right_float = is_float_operand_start(t, i + 2);
+        if left_float || right_float {
+            emit(
+                line,
+                "GX101",
+                format!("IEEE `{op}` on a float (NaN-unsafe); use gptune_la::ord::feq"),
+                out,
+            );
+        }
+        i += 2;
+    }
+}
+
+/// Token at `k` ends a float operand: a float literal, or the last segment
+/// of `f64::NAN` / `f64::INFINITY` / `f64::NEG_INFINITY`.
+fn is_float_operand_end(t: &[Token], k: usize) -> bool {
+    match &t[k].kind {
+        Tok::Float => true,
+        Tok::Ident(s) if matches!(s.as_str(), "NAN" | "INFINITY" | "NEG_INFINITY") => true,
+        _ => false,
+    }
+}
+
+/// Token at `k` starts a float operand: a float literal, `-` float, or a
+/// `f64::NAN`-style constant path.
+fn is_float_operand_start(t: &[Token], k: usize) -> bool {
+    match t.get(k).map(|x| &x.kind) {
+        Some(Tok::Float) => true,
+        Some(Tok::Punct('-')) => matches!(t.get(k + 1).map(|x| &x.kind), Some(Tok::Float)),
+        Some(Tok::Ident(s)) if matches!(s.as_str(), "f64" | "f32") => {
+            // f64::NAN / f64::INFINITY / f64::NEG_INFINITY / f64::EPSILON
+            matches!(
+                t.get(k + 3).and_then(|x| x.ident()),
+                Some("NAN" | "INFINITY" | "NEG_INFINITY" | "EPSILON")
+            )
+        }
+        _ => false,
+    }
+}
+
+/// GX102 + GX103: `partial_cmp` escapes.
+fn partial_cmp(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    let t = ctx.tokens;
+    // Spans of sort/min/max comparator arguments, for GX103.
+    let sort_fns = ["sort_by", "sort_unstable_by", "min_by", "max_by"];
+    let mut sort_arg_spans: Vec<(usize, usize)> = Vec::new();
+    for (i, tok) in t.iter().enumerate() {
+        if let Some(name) = tok.ident() {
+            if sort_fns.contains(&name) && t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+                if let Some(end) = match_delim(t, i + 1, '(', ')') {
+                    sort_arg_spans.push((i + 1, end));
+                }
+            }
+        }
+    }
+    for (i, tok) in t.iter().enumerate() {
+        if !tok.is_ident("partial_cmp") {
+            continue;
+        }
+        let line = tok.line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        if !(i > 0 && t[i - 1].is_punct('.') && t.get(i + 1).is_some_and(|x| x.is_punct('('))) {
+            continue;
+        }
+        let Some(args_end) = match_delim(t, i + 1, '(', ')') else {
+            continue;
+        };
+        // `.partial_cmp(x).unwrap()` / `.expect(..)` → GX102.
+        let unwrapped = t.get(args_end + 1).is_some_and(|x| x.is_punct('.'))
+            && matches!(
+                t.get(args_end + 2).and_then(|x| x.ident()),
+                Some("unwrap" | "expect")
+            );
+        if unwrapped {
+            emit(
+                line,
+                "GX102",
+                "partial_cmp().unwrap() panics on NaN; use f64::total_cmp".to_string(),
+                out,
+            );
+        } else if sort_arg_spans.iter().any(|&(a, b)| a < i && i < b) {
+            // Un-unwrapped partial_cmp inside a comparator closure
+            // (`.unwrap_or(Equal)` shapes): NaN silently breaks the total
+            // order the sort requires → GX103.
+            emit(
+                line,
+                "GX103",
+                "raw partial_cmp comparator mis-sorts NaN; use f64::total_cmp".to_string(),
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- tier 2
+
+/// Which panic-tier rules apply to this file.
+fn panic_scope(ctx: &FileCtx<'_>) -> (bool, bool) {
+    let krate = ctx.crate_name();
+    if DEV_TOOL_CRATES.contains(&krate) {
+        return (false, false);
+    }
+    let strict = PANIC_FREE_STRICT_CRATES.contains(&krate);
+    let eval_path = PANIC_FREE_FILES.contains(&ctx.path);
+    (strict || eval_path, strict)
+}
+
+/// GX201/GX202/GX203/GX204 over the panic-free tiers.
+fn panic_tier(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    let (no_panic, strict) = panic_scope(ctx);
+    if !no_panic {
+        return;
+    }
+    let t = ctx.tokens;
+    for (i, tok) in t.iter().enumerate() {
+        let line = tok.line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        match &tok.kind {
+            Tok::Ident(s) if s == "unwrap" => {
+                let is_call = i > 0
+                    && t[i - 1].is_punct('.')
+                    && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                    && t.get(i + 2).is_some_and(|x| x.is_punct(')'));
+                if is_call && ctx.allow_for(line, "unwrap_used").is_none() {
+                    emit(
+                        line,
+                        "GX201",
+                        ".unwrap() in a panic-free tier; handle the None/Err or add #[allow(clippy::unwrap_used)] + // PANIC-SAFETY".to_string(),
+                        out,
+                    );
+                }
+            }
+            Tok::Ident(s) if s == "expect" => {
+                let is_call = i > 0
+                    && t[i - 1].is_punct('.')
+                    && t.get(i + 1).is_some_and(|x| x.is_punct('('));
+                if is_call && ctx.allow_for(line, "expect_used").is_none() {
+                    emit(
+                        line,
+                        "GX202",
+                        ".expect() in a panic-free tier; handle the error or add #[allow(clippy::expect_used)] + // PANIC-SAFETY".to_string(),
+                        out,
+                    );
+                }
+            }
+            Tok::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) =>
+            {
+                let is_macro = t.get(i + 1).is_some_and(|x| x.is_punct('!'));
+                let lint: &str = match s.as_str() {
+                    "panic" => "panic",
+                    "unreachable" => "unreachable",
+                    "todo" => "todo",
+                    _ => "unimplemented",
+                };
+                if is_macro && ctx.allow_for(line, lint).is_none() {
+                    emit(
+                        line,
+                        "GX203",
+                        format!("{s}! in a panic-free tier; return an error or add #[allow(clippy::{lint})] + // PANIC-SAFETY"),
+                        out,
+                    );
+                }
+            }
+            Tok::Punct('[') if strict => {
+                if i > 0
+                    && is_index_base(&t[i - 1])
+                    && ctx.allow_for(line, "indexing_slicing").is_none()
+                {
+                    emit(
+                        line,
+                        "GX204",
+                        "bare indexing in a strict panic-free crate; use .get()/.get_mut() or add #[allow(clippy::indexing_slicing)] + // PANIC-SAFETY".to_string(),
+                        out,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The token before `[` that makes it an *index* expression (rather than
+/// an array literal, attribute, or slice type).
+fn is_index_base(prev: &Token) -> bool {
+    match &prev.kind {
+        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
+        Tok::Ident(s) => !matches!(
+            s.as_str(),
+            // Keywords that can directly precede an array-literal or
+            // slice-pattern bracket.
+            "mut"
+                | "in"
+                | "dyn"
+                | "ref"
+                | "move"
+                | "return"
+                | "break"
+                | "as"
+                | "else"
+                | "match"
+                | "if"
+                | "while"
+                | "loop"
+                | "for"
+                | "let"
+                | "const"
+                | "static"
+                | "use"
+                | "pub"
+                | "where"
+                | "impl"
+                | "fn"
+                | "box"
+                | "await"
+                | "yield"
+        ),
+        _ => false,
+    }
+}
+
+/// GX290: every `#[allow(clippy::<monitored>)]` must be justified.
+fn allow_justifications(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    for span in ctx.allow_spans() {
+        if !span.justified && !ctx.in_test(span.attr_line) {
+            emit(
+                span.attr_line,
+                "GX290",
+                format!(
+                    "#[allow(clippy::{})] without an adjacent `// PANIC-SAFETY:` justification comment",
+                    span.lints.join(", clippy::")
+                ),
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- tier 3
+
+/// GX301: a `let`-bound lock guard (binding whose initializer *ends* in
+/// `.lock()` / `.read()` / `.write()`, optionally `.unwrap()`/`.expect()`/
+/// `?`) that is still live when a channel `send`/`recv`/`recv_timeout` or
+/// a `join()` executes. Guards die at `drop(name)` or when their block
+/// closes. This is exactly the executor's deadlock shape: the master
+/// blocking on a channel while holding a lock a worker needs.
+fn lock_discipline(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    let t = ctx.tokens;
+    let mut depth: i32 = 0;
+    // (guard name, brace depth at binding, line bound)
+    let mut guards: Vec<(String, i32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        match &t[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                guards.retain(|&(_, d, _)| d <= depth);
+            }
+            Tok::Ident(s) if s == "let" => {
+                if let Some((name, stmt_end)) = guard_binding(t, i) {
+                    guards.push((name, depth, t[i].line));
+                    i = stmt_end;
+                    continue;
+                }
+            }
+            Tok::Ident(s) if s == "drop" => {
+                // drop(name) / mem::drop(name)
+                if t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+                    if let Some(name) = t.get(i + 2).and_then(|x| x.ident()) {
+                        if t.get(i + 3).is_some_and(|x| x.is_punct(')')) {
+                            guards.retain(|(g, _, _)| g != name);
+                        }
+                    }
+                }
+            }
+            Tok::Ident(s) if matches!(s.as_str(), "send" | "recv" | "recv_timeout" | "join") => {
+                let line = t[i].line;
+                let method = i > 0 && t[i - 1].is_punct('.');
+                // `.join()` only with empty args: JoinHandle::join takes
+                // none, while Path::join / slice::join take one.
+                let args_ok = if s == "join" {
+                    t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                        && t.get(i + 2).is_some_and(|x| x.is_punct(')'))
+                } else {
+                    t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                };
+                if method && args_ok && !ctx.in_test(line) {
+                    if let Some((g, _, bound)) = guards.first() {
+                        emit(
+                            line,
+                            "GX301",
+                            format!(
+                                "channel/join op while lock guard `{g}` (bound line {bound}) is live; \
+                                 drop the guard first or clone the endpoint out of the lock"
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// If the `let` statement starting at token `li` binds a lock guard,
+/// returns `(name, index of the terminating ';')`.
+fn guard_binding(t: &[Token], li: usize) -> Option<(String, usize)> {
+    let mut k = li + 1;
+    if t.get(k).is_some_and(|x| x.is_ident("mut")) {
+        k += 1;
+    }
+    let name = t.get(k)?.ident()?.to_string();
+    if name == "_" {
+        // `let _ = …` drops immediately — not a live guard. (`let _g` is.)
+        return None;
+    }
+    // Find `=` then the terminating `;` at statement nesting level.
+    let mut j = k + 1;
+    let mut eq = None;
+    let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
+    while j < t.len() {
+        match t[j].kind {
+            Tok::Punct('(') => p += 1,
+            Tok::Punct(')') => p -= 1,
+            Tok::Punct('[') => b += 1,
+            Tok::Punct(']') => b -= 1,
+            Tok::Punct('{') => c += 1,
+            Tok::Punct('}') => c -= 1,
+            Tok::Punct('=') if p == 0 && b == 0 && c == 0 && eq.is_none() => {
+                // Skip `==`, `=>`, `<=`… (only plain `=` starts the init).
+                let next_eq = t
+                    .get(j + 1)
+                    .is_some_and(|x| x.is_punct('=') || x.is_punct('>'));
+                let prev_op =
+                    matches!(t[j - 1].kind, Tok::Punct(ch) if "+-*/%^&|<>!=".contains(ch));
+                if !next_eq && !prev_op {
+                    eq = Some(j);
+                }
+            }
+            Tok::Punct(';') if p == 0 && b == 0 && c == 0 => {
+                let eq = eq?;
+                let init = &t[eq + 1..j];
+                return if init_is_guard(init) {
+                    Some((name, j))
+                } else {
+                    None
+                };
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does an initializer token sequence end in a lock acquisition?
+fn init_is_guard(init: &[Token]) -> bool {
+    // Strip a trailing `?`, `.unwrap()`, or `.expect(..)`.
+    let mut end = init.len();
+    if end > 0 && init[end - 1].is_punct('?') {
+        end -= 1;
+    }
+    if end >= 4
+        && init[end - 1].is_punct(')')
+        && matches!(init[end - 3].ident(), Some("unwrap"))
+        && init[end - 2].is_punct('(')
+        && init[end - 4].is_punct('.')
+    {
+        end -= 4;
+    } else if end > 0 && init[end - 1].is_punct(')') {
+        // `.expect("msg")`: scan back over one balanced paren group.
+        let mut depth = 0i32;
+        let mut k = end;
+        while k > 0 {
+            k -= 1;
+            match init[k].kind {
+                Tok::Punct(')') => depth += 1,
+                Tok::Punct('(') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if k >= 2 && matches!(init[k - 1].ident(), Some("expect")) && init[k - 2].is_punct('.') {
+            end = k - 2;
+        }
+    }
+    // Now the tail must be `.lock()` / `.read()` / `.write()`.
+    end >= 4
+        && init[end - 1].is_punct(')')
+        && init[end - 2].is_punct('(')
+        && matches!(init[end - 3].ident(), Some("lock" | "read" | "write"))
+        && init[end - 4].is_punct('.')
+}
+
+// ---------------------------------------------------------------- tier 4
+
+/// GX401/GX402/GX403: nondeterminism sources.
+fn determinism(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    let t = ctx.tokens;
+
+    // GX401: ambient entropy, flagged even in tests — a test that draws
+    // from the OS is a flaky test.
+    for tok in t {
+        if let Some(s) = tok.ident() {
+            if matches!(s, "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng") {
+                emit(
+                    tok.line,
+                    "GX401",
+                    format!("`{s}` draws ambient entropy; thread an explicit seed (MlaOptions.seed) instead"),
+                    out,
+                );
+            }
+        }
+    }
+
+    // GX402: time-derived seeds — `seed_from_u64(..now()..)` shapes and
+    // `let seed = ..Instant/SystemTime..` bindings.
+    let timey = ["SystemTime", "Instant", "UNIX_EPOCH", "now", "elapsed"];
+    for (i, tok) in t.iter().enumerate() {
+        if let Some(s) = tok.ident() {
+            if matches!(s, "seed_from_u64" | "from_seed")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            {
+                if let Some(end) = match_delim(t, i + 1, '(', ')') {
+                    if t[i + 2..end]
+                        .iter()
+                        .any(|x| x.ident().is_some_and(|id| timey.contains(&id)))
+                    {
+                        emit(
+                            tok.line,
+                            "GX402",
+                            "seed derived from wall-clock/monotonic time; seeds must be explicit and recorded".to_string(),
+                            out,
+                        );
+                    }
+                }
+            }
+            if s == "let" {
+                let mut ni = i + 1;
+                if t.get(ni).is_some_and(|x| x.is_ident("mut")) {
+                    ni += 1;
+                }
+                if let Some(name) = t.get(ni).and_then(|x| x.ident()) {
+                    if name.to_ascii_lowercase().contains("seed") {
+                        // Scan the statement for time sources.
+                        let mut j = ni + 1;
+                        while j < t.len() && !t[j].is_punct(';') {
+                            if t[j].ident().is_some_and(|id| timey.contains(&id)) {
+                                emit(
+                                    t[j].line,
+                                    "GX402",
+                                    format!("`{name}` is seeded from a time source; thread the run seed instead"),
+                                    out,
+                                );
+                                break;
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // GX403: iteration over HashMap/HashSet locals in non-test code.
+    let mut hash_locals: Vec<String> = Vec::new();
+    for (i, tok) in t.iter().enumerate() {
+        if tok.is_ident("let") {
+            let mut k = i + 1;
+            if t.get(k).is_some_and(|x| x.is_ident("mut")) {
+                k += 1;
+            }
+            if let Some(name) = t.get(k).and_then(|x| x.ident()) {
+                // Scan the statement for a HashMap/HashSet constructor or
+                // type ascription.
+                let mut j = k + 1;
+                let mut depth = 0i32;
+                while j < t.len() {
+                    match t[j].kind {
+                        Tok::Punct('{') => depth += 1,
+                        Tok::Punct('}') => {
+                            depth -= 1;
+                            if depth < 0 {
+                                break;
+                            }
+                        }
+                        Tok::Punct(';') if depth == 0 => break,
+                        _ => {}
+                    }
+                    if t[j]
+                        .ident()
+                        .is_some_and(|id| id == "HashMap" || id == "HashSet")
+                    {
+                        hash_locals.push(name.to_string());
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    if !hash_locals.is_empty() {
+        let iter_fns = [
+            "iter",
+            "iter_mut",
+            "into_iter",
+            "keys",
+            "values",
+            "values_mut",
+            "drain",
+        ];
+        for (i, tok) in t.iter().enumerate() {
+            let line = tok.line;
+            if ctx.in_test(line) {
+                continue;
+            }
+            if let Some(name) = tok.ident() {
+                if !hash_locals.iter().any(|h| h == name) {
+                    continue;
+                }
+                // `name.iter()` etc.
+                let method_iter = t.get(i + 1).is_some_and(|x| x.is_punct('.'))
+                    && t.get(i + 2)
+                        .and_then(|x| x.ident())
+                        .is_some_and(|id| iter_fns.contains(&id));
+                // `for x in [&[mut]] name {`
+                let for_iter = (i >= 1 && t[i - 1].is_ident("in"))
+                    || (i >= 2 && t[i - 1].is_punct('&') && t[i - 2].is_ident("in"))
+                    || (i >= 3
+                        && t[i - 1].is_ident("mut")
+                        && t[i - 2].is_punct('&')
+                        && t[i - 3].is_ident("in"));
+                if method_iter || for_iter {
+                    emit(
+                        line,
+                        "GX403",
+                        format!("iteration over hash-ordered `{name}` is nondeterministic; use BTreeMap/BTreeSet or collect+sort"),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- tier 5
+
+/// GX501: `unsafe` (block, fn, impl, trait) without a `// SAFETY:` comment
+/// on the same line or within the three lines above.
+fn unsafe_hygiene(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    for tok in ctx.tokens {
+        if tok.is_ident("unsafe") {
+            let line = tok.line;
+            if !ctx.justification_near(line.saturating_sub(3), line) {
+                emit(
+                    line,
+                    "GX501",
+                    "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let ctx = FileCtx::new(path, &lexed);
+        check_file(&ctx, &Config::default())
+    }
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        let mut r: Vec<_> = run(path, src).into_iter().map(|d| d.rule).collect();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn gx101_float_eq() {
+        assert_eq!(
+            rules_hit("crates/la/src/x.rs", "fn f(x: f64) -> bool { x == 0.0 }"),
+            vec!["GX101"]
+        );
+        assert_eq!(
+            rules_hit("crates/la/src/x.rs", "fn f(x: f64) -> bool { x != 1.0 }"),
+            vec!["GX101"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/la/src/x.rs",
+                "fn f(x: f64) -> bool { x == f64::NAN }"
+            ),
+            vec!["GX101"]
+        );
+        // Integer comparisons and `<=` are fine.
+        assert!(rules_hit(
+            "crates/la/src/x.rs",
+            "fn f(x: i64) -> bool { x == 0 && x <= 4 }"
+        )
+        .is_empty());
+        // Test code is exempt.
+        assert!(rules_hit(
+            "crates/la/src/x.rs",
+            "#[cfg(test)]\nmod t { fn f(x: f64) -> bool { x == 0.0 } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn gx102_gx103_partial_cmp() {
+        assert_eq!(
+            rules_hit(
+                "crates/opt/src/x.rs",
+                "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }"
+            ),
+            vec!["GX102"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/opt/src/x.rs",
+                "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); }"
+            ),
+            vec!["GX103"]
+        );
+        assert!(rules_hit(
+            "crates/opt/src/x.rs",
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }"
+        )
+        .is_empty());
+        // partial_cmp that is matched (not unwrapped, not in a sort) is fine.
+        assert!(rules_hit(
+            "crates/opt/src/x.rs",
+            "fn f(a: f64, b: f64) -> bool { matches!(a.partial_cmp(&b), Some(core::cmp::Ordering::Less)) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn gx201_unwrap_scoped() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules_hit("crates/db/src/x.rs", src), vec!["GX201"]);
+        assert_eq!(rules_hit("crates/runtime/src/x.rs", src), vec!["GX201"]);
+        assert_eq!(rules_hit("crates/core/src/mla.rs", src), vec!["GX201"]);
+        // Out-of-tier crates and test code are exempt.
+        assert!(rules_hit("crates/opt/src/x.rs", src).is_empty());
+        assert!(rules_hit("crates/db/tests/x.rs", src).is_empty());
+        // unwrap_or is not unwrap.
+        assert!(rules_hit(
+            "crates/db/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn gx202_expect_with_allow() {
+        let bad = "fn f(x: Option<u32>) -> u32 { x.expect(\"invariant\") }";
+        assert_eq!(rules_hit("crates/db/src/x.rs", bad), vec!["GX202"]);
+        // A justified allow silences GX202 and GX290.
+        let ok = "// PANIC-SAFETY: checked by construction two lines up.\n#[allow(clippy::expect_used)]\nfn f(x: Option<u32>) -> u32 { x.expect(\"invariant\") }";
+        assert!(rules_hit("crates/db/src/x.rs", ok).is_empty());
+        // An unjustified allow is GX290.
+        let unjust = "#[allow(clippy::expect_used)]\nfn f(x: Option<u32>) -> u32 { x.expect(\"invariant\") }";
+        assert_eq!(rules_hit("crates/db/src/x.rs", unjust), vec!["GX290"]);
+    }
+
+    #[test]
+    fn gx203_panic_macros() {
+        assert_eq!(
+            rules_hit("crates/runtime/src/x.rs", "fn f() { panic!(\"boom\"); }"),
+            vec!["GX203"]
+        );
+        assert_eq!(
+            rules_hit("crates/db/src/x.rs", "fn f() { unreachable!(); }"),
+            vec!["GX203"]
+        );
+        // `panic::catch_unwind` is not the macro.
+        assert!(rules_hit(
+            "crates/runtime/src/x.rs",
+            "fn f() { let _ = std::panic::take_hook(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn gx204_indexing_strict_only() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }";
+        assert_eq!(rules_hit("crates/db/src/x.rs", src), vec!["GX204"]);
+        assert_eq!(rules_hit("crates/runtime/src/x.rs", src), vec!["GX204"]);
+        // Core eval path: no-panic but indexing allowed.
+        assert!(rules_hit("crates/core/src/mla.rs", src).is_empty());
+        // Array literals / types / attributes don't trip it.
+        assert!(rules_hit(
+            "crates/db/src/x.rs",
+            "#[derive(Clone)]\nstruct S { a: [u8; 4] }\nfn f() -> [u8; 2] { [1, 2] }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            "crates/db/src/x.rs",
+            "fn f(v: &[u32]) -> Option<&u32> { v.get(0) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn gx301_lock_across_channel() {
+        let bad = "fn f(m: &Mutex<Option<Sender<u32>>>, tx: &Sender<u32>) {\n  let guard = m.lock();\n  tx.send(1);\n}";
+        assert_eq!(rules_hit("crates/runtime/src/x.rs", bad), vec!["GX301"]);
+        // Dropping the guard first is fine.
+        let ok = "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n  let guard = m.lock();\n  drop(guard);\n  tx.send(1);\n}";
+        assert!(rules_hit("crates/runtime/src/x.rs", ok).is_empty());
+        // Guard confined to an inner block is fine.
+        let scoped = "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n  { let guard = m.lock(); }\n  tx.send(1);\n}";
+        assert!(rules_hit("crates/runtime/src/x.rs", scoped).is_empty());
+        // A temporary (no let binding) is fine: `m.lock().insert(x)` then send.
+        let temp = "fn f(m: &Mutex<HashSet<u32>>, tx: &Sender<u32>) {\n  m.lock().insert(3);\n  tx.send(1);\n}";
+        assert!(rules_hit("crates/runtime/src/x.rs", temp).is_empty());
+        // `.join()` with a guard is flagged; Path::join(arg) is not.
+        let join = "fn f(m: &Mutex<u32>, h: JoinHandle<()>) {\n  let g = m.lock();\n  let _ = h.join();\n}";
+        assert_eq!(rules_hit("crates/runtime/src/x.rs", join), vec!["GX301"]);
+        let path =
+            "fn f(m: &Mutex<u32>, p: &Path) -> PathBuf {\n  let g = m.lock();\n  p.join(\"x\")\n}";
+        assert!(rules_hit("crates/runtime/src/x.rs", path).is_empty());
+        // std guards behind .unwrap() count too (the unwrap itself is a
+        // separate GX201 hit in this strict-tier crate).
+        let std_guard = "fn f(m: &std::sync::Mutex<u32>, tx: &Sender<u32>) {\n  let g = m.lock().unwrap();\n  tx.send(1);\n}";
+        assert_eq!(
+            rules_hit("crates/runtime/src/x.rs", std_guard),
+            vec!["GX201", "GX301"]
+        );
+    }
+
+    #[test]
+    fn gx401_gx402_entropy_and_time_seeds() {
+        assert_eq!(
+            rules_hit(
+                "crates/opt/src/x.rs",
+                "fn f() { let mut rng = rand::thread_rng(); }"
+            ),
+            vec!["GX401"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/opt/src/x.rs",
+                "fn f() { let r = StdRng::seed_from_u64(Instant::now().elapsed().as_nanos() as u64); }"
+            ),
+            vec!["GX402"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/core/src/options.rs",
+                "fn f() { let seed = SystemTime::now(); }"
+            ),
+            vec!["GX402"]
+        );
+        assert!(rules_hit(
+            "crates/opt/src/x.rs",
+            "fn f(seed: u64) { let r = StdRng::seed_from_u64(seed); }"
+        )
+        .is_empty());
+        // Timing (not seeding) with Instant is fine.
+        assert!(rules_hit(
+            "crates/runtime/src/stats.rs",
+            "fn f() { let t0 = Instant::now(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn gx403_hashmap_iteration() {
+        let bad = "fn f() {\n  let mut m: HashMap<u32, u32> = HashMap::new();\n  for (k, v) in &m { record(k, v); }\n}";
+        assert_eq!(rules_hit("crates/core/src/x.rs", bad), vec!["GX403"]);
+        let bad2 = "fn f() {\n  let m = HashMap::new();\n  let ks: Vec<_> = m.keys().collect();\n}";
+        assert_eq!(rules_hit("crates/core/src/x.rs", bad2), vec!["GX403"]);
+        // Lookup-only use and BTreeMap iteration are fine.
+        let ok = "fn f() {\n  let m: HashMap<u32, u32> = HashMap::new();\n  let v = m.get(&3);\n  let b: BTreeMap<u32, u32> = BTreeMap::new();\n  for kv in &b {}\n}";
+        assert!(rules_hit("crates/core/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn gx501_unsafe_comment() {
+        assert_eq!(
+            rules_hit(
+                "crates/db/src/x.rs",
+                "fn f(b: &[u8]) -> &str { unsafe { std::str::from_utf8_unchecked(b) } }"
+            ),
+            vec!["GX501"]
+        );
+        assert!(rules_hit(
+            "crates/db/src/x.rs",
+            "fn f(b: &[u8]) -> &str {\n  // SAFETY: validated as UTF-8 by the caller.\n  unsafe { std::str::from_utf8_unchecked(b) }\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lint_toml_allowlist_suppresses() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"GX101\"\npath = \"crates/la/src/ord.rs\"\nreason = \"comparator home\"\n",
+        )
+        .expect("cfg");
+        let lexed = lex("fn feq(a: f64, b: f64) -> bool { a == 0.0 }");
+        let ctx = FileCtx::new("crates/la/src/ord.rs", &lexed);
+        assert!(check_file(&ctx, &cfg).is_empty());
+    }
+}

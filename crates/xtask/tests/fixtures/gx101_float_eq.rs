@@ -1,0 +1,26 @@
+//! Fixture: GX101 float equality. Linted under a synthetic production
+//! path; the rule must flag IEEE `==`/`!=` against float literals and
+//! NaN/infinity constants, and must NOT flag compound assignment,
+//! ordering comparisons, or test code.
+
+pub fn violations(x: f64, y: f64) -> bool {
+    let a = x == 0.0; // GX101
+    let b = y != 1.5; // GX101
+    let c = x == f64::NAN; // GX101
+    a || b || c
+}
+
+pub fn clean(x: f64, mut acc: f64) -> bool {
+    acc += 1.0;
+    let lt = x < 0.5;
+    let ge = acc >= 2.0;
+    lt || ge
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_equality_is_fine_in_tests() {
+        assert!(super::clean(0.0, 1.0) || 1.0 == 1.0);
+    }
+}

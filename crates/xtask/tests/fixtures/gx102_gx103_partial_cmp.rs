@@ -1,0 +1,15 @@
+//! Fixture: GX102 (`partial_cmp().unwrap()`) and GX103 (raw partial_cmp
+//! comparator inside a sort/min/max combinator). `total_cmp` is clean.
+
+pub fn gx102(values: &[f64]) -> std::cmp::Ordering {
+    values[0].partial_cmp(&values[1]).unwrap() // GX102
+}
+
+pub fn gx103(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); // GX103
+}
+
+pub fn clean(values: &mut [f64]) -> Option<f64> {
+    values.sort_by(f64::total_cmp);
+    values.iter().copied().min_by(|a, b| a.total_cmp(b))
+}

@@ -1,0 +1,48 @@
+//! Fixture: the GX2xx panic-freedom tier. Linted under a synthetic
+//! `crates/runtime/src/` path, so the strict rules (including GX204
+//! indexing) all apply.
+
+pub fn gx201(x: Option<u32>) -> u32 {
+    x.unwrap() // GX201
+}
+
+pub fn gx202(x: Result<u32, String>) -> u32 {
+    x.expect("boom") // GX202
+}
+
+pub fn gx203(flag: bool) {
+    if flag {
+        panic!("deliberate"); // GX203
+    }
+    unreachable!() // GX203
+}
+
+pub fn gx204(xs: &[u32], i: usize) -> u32 {
+    xs[i] // GX204
+}
+
+// PANIC-SAFETY: fixture for the justified escape hatch — the allow below
+// must NOT fire GX201/GX290.
+#[allow(clippy::unwrap_used)]
+pub fn justified(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[allow(clippy::expect_used)] // GX290: no justification comment anywhere near
+pub fn unjustified(x: Result<u32, String>) -> u32 {
+    x.expect("no reason given")
+}
+
+pub fn clean(xs: &[u32], i: usize) -> u32 {
+    xs.get(i).copied().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        assert_eq!(Some(3).unwrap(), 3);
+        let xs = [1, 2];
+        assert_eq!(xs[1], 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: GX301 lock discipline — no Mutex/RwLock guard held across a
+//! channel send/recv or a join.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn violation(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock().unwrap();
+    tx.send(*guard).ok(); // GX301: guard still live
+}
+
+pub fn clean_drop_first(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock().unwrap();
+    let v = *guard;
+    drop(guard);
+    tx.send(v).ok();
+}
+
+pub fn clean_scoped(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let guard = m.lock().unwrap();
+        *guard
+    };
+    tx.send(v).ok();
+}

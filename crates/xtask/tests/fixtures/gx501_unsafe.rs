@@ -1,0 +1,14 @@
+//! Fixture: GX501 — every `unsafe` block needs an adjacent safety
+//! justification comment. (The marker string is deliberately not spelled
+//! out here: this doc comment sits within range of the first block.)
+
+pub fn violation(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() } // GX501: no SAFETY comment
+}
+
+pub fn clean(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *xs.as_ptr() }
+}

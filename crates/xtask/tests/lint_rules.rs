@@ -1,0 +1,153 @@
+//! Fixture-driven tests for the lint suite: each fixture under
+//! `tests/fixtures/` is linted under a synthetic *production* path (the
+//! fixtures directory itself is test code by the lint's own path rules,
+//! so the real path must not be used), and the emitted rule IDs are
+//! asserted exactly.
+
+use gptune_xtask::config::Config;
+use gptune_xtask::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Lints a fixture as if it lived at `path_rel` and returns the rule IDs
+/// in emission order.
+fn rules_at(name: &str, path_rel: &str) -> Vec<String> {
+    let cfg = Config::default();
+    lint_source(path_rel, &fixture(name), &cfg)
+        .into_iter()
+        .map(|d| d.rule.to_string())
+        .collect()
+}
+
+#[test]
+fn gx101_flags_float_equality_only_outside_tests() {
+    let rules = rules_at("gx101_float_eq.rs", "crates/gp/src/fixture.rs");
+    assert_eq!(rules, vec!["GX101", "GX101", "GX101"]);
+}
+
+#[test]
+fn gx102_gx103_flag_partial_cmp_shapes() {
+    let rules = rules_at("gx102_gx103_partial_cmp.rs", "crates/opt/src/fixture.rs");
+    assert_eq!(rules, vec!["GX102", "GX103"]);
+}
+
+#[test]
+fn gx2xx_panic_tier_applies_in_strict_crates() {
+    let rules = rules_at("gx2xx_panic_tier.rs", "crates/runtime/src/fixture.rs");
+    assert_eq!(
+        rules,
+        vec!["GX201", "GX202", "GX203", "GX203", "GX204", "GX290"]
+    );
+}
+
+#[test]
+fn gx2xx_panic_tier_silent_outside_strict_code() {
+    // The same source under a non-strict crate only reports the
+    // tier-independent GX290 (unjustified allow).
+    let rules = rules_at("gx2xx_panic_tier.rs", "crates/gp/src/fixture.rs");
+    assert_eq!(rules, vec!["GX290"]);
+}
+
+#[test]
+fn gx301_flags_guard_held_across_send() {
+    let rules = rules_at("gx301_lock.rs", "crates/gp/src/fixture.rs");
+    assert_eq!(rules, vec!["GX301"]);
+}
+
+#[test]
+fn gx4xx_flags_entropy_time_seeds_and_hash_iteration() {
+    let rules = rules_at("gx4xx_determinism.rs", "crates/core/src/sampler.rs");
+    assert_eq!(rules, vec!["GX401", "GX402", "GX403"]);
+}
+
+#[test]
+fn gx501_flags_unsafe_without_safety_comment() {
+    let rules = rules_at("gx501_unsafe.rs", "crates/sparse/src/fixture.rs");
+    assert_eq!(rules, vec!["GX501"]);
+}
+
+#[test]
+fn allowlist_suppresses_by_rule_and_path_prefix() {
+    let cfg = Config::parse(
+        "[[allow]]\nrule = \"GX1*\"\npath = \"crates/gp/src/\"\nreason = \"fixture\"\n",
+    )
+    .expect("valid config");
+    let diags = lint_source(
+        "crates/gp/src/fixture.rs",
+        &fixture("gx101_float_eq.rs"),
+        &cfg,
+    );
+    assert!(
+        diags.is_empty(),
+        "allowlisted rules must not fire: {diags:?}"
+    );
+    // Same config must not suppress a different path.
+    let diags = lint_source(
+        "crates/la/src/fixture.rs",
+        &fixture("gx101_float_eq.rs"),
+        &cfg,
+    );
+    assert_eq!(diags.len(), 3);
+}
+
+#[test]
+fn diagnostics_carry_path_line_and_rule() {
+    let cfg = Config::default();
+    let diags = lint_source(
+        "crates/sparse/src/fixture.rs",
+        &fixture("gx501_unsafe.rs"),
+        &cfg,
+    );
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/sparse/src/fixture.rs:6: [GX501]"),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn fixtures_dir_itself_is_test_code() {
+    // Linted under its real path, a violation-laden fixture is silent for
+    // every path-scoped tier (the fixtures dir is test code)...
+    let rules = rules_at(
+        "gx2xx_panic_tier.rs",
+        "crates/xtask/tests/fixtures/gx2xx_panic_tier.rs",
+    );
+    assert!(
+        rules.is_empty(),
+        "fixtures must lint clean in place: {rules:?}"
+    );
+    // ...but GX401/GX402 (ambient entropy, time-derived seeds) fire even
+    // in test code: a test drawing from the OS or the clock is flaky.
+    let rules = rules_at(
+        "gx4xx_determinism.rs",
+        "crates/xtask/tests/fixtures/gx4xx_determinism.rs",
+    );
+    assert_eq!(rules, vec!["GX401", "GX402"]);
+}
+
+#[test]
+fn workspace_lints_clean_end_to_end() {
+    // The repo itself must satisfy its own lints: run the full workspace
+    // walk exactly as the CLI does.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root");
+    let cfg = gptune_xtask::load_config(root).expect("lint.toml parses");
+    let report = gptune_xtask::lint_workspace(root, &cfg).expect("workspace walk");
+    assert!(report.files_scanned > 50, "workspace walk looks truncated");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must lint clean:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# ThreadSanitizer smoke test for the concurrent runtime (optional gate).
+#
+# Runs the executor and chaos test suites under TSan to catch data races
+# in the master/worker channel protocol, the watchdog's worker
+# replacement, and the shared-counter paths. Not part of tier1.sh: it
+# needs a nightly toolchain with the rust-src component, multiplies
+# runtime by ~10x, and TSan occasionally reports false positives on
+# crossbeam's epoch reclamation — treat a clean run as strong evidence
+# and a report as something to read, not an automatic failure.
+#
+# Usage:
+#   scripts/tsan.sh              # executor + chaos suites
+#   scripts/tsan.sh <filter...>  # extra args forwarded to `cargo test`
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+    echo "tsan.sh: a nightly toolchain is required (rustup toolchain install nightly)" >&2
+    exit 1
+fi
+
+HOST_TARGET=$(rustc -vV | sed -n 's/^host: //p')
+
+# -Zbuild-std is required: the sanitizer must also instrument std, or
+# every std synchronization primitive looks like a race.
+export RUSTFLAGS="-Zsanitizer=thread"
+export RUSTDOCFLAGS="-Zsanitizer=thread"
+# Suppress known-benign reports from crossbeam's deferred destruction.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-report_signal_unsafe=0 history_size=7}"
+
+run() {
+    cargo +nightly test \
+        -Zbuild-std \
+        --target "$HOST_TARGET" \
+        -p gptune-runtime \
+        "$@"
+}
+
+echo "== TSan: gptune-runtime unit + integration tests =="
+run "$@"
+
+echo "== TSan: chaos suite (fault injection under concurrency) =="
+cargo +nightly test \
+    -Zbuild-std \
+    --target "$HOST_TARGET" \
+    --test chaos \
+    "$@"
+
+echo "tsan.sh: clean"

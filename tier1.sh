@@ -8,5 +8,8 @@ cargo test -q
 # Chaos gate: MLA under injected crashes/hangs/transients must complete,
 # resume deterministically, and skip journaled crashers.
 cargo test -q --test chaos
-cargo fmt --check
-cargo clippy -- -D warnings
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+# Domain-specific lint suite (NaN-safety, panic tiers, lock discipline,
+# determinism, unsafe hygiene) -- see DESIGN.md "Static-analysis policy".
+cargo run -q -p gptune-xtask -- lint
