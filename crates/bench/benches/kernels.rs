@@ -107,6 +107,88 @@ fn bench_lcm(c: &mut Criterion) {
     g.finish();
 }
 
+/// Multi-dimensional two-task data matching the hot-path acceptance
+/// configuration (n points, dim 4, 2 tasks).
+fn hot_path_data(n: usize, dim: usize, tasks: usize) -> (Vec<Vec<f64>>, Vec<usize>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let task_of: Vec<usize> = (0..n).map(|i| i % tasks).collect();
+    let y: Vec<f64> = xs
+        .iter()
+        .zip(&task_of)
+        .map(|(x, &t)| (x[0] * 5.0).sin() + x[1] + 0.2 * t as f64)
+        .collect();
+    (xs, task_of, y)
+}
+
+fn hot_path_theta(dim: usize, tasks: usize) -> Vec<f64> {
+    gptune::gp::LcmHyperparams {
+        q: 2,
+        n_tasks: tasks,
+        dim,
+        lengthscales: vec![vec![0.4; dim], vec![0.8; dim]],
+        a: vec![vec![0.6; tasks], vec![0.3; tasks]],
+        b: vec![vec![0.02; tasks]; 2],
+        d: vec![0.05; tasks],
+    }
+    .pack()
+}
+
+/// Distance-cached likelihood vs the retained pre-refactor reference, and
+/// batched prediction vs the per-point loop — the two hot-path claims of
+/// the BLAS-3 refactor, at the same sizes `scripts/bench_perf.sh` records
+/// into `BENCH_lcm.json`.
+fn bench_lcm_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcm_hot_path");
+    g.sample_size(10);
+    let (dim, tasks) = (4usize, 2usize);
+    for &n in &[64usize, 256] {
+        let (xs, task_of, y) = hot_path_data(n, dim, tasks);
+        let theta = hot_path_theta(dim, tasks);
+        let mut grad = vec![0.0; theta.len()];
+        g.bench_with_input(BenchmarkId::new("nll_grad_cached", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(LcmModel::nll_at(
+                    &xs, &task_of, &y, tasks, 2, &theta, &mut grad,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("nll_grad_reference", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(LcmModel::nll_at_reference(
+                    &xs, &task_of, &y, tasks, 2, &theta, &mut grad,
+                ))
+            })
+        });
+    }
+
+    let (xs, task_of, y) = hot_path_data(256, dim, tasks);
+    let opts = LcmFitOptions {
+        n_starts: 1,
+        ..Default::default()
+    };
+    let model = LcmModel::fit(&xs, &task_of, &y, tasks, &opts);
+    let mut rng = StdRng::seed_from_u64(17);
+    let cands: Vec<Vec<f64>> = (0..512)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    g.bench_function("predict_per_point_m512", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for cand in &cands {
+                acc += black_box(model.predict(0, cand)).mean;
+            }
+            acc
+        })
+    });
+    g.bench_function("predict_batch_m512", |bench| {
+        bench.iter(|| black_box(model.predict_batch(0, &cands)))
+    });
+    g.finish();
+}
+
 fn bench_acquisition(c: &mut Criterion) {
     let mut g = c.benchmark_group("acquisition");
     g.bench_function("expected_improvement", |bench| {
@@ -136,6 +218,7 @@ criterion_group!(
     bench_gemm,
     bench_cholesky,
     bench_lcm,
+    bench_lcm_hot_path,
     bench_acquisition
 );
 criterion_main!(benches);

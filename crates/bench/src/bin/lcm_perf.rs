@@ -1,0 +1,216 @@
+//! Hot-path perf recorder for the distance-cached LCM refactor.
+//!
+//! Measures the two acceptance claims of the BLAS-3 PR and writes them to
+//! `BENCH_lcm.json` (path overridable as the first CLI argument):
+//!
+//! * likelihood+gradient: distance-cached [`LcmModel::nll_at`] vs the
+//!   retained pre-refactor [`LcmModel::nll_at_reference`] at n ∈ {64, 256}
+//!   (dim 4, 2 tasks, Q = 2), plus a full multi-start fit at n = 256 —
+//!   the fit must show ≥ 2× cached over `reference_impl`;
+//! * candidate scoring: [`LcmModel::predict_batch`] vs per-point
+//!   [`LcmModel::predict`] (and the retained `predict_reference`) over
+//!   m = 512 candidates — the batch must score ≥ 4× faster per candidate.
+//!
+//! Each repetition times the optimized and baseline paths back-to-back and
+//! the recorded speedup is the median of the per-pair ratios, so a
+//! system-wide slowdown mid-run cannot skew the comparison; every timed
+//! result is folded into a printed sink so the optimizer cannot elide the
+//! work. Run via `scripts/bench_perf.sh`.
+
+use gptune::gp::{LcmFitOptions, LcmHyperparams, LcmModel};
+use gptune::opt::lbfgs::LbfgsOptions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const DIM: usize = 4;
+const TASKS: usize = 2;
+const Q: usize = 2;
+const M_CANDS: usize = 512;
+
+fn data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let task_of: Vec<usize> = (0..n).map(|i| i % TASKS).collect();
+    let y: Vec<f64> = xs
+        .iter()
+        .zip(&task_of)
+        .map(|(x, &t)| (x[0] * 5.0).sin() + x[1] + 0.2 * t as f64)
+        .collect();
+    (xs, task_of, y)
+}
+
+fn theta() -> Vec<f64> {
+    LcmHyperparams {
+        q: Q,
+        n_tasks: TASKS,
+        dim: DIM,
+        lengthscales: vec![vec![0.4; DIM], vec![0.8; DIM]],
+        a: vec![vec![0.6; TASKS], vec![0.3; TASKS]],
+        b: vec![vec![0.02; TASKS]; Q],
+        d: vec![0.05; TASKS],
+    }
+    .pack()
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn time_ns<F: FnMut() -> f64>(sink: &mut f64, f: &mut F) -> f64 {
+    let t = Instant::now();
+    *sink += f();
+    t.elapsed().as_nanos() as f64
+}
+
+/// Paired before/after timing: each repetition times the cached path and
+/// the reference path back-to-back, and the reported speedup is the
+/// *median of per-pair ratios* — a system-wide slowdown mid-run hits both
+/// sides of a pair equally instead of skewing whichever side happened to
+/// be measured during it. Returns `(cached_ns, reference_ns, speedup)`
+/// medians; results are accumulated into `sink` so the work cannot be
+/// elided.
+fn paired_ns<F, G>(reps: usize, sink: &mut f64, mut cached: F, mut reference: G) -> (f64, f64, f64)
+where
+    F: FnMut() -> f64,
+    G: FnMut() -> f64,
+{
+    let mut tc = Vec::with_capacity(reps);
+    let mut tr = Vec::with_capacity(reps);
+    let mut ratio = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let c = time_ns(sink, &mut cached);
+        let r = time_ns(sink, &mut reference);
+        tc.push(c);
+        tr.push(r);
+        ratio.push(r / c);
+    }
+    (median(tc), median(tr), median(ratio))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_lcm.json".to_string());
+    let mut sink = 0.0;
+
+    // --- nll_and_grad, cached vs retained reference -----------------------
+    let th = theta();
+    let mut grad = vec![0.0; th.len()];
+    let mut grad_ref = vec![0.0; th.len()];
+    let mut nll_rows = Vec::new();
+    for &n in &[64usize, 256] {
+        let (xs, task_of, y) = data(n, 9);
+        // Warm both paths once before timing.
+        sink += LcmModel::nll_at(&xs, &task_of, &y, TASKS, Q, &th, &mut grad);
+        sink += LcmModel::nll_at_reference(&xs, &task_of, &y, TASKS, Q, &th, &mut grad);
+        let (cached, reference, speedup) = paired_ns(
+            9,
+            &mut sink,
+            || LcmModel::nll_at(&xs, &task_of, &y, TASKS, Q, &th, &mut grad),
+            || LcmModel::nll_at_reference(&xs, &task_of, &y, TASKS, Q, &th, &mut grad_ref),
+        );
+        nll_rows.push((n, cached, reference, speedup));
+    }
+
+    // --- full fit at n = 256, cached vs `reference_impl` ------------------
+    let (xs, task_of, y) = data(256, 9);
+    let opts = LcmFitOptions {
+        n_starts: 2,
+        lbfgs: LbfgsOptions {
+            max_iters: 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let ref_opts = LcmFitOptions {
+        reference_impl: true,
+        ..opts.clone()
+    };
+    let (fit_cached, fit_reference, fit_speedup) = paired_ns(
+        5,
+        &mut sink,
+        || LcmModel::fit(&xs, &task_of, &y, TASKS, &opts).nll(),
+        || LcmModel::fit(&xs, &task_of, &y, TASKS, &ref_opts).nll(),
+    );
+
+    // --- candidate scoring: batch vs per-point ----------------------------
+    let model = LcmModel::fit(&xs, &task_of, &y, TASKS, &opts);
+    let mut rng = StdRng::seed_from_u64(17);
+    let cands: Vec<Vec<f64>> = (0..M_CANDS)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    sink += model.predict_batch(0, &cands)[0].mean;
+    let m = M_CANDS as f64;
+    let (batch, pt, pt_speedup) = paired_ns(
+        7,
+        &mut sink,
+        || {
+            model
+                .predict_batch(0, &cands)
+                .iter()
+                .map(|p| p.mean + p.variance)
+                .sum()
+        },
+        || cands.iter().map(|c| model.predict(0, c).mean).sum(),
+    );
+    let (_, pt_ref, ref_speedup) = paired_ns(
+        7,
+        &mut sink,
+        || {
+            model
+                .predict_batch(0, &cands)
+                .iter()
+                .map(|p| p.mean + p.variance)
+                .sum()
+        },
+        || {
+            cands
+                .iter()
+                .map(|c| model.predict_reference(0, c).mean)
+                .sum()
+        },
+    );
+    let (batch, pt, pt_ref) = (batch / m, pt / m, pt_ref / m);
+
+    // --- report -----------------------------------------------------------
+    let mut json = String::from("{\n  \"config\": {");
+    json.push_str(&format!(
+        "\"dim\": {DIM}, \"n_tasks\": {TASKS}, \"q\": {Q}, \"m_candidates\": {M_CANDS}}},\n"
+    ));
+    json.push_str("  \"nll_and_grad\": {\n");
+    for (idx, (n, cached, reference, speedup)) in nll_rows.iter().enumerate() {
+        let comma = if idx + 1 < nll_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"n{n}\": {{\"cached_ns\": {cached:.0}, \"reference_ns\": {reference:.0}, \
+             \"speedup\": {speedup:.2}}}{comma}\n",
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"fit_n256_2tasks\": {{\"cached_ms\": {:.1}, \"reference_ms\": {:.1}, \
+         \"speedup\": {:.2}}},\n",
+        fit_cached / 1e6,
+        fit_reference / 1e6,
+        fit_speedup
+    ));
+    json.push_str(&format!(
+        "  \"candidate_scoring_m512\": {{\"per_point_ns\": {pt:.0}, \
+         \"per_point_reference_ns\": {pt_ref:.0}, \"batch_ns\": {batch:.0}, \
+         \"speedup_batch_vs_point\": {pt_speedup:.2}, \
+         \"speedup_batch_vs_reference\": {ref_speedup:.2}}}\n",
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_lcm.json");
+    print!("{json}");
+    eprintln!("sink {sink}");
+    eprintln!("wrote {out_path}");
+    assert!(
+        fit_reference >= fit_cached,
+        "cached fit slower than reference — hot path regressed"
+    );
+}

@@ -21,7 +21,7 @@ use crate::perfmodel::{FeatureScaler, LinearPerfModel};
 use crate::problem::TuningProblem;
 use gptune_db::CheckpointKind;
 use gptune_gp::gp::{expected_improvement, lower_confidence_bound, probability_of_improvement};
-use gptune_gp::{LcmFitOptions, LcmModel};
+use gptune_gp::{LcmFitOptions, LcmModel, Prediction};
 use gptune_opt::{cmaes, de, pso};
 use gptune_runtime::{
     with_pool, EvalOutcome, FailureKind, JobStatus, Phase, PhaseTimer, WorkerGroup,
@@ -480,8 +480,29 @@ pub(crate) fn search_task(
 ) -> Config {
     let beta = problem.beta();
 
-    // EI over the normalized tuning coordinates; enrichment features are
-    // computed per candidate (they are a function of the config).
+    // Shared pieces of the acquisition: the model-input embedding of a
+    // candidate (normalized coordinates plus optional enrichment features)
+    // and the negated acquisition score of a posterior prediction (all
+    // acquisition scores are maximized; the optimizers minimize).
+    let to_x_model = |u: &[f64], config: &Config| -> Vec<f64> {
+        match &inputs.enrich {
+            Some(e) => {
+                let mut v = u.to_vec();
+                v.extend(e.features(problem, task_idx, config));
+                v
+            }
+            None => u.to_vec(),
+        }
+    };
+    let score = |pred: &Prediction| -> f64 {
+        -match opts.acquisition {
+            Acquisition::ExpectedImprovement => expected_improvement(pred, y_best_model),
+            Acquisition::LowerConfidenceBound { kappa } => lower_confidence_bound(pred, kappa),
+            Acquisition::ProbabilityOfImprovement => probability_of_improvement(pred, y_best_model),
+        }
+    };
+
+    // Scalar acquisition for the per-point search methods (DE, CMA-ES).
     let mut acq = |u: &[f64]| -> f64 {
         let config = problem.tuning_space.denormalize(u);
         if !problem.tuning_space.is_valid(&config) {
@@ -489,23 +510,30 @@ pub(crate) fn search_task(
             // 0 but LCB can be negative, so +∞ is the safe barrier).
             return f64::INFINITY;
         }
-        let x_model: Vec<f64> = match &inputs.enrich {
-            Some(e) => {
-                let mut v = u.to_vec();
-                v.extend(e.features(problem, task_idx, &config));
-                v
-            }
-            None => u.to_vec(),
-        };
-        let pred = model.predict(task_idx, &x_model);
-        // All acquisition scores are maximized; PSO minimizes the negation.
-        -match opts.acquisition {
-            Acquisition::ExpectedImprovement => expected_improvement(&pred, y_best_model),
-            Acquisition::LowerConfidenceBound { kappa } => lower_confidence_bound(&pred, kappa),
-            Acquisition::ProbabilityOfImprovement => {
-                probability_of_improvement(&pred, y_best_model)
+        let pred = model.predict(task_idx, &to_x_model(u, &config));
+        score(&pred)
+    };
+
+    // Batched acquisition for PSO: the whole swarm is scored through one
+    // blocked multi-RHS posterior solve ([`LcmModel::predict_batch`])
+    // instead of a triangular solve per particle. Infeasible candidates
+    // keep the +∞ barrier and are excluded from the batch.
+    let mut acq_batch = |us: &[Vec<f64>]| -> Vec<f64> {
+        let mut scores = vec![f64::INFINITY; us.len()];
+        let mut live: Vec<usize> = Vec::with_capacity(us.len());
+        let mut xs_model: Vec<Vec<f64>> = Vec::with_capacity(us.len());
+        for (i, u) in us.iter().enumerate() {
+            let config = problem.tuning_space.denormalize(u);
+            if problem.tuning_space.is_valid(&config) {
+                live.push(i);
+                xs_model.push(to_x_model(u, &config));
             }
         }
+        let preds = model.predict_batch(task_idx, &xs_model);
+        for (i, pred) in live.into_iter().zip(&preds) {
+            scores[i] = score(pred);
+        }
+        scores
     };
 
     // Seed the swarm with the incumbent best of this task.
@@ -526,7 +554,7 @@ pub(crate) fn search_task(
     // compare at equal acquisition-evaluation cost.
     let acq_budget = opts.pso.particles * (opts.pso.iters + 1);
     let result = match opts.search_method {
-        SearchMethod::Pso => pso::minimize(&mut acq, beta, &seeds, &opts.pso, rng),
+        SearchMethod::Pso => pso::minimize_batch(&mut acq_batch, beta, &seeds, &opts.pso, rng),
         SearchMethod::DifferentialEvolution => {
             let de_opts = de::DeOptions {
                 population: opts.pso.particles.max(4),

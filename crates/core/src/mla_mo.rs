@@ -213,26 +213,42 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
                             .collect();
 
                         let beta = problem.beta();
-                        let mut acq = |u: &[f64]| -> Vec<f64> {
-                            let config = problem.tuning_space.denormalize(u);
-                            if !problem.tuning_space.is_valid(&config) {
-                                return vec![0.0; gamma];
+                        // Batched vector acquisition: each NSGA-II
+                        // generation is scored through one blocked
+                        // multi-RHS posterior solve per objective
+                        // ([`LcmModel::predict_batch`]) instead of a
+                        // triangular solve per individual per objective.
+                        let mut acq = |us: &[Vec<f64>]| -> Vec<Vec<f64>> {
+                            let mut out = vec![vec![0.0; gamma]; us.len()];
+                            let mut live: Vec<usize> = Vec::with_capacity(us.len());
+                            let mut configs: Vec<Config> = Vec::with_capacity(us.len());
+                            for (i, u) in us.iter().enumerate() {
+                                let config = problem.tuning_space.denormalize(u);
+                                if problem.tuning_space.is_valid(&config) {
+                                    live.push(i);
+                                    configs.push(config);
+                                }
                             }
-                            (0..gamma)
-                                .map(|s| {
-                                    let (inputs, _) = &per_objective[s];
-                                    let x_model: Vec<f64> = match &inputs.enrich {
+                            for s in 0..gamma {
+                                let (inputs, _) = &per_objective[s];
+                                let xs_model: Vec<Vec<f64>> = live
+                                    .iter()
+                                    .zip(&configs)
+                                    .map(|(&i, config)| match &inputs.enrich {
                                         Some(e) => {
-                                            let mut v = u.to_vec();
-                                            v.extend(e.features(problem, task_idx, &config));
+                                            let mut v = us[i].clone();
+                                            v.extend(e.features(problem, task_idx, config));
                                             v
                                         }
-                                        None => u.to_vec(),
-                                    };
-                                    let pred = models[s].predict(task_idx, &x_model);
-                                    -expected_improvement(&pred, y_best[s])
-                                })
-                                .collect()
+                                        None => us[i].clone(),
+                                    })
+                                    .collect();
+                                let preds = models[s].predict_batch(task_idx, &xs_model);
+                                for (&i, pred) in live.iter().zip(&preds) {
+                                    out[i][s] = -expected_improvement(pred, y_best[s]);
+                                }
+                            }
+                            out
                         };
 
                         // Seed NSGA-II with the observed Pareto points.
@@ -244,7 +260,7 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
                             .map(|((_, c), _)| problem.tuning_space.normalize(c))
                             .collect();
 
-                        let front = nsga2::minimize(
+                        let front = nsga2::minimize_batch(
                             &mut acq, beta, gamma, &observed, &opts.nsga, &mut trng,
                         );
 

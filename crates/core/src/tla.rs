@@ -98,6 +98,12 @@ pub fn transfer_tune_from_db(
 /// `history` preloaded into the joint LCM. The `opts.eps_total` budget
 /// counts *fresh* evaluations of the target task; archived data is free.
 ///
+/// The search phase routes through the same `search_task` acquisition
+/// machinery as MLA, so PSO candidate scoring here also runs through the
+/// batched [`gptune_gp::LcmModel::predict_batch`] posterior path — archived
+/// histories make `n` large, which is exactly where the blocked multi-RHS
+/// solve pays off.
+///
 /// Returns the target's [`TaskResult`] (samples are the fresh evaluations)
 /// plus the phase statistics of the run.
 pub fn transfer_tune(

@@ -39,6 +39,13 @@ impl SingleTaskGp {
         self.inner.predict(0, x)
     }
 
+    /// Batched posterior prediction at many points — one blocked multi-RHS
+    /// solve instead of per-point triangular solves; results are identical
+    /// to per-point [`predict`](Self::predict).
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        self.inner.predict_batch(0, xs)
+    }
+
     /// Best observed output.
     pub fn best_observed(&self) -> f64 {
         self.inner.best_observed(0).expect("fit guarantees data")

@@ -70,13 +70,48 @@ impl ArdKernel {
     /// Kernel value `k(x, y)`.
     #[inline]
     pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
-        let r2 = self.r2(x, y);
+        self.eval_r2(self.r2(x, y))
+    }
+
+    /// Kernel value from a precomputed scaled squared distance `r²` — the
+    /// distance-cached entry point: the LCM fit computes `r²` once per pair
+    /// as a weighted dot of cached `(x_d − y_d)²` with `1/l_d²`.
+    #[inline]
+    pub fn eval_r2(&self, r2: f64) -> f64 {
         match self.kind {
             KernelKind::SquaredExponential => (-0.5 * r2).exp(),
             KernelKind::Matern52 => {
                 let r = r2.sqrt();
                 let s5r = 5.0_f64.sqrt() * r;
                 (1.0 + s5r + 5.0 * r2 / 3.0) * (-s5r).exp()
+            }
+        }
+    }
+
+    /// Per-dimension inverse squared lengthscales `1/l_d²` — the weights of
+    /// the distance-cached form `r² = Σ_d (x_d − y_d)²/l_d²`.
+    pub fn inv_lengthscales_sq(&self) -> Vec<f64> {
+        self.lengthscales.iter().map(|l| 1.0 / (l * l)).collect()
+    }
+
+    /// Dimension-independent gradient prefactor `g(r², k)` such that
+    /// `∂k/∂log l_d = g · z_d²` with `z_d = (x_d − y_d)/l_d`. Finite at
+    /// `r = 0` for both families (`g = k` for SE, `g = 5/3` for Matérn), so
+    /// the distance-cached gradient can run one prefactor per pair across
+    /// all `dim` lengthscale derivatives, diagonal included.
+    #[inline]
+    pub fn grad_factor_r2(&self, r2: f64, k_val: f64) -> f64 {
+        match self.kind {
+            // ∂k/∂log l_d = k · z_d².
+            KernelKind::SquaredExponential => k_val,
+            // k(r) = (1 + √5 r + 5r²/3) e^{−√5 r};
+            // dk/dr = −(5r/3)(1 + √5 r) e^{−√5 r};
+            // ∂r/∂log l_d = −z_d²/r  ⇒
+            // ∂k/∂log l_d = (5/3)(1 + √5 r) e^{−√5 r} · z_d².
+            KernelKind::Matern52 => {
+                let r = r2.sqrt();
+                let s5r = 5.0_f64.sqrt() * r;
+                (5.0 / 3.0) * (1.0 + s5r) * (-s5r).exp()
             }
         }
     }
@@ -91,17 +126,8 @@ impl ArdKernel {
         let z = (x[d] - y[d]) / self.lengthscales[d];
         let z2 = z * z;
         match self.kind {
-            // ∂k/∂log l_d = k · z_d².
             KernelKind::SquaredExponential => k_val * z2,
-            // k(r) = (1 + √5 r + 5r²/3) e^{−√5 r};
-            // dk/dr = −(5r/3)(1 + √5 r) e^{−√5 r};
-            // ∂r/∂log l_d = −z_d²/r  ⇒
-            // ∂k/∂log l_d = (5/3)(1 + √5 r) e^{−√5 r} · z_d².
-            KernelKind::Matern52 => {
-                let r = self.r2(x, y).sqrt();
-                let s5r = 5.0_f64.sqrt() * r;
-                (5.0 / 3.0) * (1.0 + s5r) * (-s5r).exp() * z2
-            }
+            KernelKind::Matern52 => self.grad_factor_r2(self.r2(x, y), k_val) * z2,
         }
     }
 }
@@ -190,6 +216,57 @@ mod tests {
                     "{kind:?} dim {d}: analytic {g} vs fd {fd}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn eval_r2_matches_eval_through_cached_distances() {
+        let x = [0.2, 0.8, 0.4];
+        let y = [0.6, 0.3, 0.1];
+        let l = [0.4, 0.9, 0.25];
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = ArdKernel::with_kind(kind, l.to_vec());
+            // Cached form: r² as a weighted dot of (x_d − y_d)² with 1/l_d².
+            let inv_l2 = k.inv_lengthscales_sq();
+            let r2: f64 = x
+                .iter()
+                .zip(&y)
+                .zip(&inv_l2)
+                .map(|((a, b), w)| (a - b) * (a - b) * w)
+                .sum();
+            let direct = k.eval(&x, &y);
+            assert!(
+                (k.eval_r2(r2) - direct).abs() <= 1e-15 * (1.0 + direct.abs()),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_factor_matches_grad_log_lengthscale() {
+        let x = [0.2, 0.8];
+        let y = [0.6, 0.3];
+        let l = [0.4, 0.9];
+        for kind in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+            let k = ArdKernel::with_kind(kind, l.to_vec());
+            let kv = k.eval(&x, &y);
+            let r2: f64 = x
+                .iter()
+                .zip(&y)
+                .zip(&l)
+                .map(|((a, b), li)| ((a - b) / li) * ((a - b) / li))
+                .sum();
+            let g = k.grad_factor_r2(r2, kv);
+            for d in 0..2 {
+                let z = (x[d] - y[d]) / l[d];
+                let expect = k.grad_log_lengthscale(&x, &y, d, kv);
+                assert!(
+                    (g * z * z - expect).abs() <= 1e-14 * (1.0 + expect.abs()),
+                    "{kind:?} dim {d}"
+                );
+            }
+            // Finite prefactor at r = 0 keeps the diagonal in the cached loop.
+            assert!(k.grad_factor_r2(0.0, 1.0).is_finite());
         }
     }
 

@@ -8,6 +8,7 @@
 //! unconstrained.
 
 use crate::kernel::{ArdKernel, KernelKind};
+use gptune_la::blas;
 use gptune_la::ord::feq;
 use gptune_la::{Cholesky, CholeskyOptions, Matrix};
 use gptune_opt::lbfgs::{self, LbfgsOptions};
@@ -134,6 +135,10 @@ pub struct LcmFitOptions {
     pub lbfgs: LbfgsOptions,
     /// Base RNG seed for the restarts (restart `k` uses `seed + k`).
     pub seed: u64,
+    /// Run the fit through the pre-refactor naive likelihood instead of the
+    /// distance-cached one. For equivalence tests and before/after
+    /// benchmarks only — never faster, never more accurate.
+    pub reference_impl: bool,
 }
 
 impl Default for LcmFitOptions {
@@ -149,6 +154,7 @@ impl Default for LcmFitOptions {
                 ..Default::default()
             },
             seed: 0,
+            reference_impl: false,
         }
     }
 }
@@ -179,6 +185,15 @@ pub struct LcmModel {
     chol: Cholesky,
     alpha: Vec<f64>,
     nll: f64,
+    /// The Q latent kernels at the fitted lengthscales, cached so predict
+    /// paths stop cloning lengthscale vectors per call.
+    kernels: Vec<ArdKernel>,
+    /// Per-latent task-pair coefficients `a_{t,q} a_{t',q} + δ_{t,t'} b_{t,q}`,
+    /// flattened `t·T + t'` (one `T×T` block per latent function).
+    coeffs: Vec<Vec<f64>>,
+    /// Per-task prior variance `Σ_q (a² + b)` — latent variance excluding
+    /// observation noise `d`, so EI reasons about `f`, not `y`.
+    prior_var: Vec<f64>,
 }
 
 /// Internal: training data shared between likelihood evaluations.
@@ -244,17 +259,33 @@ impl LcmModel {
             kernel: opts.kernel,
         };
 
+        // Theta-independent pairwise squared differences, computed once and
+        // shared read-only by every restart and every L-BFGS iteration.
+        let dists = DistanceCache::build(xs);
+        // Restarts run in parallel, so each inner likelihood keeps its
+        // Cholesky sequential to avoid oversubscribing the rayon pool; a
+        // single-restart fit may use the blocked parallel factorization.
+        let n_starts = opts.n_starts.max(1);
+        let ctx = FitCtx {
+            data: &data,
+            dists: &dists,
+            parallel_chol: n_starts == 1,
+        };
+        let objective = |theta: &[f64], grad: &mut [f64]| -> f64 {
+            if opts.reference_impl {
+                nll_and_grad_reference(&data, q, theta, grad)
+            } else {
+                nll_and_grad(&ctx, q, theta, grad)
+            }
+        };
+
         // Multi-start L-BFGS over the packed hyperparameters, in parallel.
-        let results: Vec<(f64, Vec<f64>)> = (0..opts.n_starts.max(1))
+        let results: Vec<(f64, Vec<f64>)> = (0..n_starts)
             .into_par_iter()
             .map(|k| {
                 let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(k as u64));
                 let init = LcmHyperparams::random_init(q, n_tasks, dim, &mut rng).pack();
-                let r = lbfgs::minimize(
-                    |theta, grad| nll_and_grad(&data, q, theta, grad),
-                    &init,
-                    &opts.lbfgs,
-                );
+                let r = lbfgs::minimize(|theta, grad| objective(theta, grad), &init, &opts.lbfgs);
                 (r.value, r.x)
             })
             .collect();
@@ -276,15 +307,33 @@ impl LcmModel {
                 };
                 let theta = hp.pack();
                 let mut g = vec![0.0; theta.len()];
-                let v = nll_and_grad(&data, q, &theta, &mut g);
+                let v = objective(&theta, &mut g);
                 (v, theta)
             });
 
         let hp = LcmHyperparams::unpack(q, n_tasks, dim, &best_theta);
-        let sigma = build_covariance(&data, &hp);
-        let chol = Cholesky::factor_with_jitter(&sigma, 0.0, 12)
-            .expect("LCM covariance not factorizable even with jitter");
+        let kernels: Vec<ArdKernel> = (0..q)
+            .map(|qq| ArdKernel::with_kind(opts.kernel, hp.lengthscales[qq].clone()))
+            .collect();
+        let coeffs = task_coeffs(&hp);
+        let packed: Vec<PackedKernel> = kernels.iter().map(|k| dists.packed(k)).collect();
+        let sigma = assemble_covariance(task_of, n_tasks, &coeffs, &packed, &hp.d);
+        // The final factorization runs with no restarts in flight, so the
+        // blocked rayon-parallel Cholesky is safe (and worthwhile) at large n.
+        let chol = if n >= PARALLEL_CHOL_THRESHOLD {
+            Cholesky::factor_with_jitter_parallel(&sigma, 0.0, 12, &CholeskyOptions::default())
+        } else {
+            Cholesky::factor_with_jitter(&sigma, 0.0, 12)
+        }
+        .expect("LCM covariance not factorizable even with jitter");
         let alpha = chol.solve(&y_std_vals);
+        let prior_var: Vec<f64> = (0..n_tasks)
+            .map(|task| {
+                (0..q)
+                    .map(|qq| hp.a[qq][task] * hp.a[qq][task] + hp.b[qq][task])
+                    .sum()
+            })
+            .collect();
 
         LcmModel {
             hp,
@@ -297,6 +346,9 @@ impl LcmModel {
             chol,
             alpha,
             nll: best_nll,
+            kernels,
+            coeffs,
+            prior_var,
         }
     }
 
@@ -318,7 +370,46 @@ impl LcmModel {
 
     /// Posterior prediction for `task` at normalized point `x`
     /// (paper Eqs. 5–6), in the raw output scale.
+    ///
+    /// Uses the per-fit cached kernels, task coefficients, and prior
+    /// variances — no per-call allocation beyond the `k*` vector.
     pub fn predict(&self, task: usize, x: &[f64]) -> Prediction {
+        assert!(task < self.hp.n_tasks, "predict: task out of range");
+        assert_eq!(x.len(), self.hp.dim, "predict: dim mismatch");
+        let n = self.xs.len();
+        let t = self.hp.n_tasks;
+
+        // Cross covariance k* between (task, x) and every training point.
+        let mut kstar = vec![0.0; n];
+        for (p, xp) in self.xs.iter().enumerate() {
+            let tp = self.task_of[p];
+            let mut s = 0.0;
+            for (kern, cq) in self.kernels.iter().zip(&self.coeffs) {
+                let coeff = cq[task * t + tp];
+                if !feq(coeff, 0.0) {
+                    s += coeff * kern.eval(x, xp);
+                }
+            }
+            kstar[p] = s;
+        }
+
+        let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = self.chol.solve(&kstar);
+        let reduction: f64 = kstar.iter().zip(&v).map(|(k, s)| k * s).sum();
+        let var_std = (self.prior_var[task] - reduction).max(1e-12);
+
+        Prediction {
+            mean: mean_std * self.scale + self.shift,
+            variance: var_std * self.scale * self.scale,
+        }
+    }
+
+    /// Pre-refactor per-point prediction — re-derives the Q kernels and
+    /// task coefficients on every call. Retained verbatim as the
+    /// equivalence and benchmark baseline for the cached
+    /// [`predict`](Self::predict) / [`predict_batch`](Self::predict_batch)
+    /// paths.
+    pub fn predict_reference(&self, task: usize, x: &[f64]) -> Prediction {
         assert!(task < self.hp.n_tasks, "predict: task out of range");
         assert_eq!(x.len(), self.hp.dim, "predict: dim mismatch");
         let n = self.xs.len();
@@ -358,6 +449,91 @@ impl LcmModel {
         }
     }
 
+    /// Batched posterior prediction for `task` at many candidate points —
+    /// the candidate-scoring hot path of the search phase.
+    ///
+    /// Builds the `n × m` cross-covariance once, computes all means with a
+    /// single `Kᵀα` product, and replaces `m` independent BLAS-2 triangular
+    /// solves with one blocked multi-RHS *forward* solve (BLAS-3 shape):
+    /// the variance reduction `k*ᵀ Σ⁻¹ k*` is accumulated as `‖L⁻¹ k*‖²`
+    /// column sums, so the backward substitution never runs. Candidate
+    /// chunks are processed in parallel on the ambient rayon pool.
+    ///
+    /// Matches per-point [`predict`](Self::predict) to ≤ 1e-12 relative;
+    /// the only difference is the summation order of that quadratic form.
+    pub fn predict_batch(&self, task: usize, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        assert!(task < self.hp.n_tasks, "predict_batch: task out of range");
+        assert!(
+            xs.iter().all(|x| x.len() == self.hp.dim),
+            "predict_batch: dim mismatch"
+        );
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        // Chunked so one RHS panel stays cache-resident
+        // (n × 64 × 8 B = 128 KiB at n = 256).
+        const CHUNK: usize = 64;
+        let chunks: Vec<&[Vec<f64>]> = xs.chunks(CHUNK).collect();
+        let per: Vec<Vec<Prediction>> = chunks
+            .into_par_iter()
+            .map(|c| self.predict_chunk(task, c))
+            .collect();
+        per.into_iter().flatten().collect()
+    }
+
+    fn predict_chunk(&self, task: usize, chunk: &[Vec<f64>]) -> Vec<Prediction> {
+        let n = self.xs.len();
+        let t = self.hp.n_tasks;
+        let m = chunk.len();
+
+        // K* (n × m): row p holds the cross covariance of training point p
+        // against every candidate in the chunk.
+        let mut kstar = Matrix::zeros(n, m);
+        for (p, xp) in self.xs.iter().enumerate() {
+            let tp = self.task_of[p];
+            let row = kstar.row_mut(p);
+            for (kern, cq) in self.kernels.iter().zip(&self.coeffs) {
+                let coeff = cq[task * t + tp];
+                if feq(coeff, 0.0) {
+                    continue;
+                }
+                for (s, x) in row.iter_mut().zip(chunk) {
+                    *s += coeff * kern.eval(x, xp);
+                }
+            }
+        }
+
+        // Means for the whole chunk: one K*ᵀ α product.
+        let mut means = vec![0.0; m];
+        blas::gemv_t(1.0, &kstar, &self.alpha, 0.0, &mut means);
+
+        // Variances: forward half-solve V = L⁻¹ K* only — the reduction
+        // k*ᵀ Σ⁻¹ k* equals ‖L⁻¹ k*‖², so the backward substitution never
+        // runs. Column sums of squares are accumulated row-wise (stride-1
+        // over the chunk).
+        let mut v = kstar;
+        self.chol.forward_solve_matrix_in_place(&mut v);
+        let mut reduction = vec![0.0; m];
+        for p in 0..n {
+            for (r, &vv) in reduction.iter_mut().zip(v.row(p)) {
+                *r += vv * vv;
+            }
+        }
+
+        let prior = self.prior_var[task];
+        means
+            .iter()
+            .zip(&reduction)
+            .map(|(mean_std, red)| {
+                let var_std = (prior - red).max(1e-12);
+                Prediction {
+                    mean: mean_std * self.scale + self.shift,
+                    variance: var_std * self.scale * self.scale,
+                }
+            })
+            .collect()
+    }
+
     /// Best observed (raw) output for a task, if it has samples.
     pub fn best_observed(&self, task: usize) -> Option<f64> {
         self.task_of
@@ -380,7 +556,7 @@ impl LcmModel {
     /// overconfident, ≪ 1 = underconfident).
     pub fn loo_diagnostics(&self) -> (f64, f64) {
         let n = self.xs.len();
-        let kinv = self.chol.inverse();
+        let kinv = self.chol.inverse_lower();
         let mut sq_err = 0.0;
         let mut std_sq = 0.0;
         for i in 0..n {
@@ -457,44 +633,373 @@ impl LcmModel {
             dim,
             kernel,
         };
-        nll_and_grad(&data, q, theta, grad)
+        let dists = DistanceCache::build(xs);
+        // Standalone main-thread call: the parallel Cholesky is allowed.
+        let ctx = FitCtx {
+            data: &data,
+            dists: &dists,
+            parallel_chol: true,
+        };
+        nll_and_grad(&ctx, q, theta, grad)
+    }
+
+    /// Pre-refactor naive likelihood+gradient (squared-exponential kernel),
+    /// retained as the ≤1e-12 equivalence baseline and benchmark "before"
+    /// for the distance-cached path.
+    pub fn nll_at_reference(
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        q: usize,
+        theta: &[f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        Self::nll_at_reference_with_kernel(
+            xs,
+            task_of,
+            y,
+            n_tasks,
+            q,
+            KernelKind::SquaredExponential,
+            theta,
+            grad,
+        )
+    }
+
+    /// [`LcmModel::nll_at_reference`] with an explicit kernel family.
+    #[allow(clippy::too_many_arguments)]
+    pub fn nll_at_reference_with_kernel(
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        q: usize,
+        kernel: KernelKind,
+        theta: &[f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        let dim = xs[0].len();
+        let data = LcmData {
+            xs,
+            task_of,
+            y,
+            n_tasks,
+            dim,
+            kernel,
+        };
+        nll_and_grad_reference(&data, q, theta, grad)
     }
 }
 
-/// Assembles the `N × N` LCM covariance (paper Eq. 4).
-fn build_covariance(data: &LcmData<'_>, hp: &LcmHyperparams) -> Matrix {
-    let n = data.xs.len();
-    let mut sigma = Matrix::zeros(n, n);
-    for q in 0..hp.q {
-        let kern = ArdKernel::with_kind(data.kernel, hp.lengthscales[q].clone());
-        for i in 0..n {
-            let ti = data.task_of[i];
-            for j in 0..=i {
-                let tj = data.task_of[j];
-                let coeff = hp.a[q][ti] * hp.a[q][tj] + if ti == tj { hp.b[q][ti] } else { 0.0 };
-                if !feq(coeff, 0.0) {
-                    let kv = kern.eval(&data.xs[i], &data.xs[j]);
-                    sigma.add_at(i, j, coeff * kv);
+/// Packed per-pair, per-dimension squared coordinate differences
+/// `(x_{i,d} − x_{j,d})²` for all pairs `j ≤ i` — computed once per fit and
+/// shared read-only across all rayon restarts and every L-BFGS iteration
+/// (the distances are theta-independent; only the `1/l²` weights change).
+///
+/// Layout: pair-major, pairs ordered row-by-row `(i, j ≤ i)`, so pair
+/// `p(i, j) = i(i+1)/2 + j` owns the `dim` contiguous entries
+/// `d2[p·dim .. (p+1)·dim]`, and the pairs of row `i` are contiguous —
+/// aligning packed traversal with `Matrix` row slices of `W`.
+struct DistanceCache {
+    n: usize,
+    dim: usize,
+    d2: Vec<f64>,
+}
+
+/// Packed lower-triangle kernel values for one latent ARD kernel:
+/// `r2[p] = Σ_d d2[p][d]/l_d²` and `k[p] = k(r2[p])`, pair order as in
+/// [`DistanceCache`]. Keeping `r2` alongside `k` lets the Matérn gradient
+/// prefactor reuse it instead of re-deriving distances.
+struct PackedKernel {
+    r2: Vec<f64>,
+    k: Vec<f64>,
+}
+
+impl DistanceCache {
+    fn build(xs: &[Vec<f64>]) -> DistanceCache {
+        let n = xs.len();
+        let dim = if n > 0 { xs[0].len() } else { 0 };
+        let mut d2 = Vec::with_capacity(n * (n + 1) / 2 * dim);
+        for (i, xi) in xs.iter().enumerate() {
+            for xj in xs.iter().take(i + 1) {
+                for dd in 0..dim {
+                    let t = xi[dd] - xj[dd];
+                    d2.push(t * t);
                 }
             }
         }
+        DistanceCache { n, dim, d2 }
     }
-    // Mirror to the upper triangle and add noise.
+
+    #[inline]
+    fn n_pairs(&self) -> usize {
+        self.n * (self.n + 1) / 2
+    }
+
+    /// Evaluates one latent kernel over all cached pairs: a weighted dot of
+    /// the cached squared differences with `1/l²` replaces the per-pair
+    /// distance rebuild of the naive path.
+    fn packed(&self, kern: &ArdKernel) -> PackedKernel {
+        let inv_l2 = kern.inv_lengthscales_sq();
+        let np = self.n_pairs();
+        let mut r2 = vec![0.0; np];
+        let mut k = vec![0.0; np];
+        for p in 0..np {
+            let d2p = &self.d2[p * self.dim..(p + 1) * self.dim];
+            let mut s = 0.0;
+            for (a, b) in d2p.iter().zip(&inv_l2) {
+                s += a * b;
+            }
+            r2[p] = s;
+            k[p] = kern.eval_r2(s);
+        }
+        PackedKernel { r2, k }
+    }
+}
+
+/// Task-pair coefficients `c_q(t, t') = a_{t,q} a_{t',q} + δ_{t,t'} b_{t,q}`
+/// (paper Eq. 4), one flattened `T×T` block per latent function.
+fn task_coeffs(hp: &LcmHyperparams) -> Vec<Vec<f64>> {
+    let t = hp.n_tasks;
+    (0..hp.q)
+        .map(|qq| {
+            let mut c = vec![0.0; t * t];
+            for ti in 0..t {
+                for tj in 0..t {
+                    c[ti * t + tj] =
+                        hp.a[qq][ti] * hp.a[qq][tj] + if ti == tj { hp.b[qq][ti] } else { 0.0 };
+                }
+            }
+            c
+        })
+        .collect()
+}
+
+/// Assembles the `N × N` LCM covariance (paper Eq. 4) from packed per-pair
+/// kernel values — the single covariance-assembly routine shared by the
+/// final fit factorization and every likelihood evaluation.
+fn assemble_covariance(
+    task_of: &[usize],
+    n_tasks: usize,
+    coeffs: &[Vec<f64>],
+    packed: &[PackedKernel],
+    d: &[f64],
+) -> Matrix {
+    let n = task_of.len();
+    let mut sigma = Matrix::zeros(n, n);
+    for i in 0..n {
+        let ti = task_of[i];
+        let base = i * (i + 1) / 2;
+        let row = &mut sigma.row_mut(i)[..=i];
+        for (cq, pk) in coeffs.iter().zip(packed) {
+            let crow = &cq[ti * n_tasks..(ti + 1) * n_tasks];
+            let krow = &pk.k[base..=base + i];
+            for ((s, &kv), &tj) in row.iter_mut().zip(krow).zip(&task_of[..=i]) {
+                *s += crow[tj] * kv;
+            }
+        }
+        row[i] += d[ti] + 1e-10;
+    }
+    // Mirror the lower triangle.
     for i in 0..n {
         for j in 0..i {
             let v = sigma.get(i, j);
             sigma.set(j, i, v);
         }
-        sigma.add_at(i, i, hp.d[data.task_of[i]] + 1e-10);
     }
     sigma
 }
 
-/// Negative log marginal likelihood and its gradient w.r.t. the packed
-/// hyperparameters. Returns `+∞` (with untouched gradient) when the
+/// Shared per-fit context for likelihood evaluations: the training data,
+/// the distance cache, and whether this evaluation may use the blocked
+/// parallel Cholesky (only when no parallel restarts are in flight, to
+/// avoid oversubscribing the rayon pool).
+struct FitCtx<'a> {
+    data: &'a LcmData<'a>,
+    dists: &'a DistanceCache,
+    parallel_chol: bool,
+}
+
+/// Distance-cached negative log marginal likelihood and gradient w.r.t. the
+/// packed hyperparameters. Returns `+∞` (with NaN gradient) when the
 /// covariance is not factorizable, which the L-BFGS line search treats as a
 /// barrier.
-fn nll_and_grad(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -> f64 {
+///
+/// Matches [`nll_and_grad_reference`] to ≤1e-12 (relative); the only
+/// numerical differences are benign reassociations — `r²` as a weighted dot
+/// of cached `(Δx)²` with `1/l²`, and per-latent gradient blocks reduced
+/// from `M_q = W ∘ K_q` instead of element-at-a-time double loops.
+fn nll_and_grad(ctx: &FitCtx<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -> f64 {
+    let data = ctx.data;
+    let n = data.xs.len();
+    let t = data.n_tasks;
+    let hp = LcmHyperparams::unpack(q, t, data.dim, theta);
+
+    // Guard against absurd hyperparameters that would overflow the kernel.
+    if hp
+        .lengthscales
+        .iter()
+        .flatten()
+        .any(|&l| !(1e-6..=1e6).contains(&l))
+        || hp.d.iter().chain(hp.b.iter().flatten()).any(|&v| v > 1e12)
+    {
+        grad.iter_mut().for_each(|g| *g = f64::NAN);
+        return f64::INFINITY;
+    }
+
+    let kernels: Vec<ArdKernel> = (0..q)
+        .map(|qq| ArdKernel::with_kind(data.kernel, hp.lengthscales[qq].clone()))
+        .collect();
+    let packed: Vec<PackedKernel> = kernels.iter().map(|k| ctx.dists.packed(k)).collect();
+    let coeffs = task_coeffs(&hp);
+    let sigma = assemble_covariance(data.task_of, t, &coeffs, &packed, &hp.d);
+
+    let chol = if ctx.parallel_chol && n >= PARALLEL_CHOL_THRESHOLD {
+        Cholesky::factor_parallel(&sigma, &CholeskyOptions::default())
+    } else {
+        Cholesky::factor(&sigma)
+    };
+    let chol = match chol {
+        Ok(c) => c,
+        Err(_) => {
+            grad.iter_mut().for_each(|g| *g = f64::NAN);
+            return f64::INFINITY;
+        }
+    };
+
+    let alpha = chol.solve(data.y);
+    let nll = 0.5 * data.y.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>()
+        + 0.5 * chol.log_det()
+        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+    // W = Σ⁻¹ − α αᵀ, lower triangle only: `grad_block` and the noise
+    // gradient below read just `w.row(i)[..=i]` and the diagonal, so the
+    // upper mirror (and half the rank-1 update) is never materialized.
+    let mut w = chol.inverse_lower();
+    for (i, &ai) in alpha.iter().enumerate() {
+        for (wv, &aj) in w.row_mut(i)[..=i].iter_mut().zip(&alpha[..=i]) {
+            *wv -= ai * aj;
+        }
+    }
+
+    grad.iter_mut().for_each(|g| *g = 0.0);
+    let block = data.dim + 2 * t;
+    // Per-latent (q, dim) gradient blocks in parallel; each block is an
+    // independent single pass over the packed pairs, so results are
+    // deterministic regardless of rayon scheduling.
+    let blocks: Vec<Vec<f64>> = (0..q)
+        .into_par_iter()
+        .map(|qq| {
+            grad_block(
+                data,
+                ctx.dists,
+                &hp,
+                qq,
+                &kernels[qq],
+                &packed[qq],
+                &coeffs[qq],
+                &w,
+            )
+        })
+        .collect();
+    for (qq, blk) in blocks.iter().enumerate() {
+        grad[qq * block..(qq + 1) * block].copy_from_slice(blk);
+    }
+    // ∂Σ/∂ log d_r = d_r on the diagonal of task r.
+    let wdiag = w.diagonal();
+    let off = q * block;
+    for r in 0..t {
+        let mut g = 0.0;
+        for (i, &ti) in data.task_of.iter().enumerate() {
+            if ti == r {
+                g += wdiag[i];
+            }
+        }
+        grad[off + r] = 0.5 * g * hp.d[r];
+    }
+
+    nll
+}
+
+/// One latent function's gradient block `[∂/∂log l | ∂/∂a | ∂/∂log b]`,
+/// reduced in a single pass over the packed lower-triangle pairs with
+/// `M_q = W ∘ K_q` formed on the fly from row slices:
+///
+/// * lengthscales — `∂/∂log l_d = (Σ_p W c g(r²,k) · d2_p[d]) / l_d²`, the
+///   diagonal included for free (its `d2` is zero and `g` is finite at 0);
+/// * `a` — row sums `S[i][t'] = Σ_{j: t_j = t'} M_ij` give
+///   `∂/∂a_r = Σ_{i: t_i = r} (S[i]·a_q)`;
+/// * `b` — `∂/∂log b_r = 0.5 b_r Σ_{i: t_i = r} S[i][r]`.
+#[allow(clippy::too_many_arguments)]
+fn grad_block(
+    data: &LcmData<'_>,
+    dists: &DistanceCache,
+    hp: &LcmHyperparams,
+    qq: usize,
+    kern: &ArdKernel,
+    pk: &PackedKernel,
+    cq: &[f64],
+    w: &Matrix,
+) -> Vec<f64> {
+    let n = data.xs.len();
+    let t = data.n_tasks;
+    let dim = data.dim;
+    let inv_l2 = kern.inv_lengthscales_sq();
+    let mut gl = vec![0.0; dim];
+    let mut srow = vec![0.0; n * t];
+    for i in 0..n {
+        let ti = data.task_of[i];
+        let base = i * (i + 1) / 2;
+        let wrow = &w.row(i)[..=i];
+        let krow = &pk.k[base..=base + i];
+        let r2row = &pk.r2[base..=base + i];
+        let crow = &cq[ti * t..(ti + 1) * t];
+        let d2row = &dists.d2[base * dim..(base + i + 1) * dim];
+        for j in 0..=i {
+            let tj = data.task_of[j];
+            let wij = wrow[j];
+            let kv = krow[j];
+            let m = wij * kv;
+            srow[i * t + tj] += m;
+            if i != j {
+                srow[j * t + ti] += m;
+            }
+            let s = wij * crow[tj] * kern.grad_factor_r2(r2row[j], kv);
+            let d2p = &d2row[j * dim..(j + 1) * dim];
+            for (g, &d2v) in gl.iter_mut().zip(d2p) {
+                *g += s * d2v;
+            }
+        }
+    }
+    let mut blk = vec![0.0; dim + 2 * t];
+    // Off-diagonal pairs appear twice in the full sum; the ×2 cancels the
+    // 0.5 of the gradient formula, and z_d² = d2_d / l_d².
+    for dd in 0..dim {
+        blk[dd] = gl[dd] * inv_l2[dd];
+    }
+    let aq = &hp.a[qq];
+    let mut gb = vec![0.0; t];
+    for i in 0..n {
+        let ti = data.task_of[i];
+        let si = &srow[i * t..(i + 1) * t];
+        let v: f64 = si.iter().zip(aq).map(|(s, a)| s * a).sum();
+        blk[dim + ti] += v;
+        gb[ti] += si[ti];
+    }
+    for r in 0..t {
+        blk[dim + t + r] = 0.5 * gb[r] * hp.b[qq][r];
+    }
+    blk
+}
+
+/// Pre-refactor naive likelihood+gradient — retained verbatim as the
+/// equivalence baseline and benchmark "before" for [`nll_and_grad`]. Every
+/// distance, kernel value, and gradient term is re-derived pair-by-pair
+/// with per-element matrix access, and the factorization/inverse go through
+/// the retained scalar baselines ([`Cholesky::factor_reference`],
+/// [`Cholesky::inverse_reference`]) rather than the vectorized kernels.
+fn nll_and_grad_reference(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -> f64 {
     let n = data.xs.len();
     let hp = LcmHyperparams::unpack(q, data.n_tasks, data.dim, theta);
 
@@ -551,12 +1056,9 @@ fn nll_and_grad(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -
         sigma.add_at(i, i, hp.d[data.task_of[i]] + 1e-10);
     }
 
-    let chol = if n >= PARALLEL_CHOL_THRESHOLD {
-        Cholesky::factor_parallel(&sigma, &CholeskyOptions::default())
-    } else {
-        Cholesky::factor(&sigma)
-    };
-    let chol = match chol {
+    // Pre-vectorization scalar factorization and inverse, so the baseline
+    // stays the code the workspace actually ran before this refactor.
+    let chol = match Cholesky::factor_reference(&sigma) {
         Ok(c) => c,
         Err(_) => {
             grad.iter_mut().for_each(|g| *g = f64::NAN);
@@ -570,7 +1072,7 @@ fn nll_and_grad(data: &LcmData<'_>, q: usize, theta: &[f64], grad: &mut [f64]) -
         + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
 
     // W = Σ⁻¹ − α αᵀ; gradient of NLL w.r.t. θ_k is 0.5 Σ_ij W_ij ∂Σ_ij.
-    let sinv = chol.inverse();
+    let sinv = chol.inverse_reference();
     let mut w = sinv;
     for i in 0..n {
         for j in 0..n {

@@ -1,0 +1,275 @@
+//! Equivalence harness for the distance-cached LCM hot path.
+//!
+//! The PR that introduced the packed distance cache, the `W ∘ K_q`
+//! gradient restructuring, and the batched multi-RHS prediction kept the
+//! pre-refactor implementations as explicit baselines
+//! (`nll_at_reference*`, `predict_reference`, `reference_impl`). These
+//! tests pin the optimized paths to those baselines:
+//!
+//! * cached NLL + analytic gradient ≤ 1e-12 (relative) of the naive
+//!   reference, for both kernel families, on multitask data — the only
+//!   permitted difference is the reassociation of `r²` from a per-pair
+//!   running sum into a weighted dot against cached `(x_d − y_d)²`;
+//! * `predict_batch` reproduces per-point `predict` to ≤ 1e-12 (the
+//!   variance reduction is accumulated as `‖L⁻¹k*‖²` instead of
+//!   `k*ᵀΣ⁻¹k*` — same quadratic form, different summation order);
+//! * the analytic gradient *through the cached path* matches central
+//!   finite differences, so the cache cannot silently ship a wrong but
+//!   self-consistent gradient.
+
+use gptune_gp::{KernelKind, LcmFitOptions, LcmHyperparams, LcmModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative difference scaled by magnitude (and safe at zero).
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / (1.0 + a.abs().max(b.abs()))
+}
+
+/// Synthetic multitask data: inputs in the unit cube, tasks round-robin,
+/// smooth per-task response plus a little noise.
+fn synth(n: usize, dim: usize, n_tasks: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let task_of: Vec<usize> = (0..n).map(|i| i % n_tasks).collect();
+    let y: Vec<f64> = xs
+        .iter()
+        .zip(&task_of)
+        .map(|(x, &t)| {
+            let s: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(d, v)| ((1.0 + 0.3 * t as f64) * v * 3.0 + 0.2 * d as f64).sin())
+                .sum();
+            s + 0.05 * (rng.gen::<f64>() - 0.5)
+        })
+        .collect();
+    (xs, task_of, y)
+}
+
+/// Well-conditioned packed hyperparameters: random lengthscales and task
+/// coefficients, but noise floors high enough that the covariance is far
+/// from singular (so reference and cached Cholesky agree to roundoff).
+fn well_conditioned_theta(q: usize, n_tasks: usize, dim: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hp = LcmHyperparams::random_init(q, n_tasks, dim, &mut rng);
+    for b in hp.b.iter_mut().flatten() {
+        *b = 0.02 + 0.03 * rng.gen::<f64>();
+    }
+    for d in &mut hp.d {
+        *d = 0.05 + 0.05 * rng.gen::<f64>();
+    }
+    hp.pack()
+}
+
+fn assert_nll_grad_equivalent(kernel: KernelKind, n: usize, n_tasks: usize, q: usize, seed: u64) {
+    let dim = 3;
+    let (xs, task_of, y) = synth(n, dim, n_tasks, seed);
+    let theta = well_conditioned_theta(q, n_tasks, dim, seed ^ 0xbeef);
+
+    let mut g_cached = vec![0.0; theta.len()];
+    let mut g_ref = vec![0.0; theta.len()];
+    let nll_cached =
+        LcmModel::nll_at_with_kernel(&xs, &task_of, &y, n_tasks, q, kernel, &theta, &mut g_cached);
+    let nll_ref = LcmModel::nll_at_reference_with_kernel(
+        &xs, &task_of, &y, n_tasks, q, kernel, &theta, &mut g_ref,
+    );
+
+    assert!(
+        rel(nll_cached, nll_ref) <= 1e-12,
+        "{kernel:?} n={n}: nll cached {nll_cached} vs reference {nll_ref}"
+    );
+    for (i, (c, r)) in g_cached.iter().zip(&g_ref).enumerate() {
+        assert!(
+            rel(*c, *r) <= 1e-12,
+            "{kernel:?} n={n} grad[{i}]: cached {c} vs reference {r}"
+        );
+    }
+}
+
+#[test]
+fn cached_nll_and_grad_match_reference_se() {
+    for (n, n_tasks, q, seed) in [(24, 2, 2, 11), (40, 3, 2, 12), (31, 2, 1, 13)] {
+        assert_nll_grad_equivalent(KernelKind::SquaredExponential, n, n_tasks, q, seed);
+    }
+}
+
+#[test]
+fn cached_nll_and_grad_match_reference_matern() {
+    for (n, n_tasks, q, seed) in [(24, 2, 2, 21), (40, 3, 2, 22), (31, 2, 1, 23)] {
+        assert_nll_grad_equivalent(KernelKind::Matern52, n, n_tasks, q, seed);
+    }
+}
+
+#[test]
+fn cached_gradient_matches_finite_differences() {
+    // FD directly through the *cached* path, so a wrong-but-self-consistent
+    // cached gradient cannot hide behind the reference comparison.
+    let (n, dim, n_tasks, q) = (18, 3, 2, 2);
+    let (xs, task_of, y) = synth(n, dim, n_tasks, 31);
+    for kernel in [KernelKind::SquaredExponential, KernelKind::Matern52] {
+        let theta = well_conditioned_theta(q, n_tasks, dim, 32);
+        let mut grad = vec![0.0; theta.len()];
+        let _ =
+            LcmModel::nll_at_with_kernel(&xs, &task_of, &y, n_tasks, q, kernel, &theta, &mut grad);
+        let h = 1e-5;
+        let mut scratch = vec![0.0; theta.len()];
+        for (i, g) in grad.iter().enumerate() {
+            let mut tp = theta.clone();
+            tp[i] += h;
+            let fp = LcmModel::nll_at_with_kernel(
+                &xs,
+                &task_of,
+                &y,
+                n_tasks,
+                q,
+                kernel,
+                &tp,
+                &mut scratch,
+            );
+            let mut tm = theta.clone();
+            tm[i] -= h;
+            let fm = LcmModel::nll_at_with_kernel(
+                &xs,
+                &task_of,
+                &y,
+                n_tasks,
+                q,
+                kernel,
+                &tm,
+                &mut scratch,
+            );
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (g - fd).abs() <= 1e-4 * (1.0 + g.abs()),
+                "{kernel:?} theta[{i}]: analytic {g} vs fd {fd}"
+            );
+        }
+    }
+}
+
+#[test]
+fn predict_batch_matches_per_point_predict() {
+    let (xs, task_of, y) = synth(36, 3, 2, 41);
+    let opts = LcmFitOptions {
+        n_starts: 2,
+        ..Default::default()
+    };
+    let model = LcmModel::fit(&xs, &task_of, &y, 2, &opts);
+
+    let mut rng = StdRng::seed_from_u64(42);
+    // Chunk boundaries: 1 point, a partial chunk, exactly one chunk (64),
+    // and two chunks plus a remainder.
+    for m in [1usize, 5, 64, 130] {
+        let cands: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        for task in 0..2 {
+            let batch = model.predict_batch(task, &cands);
+            assert_eq!(batch.len(), m);
+            for (c, bp) in cands.iter().zip(&batch) {
+                let pp = model.predict(task, c);
+                assert!(
+                    rel(bp.mean, pp.mean) <= 1e-12,
+                    "task {task} m={m}: batch mean {} vs point {}",
+                    bp.mean,
+                    pp.mean
+                );
+                assert!(
+                    rel(bp.variance, pp.variance) <= 1e-12,
+                    "task {task} m={m}: batch var {} vs point {}",
+                    bp.variance,
+                    pp.variance
+                );
+            }
+        }
+    }
+    assert!(model.predict_batch(0, &[]).is_empty());
+}
+
+#[test]
+fn optimized_predict_matches_reference_predict() {
+    let (xs, task_of, y) = synth(30, 2, 2, 51);
+    let opts = LcmFitOptions {
+        n_starts: 2,
+        ..Default::default()
+    };
+    let model = LcmModel::fit(&xs, &task_of, &y, 2, &opts);
+    let mut rng = StdRng::seed_from_u64(52);
+    for _ in 0..50 {
+        let x: Vec<f64> = (0..2).map(|_| rng.gen::<f64>()).collect();
+        for task in 0..2 {
+            let p = model.predict(task, &x);
+            let r = model.predict_reference(task, &x);
+            assert!(rel(p.mean, r.mean) <= 1e-12, "{} vs {}", p.mean, r.mean);
+            assert!(
+                rel(p.variance, r.variance) <= 1e-12,
+                "{} vs {}",
+                p.variance,
+                r.variance
+            );
+        }
+    }
+}
+
+#[test]
+fn reference_impl_fit_optimizes_the_same_objective() {
+    // `reference_impl: true` and the cached path optimize the same surface.
+    // Multi-start L-BFGS may still select different local optima (a 1e-16
+    // reassociation difference can flip a line-search branch), so instead
+    // of comparing trajectories, evaluate each fit's optimum under the
+    // *other* implementation: the NLLs must agree to roundoff there.
+    let (xs, task_of, y) = synth(24, 2, 2, 61);
+    let opts = LcmFitOptions {
+        n_starts: 2,
+        seed: 7,
+        ..Default::default()
+    };
+    let cached = LcmModel::fit(&xs, &task_of, &y, 2, &opts);
+    let ref_opts = LcmFitOptions {
+        reference_impl: true,
+        ..opts.clone()
+    };
+    let reference = LcmModel::fit(&xs, &task_of, &y, 2, &ref_opts);
+
+    // Fitted optima push b/d toward their boundaries — a harsher setting
+    // than the random well-conditioned thetas above. Both implementations
+    // must still agree to roundoff there (the fit standardizes y
+    // internally, so the comparison reruns both evaluators on raw y at
+    // the fitted packed hyperparameters rather than trusting the stored
+    // nll values).
+    for model in [&cached, &reference] {
+        let hp = model.hyperparams();
+        let theta = hp.pack();
+        let mut gc = vec![0.0; theta.len()];
+        let mut gr = vec![0.0; theta.len()];
+        let at_cached =
+            LcmModel::nll_at_with_kernel(&xs, &task_of, &y, 2, hp.q, opts.kernel, &theta, &mut gc);
+        let at_ref = LcmModel::nll_at_reference_with_kernel(
+            &xs,
+            &task_of,
+            &y,
+            2,
+            hp.q,
+            opts.kernel,
+            &theta,
+            &mut gr,
+        );
+        // Near-singular covariances at the optimum amplify the benign
+        // 1e-16 reassociation difference through the inverse, so the
+        // boundary tolerance is looser than the 1e-12 of the
+        // well-conditioned harness above.
+        assert!(
+            rel(at_cached, at_ref) <= 1e-9,
+            "at fitted optimum: cached {at_cached} vs reference {at_ref}"
+        );
+        for (i, (c, r)) in gc.iter().zip(&gr).enumerate() {
+            assert!(
+                rel(*c, *r) <= 1e-9,
+                "at fitted optimum grad[{i}]: cached {c} vs reference {r}"
+            );
+        }
+    }
+}

@@ -13,12 +13,47 @@ use rayon::prelude::*;
 /// Cache-friendly block edge for the blocked kernels.
 const BLOCK: usize = 64;
 
+/// Number of independent accumulator lanes in [`dot`]. Eight keeps enough
+/// parallel chains in flight to cover the floating-add latency and lets the
+/// compiler vectorize the reduction.
+const DOT_LANES: usize = 8;
+
 /// Dot product `xᵀ y`.
+///
+/// Reduced over [`DOT_LANES`] independent accumulators instead of one
+/// sequential fold: a strict left-to-right sum is a single dependency chain
+/// (one multiply-add per add-latency), while independent lanes vectorize
+/// and pipeline. The reassociation perturbs the result by a few ulps
+/// relative to the sequential sum; every caller in the workspace is
+/// tolerance-based. Inputs shorter than one lane block take the sequential
+/// tail loop and are bitwise identical to the naive fold.
 ///
 /// # Panics
 /// Panics if lengths differ.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let xc = x.chunks_exact(DOT_LANES);
+    let yc = y.chunks_exact(DOT_LANES);
+    let (xt, yt) = (xc.remainder(), yc.remainder());
+    let mut acc = [0.0_f64; DOT_LANES];
+    for (a, b) in xc.zip(yc) {
+        for ((s, &av), &bv) in acc.iter_mut().zip(a).zip(b) {
+            *s += av * bv;
+        }
+    }
+    let mut s = ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+    for (&av, &bv) in xt.iter().zip(yt) {
+        s += av * bv;
+    }
+    s
+}
+
+/// Pre-vectorization [`dot`]: the strict sequential fold the workspace used
+/// before the multi-lane reduction. Retained as the baseline for the
+/// reference (pre-refactor) modeling paths and the perf benchmarks.
+#[inline]
+pub fn dot_reference(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
@@ -220,6 +255,22 @@ mod tests {
 
     fn arange(r: usize, c: usize) -> Matrix {
         Matrix::from_fn(r, c, |i, j| ((i * c + j) % 13) as f64 - 6.0)
+    }
+
+    #[test]
+    fn dot_matches_reference_fold() {
+        let x: Vec<f64> = (0..137)
+            .map(|i| ((i * 29 + 3) % 19) as f64 / 7.0 - 1.2)
+            .collect();
+        let y: Vec<f64> = (0..137)
+            .map(|i| ((i * 13 + 5) % 23) as f64 / 9.0 - 1.1)
+            .collect();
+        let a = dot(&x, &y);
+        let b = dot_reference(&x, &y);
+        assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+        // Inputs shorter than one lane block reduce sequentially and match
+        // the reference fold bitwise.
+        assert_eq!(dot(&x[..5], &y[..5]), dot_reference(&x[..5], &y[..5]));
     }
 
     #[test]

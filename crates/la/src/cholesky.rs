@@ -67,6 +67,41 @@ impl Cholesky {
         Ok(Cholesky { l, jitter: 0.0 })
     }
 
+    /// Pre-vectorization factorization: the per-element inner loops the
+    /// workspace used before [`Cholesky::factor`] was restructured around
+    /// row-slice dots. Retained verbatim as the baseline for the reference
+    /// (pre-refactor) LCM likelihood path and the perf benchmarks.
+    pub fn factor_reference(a: &Matrix) -> Result<Cholesky> {
+        assert!(a.is_square(), "Cholesky: matrix must be square");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+        }
+        for j in 0..n {
+            let mut d = l.get(j, j);
+            {
+                let row = l.row(j);
+                for k in 0..j {
+                    d -= row[k] * row[k];
+                }
+            }
+            if !(d > 0.0) || !d.is_finite() {
+                return Err(LaError::NotPositiveDefinite { pivot: j });
+            }
+            let d = d.sqrt();
+            l.set(j, j, d);
+            for i in (j + 1)..n {
+                let mut s = l.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / d);
+            }
+        }
+        Ok(Cholesky { l, jitter: 0.0 })
+    }
+
     /// Blocked factorization with a rayon-parallel trailing update.
     ///
     /// Call inside a scoped rayon thread pool to control worker count (the
@@ -111,7 +146,33 @@ impl Cholesky {
         initial_jitter: f64,
         max_tries: usize,
     ) -> Result<Cholesky> {
-        match Cholesky::factor(a) {
+        Cholesky::factor_with_jitter_impl(a, initial_jitter, max_tries, None)
+    }
+
+    /// Like [`Cholesky::factor_with_jitter`], but each factorization attempt
+    /// uses the blocked rayon-parallel algorithm. Intended for the final
+    /// single-threaded factorization of a large fitted covariance, where no
+    /// parallel restarts are in flight to oversubscribe the pool.
+    pub fn factor_with_jitter_parallel(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+        opts: &CholeskyOptions,
+    ) -> Result<Cholesky> {
+        Cholesky::factor_with_jitter_impl(a, initial_jitter, max_tries, Some(opts))
+    }
+
+    fn factor_with_jitter_impl(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+        popts: Option<&CholeskyOptions>,
+    ) -> Result<Cholesky> {
+        let factor = |m: &Matrix| match popts {
+            Some(o) => Cholesky::factor_parallel(m, o),
+            None => Cholesky::factor(m),
+        };
+        match factor(a) {
             Ok(c) => return Ok(c),
             Err(_) if max_tries > 0 => {}
             Err(e) => return Err(e),
@@ -126,7 +187,7 @@ impl Cholesky {
         for _ in 0..max_tries {
             let mut aj = a.clone();
             aj.add_diagonal(jitter);
-            match Cholesky::factor(&aj) {
+            match factor(&aj) {
                 Ok(mut c) => {
                     c.jitter = jitter;
                     return Ok(c);
@@ -166,28 +227,24 @@ impl Cholesky {
         x
     }
 
-    /// Solves `A X = B`, overwriting `B`.
+    /// Solves `A X = B`, overwriting `B`. Both halves are row-sweep
+    /// multi-RHS solves whose inner loops are stride-1 combinations across
+    /// all right-hand sides — the BLAS-3 shape the batched GP prediction
+    /// relies on. Each column applies the same operation sequence as the
+    /// corresponding [`Cholesky::solve`].
     pub fn solve_matrix_in_place(&self, b: &mut Matrix) {
         assert_eq!(b.rows(), self.dim());
         triangular::solve_lower_matrix(&self.l, b);
-        // Now solve Lᵀ X = Y column-block-wise: iterate rows bottom-up.
-        let n = self.dim();
-        for i in (0..n).rev() {
-            for j in (i + 1)..n {
-                let lji = self.l.get(j, i);
-                if crate::ord::feq(lji, 0.0) {
-                    continue;
-                }
-                let (bi, bj) = b.rows_mut_pair(i, j);
-                for (x, y) in bi.iter_mut().zip(bj.iter()) {
-                    *x -= lji * y;
-                }
-            }
-            let d = self.l.get(i, i);
-            for v in b.row_mut(i) {
-                *v /= d;
-            }
-        }
+        triangular::solve_lower_transpose_matrix(&self.l, b);
+    }
+
+    /// Forward half-solve `L V = B`, overwriting `B` with `V`. Since
+    /// `A = L Lᵀ`, the column norms of `V` give `bᵀ A⁻¹ b = ‖L⁻¹ b‖²`
+    /// directly — the variance-reduction quadratic form of batched GP
+    /// prediction — without ever running the backward substitution.
+    pub fn forward_solve_matrix_in_place(&self, b: &mut Matrix) {
+        assert_eq!(b.rows(), self.dim());
+        triangular::solve_lower_matrix(&self.l, b);
     }
 
     /// `log |A| = 2 Σ log L_ii` — the log-determinant term of the GP
@@ -200,17 +257,82 @@ impl Cholesky {
     /// likelihood gradient, where every hyperparameter needs
     /// `tr(Σ⁻¹ ∂Σ/∂θ)`).
     pub fn inverse(&self) -> Matrix {
+        let mut inv = self.inverse_lower();
+        let n = self.dim();
+        // Mirror the computed lower triangle.
+        for i in 0..n {
+            for j in 0..i {
+                let v = inv.get(i, j);
+                inv.set(j, i, v);
+            }
+        }
+        inv
+    }
+
+    /// Lower triangle of `A⁻¹`; the strict upper triangle of the returned
+    /// matrix is left zero. The distance-cached LCM gradient only reads the
+    /// lower rows of `W = Σ⁻¹ − ααᵀ`, so the symmetric mirror done by
+    /// [`Cholesky::inverse`] is wasted work on that path.
+    pub fn inverse_lower(&self) -> Matrix {
         let linv = triangular::invert_lower(&self.l);
-        // A⁻¹ = L⁻ᵀ L⁻¹.
+        // A⁻¹ = L⁻ᵀ L⁻¹ = Σ_k (row k of L⁻¹)ᵀ (row k of L⁻¹). Row i of the
+        // lower triangle only receives contributions from source rows
+        // k ≥ i; they are accumulated eight at a time so the stride-1 inner
+        // update pipelines and the load/store traffic on the output row is
+        // amortized over eight multiply-adds per element (a dot-per-entry
+        // formulation spends more time in per-call overhead than in
+        // multiply-adds for the short trailing slices near the bottom of
+        // the triangle).
         let n = self.dim();
         let mut inv = Matrix::zeros(n, n);
         for i in 0..n {
-            for j in 0..=i {
-                // (L⁻ᵀ L⁻¹)_{ij} = Σ_k L⁻¹_{ki} L⁻¹_{kj}, k ≥ max(i, j) = i.
-                let mut s = 0.0;
-                for k in i..n {
-                    s += linv.get(k, i) * linv.get(k, j);
+            let out = &mut inv.row_mut(i)[..=i];
+            let mut k = i;
+            while k + 8 <= n {
+                let r: [&[f64]; 8] = [
+                    linv.row(k),
+                    linv.row(k + 1),
+                    linv.row(k + 2),
+                    linv.row(k + 3),
+                    linv.row(k + 4),
+                    linv.row(k + 5),
+                    linv.row(k + 6),
+                    linv.row(k + 7),
+                ];
+                let c: [f64; 8] = [
+                    r[0][i], r[1][i], r[2][i], r[3][i], r[4][i], r[5][i], r[6][i], r[7][i],
+                ];
+                for (j, x) in out.iter_mut().enumerate() {
+                    *x += ((c[0] * r[0][j] + c[1] * r[1][j]) + (c[2] * r[2][j] + c[3] * r[3][j]))
+                        + ((c[4] * r[4][j] + c[5] * r[5][j]) + (c[6] * r[6][j] + c[7] * r[7][j]));
                 }
+                k += 8;
+            }
+            while k < n {
+                let r = linv.row(k);
+                let c = r[i];
+                for (x, &y) in out.iter_mut().zip(r) {
+                    *x += c * y;
+                }
+                k += 1;
+            }
+        }
+        inv
+    }
+
+    /// Pre-vectorization explicit inverse: identical structure to
+    /// [`Cholesky::inverse`] but reduced with the strict sequential
+    /// [`crate::blas::dot_reference`] fold. Retained as the baseline for the
+    /// reference LCM likelihood path and the perf benchmarks.
+    pub fn inverse_reference(&self) -> Matrix {
+        let linv = triangular::invert_lower_reference(&self.l);
+        let lt = linv.transpose();
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for i in 0..n {
+            let ri = &lt.row(i)[i..];
+            for j in 0..=i {
+                let s = crate::blas::dot_reference(ri, &lt.row(j)[i..]);
                 inv.set(i, j, s);
                 inv.set(j, i, s);
             }
@@ -219,57 +341,41 @@ impl Cholesky {
     }
 }
 
-/// Unblocked in-place factorization of the lower triangle starting at the
-/// given pivot offset (used both standalone and for diagonal blocks).
-fn factor_lower_in_place(l: &mut Matrix, offset: usize) -> Result<()> {
-    let n = l.rows();
-    for j in offset..n {
-        let mut d = l.get(j, j);
-        {
-            let row = l.row(j);
-            for k in offset..j {
-                d -= row[k] * row[k];
-            }
-        }
+/// Left-looking in-place factorization of the lower triangle starting at the
+/// given pivot offset (used both standalone and for diagonal blocks). The
+/// pivot row is staged in a scratch buffer so the subdiagonal updates become
+/// vectorizable row-slice dots (two live row borrows of the same matrix
+/// would otherwise conflict); `rows_to` bounds the updated rows so the same
+/// routine factors both the full triangle and a diagonal block.
+fn factor_lower_bounded(l: &mut Matrix, offset: usize, rows_to: usize) -> Result<()> {
+    let mut pivot = vec![0.0; rows_to];
+    for j in offset..rows_to {
+        pivot[offset..j].copy_from_slice(&l.row(j)[offset..j]);
+        let pj = &pivot[offset..j];
+        let d = l.get(j, j) - crate::blas::dot(pj, pj);
         if !(d > 0.0) || !d.is_finite() {
             return Err(LaError::NotPositiveDefinite { pivot: j });
         }
         let d = d.sqrt();
         l.set(j, j, d);
-        for i in (j + 1)..n {
-            let mut s = l.get(i, j);
-            for k in offset..j {
-                s -= l.get(i, k) * l.get(j, k);
-            }
+        for i in (j + 1)..rows_to {
+            let s = l.get(i, j) - crate::blas::dot(&l.row(i)[offset..j], pj);
             l.set(i, j, s / d);
         }
     }
     Ok(())
 }
 
+/// Unblocked factorization of the whole lower triangle.
+fn factor_lower_in_place(l: &mut Matrix, offset: usize) -> Result<()> {
+    let rows = l.rows();
+    factor_lower_bounded(l, offset, rows)
+}
+
 /// Factors the diagonal block `l[k0..k1, k0..k1]` in place (columns `k0..k1`
 /// already hold the Schur-complement values from previous trailing updates).
 fn factor_block(l: &mut Matrix, k0: usize, k1: usize) -> Result<()> {
-    for j in k0..k1 {
-        let mut d = l.get(j, j);
-        for k in k0..j {
-            let v = l.get(j, k);
-            d -= v * v;
-        }
-        if !(d > 0.0) || !d.is_finite() {
-            return Err(LaError::NotPositiveDefinite { pivot: j });
-        }
-        let d = d.sqrt();
-        l.set(j, j, d);
-        for i in (j + 1)..k1 {
-            let mut s = l.get(i, j);
-            for k in k0..j {
-                s -= l.get(i, k) * l.get(j, k);
-            }
-            l.set(i, j, s / d);
-        }
-    }
-    Ok(())
+    factor_lower_bounded(l, k0, k1)
 }
 
 /// Panel solve `L21 ← A21 L11⁻ᵀ` for rows `k1..n`, columns `k0..k1`.
@@ -287,12 +393,10 @@ fn panel_solve(l: &mut Matrix, k0: usize, k1: usize, n: usize) {
     rows[k1 * cols..n * cols]
         .par_chunks_mut(cols)
         .for_each(|row| {
-            // Solve L11 xᵀ = rowᵀ over the panel columns (forward subst).
+            // Solve L11 xᵀ = rowᵀ over the panel columns (forward subst),
+            // accumulating each partial sum as one row-slice dot.
             for j in 0..nb {
-                let mut s = row[k0 + j];
-                for k in 0..j {
-                    s -= l11.get(j, k) * row[k0 + k];
-                }
+                let s = row[k0 + j] - crate::blas::dot(&l11.row(j)[..j], &row[k0..k0 + j]);
                 row[k0 + j] = s / l11.get(j, j);
             }
         });
@@ -316,12 +420,7 @@ fn trailing_update(l: &mut Matrix, k0: usize, k1: usize, n: usize) {
             let i = k1 + ri;
             let pi = panel.row(ri);
             for j in k1..=i {
-                let pj = panel.row(j - k1);
-                let mut s = 0.0;
-                for k in 0..nb {
-                    s += pi[k] * pj[k];
-                }
-                row[j] -= s;
+                row[j] -= crate::blas::dot(pi, panel.row(j - k1));
             }
         });
 }
@@ -351,6 +450,29 @@ mod tests {
                 assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-10);
             }
         }
+    }
+
+    #[test]
+    fn factor_and_inverse_match_reference_baselines() {
+        // The vectorized factor/inverse differ from the retained scalar
+        // baselines only by dot-product reduction order.
+        let a = spd(40);
+        let c = Cholesky::factor(&a).unwrap();
+        let r = Cholesky::factor_reference(&a).unwrap();
+        let ldiff = (0..40)
+            .flat_map(|i| (0..40).map(move |j| (i, j)))
+            .map(|(i, j)| (c.l().get(i, j) - r.l().get(i, j)).abs())
+            .fold(0.0, f64::max);
+        assert!(ldiff < 1e-12, "factor max diff {ldiff}");
+        let inv = c.inverse();
+        let rinv = r.inverse_reference();
+        let idiff = inv
+            .as_slice()
+            .iter()
+            .zip(rinv.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(idiff < 1e-10, "inverse max diff {idiff}");
     }
 
     #[test]
@@ -405,6 +527,26 @@ mod tests {
     }
 
     #[test]
+    fn forward_half_solve_gives_quadratic_form() {
+        // ‖L⁻¹ b‖² per column must equal bᵀ A⁻¹ b from the full solve.
+        let a = spd(11);
+        let c = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_fn(11, 4, |i, j| ((i * 5 + j * 3) % 9) as f64 - 4.0);
+        let mut v = b.clone();
+        c.forward_solve_matrix_in_place(&mut v);
+        for j in 0..4 {
+            let col: Vec<f64> = b.col(j);
+            let x = c.solve(&col);
+            let full: f64 = col.iter().zip(&x).map(|(p, q)| p * q).sum();
+            let half: f64 = v.col(j).iter().map(|p| p * p).sum();
+            assert!(
+                (full - half).abs() <= 1e-10 * (1.0 + full.abs()),
+                "col {j}: {full} vs {half}"
+            );
+        }
+    }
+
+    #[test]
     fn log_det_matches_lu_reference() {
         let a = spd(6);
         let c = Cholesky::factor(&a).unwrap();
@@ -431,6 +573,20 @@ mod tests {
             for j in 0..8 {
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert!((prod.get(i, j) - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_lower_matches_inverse() {
+        let a = spd(13);
+        let c = Cholesky::factor(&a).unwrap();
+        let full = c.inverse();
+        let low = c.inverse_lower();
+        for i in 0..13 {
+            for j in 0..13 {
+                let expect = if j <= i { full.get(i, j) } else { 0.0 };
+                assert_eq!(low.get(i, j), expect);
             }
         }
     }

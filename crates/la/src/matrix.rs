@@ -140,6 +140,14 @@ impl Matrix {
         (0..self.rows).map(|i| self.get(i, j)).collect()
     }
 
+    /// Copies the main diagonal into a new vector (square matrices; used by
+    /// the GP gradient hot path to read `W_ii` without per-element `get`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        debug_assert!(self.is_square());
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.data[i * self.cols + i]).collect()
+    }
+
     /// Underlying row-major data.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {

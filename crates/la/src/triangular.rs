@@ -60,27 +60,44 @@ pub fn solve_upper(u: &Matrix, b: &mut [f64]) {
     }
 }
 
-/// Solves `L X = B` column-block-wise, overwriting `B` with the solution.
-/// This is the `trsm` used by the blocked Cholesky panel update.
+/// Solves `L X = B` row-sweep-wise, overwriting `B` with the solution.
+/// This is the `trsm` used by the blocked Cholesky panel update and the
+/// batched GP prediction.
+///
+/// Row `i` of `B` is staged in an accumulator buffer so the already-solved
+/// rows can be read through plain shared borrows and combined four at a
+/// time; every element still sees the same ascending-`j` subtraction
+/// sequence as [`solve_lower`], so each column matches the corresponding
+/// vector solve.
 pub fn solve_lower_matrix(l: &Matrix, b: &mut Matrix) {
     let n = l.rows();
     assert!(l.is_square() && b.rows() == n, "solve_lower_matrix: dims");
+    let mut acc = vec![0.0; b.cols()];
     for i in 0..n {
-        let li = l.row(i).to_vec(); // copy row to sidestep borrow of b rows
+        let li = l.row(i);
         let diag = li[i];
         assert!(!feq(diag, 0.0), "solve_lower_matrix: zero diagonal at {i}");
-        for j in 0..i {
-            let lij = li[j];
-            if feq(lij, 0.0) {
-                continue;
+        acc.copy_from_slice(b.row(i));
+        let mut j = 0;
+        while j + 4 <= i {
+            let (l0, l1, l2, l3) = (li[j], li[j + 1], li[j + 2], li[j + 3]);
+            let (r0, r1, r2, r3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+            for ((((x, &y0), &y1), &y2), &y3) in acc.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3) {
+                *x = (((*x - l0 * y0) - l1 * y1) - l2 * y2) - l3 * y3;
             }
-            let (bi, bj) = b.rows_mut_pair(i, j);
-            for (x, y) in bi.iter_mut().zip(bj.iter()) {
-                *x -= lij * y;
-            }
+            j += 4;
         }
-        for v in b.row_mut(i) {
-            *v /= diag;
+        while j < i {
+            let lij = li[j];
+            if !feq(lij, 0.0) {
+                for (x, &y) in acc.iter_mut().zip(b.row(j)) {
+                    *x -= lij * y;
+                }
+            }
+            j += 1;
+        }
+        for (dst, &x) in b.row_mut(i).iter_mut().zip(&acc) {
+            *dst = x / diag;
         }
     }
 }
@@ -106,18 +123,131 @@ pub fn solve_lower_transpose_right(l: &Matrix, b: &mut Matrix) {
     }
 }
 
-/// Inverts a lower-triangular matrix in place, returning a fresh matrix.
+/// Solves `Lᵀ X = B` for a multi-RHS `B`, overwriting `B` with the
+/// solution. Row-sweep form: every inner update is a stride-1 combination
+/// across all right-hand sides, which is what makes the blocked BLAS-3
+/// prediction path vectorize. The per-column operation order matches
+/// [`solve_lower_transpose`] exactly (ascending `j` from `i+1`), so each
+/// column equals the corresponding vector solve.
+pub fn solve_lower_transpose_matrix(l: &Matrix, b: &mut Matrix) {
+    let n = l.rows();
+    assert!(
+        l.is_square() && b.rows() == n,
+        "solve_lower_transpose_matrix: dims"
+    );
+    let mut acc = vec![0.0; b.cols()];
+    for i in (0..n).rev() {
+        acc.copy_from_slice(b.row(i));
+        let mut j = i + 1;
+        while j + 4 <= n {
+            let (l0, l1, l2, l3) = (
+                l.get(j, i),
+                l.get(j + 1, i),
+                l.get(j + 2, i),
+                l.get(j + 3, i),
+            );
+            let (r0, r1, r2, r3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+            for ((((x, &y0), &y1), &y2), &y3) in acc.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3) {
+                *x = (((*x - l0 * y0) - l1 * y1) - l2 * y2) - l3 * y3;
+            }
+            j += 4;
+        }
+        while j < n {
+            let lji = l.get(j, i);
+            if !feq(lji, 0.0) {
+                for (x, &y) in acc.iter_mut().zip(b.row(j)) {
+                    *x -= lji * y;
+                }
+            }
+            j += 1;
+        }
+        let d = l.get(i, i);
+        assert!(
+            !feq(d, 0.0),
+            "solve_lower_transpose_matrix: zero diagonal at {i}"
+        );
+        for (dst, &x) in b.row_mut(i).iter_mut().zip(&acc) {
+            *dst = x / d;
+        }
+    }
+}
+
+/// Inverts a lower-triangular matrix, returning a fresh matrix.
+///
+/// Row-sweep forward elimination on `L X = I`: row `i` of `X` is
+/// `(e_i − Σ_{j<i} L_ij · row_j) / L_ii`, with the already-finalized rows
+/// combined four at a time into an accumulator. Row `j` of `X` is
+/// structurally zero past its diagonal, so each inner update stops at
+/// column `j` (plus a short scalar fringe for the block's trailing
+/// diagonals) — `n³/6` multiply-adds in stride-1 pipelined loops instead
+/// of a dot product per entry, whose call overhead dominates for the short
+/// slices near the diagonal.
 pub fn invert_lower(l: &Matrix) -> Matrix {
     let n = l.rows();
     assert!(l.is_square());
+    let mut x = Matrix::zeros(n, n);
+    let mut acc = vec![0.0; n];
+    for i in 0..n {
+        let li = l.row(i);
+        let d = li[i];
+        assert!(!feq(d, 0.0), "invert_lower: zero diagonal at {i}");
+        acc[..i].fill(0.0);
+        let mut j = 0;
+        while j + 4 <= i {
+            let (l0, l1, l2, l3) = (li[j], li[j + 1], li[j + 2], li[j + 3]);
+            let (r0, r1, r2, r3) = (x.row(j), x.row(j + 1), x.row(j + 2), x.row(j + 3));
+            for ((((a, &y0), &y1), &y2), &y3) in
+                acc[..=j].iter_mut().zip(r0).zip(r1).zip(r2).zip(r3)
+            {
+                *a -= (l0 * y0 + l1 * y1) + (l2 * y2 + l3 * y3);
+            }
+            // Columns j+1..j+3 only involve the rows whose diagonal they
+            // have reached.
+            acc[j + 1] -= l1 * r1[j + 1] + l2 * r2[j + 1] + l3 * r3[j + 1];
+            acc[j + 2] -= l2 * r2[j + 2] + l3 * r3[j + 2];
+            acc[j + 3] -= l3 * r3[j + 3];
+            j += 4;
+        }
+        while j < i {
+            let lij = li[j];
+            if !feq(lij, 0.0) {
+                for (a, &y) in acc[..=j].iter_mut().zip(x.row(j)) {
+                    *a -= lij * y;
+                }
+            }
+            j += 1;
+        }
+        let xi = x.row_mut(i);
+        for (dst, &a) in xi[..i].iter_mut().zip(&acc) {
+            *dst = a / d;
+        }
+        xi[i] = 1.0 / d;
+    }
+    x
+}
+
+/// Pre-vectorization [`invert_lower`]: identical structure, but reduced
+/// with the strict sequential [`crate::blas::dot_reference`] fold. Retained
+/// as the baseline for the reference (pre-refactor) modeling paths and the
+/// perf benchmarks.
+pub fn invert_lower_reference(l: &Matrix) -> Matrix {
+    let n = l.rows();
+    assert!(l.is_square());
     let mut inv = Matrix::zeros(n, n);
-    let mut e = vec![0.0; n];
+    let mut col = vec![0.0; n];
     for j in 0..n {
-        e.iter_mut().for_each(|v| *v = 0.0);
-        e[j] = 1.0;
-        solve_lower(l, &mut e);
+        let djj = l.get(j, j);
+        assert!(!feq(djj, 0.0), "invert_lower: zero diagonal at {j}");
+        col[j] = 1.0 / djj;
+        for i in (j + 1)..n {
+            let row = l.row(i);
+            let s = -crate::blas::dot_reference(&row[j..i], &col[j..i]);
+            let d = row[i];
+            assert!(!feq(d, 0.0), "invert_lower: zero diagonal at {i}");
+            col[i] = s / d;
+        }
         for i in j..n {
-            inv.set(i, j, e[i]);
+            inv.set(i, j, col[i]);
         }
     }
     inv

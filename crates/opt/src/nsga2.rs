@@ -150,19 +150,43 @@ pub fn minimize(
     opts: &Nsga2Options,
     rng: &mut impl Rng,
 ) -> Vec<MoSolution> {
+    let mut batch = |xs: &[Vec<f64>]| -> Vec<Vec<f64>> { xs.iter().map(|x| f(x)).collect() };
+    minimize_batch(&mut batch, dim, n_obj, seeds, opts, rng)
+}
+
+/// Batched-evaluation variant of [`minimize`]: `f` receives a whole
+/// population and returns one objective vector per member, in order.
+///
+/// NSGA-II already evaluates population-at-a-time, so the evolutionary
+/// trajectory is *identical* to [`minimize`] — the batch signature just
+/// lets the caller score each generation through one blocked batched GP
+/// prediction instead of per-individual solves.
+pub fn minimize_batch(
+    f: &mut dyn FnMut(&[Vec<f64>]) -> Vec<Vec<f64>>,
+    dim: usize,
+    n_obj: usize,
+    seeds: &[Vec<f64>],
+    opts: &Nsga2Options,
+    rng: &mut impl Rng,
+) -> Vec<MoSolution> {
     assert!(dim > 0 && n_obj > 0);
     let pop_size = (opts.population.max(4) + 1) & !1; // even, ≥ 4
     let pm = opts.mutation_prob.unwrap_or(1.0 / dim as f64);
 
-    let mut eval = |x: &[f64]| -> Vec<f64> {
-        let mut o = f(x);
-        assert_eq!(o.len(), n_obj, "nsga2: objective arity mismatch");
-        for v in &mut o {
-            if v.is_nan() {
-                *v = f64::INFINITY;
-            }
-        }
-        o
+    let mut eval_pop = |xs: &[Vec<f64>]| -> Vec<Vec<f64>> {
+        let objs = f(xs);
+        assert_eq!(objs.len(), xs.len(), "nsga2: batch arity mismatch");
+        objs.into_iter()
+            .map(|mut o| {
+                assert_eq!(o.len(), n_obj, "nsga2: objective arity mismatch");
+                for v in &mut o {
+                    if v.is_nan() {
+                        *v = f64::INFINITY;
+                    }
+                }
+                o
+            })
+            .collect()
     };
 
     // Initial population: seeds first, then uniform random.
@@ -178,7 +202,7 @@ pub fn minimize(
     while pop.len() < pop_size {
         pop.push((0..dim).map(|_| rng.gen::<f64>()).collect());
     }
-    let mut objs: Vec<Vec<f64>> = pop.iter().map(|x| eval(x)).collect();
+    let mut objs: Vec<Vec<f64>> = eval_pop(&pop);
 
     for _gen in 0..opts.generations {
         // Rank + crowding for parent selection.
@@ -221,7 +245,7 @@ pub fn minimize(
                 children.push(c2);
             }
         }
-        let child_objs: Vec<Vec<f64>> = children.iter().map(|x| eval(x)).collect();
+        let child_objs: Vec<Vec<f64>> = eval_pop(&children);
 
         // Environmental selection on the combined population.
         pop.extend(children);

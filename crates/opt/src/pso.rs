@@ -68,24 +68,7 @@ pub fn minimize(
     let np = opts.particles.max(2);
     let mut evals = 0usize;
 
-    // Initialise positions and velocities.
-    let mut pos: Vec<Vec<f64>> = Vec::with_capacity(np);
-    for s in seeds.iter().take(np) {
-        assert_eq!(s.len(), dim, "pso: seed dimension mismatch");
-        let mut p = s.clone();
-        clamp_unit(&mut p);
-        pos.push(p);
-    }
-    while pos.len() < np {
-        pos.push((0..dim).map(|_| rng.gen::<f64>()).collect());
-    }
-    let mut vel: Vec<Vec<f64>> = (0..np)
-        .map(|_| {
-            (0..dim)
-                .map(|_| (rng.gen::<f64>() - 0.5) * opts.v_max)
-                .collect()
-        })
-        .collect();
+    let (mut pos, mut vel) = init_swarm(dim, seeds, np, opts, rng);
 
     let mut pbest = pos.clone();
     let mut pbest_val: Vec<f64> = pos
@@ -136,6 +119,113 @@ pub fn minimize(
         value: gbest_val,
         evals,
     }
+}
+
+/// Batched-evaluation PSO with *synchronous* best updates.
+///
+/// Unlike [`minimize`] — which updates the swarm best as soon as any
+/// particle improves, so later particles in the same iteration already
+/// chase the newer best — this variant moves the whole swarm against the
+/// previous iteration's bests and evaluates all positions with one call to
+/// `f`. That is what lets the GP search phase score a full swarm through
+/// one blocked BLAS-3 batched prediction instead of per-particle
+/// triangular solves. Initialization and per-dimension RNG draws follow the
+/// exact same order as [`minimize`], so both variants consume identical
+/// random streams.
+///
+/// `f` receives the whole swarm and must return one value per position, in
+/// order.
+pub fn minimize_batch(
+    f: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+    dim: usize,
+    seeds: &[Vec<f64>],
+    opts: &PsoOptions,
+    rng: &mut impl Rng,
+) -> OptResult {
+    assert!(dim > 0, "pso: dim must be positive");
+    let np = opts.particles.max(2);
+    let mut evals = 0usize;
+
+    let (mut pos, mut vel) = init_swarm(dim, seeds, np, opts, rng);
+
+    let mut pbest = pos.clone();
+    let vals = f(&pos);
+    assert_eq!(vals.len(), np, "pso: batch objective arity mismatch");
+    evals += np;
+    let mut pbest_val: Vec<f64> = vals.into_iter().map(sanitize).collect();
+
+    let (mut gbest_idx, _) = pbest_val
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    let mut gbest = pbest[gbest_idx].clone();
+    let mut gbest_val = pbest_val[gbest_idx];
+
+    for it in 0..opts.iters {
+        let w = opts.w_start + (opts.w_end - opts.w_start) * it as f64 / opts.iters.max(1) as f64;
+        for i in 0..np {
+            for d in 0..dim {
+                let r1 = rng.gen::<f64>();
+                let r2 = rng.gen::<f64>();
+                let v = w * vel[i][d]
+                    + opts.c1 * r1 * (pbest[i][d] - pos[i][d])
+                    + opts.c2 * r2 * (gbest[d] - pos[i][d]);
+                vel[i][d] = v.clamp(-opts.v_max, opts.v_max);
+                pos[i][d] = (pos[i][d] + vel[i][d]).clamp(0.0, 1.0);
+            }
+        }
+        let vals = f(&pos);
+        assert_eq!(vals.len(), np, "pso: batch objective arity mismatch");
+        evals += np;
+        for (i, val) in vals.into_iter().map(sanitize).enumerate() {
+            if val < pbest_val[i] {
+                pbest_val[i] = val;
+                pbest[i].clone_from(&pos[i]);
+                if val < gbest_val {
+                    gbest_val = val;
+                    gbest.clone_from(&pos[i]);
+                    gbest_idx = i;
+                }
+            }
+        }
+    }
+    let _ = gbest_idx;
+
+    OptResult {
+        x: gbest,
+        value: gbest_val,
+        evals,
+    }
+}
+
+/// Seeded positions plus random fill, and random initial velocities — the
+/// RNG call order shared by [`minimize`] and [`minimize_batch`].
+fn init_swarm(
+    dim: usize,
+    seeds: &[Vec<f64>],
+    np: usize,
+    opts: &PsoOptions,
+    rng: &mut impl Rng,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut pos: Vec<Vec<f64>> = Vec::with_capacity(np);
+    for s in seeds.iter().take(np) {
+        assert_eq!(s.len(), dim, "pso: seed dimension mismatch");
+        let mut p = s.clone();
+        clamp_unit(&mut p);
+        pos.push(p);
+    }
+    while pos.len() < np {
+        pos.push((0..dim).map(|_| rng.gen::<f64>()).collect());
+    }
+    let vel: Vec<Vec<f64>> = (0..np)
+        .map(|_| {
+            (0..dim)
+                .map(|_| (rng.gen::<f64>() - 0.5) * opts.v_max)
+                .collect()
+        })
+        .collect();
+    (pos, vel)
 }
 
 /// NaN-proofing: swarm logic needs totally ordered values.
@@ -262,5 +352,91 @@ mod tests {
         let r = minimize(&mut f, 2, &[], &opts, &mut rng);
         assert_eq!(r.evals, count);
         assert_eq!(count, 10 + 10 * 5);
+    }
+
+    #[test]
+    fn batch_sphere_minimum_found() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut f = |xs: &[Vec<f64>]| {
+            xs.iter()
+                .map(|x| x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum::<f64>())
+                .collect::<Vec<f64>>()
+        };
+        let r = minimize_batch(&mut f, 4, &[], &PsoOptions::default(), &mut rng);
+        assert!(r.value < 1e-4, "value {}", r.value);
+        for xi in &r.x {
+            assert!((xi - 0.3).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn batch_seed_is_never_lost() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let seed = vec![0.123, 0.456];
+        let mut f = |xs: &[Vec<f64>]| {
+            xs.iter()
+                .map(|x| {
+                    let d: f64 = x
+                        .iter()
+                        .zip(&[0.123, 0.456])
+                        .map(|(a, b)| (a - b).abs())
+                        .sum();
+                    if d < 1e-12 {
+                        -10.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect::<Vec<f64>>()
+        };
+        let r = minimize_batch(
+            &mut f,
+            2,
+            std::slice::from_ref(&seed),
+            &PsoOptions::default(),
+            &mut rng,
+        );
+        assert_eq!(r.value, -10.0);
+        assert_eq!(r.x, seed);
+    }
+
+    #[test]
+    fn batch_eval_budget_accounting() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut count = 0usize;
+        let mut f = |xs: &[Vec<f64>]| {
+            count += xs.len();
+            vec![1.0; xs.len()]
+        };
+        let opts = PsoOptions {
+            particles: 10,
+            iters: 5,
+            ..Default::default()
+        };
+        let r = minimize_batch(&mut f, 2, &[], &opts, &mut rng);
+        assert_eq!(r.evals, count);
+        assert_eq!(count, 10 + 10 * 5);
+    }
+
+    #[test]
+    fn batch_and_scalar_consume_identical_rng_streams() {
+        // Same seed → same draws in both variants, so swapping one for the
+        // other never perturbs downstream RNG consumers.
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let mut f = |x: &[f64]| (x[0] - 0.4_f64).powi(2);
+        let mut fb = |xs: &[Vec<f64>]| {
+            xs.iter()
+                .map(|x| (x[0] - 0.4_f64).powi(2))
+                .collect::<Vec<f64>>()
+        };
+        let opts = PsoOptions {
+            particles: 8,
+            iters: 6,
+            ..Default::default()
+        };
+        let _ = minimize(&mut f, 1, &[], &opts, &mut r1);
+        let _ = minimize_batch(&mut fb, 1, &[], &opts, &mut r2);
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
     }
 }

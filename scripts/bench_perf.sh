@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Records the hot-path speedups of the distance-cached LCM refactor into
+# BENCH_lcm.json: cached vs reference likelihood+gradient (n ∈ {64, 256}),
+# a full n=256 two-task fit, and batched vs per-point candidate scoring
+# (m = 512). Numbers are medians over repeated runs; see
+# crates/bench/src/bin/lcm_perf.rs for the methodology.
+#
+# Usage: scripts/bench_perf.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p gptune-bench --bin lcm_perf -- "${1:-BENCH_lcm.json}"

@@ -8,6 +8,10 @@ cargo test -q
 # Chaos gate: MLA under injected crashes/hangs/transients must complete,
 # resume deterministically, and skip journaled crashers.
 cargo test -q --test chaos
+# Hot-path equivalence smoke in release mode: the distance-cached NLL,
+# W ∘ K gradients, and batched prediction must match their retained
+# pre-refactor references to ≤ 1e-12 under the optimizer's reassociations.
+cargo test -q --release -p gptune-gp --test equivalence
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Domain-specific lint suite (NaN-safety, panic tiers, lock discipline,
