@@ -166,6 +166,10 @@ pub fn provenance(opts: &MlaOptions, delta: usize) -> Provenance {
 #[allow(clippy::panic)]
 pub(crate) fn open_db(opts: &MlaOptions) -> Option<Db> {
     opts.db_path.as_ref().map(|p| {
+        // Opening scans the journal and replays any interrupted write —
+        // the recovery phase of the storage layer (gptune-db itself is
+        // dependency-free, so its spans are emitted here at the bridge).
+        let _span = gptune_trace::global().span("gptune.db.recover");
         Db::open(p).unwrap_or_else(|e| {
             panic!("gptune-db: cannot open archive at {}: {e}", p.display());
         })
@@ -230,8 +234,32 @@ pub(crate) fn write_checkpoint(
     stats: &PhaseStats,
 ) {
     let ckpt = checkpoint_from_run(kind, sig, opts, evals, iteration, eps, n_preloaded, stats);
+    let _span = gptune_trace::global()
+        .span("gptune.db.checkpoint_save")
+        .with("iteration", iteration as u64)
+        .with("points", ckpt.points.len());
     db.save_checkpoint(&ckpt)
         .unwrap_or_else(|e| panic!("gptune-db: cannot write checkpoint: {e}"));
+}
+
+/// Loads the checkpoint keyed by `(sig, seed)`, spanning the read as
+/// `gptune.db.checkpoint_load` (with the hit/miss outcome as a field).
+pub(crate) fn load_checkpoint_traced(
+    db: &Db,
+    sig: u64,
+    seed: u64,
+) -> std::io::Result<Option<Checkpoint>> {
+    let mut span = gptune_trace::global().span("gptune.db.checkpoint_load");
+    let r = db.load_checkpoint(sig, seed);
+    match &r {
+        Ok(Some(c)) => {
+            span.add("hit", true);
+            span.add("iteration", c.iteration as u64);
+            span.add("points", c.points.len());
+        }
+        _ => span.add("hit", false),
+    }
+    r
 }
 
 /// Rehydrates the evaluation archive from a checkpoint.
@@ -357,6 +385,9 @@ pub(crate) fn archive_run(
         prov: prov.clone(),
         stats: stats_to_db(stats),
     }));
+    let _span = gptune_trace::global()
+        .span("gptune.db.append")
+        .with("entries", entries.len());
     db.append(&entries)
 }
 

@@ -37,7 +37,7 @@ pub mod tla;
 pub use db_bridge::{history_from_db, problem_signature};
 pub use history::History;
 pub use metrics::{hypervolume_2d, mean_stability, stability, win_task};
-pub use mla::{MlaResult, TaskResult};
+pub use mla::{IterationStat, MlaResult, TaskResult};
 pub use mla_mo::{MoMlaResult, MoTaskResult, ParetoPoint};
 pub use options::{Acquisition, MlaOptions, SearchMethod};
 pub use problem::TuningProblem;

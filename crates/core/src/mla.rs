@@ -69,11 +69,45 @@ pub struct MlaResult {
     pub per_task: Vec<TaskResult>,
     /// Phase-time breakdown (objective / modeling / search).
     pub stats: gptune_runtime::PhaseStats,
+    /// Per-iteration phase breakdown for the iterations run by *this*
+    /// process (a resumed run reports only its post-resume iterations;
+    /// the aggregate `stats` still covers the whole run).
+    pub iterations: Vec<IterationStat>,
     /// `false` when the run was preempted by
     /// [`MlaOptions::stop_after_iterations`] before exhausting `ε_tot`
     /// (a checkpoint holds the in-flight state; rerunning with the same
     /// options resumes it).
     pub completed: bool,
+}
+
+/// Phase breakdown of a single MLA iteration — one row of the runlog's
+/// per-iteration table, mirroring the `gptune.core.modeling` /
+/// `gptune.core.search` spans the iteration emitted on the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStat {
+    /// Iteration index (continues across a checkpoint resume).
+    pub iteration: usize,
+    /// Cumulative evaluations owned by this run after the iteration.
+    pub n_evals: usize,
+    /// Wall-clock of this iteration's modeling phase.
+    pub modeling_wall: std::time::Duration,
+    /// Wall-clock of this iteration's search phase.
+    pub search_wall: std::time::Duration,
+    /// Best finite objective value observed so far across all tasks
+    /// (first objective), `INFINITY` while everything has failed.
+    pub incumbent: f64,
+}
+
+/// Best finite first-objective value in the archive, skipping warm-start
+/// preloads — the incumbent reported per iteration.
+pub(crate) fn incumbent_of(evals: &Evaluations, n_preloaded: usize) -> f64 {
+    evals
+        .outputs
+        .iter()
+        .skip(n_preloaded)
+        .map(|o| o[0])
+        .filter(|y| y.is_finite())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// A failed evaluation, classified by the fault-tolerant runtime and kept
@@ -642,7 +676,7 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         // db_path is set, and open_db opened a Db for every set db_path.
         #[allow(clippy::expect_used)]
         let db = db.as_ref().expect("checkpointing() implies db_path");
-        match db.load_checkpoint(sig, opts.seed) {
+        match db_bridge::load_checkpoint_traced(db, sig, opts.seed) {
             Ok(Some(ckpt))
                 if db_bridge::checkpoint_matches(&ckpt, CheckpointKind::Mla, opts, delta) =>
             {
@@ -712,6 +746,7 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
 
     // --- MLA iterations ---
     let mut iters_this_process = 0usize;
+    let mut iteration_stats: Vec<IterationStat> = Vec::new();
     let mut completed = true;
     while eps < opts.eps_total {
         if opts
@@ -721,55 +756,61 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
             completed = false;
             break;
         }
+        let iter_span = timer
+            .tracer()
+            .span("gptune.core.mla.iteration")
+            .with("iteration", iteration as u64)
+            .with("eps", eps as u64);
         // Modeling phase.
         let (inputs, y) = build_inputs(problem, &evals, 0, opts);
         let lcm_opts = LcmFitOptions {
             seed: opts.lcm.seed.wrapping_add(iteration as u64 * 7919),
             ..opts.lcm.clone()
         };
-        let model = timer.time(Phase::Modeling, || {
+        let (model, modeling_wall) = timer.time_iter(Phase::Modeling, iteration as u64, || {
             with_pool(opts.model_workers, || {
                 LcmModel::fit(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
             })
         });
 
         // Search phase: one new point per task, parallel over tasks.
-        let new_points: Vec<(usize, Config)> = timer.time(Phase::Search, || {
-            let seeds: Vec<u64> = (0..delta)
-                .map(|i| {
-                    opts.seed
-                        .wrapping_add(0x5bd1e995)
-                        .wrapping_mul(iteration as u64 + 1)
-                        .wrapping_add(i as u64 * 104729)
-                })
-                .collect();
-            with_pool(opts.search_workers, || {
-                (0..delta)
-                    .into_par_iter()
-                    .map(|task_idx| {
-                        let mut trng = StdRng::seed_from_u64(seeds[task_idx]);
-                        let y_best_model = evals
-                            .points
-                            .iter()
-                            .zip(&evals.outputs)
-                            .filter(|((t, _), o)| *t == task_idx && o[0].is_finite())
-                            .map(|(_, o)| transform_objective(o[0], opts.log_objective))
-                            .fold(f64::INFINITY, f64::min);
-                        let cfg = search_task(
-                            problem,
-                            &model,
-                            &inputs,
-                            &evals,
-                            task_idx,
-                            y_best_model,
-                            opts,
-                            &mut trng,
-                        );
-                        (task_idx, cfg)
+        let (new_points, search_wall): (Vec<(usize, Config)>, _) =
+            timer.time_iter(Phase::Search, iteration as u64, || {
+                let seeds: Vec<u64> = (0..delta)
+                    .map(|i| {
+                        opts.seed
+                            .wrapping_add(0x5bd1e995)
+                            .wrapping_mul(iteration as u64 + 1)
+                            .wrapping_add(i as u64 * 104729)
                     })
-                    .collect()
-            })
-        });
+                    .collect();
+                with_pool(opts.search_workers, || {
+                    (0..delta)
+                        .into_par_iter()
+                        .map(|task_idx| {
+                            let mut trng = StdRng::seed_from_u64(seeds[task_idx]);
+                            let y_best_model = evals
+                                .points
+                                .iter()
+                                .zip(&evals.outputs)
+                                .filter(|((t, _), o)| *t == task_idx && o[0].is_finite())
+                                .map(|(_, o)| transform_objective(o[0], opts.log_objective))
+                                .fold(f64::INFINITY, f64::min);
+                            let cfg = search_task(
+                                problem,
+                                &model,
+                                &inputs,
+                                &evals,
+                                task_idx,
+                                y_best_model,
+                                opts,
+                                &mut trng,
+                            );
+                            (task_idx, cfg)
+                        })
+                        .collect()
+                })
+            });
 
         // Evaluate the δ new points.
         let offset = evals.points.len();
@@ -786,6 +827,14 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         evals.points.extend(new_points);
         evals.outputs.extend(outputs);
         evals.failures.extend(fails);
+        iteration_stats.push(IterationStat {
+            iteration,
+            n_evals: evals.points.len() - n_preloaded,
+            modeling_wall,
+            search_wall,
+            incumbent: incumbent_of(&evals, n_preloaded),
+        });
+        drop(iter_span);
         eps += 1;
         iteration += 1;
         iters_this_process += 1;
@@ -844,7 +893,14 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
         }
     }
 
-    finalize(problem, evals, timer, n_preloaded, completed)
+    finalize(
+        problem,
+        evals,
+        timer,
+        iteration_stats,
+        n_preloaded,
+        completed,
+    )
 }
 
 /// Assembles per-task results from the evaluation archive. The first
@@ -855,6 +911,7 @@ pub(crate) fn finalize(
     problem: &TuningProblem,
     evals: Evaluations,
     timer: PhaseTimer,
+    iterations: Vec<IterationStat>,
     n_preloaded: usize,
     completed: bool,
 ) -> MlaResult {
@@ -885,6 +942,7 @@ pub(crate) fn finalize(
     MlaResult {
         per_task,
         stats: timer.snapshot(),
+        iterations,
         completed,
     }
 }
@@ -967,6 +1025,33 @@ mod tests {
         assert!(r.stats.modeling_wall.as_nanos() > 0);
         assert!(r.stats.search_wall.as_nanos() > 0);
         assert!(r.stats.objective_virtual_secs > 0.0);
+    }
+
+    #[test]
+    fn iteration_breakdown_rows_are_consistent() {
+        let p = toy_problem(2);
+        let r = tune(&p, &fast_opts(10));
+        // Budget 10 → 5 initial samples, then one iteration per remaining ε.
+        assert_eq!(r.iterations.len(), 5);
+        for (k, it) in r.iterations.iter().enumerate() {
+            assert_eq!(it.iteration, k);
+            assert!(it.incumbent.is_finite());
+        }
+        // n_evals is cumulative and strictly increasing (δ per iteration).
+        for w in r.iterations.windows(2) {
+            assert_eq!(w[1].n_evals, w[0].n_evals + 2);
+            assert!(w[1].incumbent <= w[0].incumbent, "incumbent must improve");
+        }
+        // PANIC-SAFETY: asserted non-empty above (len == 5).
+        #[allow(clippy::unwrap_used)]
+        let last = r.iterations.last().unwrap();
+        assert_eq!(last.n_evals, r.stats.n_evals);
+        // Per-iteration walls sum to at most the aggregate phase walls
+        // (the aggregate also counts nothing else for modeling/search).
+        let modeling: std::time::Duration = r.iterations.iter().map(|i| i.modeling_wall).sum();
+        let search: std::time::Duration = r.iterations.iter().map(|i| i.search_wall).sum();
+        assert_eq!(modeling, r.stats.modeling_wall);
+        assert_eq!(search, r.stats.search_wall);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use crate::db_bridge;
 use crate::mla::{
-    build_inputs, evaluate_batch, initial_designs, load_known_failures, transform_objective,
-    Evaluations,
+    build_inputs, evaluate_batch, incumbent_of, initial_designs, load_known_failures,
+    transform_objective, Evaluations, IterationStat,
 };
 use crate::options::MlaOptions;
 use crate::problem::TuningProblem;
@@ -50,6 +50,9 @@ pub struct MoMlaResult {
     pub per_task: Vec<MoTaskResult>,
     /// Phase-time breakdown.
     pub stats: gptune_runtime::PhaseStats,
+    /// Per-iteration phase breakdown for the iterations run by this
+    /// process (the `incumbent` column tracks the first objective).
+    pub iterations: Vec<IterationStat>,
     /// `false` when the run was preempted by
     /// [`MlaOptions::stop_after_iterations`] before exhausting `ε_tot`
     /// (a checkpoint holds the in-flight state; rerunning with the same
@@ -85,7 +88,7 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         // db_path is set, and open_db opened a Db for every set db_path.
         #[allow(clippy::expect_used)]
         let db = db.as_ref().expect("checkpointing() implies db_path");
-        match db.load_checkpoint(sig, opts.seed) {
+        match db_bridge::load_checkpoint_traced(db, sig, opts.seed) {
             Ok(Some(ckpt))
                 if db_bridge::checkpoint_matches(&ckpt, CheckpointKind::MlaMo, opts, delta) =>
             {
@@ -151,6 +154,7 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
     }
 
     let mut iters_this_process = 0usize;
+    let mut iteration_stats: Vec<IterationStat> = Vec::new();
     let mut completed = true;
     while eps < opts.eps_total {
         if opts
@@ -160,146 +164,157 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
             completed = false;
             break;
         }
+        let iter_span = timer
+            .tracer()
+            .span("gptune.core.mla_mo.iteration")
+            .with("iteration", iteration as u64)
+            .with("eps", eps as u64);
         // Modeling phase: one LCM per objective (paper line 3 of Alg. 2).
         let per_objective: Vec<_> = (0..gamma)
             .map(|s| build_inputs(problem, &evals, s, opts))
             .collect();
-        let models: Vec<LcmModel> = timer.time(Phase::Modeling, || {
-            with_pool(opts.model_workers, || {
-                per_objective
-                    .iter()
-                    .enumerate()
-                    .map(|(s, (inputs, y))| {
-                        let lcm_opts = LcmFitOptions {
-                            seed: opts
-                                .lcm
-                                .seed
-                                .wrapping_add(iteration as u64 * 7919)
-                                .wrapping_add(s as u64 * 65537),
-                            ..opts.lcm.clone()
-                        };
-                        LcmModel::fit(&inputs.xs, &inputs.task_of, y, delta, &lcm_opts)
-                    })
-                    .collect()
-            })
-        });
+        let (models, modeling_wall): (Vec<LcmModel>, _) =
+            timer.time_iter(Phase::Modeling, iteration as u64, || {
+                with_pool(opts.model_workers, || {
+                    per_objective
+                        .iter()
+                        .enumerate()
+                        .map(|(s, (inputs, y))| {
+                            let lcm_opts = LcmFitOptions {
+                                seed: opts
+                                    .lcm
+                                    .seed
+                                    .wrapping_add(iteration as u64 * 7919)
+                                    .wrapping_add(s as u64 * 65537),
+                                ..opts.lcm.clone()
+                            };
+                            LcmModel::fit(&inputs.xs, &inputs.task_of, y, delta, &lcm_opts)
+                        })
+                        .collect()
+                })
+            });
 
         // Search phase: NSGA-II over the vector of −EI_s per task.
-        let new_points: Vec<(usize, Config)> = timer.time(Phase::Search, || {
-            let seeds: Vec<u64> = (0..delta)
-                .map(|i| {
-                    opts.seed
-                        .wrapping_add(0xabcd_ef12)
-                        .wrapping_mul(iteration as u64 + 3)
-                        .wrapping_add(i as u64 * 7561)
-                })
-                .collect();
-            with_pool(opts.search_workers, || {
-                (0..delta)
-                    .into_par_iter()
-                    .flat_map(|task_idx| {
-                        let mut trng = StdRng::seed_from_u64(seeds[task_idx]);
-                        // Per-objective incumbents (model scale).
-                        let y_best: Vec<f64> = (0..gamma)
-                            .map(|s| {
-                                evals
-                                    .points
-                                    .iter()
-                                    .zip(&evals.outputs)
-                                    .filter(|((t, _), o)| *t == task_idx && o[s].is_finite())
-                                    .map(|(_, o)| transform_objective(o[s], opts.log_objective))
-                                    .fold(f64::INFINITY, f64::min)
-                            })
-                            .collect();
-
-                        let beta = problem.beta();
-                        // Batched vector acquisition: each NSGA-II
-                        // generation is scored through one blocked
-                        // multi-RHS posterior solve per objective
-                        // ([`LcmModel::predict_batch`]) instead of a
-                        // triangular solve per individual per objective.
-                        let mut acq = |us: &[Vec<f64>]| -> Vec<Vec<f64>> {
-                            let mut out = vec![vec![0.0; gamma]; us.len()];
-                            let mut live: Vec<usize> = Vec::with_capacity(us.len());
-                            let mut configs: Vec<Config> = Vec::with_capacity(us.len());
-                            for (i, u) in us.iter().enumerate() {
-                                let config = problem.tuning_space.denormalize(u);
-                                if problem.tuning_space.is_valid(&config) {
-                                    live.push(i);
-                                    configs.push(config);
-                                }
-                            }
-                            for s in 0..gamma {
-                                let (inputs, _) = &per_objective[s];
-                                let xs_model: Vec<Vec<f64>> = live
-                                    .iter()
-                                    .zip(&configs)
-                                    .map(|(&i, config)| match &inputs.enrich {
-                                        Some(e) => {
-                                            let mut v = us[i].clone();
-                                            v.extend(e.features(problem, task_idx, config));
-                                            v
-                                        }
-                                        None => us[i].clone(),
-                                    })
-                                    .collect();
-                                let preds = models[s].predict_batch(task_idx, &xs_model);
-                                for (&i, pred) in live.iter().zip(&preds) {
-                                    out[i][s] = -expected_improvement(pred, y_best[s]);
-                                }
-                            }
-                            out
-                        };
-
-                        // Seed NSGA-II with the observed Pareto points.
-                        let observed: Vec<Vec<f64>> = evals
-                            .points
-                            .iter()
-                            .zip(&evals.outputs)
-                            .filter(|((t, _), _)| *t == task_idx)
-                            .map(|((_, c), _)| problem.tuning_space.normalize(c))
-                            .collect();
-
-                        let front = nsga2::minimize_batch(
-                            &mut acq, beta, gamma, &observed, &opts.nsga, &mut trng,
-                        );
-
-                        // Pick up to k distinct, feasible, non-duplicate
-                        // configurations from the front.
-                        let mut picked: Vec<(usize, Config)> = Vec::new();
-                        for sol in front {
-                            if picked.len() >= k {
-                                break;
-                            }
-                            let cfg = problem.tuning_space.denormalize(&sol.x);
-                            if problem.tuning_space.is_valid(&cfg)
-                                && !evals.contains(task_idx, &cfg)
-                                && !picked.iter().any(|(_, c)| c == &cfg)
-                            {
-                                picked.push((task_idx, cfg));
-                            }
-                        }
-                        // Top up with random feasible samples if the front
-                        // was too small or collapsed onto known points.
-                        while picked.len() < k {
-                            let fresh =
-                                sampling::sample_space(&problem.tuning_space, 1, &mut trng, 300);
-                            match fresh.into_iter().next() {
-                                Some(c)
-                                    if !evals.contains(task_idx, &c)
-                                        && !picked.iter().any(|(_, pc)| pc == &c) =>
-                                {
-                                    picked.push((task_idx, c));
-                                }
-                                Some(_) => continue,
-                                None => break,
-                            }
-                        }
-                        picked
+        let (new_points, search_wall): (Vec<(usize, Config)>, _) =
+            timer.time_iter(Phase::Search, iteration as u64, || {
+                let seeds: Vec<u64> = (0..delta)
+                    .map(|i| {
+                        opts.seed
+                            .wrapping_add(0xabcd_ef12)
+                            .wrapping_mul(iteration as u64 + 3)
+                            .wrapping_add(i as u64 * 7561)
                     })
-                    .collect()
-            })
-        });
+                    .collect();
+                with_pool(opts.search_workers, || {
+                    (0..delta)
+                        .into_par_iter()
+                        .flat_map(|task_idx| {
+                            let mut trng = StdRng::seed_from_u64(seeds[task_idx]);
+                            // Per-objective incumbents (model scale).
+                            let y_best: Vec<f64> = (0..gamma)
+                                .map(|s| {
+                                    evals
+                                        .points
+                                        .iter()
+                                        .zip(&evals.outputs)
+                                        .filter(|((t, _), o)| *t == task_idx && o[s].is_finite())
+                                        .map(|(_, o)| transform_objective(o[s], opts.log_objective))
+                                        .fold(f64::INFINITY, f64::min)
+                                })
+                                .collect();
+
+                            let beta = problem.beta();
+                            // Batched vector acquisition: each NSGA-II
+                            // generation is scored through one blocked
+                            // multi-RHS posterior solve per objective
+                            // ([`LcmModel::predict_batch`]) instead of a
+                            // triangular solve per individual per objective.
+                            let mut acq = |us: &[Vec<f64>]| -> Vec<Vec<f64>> {
+                                let mut out = vec![vec![0.0; gamma]; us.len()];
+                                let mut live: Vec<usize> = Vec::with_capacity(us.len());
+                                let mut configs: Vec<Config> = Vec::with_capacity(us.len());
+                                for (i, u) in us.iter().enumerate() {
+                                    let config = problem.tuning_space.denormalize(u);
+                                    if problem.tuning_space.is_valid(&config) {
+                                        live.push(i);
+                                        configs.push(config);
+                                    }
+                                }
+                                for s in 0..gamma {
+                                    let (inputs, _) = &per_objective[s];
+                                    let xs_model: Vec<Vec<f64>> = live
+                                        .iter()
+                                        .zip(&configs)
+                                        .map(|(&i, config)| match &inputs.enrich {
+                                            Some(e) => {
+                                                let mut v = us[i].clone();
+                                                v.extend(e.features(problem, task_idx, config));
+                                                v
+                                            }
+                                            None => us[i].clone(),
+                                        })
+                                        .collect();
+                                    let preds = models[s].predict_batch(task_idx, &xs_model);
+                                    for (&i, pred) in live.iter().zip(&preds) {
+                                        out[i][s] = -expected_improvement(pred, y_best[s]);
+                                    }
+                                }
+                                out
+                            };
+
+                            // Seed NSGA-II with the observed Pareto points.
+                            let observed: Vec<Vec<f64>> = evals
+                                .points
+                                .iter()
+                                .zip(&evals.outputs)
+                                .filter(|((t, _), _)| *t == task_idx)
+                                .map(|((_, c), _)| problem.tuning_space.normalize(c))
+                                .collect();
+
+                            let front = nsga2::minimize_batch(
+                                &mut acq, beta, gamma, &observed, &opts.nsga, &mut trng,
+                            );
+
+                            // Pick up to k distinct, feasible, non-duplicate
+                            // configurations from the front.
+                            let mut picked: Vec<(usize, Config)> = Vec::new();
+                            for sol in front {
+                                if picked.len() >= k {
+                                    break;
+                                }
+                                let cfg = problem.tuning_space.denormalize(&sol.x);
+                                if problem.tuning_space.is_valid(&cfg)
+                                    && !evals.contains(task_idx, &cfg)
+                                    && !picked.iter().any(|(_, c)| c == &cfg)
+                                {
+                                    picked.push((task_idx, cfg));
+                                }
+                            }
+                            // Top up with random feasible samples if the front
+                            // was too small or collapsed onto known points.
+                            while picked.len() < k {
+                                let fresh = sampling::sample_space(
+                                    &problem.tuning_space,
+                                    1,
+                                    &mut trng,
+                                    300,
+                                );
+                                match fresh.into_iter().next() {
+                                    Some(c)
+                                        if !evals.contains(task_idx, &c)
+                                            && !picked.iter().any(|(_, pc)| pc == &c) =>
+                                    {
+                                        picked.push((task_idx, c));
+                                    }
+                                    Some(_) => continue,
+                                    None => break,
+                                }
+                            }
+                            picked
+                        })
+                        .collect()
+                })
+            });
 
         let offset = evals.points.len();
         let (outputs, fails) = timer.time(Phase::Objective, || {
@@ -315,6 +330,14 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         evals.points.extend(new_points);
         evals.outputs.extend(outputs);
         evals.failures.extend(fails);
+        iteration_stats.push(IterationStat {
+            iteration,
+            n_evals: evals.points.len() - n_preloaded,
+            modeling_wall,
+            search_wall,
+            incumbent: incumbent_of(&evals, n_preloaded),
+        });
+        drop(iter_span);
         eps += k;
         iteration += 1;
         iters_this_process += 1;
@@ -411,6 +434,7 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
     MoMlaResult {
         per_task,
         stats: timer.snapshot(),
+        iterations: iteration_stats,
         completed,
     }
 }

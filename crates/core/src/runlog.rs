@@ -8,13 +8,15 @@
 //! printed after 'stats:'."). This module renders our results in the same
 //! shape so run outputs are comparable side by side with GPTune's.
 
-use crate::mla::MlaResult;
+use crate::mla::{IterationStat, MlaResult};
 use crate::mla_mo::MoMlaResult;
 use crate::problem::TuningProblem;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Renders a single-objective MLA result as a GPTune-style runlog.
+/// Renders a single-objective MLA result as a GPTune-style runlog: the
+/// `Popt`/`Oopt` block per task, the one-line `stats:` summary (unchanged
+/// from earlier releases), then the per-iteration phase breakdown table.
 pub fn format_mla(problem: &TuningProblem, result: &MlaResult) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "tuner: GPTune-rs MLA  problem: {}", problem.name);
@@ -33,6 +35,40 @@ pub fn format_mla(problem: &TuningProblem, result: &MlaResult) -> String {
         let _ = writeln!(out, "    nth : {}", best_sample_index(tr) + 1);
     }
     let _ = writeln!(out, "{}", result.stats.report());
+    out.push_str(&format_iteration_table(&result.iterations));
+    out
+}
+
+/// Per-iteration phase breakdown: one row per MLA iteration run by this
+/// process, matching the `gptune.core.modeling`/`gptune.core.search`
+/// spans on the trace. Empty input renders nothing, so runlogs of runs
+/// that never left the sampling phase are unchanged.
+pub fn format_iteration_table(iterations: &[IterationStat]) -> String {
+    if iterations.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "iter:  {:>4}  {:>7}  {:>12}  {:>12}  {:>12}",
+        "it", "n_evals", "modeling", "search", "incumbent"
+    );
+    for it in iterations {
+        let incumbent = if it.incumbent.is_finite() {
+            format!("{:.6}", it.incumbent)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "iter:  {:>4}  {:>7}  {:>11.3}s  {:>11.3}s  {:>12}",
+            it.iteration,
+            it.n_evals,
+            it.modeling_wall.as_secs_f64(),
+            it.search_wall.as_secs_f64(),
+            incumbent
+        );
+    }
     out
 }
 
@@ -63,6 +99,7 @@ pub fn format_mla_mo(problem: &TuningProblem, result: &MoMlaResult) -> String {
         }
     }
     let _ = writeln!(out, "{}", result.stats.report());
+    out.push_str(&format_iteration_table(&result.iterations));
     out
 }
 
@@ -147,6 +184,33 @@ mod tests {
         assert!(log.contains("Oopt:"), "{log}");
         assert!(log.contains("stats:"), "{log}");
         assert!(log.contains("tid: 0"), "{log}");
+    }
+
+    #[test]
+    fn mla_runlog_appends_iteration_table_after_unchanged_stats_line() {
+        let p = toy();
+        let r = mla::tune(&p, &fast_opts(8));
+        assert!(!r.iterations.is_empty());
+        let log = format_mla(&p, &r);
+        // The summary line is byte-identical to PhaseStats::report().
+        assert!(
+            log.contains(&format!("{}\n", r.stats.report())),
+            "stats line changed: {log}"
+        );
+        // The per-iteration table follows it: a header plus one row per
+        // iteration, each carrying the incumbent column.
+        let stats_pos = log.find("stats:").unwrap();
+        let table_pos = log.find("iter:").unwrap();
+        assert!(stats_pos < table_pos, "table must follow the summary");
+        assert_eq!(log.matches("iter:").count(), r.iterations.len() + 1);
+        assert!(log.contains("incumbent"), "{log}");
+        assert!(log.contains("modeling"), "{log}");
+        assert!(log.contains("search"), "{log}");
+    }
+
+    #[test]
+    fn iteration_table_empty_for_no_iterations() {
+        assert_eq!(format_iteration_table(&[]), "");
     }
 
     #[test]

@@ -162,16 +162,23 @@ pub fn transfer_tune(
     // MLA iterations on the target only.
     let mut iteration = 0usize;
     while fresh.len() < opts.eps_total {
+        let iter_span = timer
+            .tracer()
+            .span("gptune.core.tla.iteration")
+            .with("iteration", iteration as u64)
+            .with("target", target_idx as u64);
         let (inputs, y) = build_inputs(problem, &evals, 0, opts);
         let lcm_opts = LcmFitOptions {
             seed: opts.lcm.seed.wrapping_add(iteration as u64 * 104_729),
             ..opts.lcm.clone()
         };
-        let model = timer.time(Phase::Modeling, || {
-            with_pool(opts.model_workers, || {
-                LcmModel::fit(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
+        let model = timer
+            .time_iter(Phase::Modeling, iteration as u64, || {
+                with_pool(opts.model_workers, || {
+                    LcmModel::fit(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
+                })
             })
-        });
+            .0;
 
         let y_best_model = evals
             .points
@@ -181,18 +188,20 @@ pub fn transfer_tune(
             .map(|(_, o)| transform_objective(o[0], opts.log_objective))
             .fold(f64::INFINITY, f64::min);
 
-        let cfg = timer.time(Phase::Search, || {
-            search_task(
-                problem,
-                &model,
-                &inputs,
-                &evals,
-                target_idx,
-                y_best_model,
-                opts,
-                &mut rng,
-            )
-        });
+        let cfg = timer
+            .time_iter(Phase::Search, iteration as u64, || {
+                search_task(
+                    problem,
+                    &model,
+                    &inputs,
+                    &evals,
+                    target_idx,
+                    y_best_model,
+                    opts,
+                    &mut rng,
+                )
+            })
+            .0;
         let offset = evals.points.len();
         let (out, fails) = timer.time(Phase::Objective, || {
             evaluate_batch(
@@ -211,6 +220,7 @@ pub fn transfer_tune(
         evals.points.push((target_idx, cfg));
         evals.outputs.push(row);
         evals.failures.extend(fails);
+        drop(iter_span);
         iteration += 1;
     }
 

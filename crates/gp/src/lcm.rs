@@ -266,6 +266,14 @@ impl LcmModel {
         // Cholesky sequential to avoid oversubscribing the rayon pool; a
         // single-restart fit may use the blocked parallel factorization.
         let n_starts = opts.n_starts.max(1);
+        let tracer = gptune_trace::global();
+        let mut fit_span = tracer
+            .span("gptune.gp.fit")
+            .with("n", n)
+            .with("dim", dim)
+            .with("n_tasks", n_tasks)
+            .with("q", q)
+            .with("restarts", n_starts);
         let ctx = FitCtx {
             data: &data,
             dists: &dists,
@@ -283,9 +291,11 @@ impl LcmModel {
         let results: Vec<(f64, Vec<f64>)> = (0..n_starts)
             .into_par_iter()
             .map(|k| {
+                let restart_span = tracer.span("gptune.gp.fit_restart").with("restart", k);
                 let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(k as u64));
                 let init = LcmHyperparams::random_init(q, n_tasks, dim, &mut rng).pack();
                 let r = lbfgs::minimize(|theta, grad| objective(theta, grad), &init, &opts.lbfgs);
+                drop(restart_span.with("nll", r.value));
                 (r.value, r.x)
             })
             .collect();
@@ -311,6 +321,7 @@ impl LcmModel {
                 (v, theta)
             });
 
+        fit_span.add("best_nll", best_nll);
         let hp = LcmHyperparams::unpack(q, n_tasks, dim, &best_theta);
         let kernels: Vec<ArdKernel> = (0..q)
             .map(|qq| ArdKernel::with_kind(opts.kernel, hp.lengthscales[qq].clone()))
@@ -470,6 +481,10 @@ impl LcmModel {
         if xs.is_empty() {
             return Vec::new();
         }
+        let _batch_span = gptune_trace::global()
+            .span("gptune.gp.predict_batch")
+            .with("m", xs.len())
+            .with("n", self.xs.len());
         // Chunked so one RHS panel stays cache-resident
         // (n × 64 × 8 B = 128 KiB at n = 256).
         const CHUNK: usize = 64;

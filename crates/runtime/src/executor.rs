@@ -101,8 +101,8 @@ impl WorkerGroup {
     }
 
     /// Attaches one more worker to the job queue (initial spawn and
-    /// watchdog replacement of a hung worker).
-    fn spawn_worker(&self) {
+    /// watchdog replacement of a hung worker). Returns the new worker id.
+    fn spawn_worker(&self) -> u64 {
         let id = self.shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
         let rx = self.job_rx.clone();
         let shared = Arc::clone(&self.shared);
@@ -131,6 +131,7 @@ impl WorkerGroup {
             })
             .expect("failed to spawn worker thread");
         self.handles.lock().push((id, handle));
+        id
     }
 
     /// Number of workers in the group.
@@ -177,11 +178,16 @@ impl WorkerGroup {
             let guard = self.job_tx.lock();
             guard.as_ref().cloned().ok_or(GroupClosed)?
         };
+        // One global-tracer read per batch; each job gets a cheap clone so
+        // worker-side spans keep recording even if the global is swapped
+        // mid-batch.
+        let tracer = gptune_trace::global();
         for (i, item) in items.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let tx = res_tx.clone();
             let pol = policy.clone();
-            let job: Job = Box::new(move || run_job(i, &item, &*f, &pol, &tx));
+            let tr = tracer.clone();
+            let job: Job = Box::new(move || run_job(i, &item, &*f, &pol, &tx, &tr));
             // The group holds `job_rx`, so send only fails if the
             // channel is poisoned beyond repair — surface it typed.
             job_tx.send(job).map_err(|_| GroupClosed)?;
@@ -202,6 +208,9 @@ impl WorkerGroup {
     ) -> Vec<EvalOutcome<R>> {
         let mut slots: Vec<Option<EvalOutcome<R>>> = (0..n).map(|_| None).collect();
         let mut done = 0usize;
+        let tracer = gptune_trace::global();
+        let timeouts = tracer.counter("gptune.runtime.timeouts");
+        let replaced = tracer.counter("gptune.runtime.workers_replaced");
         // job index -> (armed-at, worker id, attempt) for running jobs.
         // BTreeMap, not HashMap: expiry scans iterate this map, and the
         // watchdog's replacement order must not depend on hash order.
@@ -227,7 +236,21 @@ impl WorkerGroup {
                         // (it exits if it ever comes back) and restore
                         // capacity with a fresh worker.
                         self.shared.abandoned.lock().insert(worker);
-                        self.spawn_worker();
+                        let replacement = self.spawn_worker();
+                        tracer
+                            .instant("gptune.runtime.timeout")
+                            .with("job", j)
+                            .with("worker", worker)
+                            .with("attempt", attempt)
+                            .with("elapsed_ms", now.duration_since(t0).as_millis() as u64)
+                            .emit();
+                        timeouts.inc();
+                        tracer
+                            .instant("gptune.runtime.worker_replaced")
+                            .with("retired", worker)
+                            .with("replacement", replacement)
+                            .emit();
+                        replaced.inc();
                     }
                 }
                 if done >= n {
@@ -384,8 +407,12 @@ fn run_job<T, R>(
     f: &(dyn Fn(&T, u32) -> JobStatus<R> + Send + Sync),
     policy: &FaultPolicy,
     tx: &Sender<Msg<R>>,
+    tracer: &gptune_trace::Tracer,
 ) {
     let worker = WORKER_ID.with(|w| w.get());
+    let jobs_metric = tracer.counter("gptune.runtime.jobs");
+    let retries_metric = tracer.counter("gptune.runtime.retries");
+    let crashes_metric = tracer.counter("gptune.runtime.crashes");
     let t0 = Instant::now();
     let mut attempt: u32 = 0;
     loop {
@@ -396,7 +423,16 @@ fn run_job<T, R>(
             worker,
             attempt,
         });
+        jobs_metric.inc();
+        // One span per attempt, on this worker's track: the timeline
+        // shows each execution separately, with backoff gaps between.
+        let span = tracer
+            .span("gptune.runtime.job")
+            .with("job", job)
+            .with("worker", worker)
+            .with("attempt", attempt);
         let caught = panic::catch_unwind(AssertUnwindSafe(|| f(item, attempt)));
+        drop(span);
         let attempts = attempt + 1;
         let elapsed = t0.elapsed();
         let transient: Option<String> = match &caught {
@@ -409,6 +445,13 @@ fn run_job<T, R>(
         let outcome = if let Some(message) = transient {
             if attempt < policy.max_retries {
                 let _ = tx.send(Msg::Retrying { job });
+                tracer
+                    .instant("gptune.runtime.retry")
+                    .with("job", job)
+                    .with("worker", worker)
+                    .with("attempt", attempt)
+                    .emit();
+                retries_metric.inc();
                 std::thread::sleep(policy.backoff_for(attempt));
                 attempt += 1;
                 continue;
@@ -430,11 +473,20 @@ fn run_job<T, R>(
                     attempts,
                     elapsed,
                 },
-                Err(payload) => EvalOutcome::Crashed {
-                    message: panic_message(payload.as_ref()),
-                    attempts,
-                    elapsed,
-                },
+                Err(payload) => {
+                    tracer
+                        .instant("gptune.runtime.crash")
+                        .with("job", job)
+                        .with("worker", worker)
+                        .with("attempt", attempt)
+                        .emit();
+                    crashes_metric.inc();
+                    EvalOutcome::Crashed {
+                        message: panic_message(payload.as_ref()),
+                        attempts,
+                        elapsed,
+                    }
+                }
             }
         };
         let _ = tx.send(Msg::Done { job, outcome });

@@ -5,8 +5,19 @@
 //! objective functions are simulators that return *virtual* application
 //! seconds, so the objective phase is tracked in virtual seconds while
 //! modeling/search are real wall-clock measurements of this implementation.
+//!
+//! [`PhaseTimer`] is the single time authority for phase walls: each timed
+//! closure is measured once and the measurement is published twice — into
+//! the mutex-guarded [`PhaseStats`] accumulator (the authoritative
+//! checkpoint-restorable totals) and into the process-global
+//! [`gptune_trace`] tracer as a `gptune.core.<phase>` span plus
+//! `gptune.core.*` metrics. Because both views share one measurement,
+//! summing the phase spans of a trace reproduces the `stats:` line
+//! exactly; [`PhaseStats::from_metrics`] rebuilds the same totals from a
+//! metrics snapshot.
 
 use crate::fault::FailureKind;
+use gptune_trace::{CounterHandle, Field, GaugeHandle, HistogramHandle, MetricsSnapshot, Tracer};
 use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
@@ -19,6 +30,25 @@ pub enum Phase {
     Modeling,
     /// Acquisition-function maximization.
     Search,
+}
+
+impl Phase {
+    /// The span/metric name for this phase (`gptune.core.<phase>`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Phase::Objective => "gptune.core.objective",
+            Phase::Modeling => "gptune.core.modeling",
+            Phase::Search => "gptune.core.search",
+        }
+    }
+
+    fn histogram_name(self) -> &'static str {
+        match self {
+            Phase::Objective => "gptune.core.phase.objective",
+            Phase::Modeling => "gptune.core.phase.modeling",
+            Phase::Search => "gptune.core.phase.search",
+        }
+    }
 }
 
 /// Immutable snapshot of accumulated statistics.
@@ -60,6 +90,31 @@ impl PhaseStats {
         self.n_crashed + self.n_timed_out + self.n_invalid + self.n_transient
     }
 
+    /// Rebuilds the stats as a view over the tracer's `gptune.core.*`
+    /// metrics, the inverse of [`PhaseTimer`]'s dual publishing. For a
+    /// single timer recording into a fresh tracer this equals
+    /// [`PhaseTimer::snapshot`] exactly (same measurements, same
+    /// arithmetic); after a checkpoint resume only the snapshot carries
+    /// the pre-resume totals (metrics cover the current process).
+    pub fn from_metrics(m: &MetricsSnapshot) -> PhaseStats {
+        let count = |name: &str| m.counter(name).unwrap_or(0) as usize;
+        let wall = |phase: Phase| {
+            Duration::from_nanos(m.histogram(phase.histogram_name()).map_or(0, |h| h.sum))
+        };
+        PhaseStats {
+            objective_virtual_secs: m.gauge("gptune.core.objective_virtual_secs").unwrap_or(0.0),
+            objective_wall: wall(Phase::Objective),
+            modeling_wall: wall(Phase::Modeling),
+            search_wall: wall(Phase::Search),
+            n_evals: count("gptune.core.evals"),
+            n_crashed: count("gptune.core.failures.crashed"),
+            n_timed_out: count("gptune.core.failures.timed_out"),
+            n_invalid: count("gptune.core.failures.invalid"),
+            n_transient: count("gptune.core.failures.transient"),
+            n_retries: count("gptune.core.retries"),
+        }
+    }
+
     /// One-line report in the GPTune runlog style. Runs that saw
     /// failures or retries append their failure profile.
     pub fn report(&self) -> String {
@@ -81,61 +136,175 @@ impl PhaseStats {
     }
 }
 
-/// Thread-safe accumulator for [`PhaseStats`].
-#[derive(Debug, Default)]
+/// Per-phase metric handles, fetched once at timer construction.
+#[derive(Debug)]
+struct PhaseMetrics {
+    evals: CounterHandle,
+    retries: CounterHandle,
+    crashed: CounterHandle,
+    timed_out: CounterHandle,
+    invalid: CounterHandle,
+    transient: CounterHandle,
+    virtual_secs: GaugeHandle,
+    objective_wall: HistogramHandle,
+    modeling_wall: HistogramHandle,
+    search_wall: HistogramHandle,
+}
+
+impl PhaseMetrics {
+    fn new(tracer: &Tracer) -> Self {
+        PhaseMetrics {
+            evals: tracer.counter("gptune.core.evals"),
+            retries: tracer.counter("gptune.core.retries"),
+            crashed: tracer.counter("gptune.core.failures.crashed"),
+            timed_out: tracer.counter("gptune.core.failures.timed_out"),
+            invalid: tracer.counter("gptune.core.failures.invalid"),
+            transient: tracer.counter("gptune.core.failures.transient"),
+            virtual_secs: tracer.gauge("gptune.core.objective_virtual_secs"),
+            objective_wall: tracer.histogram(Phase::Objective.histogram_name()),
+            modeling_wall: tracer.histogram(Phase::Modeling.histogram_name()),
+            search_wall: tracer.histogram(Phase::Search.histogram_name()),
+        }
+    }
+
+    fn wall(&self, phase: Phase) -> &HistogramHandle {
+        match phase {
+            Phase::Objective => &self.objective_wall,
+            Phase::Modeling => &self.modeling_wall,
+            Phase::Search => &self.search_wall,
+        }
+    }
+}
+
+/// Thread-safe accumulator for [`PhaseStats`], dual-publishing every
+/// measurement to the tracer (phase spans + metrics).
+#[derive(Debug)]
 pub struct PhaseTimer {
     inner: Mutex<PhaseStats>,
+    tracer: Tracer,
+    metrics: PhaseMetrics,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PhaseTimer {
-    /// Fresh timer with all counters at zero.
+    /// Fresh timer with all counters at zero, publishing spans/metrics to
+    /// the process-global tracer (a no-op while tracing is disabled).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_tracer(gptune_trace::global())
+    }
+
+    /// Fresh timer recording into a specific tracer (tests).
+    pub fn with_tracer(tracer: Tracer) -> Self {
+        let metrics = PhaseMetrics::new(&tracer);
+        PhaseTimer {
+            inner: Mutex::new(PhaseStats::default()),
+            tracer,
+            metrics,
+        }
     }
 
     /// Times a closure under the given phase (wall clock).
     pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        self.time_inner(phase, None, f).0
+    }
+
+    /// Like [`PhaseTimer::time`] but also returns the measured duration —
+    /// the per-iteration breakdown rows are built from these.
+    pub fn time_measured<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> (R, Duration) {
+        self.time_inner(phase, None, f)
+    }
+
+    /// Times one iteration's phase: the emitted `gptune.core.<phase>`
+    /// span carries `iteration` as a field, so traces can be grouped per
+    /// MLA iteration.
+    pub fn time_iter<R>(
+        &self,
+        phase: Phase,
+        iteration: u64,
+        f: impl FnOnce() -> R,
+    ) -> (R, Duration) {
+        self.time_inner(phase, Some(iteration), f)
+    }
+
+    fn time_inner<R>(
+        &self,
+        phase: Phase,
+        iteration: Option<u64>,
+        f: impl FnOnce() -> R,
+    ) -> (R, Duration) {
+        let start_ns = self.tracer.now_ns();
         let t0 = Instant::now();
         let r = f();
         let dt = t0.elapsed();
-        let mut s = self.inner.lock();
-        match phase {
-            Phase::Objective => s.objective_wall += dt,
-            Phase::Modeling => s.modeling_wall += dt,
-            Phase::Search => s.search_wall += dt,
+        {
+            let mut s = self.inner.lock();
+            match phase {
+                Phase::Objective => s.objective_wall += dt,
+                Phase::Modeling => s.modeling_wall += dt,
+                Phase::Search => s.search_wall += dt,
+            }
         }
-        r
+        self.metrics.wall(phase).record_duration(dt);
+        let fields = iteration
+            .map(|it| vec![("iteration".into(), Field::U64(it))])
+            .unwrap_or_default();
+        self.tracer
+            .record_span(phase.span_name(), start_ns, dt, fields);
+        (r, dt)
     }
 
     /// Records a simulated application run of `virtual_secs` seconds.
     pub fn add_objective_run(&self, virtual_secs: f64) {
-        let mut s = self.inner.lock();
-        s.objective_virtual_secs += virtual_secs.max(0.0);
-        s.n_evals += 1;
+        let v = virtual_secs.max(0.0);
+        {
+            let mut s = self.inner.lock();
+            s.objective_virtual_secs += v;
+            s.n_evals += 1;
+        }
+        self.metrics.evals.inc();
+        self.metrics.virtual_secs.add(v);
     }
 
     /// Records a classified evaluation failure.
     pub fn add_failure(&self, kind: FailureKind) {
-        let mut s = self.inner.lock();
+        {
+            let mut s = self.inner.lock();
+            match kind {
+                FailureKind::Crashed => s.n_crashed += 1,
+                FailureKind::TimedOut => s.n_timed_out += 1,
+                FailureKind::Invalid => s.n_invalid += 1,
+                FailureKind::Transient => s.n_transient += 1,
+            }
+        }
         match kind {
-            FailureKind::Crashed => s.n_crashed += 1,
-            FailureKind::TimedOut => s.n_timed_out += 1,
-            FailureKind::Invalid => s.n_invalid += 1,
-            FailureKind::Transient => s.n_transient += 1,
+            FailureKind::Crashed => self.metrics.crashed.inc(),
+            FailureKind::TimedOut => self.metrics.timed_out.inc(),
+            FailureKind::Invalid => self.metrics.invalid.inc(),
+            FailureKind::Transient => self.metrics.transient.inc(),
         }
     }
 
     /// Records `n` retry executions (attempts beyond the first).
     pub fn add_retries(&self, n: usize) {
         self.inner.lock().n_retries += n;
+        self.metrics.retries.add(n as u64);
     }
 
-    /// Current snapshot.
+    /// Consistent point-in-time snapshot: one lock acquisition copies the
+    /// whole [`PhaseStats`], so counters and durations can never be read
+    /// torn across concurrently accumulating phases.
     pub fn snapshot(&self) -> PhaseStats {
         *self.inner.lock()
     }
 
-    /// Resets every counter.
+    /// Resets every counter (the authoritative stats only — tracer
+    /// metrics are cumulative process-wide observability and keep
+    /// counting).
     pub fn reset(&self) {
         *self.inner.lock() = PhaseStats::default();
     }
@@ -143,8 +312,14 @@ impl PhaseTimer {
     /// Overwrites the accumulated counters — used when resuming an
     /// interrupted run from a checkpoint, so the final `stats:` line
     /// covers the whole run rather than only the post-resume portion.
+    /// Tracer metrics are not rewound: they describe this process.
     pub fn restore(&self, s: PhaseStats) {
         *self.inner.lock() = s;
+    }
+
+    /// The tracer this timer publishes to.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 }
 
@@ -181,6 +356,17 @@ mod tests {
         let s = t.snapshot();
         assert!(s.modeling_wall >= Duration::from_millis(15));
         assert_eq!(s.search_wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn time_measured_returns_the_recorded_duration() {
+        let t = PhaseTimer::new();
+        let (out, dt) = t.time_measured(Phase::Search, || {
+            std::thread::sleep(Duration::from_millis(10));
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(dt, t.snapshot().search_wall);
     }
 
     #[test]
@@ -270,5 +456,89 @@ mod tests {
         let s = t.snapshot();
         assert_eq!(s.n_evals, 800);
         assert!((s.objective_virtual_secs - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_never_torn_under_concurrent_accumulation() {
+        // add_objective_run updates two fields under one lock; a snapshot
+        // taken concurrently must always see them in step (0.5 virtual
+        // seconds per eval is exact in binary floating point).
+        let t = std::sync::Arc::new(PhaseTimer::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for _ in 0..4 {
+            let t = std::sync::Arc::clone(&t);
+            writers.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    t.add_objective_run(0.5);
+                }
+            }));
+        }
+        let reader = {
+            let t = std::sync::Arc::clone(&t);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checks = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = t.snapshot();
+                    assert_eq!(
+                        s.objective_virtual_secs,
+                        s.n_evals as f64 * 0.5,
+                        "snapshot tore across paired fields"
+                    );
+                    checks += 1;
+                }
+                checks
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let checks = reader.join().unwrap();
+        assert!(checks > 0, "reader must observe in-flight snapshots");
+        assert_eq!(t.snapshot().n_evals, 8000);
+    }
+
+    #[test]
+    fn dual_published_metrics_reproduce_the_snapshot() {
+        let tracer = Tracer::ring(64);
+        let t = PhaseTimer::with_tracer(tracer.clone());
+        t.add_objective_run(1.5);
+        t.add_objective_run(0.5);
+        t.add_failure(FailureKind::TimedOut);
+        t.add_retries(2);
+        t.time(Phase::Modeling, || {
+            std::thread::sleep(Duration::from_millis(5))
+        });
+        let (_, dt) = t.time_iter(Phase::Search, 3, || ());
+        assert!(dt < Duration::from_secs(1));
+        // The metrics view rebuilds the exact same stats.
+        let view = PhaseStats::from_metrics(&tracer.metrics());
+        assert_eq!(view, t.snapshot());
+        // Phase spans landed on the trace, tagged with the iteration.
+        let data = tracer.drain();
+        let search = data
+            .events
+            .iter()
+            .find(|e| e.name == "gptune.core.search")
+            .expect("search phase span recorded");
+        assert_eq!(
+            search.field("iteration").and_then(Field::as_u64),
+            Some(3),
+            "iteration tag on phase span"
+        );
+        assert!(data.events.iter().any(|e| e.name == "gptune.core.modeling"));
+    }
+
+    #[test]
+    fn disabled_tracer_timer_still_counts() {
+        let t = PhaseTimer::with_tracer(Tracer::disabled());
+        t.add_objective_run(2.0);
+        let out = t.time(Phase::Modeling, || 5);
+        assert_eq!(out, 5);
+        let s = t.snapshot();
+        assert_eq!(s.n_evals, 1);
+        assert_eq!(s.objective_virtual_secs, 2.0);
     }
 }

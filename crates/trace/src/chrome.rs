@@ -1,0 +1,140 @@
+//! Chrome trace-event exporter.
+//!
+//! Produces the JSON object format understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): a `traceEvents` array of complete
+//! (`"ph":"X"`) spans and thread-scoped (`"ph":"i"`) instant events, with
+//! `"ph":"M"` `thread_name` metadata naming each track. Timestamps and
+//! durations are microseconds (fractional — nanosecond precision is
+//! preserved).
+//!
+//! Track layout: every recording thread is one track (workers are named
+//! `gptune-worker-<id>` by the runtime); the master's modeling and search
+//! phase spans (`gptune.core.modeling` / `gptune.core.search`) are
+//! additionally lifted onto their own synthetic tracks so the two tuner
+//! phases read as dedicated swimlanes above the worker timelines.
+
+use crate::jsonl::{args_json, esc};
+use crate::tracer::{EventKind, TraceData};
+use std::fmt::Write as _;
+
+const PID: u64 = 1;
+
+/// Span names lifted onto dedicated master-phase tracks.
+const PHASE_TRACKS: &[(&str, &str)] = &[
+    ("gptune.core.modeling", "modeling (master)"),
+    ("gptune.core.search", "search (master)"),
+];
+
+fn us(ns: u64) -> String {
+    // Microseconds with nanosecond precision, no float rounding.
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Exports a [`TraceData`] as a Chrome trace-event JSON string.
+pub fn export(data: &TraceData) -> String {
+    let max_track = data
+        .events
+        .iter()
+        .map(|e| e.track)
+        .chain(data.tracks.iter().map(|(id, _)| *id))
+        .max()
+        .unwrap_or(0);
+    let phase_tid = |name: &str| -> Option<u64> {
+        PHASE_TRACKS
+            .iter()
+            .position(|(n, _)| *n == name)
+            .map(|i| max_track + 1 + i as u64)
+    };
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+
+    // Track metadata: real threads, then any synthetic phase tracks that
+    // actually carry events.
+    for (id, name) in &data.tracks {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{id},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                esc(name)
+            ),
+        );
+    }
+    for (i, (span_name, label)) in PHASE_TRACKS.iter().enumerate() {
+        if data.events.iter().any(|e| e.name == *span_name) {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    max_track + 1 + i as u64,
+                    esc(label)
+                ),
+            );
+        }
+    }
+
+    for ev in &data.events {
+        let tid = phase_tid(&ev.name).unwrap_or(ev.track);
+        let mut line = format!(
+            "{{\"ph\":\"{}\",\"pid\":{PID},\"tid\":{tid},\"ts\":{},\"name\":\"{}\"",
+            match ev.kind {
+                EventKind::Span { .. } => 'X',
+                EventKind::Instant => 'i',
+            },
+            us(ev.ts_ns),
+            esc(&ev.name)
+        );
+        match ev.kind {
+            EventKind::Span { dur_ns } => {
+                let _ = write!(line, ",\"dur\":{}", us(dur_ns));
+            }
+            EventKind::Instant => line.push_str(",\"s\":\"t\""),
+        }
+        let _ = write!(line, ",\"args\":{}}}", args_json(&ev.fields));
+        push(&mut out, line);
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Field, Tracer};
+    use std::time::Duration;
+
+    #[test]
+    fn microsecond_formatting_preserves_nanos() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_500), "1.500");
+        assert_eq!(us(12_345_678), "12345.678");
+    }
+
+    #[test]
+    fn phase_spans_get_synthetic_tracks() {
+        let t = Tracer::ring(16);
+        t.record_span("gptune.core.modeling", 0, Duration::from_micros(5), vec![]);
+        t.record_span(
+            "gptune.core.search",
+            5_000,
+            Duration::from_micros(2),
+            vec![("iteration".into(), Field::U64(0))],
+        );
+        let json = export(&t.drain());
+        assert!(json.contains("\"name\":\"modeling (master)\""));
+        assert!(json.contains("\"name\":\"search (master)\""));
+        // Phase spans do not sit on the recording thread's track.
+        assert!(json.contains("gptune.core.modeling"));
+    }
+}

@@ -1,0 +1,187 @@
+//! JSONL sink: one JSON object per line, hand-serialized (std-only).
+//!
+//! Line shapes (`type` discriminates):
+//!
+//! ```text
+//! {"type":"track","id":3,"name":"gptune-worker-0"}
+//! {"type":"event","name":"gptune.runtime.job","ph":"span","ts_ns":12,"dur_ns":900,"track":3,"args":{"job":0}}
+//! {"type":"event","name":"gptune.runtime.retry","ph":"instant","ts_ns":40,"track":3,"args":{}}
+//! {"type":"metric","metric":"counter","name":"gptune.core.evals","value":32}
+//! {"type":"metric","metric":"gauge","name":"...","value":1.5}
+//! {"type":"metric","metric":"histogram","name":"...","count":5,"sum":1007,"buckets":[[0,1],[2,2]]}
+//! {"type":"meta","dropped":0}
+//! ```
+//!
+//! `examples/trace_tool.rs` consumes this format and re-exports it to the
+//! Chrome trace-event format via [`crate::chrome`].
+
+use crate::tracer::{Event, EventKind, Field, TraceData};
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a field value as a JSON value. Non-finite floats become
+/// `null` (JSON has no NaN/Inf).
+pub(crate) fn field_json(f: &Field) -> String {
+    match f {
+        Field::I64(v) => v.to_string(),
+        Field::U64(v) => v.to_string(),
+        Field::F64(v) if v.is_finite() => {
+            let mut s = format!("{v}");
+            if !s.contains('.') && !s.contains('e') {
+                s.push_str(".0");
+            }
+            s
+        }
+        Field::F64(_) => "null".to_string(),
+        Field::Bool(v) => v.to_string(),
+        Field::Str(v) => format!("\"{}\"", esc(v)),
+    }
+}
+
+/// `{"k":v,...}` for an event's fields.
+pub(crate) fn args_json(fields: &[(crate::tracer::Name, Field)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", esc(k), field_json(v));
+    }
+    out.push('}');
+    out
+}
+
+fn event_line(ev: &Event) -> String {
+    let mut line = format!("{{\"type\":\"event\",\"name\":\"{}\"", esc(&ev.name));
+    match ev.kind {
+        EventKind::Span { dur_ns } => {
+            let _ = write!(
+                line,
+                ",\"ph\":\"span\",\"ts_ns\":{},\"dur_ns\":{dur_ns}",
+                ev.ts_ns
+            );
+        }
+        EventKind::Instant => {
+            let _ = write!(line, ",\"ph\":\"instant\",\"ts_ns\":{}", ev.ts_ns);
+        }
+    }
+    let _ = write!(
+        line,
+        ",\"track\":{},\"args\":{}}}",
+        ev.track,
+        args_json(&ev.fields)
+    );
+    line
+}
+
+/// Serializes a full [`TraceData`] to JSONL.
+pub fn to_string(data: &TraceData) -> String {
+    let mut out = String::new();
+    for (id, name) in &data.tracks {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"track\",\"id\":{id},\"name\":\"{}\"}}",
+            esc(name)
+        );
+    }
+    for ev in &data.events {
+        out.push_str(&event_line(ev));
+        out.push('\n');
+    }
+    for (name, v) in &data.metrics.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"metric\",\"metric\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            esc(name)
+        );
+    }
+    for (name, v) in &data.metrics.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"metric\",\"metric\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            esc(name),
+            field_json(&Field::F64(*v))
+        );
+    }
+    for (name, h) in &data.metrics.histograms {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|(i, n)| format!("[{i},{n}]"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"metric\",\"metric\":\"histogram\",\"name\":\"{}\",\
+             \"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            esc(name),
+            h.count,
+            h.sum,
+            buckets.join(",")
+        );
+    }
+    let _ = writeln!(out, "{{\"type\":\"meta\",\"dropped\":{}}}", data.dropped);
+    out
+}
+
+/// Writes a full [`TraceData`] to `w` in JSONL form.
+pub fn write<W: std::io::Write>(w: &mut W, data: &TraceData) -> std::io::Result<()> {
+    w.write_all(to_string(data).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+    use std::time::Duration;
+
+    #[test]
+    fn jsonl_contains_tracks_events_metrics_meta() {
+        let t = Tracer::ring(16);
+        t.record_span(
+            "gptune.test.op",
+            10,
+            Duration::from_nanos(500),
+            vec![("n".into(), Field::U64(3)), ("tag".into(), "a\"b".into())],
+        );
+        t.instant("gptune.test.mark").emit();
+        t.counter("gptune.test.count").add(2);
+        t.gauge("gptune.test.level").set(0.5);
+        t.histogram("gptune.test.lat").record(7);
+        let out = to_string(&t.drain());
+        assert!(out.contains("\"type\":\"track\""));
+        assert!(out.contains("\"ph\":\"span\",\"ts_ns\":10,\"dur_ns\":500"));
+        assert!(out.contains("\"args\":{\"n\":3,\"tag\":\"a\\\"b\"}"));
+        assert!(out.contains("\"ph\":\"instant\""));
+        assert!(out.contains("\"metric\":\"counter\",\"name\":\"gptune.test.count\",\"value\":2"));
+        assert!(out.contains("\"metric\":\"gauge\""));
+        assert!(out.contains("\"metric\":\"histogram\""));
+        assert!(out.contains("\"buckets\":[[3,1]]"));
+        assert!(out.ends_with("{\"type\":\"meta\",\"dropped\":0}\n"));
+    }
+
+    #[test]
+    fn escapes_and_nonfinite_floats() {
+        assert_eq!(esc("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(field_json(&Field::F64(f64::NAN)), "null");
+        assert_eq!(field_json(&Field::F64(2.0)), "2.0");
+        assert_eq!(field_json(&Field::I64(-3)), "-3");
+    }
+}

@@ -1,0 +1,74 @@
+//! gptune-trace: structured span tracing, metrics, and Chrome-trace export.
+//!
+//! The paper reports tuner time as a three-bucket breakdown (objective /
+//! modeling / search); diagnosing *why* a bucket is slow needs per-span,
+//! per-worker timelines. This crate provides the instrumentation substrate
+//! for the whole workspace:
+//!
+//! * **Spans** — RAII guards carrying a static name plus key/value
+//!   [`Field`]s; dropping (or [`Span::finish`]ing) one records a complete
+//!   event with nanosecond start/duration into a lock-sharded in-memory
+//!   ring buffer.
+//! * **Instant events** — zero-duration markers (fault events: retries,
+//!   timeouts, worker replacement) rendered as arrows on the timeline.
+//! * **Metrics** — a registry of monotonic counters, f64 gauges, and
+//!   log2-bucketed histograms, all updated with relaxed atomics.
+//! * **Sinks** — [`Tracer::drain`] yields the ring contents as a
+//!   [`TraceData`]; [`jsonl`] serializes it one JSON object per line and
+//!   [`chrome`] exports the Chrome trace-event format that
+//!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) open
+//!   directly, with one track per worker thread plus dedicated tracks for
+//!   the master's modeling/search phases.
+//!
+//! Tracing is **disabled by default and zero-cost when off**:
+//! [`Tracer::disabled`] carries no allocation, takes no clock readings,
+//! and every recording call is a branch on `Option::None`. Production
+//! entry points read the process-global tracer ([`global`]) which starts
+//! disabled; tests and tools [`install`] an enabled one.
+//!
+//! Metric names follow `gptune.<crate>.<name>` (see DESIGN.md §9 for the
+//! full taxonomy).
+
+pub mod chrome;
+pub mod jsonl;
+pub mod metrics;
+pub mod tracer;
+
+pub use metrics::{
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsSnapshot,
+};
+pub use tracer::{Event, EventKind, Field, InstantEvent, Name, Span, TraceData, Tracer};
+
+use parking_lot::RwLock;
+
+static GLOBAL: RwLock<Tracer> = RwLock::new(Tracer::disabled());
+
+/// Installs `tracer` as the process-global tracer and returns the previous
+/// one. The global starts as [`Tracer::disabled`]; runtime/core/gp/db
+/// instrumentation reads it via [`global`], so installing an enabled
+/// tracer turns on collection for every subsystem at once.
+pub fn install(tracer: Tracer) -> Tracer {
+    std::mem::replace(&mut *GLOBAL.write(), tracer)
+}
+
+/// A cheap clone of the process-global tracer (an `Option<Arc>`).
+///
+/// Call once per batch/operation and reuse the handle; the clone holds the
+/// ring buffer alive even if another tracer is installed afterwards.
+pub fn global() -> Tracer {
+    GLOBAL.read().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_starts_disabled_and_install_swaps() {
+        // Serialize against other tests that touch the global.
+        let prev = install(Tracer::ring(16));
+        assert!(global().enabled());
+        let mine = install(prev);
+        assert!(mine.enabled());
+    }
+}

@@ -1,0 +1,320 @@
+//! The metrics registry: counters, gauges, log2-bucketed histograms.
+//!
+//! All updates are relaxed atomics; registration (name → handle lookup)
+//! takes a registry mutex, so callers fetch a handle once and reuse it in
+//! loops. Names follow the `gptune.<crate>.<name>` scheme documented in
+//! DESIGN.md §9. Maps are `BTreeMap` so snapshots are deterministically
+//! ordered.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of log2 histogram buckets; bucket `i` covers values with `i`
+/// significant bits (`[2^(i-1), 2^i)`), bucket 0 holds zeros, the last
+/// bucket absorbs everything larger.
+pub const N_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of u64 samples (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let bits = (u64::BITS - v.leading_zeros()) as usize;
+        let idx = bits.min(N_BUCKETS - 1);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        if let Some(b) = self.buckets.get(idx) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u32, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of one histogram: total count/sum plus the
+/// non-empty `(bucket_index, count)` pairs. Bucket `i > 0` covers
+/// `[2^(i-1), 2^i)`; bucket 0 holds exact zeros.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time view of every registered metric, deterministically
+/// ordered by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> CounterHandle {
+        let mut map = self.counters.lock();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        CounterHandle(Some(Arc::clone(cell)))
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> GaugeHandle {
+        let mut map = self.gauges.lock();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+        GaugeHandle(Some(Arc::clone(cell)))
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.histograms.lock();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()));
+        HistogramHandle(Some(Arc::clone(cell)))
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(n, v)| (n.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(n, v)| (n.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Monotonic counter handle; a disabled handle (from a disabled tracer)
+/// is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(pub(crate) Option<Arc<AtomicU64>>);
+
+impl CounterHandle {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// f64 gauge handle (value stored as bits in an atomic); disabled handles
+/// are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(pub(crate) Option<Arc<AtomicU64>>);
+
+impl GaugeHandle {
+    /// Overwrites the gauge value.
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (CAS loop; lock-free).
+    pub fn add(&self, delta: f64) {
+        if let Some(g) = &self.0 {
+            let mut cur = g.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + delta).to_bits();
+                match g.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+}
+
+/// Histogram handle; disabled handles are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(pub(crate) Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Records a duration as nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("gptune.test.jobs");
+        c.inc();
+        c.add(4);
+        // Second lookup hits the same atomic.
+        r.counter("gptune.test.jobs").inc();
+        let g = r.gauge("gptune.test.level");
+        g.set(1.5);
+        g.add(0.25);
+        let s = r.snapshot();
+        assert_eq!(s.counter("gptune.test.jobs"), Some(6));
+        assert!((s.gauge("gptune.test.level").unwrap() - 1.75).abs() < 1e-12);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let r = Registry::new();
+        let h = r.histogram("gptune.test.latency");
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1: [1,2)
+        h.record(3); // bucket 2: [2,4)
+        h.record(3);
+        h.record(1000); // bucket 10: [512,1024)
+        let s = r.snapshot();
+        let hs = s.histogram("gptune.test.latency").unwrap();
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.sum, 1007);
+        assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+        assert!((hs.mean() - 201.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_extreme_values_stay_in_range() {
+        let r = Registry::new();
+        let h = r.histogram("x");
+        h.record(u64::MAX);
+        let s = r.snapshot();
+        let hs = s.histogram("x").unwrap();
+        assert_eq!(hs.count, 1);
+        assert_eq!(hs.buckets.len(), 1);
+        assert_eq!(hs.buckets[0].0, (N_BUCKETS - 1) as u32);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = std::sync::Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = std::sync::Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                let c = r.counter("n");
+                let g = r.gauge("sum");
+                let h = r.histogram("lat");
+                for i in 0..1000u64 {
+                    c.inc();
+                    g.add(0.5);
+                    h.record(i);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("n"), Some(8000));
+        assert!((s.gauge("sum").unwrap() - 4000.0).abs() < 1e-9);
+        assert_eq!(s.histogram("lat").unwrap().count, 8000);
+    }
+}

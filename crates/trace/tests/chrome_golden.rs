@@ -1,0 +1,149 @@
+//! Chrome exporter coverage: a byte-exact golden test over a synthetic
+//! deterministic trace, and a live-tracer round-trip validated as
+//! trace-event JSON (ph/ts/dur/pid/tid fields on every event).
+
+use gptune_trace::tracer::{Event, EventKind, Field, TraceData, Tracer};
+use std::time::Duration;
+
+fn span(
+    name: &'static str,
+    ts_ns: u64,
+    dur_ns: u64,
+    track: u64,
+    fields: Vec<(&'static str, Field)>,
+) -> Event {
+    Event {
+        name: name.into(),
+        kind: EventKind::Span { dur_ns },
+        ts_ns,
+        track,
+        fields: fields.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+    }
+}
+
+fn instant(name: &'static str, ts_ns: u64, track: u64) -> Event {
+    Event {
+        name: name.into(),
+        kind: EventKind::Instant,
+        ts_ns,
+        track,
+        fields: Vec::new(),
+    }
+}
+
+/// A synthetic two-track trace exercising spans, instants, args, and the
+/// synthetic master-phase tracks. Fully deterministic.
+fn synthetic() -> TraceData {
+    TraceData {
+        events: vec![
+            span(
+                "gptune.core.modeling",
+                1_000,
+                500_000,
+                1,
+                vec![("iteration", Field::U64(0))],
+            ),
+            span(
+                "gptune.runtime.job",
+                2_500,
+                300_000,
+                2,
+                vec![("job", Field::U64(0)), ("attempt", Field::U64(0))],
+            ),
+            instant("gptune.runtime.retry", 150_000, 2),
+            span(
+                "gptune.core.search",
+                600_000,
+                200_123,
+                1,
+                vec![("iteration", Field::U64(0))],
+            ),
+        ],
+        tracks: vec![
+            (1, "master".to_string()),
+            (2, "gptune-worker-0".to_string()),
+        ],
+        dropped: 0,
+        metrics: Default::default(),
+    }
+}
+
+#[test]
+fn golden_chrome_export() {
+    let json = gptune_trace::chrome::export(&synthetic());
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_synthetic.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1 cargo test -p gptune-trace");
+    assert_eq!(json, golden, "Chrome export drifted from golden file");
+    // The golden output must itself be valid JSON of the expected shape.
+    let v: serde_json::Value = json.parse().unwrap();
+    let events = v["traceEvents"].as_array().unwrap();
+    // 2 thread_name + 2 phase-track metadata + 4 events.
+    assert_eq!(events.len(), 8);
+}
+
+#[test]
+fn live_trace_round_trips_to_valid_trace_event_json() {
+    let t = Tracer::ring(256);
+    {
+        let _outer = t.span("gptune.test.outer").with("n", 2usize);
+        t.instant("gptune.test.fault").with("job", 1u64).emit();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let t2 = t.clone();
+    std::thread::Builder::new()
+        .name("gptune-worker-7".into())
+        .spawn(move || {
+            let _s = t2.span("gptune.test.job").with("attempt", 0u64);
+            std::thread::sleep(Duration::from_millis(1));
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+
+    let data = t.drain();
+    let json = gptune_trace::chrome::export(&data);
+    let v: serde_json::Value = json.parse().expect("exporter must emit valid JSON");
+    let events = v["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+
+    let mut named_tids = Vec::new();
+    for ev in events {
+        let ph = ev["ph"].as_str().unwrap();
+        assert!(ev["pid"].is_u64(), "every event carries pid: {ev}");
+        assert!(ev["tid"].is_u64(), "every event carries tid: {ev}");
+        match ph {
+            "M" => {
+                assert_eq!(ev["name"], "thread_name");
+                named_tids.push(ev["tid"].as_u64().unwrap());
+            }
+            "X" => {
+                assert!(ev["ts"].is_number(), "complete event has ts: {ev}");
+                assert!(ev["dur"].is_number(), "complete event has dur: {ev}");
+            }
+            "i" => {
+                assert!(ev["ts"].is_number());
+                assert_eq!(ev["s"], "t");
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    // Every tid that carries events has thread_name metadata.
+    for ev in events {
+        if ev["ph"] != "M" {
+            let tid = ev["tid"].as_u64().unwrap();
+            assert!(named_tids.contains(&tid), "tid {tid} missing thread_name");
+        }
+    }
+    // The worker thread shows up as its own named track.
+    let has_worker = events
+        .iter()
+        .any(|ev| ev["ph"] == "M" && ev["args"]["name"].as_str() == Some("gptune-worker-7"));
+    assert!(has_worker, "worker thread must be a named track");
+}

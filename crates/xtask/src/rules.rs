@@ -9,6 +9,7 @@
 //! | 3    | GX301 | lock discipline: no guard held across channel ops or joins |
 //! | 4    | GX401–GX403 | determinism: every random draw and iteration order is seed-threaded |
 //! | 5    | GX501 | unsafe hygiene: every `unsafe` carries a `// SAFETY:` justification |
+//! | 6    | GX601 | observability: no raw `Instant::now()` in the traced crates |
 //!
 //! Every rule is a pattern walk over the token stream of [`crate::lexer`]
 //! — deliberately type-blind, so each check documents the (small) set of
@@ -113,6 +114,11 @@ pub const RULES: &[RuleInfo] = &[
         name: "unsafe-without-safety-comment",
         desc: "every `unsafe` needs an adjacent `// SAFETY:` comment",
     },
+    RuleInfo {
+        id: "GX601",
+        name: "raw-instant-now",
+        desc: "no raw Instant::now() in crates/core or crates/runtime; time through PhaseTimer or gptune-trace spans",
+    },
 ];
 
 /// Crates under the strict panic-freedom tier: unwrap/expect/panic macros
@@ -153,6 +159,7 @@ pub fn check_file(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Diagnostic> {
     lock_discipline(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     determinism(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     unsafe_hygiene(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    raw_timing(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     out
 }
 
@@ -769,6 +776,45 @@ fn unsafe_hygiene(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnost
     }
 }
 
+// ---------------------------------------------------------------- tier 6
+
+/// Files inside the timed crates that *are* the instrumentation layer:
+/// raw clock reads there are the implementation of span timing itself.
+const TIMING_EXEMPT_FILES: &[&str] = &["crates/runtime/src/stats.rs"];
+
+/// GX601: raw `Instant::now()` in `crates/core` / `crates/runtime`
+/// production code. Phase timing must flow through `PhaseTimer` /
+/// `gptune-trace` spans so every measurement lands in both the stats
+/// accumulator and the trace; an untraced clock read is a measurement the
+/// trace cannot explain. Legitimate non-phase uses (the executor's
+/// watchdog deadlines) are allowlisted in `lint.toml` with a reason.
+fn raw_timing(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    let timed = (ctx.path.starts_with("crates/core/src/")
+        || ctx.path.starts_with("crates/runtime/src/"))
+        && !TIMING_EXEMPT_FILES.contains(&ctx.path)
+        && !ctx.path.contains("trace");
+    if !timed {
+        return;
+    }
+    let t = ctx.tokens;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.is_ident("Instant")
+            && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| x.is_ident("now"))
+            && !ctx.in_test(tok.line)
+        {
+            emit(
+                tok.line,
+                "GX601",
+                "raw `Instant::now()` in a traced crate; time through PhaseTimer / gptune-trace spans (or allowlist in lint.toml with a reason)"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1002,6 +1048,33 @@ mod tests {
             "fn f(b: &[u8]) -> &str {\n  // SAFETY: validated as UTF-8 by the caller.\n  unsafe { std::str::from_utf8_unchecked(b) }\n}"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn gx601_raw_instant_now_in_traced_crates() {
+        let src = "fn f() { let t0 = Instant::now(); }";
+        assert_eq!(rules_hit("crates/runtime/src/x.rs", src), vec!["GX601"]);
+        assert_eq!(rules_hit("crates/core/src/mla.rs", src), vec!["GX601"]);
+        // Fully-qualified paths hit the same token shape.
+        assert_eq!(
+            rules_hit(
+                "crates/core/src/search.rs",
+                "fn f() { let t0 = std::time::Instant::now(); }"
+            ),
+            vec!["GX601"]
+        );
+        // The instrumentation layer itself, untimed crates, and tests are
+        // exempt.
+        assert!(rules_hit("crates/runtime/src/stats.rs", src).is_empty());
+        assert!(rules_hit("crates/trace/src/tracer.rs", src).is_empty());
+        assert!(rules_hit("crates/db/src/lock.rs", src).is_empty());
+        assert!(rules_hit(
+            "crates/runtime/src/x.rs",
+            "#[cfg(test)]\nmod t { fn f() { let t0 = Instant::now(); } }"
+        )
+        .is_empty());
+        // Non-clock `now` idents don't trip it.
+        assert!(rules_hit("crates/runtime/src/x.rs", "fn f(now: u64) -> u64 { now }").is_empty());
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! GX601 fixture: raw `Instant::now()` in a traced crate.
+use std::time::Instant;
+
+pub fn ad_hoc_phase_timing() -> Instant {
+    Instant::now() // GX601 when linted under crates/runtime/src/
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_inside_tests_is_exempt() {
+        let _t0 = std::time::Instant::now();
+    }
+}

@@ -73,6 +73,31 @@ fn gx501_flags_unsafe_without_safety_comment() {
 }
 
 #[test]
+fn gx601_flags_raw_instant_now_in_traced_crates_only() {
+    let rules = rules_at("gx601_raw_timing.rs", "crates/runtime/src/fixture.rs");
+    assert_eq!(rules, vec!["GX601"]);
+    let rules = rules_at("gx601_raw_timing.rs", "crates/core/src/fixture.rs");
+    assert_eq!(rules, vec!["GX601"]);
+    // Untimed crates and the instrumentation layer itself are exempt.
+    assert!(rules_at("gx601_raw_timing.rs", "crates/gp/src/fixture.rs").is_empty());
+    assert!(rules_at("gx601_raw_timing.rs", "crates/runtime/src/stats.rs").is_empty());
+    // The allowlist covers the executor's watchdog clocks.
+    let cfg = Config::parse(
+        "[[allow]]\nrule = \"GX601\"\npath = \"crates/runtime/src/executor.rs\"\nreason = \"watchdog\"\n",
+    )
+    .expect("valid config");
+    let diags = lint_source(
+        "crates/runtime/src/executor.rs",
+        &fixture("gx601_raw_timing.rs"),
+        &cfg,
+    );
+    assert!(
+        diags.is_empty(),
+        "allowlisted GX601 must not fire: {diags:?}"
+    );
+}
+
+#[test]
 fn allowlist_suppresses_by_rule_and_path_prefix() {
     let cfg = Config::parse(
         "[[allow]]\nrule = \"GX1*\"\npath = \"crates/gp/src/\"\nreason = \"fixture\"\n",

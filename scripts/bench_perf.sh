@@ -5,7 +5,13 @@
 # (m = 512). Numbers are medians over repeated runs; see
 # crates/bench/src/bin/lcm_perf.rs for the methodology.
 #
-# Usage: scripts/bench_perf.sh [output.json]
+# Also records the gptune-trace overhead guard into
+# BENCH_trace_overhead.json: a paired-median enabled-vs-disabled tracing
+# comparison on the same LCM fit workload (must stay <= 3%) plus the
+# disabled-path span cost; see crates/bench/src/bin/trace_overhead.rs.
+#
+# Usage: scripts/bench_perf.sh [lcm_output.json] [trace_output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p gptune-bench --bin lcm_perf -- "${1:-BENCH_lcm.json}"
+cargo run --release -p gptune-bench --bin trace_overhead -- "${2:-BENCH_trace_overhead.json}"

@@ -38,6 +38,7 @@ pub use gptune_opt as opt;
 pub use gptune_runtime as runtime;
 pub use gptune_space as space;
 pub use gptune_sparse as sparse;
+pub use gptune_trace as trace;
 
 use gptune_apps::HpcApp;
 use gptune_core::TuningProblem;

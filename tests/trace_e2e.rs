@@ -1,0 +1,155 @@
+//! Trace acceptance test: a fault-injected two-task MLA run with the
+//! global tracer installed must produce a trace whose Chrome export has
+//! one track per evaluation worker plus fault instant-events, whose
+//! modeling spans cover every iteration, and whose per-phase span sums
+//! agree with the [`PhaseStats`] wall totals within 1% (they are exact by
+//! construction — `PhaseTimer` publishes one measurement to both sinks).
+//!
+//! [`PhaseStats`]: gptune::runtime::PhaseStats
+
+use gptune::apps::{AnalyticalApp, FaultSpec, FaultyApp};
+use gptune::core::{mla, MlaOptions};
+use gptune::problem_from_app;
+use gptune::space::Value;
+use gptune::trace::{EventKind, Tracer};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One test drives the whole acceptance scenario: the tracer global is
+/// process-wide, so the run and every assertion share a single `#[test]`.
+#[test]
+fn chaos_mla_trace_has_worker_tracks_fault_events_and_consistent_walls() {
+    let prev = gptune::trace::install(Tracer::ring(1 << 16));
+
+    let spec = FaultSpec {
+        crash_rate: 0.10,
+        hang_rate: 0.05,
+        transient_rate: 0.15,
+        hang: Duration::from_millis(600),
+        chaos_seed: 11,
+    };
+    let app = Arc::new(FaultyApp::new(AnalyticalApp::new(0.0), spec));
+    let tasks = vec![vec![Value::Real(1.0)], vec![Value::Real(4.0)]];
+    let problem = problem_from_app(app, tasks);
+    let mut opts = MlaOptions::default()
+        .with_budget(16)
+        .with_seed(3)
+        .with_eval_deadline(Duration::from_millis(150));
+    opts.lcm.n_starts = 2;
+    opts.lcm.lbfgs.max_iters = 15;
+    opts.pso.particles = 15;
+    opts.pso.iters = 10;
+    opts.log_objective = false;
+
+    let result = mla::tune(&problem, &opts);
+    let data = gptune::trace::global().drain();
+    gptune::trace::install(prev);
+
+    assert!(result.completed);
+    assert!(
+        result.stats.n_failed() + result.stats.n_retries >= 1,
+        "faults must fire for this workload: {:?}",
+        result.stats
+    );
+    assert_eq!(data.dropped, 0, "ring must be large enough for the run");
+
+    // --- Per-worker tracks ------------------------------------------------
+    let worker_tracks: Vec<u64> = data
+        .tracks
+        .iter()
+        .filter(|(_, name)| name.starts_with("gptune-worker-"))
+        .map(|(id, _)| *id)
+        .collect();
+    assert!(
+        !worker_tracks.is_empty(),
+        "evaluation workers must register named tracks: {:?}",
+        data.tracks
+    );
+    assert!(
+        data.events
+            .iter()
+            .any(|e| e.name == "gptune.runtime.job" && worker_tracks.contains(&e.track)),
+        "job spans must land on worker tracks"
+    );
+
+    // --- Fault instant-events match the stats ----------------------------
+    let instants = |name: &str| {
+        data.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Instant && e.name == name)
+            .count()
+    };
+    let faults = instants("gptune.runtime.crash")
+        + instants("gptune.runtime.timeout")
+        + instants("gptune.runtime.retry");
+    assert!(faults >= 1, "fault instant-events must be recorded");
+    assert_eq!(instants("gptune.runtime.retry"), result.stats.n_retries);
+    assert_eq!(instants("gptune.runtime.timeout"), result.stats.n_timed_out);
+
+    // --- >= 1 modeling span per iteration, tagged with its index ----------
+    let modeling: Vec<_> = data
+        .events
+        .iter()
+        .filter(|e| e.name == "gptune.core.modeling")
+        .collect();
+    assert_eq!(modeling.len(), result.iterations.len());
+    for (i, span) in modeling.iter().enumerate() {
+        assert_eq!(
+            span.field("iteration").and_then(|f| f.as_u64()),
+            Some(i as u64),
+            "modeling span {i} must carry its iteration index"
+        );
+    }
+
+    // --- Span sums agree with PhaseStats walls within 1% -------------------
+    let span_sum = |name: &str| -> f64 {
+        data.events
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| e.dur_ns())
+            .map(|ns| ns as f64 / 1e9)
+            .sum()
+    };
+    let close = |spans: f64, stats: f64| {
+        let denom = stats.max(1e-9);
+        ((spans - stats) / denom).abs() <= 0.01
+    };
+    assert!(
+        close(
+            span_sum("gptune.core.modeling"),
+            result.stats.modeling_wall.as_secs_f64()
+        ),
+        "modeling: spans {} vs stats {:?}",
+        span_sum("gptune.core.modeling"),
+        result.stats.modeling_wall
+    );
+    assert!(
+        close(
+            span_sum("gptune.core.search"),
+            result.stats.search_wall.as_secs_f64()
+        ),
+        "search: spans {} vs stats {:?}",
+        span_sum("gptune.core.search"),
+        result.stats.search_wall
+    );
+    assert!(
+        close(
+            span_sum("gptune.core.objective"),
+            result.stats.objective_wall.as_secs_f64()
+        ),
+        "objective: spans {} vs stats {:?}",
+        span_sum("gptune.core.objective"),
+        result.stats.objective_wall
+    );
+
+    // --- Chrome export: worker thread metas, instants, phase tracks --------
+    let chrome = gptune::trace::chrome::export(&data);
+    assert!(chrome.contains("\"thread_name\""));
+    assert!(chrome.contains("gptune-worker-"));
+    assert!(chrome.contains("\"ph\":\"i\""), "instants must export");
+    assert!(chrome.contains("\"ph\":\"X\""), "spans must export");
+    assert!(
+        chrome.contains("modeling (master)") && chrome.contains("search (master)"),
+        "master phases must render as dedicated tracks"
+    );
+}

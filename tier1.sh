@@ -15,5 +15,19 @@ cargo test -q --release -p gptune-gp --test equivalence
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Domain-specific lint suite (NaN-safety, panic tiers, lock discipline,
-# determinism, unsafe hygiene) -- see DESIGN.md "Static-analysis policy".
+# determinism, unsafe hygiene, observability) -- see DESIGN.md
+# "Static-analysis policy".
 cargo run -q -p gptune-xtask -- lint
+# Trace smoke gate: a tiny traced MLA must export a JSONL trace that
+# trace_tool summarizes cleanly, with at least one modeling span per
+# iteration (5 iterations at budget 10 on 2 tasks).
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -q --release --example trace_tool -- demo "$trace_dir/trace.jsonl"
+cargo run -q --release --example trace_tool -- summarize "$trace_dir/trace.jsonl" \
+  --chrome "$trace_dir/trace_chrome.json"
+modeling_spans="$(grep -c '"name":"gptune.core.modeling"' "$trace_dir/trace.jsonl" || true)"
+if [ "$modeling_spans" -lt 5 ]; then
+  echo "trace smoke: expected >= 1 modeling span per iteration (5), got $modeling_spans" >&2
+  exit 1
+fi
