@@ -1,0 +1,314 @@
+//! Load generator for the gptune-serve suggest/report service.
+//!
+//! Drives ≥ 1000 concurrent tuning sessions against one in-process server
+//! and records the result in `BENCH_serve.json`:
+//!
+//! * request latencies (p50/p99 per op) read from the `gptune-trace`
+//!   histograms the server populates (`gptune.serve.latency_us.<op>`),
+//!   not from client-side stopwatches;
+//! * sustained throughput over the whole burst;
+//! * a kill-the-server-mid-burst section: a write-ahead-journaled client
+//!   keeps reporting while the server dies, a replacement comes up, and
+//!   the replayed history must contain every journaled report
+//!   (`lost_reports` must print 0).
+//!
+//! Usage: `serve_bench [output.json] [--smoke]` — `--smoke` shrinks the
+//! fleet for the tier-1 gate while exercising every phase.
+
+use gptune::serve::{serve, ProblemSpec, ServeClient, ServeOptions, SessionOptions};
+use gptune::space::{Param, Value};
+use gptune::trace::{self, Tracer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn spec_for(problem_idx: usize) -> ProblemSpec {
+    ProblemSpec {
+        name: format!("svc-{problem_idx}"),
+        task_params: vec![Param::real("t", 0.0, 1.0)],
+        tuning_params: vec![Param::real("x", 0.0, 1.0), Param::real("y", 0.0, 1.0)],
+        tasks: vec![vec![Value::Real(0.25)], vec![Value::Real(0.75)]],
+        n_objectives: 1,
+    }
+}
+
+struct BurstStats {
+    sessions: usize,
+    peak_sessions: usize,
+    requests: u64,
+    errors: u64,
+    wall_s: f64,
+}
+
+/// Opens `sessions` sessions across `threads` client connections, holds a
+/// barrier while *all* of them are live, then runs a suggest/report loop
+/// on each. Returns the burst statistics; latency lives in the tracer.
+fn run_burst(
+    sessions: usize,
+    threads: usize,
+    reports_per_session: usize,
+    server_addr: std::net::SocketAddr,
+    peak_probe: impl Fn() -> usize + Send + Sync,
+) -> BurstStats {
+    let all_open = Arc::new(Barrier::new(threads + 1));
+    let failures = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let peak = std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let all_open = Arc::clone(&all_open);
+            let failures = Arc::clone(&failures);
+            scope.spawn(move || {
+                let mut client = match ServeClient::connect(server_addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        all_open.wait();
+                        return;
+                    }
+                };
+                // Each thread owns a disjoint slice of the session ids;
+                // one tenant per session keeps the server's table honest
+                // about multi-tenancy.
+                let mine: Vec<usize> = (0..sessions).filter(|s| s % threads == worker).collect();
+                let mut keys = Vec::with_capacity(mine.len());
+                for &s in &mine {
+                    let tenant = format!("tenant-{s}");
+                    let opts = SessionOptions {
+                        seed: s as u64,
+                        n_initial: Some(2),
+                    };
+                    match client.open_session(&tenant, &spec_for(s), &opts) {
+                        Ok(key) => keys.push(key),
+                        Err(_) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Every session in the fleet is open here.
+                all_open.wait();
+                for (i, _key) in keys.iter().enumerate() {
+                    let s = mine[i];
+                    let tenant = format!("tenant-{s}");
+                    let opts = SessionOptions {
+                        seed: s as u64,
+                        n_initial: Some(2),
+                    };
+                    // Re-open is a cheap re-attach; it scopes the client
+                    // to this session for the suggest/report loop.
+                    if client.open_session(&tenant, &spec_for(s), &opts).is_err() {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    for r in 0..reports_per_session {
+                        let task = r % 2;
+                        match client.suggest(task) {
+                            Ok(cfg) => {
+                                let y = 1.0 + (s * 31 + r) as f64 / 97.0;
+                                if client.report(task, &cfg, &[y]).is_err() {
+                                    failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Main thread samples the session table while everything is open.
+        all_open.wait();
+        peak_probe()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let m = trace::global().metrics();
+    BurstStats {
+        sessions,
+        peak_sessions: peak,
+        requests: m.counter("gptune.serve.requests").unwrap_or(0),
+        errors: m.counter("gptune.serve.errors").unwrap_or(0)
+            + failures.load(Ordering::Relaxed) as u64,
+        wall_s,
+    }
+}
+
+struct KillStats {
+    journaled: usize,
+    accepted_before_kill: usize,
+    replayed: usize,
+    recovered: usize,
+    lost: i64,
+}
+
+/// The durability drill: journal-backed client reports in a tight burst,
+/// the server is killed partway through, a replacement comes up, and the
+/// WAL replay must restore every journaled report.
+fn run_kill_drill(reports: usize, tmp: &std::path::Path) -> KillStats {
+    let wal = tmp.join("serve_bench_wal.jsonl");
+    let _ = std::fs::remove_file(&wal);
+    let spec = spec_for(0);
+    let opts = SessionOptions::default();
+
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let mut client = ServeClient::connect(server.local_addr())
+        .expect("connect")
+        .with_wal(&wal);
+    client.open_session("dur", &spec, &opts).expect("open");
+
+    // Burst of journaled reports; the server dies halfway.
+    let mut accepted = 0usize;
+    let mut journaled = 0usize;
+    let mut server = Some(server);
+    for r in 0..reports {
+        if r == reports / 2 {
+            server.take().unwrap().shutdown();
+        }
+        let cfg = vec![
+            Value::Real((r as f64 + 0.5) / reports as f64),
+            Value::Real(0.5),
+        ];
+        // The WAL append inside report() lands even when the send fails.
+        journaled += 1;
+        if client.report(r % 2, &cfg, &[r as f64]).is_ok() {
+            accepted += 1;
+        }
+    }
+
+    // Replacement server, fresh client, same journal.
+    let server = serve("127.0.0.1:0", ServeOptions::default()).expect("rebind");
+    let mut client2 = ServeClient::connect(server.local_addr())
+        .expect("reconnect")
+        .with_wal(&wal);
+    client2.open_session("dur", &spec, &opts).expect("reopen");
+    let (replayed, _dups) = client2.replay_wal().expect("replay");
+    let recovered = client2.history().expect("history").len();
+    server.shutdown();
+    let _ = std::fs::remove_file(&wal);
+
+    KillStats {
+        journaled,
+        accepted_before_kill: accepted,
+        replayed,
+        recovered,
+        lost: journaled as i64 - recovered as i64,
+    }
+}
+
+fn quantiles(op: &str) -> (u64, u64, u64) {
+    let m = trace::global().metrics();
+    match m.histogram(&format!("gptune.serve.latency_us.{op}")) {
+        Some(h) => (h.count, h.p50(), h.p99()),
+        None => (0, 0, 0),
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    // The acceptance bar is ≥ 1000 *concurrent* sessions; smoke mode keeps
+    // the same shape at gate-friendly scale.
+    let (sessions, threads, reports_per_session, kill_reports) = if smoke {
+        (32, 8, 2, 10)
+    } else {
+        (1024, 32, 3, 200)
+    };
+
+    trace::install(Tracer::ring(1 << 12));
+
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: threads,
+            max_sessions: sessions + 8,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind serve_bench server");
+    let addr = server.local_addr();
+
+    eprintln!("serve_bench: {sessions} sessions over {threads} client threads at {addr}");
+    let burst = run_burst(sessions, threads, reports_per_session, addr, || {
+        server.n_sessions()
+    });
+    let (sug_n, sug_p50, sug_p99) = quantiles("suggest");
+    let (rep_n, rep_p50, rep_p99) = quantiles("report");
+    let (open_n, open_p50, open_p99) = quantiles("open_session");
+    server.shutdown();
+
+    let kill = run_kill_drill(kill_reports, &std::env::temp_dir());
+
+    let rps = burst.requests as f64 / burst.wall_s.max(1e-9);
+    let json = format!(
+        "{{\n  \"config\": {{\"sessions\": {}, \"client_threads\": {}, \
+         \"reports_per_session\": {}, \"smoke\": {}}},\n  \
+         \"burst\": {{\"peak_concurrent_sessions\": {}, \"requests\": {}, \
+         \"errors\": {}, \"wall_s\": {:.3}, \"requests_per_s\": {:.0}}},\n  \
+         \"latency_us\": {{\n    \
+         \"open_session\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}},\n    \
+         \"suggest\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}},\n    \
+         \"report\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}}\n  }},\n  \
+         \"kill_drill\": {{\"journaled\": {}, \"accepted_before_kill\": {}, \
+         \"replayed\": {}, \"recovered\": {}, \"lost_reports\": {}}}\n}}\n",
+        burst.sessions,
+        threads,
+        reports_per_session,
+        smoke,
+        burst.peak_sessions,
+        burst.requests,
+        burst.errors,
+        burst.wall_s,
+        rps,
+        open_n,
+        open_p50,
+        open_p99,
+        sug_n,
+        sug_p50,
+        sug_p99,
+        rep_n,
+        rep_p50,
+        rep_p99,
+        kill.journaled,
+        kill.accepted_before_kill,
+        kill.replayed,
+        kill.recovered,
+        kill.lost,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    print!("{json}");
+
+    let mut failed = Vec::new();
+    if burst.peak_sessions < sessions {
+        failed.push(format!(
+            "peak concurrent sessions {} < fleet size {sessions}",
+            burst.peak_sessions
+        ));
+    }
+    if burst.errors > 0 {
+        failed.push(format!("{} request errors during the burst", burst.errors));
+    }
+    if sug_n == 0 || rep_n == 0 || open_n == 0 {
+        failed.push("latency histograms missing samples".to_string());
+    }
+    if kill.lost != 0 {
+        failed.push(format!("{} reports lost across the kill", kill.lost));
+    }
+    if failed.is_empty() {
+        eprintln!(
+            "serve_bench: OK ({} concurrent sessions, 0 lost reports)",
+            burst.peak_sessions
+        );
+    } else {
+        for f in &failed {
+            eprintln!("serve_bench: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

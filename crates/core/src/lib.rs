@@ -21,7 +21,10 @@
 //!   checkpoint/resume, and end-of-run archiving;
 //! * [`metrics`] — the evaluation metrics of Sec. 6: `WinTask` (final
 //!   performance) and `stability` (anytime performance), plus Pareto
-//!   utilities.
+//!   utilities;
+//! * [`session`] — the ask/tell (`suggest`/`report`) inversion of the MLA
+//!   loop used by the `gptune-serve` layer: the caller owns evaluation,
+//!   the session owns the archive and refits the surrogate lazily.
 
 pub mod db_bridge;
 pub mod history;
@@ -32,6 +35,7 @@ pub mod options;
 pub mod perfmodel;
 pub mod problem;
 pub mod runlog;
+pub mod session;
 pub mod tla;
 
 pub use db_bridge::{history_from_db, problem_signature};
@@ -41,4 +45,5 @@ pub use mla::{IterationStat, MlaResult, TaskResult};
 pub use mla_mo::{MoMlaResult, MoTaskResult, ParetoPoint};
 pub use options::{Acquisition, MlaOptions, SearchMethod};
 pub use problem::TuningProblem;
+pub use session::{ReportError, TunerSession};
 pub use tla::{predict_transfer_config, transfer_tune, transfer_tune_from_db};

@@ -1,0 +1,369 @@
+//! Session-driven MLA stepping: an ask/tell ("suggest/report") interface
+//! over the same surrogate machinery as [`crate::mla::tune`].
+//!
+//! The batch MLA loop owns the objective function and drives evaluation
+//! itself. A [`TunerSession`] inverts that control flow for serving: the
+//! caller (a remote client, a workflow engine, a human) asks for a
+//! configuration to try ([`TunerSession::suggest`]), measures it however it
+//! likes, and reports the outcome back ([`TunerSession::report`]). The
+//! session keeps the joint evaluation archive and refits the LCM surrogate
+//! *lazily* — only when a suggestion is requested after new reports have
+//! landed — so bursts of reports cost one refit, not one per report.
+//!
+//! Suggestions are deterministic in `(seed, suggestion counter)` given the
+//! same report history, which is what lets a serve backend replay a
+//! journal and reconstruct identical session state.
+
+use crate::mla::{build_inputs, search_task, transform_objective, Evaluations, SurrogateInputs};
+use crate::options::MlaOptions;
+use crate::problem::TuningProblem;
+use gptune_gp::{LcmFitOptions, LcmModel};
+use gptune_space::{sampling, Config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed-space tag separating session randomness from the MLA/TLA streams.
+const SESSION_SEED_TAG: u64 = 0x5e55_1011;
+
+/// Why [`TunerSession::report`] rejected a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportError {
+    /// Task index out of range for the session's problem.
+    BadTask,
+    /// Configuration arity does not match the tuning space.
+    BadConfig,
+    /// Output arity does not match the problem's objective count.
+    BadOutputs,
+    /// The `(task, config)` pair was already reported (idempotent replay).
+    Duplicate,
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::BadTask => write!(f, "task index out of range"),
+            ReportError::BadConfig => write!(f, "configuration arity mismatch"),
+            ReportError::BadOutputs => write!(f, "output arity mismatch"),
+            ReportError::Duplicate => write!(f, "duplicate report"),
+        }
+    }
+}
+
+/// An ask/tell tuning session over one [`TuningProblem`].
+pub struct TunerSession {
+    problem: TuningProblem,
+    opts: MlaOptions,
+    evals: Evaluations,
+    /// Remaining initial-design configurations per task (served in order).
+    initial: Vec<Vec<Config>>,
+    /// Cached surrogate; invalidated by every accepted report.
+    model: Option<(LcmModel, SurrogateInputs)>,
+    dirty: bool,
+    n_suggested: u64,
+    n_refits: u64,
+}
+
+impl TunerSession {
+    /// Opens a session. The per-task initial design (an LHS of
+    /// [`MlaOptions::initial_samples`] configurations) is drawn up front;
+    /// suggestions serve it first and switch to model-guided search once
+    /// it is exhausted and at least two finite outcomes are known.
+    pub fn new(problem: TuningProblem, opts: MlaOptions) -> TunerSession {
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ SESSION_SEED_TAG);
+        let n_init = opts.initial_samples();
+        let initial: Vec<Vec<Config>> = (0..problem.n_tasks())
+            .map(|_| {
+                let mut q = sampling::sample_space(&problem.tuning_space, n_init, &mut rng, 200);
+                q.reverse(); // serve in design order by popping from the back
+                q
+            })
+            .collect();
+        TunerSession {
+            problem,
+            opts,
+            evals: Evaluations::new(),
+            initial,
+            model: None,
+            dirty: false,
+            n_suggested: 0,
+            n_refits: 0,
+        }
+    }
+
+    /// The session's problem.
+    pub fn problem(&self) -> &TuningProblem {
+        &self.problem
+    }
+
+    /// Suggests a configuration to evaluate for `task_idx`. Returns `None`
+    /// only for an out-of-range task. Serves the initial design first,
+    /// then refits the surrogate (if reports landed since the last fit)
+    /// and searches the acquisition; falls back to random sampling while
+    /// the archive is too small to model.
+    pub fn suggest(&mut self, task_idx: usize) -> Option<Config> {
+        if task_idx >= self.problem.n_tasks() {
+            return None;
+        }
+        self.n_suggested += 1;
+        let mut rng = StdRng::seed_from_u64(
+            (self.opts.seed ^ SESSION_SEED_TAG)
+                .wrapping_add(0x5bd1e995)
+                .wrapping_mul(self.n_suggested)
+                .wrapping_add(task_idx as u64 * 104_729),
+        );
+
+        // Initial design first, skipping anything already reported.
+        while let Some(cfg) = self.initial[task_idx].pop() {
+            if !self.evals.contains(task_idx, &cfg) {
+                return Some(cfg);
+            }
+        }
+
+        // Model-guided search once there is anything worth fitting.
+        let n_finite = self
+            .evals
+            .outputs
+            .iter()
+            .filter(|o| o.first().is_some_and(|v| v.is_finite()))
+            .count();
+        if n_finite >= 2 {
+            self.refit_if_dirty();
+            if let Some((model, inputs)) = &self.model {
+                let y_best_model = self
+                    .evals
+                    .points
+                    .iter()
+                    .zip(&self.evals.outputs)
+                    .filter(|((t, _), o)| *t == task_idx && o[0].is_finite())
+                    .map(|(_, o)| transform_objective(o[0], self.opts.log_objective))
+                    .fold(f64::INFINITY, f64::min);
+                let cfg = search_task(
+                    &self.problem,
+                    model,
+                    inputs,
+                    &self.evals,
+                    task_idx,
+                    y_best_model,
+                    &self.opts,
+                    &mut rng,
+                );
+                if !self.evals.contains(task_idx, &cfg) {
+                    return Some(cfg);
+                }
+            }
+        }
+
+        // Fallback: a fresh random feasible sample (duplicates allowed as
+        // a last resort so suggest never fails on a valid task).
+        let mut fresh = sampling::sample_space(&self.problem.tuning_space, 1, &mut rng, 500);
+        fresh.pop().or_else(|| {
+            let mid = vec![0.5; self.problem.beta()];
+            Some(self.problem.tuning_space.denormalize(&mid))
+        })
+    }
+
+    /// Reports a measured outcome. Duplicate `(task, config)` pairs are
+    /// rejected as [`ReportError::Duplicate`] — replaying a journal is
+    /// idempotent. An accepted report marks the surrogate stale; the next
+    /// [`TunerSession::suggest`] refits once.
+    pub fn report(
+        &mut self,
+        task_idx: usize,
+        config: Config,
+        outputs: Vec<f64>,
+    ) -> Result<(), ReportError> {
+        if task_idx >= self.problem.n_tasks() {
+            return Err(ReportError::BadTask);
+        }
+        if config.len() != self.problem.beta() {
+            return Err(ReportError::BadConfig);
+        }
+        if outputs.len() != self.problem.n_objectives {
+            return Err(ReportError::BadOutputs);
+        }
+        if self.evals.contains(task_idx, &config) {
+            return Err(ReportError::Duplicate);
+        }
+        self.evals.points.push((task_idx, config));
+        self.evals.outputs.push(outputs);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// All reported evaluations, in arrival order.
+    pub fn history(&self) -> impl Iterator<Item = (usize, &Config, &[f64])> {
+        self.evals
+            .points
+            .iter()
+            .zip(&self.evals.outputs)
+            .map(|((t, c), o)| (*t, c, o.as_slice()))
+    }
+
+    /// Number of accepted reports.
+    pub fn n_reports(&self) -> usize {
+        self.evals.points.len()
+    }
+
+    /// Number of suggestions served.
+    pub fn n_suggested(&self) -> u64 {
+        self.n_suggested
+    }
+
+    /// Number of surrogate refits performed (lazy: at most one per
+    /// suggest, regardless of how many reports landed in between).
+    pub fn n_refits(&self) -> u64 {
+        self.n_refits
+    }
+
+    /// Best finite outcome for a task, if any.
+    pub fn best_for_task(&self, task_idx: usize) -> Option<(&Config, f64)> {
+        self.evals
+            .points
+            .iter()
+            .zip(&self.evals.outputs)
+            .filter(|((t, _), o)| *t == task_idx && o.first().is_some_and(|v| v.is_finite()))
+            .map(|((_, c), o)| (c, o[0]))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    fn refit_if_dirty(&mut self) {
+        if !self.dirty && self.model.is_some() {
+            return;
+        }
+        let (inputs, y) = build_inputs(&self.problem, &self.evals, 0, &self.opts);
+        let lcm_opts = LcmFitOptions {
+            seed: self.opts.lcm.seed.wrapping_add(self.n_refits * 7919),
+            ..self.opts.lcm.clone()
+        };
+        let model = LcmModel::fit(
+            &inputs.xs,
+            &inputs.task_of,
+            &y,
+            self.problem.n_tasks(),
+            &lcm_opts,
+        );
+        self.model = Some((model, inputs));
+        self.dirty = false;
+        self.n_refits += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Space, Value};
+
+    fn toy(delta: usize) -> TuningProblem {
+        let ts = Space::builder().param(Param::real("t", 0.0, 4.0)).build();
+        let ps = Space::builder().param(Param::real("x", 0.0, 1.0)).build();
+        let tasks: Vec<Config> = (0..delta).map(|i| vec![Value::Real(i as f64)]).collect();
+        TuningProblem::new("session-toy", ts, ps, tasks, |t, x, _| {
+            vec![(x[0].as_real() - 0.1 * t[0].as_real() - 0.2).powi(2)]
+        })
+    }
+
+    fn fast_opts() -> MlaOptions {
+        let mut o = MlaOptions::default().with_budget(8).with_seed(11);
+        o.n_initial = Some(3);
+        o.lcm.n_starts = 1;
+        o.lcm.lbfgs.max_iters = 10;
+        o.pso.particles = 10;
+        o.pso.iters = 8;
+        o.log_objective = false;
+        o
+    }
+
+    fn measure(p: &TuningProblem, t: usize, cfg: &Config) -> Vec<f64> {
+        p.evaluate(t, cfg, 0)
+    }
+
+    #[test]
+    fn serves_initial_design_then_model_guided() {
+        let p = toy(2);
+        let mut s = TunerSession::new(p.clone(), fast_opts());
+        for round in 0..5 {
+            let cfg = s.suggest(0).unwrap();
+            assert!(p.tuning_space.is_valid(&cfg), "round {round}");
+            let y = measure(&p, 0, &cfg);
+            s.report(0, cfg, y).unwrap();
+        }
+        assert_eq!(s.n_reports(), 5);
+        // 3 initial + 2 model-guided suggestions → at least one refit.
+        assert!(s.n_refits() >= 1);
+        assert!(s.best_for_task(0).is_some());
+    }
+
+    #[test]
+    fn report_validates_and_dedups() {
+        let p = toy(1);
+        let mut s = TunerSession::new(p, fast_opts());
+        let cfg = vec![Value::Real(0.5)];
+        assert_eq!(
+            s.report(3, cfg.clone(), vec![1.0]),
+            Err(ReportError::BadTask)
+        );
+        assert_eq!(s.report(0, vec![], vec![1.0]), Err(ReportError::BadConfig));
+        assert_eq!(
+            s.report(0, cfg.clone(), vec![]),
+            Err(ReportError::BadOutputs)
+        );
+        assert_eq!(s.report(0, cfg.clone(), vec![1.0]), Ok(()));
+        assert_eq!(
+            s.report(0, cfg.clone(), vec![1.0]),
+            Err(ReportError::Duplicate)
+        );
+        assert_eq!(s.n_reports(), 1);
+    }
+
+    #[test]
+    fn suggestions_replay_deterministically() {
+        let p = toy(2);
+        let run = || {
+            let mut s = TunerSession::new(p.clone(), fast_opts());
+            let mut seen = Vec::new();
+            for i in 0..6 {
+                let t = i % 2;
+                let cfg = s.suggest(t).unwrap();
+                let y = measure(&p, t, &cfg);
+                s.report(t, cfg.clone(), y).unwrap();
+                seen.push((t, cfg));
+            }
+            seen
+        };
+        assert_eq!(run(), run(), "identical replay → identical suggestions");
+    }
+
+    #[test]
+    fn refits_are_lazy_across_report_bursts() {
+        let p = toy(1);
+        let mut s = TunerSession::new(p.clone(), fast_opts());
+        // Exhaust the initial design (no refits needed for these).
+        for _ in 0..3 {
+            let cfg = s.suggest(0).unwrap();
+            let y = measure(&p, 0, &cfg);
+            s.report(0, cfg, y).unwrap();
+        }
+        assert_eq!(s.n_refits(), 0);
+        // One model-guided suggest → exactly one refit.
+        let cfg = s.suggest(0).unwrap();
+        assert_eq!(s.n_refits(), 1);
+        let y = measure(&p, 0, &cfg);
+        s.report(0, cfg, y).unwrap();
+        // A burst of external reports costs nothing until the next suggest.
+        for x in [0.31, 0.57, 0.83] {
+            let cfg = vec![Value::Real(x)];
+            let y = measure(&p, 0, &cfg);
+            s.report(0, cfg, y).unwrap();
+        }
+        assert_eq!(s.n_refits(), 1);
+        let _ = s.suggest(0).unwrap();
+        assert_eq!(s.n_refits(), 2);
+    }
+
+    #[test]
+    fn out_of_range_task_yields_none() {
+        let p = toy(1);
+        let mut s = TunerSession::new(p, fast_opts());
+        assert!(s.suggest(5).is_none());
+    }
+}

@@ -13,18 +13,24 @@
 //!   multitask surrogate transfers the sources' structure to the target
 //!   from the very first iteration.
 
+use crate::db_bridge;
 use crate::history::History;
 use crate::mla::{
-    build_inputs, evaluate_batch, search_task, transform_objective, Evaluations, TaskResult,
+    build_inputs, evaluate_batch, load_known_failures, search_task, transform_objective,
+    Evaluations, TaskResult,
 };
 use crate::options::MlaOptions;
 use crate::problem::TuningProblem;
+use gptune_db::CheckpointKind;
 use gptune_gp::{LcmFitOptions, LcmModel};
 use gptune_runtime::{with_pool, Phase, PhaseTimer};
 use gptune_space::{sampling, Config};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
+
+/// Seed-space tag separating TLA randomness from the MLA streams.
+const TLA_SEED_TAG: u64 = 0x7177_11aa;
 
 /// TLA-1: predicts a configuration for `target_idx` from the best archived
 /// configuration of every *other* task, weighted by inverse squared
@@ -106,6 +112,18 @@ pub fn transfer_tune_from_db(
 ///
 /// Returns the target's [`TaskResult`] (samples are the fresh evaluations)
 /// plus the phase statistics of the run.
+///
+/// # Checkpoint/resume
+/// With [`MlaOptions::with_db`] and [`MlaOptions::checkpoint_every`] > 0
+/// the run follows the same checkpoint lifecycle as [`crate::mla::tune`]:
+/// the initial design checkpoints immediately, the in-flight state is
+/// persisted every `checkpoint_every` iterations (kind
+/// [`CheckpointKind::Tla`], keyed by `(signature, seed)`), a run preempted
+/// by [`MlaOptions::stop_after_iterations`] writes a final checkpoint, and
+/// a completed run archives its fresh evaluations and clears the
+/// checkpoint. All post-sampling randomness derives from
+/// `(seed, iteration)`, so a resumed run converges to the identical result
+/// an uninterrupted run would have produced.
 pub fn transfer_tune(
     problem: &TuningProblem,
     history: &History,
@@ -115,58 +133,132 @@ pub fn transfer_tune(
     assert_eq!(problem.n_objectives, 1, "TLA is single-objective");
     assert!(target_idx < problem.n_tasks());
     let timer = PhaseTimer::new();
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x7177_11aa);
     let delta = problem.n_tasks();
+    let db = db_bridge::open_db(opts);
+    let sig = db_bridge::problem_signature(problem);
+    let known_failed = load_known_failures(&db, problem, sig, opts);
 
-    // Preload archived records whose task exactly matches a problem task.
+    // --- Resume: adopt a checkpoint that matches this exact run ---
     let mut evals = Evaluations::new();
-    for record in &history.records {
-        if let Some(idx) = problem.tasks.iter().position(|t| t == &record.task) {
-            if problem.tuning_space.is_valid(&record.config) && !evals.contains(idx, &record.config)
+    let mut iteration = 0usize;
+    let mut n_preloaded = 0usize;
+    let mut resumed = false;
+    if opts.checkpointing() {
+        // PANIC-SAFETY: checkpointing() returns true only when db_path is
+        // set, and open_db opened a Db for every set db_path.
+        #[allow(clippy::expect_used)]
+        let db = db.as_ref().expect("checkpointing() implies db_path");
+        match db_bridge::load_checkpoint_traced(db, sig, opts.seed) {
+            Ok(Some(ckpt))
+                if db_bridge::checkpoint_matches(&ckpt, CheckpointKind::Tla, opts, delta) =>
             {
-                evals.points.push((idx, record.config.clone()));
-                evals.outputs.push(record.outputs.clone());
+                evals = db_bridge::evals_from_checkpoint(&ckpt);
+                iteration = ckpt.iteration;
+                n_preloaded = ckpt.n_preloaded;
+                timer.restore(db_bridge::stats_from_db(&ckpt.stats));
+                resumed = true;
+            }
+            Ok(_) => {} // no checkpoint, or one from a different run shape
+            Err(e) => eprintln!("gptune-db: ignoring unreadable checkpoint: {e}"),
+        }
+    }
+
+    if !resumed {
+        // Preload archived records whose task exactly matches a problem
+        // task. These are free observations for the surrogate; they are
+        // stored ahead of the fresh samples and excluded from the budget.
+        for record in &history.records {
+            if let Some(idx) = problem.tasks.iter().position(|t| t == &record.task) {
+                if problem.tuning_space.is_valid(&record.config)
+                    && !evals.contains(idx, &record.config)
+                {
+                    evals.points.push((idx, record.config.clone()));
+                    evals.outputs.push(record.outputs.clone());
+                }
             }
         }
+        n_preloaded = evals.points.len();
+
+        // Initial fresh samples on the target: the TLA-1 prediction first,
+        // then an LHS design.
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ TLA_SEED_TAG);
+        let n_init = opts.initial_samples().min(opts.eps_total);
+        let mut batch: Vec<(usize, Config)> = Vec::new();
+        if let Some(cfg) = predict_transfer_config(problem, history, target_idx) {
+            if !evals.contains(target_idx, &cfg) {
+                batch.push((target_idx, cfg));
+            }
+        }
+        for cfg in sampling::sample_space(&problem.tuning_space, n_init, &mut rng, 200) {
+            if batch.len() >= n_init {
+                break;
+            }
+            if !evals.contains(target_idx, &cfg) && !batch.iter().any(|(_, c)| c == &cfg) {
+                batch.push((target_idx, cfg));
+            }
+        }
+        let offset = evals.points.len();
+        let (outputs, fails) = timer.time(Phase::Objective, || {
+            evaluate_batch(problem, batch.clone(), opts, &timer, offset, &known_failed)
+        });
+        evals.points.extend(batch);
+        evals.outputs.extend(outputs);
+        evals.failures.extend(fails);
+
+        // Checkpoint the (expensive) initial design immediately: a run
+        // killed in its first iteration resumes without re-evaluating.
+        if opts.checkpointing() {
+            // PANIC-SAFETY: checkpointing() implies db_path is set, and
+            // open_db opened a Db for every set db_path.
+            #[allow(clippy::expect_used)]
+            db_bridge::write_checkpoint(
+                db.as_ref().expect("checkpointing() implies db_path"),
+                CheckpointKind::Tla,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                evals.points.len() - n_preloaded,
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
     }
 
-    // Initial fresh samples on the target: the TLA-1 prediction first, then
-    // an LHS design.
-    let n_init = opts.initial_samples().min(opts.eps_total);
-    let mut batch: Vec<(usize, Config)> = Vec::new();
-    if let Some(cfg) = predict_transfer_config(problem, history, target_idx) {
-        if !evals.contains(target_idx, &cfg) {
-            batch.push((target_idx, cfg));
-        }
-    }
-    for cfg in sampling::sample_space(&problem.tuning_space, n_init, &mut rng, 200) {
-        if batch.len() >= n_init {
-            break;
-        }
-        if !evals.contains(target_idx, &cfg) && !batch.iter().any(|(_, c)| c == &cfg) {
-            batch.push((target_idx, cfg));
-        }
-    }
-    let (outputs, fails) = timer.time(Phase::Objective, || {
-        evaluate_batch(problem, batch.clone(), opts, &timer, 0, &[])
-    });
-    let mut fresh: Vec<(Config, f64)> = batch
+    // Fresh evaluations (this run's work) reconstructed from the archive
+    // — identical whether the archive was just built or resumed.
+    let mut fresh: Vec<(Config, f64)> = evals
+        .points
         .iter()
-        .zip(&outputs)
-        .map(|((_, c), o)| (c.clone(), o[0]))
+        .zip(&evals.outputs)
+        .skip(n_preloaded)
+        .map(|((_, c), o)| (c.clone(), o.first().copied().unwrap_or(f64::INFINITY)))
         .collect();
-    evals.points.extend(batch);
-    evals.outputs.extend(outputs);
-    evals.failures.extend(fails);
 
     // MLA iterations on the target only.
-    let mut iteration = 0usize;
+    let mut iters_this_process = 0usize;
+    let mut completed = true;
     while fresh.len() < opts.eps_total {
+        if opts
+            .stop_after_iterations
+            .is_some_and(|n| iters_this_process >= n)
+        {
+            completed = false;
+            break;
+        }
         let iter_span = timer
             .tracer()
             .span("gptune.core.tla.iteration")
             .with("iteration", iteration as u64)
             .with("target", target_idx as u64);
+        // Post-sampling randomness is derived from (seed, iteration) so a
+        // resumed run replays the identical stream.
+        let mut rng = StdRng::seed_from_u64(
+            (opts.seed ^ TLA_SEED_TAG)
+                .wrapping_add(0x5bd1e995)
+                .wrapping_mul(iteration as u64 + 1)
+                .wrapping_add(target_idx as u64 * 104_729),
+        );
         let (inputs, y) = build_inputs(problem, &evals, 0, opts);
         let lcm_opts = LcmFitOptions {
             seed: opts.lcm.seed.wrapping_add(iteration as u64 * 104_729),
@@ -210,7 +302,7 @@ pub fn transfer_tune(
                 opts,
                 &timer,
                 offset,
-                &[],
+                &known_failed,
             )
         });
         // evaluate_batch returns one output row per submitted point; a
@@ -222,6 +314,60 @@ pub fn transfer_tune(
         evals.failures.extend(fails);
         drop(iter_span);
         iteration += 1;
+        iters_this_process += 1;
+
+        if opts.checkpointing() && iteration % opts.checkpoint_every == 0 {
+            // PANIC-SAFETY: checkpointing() implies db_path is set, and
+            // open_db opened a Db for every set db_path.
+            #[allow(clippy::expect_used)]
+            db_bridge::write_checkpoint(
+                db.as_ref().expect("checkpointing() implies db_path"),
+                CheckpointKind::Tla,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                fresh.len(),
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
+    }
+
+    // --- Archive / checkpoint the outcome ---
+    if let Some(db) = &db {
+        if completed {
+            let prov = db_bridge::provenance(opts, delta);
+            // PANIC-SAFETY: losing the final archive write would silently
+            // discard the run's results; fail loudly instead.
+            #[allow(clippy::panic)]
+            db_bridge::archive_run(
+                db,
+                problem,
+                sig,
+                &evals,
+                n_preloaded,
+                &prov,
+                &timer.snapshot(),
+            )
+            .unwrap_or_else(|e| panic!("gptune-db: cannot archive run: {e}"));
+            if opts.checkpointing() {
+                let _ = db.clear_checkpoint(sig, opts.seed);
+            }
+        } else if opts.checkpointing() {
+            // Preempted: persist the final in-flight state for the resumer.
+            db_bridge::write_checkpoint(
+                db,
+                CheckpointKind::Tla,
+                sig,
+                opts,
+                &evals,
+                iteration,
+                fresh.len(),
+                n_preloaded,
+                &timer.snapshot(),
+            );
+        }
     }
 
     let (best_config, best_value) = fresh
@@ -229,7 +375,15 @@ pub fn transfer_tune(
         .filter(|(_, y)| y.is_finite())
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(c, y)| (c.clone(), *y))
-        .unwrap_or_else(|| (fresh[0].0.clone(), f64::INFINITY));
+        .unwrap_or_else(|| {
+            fresh
+                .first()
+                .map(|(c, _)| (c.clone(), f64::INFINITY))
+                .unwrap_or_else(|| {
+                    let mid = vec![0.5; problem.beta()];
+                    (problem.tuning_space.denormalize(&mid), f64::INFINITY)
+                })
+        });
 
     (
         TaskResult {
@@ -330,6 +484,70 @@ mod tests {
         let (r, stats) = transfer_tune(&p, &h, 3, &fast_opts(6));
         assert_eq!(r.samples.len(), 6);
         assert_eq!(stats.n_evals, 6);
+    }
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gptune_tla_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn tla2_checkpoint_resume_matches_uninterrupted() {
+        let p = family(5);
+        let h = seeded_history(&p, 2);
+        let budget = 5;
+        let root_full = tmp_root("full");
+        let root_split = tmp_root("split");
+
+        // Uninterrupted reference run.
+        let full_opts = fast_opts(budget).with_db(&root_full).checkpoint_every(1);
+        let (full, _) = transfer_tune(&p, &h, 2, &full_opts);
+        assert_eq!(full.samples.len(), budget);
+
+        // Same run, preempted after one iteration then resumed.
+        let mut first = fast_opts(budget).with_db(&root_split).checkpoint_every(1);
+        first.stop_after_iterations = Some(1);
+        let (partial, _) = transfer_tune(&p, &h, 2, &first);
+        assert!(partial.samples.len() < budget, "preempted early");
+
+        let resume_opts = fast_opts(budget).with_db(&root_split).checkpoint_every(1);
+        let (resumed, _) = transfer_tune(&p, &h, 2, &resume_opts);
+        assert_eq!(resumed.samples.len(), budget);
+        assert_eq!(
+            resumed.samples, full.samples,
+            "resumed run must replay the identical trajectory"
+        );
+        assert_eq!(resumed.best_config, full.best_config);
+
+        // The completed resume archived the run and cleared its checkpoint.
+        let db = gptune_db::Db::open(&root_split).unwrap();
+        let sig = crate::db_bridge::problem_signature(&p);
+        assert!(db.load_checkpoint(sig, resume_opts.seed).unwrap().is_none());
+        let recs = db
+            .query(&p.name, sig, &gptune_db::Query::default())
+            .unwrap();
+        assert_eq!(recs.len(), budget, "exactly the fresh evaluations");
+        let _ = std::fs::remove_dir_all(&root_full);
+        let _ = std::fs::remove_dir_all(&root_split);
+    }
+
+    #[test]
+    fn tla2_preemption_writes_tla_kind_checkpoint() {
+        let p = family(4);
+        let h = seeded_history(&p, 1);
+        let root = tmp_root("kind");
+        let mut o = fast_opts(6).with_db(&root).checkpoint_every(1);
+        o.stop_after_iterations = Some(0);
+        let (r, _) = transfer_tune(&p, &h, 1, &o);
+        // Only the initial design ran.
+        assert_eq!(r.samples.len(), o.initial_samples().min(6));
+        let db = gptune_db::Db::open(&root).unwrap();
+        let sig = crate::db_bridge::problem_signature(&p);
+        let ckpt = db.load_checkpoint(sig, o.seed).unwrap().unwrap();
+        assert_eq!(ckpt.kind, gptune_db::CheckpointKind::Tla);
+        assert_eq!(ckpt.n_preloaded, h.len());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub enum CheckpointKind {
     Mla,
     /// Multi-objective MLA (Algorithm 2).
     MlaMo,
+    /// Transfer tuning (TLA-2, `transfer_tune`).
+    Tla,
 }
 
 impl CheckpointKind {
@@ -32,6 +34,7 @@ impl CheckpointKind {
         match self {
             CheckpointKind::Mla => "mla",
             CheckpointKind::MlaMo => "mla_mo",
+            CheckpointKind::Tla => "tla",
         }
     }
 
@@ -39,6 +42,7 @@ impl CheckpointKind {
         match s {
             "mla" => Some(CheckpointKind::Mla),
             "mla_mo" => Some(CheckpointKind::MlaMo),
+            "tla" => Some(CheckpointKind::Tla),
             _ => None,
         }
     }

@@ -88,9 +88,11 @@ impl Db {
         journal::append(&self.journal_path(problem, sig), entries, &self.lock)
     }
 
-    /// Loads every recoverable entry of a problem's journal.
+    /// Loads every recoverable entry of a problem's history: archive
+    /// shards (when a manifest exists) followed by the live journal,
+    /// deduplicated.
     pub fn load(&self, problem: &str, sig: u64) -> io::Result<(Vec<DbEntry>, RecoveryReport)> {
-        journal::load(&self.journal_path(problem, sig))
+        crate::shard::load_all(&self.root, problem, sig)
     }
 
     /// Archived evaluations matching a filter, in journal (append) order.
@@ -140,9 +142,55 @@ impl Db {
     }
 
     /// Merges a foreign journal file into this archive's journal for the
-    /// same problem. Returns the number of new entries.
+    /// same problem. Returns the number of new entries. Deduplication is
+    /// shard-aware: entries already present in this archive's shards are
+    /// not re-added to the live journal.
     pub fn merge_from(&self, problem: &str, sig: u64, src: &Path) -> io::Result<usize> {
-        journal::merge(&self.journal_path(problem, sig), src, &self.lock)
+        let (entries, _) = if crate::journal_v2::is_v2(src) {
+            crate::journal_v2::load(src)?
+        } else {
+            journal::load(src)?
+        };
+        self.merge_entries(problem, sig, &entries)
+    }
+
+    /// Appends the subset of `entries` not already present anywhere in
+    /// this archive (shards or live journal) to the live journal.
+    /// Returns the number of entries added.
+    pub fn merge_entries(&self, problem: &str, sig: u64, entries: &[DbEntry]) -> io::Result<usize> {
+        let (existing, _) = self.load(problem, sig)?;
+        let mut seen: std::collections::BTreeSet<String> =
+            existing.iter().map(DbEntry::dedup_key).collect();
+        let fresh: Vec<DbEntry> = entries
+            .iter()
+            .filter(|e| seen.insert(e.dedup_key()))
+            .cloned()
+            .collect();
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        journal::append(&self.journal_path(problem, sig), &fresh, &self.lock)
+    }
+
+    /// Splits this problem's history into v2 archive shards (see
+    /// [`crate::shard::split`]).
+    pub fn split_shards(
+        &self,
+        problem: &str,
+        sig: u64,
+        policy: crate::shard::ShardPolicy,
+    ) -> io::Result<crate::shard::ShardManifest> {
+        crate::shard::split(&self.root, problem, sig, policy, &self.lock)
+    }
+
+    /// The shard manifest for `(problem, sig)`, when the problem has been
+    /// sharded.
+    pub fn shard_manifest(
+        &self,
+        problem: &str,
+        sig: u64,
+    ) -> io::Result<Option<crate::shard::ShardManifest>> {
+        crate::shard::ShardManifest::load(&self.root, problem, sig)
     }
 
     /// Lists `(file_name, n_entries)` for every journal in the archive.
@@ -178,7 +226,7 @@ impl Db {
 }
 
 /// Filesystem-safe slug of a problem name (`pdgeqrf[0]` → `pdgeqrf_0_`).
-fn sanitize(name: &str) -> String {
+pub(crate) fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {

@@ -86,6 +86,14 @@ impl Json {
         }
     }
 
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Array view.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {

@@ -23,6 +23,12 @@
 //!   summaries carrying the `stats:` phase breakdown, and classified
 //!   failure records from the fault-tolerant runtime), with
 //!   forward-compatible parsing (unknown kinds/fields are skipped);
+//! * [`journal_v2`] — compressed binary snapshot format for archive
+//!   shards (varint/string-table encoding, per-record CRC32, same
+//!   recovery contract as the JSONL reader);
+//! * [`shard`] — journal sharding: immutable archive shards split by
+//!   task or append-order window, a manifest for cross-shard query and
+//!   merge, and the live JSONL journal kept as the small write head;
 //! * [`db`] — the archive directory API: append, query (by task /
 //!   output arity / finiteness), merge, compact, checkpoint lifecycle.
 //!
@@ -34,9 +40,11 @@ pub mod checkpoint;
 pub mod db;
 pub mod fsio;
 pub mod journal;
+pub mod journal_v2;
 pub mod json;
 pub mod lock;
 pub mod record;
+pub mod shard;
 
 pub use checkpoint::{Checkpoint, CheckpointKind, CkptFail};
 pub use db::{Db, Query};
@@ -46,3 +54,4 @@ pub use lock::{FileLock, LockOptions};
 pub use record::{
     fnv1a, DbEntry, DbRecord, DbValue, FailKind, FailRecord, Provenance, RunStats, RunSummary,
 };
+pub use shard::{ShardFormat, ShardInfo, ShardManifest, ShardPolicy};

@@ -1,0 +1,460 @@
+//! The serve client, with a write-ahead report cache.
+//!
+//! [`ServeClient`] wraps the frame protocol in typed calls and layers
+//! durability on top: every report is appended to a local `gptune-db`
+//! journal *before* it is sent, and on (re)connect the client replays the
+//! whole journal at the server. The server absorbs duplicates silently
+//! (see [`crate::server`]), so at-least-once replay composes into
+//! exactly-once history — reports survive a server kill mid-burst without
+//! the client tracking acknowledgements at all.
+
+use crate::protocol::{error_of, is_ok, read_json, write_json, Request, SessionOptions};
+use crate::spec::{config_from_json, ProblemSpec};
+use gptune_db::json::Json;
+use gptune_db::{fnv1a, journal, DbEntry, DbRecord, DbValue, LockOptions, Provenance};
+use gptune_space::{Config, Value};
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+
+fn value_to_db(v: &Value) -> DbValue {
+    match v {
+        Value::Real(x) => DbValue::Real(*x),
+        Value::Int(x) => DbValue::Int(*x),
+        Value::Cat(k) => DbValue::Cat(*k),
+    }
+}
+
+fn value_from_db(v: &DbValue) -> Value {
+    match v {
+        DbValue::Real(x) => Value::Real(*x),
+        DbValue::Int(x) => Value::Int(*x),
+        DbValue::Cat(k) => Value::Cat(*k),
+    }
+}
+
+/// A connected client, optionally backed by a write-ahead journal.
+pub struct ServeClient {
+    addr: SocketAddr,
+    stream: TcpStream,
+    wal: Option<PathBuf>,
+    /// Set once `open_session` succeeds; reused by auto-reconnect.
+    opened: Option<(String, ProblemSpec, SessionOptions, String)>,
+}
+
+impl ServeClient {
+    /// Connects without a write-ahead cache.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = connect_first(addr)?;
+        let addr = stream.peer_addr()?;
+        Ok(ServeClient {
+            addr,
+            stream,
+            wal: None,
+            opened: None,
+        })
+    }
+
+    /// Attaches a write-ahead journal. Reports append here before they go
+    /// on the wire; `open_session` and reconnects replay the whole file.
+    pub fn with_wal(mut self, path: impl Into<PathBuf>) -> ServeClient {
+        self.wal = Some(path.into());
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Opens (or re-attaches to) a session, then replays any write-ahead
+    /// journal so the server's history catches up with local truth.
+    /// Returns the session key.
+    pub fn open_session(
+        &mut self,
+        tenant: &str,
+        spec: &ProblemSpec,
+        opts: &SessionOptions,
+    ) -> io::Result<String> {
+        let req = Request::OpenSession {
+            tenant: tenant.into(),
+            spec: spec.clone(),
+            opts: opts.clone(),
+        };
+        let resp = self.rpc_once(&req)?;
+        let key = resp
+            .get("session")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| bad_server("open_session response lacks session key"))?
+            .to_string();
+        self.opened = Some((tenant.into(), spec.clone(), opts.clone(), key.clone()));
+        self.replay_wal()?;
+        Ok(key)
+    }
+
+    /// Asks the server for the next configuration to evaluate.
+    pub fn suggest(&mut self, task: usize) -> io::Result<Config> {
+        let key = self.session_key()?;
+        let resp = self.rpc(&Request::Suggest { session: key, task })?;
+        config_from_json(
+            resp.get("config")
+                .ok_or_else(|| bad_server("suggest response lacks config"))?,
+        )
+        .map_err(bad_server)
+    }
+
+    /// Reports an outcome. With a WAL attached the report is journaled
+    /// first, so a crash of either side between append and acknowledgement
+    /// is repaired by the next replay.
+    pub fn report(&mut self, task: usize, config: &[Value], outputs: &[f64]) -> io::Result<()> {
+        let (_, spec, _, key) = self
+            .opened
+            .clone()
+            .ok_or_else(|| bad_server("no open session"))?;
+        if let Some(wal) = &self.wal {
+            let entry = wal_entry(&spec, task, config, outputs)
+                .ok_or_else(|| bad_server(format!("task {task} out of range")))?;
+            journal::append(wal, &[entry], &LockOptions::default())?;
+        }
+        self.rpc(&Request::Report {
+            session: key,
+            task,
+            config: config.to_vec(),
+            outputs: outputs.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// Fetches the session's full history as `(task, config, outputs)`.
+    pub fn history(&mut self) -> io::Result<Vec<(usize, Config, Vec<f64>)>> {
+        let key = self.session_key()?;
+        let resp = self.rpc(&Request::History { session: key })?;
+        let rows = resp
+            .get("history")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| bad_server("history response lacks rows"))?;
+        rows.iter()
+            .map(|row| {
+                let task = row
+                    .get("task")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| bad_server("history row lacks task"))?
+                    as usize;
+                let config = config_from_json(
+                    row.get("config")
+                        .ok_or_else(|| bad_server("history row lacks config"))?,
+                )
+                .map_err(bad_server)?;
+                let outputs = row
+                    .get("outputs")
+                    .and_then(|v| v.as_arr())
+                    .ok_or_else(|| bad_server("history row lacks outputs"))?
+                    .iter()
+                    .map(|y| y.as_f64().ok_or_else(|| bad_server("bad output")))
+                    .collect::<io::Result<Vec<f64>>>()?;
+                Ok((task, config, outputs))
+            })
+            .collect()
+    }
+
+    /// Closes the session server-side. The WAL file is left in place as
+    /// the local archive of everything this client measured.
+    pub fn close(&mut self) -> io::Result<()> {
+        let key = self.session_key()?;
+        self.rpc_once(&Request::Close { session: key })?;
+        self.opened = None;
+        Ok(())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.rpc_once(&Request::Ping).map(|_| ())
+    }
+
+    /// Tears down the socket and rebuilds the session: reconnect, re-open
+    /// (the server re-attaches), replay the WAL. Called automatically when
+    /// a request hits a transport error.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = TcpStream::connect(self.addr)?;
+        self.stream.set_nodelay(true).ok();
+        if let Some((tenant, spec, opts, _)) = self.opened.clone() {
+            let req = Request::OpenSession { tenant, spec, opts };
+            self.rpc_once(&req)?;
+            self.replay_wal()?;
+        }
+        Ok(())
+    }
+
+    fn session_key(&self) -> io::Result<String> {
+        self.opened
+            .as_ref()
+            .map(|(_, _, _, k)| k.clone())
+            .ok_or_else(|| bad_server("no open session"))
+    }
+
+    /// One request/response exchange with a single transparent retry:
+    /// transport errors trigger reconnect + session re-open + WAL replay,
+    /// then the request is sent once more. Server-level failures
+    /// (`ok:false`) are never retried.
+    fn rpc(&mut self, req: &Request) -> io::Result<Json> {
+        match self.rpc_once(req) {
+            Ok(j) => Ok(j),
+            Err(e) if e.kind() == io::ErrorKind::Other => Err(e),
+            Err(_) => {
+                self.reconnect()?;
+                self.rpc_once(req)
+            }
+        }
+    }
+
+    fn rpc_once(&mut self, req: &Request) -> io::Result<Json> {
+        write_json(&mut self.stream, &req.to_json())?;
+        let resp = read_json(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the stream")
+        })?;
+        if is_ok(&resp) {
+            Ok(resp)
+        } else {
+            Err(bad_server(error_of(&resp)))
+        }
+    }
+
+    /// Pushes every journaled report at the server. Duplicates of reports
+    /// that already landed come back flagged `duplicate` and are counted
+    /// but otherwise ignored. Returns `(replayed, duplicates)`.
+    pub fn replay_wal(&mut self) -> io::Result<(usize, usize)> {
+        let Some(wal) = self.wal.clone() else {
+            return Ok((0, 0));
+        };
+        if !wal.exists() {
+            return Ok((0, 0));
+        }
+        let (_, spec, _, key) = self
+            .opened
+            .clone()
+            .ok_or_else(|| bad_server("no open session"))?;
+        let (entries, _report) = journal::load(&wal)?;
+        let mut replayed = 0;
+        let mut duplicates = 0;
+        for entry in entries {
+            let DbEntry::Eval(rec) = entry else { continue };
+            if rec.problem != spec.name {
+                continue;
+            }
+            let task_cfg: Config = rec.task.iter().map(value_from_db).collect();
+            let Some(task) = spec.tasks.iter().position(|t| *t == task_cfg) else {
+                continue;
+            };
+            let config: Config = rec.config.iter().map(value_from_db).collect();
+            let resp = self.rpc_once(&Request::Report {
+                session: key.clone(),
+                task,
+                config,
+                outputs: rec.outputs.clone(),
+            })?;
+            replayed += 1;
+            if resp.get("duplicate").and_then(|v| v.as_bool()) == Some(true) {
+                duplicates += 1;
+            }
+        }
+        Ok((replayed, duplicates))
+    }
+}
+
+/// Builds the WAL journal entry for one report.
+fn wal_entry(
+    spec: &ProblemSpec,
+    task: usize,
+    config: &[Value],
+    outputs: &[f64],
+) -> Option<DbEntry> {
+    let task_cfg = spec.tasks.get(task)?;
+    Some(DbEntry::Eval(DbRecord {
+        problem: spec.name.clone(),
+        sig: fnv1a(spec.to_json().to_string().as_bytes()),
+        task: task_cfg.iter().map(value_to_db).collect(),
+        config: config.iter().map(value_to_db).collect(),
+        outputs: outputs.to_vec(),
+        prov: Provenance {
+            seed: 0,
+            run: "serve-wal".into(),
+            machine: None,
+        },
+    }))
+}
+
+/// Server-reported failures surface as `ErrorKind::Other` so the retry
+/// layer can tell them apart from transport faults.
+fn bad_server(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::Other, msg.into())
+}
+
+/// Connects with a few quick retries, smoothing over the race between a
+/// freshly spawned server and its first client.
+fn connect_first(addr: impl ToSocketAddrs) -> io::Result<TcpStream> {
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no address");
+    for attempt in 0..20 {
+        for a in &addrs {
+            match TcpStream::connect(a) {
+                Ok(s) => {
+                    s.set_nodelay(true).ok();
+                    return Ok(s);
+                }
+                Err(e) => last = e,
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5 * (attempt + 1)));
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServeOptions};
+    use gptune_space::Param;
+    use std::path::Path;
+
+    fn spec() -> ProblemSpec {
+        ProblemSpec {
+            name: "toy".into(),
+            task_params: vec![Param::real("t", 0.0, 1.0)],
+            tuning_params: vec![Param::real("x", 0.0, 1.0)],
+            tasks: vec![vec![Value::Real(0.25)], vec![Value::Real(0.75)]],
+            n_objectives: 1,
+        }
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let pid = std::process::id();
+        let dir = std::env::temp_dir().join(format!("gptune-serve-client-{tag}-{pid}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn wal_path(root: &Path) -> PathBuf {
+        root.join("wal.jsonl")
+    }
+
+    #[test]
+    fn suggest_report_history_through_the_client() {
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let key = client
+            .open_session(
+                "acme",
+                &spec(),
+                &SessionOptions {
+                    seed: 3,
+                    n_initial: Some(2),
+                },
+            )
+            .unwrap();
+        assert_eq!(key, "acme/toy");
+        for i in 0..4usize {
+            let task = i % 2;
+            let cfg = client.suggest(task).unwrap();
+            client.report(task, &cfg, &[1.0 + i as f64]).unwrap();
+        }
+        let h = client.history().unwrap();
+        assert_eq!(h.len(), 4);
+        client.close().unwrap();
+        assert!(client.suggest(0).is_err(), "closed session rejects calls");
+        server.shutdown();
+    }
+
+    #[test]
+    fn wal_replays_after_server_restart() {
+        let root = tmp_root("restart");
+        let wal = wal_path(&root);
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let addr = server.local_addr();
+        let mut client = ServeClient::connect(addr).unwrap().with_wal(&wal);
+        client
+            .open_session("t", &spec(), &SessionOptions::default())
+            .unwrap();
+        let cfg = client.suggest(0).unwrap();
+        client.report(0, &cfg, &[2.5]).unwrap();
+        client.report(1, &[Value::Real(0.5)], &[7.0]).unwrap();
+        assert_eq!(client.history().unwrap().len(), 2);
+
+        // Kill the server: its in-memory sessions evaporate. The
+        // replacement binds a fresh port (the old one may sit in
+        // TIME_WAIT) — the WAL doesn't care where the server lives.
+        server.shutdown();
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+
+        // A fresh client with the same WAL restores the history.
+        let mut client2 = ServeClient::connect(server.local_addr())
+            .unwrap()
+            .with_wal(&wal);
+        client2
+            .open_session("t", &spec(), &SessionOptions::default())
+            .unwrap();
+        let h = client2.history().unwrap();
+        assert_eq!(h.len(), 2, "WAL replay must restore both reports");
+        let mut outs: Vec<f64> = h.iter().map(|(_, _, o)| o[0]).collect();
+        outs.sort_by(f64::total_cmp);
+        assert_eq!(outs, vec![2.5, 7.0]);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn replay_is_idempotent_against_surviving_sessions() {
+        let root = tmp_root("idem");
+        let wal = wal_path(&root);
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let mut client = ServeClient::connect(server.local_addr())
+            .unwrap()
+            .with_wal(&wal);
+        client
+            .open_session("t", &spec(), &SessionOptions::default())
+            .unwrap();
+        client.report(0, &[Value::Real(0.1)], &[1.0]).unwrap();
+        client.report(0, &[Value::Real(0.2)], &[2.0]).unwrap();
+        // Replay against the *live* session: both reports already landed.
+        let (replayed, duplicates) = client.replay_wal().unwrap();
+        assert_eq!(replayed, 2);
+        assert_eq!(duplicates, 2);
+        assert_eq!(client.history().unwrap().len(), 2, "no double-count");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reconnect_rebuilds_a_usable_session() {
+        let root = tmp_root("reconnect");
+        let wal = wal_path(&root);
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let mut client = ServeClient::connect(server.local_addr())
+            .unwrap()
+            .with_wal(&wal);
+        client
+            .open_session("t", &spec(), &SessionOptions::default())
+            .unwrap();
+        client.report(0, &[Value::Real(0.3)], &[4.0]).unwrap();
+        client.reconnect().unwrap();
+        assert_eq!(client.history().unwrap().len(), 1);
+        // Still fully operational after the rebuild.
+        let cfg = client.suggest(1).unwrap();
+        client.report(1, &cfg, &[5.0]).unwrap();
+        assert_eq!(client.history().unwrap().len(), 2);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn server_errors_are_not_retried_as_transport_faults() {
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client
+            .open_session("t", &spec(), &SessionOptions::default())
+            .unwrap();
+        let err = client.report(99, &[Value::Real(0.5)], &[1.0]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,60 @@
+//! gptune-serve — a multi-tenant suggest/report tuning service.
+//!
+//! This crate inverts the library's control flow: instead of handing the
+//! tuner an objective function to call, an application *asks* a server for
+//! configurations to try ([`ServeClient::suggest`]) and sends back what it
+//! measured ([`ServeClient::report`]). That fits real HPC deployments,
+//! where the measurement is a batch job the tuner cannot invoke inline,
+//! and it lets one server pool observations for many tenants at once.
+//!
+//! The stack, bottom-up:
+//!
+//! - [`spec`] — a wire-serializable structural description of a tuning
+//!   problem ([`ProblemSpec`]); the objective never crosses the wire.
+//! - [`protocol`] — length-prefixed JSON frames over any byte stream,
+//!   plus the typed [`Request`] vocabulary.
+//! - [`server`] — a bounded acceptor pool mapping each tenant/problem
+//!   pair to a lazily-refit [`gptune_core::TunerSession`].
+//! - [`client`] — typed calls plus a write-ahead journal: reports are
+//!   journaled locally before they are sent and replayed wholesale on
+//!   reconnect, while the server absorbs duplicates, so a server kill
+//!   mid-burst loses nothing.
+//!
+//! Every request is traced through `gptune-trace` (span
+//! `gptune.serve.request`, histograms `gptune.serve.latency_us.<op>`,
+//! counters `gptune.serve.requests` / `gptune.serve.errors` /
+//! `gptune.serve.tenant.<tenant>.requests`, gauge
+//! `gptune.serve.sessions`), which is what `serve_bench` reads its
+//! p50/p99 from.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gptune_serve::{serve, ProblemSpec, ServeClient, ServeOptions, SessionOptions};
+//! use gptune_space::{Param, Value};
+//!
+//! let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+//! let spec = ProblemSpec {
+//!     name: "demo".into(),
+//!     task_params: vec![Param::real("t", 0.0, 1.0)],
+//!     tuning_params: vec![Param::real("x", 0.0, 1.0)],
+//!     tasks: vec![vec![Value::Real(0.5)]],
+//!     n_objectives: 1,
+//! };
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//! client.open_session("demo-tenant", &spec, &SessionOptions::default()).unwrap();
+//! let cfg = client.suggest(0).unwrap();
+//! client.report(0, &cfg, &[1.23]).unwrap(); // measured by the app
+//! assert_eq!(client.history().unwrap().len(), 1);
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+
+pub use client::ServeClient;
+pub use protocol::{Request, SessionOptions, MAX_FRAME};
+pub use server::{serve, serving_mla_options, ServeOptions, ServerHandle};
+pub use spec::ProblemSpec;

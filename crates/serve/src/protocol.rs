@@ -1,0 +1,416 @@
+//! The wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! Every message is a 4-byte big-endian payload length followed by that
+//! many bytes of compact JSON. Requests and responses alternate strictly
+//! (no pipelining), so one `TcpStream` carries one conversation. The
+//! framing is transport-agnostic — anything `Read + Write` works, which is
+//! what the loopback tests exploit.
+//!
+//! Responses are JSON objects with an `"ok"` boolean: `{"ok":true,...}`
+//! carries the op-specific payload inline; `{"ok":false,"error":"..."}`
+//! reports a protocol- or session-level failure. Transport errors surface
+//! as `io::Error` instead.
+
+use crate::spec::{config_from_json, config_to_json, ProblemSpec};
+use gptune_db::json::{self, Json};
+use gptune_space::Config;
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload (16 MiB) — large enough for any
+/// realistic history dump, small enough to bound a malicious length word.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between messages); a stream cut mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before any length byte is a normal close.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream cut inside frame header",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// Writes a `Json` document as one frame.
+pub fn write_json(w: &mut impl Write, j: &Json) -> io::Result<()> {
+    write_frame(w, j.to_string().as_bytes())
+}
+
+/// Reads and parses one JSON frame (`Ok(None)` on clean EOF).
+pub fn read_json(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let Some(buf) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let text =
+        std::str::from_utf8(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    json::parse(text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Tuning knobs a client passes when opening a session. Deliberately a
+/// small, forward-compatible subset of [`gptune_core::MlaOptions`]: the
+/// server chooses serving-appropriate surrogate settings itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// Base RNG seed for the session's sampling and search.
+    pub seed: u64,
+    /// Initial-design size per task (None → server default).
+    pub n_initial: Option<usize>,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            seed: 0,
+            n_initial: None,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Wire form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("seed".into(), Json::from_u64(self.seed))];
+        if let Some(n) = self.n_initial {
+            fields.push(("n_initial".into(), Json::from_u64(n as u64)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parses the wire form (missing fields take defaults).
+    pub fn from_json(j: &Json) -> SessionOptions {
+        SessionOptions {
+            seed: j.get("seed").and_then(|v| v.as_u64()).unwrap_or(0),
+            n_initial: j
+                .get("n_initial")
+                .and_then(|v| v.as_u64())
+                .map(|n| n as usize),
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Opens (or re-attaches to) a tenant's session for a problem.
+    OpenSession {
+        /// Tenant identifier (isolates sessions between clients).
+        tenant: String,
+        /// Structural problem description.
+        spec: ProblemSpec,
+        /// Session tuning knobs.
+        opts: SessionOptions,
+    },
+    /// Asks for a configuration to evaluate.
+    Suggest {
+        /// Session key returned by `OpenSession`.
+        session: String,
+        /// Task index.
+        task: usize,
+    },
+    /// Reports a measured outcome.
+    Report {
+        /// Session key.
+        session: String,
+        /// Task index.
+        task: usize,
+        /// The evaluated configuration.
+        config: Config,
+        /// Measured objective outputs.
+        outputs: Vec<f64>,
+    },
+    /// Fetches the session's full evaluation history.
+    History {
+        /// Session key.
+        session: String,
+    },
+    /// Closes a session, dropping its server-side state.
+    Close {
+        /// Session key.
+        session: String,
+    },
+}
+
+impl Request {
+    /// Stable op name (metric/span label).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::OpenSession { .. } => "open_session",
+            Request::Suggest { .. } => "suggest",
+            Request::Report { .. } => "report",
+            Request::History { .. } => "history",
+            Request::Close { .. } => "close",
+        }
+    }
+
+    /// Wire form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => Json::Obj(vec![("op".into(), Json::Str("ping".into()))]),
+            Request::OpenSession { tenant, spec, opts } => Json::Obj(vec![
+                ("op".into(), Json::Str("open_session".into())),
+                ("tenant".into(), Json::Str(tenant.clone())),
+                ("problem".into(), spec.to_json()),
+                ("opts".into(), opts.to_json()),
+            ]),
+            Request::Suggest { session, task } => Json::Obj(vec![
+                ("op".into(), Json::Str("suggest".into())),
+                ("session".into(), Json::Str(session.clone())),
+                ("task".into(), Json::from_u64(*task as u64)),
+            ]),
+            Request::Report {
+                session,
+                task,
+                config,
+                outputs,
+            } => Json::Obj(vec![
+                ("op".into(), Json::Str("report".into())),
+                ("session".into(), Json::Str(session.clone())),
+                ("task".into(), Json::from_u64(*task as u64)),
+                ("config".into(), config_to_json(config)),
+                (
+                    "outputs".into(),
+                    Json::Arr(outputs.iter().map(|y| Json::from_f64(*y)).collect()),
+                ),
+            ]),
+            Request::History { session } => Json::Obj(vec![
+                ("op".into(), Json::Str("history".into())),
+                ("session".into(), Json::Str(session.clone())),
+            ]),
+            Request::Close { session } => Json::Obj(vec![
+                ("op".into(), Json::Str("close".into())),
+                ("session".into(), Json::Str(session.clone())),
+            ]),
+        }
+    }
+
+    /// Parses a request frame.
+    pub fn from_json(j: &Json) -> Result<Request, String> {
+        let op = j
+            .get("op")
+            .and_then(|v| v.as_str())
+            .ok_or("request: missing op")?;
+        let session = || -> Result<String, String> {
+            Ok(j.get("session")
+                .and_then(|v| v.as_str())
+                .ok_or("request: missing session")?
+                .to_string())
+        };
+        let task = || -> Result<usize, String> {
+            Ok(j.get("task")
+                .and_then(|v| v.as_u64())
+                .ok_or("request: missing task")? as usize)
+        };
+        match op {
+            "ping" => Ok(Request::Ping),
+            "open_session" => {
+                let tenant = j
+                    .get("tenant")
+                    .and_then(|v| v.as_str())
+                    .ok_or("request: missing tenant")?
+                    .to_string();
+                let spec_json = j.get("problem").ok_or("request: missing problem")?;
+                let spec = ProblemSpec::from_json(spec_json)?;
+                let opts = j
+                    .get("opts")
+                    .map(SessionOptions::from_json)
+                    .unwrap_or_default();
+                Ok(Request::OpenSession { tenant, spec, opts })
+            }
+            "suggest" => Ok(Request::Suggest {
+                session: session()?,
+                task: task()?,
+            }),
+            "report" => {
+                let config = config_from_json(j.get("config").ok_or("request: missing config")?)?;
+                let outputs = j
+                    .get("outputs")
+                    .and_then(|v| v.as_arr())
+                    .ok_or("request: missing outputs")?
+                    .iter()
+                    .map(|y| y.as_f64().ok_or("bad output".to_string()))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                Ok(Request::Report {
+                    session: session()?,
+                    task: task()?,
+                    config,
+                    outputs,
+                })
+            }
+            "history" => Ok(Request::History {
+                session: session()?,
+            }),
+            "close" => Ok(Request::Close {
+                session: session()?,
+            }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Builds a success response with extra payload fields.
+pub fn ok_response(fields: Vec<(String, Json)>) -> Json {
+    let mut all = vec![("ok".into(), Json::Bool(true))];
+    all.extend(fields);
+    Json::Obj(all)
+}
+
+/// Builds an error response.
+pub fn err_response(msg: impl Into<String>) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(msg.into())),
+    ])
+}
+
+/// `true` when a response reports success.
+pub fn is_ok(j: &Json) -> bool {
+    j.get("ok").and_then(|v| v.as_bool()).unwrap_or(false)
+}
+
+/// The error text of a failed response.
+pub fn error_of(j: &Json) -> String {
+    j.get("error")
+        .and_then(|v| v.as_str())
+        .unwrap_or("unknown error")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::{Param, Value};
+
+    fn spec() -> ProblemSpec {
+        ProblemSpec {
+            name: "toy".into(),
+            task_params: vec![Param::real("t", 0.0, 1.0)],
+            tuning_params: vec![Param::real("x", 0.0, 1.0)],
+            tasks: vec![vec![Value::Real(0.5)]],
+            n_objectives: 1,
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let cut = &buf[..buf.len() - 2];
+        let mut r = cut;
+        assert!(read_frame(&mut r).is_err());
+        // Cut inside the header too.
+        let mut r2 = &buf[..2];
+        assert!(read_frame(&mut r2).is_err());
+    }
+
+    #[test]
+    fn oversized_length_word_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_roundtrip_through_wire_text() {
+        let reqs = vec![
+            Request::Ping,
+            Request::OpenSession {
+                tenant: "acme".into(),
+                spec: spec(),
+                opts: SessionOptions {
+                    seed: u64::MAX,
+                    n_initial: Some(4),
+                },
+            },
+            Request::Suggest {
+                session: "acme/toy".into(),
+                task: 0,
+            },
+            Request::Report {
+                session: "acme/toy".into(),
+                task: 0,
+                config: vec![Value::Real(0.25)],
+                outputs: vec![1.5, f64::INFINITY],
+            },
+            Request::History {
+                session: "acme/toy".into(),
+            },
+            Request::Close {
+                session: "acme/toy".into(),
+            },
+        ];
+        for req in reqs {
+            let text = req.to_json().to_string();
+            let parsed = gptune_db::json::parse(&text).unwrap();
+            assert_eq!(Request::from_json(&parsed).unwrap(), req, "{text}");
+        }
+    }
+
+    #[test]
+    fn responses_report_status() {
+        let ok = ok_response(vec![("x".into(), Json::Int(1))]);
+        assert!(is_ok(&ok));
+        let err = err_response("nope");
+        assert!(!is_ok(&err));
+        assert_eq!(error_of(&err), "nope");
+        assert!(!is_ok(&Json::Null));
+    }
+
+    #[test]
+    fn json_frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_json(&mut buf, &Request::Ping.to_json()).unwrap();
+        let mut r = &buf[..];
+        let j = read_json(&mut r).unwrap().unwrap();
+        assert_eq!(Request::from_json(&j).unwrap(), Request::Ping);
+        assert!(read_json(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,636 @@
+//! The multi-tenant suggest/report server.
+//!
+//! A bounded pool of acceptor threads (mirroring `gptune-runtime`'s fixed
+//! worker groups) shares one `TcpListener`; each thread accepts a
+//! connection and serves it inline, so at most `workers` connections are
+//! live at once and the rest queue in the kernel backlog. Every
+//! tenant/problem pair maps to one [`TunerSession`] in a shared session
+//! table; connections are stateless beyond the frames they carry, so a
+//! client can disconnect and re-attach to its session at will.
+//!
+//! # Lock discipline (GX302)
+//!
+//! The session table mutex guards *only* table lookups: handlers lock the
+//! table, clone the session's `Arc`, and drop the guard before doing any
+//! work — never blocking I/O or a surrogate refit while the table is
+//! locked. Per-session mutexes serialize work within one session while
+//! leaving other tenants untouched.
+
+use crate::protocol::{err_response, ok_response, read_json, write_json, Request, SessionOptions};
+use crate::spec::{config_to_json, ProblemSpec};
+use gptune_core::{MlaOptions, ReportError, TunerSession};
+use gptune_db::json::Json;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Acceptor-pool size — the concurrent-connection bound.
+    pub workers: usize,
+    /// Maximum live sessions across all tenants.
+    pub max_sessions: usize,
+    /// Initial-design size per task when the client doesn't pick one.
+    pub default_n_initial: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 8,
+            max_sessions: 4096,
+            default_n_initial: 4,
+        }
+    }
+}
+
+/// Maps the client-visible [`SessionOptions`] onto serving-appropriate
+/// tuner options: single-start LCM fits and a small acquisition search,
+/// so a suggest call stays interactive even as histories grow.
+pub fn serving_mla_options(opts: &SessionOptions, defaults: &ServeOptions) -> MlaOptions {
+    let mut mla = MlaOptions::default().with_seed(opts.seed);
+    mla.n_initial = Some(opts.n_initial.unwrap_or(defaults.default_n_initial).max(1));
+    mla.lcm.n_starts = 1;
+    mla.pso.particles = 12;
+    mla.pso.iters = 15;
+    mla.eval_workers = 1;
+    mla.model_workers = 1;
+    mla.search_workers = 1;
+    mla
+}
+
+struct SessionEntry {
+    tenant: String,
+    session: TunerSession,
+}
+
+struct ServerState {
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<SessionEntry>>>>,
+    conns: Mutex<Vec<TcpStream>>,
+    stop: AtomicBool,
+    opts: ServeOptions,
+}
+
+impl ServerState {
+    fn session_gauge(&self) {
+        let n = self.sessions.lock().unwrap().len();
+        gptune_trace::global()
+            .gauge("gptune.serve.sessions")
+            .set(n as f64);
+    }
+}
+
+/// A running server: its bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of live sessions.
+    pub fn n_sessions(&self) -> usize {
+        self.state.sessions.lock().unwrap().len()
+    }
+
+    /// Stops accepting, severs live connections, and joins the pool.
+    /// Sessions are dropped with the server — durability is the *client's*
+    /// job (its write-ahead journal replays on reconnect), which is what
+    /// the kill-mid-burst test exercises.
+    pub fn shutdown(self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Sever in-flight connections mid-frame…
+        for c in self.state.conns.lock().unwrap().iter() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        // …and poke every acceptor blocked in accept().
+        for _ in 0..self.threads.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts the acceptor pool. `addr` may use port 0 to
+/// let the OS choose; read the result back via
+/// [`ServerHandle::local_addr`].
+pub fn serve(addr: impl ToSocketAddrs, opts: ServeOptions) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        sessions: Mutex::new(BTreeMap::new()),
+        conns: Mutex::new(Vec::new()),
+        stop: AtomicBool::new(false),
+        opts: opts.clone(),
+    });
+    let mut threads = Vec::with_capacity(opts.workers.max(1));
+    for worker in 0..opts.workers.max(1) {
+        let listener = listener.try_clone()?;
+        let state = Arc::clone(&state);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("gptune-serve-{worker}"))
+                .spawn(move || acceptor_loop(&listener, &state))
+                .expect("spawn acceptor"),
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        state,
+        threads,
+    })
+}
+
+fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if state.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            state.conns.lock().unwrap().push(clone);
+        }
+        let _ = handle_conn(stream, state);
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Serves one connection until clean EOF or a transport error.
+fn handle_conn(mut stream: TcpStream, state: &Arc<ServerState>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    loop {
+        let Some(frame) = read_json(&mut stream)? else {
+            return Ok(());
+        };
+        if state.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let response = handle_frame(&frame, state);
+        write_json(&mut stream, &response)?;
+    }
+}
+
+fn handle_frame(frame: &Json, state: &Arc<ServerState>) -> Json {
+    let tracer = gptune_trace::global();
+    let start = Instant::now();
+    let (op, response) = match Request::from_json(frame) {
+        Ok(req) => {
+            let op = req.op();
+            (op, dispatch(req, state))
+        }
+        Err(e) => ("parse_error", err_response(e)),
+    };
+    let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    tracer
+        .histogram(&format!("gptune.serve.latency_us.{op}"))
+        .record(micros);
+    tracer.counter("gptune.serve.requests").add(1);
+    if !crate::protocol::is_ok(&response) {
+        tracer.counter("gptune.serve.errors").add(1);
+    }
+    let mut span = tracer.span("gptune.serve.request");
+    span.add("op", op);
+    span.add("us", micros as i64);
+    drop(span);
+    response
+}
+
+/// Looks up a session by key: lock the table, clone the `Arc`, drop the
+/// guard. All real work happens outside the table lock.
+fn lookup(state: &ServerState, key: &str) -> Result<Arc<Mutex<SessionEntry>>, Json> {
+    let table = state.sessions.lock().unwrap();
+    let found = table.get(key).cloned();
+    drop(table);
+    found.ok_or_else(|| err_response(format!("no such session {key:?}")))
+}
+
+fn dispatch(req: Request, state: &Arc<ServerState>) -> Json {
+    let tracer = gptune_trace::global();
+    match req {
+        Request::Ping => ok_response(vec![("pong".into(), Json::Bool(true))]),
+
+        Request::OpenSession { tenant, spec, opts } => {
+            if tenant.is_empty() || tenant.contains('/') {
+                return err_response("tenant must be non-empty and slash-free");
+            }
+            tracer
+                .counter(&format!("gptune.serve.tenant.{tenant}.requests"))
+                .add(1);
+            let key = format!("{tenant}/{}", spec.name);
+            // Re-attach to an existing session first — replayed
+            // open_session frames after a reconnect are idempotent.
+            {
+                let table = state.sessions.lock().unwrap();
+                let existing = table.get(&key).cloned();
+                drop(table);
+                if let Some(entry) = existing {
+                    let guard = entry.lock().unwrap();
+                    if guard.tenant != tenant {
+                        return err_response("session key collision across tenants");
+                    }
+                    if ProblemSpec::of(guard.session.problem()) != spec {
+                        return err_response(format!(
+                            "session {key:?} already open with a different spec"
+                        ));
+                    }
+                    return open_ok(&key, guard.session.n_reports(), true);
+                }
+            }
+            // Build the session with no locks held (initial-design
+            // sampling is compute, but still not table-lock work).
+            let problem = match spec.to_problem() {
+                Ok(p) => p,
+                Err(e) => return err_response(e),
+            };
+            let session = TunerSession::new(problem, serving_mla_options(&opts, &state.opts));
+            let entry = Arc::new(Mutex::new(SessionEntry {
+                tenant: tenant.clone(),
+                session,
+            }));
+            let mut table = state.sessions.lock().unwrap();
+            if table.contains_key(&key) {
+                // Lost a race to a concurrent open — adopt the winner.
+                let existing = table.get(&key).cloned().unwrap();
+                drop(table);
+                let guard = existing.lock().unwrap();
+                return open_ok(&key, guard.session.n_reports(), true);
+            }
+            if table.len() >= state.opts.max_sessions {
+                return err_response("session table full");
+            }
+            table.insert(key.clone(), entry);
+            drop(table);
+            state.session_gauge();
+            open_ok(&key, 0, false)
+        }
+
+        Request::Suggest { session, task } => {
+            let entry = match lookup(state, &session) {
+                Ok(e) => e,
+                Err(resp) => return resp,
+            };
+            let mut guard = entry.lock().unwrap();
+            match guard.session.suggest(task) {
+                Some(config) => ok_response(vec![("config".into(), config_to_json(&config))]),
+                None => err_response(format!("task {task} out of range")),
+            }
+        }
+
+        Request::Report {
+            session,
+            task,
+            config,
+            outputs,
+        } => {
+            let entry = match lookup(state, &session) {
+                Ok(e) => e,
+                Err(resp) => return resp,
+            };
+            let mut guard = entry.lock().unwrap();
+            match guard.session.report(task, config, outputs) {
+                Ok(()) => ok_response(vec![(
+                    "n".into(),
+                    Json::from_u64(guard.session.n_reports() as u64),
+                )]),
+                // Duplicates are a *success* for the protocol: the client's
+                // write-ahead journal replays whole bursts after a
+                // disconnect, and replayed reports must be absorbed
+                // silently for at-least-once delivery to look exactly-once.
+                Err(ReportError::Duplicate) => ok_response(vec![
+                    ("n".into(), Json::from_u64(guard.session.n_reports() as u64)),
+                    ("duplicate".into(), Json::Bool(true)),
+                ]),
+                Err(e) => err_response(format!("report rejected: {e}")),
+            }
+        }
+
+        Request::History { session } => {
+            let entry = match lookup(state, &session) {
+                Ok(e) => e,
+                Err(resp) => return resp,
+            };
+            let guard = entry.lock().unwrap();
+            let rows: Vec<Json> = guard
+                .session
+                .history()
+                .map(|(t, c, o)| {
+                    Json::Obj(vec![
+                        ("task".into(), Json::from_u64(t as u64)),
+                        ("config".into(), config_to_json(c)),
+                        (
+                            "outputs".into(),
+                            Json::Arr(o.iter().map(|y| Json::from_f64(*y)).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            ok_response(vec![
+                ("n".into(), Json::from_u64(rows.len() as u64)),
+                ("history".into(), Json::Arr(rows)),
+            ])
+        }
+
+        Request::Close { session } => {
+            let removed = {
+                let mut table = state.sessions.lock().unwrap();
+                table.remove(&session)
+            };
+            state.session_gauge();
+            match removed {
+                Some(_) => ok_response(vec![("closed".into(), Json::Bool(true))]),
+                None => err_response(format!("no such session {session:?}")),
+            }
+        }
+    }
+}
+
+fn open_ok(key: &str, n_reports: usize, reattached: bool) -> Json {
+    ok_response(vec![
+        ("session".into(), Json::Str(key.to_string())),
+        ("n_reports".into(), Json::from_u64(n_reports as u64)),
+        ("reattached".into(), Json::Bool(reattached)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{error_of, is_ok};
+    use gptune_space::{Param, Value};
+
+    fn spec(name: &str) -> ProblemSpec {
+        ProblemSpec {
+            name: name.into(),
+            task_params: vec![Param::real("t", 0.0, 1.0)],
+            tuning_params: vec![Param::real("x", 0.0, 1.0)],
+            tasks: vec![vec![Value::Real(0.25)], vec![Value::Real(0.75)]],
+            n_objectives: 1,
+        }
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Json {
+        write_json(stream, &req.to_json()).unwrap();
+        read_json(stream).unwrap().expect("response")
+    }
+
+    fn start() -> ServerHandle {
+        serve(
+            "127.0.0.1:0",
+            ServeOptions {
+                workers: 2,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ping_and_full_session_lifecycle() {
+        let server = start();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+
+        assert!(is_ok(&roundtrip(&mut c, &Request::Ping)));
+
+        let open = roundtrip(
+            &mut c,
+            &Request::OpenSession {
+                tenant: "acme".into(),
+                spec: spec("toy"),
+                opts: SessionOptions {
+                    seed: 7,
+                    n_initial: Some(2),
+                },
+            },
+        );
+        assert!(is_ok(&open), "{open}");
+        let key = open.get("session").unwrap().as_str().unwrap().to_string();
+        assert_eq!(key, "acme/toy");
+        assert_eq!(server.n_sessions(), 1);
+
+        // Suggest → report → history for both tasks.
+        for task in 0..2usize {
+            let s = roundtrip(
+                &mut c,
+                &Request::Suggest {
+                    session: key.clone(),
+                    task,
+                },
+            );
+            assert!(is_ok(&s), "{s}");
+            let config = crate::spec::config_from_json(s.get("config").unwrap()).unwrap();
+            let r = roundtrip(
+                &mut c,
+                &Request::Report {
+                    session: key.clone(),
+                    task,
+                    config,
+                    outputs: vec![1.0 + task as f64],
+                },
+            );
+            assert!(is_ok(&r), "{r}");
+        }
+        let h = roundtrip(
+            &mut c,
+            &Request::History {
+                session: key.clone(),
+            },
+        );
+        assert!(is_ok(&h));
+        assert_eq!(h.get("n").unwrap().as_u64(), Some(2));
+        assert_eq!(h.get("history").unwrap().as_arr().unwrap().len(), 2);
+
+        let cl = roundtrip(
+            &mut c,
+            &Request::Close {
+                session: key.clone(),
+            },
+        );
+        assert!(is_ok(&cl));
+        assert_eq!(server.n_sessions(), 0);
+        // Requests against a closed session fail cleanly.
+        let s = roundtrip(
+            &mut c,
+            &Request::Suggest {
+                session: key,
+                task: 0,
+            },
+        );
+        assert!(!is_ok(&s));
+        assert!(error_of(&s).contains("no such session"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_reports_are_absorbed() {
+        let server = start();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        let open = roundtrip(
+            &mut c,
+            &Request::OpenSession {
+                tenant: "t".into(),
+                spec: spec("p"),
+                opts: SessionOptions::default(),
+            },
+        );
+        let key = open.get("session").unwrap().as_str().unwrap().to_string();
+        let report = Request::Report {
+            session: key.clone(),
+            task: 0,
+            config: vec![Value::Real(0.5)],
+            outputs: vec![3.0],
+        };
+        let first = roundtrip(&mut c, &report);
+        assert!(is_ok(&first));
+        assert!(first.get("duplicate").is_none());
+        let second = roundtrip(&mut c, &report);
+        assert!(is_ok(&second), "replayed report must succeed: {second}");
+        assert_eq!(second.get("duplicate").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            second.get("n").unwrap().as_u64(),
+            Some(1),
+            "not double-counted"
+        );
+        // A genuinely bad report still fails.
+        let bad = roundtrip(
+            &mut c,
+            &Request::Report {
+                session: key,
+                task: 99,
+                config: vec![Value::Real(0.5)],
+                outputs: vec![3.0],
+            },
+        );
+        assert!(!is_ok(&bad));
+        server.shutdown();
+    }
+
+    #[test]
+    fn reopen_reattaches_and_mismatched_spec_is_rejected() {
+        let server = start();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        let open = |c: &mut TcpStream, sp: ProblemSpec| {
+            roundtrip(
+                c,
+                &Request::OpenSession {
+                    tenant: "t".into(),
+                    spec: sp,
+                    opts: SessionOptions::default(),
+                },
+            )
+        };
+        let first = open(&mut c, spec("p"));
+        assert!(is_ok(&first));
+        assert_eq!(first.get("reattached").unwrap().as_bool(), Some(false));
+        let key = first.get("session").unwrap().as_str().unwrap().to_string();
+        roundtrip(
+            &mut c,
+            &Request::Report {
+                session: key,
+                task: 0,
+                config: vec![Value::Real(0.5)],
+                outputs: vec![1.0],
+            },
+        );
+        // Same spec from a new connection: re-attach, history intact.
+        let mut c2 = TcpStream::connect(server.local_addr()).unwrap();
+        let again = open(&mut c2, spec("p"));
+        assert!(is_ok(&again));
+        assert_eq!(again.get("reattached").unwrap().as_bool(), Some(true));
+        assert_eq!(again.get("n_reports").unwrap().as_u64(), Some(1));
+        // Same name, different structure: reject.
+        let mut other = spec("p");
+        other.n_objectives = 2;
+        let clash = open(&mut c2, other);
+        assert!(!is_ok(&clash));
+        assert!(error_of(&clash).contains("different spec"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let server = start();
+        let mut a = TcpStream::connect(server.local_addr()).unwrap();
+        let mut b = TcpStream::connect(server.local_addr()).unwrap();
+        for (c, tenant) in [(&mut a, "alpha"), (&mut b, "beta")] {
+            let open = roundtrip(
+                c,
+                &Request::OpenSession {
+                    tenant: tenant.into(),
+                    spec: spec("shared"),
+                    opts: SessionOptions::default(),
+                },
+            );
+            assert!(is_ok(&open));
+        }
+        assert_eq!(server.n_sessions(), 2);
+        roundtrip(
+            &mut a,
+            &Request::Report {
+                session: "alpha/shared".into(),
+                task: 0,
+                config: vec![Value::Real(0.1)],
+                outputs: vec![1.0],
+            },
+        );
+        let h = roundtrip(
+            &mut b,
+            &Request::History {
+                session: "beta/shared".into(),
+            },
+        );
+        assert_eq!(
+            h.get("n").unwrap().as_u64(),
+            Some(0),
+            "no cross-tenant leak"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_get_error_responses() {
+        let server = start();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        crate::protocol::write_frame(&mut c, b"{\"op\":\"warp\"}").unwrap();
+        let resp = read_json(&mut c).unwrap().unwrap();
+        assert!(!is_ok(&resp));
+        // The connection survives a bad request.
+        assert!(is_ok(&roundtrip(&mut c, &Request::Ping)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_severs_live_connections() {
+        let server = start();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        assert!(is_ok(&roundtrip(&mut c, &Request::Ping)));
+        server.shutdown();
+        // The next exchange on the severed stream fails or hits EOF.
+        let dead = write_json(&mut c, &Request::Ping.to_json())
+            .and_then(|()| read_json(&mut c))
+            .map(|r| r.is_none());
+        assert!(matches!(dead, Ok(true) | Err(_)));
+    }
+}

@@ -1,0 +1,349 @@
+//! Wire-form problem specification.
+//!
+//! A serve client describes its tuning problem structurally — parameter
+//! spaces, task list, objective count — and the server reconstructs a
+//! [`TuningProblem`] from that description. The objective function itself
+//! never crosses the wire: the *client* owns evaluation (that is the whole
+//! point of the suggest/report inversion), so the server-side problem
+//! carries a placeholder objective that is never invoked.
+//!
+//! Constraint closures do not travel either; only box bounds survive
+//! serialization. A client whose space has constraints must validate
+//! suggested configurations itself and report failures as `inf` outputs.
+
+use gptune_core::TuningProblem;
+use gptune_db::json::{self, Json};
+use gptune_space::{Config, Param, ParamKind, Space, Value};
+
+/// Structural description of a tuning problem, serializable to the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemSpec {
+    /// Problem name (journal/session key component).
+    pub name: String,
+    /// Task-space parameters (box bounds only).
+    pub task_params: Vec<Param>,
+    /// Tuning-space parameters (box bounds only).
+    pub tuning_params: Vec<Param>,
+    /// The task instances this spec tunes.
+    pub tasks: Vec<Config>,
+    /// Objective count `γ`.
+    pub n_objectives: usize,
+}
+
+impl ProblemSpec {
+    /// Extracts the structural spec of an existing problem.
+    pub fn of(problem: &TuningProblem) -> ProblemSpec {
+        ProblemSpec {
+            name: problem.name.clone(),
+            task_params: problem.task_space.params().to_vec(),
+            tuning_params: problem.tuning_space.params().to_vec(),
+            tasks: problem.tasks.clone(),
+            n_objectives: problem.n_objectives,
+        }
+    }
+
+    /// Reconstructs a server-side [`TuningProblem`]. The objective is a
+    /// placeholder (the server never evaluates; clients do).
+    pub fn to_problem(&self) -> Result<TuningProblem, String> {
+        if self.tasks.is_empty() {
+            return Err("spec has no tasks".into());
+        }
+        if self.n_objectives == 0 {
+            return Err("spec has zero objectives".into());
+        }
+        let mut ts = Space::builder();
+        for p in &self.task_params {
+            ts = ts.param(p.clone());
+        }
+        let mut ps = Space::builder();
+        for p in &self.tuning_params {
+            ps = ps.param(p.clone());
+        }
+        let task_space = ts.build();
+        let tuning_space = ps.build();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.len() != task_space.dim() {
+                return Err(format!("task {i} arity mismatch"));
+            }
+        }
+        let gamma = self.n_objectives;
+        Ok(TuningProblem::new(
+            self.name.clone(),
+            task_space,
+            tuning_space,
+            self.tasks.clone(),
+            move |_, _, _| vec![f64::INFINITY; gamma],
+        )
+        .with_objectives(gamma))
+    }
+
+    /// Serializes to the wire JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("objectives".into(), Json::Int(self.n_objectives as i64)),
+            (
+                "task_space".into(),
+                Json::Arr(self.task_params.iter().map(param_to_json).collect()),
+            ),
+            (
+                "tuning_space".into(),
+                Json::Arr(self.tuning_params.iter().map(param_to_json).collect()),
+            ),
+            (
+                "tasks".into(),
+                Json::Arr(self.tasks.iter().map(|t| config_to_json(t)).collect()),
+            ),
+        ])
+    }
+
+    /// Parses the wire JSON form.
+    pub fn from_json(j: &Json) -> Result<ProblemSpec, String> {
+        let name = j
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("spec: missing name")?
+            .to_string();
+        let n_objectives = j
+            .get("objectives")
+            .and_then(|v| v.as_u64())
+            .ok_or("spec: missing objectives")? as usize;
+        let params = |key: &str| -> Result<Vec<Param>, String> {
+            j.get(key)
+                .and_then(|v| v.as_arr())
+                .ok_or_else(|| format!("spec: missing {key}"))?
+                .iter()
+                .map(param_from_json)
+                .collect()
+        };
+        let task_params = params("task_space")?;
+        let tuning_params = params("tuning_space")?;
+        let tasks = j
+            .get("tasks")
+            .and_then(|v| v.as_arr())
+            .ok_or("spec: missing tasks")?
+            .iter()
+            .map(config_from_json)
+            .collect::<Result<Vec<Config>, String>>()?;
+        Ok(ProblemSpec {
+            name,
+            task_params,
+            tuning_params,
+            tasks,
+            n_objectives,
+        })
+    }
+}
+
+/// One space value in wire form: `{"r":x}`, `{"i":n}`, or `{"c":k}`
+/// (matching the `gptune-db` journal's value tags).
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Real(x) => Json::Obj(vec![("r".into(), Json::from_f64(*x))]),
+        Value::Int(x) => Json::Obj(vec![("i".into(), Json::Int(*x))]),
+        Value::Cat(k) => Json::Obj(vec![("c".into(), Json::from_u64(*k as u64))]),
+    }
+}
+
+/// Parses one wire-form space value.
+pub fn value_from_json(j: &Json) -> Result<Value, String> {
+    if let Some(x) = j.get("r").and_then(|v| v.as_f64()) {
+        return Ok(Value::Real(x));
+    }
+    if let Some(x) = j.get("i").and_then(|v| v.as_i64()) {
+        return Ok(Value::Int(x));
+    }
+    if let Some(x) = j.get("c").and_then(|v| v.as_u64()) {
+        return Ok(Value::Cat(x as usize));
+    }
+    Err(format!("bad value: {j}"))
+}
+
+/// Serializes a configuration (array of wire values).
+pub fn config_to_json(c: &[Value]) -> Json {
+    Json::Arr(c.iter().map(value_to_json).collect())
+}
+
+/// Parses a configuration.
+pub fn config_from_json(j: &Json) -> Result<Config, String> {
+    j.as_arr()
+        .ok_or("config is not an array")?
+        .iter()
+        .map(value_from_json)
+        .collect()
+}
+
+fn param_to_json(p: &Param) -> Json {
+    let mut fields = vec![("name".into(), Json::Str(p.name.clone()))];
+    match &p.kind {
+        ParamKind::Real { low, high, log } => {
+            fields.push(("kind".into(), Json::Str("real".into())));
+            fields.push(("low".into(), Json::from_f64(*low)));
+            fields.push(("high".into(), Json::from_f64(*high)));
+            fields.push(("log".into(), Json::Bool(*log)));
+        }
+        ParamKind::Int { low, high, log } => {
+            fields.push(("kind".into(), Json::Str("int".into())));
+            fields.push(("low".into(), Json::Int(*low)));
+            fields.push(("high".into(), Json::Int(*high)));
+            fields.push(("log".into(), Json::Bool(*log)));
+        }
+        ParamKind::Categorical { choices } => {
+            fields.push(("kind".into(), Json::Str("cat".into())));
+            fields.push((
+                "choices".into(),
+                Json::Arr(choices.iter().map(|c| Json::Str(c.clone())).collect()),
+            ));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn param_from_json(j: &Json) -> Result<Param, String> {
+    let name = j
+        .get("name")
+        .and_then(|v| v.as_str())
+        .ok_or("param: missing name")?;
+    let kind = j
+        .get("kind")
+        .and_then(|v| v.as_str())
+        .ok_or("param: missing kind")?;
+    let log = j.get("log").and_then(|v| v.as_bool()).unwrap_or(false);
+    match kind {
+        "real" => {
+            let low = j
+                .get("low")
+                .and_then(|v| v.as_f64())
+                .ok_or("param: missing low")?;
+            let high = j
+                .get("high")
+                .and_then(|v| v.as_f64())
+                .ok_or("param: missing high")?;
+            if !(low < high) {
+                return Err(format!("param {name}: need low < high"));
+            }
+            if log && low <= 0.0 {
+                return Err(format!("param {name}: log scale needs low > 0"));
+            }
+            Ok(if log {
+                Param::real_log(name, low, high)
+            } else {
+                Param::real(name, low, high)
+            })
+        }
+        "int" => {
+            let low = j
+                .get("low")
+                .and_then(|v| v.as_i64())
+                .ok_or("param: missing low")?;
+            let high = j
+                .get("high")
+                .and_then(|v| v.as_i64())
+                .ok_or("param: missing high")?;
+            if low > high {
+                return Err(format!("param {name}: need low <= high"));
+            }
+            if log && low <= 0 {
+                return Err(format!("param {name}: log scale needs low > 0"));
+            }
+            Ok(if log {
+                Param::int_log(name, low, high)
+            } else {
+                Param::int(name, low, high)
+            })
+        }
+        "cat" => {
+            let choices: Vec<String> = j
+                .get("choices")
+                .and_then(|v| v.as_arr())
+                .ok_or("param: missing choices")?
+                .iter()
+                .map(|c| c.as_str().map(str::to_string))
+                .collect::<Option<Vec<String>>>()
+                .ok_or("param: non-string choice")?;
+            if choices.is_empty() {
+                return Err(format!("param {name}: empty choices"));
+            }
+            let refs: Vec<&str> = choices.iter().map(String::as_str).collect();
+            Ok(Param::categorical(name, &refs))
+        }
+        other => Err(format!("param {name}: unknown kind {other:?}")),
+    }
+}
+
+/// Round-trips a `Json` document through its compact text form (used by
+/// tests; the protocol layer does this implicitly on every frame).
+pub fn reparse(j: &Json) -> Result<Json, String> {
+    json::parse(&j.to_string()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ProblemSpec {
+        ProblemSpec {
+            name: "qr".into(),
+            task_params: vec![Param::int("m", 100, 10_000), Param::int("n", 100, 10_000)],
+            tuning_params: vec![
+                Param::int("mb", 1, 16),
+                Param::real_log("tol", 1e-8, 1e-2),
+                Param::categorical("layout", &["row", "col"]),
+            ],
+            tasks: vec![
+                vec![Value::Int(1000), Value::Int(1000)],
+                vec![Value::Int(2000), Value::Int(500)],
+            ],
+            n_objectives: 1,
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_wire_text() {
+        let s = spec();
+        let j = reparse(&s.to_json()).unwrap();
+        let back = ProblemSpec::from_json(&j).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn spec_builds_a_problem() {
+        let p = spec().to_problem().unwrap();
+        assert_eq!(p.n_tasks(), 2);
+        assert_eq!(p.beta(), 3);
+        assert_eq!(p.n_objectives, 1);
+        // The placeholder objective is inert but callable.
+        let cfg = p.tuning_space.denormalize(&[0.5, 0.5, 0.5]);
+        assert!(p.evaluate(0, &cfg, 0)[0].is_infinite());
+    }
+
+    #[test]
+    fn spec_of_problem_roundtrips() {
+        let p = spec().to_problem().unwrap();
+        assert_eq!(ProblemSpec::of(&p), spec());
+    }
+
+    #[test]
+    fn values_roundtrip_including_nonfinite() {
+        for v in [
+            Value::Real(0.25),
+            Value::Real(f64::INFINITY),
+            Value::Int(-3),
+            Value::Cat(2),
+        ] {
+            let j = reparse(&value_to_json(&v)).unwrap();
+            assert_eq!(value_from_json(&j).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(ProblemSpec::from_json(&Json::Null).is_err());
+        let mut s = spec();
+        s.tasks = vec![vec![Value::Int(1)]]; // wrong arity
+        assert!(s.to_problem().is_err());
+        let mut s2 = spec();
+        s2.tasks.clear();
+        assert!(s2.to_problem().is_err());
+    }
+}

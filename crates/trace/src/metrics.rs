@@ -80,6 +80,40 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate `q`-quantile (`q ∈ [0, 1]`) from the log2 buckets:
+    /// the upper bound of the bucket holding the `⌈q·count⌉`-th smallest
+    /// sample. Exact for zeros; otherwise conservative by at most 2×
+    /// (the bucket width). Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return match i as usize {
+                    0 => 0,
+                    b if b >= N_BUCKETS - 1 => u64::MAX,
+                    b => (1u64 << b) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile (`quantile(0.99)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Point-in-time view of every registered metric, deterministically
@@ -278,6 +312,40 @@ mod tests {
         assert_eq!(hs.sum, 1007);
         assert_eq!(hs.buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
         assert!((hs.mean() - 201.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_from_log2_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("q");
+        // 90 small samples in bucket 3 ([4,8)), 10 big in bucket 10.
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = r.snapshot();
+        let hs = s.histogram("q").unwrap();
+        assert_eq!(hs.p50(), 7, "median falls in the [4,8) bucket");
+        assert_eq!(hs.quantile(0.9), 7);
+        assert_eq!(hs.p99(), 1023, "tail falls in the [512,1024) bucket");
+        assert_eq!(hs.quantile(1.0), 1023);
+        assert_eq!(hs.quantile(0.0), 7, "rank clamps to the first sample");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        let r = Registry::new();
+        let h = r.histogram("z");
+        h.record(0);
+        h.record(u64::MAX);
+        let s = r.snapshot();
+        let hs = s.histogram("z").unwrap();
+        assert_eq!(hs.p50(), 0, "zeros are exact");
+        assert_eq!(hs.quantile(1.0), u64::MAX, "overflow bucket saturates");
     }
 
     #[test]

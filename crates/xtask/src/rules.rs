@@ -6,7 +6,7 @@
 //! |------|-------|-----------|
 //! | 1    | GX101–GX103 | NaN-safety: no IEEE `==`/`!=`, no `partial_cmp` escapes into ordering |
 //! | 2    | GX201–GX204, GX290 | panic-freedom in the runtime / db / core evaluation path |
-//! | 3    | GX301 | lock discipline: no guard held across channel ops or joins |
+//! | 3    | GX301–GX302 | lock discipline: no guard held across channel ops or joins; no blocking I/O under the serve session-table lock |
 //! | 4    | GX401–GX403 | determinism: every random draw and iteration order is seed-threaded |
 //! | 5    | GX501 | unsafe hygiene: every `unsafe` carries a `// SAFETY:` justification |
 //! | 6    | GX601 | observability: no raw `Instant::now()` in the traced crates |
@@ -95,6 +95,11 @@ pub const RULES: &[RuleInfo] = &[
         desc: "no Mutex/RwLock guard held across channel send/recv or thread join (deadlock shape)",
     },
     RuleInfo {
+        id: "GX302",
+        name: "serve-lock-io",
+        desc: "crates/serve: no blocking I/O while the session-table lock is held; clone the session Arc, drop the guard, then do the work",
+    },
+    RuleInfo {
         id: "GX401",
         name: "ambient-rng",
         desc: "no thread_rng/from_entropy/OsRng; every RNG must be seeded through MlaOptions",
@@ -157,6 +162,7 @@ pub fn check_file(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Diagnostic> {
     panic_tier(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     allow_justifications(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     lock_discipline(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    serve_lock_io(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     determinism(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     unsafe_hygiene(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     raw_timing(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
@@ -605,6 +611,90 @@ fn init_is_guard(init: &[Token]) -> bool {
         && init[end - 4].is_punct('.')
 }
 
+/// Blocking I/O calls that must never run under the serve session-table
+/// lock: socket reads/writes, frame codecs, and connection management.
+const SERVE_BLOCKING_IO: &[&str] = &[
+    "read_frame",
+    "write_frame",
+    "read_json",
+    "write_json",
+    "read_exact",
+    "read_to_end",
+    "write_all",
+    "flush",
+    "accept",
+    "connect",
+    "shutdown",
+];
+
+/// GX302: in `crates/serve`, no blocking I/O while the session-*table*
+/// lock is live. A table guard is a `let` binding whose initializer ends
+/// in a lock acquisition *and* mentions `sessions` (the table field);
+/// per-session mutexes are exempt — they serialize one tenant's work,
+/// which legitimately spans surrogate refits, while the table lock is a
+/// global chokepoint every request crosses. The blessed pattern: lock the
+/// table, clone the session `Arc`, drop the guard, then do the work.
+fn serve_lock_io(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.path.starts_with("crates/serve/") {
+        return;
+    }
+    let t = ctx.tokens;
+    let mut depth: i32 = 0;
+    // (guard name, brace depth at binding, line bound)
+    let mut guards: Vec<(String, i32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        match &t[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                guards.retain(|&(_, d, _)| d <= depth);
+            }
+            Tok::Ident(s) if s == "let" => {
+                if let Some((name, stmt_end)) = guard_binding(t, i) {
+                    let on_table = t[i..=stmt_end]
+                        .iter()
+                        .any(|x| x.ident().is_some_and(|id| id == "sessions"));
+                    if on_table {
+                        guards.push((name, depth, t[i].line));
+                    }
+                    i = stmt_end;
+                    continue;
+                }
+            }
+            Tok::Ident(s) if s == "drop" => {
+                if t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+                    if let Some(name) = t.get(i + 2).and_then(|x| x.ident()) {
+                        if t.get(i + 3).is_some_and(|x| x.is_punct(')')) {
+                            guards.retain(|(g, _, _)| g != name);
+                        }
+                    }
+                }
+            }
+            Tok::Ident(s) if SERVE_BLOCKING_IO.contains(&s.as_str()) => {
+                let line = t[i].line;
+                let is_call = t.get(i + 1).is_some_and(|x| x.is_punct('('));
+                if is_call && !ctx.in_test(line) {
+                    if let Some((g, _, bound)) = guards.first() {
+                        emit(
+                            line,
+                            "GX302",
+                            format!(
+                                "blocking I/O `{s}` while session-table guard `{g}` (bound line \
+                                 {bound}) is live; clone the session Arc and drop the table lock \
+                                 before any I/O"
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
 // ---------------------------------------------------------------- tier 4
 
 /// GX401/GX402/GX403: nondeterminism sources.
@@ -985,6 +1075,29 @@ mod tests {
             rules_hit("crates/runtime/src/x.rs", std_guard),
             vec!["GX201", "GX301"]
         );
+    }
+
+    #[test]
+    fn gx302_serve_blocking_io_under_table_lock() {
+        let bad = "fn f(state: &ServerState, s: &mut TcpStream) {\n  let table = state.sessions.lock().unwrap();\n  let _ = s.flush();\n}";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", bad), vec!["GX302"]);
+        // Frame codecs count as blocking I/O too.
+        let frame = "fn f(state: &ServerState, s: &mut TcpStream, j: &Json) {\n  let table = state.sessions.lock().unwrap();\n  write_json(s, j);\n}";
+        assert_eq!(
+            rules_hit("crates/serve/src/server.rs", frame),
+            vec!["GX302"]
+        );
+        // The blessed pattern: clone out of the table, drop, then do I/O.
+        let ok = "fn f(state: &ServerState, s: &mut TcpStream) {\n  let table = state.sessions.lock().unwrap();\n  let e = table.get(\"k\").cloned();\n  drop(table);\n  let _ = s.flush();\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", ok).is_empty());
+        // Per-session guards are exempt — only the table is a chokepoint.
+        let session = "fn f(entry: &Mutex<Entry>, s: &mut TcpStream) {\n  let g = entry.lock().unwrap();\n  let _ = s.flush();\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", session).is_empty());
+        // A guard confined to an inner block dies before the I/O.
+        let scoped = "fn f(state: &ServerState, s: &mut TcpStream) {\n  { let table = state.sessions.lock().unwrap(); }\n  let _ = s.flush();\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", scoped).is_empty());
+        // The rule is scoped to crates/serve.
+        assert!(!rules_hit("crates/runtime/src/x.rs", bad).contains(&"GX302"));
     }
 
     #[test]

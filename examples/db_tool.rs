@@ -1,22 +1,35 @@
 //! `db_tool` — command-line maintenance for `gptune-db` archives.
 //!
 //! ```text
-//! cargo run --example db_tool -- inspect <archive>
-//! cargo run --example db_tool -- merge   <dst-archive> <src-archive>
-//! cargo run --example db_tool -- compact <archive>
-//! cargo run --example db_tool -- export  <archive> <journal.jsonl>
+//! cargo run --example db_tool -- inspect    <archive>
+//! cargo run --example db_tool -- merge      <dst-archive> <src-archive>
+//! cargo run --example db_tool -- compact    <archive>
+//! cargo run --example db_tool -- shard      <archive> <journal.jsonl> by-task|window:<n>
+//! cargo run --example db_tool -- migrate-v2 <archive> <journal.jsonl>
+//! cargo run --example db_tool -- export     <archive> <journal.jsonl>
 //! ```
 //!
-//! * `inspect` — per-journal entry counts, recovery health (torn tails,
-//!   corrupt lines), archived run summaries with their `stats:` phase
-//!   breakdown, and any in-flight checkpoints;
-//! * `merge` — folds every journal of a second archive into the first,
-//!   matching journals by file name (names embed problem + signature, so
-//!   structurally different problems never mix) and deduplicating records;
-//! * `compact` — deduplicates and heals every journal in place;
+//! * `inspect` — per-journal entry counts and recovery health, archived
+//!   run summaries with their `stats:` breakdown, in-flight checkpoints,
+//!   and — for sharded problems — the manifest with per-shard format,
+//!   label, and entry counts plus the deduplicated combined total;
+//! * `merge` — folds every problem of a second archive into the first.
+//!   Shard-aware on both sides: the source's shards and live journal are
+//!   read together, and entries already present anywhere in the
+//!   destination (shards or live journal) are skipped;
+//! * `compact` — deduplicates and heals every journal in place; for
+//!   sharded problems this also drops live-journal entries already
+//!   archived in shards;
+//! * `shard` — splits one problem's accumulated history into archive
+//!   shards (task-range `by-task` or append-order `window:<n>`), writes
+//!   the manifest, and empties the live journal;
+//! * `migrate-v2` — rewrites a JSONL journal as a compressed binary
+//!   format-v2 archive next to it, then *proves* the round-trip: the v2
+//!   file is read back and must reproduce the v1 entries identically, or
+//!   the command fails and removes the output;
 //! * `export` — prints a journal's evaluation records as CSV on stdout.
 
-use gptune::db::{journal, Db, DbEntry, DbValue, LockOptions};
+use gptune::db::{journal, journal_v2, Db, DbEntry, DbValue, LockOptions, ShardPolicy};
 use std::path::Path;
 
 fn main() {
@@ -26,12 +39,16 @@ fn main() {
         ["inspect", archive] => inspect(Path::new(archive)),
         ["merge", dst, src] => merge(Path::new(dst), Path::new(src)),
         ["compact", archive] => compact(Path::new(archive)),
+        ["shard", archive, journal, policy] => shard(Path::new(archive), journal, policy),
+        ["migrate-v2", archive, journal] => migrate_v2(Path::new(archive), journal),
         ["export", archive, journal] => export(Path::new(archive), journal),
         _ => {
             eprintln!(
                 "usage: db_tool inspect <archive>\n\
                  \u{20}      db_tool merge <dst-archive> <src-archive>\n\
                  \u{20}      db_tool compact <archive>\n\
+                 \u{20}      db_tool shard <archive> <journal.jsonl> by-task|window:<n>\n\
+                 \u{20}      db_tool migrate-v2 <archive> <journal.jsonl>\n\
                  \u{20}      db_tool export <archive> <journal.jsonl>"
             );
             std::process::exit(2);
@@ -41,6 +58,18 @@ fn main() {
         eprintln!("db_tool: {e}");
         std::process::exit(1);
     }
+}
+
+/// Parses `(problem, sig)` back out of a `<problem>-<sig:016x>.jsonl`
+/// journal file name.
+fn parse_journal_name(name: &str) -> Option<(String, u64)> {
+    let stem = name.strip_suffix(".jsonl")?;
+    let (problem, sig_hex) = stem.rsplit_once('-')?;
+    if sig_hex.len() != 16 {
+        return None;
+    }
+    let sig = u64::from_str_radix(sig_hex, 16).ok()?;
+    Some((problem.to_string(), sig))
 }
 
 fn inspect(root: &Path) -> std::io::Result<()> {
@@ -89,6 +118,39 @@ fn inspect(root: &Path) -> std::io::Result<()> {
                 println!("        {}", r.stats.report());
             }
         }
+        // Sharded problems: show the manifest and the combined view.
+        if let Some((problem, sig)) = parse_journal_name(name) {
+            if let Some(manifest) = db.shard_manifest(&problem, sig)? {
+                println!(
+                    "    sharded ({} policy, {} shards):",
+                    manifest.policy,
+                    manifest.shards.len()
+                );
+                for info in &manifest.shards {
+                    println!(
+                        "      {}: {} entries  [{:?} {}]",
+                        info.file, info.n_entries, info.format, info.label
+                    );
+                }
+                let (all, _) = db.load(&problem, sig)?;
+                println!("    combined (deduplicated): {} entries", all.len());
+            }
+        }
+    }
+    // Manifests whose live journal has been emptied and removed would be
+    // invisible above; list any manifest without a sibling journal.
+    let mut orphan_manifests: Vec<String> = std::fs::read_dir(root)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".manifest.json"))
+        .filter(|n| {
+            let journal = n.replace(".manifest.json", ".jsonl");
+            !journals.iter().any(|(j, _)| *j == journal)
+        })
+        .collect();
+    orphan_manifests.sort();
+    for m in &orphan_manifests {
+        println!("  shard manifest without live journal: {m}");
     }
     let mut checkpoints: Vec<String> = std::fs::read_dir(root)?
         .filter_map(|e| e.ok())
@@ -105,12 +167,18 @@ fn inspect(root: &Path) -> std::io::Result<()> {
 fn merge(dst_root: &Path, src_root: &Path) -> std::io::Result<()> {
     let dst = Db::open(dst_root)?;
     let src = Db::open(src_root)?;
-    let lock = LockOptions::default();
     let mut total = 0usize;
     // Journal file names embed problem + signature, so matching by name is
-    // exactly matching by (problem, sig).
+    // exactly matching by (problem, sig). Loading through the source Db
+    // folds in its archive shards; merge_entries dedups against the whole
+    // destination (shards + live journal).
     for (name, _) in src.journals()? {
-        let added = journal::merge(&dst.root().join(&name), &src_root.join(&name), &lock)?;
+        let Some((problem, sig)) = parse_journal_name(&name) else {
+            eprintln!("  {name}: skipped (unrecognized name)");
+            continue;
+        };
+        let (entries, _) = src.load(&problem, sig)?;
+        let added = dst.merge_entries(&problem, sig, &entries)?;
         println!("  {name}: +{added}");
         total += added;
     }
@@ -122,9 +190,98 @@ fn compact(root: &Path) -> std::io::Result<()> {
     let db = Db::open(root)?;
     let lock = LockOptions::default();
     for (name, _) in db.journals()? {
-        let (kept, dropped) = journal::compact(&root.join(&name), &lock)?;
-        println!("  {name}: kept {kept}, dropped {dropped}");
+        match parse_journal_name(&name) {
+            // Sharded problems: also drop live entries already archived.
+            Some((problem, sig)) if db.shard_manifest(&problem, sig)?.is_some() => {
+                let (kept, dropped) = gptune::db::shard::compact_live(root, &problem, sig, &lock)?;
+                println!("  {name}: kept {kept}, dropped {dropped} (shard-aware)");
+            }
+            _ => {
+                let (kept, dropped) = journal::compact(&root.join(&name), &lock)?;
+                println!("  {name}: kept {kept}, dropped {dropped}");
+            }
+        }
     }
+    Ok(())
+}
+
+fn shard(root: &Path, journal_name: &str, policy_arg: &str) -> std::io::Result<()> {
+    let policy = if policy_arg == "by-task" {
+        ShardPolicy::ByTask
+    } else if let Some(n) = policy_arg.strip_prefix("window:") {
+        let n: usize = n.parse().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("bad window size {n:?}"),
+            )
+        })?;
+        ShardPolicy::Window(n.max(1))
+    } else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("unknown policy {policy_arg:?} (want by-task or window:<n>)"),
+        ));
+    };
+    let Some((problem, sig)) = parse_journal_name(journal_name) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("unrecognized journal name {journal_name:?}"),
+        ));
+    };
+    let db = Db::open(root)?;
+    let manifest = db.split_shards(&problem, sig, policy)?;
+    println!(
+        "sharded {journal_name} into {} shards ({} policy):",
+        manifest.shards.len(),
+        manifest.policy
+    );
+    for info in &manifest.shards {
+        println!(
+            "  {}: {} entries  [{:?} {}]",
+            info.file, info.n_entries, info.format, info.label
+        );
+    }
+    Ok(())
+}
+
+fn migrate_v2(root: &Path, journal_name: &str) -> std::io::Result<()> {
+    let Some((problem, sig)) = parse_journal_name(journal_name) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("unrecognized journal name {journal_name:?}"),
+        ));
+    };
+    let src = root.join(journal_name);
+    let (entries, report) = journal::load(&src)?;
+    if !report.is_clean() {
+        eprintln!("  note: source journal needed recovery; migrating the recoverable entries");
+    }
+    let dst = root.join(format!("{}.gdb2", journal_name.trim_end_matches(".jsonl")));
+    journal_v2::write(&dst, &problem, sig, &entries)?;
+    // Round-trip identity check: the binary archive must reproduce the
+    // JSONL entries exactly, or the migration is rejected.
+    let (back, _) = journal_v2::load(&dst)?;
+    if back != entries {
+        let _ = std::fs::remove_file(&dst);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "round-trip mismatch: v2 archive does not reproduce the journal; output removed",
+        ));
+    }
+    let (src_len, dst_len) = (
+        std::fs::metadata(&src)?.len(),
+        std::fs::metadata(&dst)?.len(),
+    );
+    println!(
+        "migrated {} entries: {} ({} B) -> {} ({} B, {:.1}% of v1), round-trip verified",
+        entries.len(),
+        journal_name,
+        src_len,
+        dst.file_name().unwrap().to_string_lossy(),
+        dst_len,
+        100.0 * dst_len as f64 / src_len.max(1) as f64
+    );
+    println!("  (source journal left in place; remove it once the archive is adopted)");
     Ok(())
 }
 

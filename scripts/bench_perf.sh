@@ -1,17 +1,65 @@
 #!/usr/bin/env bash
-# Records the hot-path speedups of the distance-cached LCM refactor into
-# BENCH_lcm.json: cached vs reference likelihood+gradient (n ∈ {64, 256}),
-# a full n=256 two-task fit, and batched vs per-point candidate scoring
-# (m = 512). Numbers are medians over repeated runs; see
-# crates/bench/src/bin/lcm_perf.rs for the methodology.
+# Runs every BENCH_*.json perf emitter in the workspace and fails loudly
+# if any of them is skipped or dies:
 #
-# Also records the gptune-trace overhead guard into
-# BENCH_trace_overhead.json: a paired-median enabled-vs-disabled tracing
-# comparison on the same LCM fit workload (must stay <= 3%) plus the
-# disabled-path span cost; see crates/bench/src/bin/trace_overhead.rs.
+#   * lcm_perf        -> BENCH_lcm.json             distance-cached LCM vs
+#                        reference likelihood/fit/prediction speedups
+#   * trace_overhead  -> BENCH_trace_overhead.json  tracing-enabled vs
+#                        disabled overhead guard (<= 3%)
+#   * serve_bench     -> BENCH_serve.json           >= 1000 concurrent
+#                        suggest/report sessions, p50/p99 request latency
+#                        from the gptune-trace histograms, and the
+#                        kill-the-server WAL-replay drill (0 lost reports)
 #
-# Usage: scripts/bench_perf.sh [lcm_output.json] [trace_output.json]
-set -euo pipefail
+# Each emitter validates its own acceptance bars and exits non-zero on a
+# regression; this wrapper additionally verifies that every expected
+# output file actually appeared, so a silently-skipped emitter cannot
+# masquerade as a green run. New emitters must be registered in the
+# EMITTERS table below — the final count check makes forgetting that a
+# loud failure too.
+#
+# Usage: scripts/bench_perf.sh [output-dir]   (default: repo root)
+set -uo pipefail
 cd "$(dirname "$0")/.."
-cargo run --release -p gptune-bench --bin lcm_perf -- "${1:-BENCH_lcm.json}"
-cargo run --release -p gptune-bench --bin trace_overhead -- "${2:-BENCH_trace_overhead.json}"
+
+out_dir="${1:-.}"
+mkdir -p "$out_dir"
+
+# name | binary | output file (one emitter per line).
+EMITTERS=(
+  "lcm_perf|lcm_perf|BENCH_lcm.json"
+  "trace_overhead|trace_overhead|BENCH_trace_overhead.json"
+  "serve_bench|serve_bench|BENCH_serve.json"
+)
+
+failures=0
+produced=0
+for spec in "${EMITTERS[@]}"; do
+  IFS='|' read -r name bin out <<<"$spec"
+  out_path="$out_dir/$out"
+  rm -f "$out_path"
+  echo "=== $name -> $out_path"
+  if ! cargo run -q --release -p gptune-bench --bin "$bin" -- "$out_path"; then
+    echo "bench_perf: FAIL: emitter $name exited non-zero" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if [ ! -s "$out_path" ]; then
+    echo "bench_perf: FAIL: emitter $name did not write $out_path" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  produced=$((produced + 1))
+done
+
+# Belt-and-braces: every emitter in the table must have produced output.
+if [ "$produced" -ne "${#EMITTERS[@]}" ]; then
+  echo "bench_perf: FAIL: $produced/${#EMITTERS[@]} emitters produced output" >&2
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "bench_perf: $failures failure(s)" >&2
+  exit 1
+fi
+echo "bench_perf: all ${#EMITTERS[@]} emitters OK"

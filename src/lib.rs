@@ -36,6 +36,7 @@ pub use gptune_gp as gp;
 pub use gptune_la as la;
 pub use gptune_opt as opt;
 pub use gptune_runtime as runtime;
+pub use gptune_serve as serve;
 pub use gptune_space as space;
 pub use gptune_sparse as sparse;
 pub use gptune_trace as trace;

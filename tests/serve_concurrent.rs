@@ -1,0 +1,267 @@
+//! Concurrent integration tests for the gptune-serve subsystem.
+//!
+//! The contracts under test:
+//!
+//! * N client threads hammering one server lose no reports and every
+//!   client observes its own session's history growing monotonically;
+//! * the final history is bit-identical to a serialized replay of the
+//!   same reports through an in-process [`TunerSession`] — concurrency
+//!   must not change *what* is stored, only when;
+//! * killing the server mid-burst while clients journal to write-ahead
+//!   caches loses nothing: a replacement server rebuilt from WAL replays
+//!   holds every report that was ever journaled.
+
+use gptune::core::TunerSession;
+use gptune::serve::{
+    serve, serving_mla_options, ProblemSpec, ServeClient, ServeOptions, SessionOptions,
+};
+use gptune::space::{Param, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gptune_it_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn spec(name: &str) -> ProblemSpec {
+    ProblemSpec {
+        name: name.into(),
+        task_params: vec![Param::real("t", 0.0, 1.0)],
+        tuning_params: vec![Param::real("x", 0.0, 1.0), Param::real("y", 0.0, 1.0)],
+        tasks: vec![vec![Value::Real(0.2)], vec![Value::Real(0.8)]],
+        n_objectives: 1,
+    }
+}
+
+/// A deterministic fake measurement, so serialized replays produce the
+/// exact same outputs as the concurrent run.
+fn measure(cfg: &[Value], task: usize) -> f64 {
+    let x = match cfg.first() {
+        Some(Value::Real(x)) => *x,
+        _ => 0.0,
+    };
+    (x * 7.0).sin() + task as f64
+}
+
+#[test]
+fn concurrent_clients_lose_no_reports_and_grow_monotonically() {
+    const CLIENTS: usize = 8;
+    const REPORTS_EACH: usize = 6;
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: CLIENTS,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let lost = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let lost = Arc::clone(&lost);
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let tenant = format!("tenant-{c}");
+                client
+                    .open_session(
+                        &tenant,
+                        &spec("mono"),
+                        &SessionOptions {
+                            seed: c as u64,
+                            n_initial: Some(2),
+                        },
+                    )
+                    .unwrap();
+                let mut prev = 0usize;
+                for r in 0..REPORTS_EACH {
+                    let task = r % 2;
+                    let cfg = client.suggest(task).unwrap();
+                    let y = measure(&cfg, task);
+                    if client.report(task, &cfg, &[y]).is_err() {
+                        lost.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    // Monotone growth: this client's own history can only
+                    // get longer (sessions are per-tenant, so no other
+                    // thread appends to it).
+                    let n = client.history().unwrap().len();
+                    assert!(n > prev, "history shrank: {prev} -> {n}");
+                    prev = n;
+                }
+                assert_eq!(prev, REPORTS_EACH, "tenant {tenant} lost reports");
+            });
+        }
+    });
+
+    assert_eq!(lost.load(Ordering::Relaxed), 0, "no report may error");
+    assert_eq!(server.n_sessions(), CLIENTS);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_history_matches_serialized_replay_bit_for_bit() {
+    // One shared tenant+problem: many threads race suggest/report into
+    // the *same* session. The final history must be a permutation-free
+    // superset check: replaying the exact (task, config, outputs) triples
+    // through a fresh in-process TunerSession in sorted order must yield
+    // the identical sorted history, bit for bit.
+    const THREADS: usize = 6;
+    const REPORTS_EACH: usize = 4;
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: THREADS + 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let opts = SessionOptions {
+        seed: 42,
+        n_initial: Some(3),
+    };
+
+    std::thread::scope(|scope| {
+        for th in 0..THREADS {
+            let opts = opts.clone();
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                client.open_session("shared", &spec("race"), &opts).unwrap();
+                for r in 0..REPORTS_EACH {
+                    let task = (th + r) % 2;
+                    let cfg = client.suggest(task).unwrap();
+                    let y = measure(&cfg, task);
+                    // Racing suggests may collide on an identical initial
+                    // config; the duplicate-absorbing report keeps that a
+                    // success, so no thread ever errors here.
+                    client.report(task, &cfg, &[y]).unwrap();
+                }
+            });
+        }
+    });
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.open_session("shared", &spec("race"), &opts).unwrap();
+    let mut concurrent = client.history().unwrap();
+    assert!(!concurrent.is_empty());
+    // Duplicate-collapsed: every stored (task, config) pair is unique.
+    {
+        let mut keys: Vec<String> = concurrent
+            .iter()
+            .map(|(t, c, _)| format!("{t}:{c:?}"))
+            .collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "server stored a duplicate config");
+    }
+
+    // Serialized replay through the in-process session type.
+    let problem = spec("race").to_problem().unwrap();
+    let mut replay = TunerSession::new(
+        problem,
+        serving_mla_options(&opts, &ServeOptions::default()),
+    );
+    let sort_key = |(t, c, o): &(usize, Vec<Value>, Vec<f64>)| format!("{t}|{c:?}|{o:?}");
+    concurrent.sort_by_key(sort_key);
+    for (t, c, o) in &concurrent {
+        replay.report(*t, c.clone(), o.clone()).unwrap();
+    }
+    let mut replayed: Vec<(usize, Vec<Value>, Vec<f64>)> = replay
+        .history()
+        .map(|(t, c, o)| (t, c.clone(), o.to_vec()))
+        .collect();
+    replayed.sort_by_key(sort_key);
+    assert_eq!(
+        concurrent, replayed,
+        "concurrent history must equal the serialized replay bit-for-bit"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn kill_mid_burst_replays_from_wal_with_zero_lost_reports() {
+    const CLIENTS: usize = 4;
+    const REPORTS_EACH: usize = 10;
+    let root = tmp_root("kill");
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: CLIENTS,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Phase 1: journaled clients burst reports; the server dies while
+    // they are mid-burst. Clients tolerate send errors — the WAL is the
+    // source of truth.
+    let mut server = Some(server);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let wal = root.join(format!("wal-{c}.jsonl"));
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).unwrap().with_wal(&wal);
+                    let tenant = format!("tenant-{c}");
+                    client
+                        .open_session(&tenant, &spec("dur"), &SessionOptions::default())
+                        .unwrap();
+                    let mut journaled = 0usize;
+                    for r in 0..REPORTS_EACH {
+                        let cfg = vec![
+                            Value::Real((c * REPORTS_EACH + r) as f64 / 64.0),
+                            Value::Real(0.5),
+                        ];
+                        // Journaled regardless of whether the send lands.
+                        journaled += 1;
+                        let _ = client.report(r % 2, &cfg, &[r as f64]);
+                    }
+                    journaled
+                })
+            })
+            .collect();
+        // Kill the server while the bursts are in flight.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        server.take().unwrap().shutdown();
+        let journaled: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(journaled, CLIENTS * REPORTS_EACH);
+    });
+
+    // Phase 2: replacement server; fresh clients replay their WALs.
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: CLIENTS,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let mut recovered_total = 0usize;
+    for c in 0..CLIENTS {
+        let wal = root.join(format!("wal-{c}.jsonl"));
+        let mut client = ServeClient::connect(server.local_addr())
+            .unwrap()
+            .with_wal(&wal);
+        let tenant = format!("tenant-{c}");
+        client
+            .open_session(&tenant, &spec("dur"), &SessionOptions::default())
+            .unwrap();
+        let n = client.history().unwrap().len();
+        assert_eq!(
+            n, REPORTS_EACH,
+            "tenant {tenant}: {n}/{REPORTS_EACH} reports after WAL replay"
+        );
+        recovered_total += n;
+    }
+    assert_eq!(recovered_total, CLIENTS * REPORTS_EACH, "zero lost reports");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -31,3 +31,13 @@ if [ "$modeling_spans" -lt 5 ]; then
   echo "trace smoke: expected >= 1 modeling span per iteration (5), got $modeling_spans" >&2
   exit 1
 fi
+# Serve smoke gate: a scaled-down serve_bench burst (32 concurrent
+# sessions over 8 client connections) plus the kill-the-server WAL-replay
+# drill. The binary exits non-zero on any request error, missing latency
+# histogram, or lost report, so a bare run is the assertion.
+cargo run -q --release -p gptune-bench --bin serve_bench -- "$trace_dir/BENCH_serve_smoke.json" --smoke
+lost="$(grep -o '"lost_reports": [0-9-]*' "$trace_dir/BENCH_serve_smoke.json" | grep -o '[0-9-]*$')"
+if [ "$lost" != "0" ]; then
+  echo "serve smoke: kill drill lost $lost report(s)" >&2
+  exit 1
+fi
