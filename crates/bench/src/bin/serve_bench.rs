@@ -10,12 +10,19 @@
 //! * a kill-the-server-mid-burst section: a write-ahead-journaled client
 //!   keeps reporting while the server dies, a replacement comes up, and
 //!   the replayed history must contain every journaled report
-//!   (`lost_reports` must print 0).
+//!   (`lost_reports` must print 0);
+//! * an archive drill: the server journals every acknowledged report into
+//!   a session archive, dies mid-burst, and the replacement recovers the
+//!   session from the archive alone — no client WAL, no replay — with a
+//!   bit-identical sorted history versus an uninterrupted run;
+//! * an eviction drill: ≥ 1024 logical sessions share a resident table
+//!   capped far below the fleet size; the cap must hold throughout and
+//!   every evicted session must come back from the archive intact.
 //!
 //! Usage: `serve_bench [output.json] [--smoke]` — `--smoke` shrinks the
 //! fleet for the tier-1 gate while exercising every phase.
 
-use gptune::serve::{serve, ProblemSpec, ServeClient, ServeOptions, SessionOptions};
+use gptune::serve::{serve, BackoffPolicy, ProblemSpec, ServeClient, ServeOptions, SessionOptions};
 use gptune::space::{Param, Value};
 use gptune::trace::{self, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -151,9 +158,18 @@ fn run_kill_drill(reports: usize, tmp: &std::path::Path) -> KillStats {
     let opts = SessionOptions::default();
 
     let server = serve("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    // Half the burst lands on a dead server by design: a tight backoff
+    // keeps the expected failures from dominating the drill's wall time.
+    let impatient = BackoffPolicy {
+        max_retries: 1,
+        base_ms: 1,
+        cap_ms: 2,
+        ..BackoffPolicy::default()
+    };
     let mut client = ServeClient::connect(server.local_addr())
         .expect("connect")
-        .with_wal(&wal);
+        .with_wal(&wal)
+        .with_backoff(impatient);
     client.open_session("dur", &spec, &opts).expect("open");
 
     // Burst of journaled reports; the server dies halfway.
@@ -195,6 +211,166 @@ fn run_kill_drill(reports: usize, tmp: &std::path::Path) -> KillStats {
     }
 }
 
+/// Client-chosen deterministic config for report `i`: faulted and clean
+/// runs report the exact same rows, so histories compare bit for bit.
+fn config_at(i: usize) -> Vec<Value> {
+    vec![
+        Value::Real(((i * 37 + 11) % 101) as f64 / 101.0),
+        Value::Real(((i * 53 + 29) % 97) as f64 / 97.0),
+    ]
+}
+
+fn sort_key(row: &(usize, Vec<Value>, Vec<f64>)) -> String {
+    format!("{}|{:?}|{:?}", row.0, row.1, row.2)
+}
+
+struct ArchiveStats {
+    accepted_before_kill: usize,
+    recovered_at_restart: usize,
+    final_rows: usize,
+    lost: i64,
+    bit_identical: bool,
+}
+
+/// The server-side durability drill: every acknowledged report is
+/// journaled into the session archive before the ack, so a kill-restart
+/// recovers the session from disk alone — the replacement client carries
+/// no WAL and replays nothing.
+fn run_archive_drill(reports: usize, kill_at: usize, tmp: &std::path::Path) -> ArchiveStats {
+    let root = tmp.join(format!("serve_bench_archive_{}", std::process::id()));
+    let clean_root = tmp.join(format!("serve_bench_archive_clean_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&clean_root);
+    let spec = spec_for(0);
+    let sess = SessionOptions::default();
+    let opts = |archive: &std::path::Path| ServeOptions {
+        workers: 2,
+        archive: Some(archive.to_path_buf()),
+        ..ServeOptions::default()
+    };
+
+    let server = serve("127.0.0.1:0", opts(&root)).expect("bind archive drill");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client.open_session("archive", &spec, &sess).expect("open");
+    let mut accepted = 0usize;
+    for r in 0..kill_at {
+        if client.report(r % 2, &config_at(r), &[r as f64]).is_ok() {
+            accepted += 1;
+        }
+    }
+    // Kill — not drain. Only the per-report journal and the open-time
+    // meta stamp exist on disk.
+    server.shutdown();
+
+    // Replacement on a fresh port, same archive, brand-new client.
+    let server = serve("127.0.0.1:0", opts(&root)).expect("rebind archive drill");
+    let mut client = ServeClient::connect(server.local_addr()).expect("reconnect");
+    client
+        .open_session("archive", &spec, &sess)
+        .expect("reopen");
+    let recovered = client.history().expect("history").len();
+    for r in kill_at..reports {
+        let _ = client.report(r % 2, &config_at(r), &[r as f64]);
+    }
+    let mut got: Vec<String> = client
+        .history()
+        .expect("final history")
+        .iter()
+        .map(sort_key)
+        .collect();
+    got.sort();
+    server.shutdown();
+
+    // Ground truth: the same burst against an uninterrupted server.
+    let clean = serve("127.0.0.1:0", opts(&clean_root)).expect("bind clean");
+    let mut c2 = ServeClient::connect(clean.local_addr()).expect("connect clean");
+    c2.open_session("archive", &spec, &sess)
+        .expect("open clean");
+    for r in 0..reports {
+        let _ = c2.report(r % 2, &config_at(r), &[r as f64]);
+    }
+    let mut expected: Vec<String> = c2
+        .history()
+        .expect("clean history")
+        .iter()
+        .map(sort_key)
+        .collect();
+    expected.sort();
+    clean.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&clean_root);
+
+    ArchiveStats {
+        accepted_before_kill: accepted,
+        recovered_at_restart: recovered,
+        final_rows: got.len(),
+        lost: accepted as i64 - recovered as i64,
+        bit_identical: got == expected,
+    }
+}
+
+struct EvictStats {
+    logical: usize,
+    cap: usize,
+    peak_resident: usize,
+    missing_rows: usize,
+}
+
+/// The memory-pressure drill: far more logical sessions than the resident
+/// cap allows. The table must stay under the cap while sessions are
+/// opened and reported into, and every evicted session must restore from
+/// the archive with its history intact when revisited.
+fn run_eviction_drill(logical: usize, cap: usize, tmp: &std::path::Path) -> EvictStats {
+    let root = tmp.join(format!("serve_bench_evict_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 4,
+            archive: Some(root.clone()),
+            max_resident_sessions: cap,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind eviction drill");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let sess = SessionOptions::default();
+    let mut peak = 0usize;
+    let mut missing = 0usize;
+    for i in 0..logical {
+        if client.open_session("fleet", &spec_for(i), &sess).is_err() {
+            missing += 1;
+            continue;
+        }
+        if client.report(0, &config_at(i), &[i as f64]).is_err() {
+            missing += 1;
+        }
+        peak = peak.max(server.n_sessions());
+    }
+    // Revisit every session: the evicted ones must restore transparently.
+    for i in 0..logical {
+        let ok = client
+            .open_session("fleet", &spec_for(i), &sess)
+            .and_then(|_| client.history())
+            .map(|h| {
+                h.len() == 1 && sort_key(&h[0]) == sort_key(&(0, config_at(i), vec![i as f64]))
+            })
+            .unwrap_or(false);
+        if !ok {
+            missing += 1;
+        }
+        peak = peak.max(server.n_sessions());
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    EvictStats {
+        logical,
+        cap,
+        peak_resident: peak,
+        missing_rows: missing,
+    }
+}
+
 fn quantiles(op: &str) -> (u64, u64, u64) {
     let m = trace::global().metrics();
     match m.histogram(&format!("gptune.serve.latency_us.{op}")) {
@@ -213,12 +389,18 @@ fn main() {
             out_path = arg;
         }
     }
-    // The acceptance bar is ≥ 1000 *concurrent* sessions; smoke mode keeps
+    // The acceptance bar is ≥ 1000 *concurrent* sessions (and ≥ 1024
+    // *logical* sessions through the eviction drill); smoke mode keeps
     // the same shape at gate-friendly scale.
     let (sessions, threads, reports_per_session, kill_reports) = if smoke {
         (32, 8, 2, 10)
     } else {
         (1024, 32, 3, 200)
+    };
+    let (archive_reports, archive_kill_at, evict_logical, evict_cap) = if smoke {
+        (12, 7, 64, 8)
+    } else {
+        (200, 101, 1024, 64)
     };
 
     trace::install(Tracer::ring(1 << 12));
@@ -241,10 +423,16 @@ fn main() {
     let (sug_n, sug_p50, sug_p99) = quantiles("suggest");
     let (rep_n, rep_p50, rep_p99) = quantiles("report");
     let (open_n, open_p50, open_p99) = quantiles("open_session");
-    server.shutdown();
+    // Drain rather than kill: exercises the graceful path (flush + typed
+    // `draining` errors) and the `gptune.serve.drains` counter.
+    server.drain();
 
     let kill = run_kill_drill(kill_reports, &std::env::temp_dir());
+    let archive = run_archive_drill(archive_reports, archive_kill_at, &std::env::temp_dir());
+    let evict = run_eviction_drill(evict_logical, evict_cap, &std::env::temp_dir());
 
+    let m = trace::global().metrics();
+    let counter = |name: &str| m.counter(name).unwrap_or(0);
     let rps = burst.requests as f64 / burst.wall_s.max(1e-9);
     let json = format!(
         "{{\n  \"config\": {{\"sessions\": {}, \"client_threads\": {}, \
@@ -256,7 +444,15 @@ fn main() {
          \"suggest\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}},\n    \
          \"report\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}}\n  }},\n  \
          \"kill_drill\": {{\"journaled\": {}, \"accepted_before_kill\": {}, \
-         \"replayed\": {}, \"recovered\": {}, \"lost_reports\": {}}}\n}}\n",
+         \"replayed\": {}, \"recovered\": {}, \"lost_reports\": {}}},\n  \
+         \"archive_drill\": {{\"reports\": {}, \"accepted_before_kill\": {}, \
+         \"recovered_at_restart\": {}, \"final_rows\": {}, \
+         \"lost_reports\": {}, \"bit_identical\": {}}},\n  \
+         \"eviction_drill\": {{\"logical_sessions\": {}, \"resident_cap\": {}, \
+         \"peak_resident\": {}, \"missing_rows\": {}}},\n  \
+         \"robustness_counters\": {{\"evictions\": {}, \"restores\": {}, \
+         \"sheds\": {}, \"timeouts\": {}, \"drains\": {}, \
+         \"archive_errors\": {}}}\n}}\n",
         burst.sessions,
         threads,
         reports_per_session,
@@ -280,6 +476,22 @@ fn main() {
         kill.replayed,
         kill.recovered,
         kill.lost,
+        archive_reports,
+        archive.accepted_before_kill,
+        archive.recovered_at_restart,
+        archive.final_rows,
+        archive.lost,
+        archive.bit_identical,
+        evict.logical,
+        evict.cap,
+        evict.peak_resident,
+        evict.missing_rows,
+        counter("gptune.serve.evictions"),
+        counter("gptune.serve.restores"),
+        counter("gptune.serve.sheds"),
+        counter("gptune.serve.timeouts"),
+        counter("gptune.serve.drains"),
+        counter("gptune.serve.archive_errors"),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     print!("{json}");
@@ -300,10 +512,37 @@ fn main() {
     if kill.lost != 0 {
         failed.push(format!("{} reports lost across the kill", kill.lost));
     }
+    if archive.lost != 0 {
+        failed.push(format!(
+            "{} acknowledged reports lost across the archive kill-restart",
+            archive.lost
+        ));
+    }
+    if !archive.bit_identical {
+        failed.push("post-recovery history differs from the uninterrupted run".to_string());
+    }
+    if archive.final_rows != archive_reports {
+        failed.push(format!(
+            "archive drill ended with {} rows, expected {archive_reports}",
+            archive.final_rows
+        ));
+    }
+    if evict.peak_resident > evict.cap {
+        failed.push(format!(
+            "resident session table peaked at {} over the cap of {}",
+            evict.peak_resident, evict.cap
+        ));
+    }
+    if evict.missing_rows > 0 {
+        failed.push(format!(
+            "{} of {} logical sessions lost data under eviction pressure",
+            evict.missing_rows, evict.logical
+        ));
+    }
     if failed.is_empty() {
         eprintln!(
-            "serve_bench: OK ({} concurrent sessions, 0 lost reports)",
-            burst.peak_sessions
+            "serve_bench: OK ({} concurrent sessions, {} logical under a cap of {}, 0 lost reports)",
+            burst.peak_sessions, evict.logical, evict.cap
         );
     } else {
         for f in &failed {

@@ -45,5 +45,5 @@ pub use mla::{IterationStat, MlaResult, TaskResult};
 pub use mla_mo::{MoMlaResult, MoTaskResult, ParetoPoint};
 pub use options::{Acquisition, MlaOptions, SearchMethod};
 pub use problem::TuningProblem;
-pub use session::{ReportError, TunerSession};
+pub use session::{ReportError, SessionSnapshot, TunerSession};
 pub use tla::{predict_transfer_config, transfer_tune, transfer_tune_from_db};

@@ -49,6 +49,23 @@ impl std::fmt::Display for ReportError {
     }
 }
 
+/// A portable image of a session's durable state: everything a server
+/// needs to rebuild an equivalent [`TunerSession`] after an eviction or a
+/// restart, given the same problem and options. The surrogate itself is
+/// *not* captured — it is a deterministic function of the history and is
+/// refit lazily on the first post-restore suggest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Suggestion counter at capture time (keeps the post-restore
+    /// suggestion stream aligned with the pre-eviction one).
+    pub n_suggested: u64,
+    /// Refit counter at capture time (the refit seed is salted by this,
+    /// so restoring it keeps the next surrogate fit bit-identical).
+    pub n_refits: u64,
+    /// Accepted reports in arrival order: `(task, config, outputs)`.
+    pub history: Vec<(usize, Config, Vec<f64>)>,
+}
+
 /// An ask/tell tuning session over one [`TuningProblem`].
 pub struct TunerSession {
     problem: TuningProblem,
@@ -87,6 +104,44 @@ impl TunerSession {
             dirty: false,
             n_suggested: 0,
             n_refits: 0,
+        }
+    }
+
+    /// Rebuilds a session from a [`SessionSnapshot`]. The snapshot's
+    /// history is replayed through [`TunerSession::report`] (duplicates
+    /// are absorbed, so replaying an at-least-once archive is safe); any
+    /// other rejection means the snapshot does not match `problem` and is
+    /// returned as the error. The suggestion counter resumes from the
+    /// snapshot, so the restored session continues the same deterministic
+    /// suggestion stream it would have produced without the eviction.
+    pub fn restore(
+        problem: TuningProblem,
+        opts: MlaOptions,
+        snapshot: &SessionSnapshot,
+    ) -> Result<TunerSession, ReportError> {
+        let mut s = TunerSession::new(problem, opts);
+        for (task, config, outputs) in &snapshot.history {
+            match s.report(*task, config.clone(), outputs.clone()) {
+                Ok(()) | Err(ReportError::Duplicate) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        s.n_suggested = s.n_suggested.max(snapshot.n_suggested);
+        s.n_refits = snapshot.n_refits;
+        Ok(s)
+    }
+
+    /// Captures the durable state of this session (see
+    /// [`SessionSnapshot`]). Cheap relative to a refit: one clone of the
+    /// evaluation archive.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            n_suggested: self.n_suggested,
+            n_refits: self.n_refits,
+            history: self
+                .history()
+                .map(|(t, c, o)| (t, c.clone(), o.to_vec()))
+                .collect(),
         }
     }
 
@@ -365,5 +420,67 @@ mod tests {
         let p = toy(1);
         let mut s = TunerSession::new(p, fast_opts());
         assert!(s.suggest(5).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_history_and_counter() {
+        let p = toy(2);
+        let mut s = TunerSession::new(p.clone(), fast_opts());
+        for i in 0..5 {
+            let t = i % 2;
+            let cfg = s.suggest(t).unwrap();
+            let y = measure(&p, t, &cfg);
+            s.report(t, cfg, y).unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.n_suggested, 5);
+        assert_eq!(snap.history.len(), 5);
+
+        let r = TunerSession::restore(p.clone(), fast_opts(), &snap).unwrap();
+        assert_eq!(r.n_reports(), 5);
+        assert_eq!(r.n_suggested(), 5);
+        assert_eq!(r.snapshot(), snap, "restore is lossless for durable state");
+    }
+
+    #[test]
+    fn restored_session_continues_the_same_suggestion_stream() {
+        let p = toy(1);
+        let mut live = TunerSession::new(p.clone(), fast_opts());
+        for _ in 0..4 {
+            let cfg = live.suggest(0).unwrap();
+            let y = measure(&p, 0, &cfg);
+            live.report(0, cfg, y).unwrap();
+        }
+        let mut restored = TunerSession::restore(p.clone(), fast_opts(), &live.snapshot()).unwrap();
+        // Both sessions now face the same (seed, counter, history) state:
+        // the next suggestion must match bit-for-bit.
+        assert_eq!(live.suggest(0), restored.suggest(0));
+    }
+
+    #[test]
+    fn restore_rejects_a_snapshot_from_another_problem() {
+        let p1 = toy(1);
+        let mut s = TunerSession::new(p1.clone(), fast_opts());
+        s.report(0, vec![Value::Real(0.5)], vec![1.0]).unwrap();
+        let mut snap = s.snapshot();
+        snap.history.push((7, vec![Value::Real(0.5)], vec![1.0]));
+        let err = match TunerSession::restore(p1, fast_opts(), &snap) {
+            Ok(_) => panic!("mismatched snapshot must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err, ReportError::BadTask);
+    }
+
+    #[test]
+    fn restore_absorbs_duplicate_archive_rows() {
+        let p = toy(1);
+        let row = (0usize, vec![Value::Real(0.4)], vec![2.0]);
+        let snap = SessionSnapshot {
+            n_suggested: 1,
+            n_refits: 0,
+            history: vec![row.clone(), row],
+        };
+        let s = TunerSession::restore(p, fast_opts(), &snap).unwrap();
+        assert_eq!(s.n_reports(), 1, "at-least-once archive replays dedup");
     }
 }

@@ -226,7 +226,9 @@ impl Db {
 }
 
 /// Filesystem-safe slug of a problem name (`pdgeqrf[0]` → `pdgeqrf_0_`).
-pub(crate) fn sanitize(name: &str) -> String {
+/// Public so other archive writers (the serve session store) derive
+/// file names the same way.
+pub fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {

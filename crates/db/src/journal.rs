@@ -15,6 +15,61 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+/// Why one record was dropped during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordErrorKind {
+    /// A v1 JSONL line that did not parse.
+    CorruptLine,
+    /// A v2 binary record whose stored CRC32 does not match its payload.
+    CrcMismatch {
+        /// The checksum stored alongside the record.
+        stored: u32,
+        /// The checksum computed from the payload actually on disk.
+        computed: u32,
+    },
+    /// An incomplete final record (killed writer), dropped by design.
+    TornTail,
+}
+
+impl std::fmt::Display for RecordErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordErrorKind::CorruptLine => write!(f, "corrupt line"),
+            RecordErrorKind::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "crc mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                )
+            }
+            RecordErrorKind::TornTail => write!(f, "torn tail"),
+        }
+    }
+}
+
+/// One dropped record, with enough context to find it on disk: the file
+/// it lives in (stamped by the shard reader; empty for direct
+/// [`load`]/`journal_v2::load` calls), and its position — a 1-based line
+/// number for v1 journals, a byte offset for v2 shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordError {
+    /// Source file name (shard or live journal), when known.
+    pub file: String,
+    /// Line number (v1) or byte offset (v2) of the bad record.
+    pub offset: u64,
+    /// What was wrong with it.
+    pub kind: RecordErrorKind,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.file.is_empty() {
+            write!(f, "record at {}: {}", self.offset, self.kind)
+        } else {
+            write!(f, "{} at {}: {}", self.file, self.offset, self.kind)
+        }
+    }
+}
+
 /// What recovery had to tolerate while loading a journal.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecoveryReport {
@@ -27,6 +82,9 @@ pub struct RecoveryReport {
     /// `true` when the final line was torn (no trailing newline or
     /// unparseable) and was dropped.
     pub dropped_torn_tail: bool,
+    /// Per-record drop details (one entry per corrupt interior record or
+    /// torn tail), with file/offset context for operators.
+    pub errors: Vec<RecordError>,
 }
 
 impl RecoveryReport {
@@ -68,8 +126,22 @@ pub fn load(path: &Path) -> io::Result<(Vec<DbEntry>, RecoveryReport)> {
                 report.n_loaded += 1;
             }
             Ok(None) => report.n_unknown_kind += 1,
-            Err(_) if is_last => report.dropped_torn_tail = true,
-            Err(_) => report.n_corrupt_interior += 1,
+            Err(_) if is_last => {
+                report.dropped_torn_tail = true;
+                report.errors.push(RecordError {
+                    file: String::new(),
+                    offset: (i + 1) as u64,
+                    kind: RecordErrorKind::TornTail,
+                });
+            }
+            Err(_) => {
+                report.n_corrupt_interior += 1;
+                report.errors.push(RecordError {
+                    file: String::new(),
+                    offset: (i + 1) as u64,
+                    kind: RecordErrorKind::CorruptLine,
+                });
+            }
         }
     }
     Ok((entries, report))
@@ -296,6 +368,30 @@ mod tests {
         assert_eq!(entries.len(), 2);
         assert_eq!(report.n_corrupt_interior, 1);
         assert!(!report.dropped_torn_tail);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn drop_details_carry_line_numbers() {
+        let d = tmpdir("details");
+        let p = d.join("j.jsonl");
+        let torn = rec(9, 9.0).to_line();
+        let text = format!(
+            "{}\nGARBAGE\n{}\n{}",
+            rec(1, 1.0).to_line(),
+            rec(2, 2.0).to_line(),
+            &torn[..torn.len() / 2]
+        );
+        fs::write(&p, text).unwrap();
+        let (entries, report) = load(&p).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(report.errors.len(), 2);
+        assert_eq!(report.errors[0].offset, 2, "1-based line of the garbage");
+        assert_eq!(report.errors[0].kind, RecordErrorKind::CorruptLine);
+        assert_eq!(report.errors[1].offset, 4);
+        assert_eq!(report.errors[1].kind, RecordErrorKind::TornTail);
+        // Display is operator-friendly even without a file name.
+        assert!(report.errors[0].to_string().contains("corrupt line"));
         let _ = fs::remove_dir_all(&d);
     }
 

@@ -22,7 +22,7 @@
 //! readers and `db_tool merge` treat both formats uniformly.
 
 use crate::fsio;
-use crate::journal::RecoveryReport;
+use crate::journal::{RecordError, RecordErrorKind, RecoveryReport};
 use crate::record::{
     DbEntry, DbRecord, DbValue, FailKind, FailRecord, Provenance, RunStats, RunSummary,
 };
@@ -143,20 +143,38 @@ pub fn load(path: &Path) -> io::Result<(Vec<DbEntry>, RecoveryReport)> {
     let mut entries = Vec::new();
     let mut report = RecoveryReport::default();
     while r.pos < r.buf.len() {
-        let Some(len) = r.varint().filter(|&l| l <= MAX_PAYLOAD) else {
+        // Byte offset of the record about to be decoded — reported with
+        // any drop so operators can find the damage on disk.
+        let record_at = r.pos as u64;
+        let torn = |report: &mut RecoveryReport| {
             report.dropped_torn_tail = true;
+            report.errors.push(RecordError {
+                file: String::new(),
+                offset: record_at,
+                kind: RecordErrorKind::TornTail,
+            });
+        };
+        let Some(len) = r.varint().filter(|&l| l <= MAX_PAYLOAD) else {
+            torn(&mut report);
             break;
         };
         let Some(payload) = r.take(len as usize) else {
-            report.dropped_torn_tail = true;
+            torn(&mut report);
             break;
         };
         let Some(stored_crc) = r.take(4).and_then(|b| <[u8; 4]>::try_from(b).ok()) else {
-            report.dropped_torn_tail = true;
+            torn(&mut report);
             break;
         };
-        if crc32(payload) != u32::from_le_bytes(stored_crc) {
+        let stored = u32::from_le_bytes(stored_crc);
+        let computed = crc32(payload);
+        if computed != stored {
             report.n_corrupt_interior += 1;
+            report.errors.push(RecordError {
+                file: String::new(),
+                offset: record_at,
+                kind: RecordErrorKind::CrcMismatch { stored, computed },
+            });
             continue;
         }
         match decode_entry(payload, &problem, sig, &machines) {
@@ -604,6 +622,13 @@ mod tests {
         assert_eq!(back.len(), entries.len() - 1);
         assert_eq!(report.n_corrupt_interior, 1);
         assert!(!report.dropped_torn_tail);
+        // The drop is typed, with the record's byte offset and both CRCs.
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].offset, header_len as u64);
+        match report.errors[0].kind {
+            RecordErrorKind::CrcMismatch { stored, computed } => assert_ne!(stored, computed),
+            ref k => panic!("expected CrcMismatch, got {k:?}"),
+        }
         let _ = std::fs::remove_dir_all(&d);
     }
 

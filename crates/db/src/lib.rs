@@ -47,9 +47,9 @@ pub mod record;
 pub mod shard;
 
 pub use checkpoint::{Checkpoint, CheckpointKind, CkptFail};
-pub use db::{Db, Query};
+pub use db::{sanitize, Db, Query};
 pub use fsio::atomic_write;
-pub use journal::RecoveryReport;
+pub use journal::{RecordError, RecordErrorKind, RecoveryReport};
 pub use lock::{FileLock, LockOptions};
 pub use record::{
     fnv1a, DbEntry, DbRecord, DbValue, FailKind, FailRecord, Provenance, RunStats, RunSummary,

@@ -126,7 +126,10 @@ fn shard_file(problem: &str, sig: u64, idx: usize) -> String {
     format!("{}-{sig:016x}.shard{idx:03}.gdb2", sanitize(problem))
 }
 
-fn live_journal_path(root: &Path, problem: &str, sig: u64) -> PathBuf {
+/// Path of the live JSONL write head for a problem signature. Public so
+/// archive writers outside this crate (the serve session store) append
+/// to the same file `load_all` folds in.
+pub fn live_journal_path(root: &Path, problem: &str, sig: u64) -> PathBuf {
     root.join(format!("{}-{sig:016x}.jsonl", sanitize(problem)))
 }
 
@@ -230,12 +233,24 @@ impl ShardManifest {
     }
 }
 
-/// Loads one shard file according to its manifest format.
+/// Loads one shard file according to its manifest format. Per-record
+/// drop errors come back stamped with the shard's file name.
 pub fn load_shard(root: &Path, info: &ShardInfo) -> io::Result<(Vec<DbEntry>, RecoveryReport)> {
     let path = root.join(&info.file);
-    match info.format {
-        ShardFormat::Jsonl => journal::load(&path),
-        ShardFormat::V2 => journal_v2::load(&path),
+    let (entries, mut report) = match info.format {
+        ShardFormat::Jsonl => journal::load(&path)?,
+        ShardFormat::V2 => journal_v2::load(&path)?,
+    };
+    stamp_file(&mut report, &info.file);
+    Ok((entries, report))
+}
+
+/// Fills in the source-file name on errors the format readers left blank.
+fn stamp_file(report: &mut RecoveryReport, file: &str) {
+    for err in &mut report.errors {
+        if err.file.is_empty() {
+            err.file = file.to_string();
+        }
     }
 }
 
@@ -257,7 +272,15 @@ pub fn load_all(
             entries.extend(es);
         }
     }
-    let (live, r) = journal::load(&live_journal_path(root, problem, sig))?;
+    let live_path = live_journal_path(root, problem, sig);
+    let (live, mut r) = journal::load(&live_path)?;
+    stamp_file(
+        &mut r,
+        &live_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+    );
     absorb(&mut report, &r);
     entries.extend(live);
     let mut seen = BTreeSet::new();
@@ -271,6 +294,7 @@ fn absorb(into: &mut RecoveryReport, from: &RecoveryReport) {
     into.n_unknown_kind += from.n_unknown_kind;
     into.n_corrupt_interior += from.n_corrupt_interior;
     into.dropped_torn_tail |= from.dropped_torn_tail;
+    into.errors.extend(from.errors.iter().cloned());
 }
 
 /// Splits the accumulated history of `(problem, sig)` into v2 archive
@@ -583,6 +607,41 @@ mod tests {
         // compact_live drops the duplicate from the write head.
         let (kept, dropped) = compact_live(&root, "toy", 0xfeed, &LockOptions::default()).unwrap();
         assert_eq!((kept, dropped), (0, 1));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_shard_record_is_reported_with_file_context() {
+        let root = tmp_root("crcctx");
+        seed_journal(
+            &root,
+            &(0..4).map(|i| rec(0, i, i as f64)).collect::<Vec<_>>(),
+        );
+        let m = split(
+            &root,
+            "toy",
+            0xfeed,
+            ShardPolicy::Window(100),
+            &LockOptions::default(),
+        )
+        .unwrap();
+        // Flip a payload byte deep inside the single v2 shard.
+        let shard = root.join(&m.shards[0].file);
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let n = bytes.len();
+        bytes[n - 12] ^= 0x10;
+        std::fs::write(&shard, &bytes).unwrap();
+        let (all, report) = load_all(&root, "toy", 0xfeed).unwrap();
+        assert_eq!(all.len(), 3, "one record dropped");
+        assert_eq!(report.n_corrupt_interior, 1);
+        assert_eq!(report.errors.len(), 1);
+        let err = &report.errors[0];
+        assert_eq!(err.file, m.shards[0].file, "shard name attached");
+        assert!(err.offset > 0);
+        assert!(matches!(
+            err.kind,
+            crate::journal::RecordErrorKind::CrcMismatch { .. }
+        ));
         let _ = std::fs::remove_dir_all(&root);
     }
 

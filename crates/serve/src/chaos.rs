@@ -1,0 +1,472 @@
+//! Deterministic protocol-level fault injection.
+//!
+//! [`ChaosProxy`] sits between a [`crate::ServeClient`] and a server as a
+//! frame-aware TCP relay: it reads whole request frames, decides per
+//! frame — from a seeded [`FaultSpec`], never a clock or OS entropy —
+//! whether to forward, tear, reset, oversize, delay, or duplicate, and
+//! relays the response back. Because the schedule is a pure function of
+//! `(seed, connection index, frame index)`, a chaos run is replayable:
+//! the same seed injects the same faults at the same protocol positions.
+//!
+//! The proxy exists to *prove* the robustness claims, not to simulate
+//! load: suites drive a tuning session through it and assert zero lost
+//! reports and bit-identical history against an unfaulted run.
+
+use crate::protocol::{read_frame, write_frame, MAX_FRAME};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The seeded fault schedule. Each `*_every` is a per-connection period:
+/// `0` disables the fault, `n` fires it on every `n`-th request frame of
+/// a connection, phase-shifted by a hash of the seed and the connection
+/// index so different connections fault at different positions. When
+/// several faults land on one frame, the most destructive wins
+/// (reset > tear > oversize > duplicate > delay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for the deterministic schedule (phase of each period).
+    pub seed: u64,
+    /// Close both sides mid-conversation (connection reset).
+    pub reset_every: u64,
+    /// Forward only half the frame, then close (mid-frame EOF upstream).
+    pub tear_every: u64,
+    /// Send a length word beyond [`MAX_FRAME`] (framing attack).
+    pub oversize_every: u64,
+    /// Forward the request twice (at-least-once delivery).
+    pub duplicate_every: u64,
+    /// Stall the frame by [`FaultSpec::delay_ms`] before forwarding.
+    pub delay_every: u64,
+    /// Stall length for delayed frames.
+    pub delay_ms: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            reset_every: 0,
+            tear_every: 0,
+            oversize_every: 0,
+            duplicate_every: 0,
+            delay_every: 0,
+            delay_ms: 5,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    Forward,
+    Reset,
+    Tear,
+    Oversize,
+    Duplicate,
+    Delay,
+}
+
+/// splitmix64 — the repo's standard cheap bit mixer (also used for the
+/// client's deterministic backoff jitter).
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultSpec {
+    /// The fault for request frame `frame` of connection `conn` — a pure
+    /// function, so schedules replay exactly.
+    fn fault_at(&self, conn: u64, frame: u64) -> Fault {
+        let hits = |every: u64, tag: u64| {
+            every > 0 && (frame + mix(self.seed ^ tag ^ conn.wrapping_mul(0x9e3779b9))) % every == 0
+        };
+        if hits(self.reset_every, 0x5245) {
+            Fault::Reset
+        } else if hits(self.tear_every, 0x5445) {
+            Fault::Tear
+        } else if hits(self.oversize_every, 0x4f56) {
+            Fault::Oversize
+        } else if hits(self.duplicate_every, 0x4455) {
+            Fault::Duplicate
+        } else if hits(self.delay_every, 0x444c) {
+            Fault::Delay
+        } else {
+            Fault::Forward
+        }
+    }
+}
+
+/// Injected-fault tallies, snapshotted via [`ChaosProxy::counts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Request frames relayed unharmed (delayed/duplicated count here too).
+    pub forwarded: u64,
+    pub resets: u64,
+    pub torn: u64,
+    pub oversized: u64,
+    pub duplicated: u64,
+    pub delayed: u64,
+}
+
+#[derive(Default)]
+struct AtomicCounts {
+    forwarded: AtomicU64,
+    resets: AtomicU64,
+    torn: AtomicU64,
+    oversized: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+struct ProxyState {
+    target: SocketAddr,
+    spec: FaultSpec,
+    stop: AtomicBool,
+    conn_seq: AtomicU64,
+    conns: Mutex<Vec<TcpStream>>,
+    counts: AtomicCounts,
+}
+
+/// A frame-aware fault-injecting relay in front of a serve endpoint.
+/// Point a client at [`ChaosProxy::local_addr`]; each inbound connection
+/// gets its own upstream connection to the target and its own relay
+/// thread.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    state: Arc<ProxyState>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port relaying to `target` under `spec`.
+    pub fn launch(target: SocketAddr, spec: FaultSpec) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ProxyState {
+            target,
+            spec,
+            stop: AtomicBool::new(false),
+            conn_seq: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            counts: AtomicCounts::default(),
+        });
+        let accept_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("gptune-chaos-proxy".into())
+            .spawn(move || accept_loop(&listener, &accept_state))
+            .expect("spawn chaos acceptor");
+        Ok(ChaosProxy {
+            addr,
+            state,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of how many faults of each kind have been injected.
+    pub fn counts(&self) -> FaultCounts {
+        let c = &self.state.counts;
+        FaultCounts {
+            forwarded: c.forwarded.load(Ordering::Relaxed),
+            resets: c.resets.load(Ordering::Relaxed),
+            torn: c.torn.load(Ordering::Relaxed),
+            oversized: c.oversized.load(Ordering::Relaxed),
+            duplicated: c.duplicated.load(Ordering::Relaxed),
+            delayed: c.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, severs every relayed connection, and joins.
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        for c in self.state.conns.lock().unwrap().iter() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        // Unblock the acceptor; the poke socket is deadline-armed like
+        // every other serve-side socket (GX303).
+        if let Ok(poke) = TcpStream::connect(self.addr) {
+            let _ = poke.set_read_timeout(Some(Duration::from_secs(1)));
+            let _ = poke.set_write_timeout(Some(Duration::from_secs(1)));
+        }
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ProxyState>) {
+    let mut relays = Vec::new();
+    loop {
+        let client = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => break,
+        };
+        let _ = client.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = client.set_write_timeout(Some(Duration::from_secs(30)));
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn_id = state.conn_seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = client.try_clone() {
+            state.conns.lock().unwrap().push(clone);
+        }
+        let relay_state = Arc::clone(state);
+        relays.push(
+            std::thread::Builder::new()
+                .name(format!("gptune-chaos-relay-{conn_id}"))
+                .spawn(move || {
+                    let _ = relay_conn(client, conn_id, &relay_state);
+                })
+                .expect("spawn chaos relay"),
+        );
+    }
+    for t in relays {
+        let _ = t.join();
+    }
+}
+
+/// Relays one client connection, injecting the scheduled fault per
+/// request frame. Strict request/response alternation lets the relay
+/// stay single-threaded per connection.
+fn relay_conn(mut client: TcpStream, conn_id: u64, state: &Arc<ProxyState>) -> io::Result<()> {
+    let mut server = TcpStream::connect(state.target)?;
+    let _ = server.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = server.set_write_timeout(Some(Duration::from_secs(30)));
+    if let Ok(clone) = server.try_clone() {
+        state.conns.lock().unwrap().push(clone);
+    }
+    let mut frame_idx = 0u64;
+    loop {
+        let request = match read_frame(&mut client) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => {
+                let _ = server.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+        };
+        let fault = state.spec.fault_at(conn_id, frame_idx);
+        frame_idx += 1;
+        match fault {
+            Fault::Reset => {
+                state.counts.resets.fetch_add(1, Ordering::Relaxed);
+                let _ = client.shutdown(Shutdown::Both);
+                let _ = server.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+            Fault::Tear => {
+                // Real length word, half the payload: the server sees a
+                // mid-frame EOF, the client a dead connection.
+                state.counts.torn.fetch_add(1, Ordering::Relaxed);
+                let len = (request.len() as u32).to_be_bytes();
+                let _ = server
+                    .write_all(&len)
+                    .and_then(|()| server.write_all(&request[..request.len() / 2]))
+                    .and_then(|()| server.flush());
+                let _ = client.shutdown(Shutdown::Both);
+                let _ = server.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+            Fault::Oversize => {
+                // A length word past the cap: the server must refuse the
+                // frame rather than allocate unboundedly.
+                state.counts.oversized.fetch_add(1, Ordering::Relaxed);
+                let bogus = ((MAX_FRAME as u32) + 1).to_be_bytes();
+                let _ = server.write_all(&bogus).and_then(|()| server.flush());
+                let _ = client.shutdown(Shutdown::Both);
+                let _ = server.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+            Fault::Duplicate => {
+                state.counts.duplicated.fetch_add(1, Ordering::Relaxed);
+                state.counts.forwarded.fetch_add(1, Ordering::Relaxed);
+                write_frame(&mut server, &request)?;
+                write_frame(&mut server, &request)?;
+                // Relay the first response; swallow the second so the
+                // client still sees strict alternation.
+                if !relay_response(&mut server, &mut client)? {
+                    return Ok(());
+                }
+                if read_frame(&mut server)?.is_none() {
+                    let _ = client.shutdown(Shutdown::Both);
+                    return Ok(());
+                }
+            }
+            Fault::Delay => {
+                state.counts.delayed.fetch_add(1, Ordering::Relaxed);
+                state.counts.forwarded.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(state.spec.delay_ms));
+                write_frame(&mut server, &request)?;
+                if !relay_response(&mut server, &mut client)? {
+                    return Ok(());
+                }
+            }
+            Fault::Forward => {
+                state.counts.forwarded.fetch_add(1, Ordering::Relaxed);
+                write_frame(&mut server, &request)?;
+                if !relay_response(&mut server, &mut client)? {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Relays one response frame server→client. Returns `false` when either
+/// side is gone (the caller ends the relay).
+fn relay_response(server: &mut impl Read, client: &mut TcpStream) -> io::Result<bool> {
+    match read_frame(server) {
+        Ok(Some(resp)) => {
+            write_frame(client, &resp)?;
+            Ok(true)
+        }
+        Ok(None) | Err(_) => {
+            let _ = client.shutdown(Shutdown::Both);
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{read_json, write_json, Request};
+    use crate::server::{serve, ServeOptions};
+
+    fn start_server() -> crate::server::ServerHandle {
+        serve(
+            "127.0.0.1:0",
+            ServeOptions {
+                workers: 2,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_seed_sensitive() {
+        let spec = FaultSpec {
+            seed: 42,
+            reset_every: 5,
+            tear_every: 7,
+            duplicate_every: 3,
+            ..FaultSpec::default()
+        };
+        let a: Vec<Fault> = (0..64).map(|f| spec.fault_at(1, f)).collect();
+        let b: Vec<Fault> = (0..64).map(|f| spec.fault_at(1, f)).collect();
+        assert_eq!(a, b, "schedule must replay");
+        let other = FaultSpec { seed: 43, ..spec };
+        let c: Vec<Fault> = (0..64).map(|f| other.fault_at(1, f)).collect();
+        assert_ne!(a, c, "seed must move the schedule");
+        // Each enabled fault fires at its period somewhere in the window.
+        assert!(a.contains(&Fault::Reset));
+        assert!(a.iter().filter(|f| **f == Fault::Duplicate).count() >= 64 / 3 / 2);
+        // Disabled faults never fire.
+        assert!(!a.contains(&Fault::Oversize));
+        assert!(!a.contains(&Fault::Delay));
+    }
+
+    #[test]
+    fn clean_proxy_is_transparent() {
+        let server = start_server();
+        let proxy = ChaosProxy::launch(server.local_addr(), FaultSpec::default()).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        for _ in 0..3 {
+            write_json(&mut c, &Request::Ping.to_json()).unwrap();
+            let resp = read_json(&mut c).unwrap().expect("response through proxy");
+            assert!(crate::protocol::is_ok(&resp));
+        }
+        assert_eq!(proxy.counts().forwarded, 3);
+        assert_eq!(proxy.counts().resets, 0);
+        proxy.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn reset_tear_and_oversize_kill_the_connection_but_not_the_server() {
+        let server = start_server();
+        for spec in [
+            FaultSpec {
+                reset_every: 1,
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                tear_every: 1,
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                oversize_every: 1,
+                ..FaultSpec::default()
+            },
+        ] {
+            let proxy = ChaosProxy::launch(server.local_addr(), spec).unwrap();
+            let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+            let dead = write_json(&mut c, &Request::Ping.to_json())
+                .and_then(|()| read_json(&mut c))
+                .map(|r| r.is_none());
+            assert!(matches!(dead, Ok(true) | Err(_)), "fault must surface");
+            let counts = proxy.counts();
+            assert_eq!(
+                counts.resets + counts.torn + counts.oversized,
+                1,
+                "{counts:?}"
+            );
+            proxy.shutdown();
+            // The server is still healthy for direct clients.
+            let mut direct = TcpStream::connect(server.local_addr()).unwrap();
+            write_json(&mut direct, &Request::Ping.to_json()).unwrap();
+            assert!(crate::protocol::is_ok(
+                &read_json(&mut direct).unwrap().unwrap()
+            ));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicates_and_delays_stay_transparent_to_the_client() {
+        let server = start_server();
+        let proxy = ChaosProxy::launch(
+            server.local_addr(),
+            FaultSpec {
+                duplicate_every: 1,
+                delay_every: 0,
+                ..FaultSpec::default()
+            },
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        for _ in 0..3 {
+            write_json(&mut c, &Request::Ping.to_json()).unwrap();
+            let resp = read_json(&mut c)
+                .unwrap()
+                .expect("one response per request");
+            assert!(crate::protocol::is_ok(&resp));
+        }
+        assert_eq!(proxy.counts().duplicated, 3);
+        proxy.shutdown();
+
+        let proxy = ChaosProxy::launch(
+            server.local_addr(),
+            FaultSpec {
+                delay_every: 1,
+                delay_ms: 2,
+                ..FaultSpec::default()
+            },
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        write_json(&mut c, &Request::Ping.to_json()).unwrap();
+        assert!(read_json(&mut c).unwrap().is_some());
+        assert_eq!(proxy.counts().delayed, 1);
+        proxy.shutdown();
+        server.shutdown();
+    }
+}

@@ -7,29 +7,72 @@
 //! (see [`crate::server`]), so at-least-once replay composes into
 //! exactly-once history — reports survive a server kill mid-burst without
 //! the client tracking acknowledgements at all.
+//!
+//! Transport faults and the server's typed `draining` / `overloaded`
+//! errors are retried under a [`BackoffPolicy`]: bounded exponential
+//! delays with deterministic, seed-derived jitter (no clock or OS entropy
+//! feeds the schedule), floored by any `retry_after_ms` hint the server
+//! attached. Plain server errors (`ok:false` with no retryable code) are
+//! never retried — they surface as `ErrorKind::Other` immediately.
 
-use crate::protocol::{error_of, is_ok, read_json, write_json, Request, SessionOptions};
+use crate::chaos::mix;
+use crate::protocol::{
+    error_code, error_of, is_ok, is_retryable_error, read_json, retry_after_of, write_json,
+    Request, SessionOptions, CODE_DRAINING,
+};
 use crate::spec::{config_from_json, ProblemSpec};
+use crate::store::{value_from_db, value_to_db};
 use gptune_db::json::Json;
-use gptune_db::{fnv1a, journal, DbEntry, DbRecord, DbValue, LockOptions, Provenance};
+use gptune_db::{fnv1a, journal, DbEntry, DbRecord, LockOptions, Provenance};
 use gptune_space::{Config, Value};
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
+use std::time::Duration;
 
-fn value_to_db(v: &Value) -> DbValue {
-    match v {
-        Value::Real(x) => DbValue::Real(*x),
-        Value::Int(x) => DbValue::Int(*x),
-        Value::Cat(k) => DbValue::Cat(*k),
+/// Client-side socket deadlines (GX303: every socket is bounded).
+const CLIENT_IO_TIMEOUT: Option<Duration> = Some(Duration::from_secs(30));
+
+/// Retry schedule for transport faults and retryable server errors:
+/// exponential delays `base_ms << attempt`, capped at `cap_ms`, each
+/// jittered *deterministically* into `[delay/2, delay]` by hashing
+/// `(jitter_seed, attempt)` — never a clock — so two clients with
+/// different seeds desynchronize their retry storms while any single
+/// run replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Retries after the first attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// First delay, milliseconds.
+    pub base_ms: u64,
+    /// Delay ceiling, milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_retries: 6,
+            base_ms: 10,
+            cap_ms: 2000,
+            jitter_seed: 0x6261_636b_6f66_66,
+        }
     }
 }
 
-fn value_from_db(v: &DbValue) -> Value {
-    match v {
-        DbValue::Real(x) => Value::Real(*x),
-        DbValue::Int(x) => Value::Int(*x),
-        DbValue::Cat(k) => Value::Cat(*k),
+impl BackoffPolicy {
+    /// The jittered delay before retry number `attempt` (0-based).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let raw = self
+            .base_ms
+            .max(1)
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap_ms.max(1));
+        let h = mix(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let lo = raw / 2;
+        lo + h % (raw - lo + 1)
     }
 }
 
@@ -38,6 +81,7 @@ pub struct ServeClient {
     addr: SocketAddr,
     stream: TcpStream,
     wal: Option<PathBuf>,
+    backoff: BackoffPolicy,
     /// Set once `open_session` succeeds; reused by auto-reconnect.
     opened: Option<(String, ProblemSpec, SessionOptions, String)>,
 }
@@ -51,6 +95,7 @@ impl ServeClient {
             addr,
             stream,
             wal: None,
+            backoff: BackoffPolicy::default(),
             opened: None,
         })
     }
@@ -59,6 +104,12 @@ impl ServeClient {
     /// on the wire; `open_session` and reconnects replay the whole file.
     pub fn with_wal(mut self, path: impl Into<PathBuf>) -> ServeClient {
         self.wal = Some(path.into());
+        self
+    }
+
+    /// Overrides the retry schedule (see [`BackoffPolicy`]).
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> ServeClient {
+        self.backoff = policy;
         self
     }
 
@@ -81,7 +132,7 @@ impl ServeClient {
             spec: spec.clone(),
             opts: opts.clone(),
         };
-        let resp = self.rpc_once(&req)?;
+        let resp = self.rpc(&req)?;
         let key = resp
             .get("session")
             .and_then(|v| v.as_str())
@@ -177,6 +228,8 @@ impl ServeClient {
     pub fn reconnect(&mut self) -> io::Result<()> {
         self.stream = TcpStream::connect(self.addr)?;
         self.stream.set_nodelay(true).ok();
+        let _ = self.stream.set_read_timeout(CLIENT_IO_TIMEOUT);
+        let _ = self.stream.set_write_timeout(CLIENT_IO_TIMEOUT);
         if let Some((tenant, spec, opts, _)) = self.opened.clone() {
             let req = Request::OpenSession { tenant, spec, opts };
             self.rpc_once(&req)?;
@@ -192,31 +245,69 @@ impl ServeClient {
             .ok_or_else(|| bad_server("no open session"))
     }
 
-    /// One request/response exchange with a single transparent retry:
-    /// transport errors trigger reconnect + session re-open + WAL replay,
-    /// then the request is sent once more. Server-level failures
-    /// (`ok:false`) are never retried.
+    /// One request/response exchange under the retry policy. Transport
+    /// errors and typed `draining` / `overloaded` responses trigger
+    /// backoff (floored by any server `retry_after_ms` hint), reconnect —
+    /// with session re-open and WAL replay — and a resend, up to
+    /// [`BackoffPolicy::max_retries`] times. Plain server failures
+    /// (`ok:false` with no retryable code) are never retried.
     fn rpc(&mut self, req: &Request) -> io::Result<Json> {
-        match self.rpc_once(req) {
-            Ok(j) => Ok(j),
-            Err(e) if e.kind() == io::ErrorKind::Other => Err(e),
-            Err(_) => {
-                self.reconnect()?;
-                self.rpc_once(req)
+        let mut attempt: u32 = 0;
+        let mut last_reason: Option<String> = None;
+        loop {
+            // Reconnect only when the connection is actually gone: after
+            // a transport fault or a `draining` reply (the server hangs
+            // up behind those). An `overloaded` reply leaves the
+            // connection healthy — retrying on it avoids tearing the
+            // session down just to rebuild it.
+            let (err, retry_hint_ms, conn_dead) = match self.exchange(req) {
+                Ok(resp) if is_ok(&resp) => return Ok(resp),
+                Ok(resp) if is_retryable_error(&resp) => {
+                    let drained = error_code(&resp).as_deref() == Some(CODE_DRAINING);
+                    last_reason = Some(error_of(&resp));
+                    (bad_server(error_of(&resp)), retry_after_of(&resp), drained)
+                }
+                Ok(resp) => return Err(bad_server(error_of(&resp))),
+                Err(e) => (e, None, true),
+            };
+            if attempt >= self.backoff.max_retries {
+                // When retries die on a transport fault mid-storm, the
+                // typed reason we saw earlier is the informative one.
+                return Err(match last_reason {
+                    Some(reason) => bad_server(reason),
+                    None => err,
+                });
+            }
+            let delay = self
+                .backoff
+                .delay_ms(attempt)
+                .max(retry_hint_ms.unwrap_or(0));
+            std::thread::sleep(Duration::from_millis(delay));
+            attempt += 1;
+            if conn_dead {
+                // A failed reconnect is not fatal mid-loop: the next
+                // exchange fails fast on the dead stream and we back off
+                // again.
+                let _ = self.reconnect();
             }
         }
     }
 
     fn rpc_once(&mut self, req: &Request) -> io::Result<Json> {
-        write_json(&mut self.stream, &req.to_json())?;
-        let resp = read_json(&mut self.stream)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the stream")
-        })?;
+        let resp = self.exchange(req)?;
         if is_ok(&resp) {
             Ok(resp)
         } else {
             Err(bad_server(error_of(&resp)))
         }
+    }
+
+    /// The raw wire exchange: errors here are transport faults only; the
+    /// response JSON may still carry `ok:false`.
+    fn exchange(&mut self, req: &Request) -> io::Result<Json> {
+        write_json(&mut self.stream, &req.to_json())?;
+        read_json(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the stream"))
     }
 
     /// Pushes every journaled report at the server. Duplicates of reports
@@ -299,6 +390,8 @@ fn connect_first(addr: impl ToSocketAddrs) -> io::Result<TcpStream> {
             match TcpStream::connect(a) {
                 Ok(s) => {
                     s.set_nodelay(true).ok();
+                    let _ = s.set_read_timeout(CLIENT_IO_TIMEOUT);
+                    let _ = s.set_write_timeout(CLIENT_IO_TIMEOUT);
                     return Ok(s);
                 }
                 Err(e) => last = e,
@@ -455,6 +548,58 @@ mod tests {
             .unwrap();
         let err = client.report(99, &[Value::Real(0.5)], &[1.0]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::Other);
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_jittered_and_capped() {
+        let policy = BackoffPolicy {
+            max_retries: 8,
+            base_ms: 10,
+            cap_ms: 100,
+            jitter_seed: 7,
+        };
+        for attempt in 0..8u32 {
+            let raw = 10u64.saturating_mul(1 << attempt).min(100);
+            let d = policy.delay_ms(attempt);
+            assert!(d >= raw / 2 && d <= raw, "attempt {attempt}: {d} vs {raw}");
+            assert_eq!(d, policy.delay_ms(attempt), "schedule must replay");
+        }
+        // A different seed moves at least one delay.
+        let other = BackoffPolicy {
+            jitter_seed: 8,
+            ..policy
+        };
+        assert!((0..8).any(|a| policy.delay_ms(a) != other.delay_ms(a)));
+        // Cap holds however deep the retry count runs.
+        assert!(policy.delay_ms(63) <= 100);
+    }
+
+    #[test]
+    fn draining_responses_are_retried_then_surfaced() {
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let mut client = ServeClient::connect(server.local_addr())
+            .unwrap()
+            .with_backoff(BackoffPolicy {
+                max_retries: 2,
+                base_ms: 1,
+                cap_ms: 2,
+                jitter_seed: 1,
+            });
+        client
+            .open_session("t", &spec(), &SessionOptions::default())
+            .unwrap();
+        // Put the server into draining without stopping it: suggest now
+        // returns the typed error every time.
+        write_json(&mut client.stream, &Request::Drain.to_json()).unwrap();
+        assert!(is_ok(&read_json(&mut client.stream).unwrap().unwrap()));
+        let err = client.suggest(0).unwrap_err();
+        assert!(
+            err.to_string().contains("draining"),
+            "after retries the typed error surfaces: {err}"
+        );
+        // Ping stays usable through the drain (reconnect path works).
+        client.reconnect().ok();
         server.shutdown();
     }
 }

@@ -13,18 +13,30 @@
 //!   problem ([`ProblemSpec`]); the objective never crosses the wire.
 //! - [`protocol`] — length-prefixed JSON frames over any byte stream,
 //!   plus the typed [`Request`] vocabulary.
+//! - [`store`] — the durable session archive: per-session sharded
+//!   `gptune-db` journals (one row per report, appended before the ack)
+//!   plus a small meta snapshot, so sessions survive eviction and server
+//!   restarts without client WAL replay.
 //! - [`server`] — a bounded acceptor pool mapping each tenant/problem
-//!   pair to a lazily-refit [`gptune_core::TunerSession`].
+//!   pair to a lazily-refit [`gptune_core::TunerSession`], with
+//!   per-connection deadlines, per-tenant in-flight caps, LRU eviction
+//!   under a resident cap, and a graceful drain path.
 //! - [`client`] — typed calls plus a write-ahead journal: reports are
 //!   journaled locally before they are sent and replayed wholesale on
 //!   reconnect, while the server absorbs duplicates, so a server kill
-//!   mid-burst loses nothing.
+//!   mid-burst loses nothing. Reconnects use bounded exponential backoff
+//!   with deterministic jitter, honoring server `retry_after_ms` hints.
+//! - [`chaos`] — a deterministic protocol-level fault proxy
+//!   ([`ChaosProxy`], driven by a seeded [`FaultSpec`]) that tears
+//!   frames, resets connections, and delays or duplicates requests, for
+//!   robustness suites.
 //!
 //! Every request is traced through `gptune-trace` (span
 //! `gptune.serve.request`, histograms `gptune.serve.latency_us.<op>`,
 //! counters `gptune.serve.requests` / `gptune.serve.errors` /
-//! `gptune.serve.tenant.<tenant>.requests`, gauge
-//! `gptune.serve.sessions`), which is what `serve_bench` reads its
+//! `gptune.serve.tenant.<tenant>.requests` and the robustness set
+//! `gptune.serve.{evictions,restores,sheds,timeouts,drains,archive_errors}`,
+//! gauge `gptune.serve.sessions`), which is what `serve_bench` reads its
 //! p50/p99 from.
 //!
 //! # Quickstart
@@ -49,12 +61,16 @@
 //! server.shutdown();
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod spec;
+pub mod store;
 
-pub use client::ServeClient;
-pub use protocol::{Request, SessionOptions, MAX_FRAME};
+pub use chaos::{ChaosProxy, FaultCounts, FaultSpec};
+pub use client::{BackoffPolicy, ServeClient};
+pub use protocol::{Request, SessionOptions, CODE_DRAINING, CODE_OVERLOADED, MAX_FRAME};
 pub use server::{serve, serving_mla_options, ServeOptions, ServerHandle};
 pub use spec::ProblemSpec;
+pub use store::{SessionStore, StoredSession};

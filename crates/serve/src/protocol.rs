@@ -10,6 +10,11 @@
 //! carries the op-specific payload inline; `{"ok":false,"error":"..."}`
 //! reports a protocol- or session-level failure. Transport errors surface
 //! as `io::Error` instead.
+//!
+//! Failures a client should *retry* carry a machine-readable `"code"`
+//! ([`CODE_DRAINING`], [`CODE_OVERLOADED`]) and a `"retry_after_ms"` hint;
+//! everything else (bad request, unknown session, spec mismatch) is a
+//! terminal error with no code.
 
 use crate::spec::{config_from_json, config_to_json, ProblemSpec};
 use gptune_db::json::{self, Json};
@@ -164,6 +169,11 @@ pub enum Request {
         /// Session key.
         session: String,
     },
+    /// Readiness and session-table-pressure probe.
+    Health,
+    /// Begins a graceful drain: the server flushes every session to its
+    /// archive and answers subsequent requests with a `draining` error.
+    Drain,
 }
 
 impl Request {
@@ -176,6 +186,8 @@ impl Request {
             Request::Report { .. } => "report",
             Request::History { .. } => "history",
             Request::Close { .. } => "close",
+            Request::Health => "health",
+            Request::Drain => "drain",
         }
     }
 
@@ -217,6 +229,8 @@ impl Request {
                 ("op".into(), Json::Str("close".into())),
                 ("session".into(), Json::Str(session.clone())),
             ]),
+            Request::Health => Json::Obj(vec![("op".into(), Json::Str("health".into()))]),
+            Request::Drain => Json::Obj(vec![("op".into(), Json::Str("drain".into()))]),
         }
     }
 
@@ -279,6 +293,8 @@ impl Request {
             "close" => Ok(Request::Close {
                 session: session()?,
             }),
+            "health" => Ok(Request::Health),
+            "drain" => Ok(Request::Drain),
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -297,6 +313,43 @@ pub fn err_response(msg: impl Into<String>) -> Json {
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::Str(msg.into())),
     ])
+}
+
+/// Error code of a server that is gracefully draining: reconnect with
+/// backoff once `retry_after_ms` has passed.
+pub const CODE_DRAINING: &str = "draining";
+
+/// Error code of a load-shedding server (per-tenant in-flight cap or a
+/// full session table): retry the same server after `retry_after_ms`.
+pub const CODE_OVERLOADED: &str = "overloaded";
+
+/// Builds a *coded* (retryable) error response with a retry hint.
+pub fn err_with_code(code: &str, msg: impl Into<String>, retry_after_ms: u64) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(msg.into())),
+        ("code".into(), Json::Str(code.into())),
+        ("retry_after_ms".into(), Json::from_u64(retry_after_ms)),
+    ])
+}
+
+/// The machine-readable code of a failed response, if it carries one.
+pub fn error_code(j: &Json) -> Option<String> {
+    j.get("code").and_then(|v| v.as_str()).map(str::to_string)
+}
+
+/// The retry hint of a coded error response, if present.
+pub fn retry_after_of(j: &Json) -> Option<u64> {
+    j.get("retry_after_ms").and_then(|v| v.as_u64())
+}
+
+/// `true` when a failed response is retryable (drain / load shed) rather
+/// than a terminal protocol or session error.
+pub fn is_retryable_error(j: &Json) -> bool {
+    matches!(
+        error_code(j).as_deref(),
+        Some(CODE_DRAINING) | Some(CODE_OVERLOADED)
+    )
 }
 
 /// `true` when a response reports success.
@@ -386,6 +439,8 @@ mod tests {
             Request::Close {
                 session: "acme/toy".into(),
             },
+            Request::Health,
+            Request::Drain,
         ];
         for req in reqs {
             let text = req.to_json().to_string();
@@ -402,6 +457,73 @@ mod tests {
         assert!(!is_ok(&err));
         assert_eq!(error_of(&err), "nope");
         assert!(!is_ok(&Json::Null));
+    }
+
+    #[test]
+    fn coded_errors_carry_retry_hints() {
+        let shed = err_with_code(CODE_OVERLOADED, "tenant over in-flight cap", 250);
+        assert!(!is_ok(&shed));
+        assert_eq!(error_code(&shed).as_deref(), Some(CODE_OVERLOADED));
+        assert_eq!(retry_after_of(&shed), Some(250));
+        assert!(is_retryable_error(&shed));
+        let drain = err_with_code(CODE_DRAINING, "server draining", 100);
+        assert!(is_retryable_error(&drain));
+        // Plain errors are terminal: no code, not retryable.
+        let plain = err_response("no such session");
+        assert_eq!(error_code(&plain), None);
+        assert_eq!(retry_after_of(&plain), None);
+        assert!(!is_retryable_error(&plain));
+        // Codes survive the wire text.
+        let reparsed = crate::spec::reparse(&shed).unwrap();
+        assert!(is_retryable_error(&reparsed));
+        assert_eq!(retry_after_of(&reparsed), Some(250));
+    }
+
+    #[test]
+    fn frame_exactly_at_the_cap_roundtrips() {
+        let payload = vec![0x5au8; MAX_FRAME];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        // One byte over is rejected on the write side too.
+        let over = vec![0u8; MAX_FRAME + 1];
+        assert_eq!(
+            write_frame(&mut Vec::new(), &over).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn zero_length_frame_roundtrips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        assert_eq!(buf, [0, 0, 0, 0]);
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn torn_length_prefix_is_unexpected_eof() {
+        // Every strict prefix of the 4-byte header is a mid-header cut.
+        for cut in 1..4usize {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, b"payload").unwrap();
+            let mut r = &buf[..cut];
+            let err = read_frame(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error_on_any_cut() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdefgh").unwrap();
+        // Cut anywhere inside the body: header promises more bytes.
+        for cut in 4..buf.len() - 1 {
+            let mut r = &buf[..cut];
+            assert!(read_frame(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

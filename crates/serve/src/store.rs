@@ -1,0 +1,419 @@
+//! The durable session store: server-side session state in the shared
+//! `gptune-db` archive.
+//!
+//! Every tenant/problem session owns one *problem* in the archive, named
+//! `"{tenant}::{problem}"` so tenants stay isolated on disk exactly as
+//! they are in the session table. Two kinds of files hold a session:
+//!
+//! * a **meta file** (`<key>.session.json`, written atomically) carrying
+//!   the structural spec, the session options, and the suggest/refit
+//!   counters — everything [`gptune_core::TunerSession`] needs beyond the
+//!   history to continue the *identical* suggestion stream;
+//! * the ordinary **sharded journal** of that problem (live JSONL write
+//!   head plus any archive shards), holding one eval record per report.
+//!
+//! Reports are appended to the journal *before* the server acknowledges
+//! them (see [`crate::server`]), so the journal — not the meta file — is
+//! the source of truth for history. The meta file is only rewritten at
+//! session-lifecycle points (open, evict, drain), which keeps the
+//! per-report cost at one fsynced journal append.
+//!
+//! Restore is the inverse: read the meta, fold the sharded journal via
+//! [`gptune_db::shard::load_all`] (which tolerates torn tails and
+//! CRC-failed records, reported per record), and replay the rows into a
+//! fresh session. A kill -9 between append and acknowledge costs at most
+//! one *acknowledged* report — which is zero, because unacknowledged
+//! reports are the client's to retry.
+
+use crate::protocol::SessionOptions;
+use crate::spec::ProblemSpec;
+use gptune_db::json::{self, Json};
+use gptune_db::{
+    atomic_write, fnv1a, journal, sanitize, shard, DbEntry, DbRecord, DbValue, LockOptions,
+    Provenance, RecoveryReport,
+};
+use gptune_space::{Config, Value};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Converts a space value to its journal form.
+pub(crate) fn value_to_db(v: &Value) -> DbValue {
+    match v {
+        Value::Real(x) => DbValue::Real(*x),
+        Value::Int(x) => DbValue::Int(*x),
+        Value::Cat(k) => DbValue::Cat(*k),
+    }
+}
+
+/// Converts a journal value back to its space form.
+pub(crate) fn value_from_db(v: &DbValue) -> Value {
+    match v {
+        DbValue::Real(x) => Value::Real(*x),
+        DbValue::Int(x) => Value::Int(*x),
+        DbValue::Cat(k) => Value::Cat(*k),
+    }
+}
+
+/// A session as recovered from the archive.
+pub struct StoredSession {
+    /// Structural problem description at save time.
+    pub spec: ProblemSpec,
+    /// Session options at save time (the seed drives the RNG stream).
+    pub opts: SessionOptions,
+    /// Suggestions handed out before the save.
+    pub n_suggested: u64,
+    /// Surrogate refits performed before the save.
+    pub n_refits: u64,
+    /// Archived `(task, config, outputs)` rows in append order.
+    pub history: Vec<(usize, Config, Vec<f64>)>,
+    /// What recovery saw while folding the journal (torn tails, CRC
+    /// failures); clean on the happy path.
+    pub recovery: RecoveryReport,
+}
+
+/// Server-side archive of tuner sessions, rooted at one directory.
+pub struct SessionStore {
+    root: PathBuf,
+}
+
+impl SessionStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<SessionStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(SessionStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The archive-problem name of a session: tenant-qualified so two
+    /// tenants tuning the same problem never share journal files.
+    pub fn problem_key(tenant: &str, name: &str) -> String {
+        format!("{tenant}::{name}")
+    }
+
+    /// The problem signature the store journals under.
+    pub fn sig_of(spec: &ProblemSpec) -> u64 {
+        fnv1a(spec.to_json().to_string().as_bytes())
+    }
+
+    fn meta_path(&self, tenant: &str, name: &str) -> PathBuf {
+        self.root.join(format!(
+            "{}.session.json",
+            sanitize(&Self::problem_key(tenant, name))
+        ))
+    }
+
+    /// Writes the session meta file atomically. Called at lifecycle
+    /// points (open, evict, drain) — not per report.
+    pub fn save_meta(
+        &self,
+        tenant: &str,
+        spec: &ProblemSpec,
+        opts: &SessionOptions,
+        n_suggested: u64,
+        n_refits: u64,
+    ) -> io::Result<()> {
+        let j = Json::Obj(vec![
+            ("v".into(), Json::Int(1)),
+            ("kind".into(), Json::Str("serve-session".into())),
+            ("tenant".into(), Json::Str(tenant.into())),
+            ("name".into(), Json::Str(spec.name.clone())),
+            (
+                "sig".into(),
+                Json::Str(format!("{:016x}", Self::sig_of(spec))),
+            ),
+            ("spec".into(), spec.to_json()),
+            ("opts".into(), opts.to_json()),
+            ("n_suggested".into(), Json::from_u64(n_suggested)),
+            ("n_refits".into(), Json::from_u64(n_refits)),
+        ]);
+        let mut text = j.to_string();
+        text.push('\n');
+        atomic_write(&self.meta_path(tenant, &spec.name), text.as_bytes())
+    }
+
+    /// Appends report rows to the session's live journal (fsynced before
+    /// return — the durability point of the report path).
+    pub fn append_reports(
+        &self,
+        tenant: &str,
+        spec: &ProblemSpec,
+        opts: &SessionOptions,
+        rows: &[(usize, Config, Vec<f64>)],
+    ) -> io::Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let problem = Self::problem_key(tenant, &spec.name);
+        let sig = Self::sig_of(spec);
+        let mut entries = Vec::with_capacity(rows.len());
+        for (task, config, outputs) in rows {
+            let task_cfg = spec.tasks.get(*task).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("task {task} out of range for {problem:?}"),
+                )
+            })?;
+            entries.push(DbEntry::Eval(DbRecord {
+                problem: problem.clone(),
+                sig,
+                task: task_cfg.iter().map(value_to_db).collect(),
+                config: config.iter().map(value_to_db).collect(),
+                outputs: outputs.clone(),
+                prov: Provenance {
+                    seed: opts.seed,
+                    run: "serve-archive".into(),
+                    machine: None,
+                },
+            }));
+        }
+        let path = shard::live_journal_path(&self.root, &problem, sig);
+        journal::append(&path, &entries, &LockOptions::default()).map(|_| ())
+    }
+
+    /// Loads a session by its table key components. `Ok(None)` when the
+    /// store has never seen this session (or it was purged).
+    pub fn load(&self, tenant: &str, name: &str) -> io::Result<Option<StoredSession>> {
+        let meta_path = self.meta_path(tenant, name);
+        let text = match std::fs::read_to_string(&meta_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let bad = |msg: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("session meta {}: {msg}", meta_path.display()),
+            )
+        };
+        let j = json::parse(&text).map_err(|e| bad(e.to_string()))?;
+        let spec_json = j.get("spec").ok_or_else(|| bad("missing spec".into()))?;
+        let spec = ProblemSpec::from_json(spec_json).map_err(bad)?;
+        let opts = j
+            .get("opts")
+            .map(SessionOptions::from_json)
+            .unwrap_or_default();
+        let n_suggested = j.get("n_suggested").and_then(Json::as_u64).unwrap_or(0);
+        let n_refits = j.get("n_refits").and_then(Json::as_u64).unwrap_or(0);
+
+        // The journal — keyed by the *recomputed* signature, so a meta
+        // file whose spec was hand-edited resolves to its own (empty)
+        // journal instead of someone else's rows.
+        let problem = Self::problem_key(tenant, name);
+        let sig = Self::sig_of(&spec);
+        let (entries, recovery) = shard::load_all(&self.root, &problem, sig)?;
+        let mut history = Vec::new();
+        for entry in entries {
+            let DbEntry::Eval(rec) = entry else { continue };
+            if rec.problem != problem || rec.sig != sig {
+                continue;
+            }
+            let task_cfg: Config = rec.task.iter().map(value_from_db).collect();
+            // A row whose task vanished from the spec (it can't: the spec
+            // is immutable per signature) is skipped, not fatal.
+            let Some(task) = spec.tasks.iter().position(|t| *t == task_cfg) else {
+                continue;
+            };
+            let config: Config = rec.config.iter().map(value_from_db).collect();
+            history.push((task, config, rec.outputs));
+        }
+        Ok(Some(StoredSession {
+            spec,
+            opts,
+            n_suggested,
+            n_refits,
+            history,
+            recovery,
+        }))
+    }
+
+    /// Removes every trace of a session (meta, live journal, manifest,
+    /// shards). `Close` calls this so a re-open starts genuinely fresh.
+    pub fn purge(&self, tenant: &str, name: &str) -> io::Result<()> {
+        let Some(stored) = self.load(tenant, name)? else {
+            return Ok(());
+        };
+        let problem = Self::problem_key(tenant, name);
+        let sig = Self::sig_of(&stored.spec);
+        let mut doomed = vec![
+            shard::live_journal_path(&self.root, &problem, sig),
+            shard::manifest_path(&self.root, &problem, sig),
+            self.meta_path(tenant, name),
+        ];
+        if let Some(manifest) = gptune_db::ShardManifest::load(&self.root, &problem, sig)? {
+            for info in &manifest.shards {
+                doomed.push(self.root.join(&info.file));
+            }
+        }
+        for path in doomed {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_space::Param;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "gptune_serve_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn spec() -> ProblemSpec {
+        ProblemSpec {
+            name: "toy".into(),
+            task_params: vec![Param::real("t", 0.0, 1.0)],
+            tuning_params: vec![Param::real("x", 0.0, 1.0)],
+            tasks: vec![vec![Value::Real(0.25)], vec![Value::Real(0.75)]],
+            n_objectives: 1,
+        }
+    }
+
+    fn opts() -> SessionOptions {
+        SessionOptions {
+            seed: 11,
+            n_initial: Some(2),
+        }
+    }
+
+    #[test]
+    fn meta_and_journal_roundtrip() {
+        let root = tmp_root("roundtrip");
+        let store = SessionStore::new(&root).unwrap();
+        let rows = vec![
+            (0usize, vec![Value::Real(0.1)], vec![1.0]),
+            (1usize, vec![Value::Real(0.9)], vec![2.0]),
+            (0usize, vec![Value::Real(0.3)], vec![3.0]),
+        ];
+        store.save_meta("acme", &spec(), &opts(), 5, 2).unwrap();
+        store
+            .append_reports("acme", &spec(), &opts(), &rows)
+            .unwrap();
+        let stored = store.load("acme", "toy").unwrap().expect("stored");
+        assert_eq!(stored.spec, spec());
+        assert_eq!(stored.opts, opts());
+        assert_eq!(stored.n_suggested, 5);
+        assert_eq!(stored.n_refits, 2);
+        assert_eq!(stored.history, rows, "rows come back in append order");
+        assert!(stored.recovery.is_clean());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_session_loads_as_none() {
+        let root = tmp_root("missing");
+        let store = SessionStore::new(&root).unwrap();
+        assert!(store.load("ghost", "toy").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tenants_are_isolated_on_disk() {
+        let root = tmp_root("tenants");
+        let store = SessionStore::new(&root).unwrap();
+        for tenant in ["alpha", "beta"] {
+            store.save_meta(tenant, &spec(), &opts(), 0, 0).unwrap();
+        }
+        store
+            .append_reports(
+                "alpha",
+                &spec(),
+                &opts(),
+                &[(0, vec![Value::Real(0.5)], vec![7.0])],
+            )
+            .unwrap();
+        let a = store.load("alpha", "toy").unwrap().unwrap();
+        let b = store.load("beta", "toy").unwrap().unwrap();
+        assert_eq!(a.history.len(), 1);
+        assert_eq!(b.history.len(), 0, "no cross-tenant leak");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn purge_removes_every_file() {
+        let root = tmp_root("purge");
+        let store = SessionStore::new(&root).unwrap();
+        store.save_meta("t", &spec(), &opts(), 1, 0).unwrap();
+        store
+            .append_reports(
+                "t",
+                &spec(),
+                &opts(),
+                &[(0, vec![Value::Real(0.2)], vec![1.0])],
+            )
+            .unwrap();
+        assert!(store.load("t", "toy").unwrap().is_some());
+        store.purge("t", "toy").unwrap();
+        assert!(store.load("t", "toy").unwrap().is_none());
+        // The root holds no leftover session files.
+        let leftovers: Vec<_> = std::fs::read_dir(&root).unwrap().collect();
+        assert!(leftovers.is_empty(), "leftovers: {leftovers:?}");
+        // Purging twice is fine.
+        store.purge("t", "toy").unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn duplicate_journal_rows_collapse_on_load() {
+        // At-least-once delivery can journal the same report twice (the
+        // retry after a lost acknowledgement). Recovery must fold them.
+        let root = tmp_root("dups");
+        let store = SessionStore::new(&root).unwrap();
+        store.save_meta("t", &spec(), &opts(), 2, 0).unwrap();
+        let row = (0usize, vec![Value::Real(0.4)], vec![4.0]);
+        store
+            .append_reports("t", &spec(), &opts(), &[row.clone()])
+            .unwrap();
+        store
+            .append_reports("t", &spec(), &opts(), &[row.clone()])
+            .unwrap();
+        let stored = store.load("t", "toy").unwrap().unwrap();
+        assert_eq!(stored.history, vec![row]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_survivable_and_reported() {
+        let root = tmp_root("torn");
+        let store = SessionStore::new(&root).unwrap();
+        store.save_meta("t", &spec(), &opts(), 1, 0).unwrap();
+        store
+            .append_reports(
+                "t",
+                &spec(),
+                &opts(),
+                &[(0, vec![Value::Real(0.6)], vec![6.0])],
+            )
+            .unwrap();
+        // Simulate a crash mid-append: a torn half-line at the tail.
+        let path = shard::live_journal_path(
+            &root,
+            &SessionStore::problem_key("t", "toy"),
+            SessionStore::sig_of(&spec()),
+        );
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"v\":1,\"kind\":\"eval\",\"proble");
+        std::fs::write(&path, &bytes).unwrap();
+        let stored = store.load("t", "toy").unwrap().unwrap();
+        assert_eq!(stored.history.len(), 1, "intact row survives");
+        assert!(stored.recovery.dropped_torn_tail);
+        assert!(!stored.recovery.errors.is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

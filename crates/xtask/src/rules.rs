@@ -6,7 +6,7 @@
 //! |------|-------|-----------|
 //! | 1    | GX101–GX103 | NaN-safety: no IEEE `==`/`!=`, no `partial_cmp` escapes into ordering |
 //! | 2    | GX201–GX204, GX290 | panic-freedom in the runtime / db / core evaluation path |
-//! | 3    | GX301–GX302 | lock discipline: no guard held across channel ops or joins; no blocking I/O under the serve session-table lock |
+//! | 3    | GX301–GX303 | lock & socket discipline: no guard held across channel ops or joins; no blocking I/O under the serve session-table lock; every serve-side socket deadline-armed |
 //! | 4    | GX401–GX403 | determinism: every random draw and iteration order is seed-threaded |
 //! | 5    | GX501 | unsafe hygiene: every `unsafe` carries a `// SAFETY:` justification |
 //! | 6    | GX601 | observability: no raw `Instant::now()` in the traced crates |
@@ -100,6 +100,11 @@ pub const RULES: &[RuleInfo] = &[
         desc: "crates/serve: no blocking I/O while the session-table lock is held; clone the session Arc, drop the guard, then do the work",
     },
     RuleInfo {
+        id: "GX303",
+        name: "serve-socket-deadline",
+        desc: "crates/serve: every socket from accept()/connect() must arm read/write deadlines (set_read_timeout/set_write_timeout or arm_deadlines) within a few lines",
+    },
+    RuleInfo {
         id: "GX401",
         name: "ambient-rng",
         desc: "no thread_rng/from_entropy/OsRng; every RNG must be seeded through MlaOptions",
@@ -163,6 +168,7 @@ pub fn check_file(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Diagnostic> {
     allow_justifications(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     lock_discipline(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     serve_lock_io(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    serve_socket_deadlines(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     determinism(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     unsafe_hygiene(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     raw_timing(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
@@ -695,6 +701,53 @@ fn serve_lock_io(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnosti
     }
 }
 
+/// Idents that satisfy GX303 when they appear near a socket acquisition.
+const DEADLINE_ARMERS: &[&str] = &["set_read_timeout", "set_write_timeout", "arm_deadlines"];
+
+/// GX303: in `crates/serve`, every socket obtained from `accept(..)` or
+/// `connect(..)` must have read/write deadlines armed within the next
+/// dozen lines. An unbounded socket lets one stalled peer pin a worker
+/// forever — the overload-control contract says every serve-side socket
+/// is deadline-bounded. `fn accept(`-style *definitions* and test code
+/// are exempt.
+fn serve_socket_deadlines(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.path.starts_with("crates/serve/") {
+        return;
+    }
+    let t = ctx.tokens;
+    for i in 0..t.len() {
+        let Some(name) = t[i].ident() else { continue };
+        if name != "accept" && name != "connect" {
+            continue;
+        }
+        if !t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+            continue;
+        }
+        if i > 0 && t[i - 1].ident() == Some("fn") {
+            continue; // a definition, not a call site
+        }
+        let line = t[i].line;
+        if ctx.in_test(line) {
+            continue;
+        }
+        let armed = t[i..]
+            .iter()
+            .take_while(|x| x.line <= line + 12)
+            .any(|x| x.ident().is_some_and(|id| DEADLINE_ARMERS.contains(&id)));
+        if !armed {
+            emit(
+                line,
+                "GX303",
+                format!(
+                    "`{name}(..)` yields a socket with no deadline armed within 12 lines; call \
+                     set_read_timeout/set_write_timeout (or arm_deadlines) before using it"
+                ),
+                out,
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------- tier 4
 
 /// GX401/GX402/GX403: nondeterminism sources.
@@ -1098,6 +1151,31 @@ mod tests {
         assert!(rules_hit("crates/serve/src/server.rs", scoped).is_empty());
         // The rule is scoped to crates/serve.
         assert!(!rules_hit("crates/runtime/src/x.rs", bad).contains(&"GX302"));
+    }
+
+    #[test]
+    fn gx303_serve_sockets_must_arm_deadlines() {
+        let bad = "fn f(l: &TcpListener) {\n  let s = l.accept().unwrap().0;\n  serve_conn(s);\n}";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", bad), vec!["GX303"]);
+        let bad_connect = "fn f(a: SocketAddr) {\n  let s = TcpStream::connect(a).unwrap();\n  s.write_all(b\"x\");\n}";
+        assert_eq!(
+            rules_hit("crates/serve/src/client.rs", bad_connect),
+            vec!["GX303"]
+        );
+        // Arming either deadline nearby satisfies the rule…
+        let ok = "fn f(l: &TcpListener) {\n  let s = l.accept().unwrap().0;\n  let _ = s.set_read_timeout(t);\n  let _ = s.set_write_timeout(t);\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", ok).is_empty());
+        // …as does the shared helper.
+        let helper = "fn f(l: &TcpListener, o: &ServeOptions) {\n  let s = l.accept().unwrap().0;\n  arm_deadlines(&s, o);\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", helper).is_empty());
+        // Definitions are not call sites.
+        let def =
+            "impl Listener {\n  fn accept(&self) -> io::Result<TcpStream> { self.inner() }\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", def).is_empty());
+        // Tests and other crates are out of scope.
+        let tested = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() {\n    let s = TcpStream::connect(a).unwrap();\n  }\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", tested).is_empty());
+        assert!(!rules_hit("crates/runtime/src/x.rs", bad).contains(&"GX303"));
     }
 
     #[test]

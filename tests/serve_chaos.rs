@@ -1,0 +1,343 @@
+//! Protocol chaos suite for gptune-serve.
+//!
+//! Every test drives a real client against a real server through the
+//! deterministic [`ChaosProxy`], or kills the server outright, and then
+//! proves the robustness contracts:
+//!
+//! * **zero lost reports** — every acknowledged report is present in the
+//!   final history, whatever the proxy tore, reset, delayed, or
+//!   duplicated in between;
+//! * **bit-identical history** — the sorted post-recovery history equals
+//!   the history of an unfaulted run of the same workload;
+//! * **server-side durability** — a kill-restart mid-burst recovers the
+//!   session from the archive alone: no client WAL, no re-open required;
+//! * **frame hygiene** — torn prefixes, mid-frame EOFs, and oversized
+//!   length words kill one connection, never the server.
+
+use gptune::serve::{
+    serve, BackoffPolicy, ChaosProxy, FaultSpec, ProblemSpec, ServeClient, ServeOptions,
+    SessionOptions,
+};
+use gptune::space::{Param, Value};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gptune_it_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn spec(name: &str) -> ProblemSpec {
+    ProblemSpec {
+        name: name.into(),
+        task_params: vec![Param::real("t", 0.0, 1.0)],
+        tuning_params: vec![Param::real("x", 0.0, 1.0), Param::real("y", 0.0, 1.0)],
+        tasks: vec![vec![Value::Real(0.2)], vec![Value::Real(0.8)]],
+        n_objectives: 1,
+    }
+}
+
+/// The reported configs are client-chosen and deterministic, so faulted
+/// and unfaulted runs report the exact same rows and the histories are
+/// comparable bit for bit.
+fn config_at(i: usize) -> Vec<Value> {
+    vec![
+        Value::Real(((i * 37 + 11) % 101) as f64 / 101.0),
+        Value::Real(((i * 53 + 29) % 97) as f64 / 97.0),
+    ]
+}
+
+fn measure(i: usize, task: usize) -> f64 {
+    ((i * 37 + 11) % 101) as f64 * 0.01 + task as f64
+}
+
+fn sort_key(row: &(usize, Vec<Value>, Vec<f64>)) -> String {
+    format!("{}|{:?}|{:?}", row.0, row.1, row.2)
+}
+
+fn patient_backoff() -> BackoffPolicy {
+    BackoffPolicy {
+        max_retries: 10,
+        base_ms: 2,
+        cap_ms: 50,
+        jitter_seed: 0xc4a05,
+    }
+}
+
+/// Runs the canonical workload — `n` deterministic reports across both
+/// tasks plus interleaved suggests — against `addr`, retrying through
+/// the client's backoff. Returns the sorted final history.
+fn run_workload(addr: std::net::SocketAddr, n: usize) -> Vec<String> {
+    let mut client = ServeClient::connect(addr)
+        .unwrap()
+        .with_backoff(patient_backoff());
+    client
+        .open_session("chaos", &spec("burst"), &SessionOptions::default())
+        .unwrap();
+    for i in 0..n {
+        let task = i % 2;
+        // Exercise the suggest path too (its result is deliberately not
+        // reported: retried suggests may advance the design stream).
+        if i % 3 == 0 {
+            let _ = client.suggest(task);
+        }
+        client
+            .report(task, &config_at(i), &[measure(i, task)])
+            .unwrap();
+    }
+    let mut rows: Vec<String> = client.history().unwrap().iter().map(sort_key).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn chaos_burst_loses_nothing_and_history_is_bit_identical() {
+    const N: usize = 24;
+    // Ground truth: the same workload with no proxy and no faults.
+    let clean_root = tmp_root("clean");
+    let clean_server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 4,
+            archive: Some(clean_root.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let expected = run_workload(clean_server.local_addr(), N);
+    clean_server.shutdown();
+
+    // The faulted run: resets, duplicates, and delays on a seeded
+    // schedule between client and server.
+    let root = tmp_root("burst");
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 4,
+            archive: Some(root.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let proxy = ChaosProxy::launch(
+        server.local_addr(),
+        FaultSpec {
+            seed: 20260809,
+            reset_every: 7,
+            duplicate_every: 5,
+            delay_every: 3,
+            delay_ms: 2,
+            ..FaultSpec::default()
+        },
+    )
+    .unwrap();
+    let got = run_workload(proxy.local_addr(), N);
+    let counts = proxy.counts();
+    assert!(
+        counts.resets > 0 && counts.duplicated > 0 && counts.delayed > 0,
+        "the schedule must actually inject faults: {counts:?}"
+    );
+    assert_eq!(got.len(), N, "a report was lost or double-counted");
+    assert_eq!(got, expected, "chaos changed the stored history");
+    proxy.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&clean_root);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_frames_through_the_proxy_never_kill_the_server() {
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    // Tear or oversize a steady fraction of frames: each hit kills that
+    // connection mid-frame and the client's backoff reconnects through a
+    // fresh proxy connection. (The period must leave room for the
+    // open+report pair to land on one connection, so not every-other.)
+    for fault in [
+        FaultSpec {
+            tear_every: 4,
+            ..FaultSpec::default()
+        },
+        FaultSpec {
+            oversize_every: 5,
+            ..FaultSpec::default()
+        },
+    ] {
+        let proxy = ChaosProxy::launch(server.local_addr(), fault).unwrap();
+        let mut client = ServeClient::connect(proxy.local_addr())
+            .unwrap()
+            .with_backoff(patient_backoff());
+        client
+            .open_session("chaos", &spec("torn"), &SessionOptions::default())
+            .unwrap();
+        for i in 0..6 {
+            client
+                .report(i % 2, &config_at(i), &[measure(i, i % 2)])
+                .unwrap();
+        }
+        assert_eq!(client.history().unwrap().len(), 6);
+        let counts = proxy.counts();
+        assert!(counts.torn > 0 || counts.oversized > 0, "{counts:?}");
+        proxy.shutdown();
+        // Clear the session so the next fault flavor starts fresh.
+        let mut direct = ServeClient::connect(server.local_addr()).unwrap();
+        direct
+            .open_session("chaos", &spec("torn"), &SessionOptions::default())
+            .unwrap();
+        direct.close().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn kill_restart_mid_burst_recovers_from_the_archive_without_wal() {
+    const N: usize = 16;
+    const KILL_AT: usize = 9;
+    let root = tmp_root("killrestart");
+    let opts = || ServeOptions {
+        workers: 2,
+        archive: Some(root.clone()),
+        ..ServeOptions::default()
+    };
+    let server = serve("127.0.0.1:0", opts()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client
+        .open_session("chaos", &spec("burst"), &SessionOptions::default())
+        .unwrap();
+    for i in 0..KILL_AT {
+        client
+            .report(i % 2, &config_at(i), &[measure(i, i % 2)])
+            .unwrap();
+    }
+    // Kill — not drain. Nothing is flushed; only the per-report journal
+    // and the open-time meta exist on disk.
+    server.shutdown();
+
+    // The replacement binds a fresh port against the same archive. A
+    // brand-new client (no WAL, nothing replayed) picks the session up.
+    let server = serve("127.0.0.1:0", opts()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let key = client
+        .open_session("chaos", &spec("burst"), &SessionOptions::default())
+        .unwrap();
+    assert_eq!(key, "chaos/burst");
+    assert_eq!(
+        client.history().unwrap().len(),
+        KILL_AT,
+        "acknowledged reports must survive the kill"
+    );
+    for i in KILL_AT..N {
+        client
+            .report(i % 2, &config_at(i), &[measure(i, i % 2)])
+            .unwrap();
+    }
+    let mut got: Vec<String> = client.history().unwrap().iter().map(sort_key).collect();
+    got.sort();
+
+    // Ground truth: the same N reports against an uninterrupted server.
+    let clean_root = tmp_root("killclean");
+    let clean = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            archive: Some(clean_root.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let mut c2 = ServeClient::connect(clean.local_addr()).unwrap();
+    c2.open_session("chaos", &spec("burst"), &SessionOptions::default())
+        .unwrap();
+    for i in 0..N {
+        c2.report(i % 2, &config_at(i), &[measure(i, i % 2)])
+            .unwrap();
+    }
+    let mut expected: Vec<String> = c2.history().unwrap().iter().map(sort_key).collect();
+    expected.sort();
+
+    assert_eq!(got, expected, "post-recovery history must be bit-identical");
+    clean.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&clean_root);
+}
+
+#[test]
+fn raw_frame_attacks_kill_one_connection_not_the_server() {
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            io_timeout: Some(std::time::Duration::from_millis(200)),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let attacks: Vec<Vec<u8>> = vec![
+        vec![0, 0],                    // torn length prefix, then EOF
+        vec![0xff, 0xff, 0xff, 0xff],  // length word far past the cap
+        vec![0, 0, 0, 16, b'{', b'"'], // mid-frame EOF
+        vec![0, 0, 0, 0],              // zero-length frame, then EOF
+    ];
+    for attack in attacks {
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.write_all(&attack).unwrap();
+        s.flush().unwrap();
+        drop(s); // EOF at an awkward boundary
+                 // The server must still answer a well-formed client afterwards.
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn eviction_pressure_with_many_logical_sessions_keeps_history_intact() {
+    let root = tmp_root("evictmany");
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 4,
+            archive: Some(root.clone()),
+            max_resident_sessions: 4,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    const LOGICAL: usize = 32;
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    for i in 0..LOGICAL {
+        client
+            .open_session("t", &spec(&format!("s{i}")), &SessionOptions::default())
+            .unwrap();
+        client.report(0, &config_at(i), &[measure(i, 0)]).unwrap();
+        assert!(
+            server.n_sessions() <= 4,
+            "resident table exceeded the cap at session {i}"
+        );
+    }
+    // Revisit every session (restores the evicted ones) and check its row.
+    for i in 0..LOGICAL {
+        client
+            .open_session("t", &spec(&format!("s{i}")), &SessionOptions::default())
+            .unwrap();
+        let h = client.history().unwrap();
+        assert_eq!(h.len(), 1, "session s{i} lost its report");
+        assert_eq!(
+            sort_key(&h[0]),
+            sort_key(&(0, config_at(i), vec![measure(i, 0)]))
+        );
+        assert!(server.n_sessions() <= 4);
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -8,6 +8,11 @@ cargo test -q
 # Chaos gate: MLA under injected crashes/hangs/transients must complete,
 # resume deterministically, and skip journaled crashers.
 cargo test -q --test chaos
+# Protocol chaos gate: a real client through the deterministic fault proxy
+# (resets, torn/oversized frames, duplicates, delays) plus the server
+# kill-restart and eviction drills must lose zero reports and leave a
+# bit-identical history -- see tests/serve_chaos.rs.
+cargo test -q --test serve_chaos
 # Hot-path equivalence smoke in release mode: the distance-cached NLL,
 # W ∘ K gradients, and batched prediction must match their retained
 # pre-refactor references to ≤ 1e-12 under the optimizer's reassociations.
@@ -32,12 +37,20 @@ if [ "$modeling_spans" -lt 5 ]; then
   exit 1
 fi
 # Serve smoke gate: a scaled-down serve_bench burst (32 concurrent
-# sessions over 8 client connections) plus the kill-the-server WAL-replay
-# drill. The binary exits non-zero on any request error, missing latency
-# histogram, or lost report, so a bare run is the assertion.
+# sessions over 8 client connections) plus the kill-the-server WAL-replay,
+# archive kill-restart, and eviction drills. The binary exits non-zero on
+# any request error, missing latency histogram, lost report, history
+# divergence, or cap breach, so a bare run is the assertion.
 cargo run -q --release -p gptune-bench --bin serve_bench -- "$trace_dir/BENCH_serve_smoke.json" --smoke
-lost="$(grep -o '"lost_reports": [0-9-]*' "$trace_dir/BENCH_serve_smoke.json" | grep -o '[0-9-]*$')"
-if [ "$lost" != "0" ]; then
-  echo "serve smoke: kill drill lost $lost report(s)" >&2
+# Both durability sections (WAL kill drill and archive kill-restart)
+# report a lost_reports field; every one of them must be exactly 0.
+while read -r lost; do
+  if [ "$lost" != "0" ]; then
+    echo "serve smoke: a durability drill lost $lost report(s)" >&2
+    exit 1
+  fi
+done < <(grep -o '"lost_reports": [0-9-]*' "$trace_dir/BENCH_serve_smoke.json" | grep -o '[0-9-]*$')
+if ! grep -q '"bit_identical": true' "$trace_dir/BENCH_serve_smoke.json"; then
+  echo "serve smoke: post-recovery history diverged from the clean run" >&2
   exit 1
 fi
