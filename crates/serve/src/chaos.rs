@@ -187,7 +187,11 @@ impl ChaosProxy {
     /// Stops accepting, severs every relayed connection, and joins.
     pub fn shutdown(mut self) {
         self.state.stop.store(true, Ordering::SeqCst);
-        for c in self.state.conns.lock().unwrap().iter() {
+        // Take the registry out of the lock before severing: shutdown()
+        // can block on a wedged peer and no guard may be held across it
+        // (GX702).
+        let conns = std::mem::take(&mut *self.state.conns.lock().unwrap());
+        for c in &conns {
             let _ = c.shutdown(Shutdown::Both);
         }
         // Unblock the acceptor; the poke socket is deadline-armed like
@@ -387,6 +391,36 @@ mod tests {
         assert_eq!(proxy.counts().forwarded, 3);
         assert_eq!(proxy.counts().resets, 0);
         proxy.shutdown();
+        server.shutdown();
+    }
+
+    /// Regression test for the GX702 teardown fix: proxy shutdown used to
+    /// sever relayed connections while holding the registry lock, so a
+    /// relay thread registering its next connection could deadlock the
+    /// teardown. The fixed path takes the registry first and severs
+    /// outside the lock.
+    #[test]
+    fn shutdown_severs_outside_the_registry_lock() {
+        let server = start_server();
+        let proxy = ChaosProxy::launch(server.local_addr(), FaultSpec::default()).unwrap();
+        let state = Arc::clone(&proxy.state);
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        write_json(&mut c, &Request::Ping.to_json()).unwrap();
+        read_json(&mut c).unwrap().expect("response through proxy");
+        let blocker = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let guard = state.conns.lock().unwrap();
+                std::thread::sleep(Duration::from_millis(50));
+                drop(guard);
+            })
+        };
+        proxy.shutdown();
+        blocker.join().unwrap();
+        assert!(
+            state.conns.lock().unwrap().is_empty(),
+            "teardown must take the registry, not iterate it in place"
+        );
         server.shutdown();
     }
 

@@ -273,8 +273,12 @@ impl ServerHandle {
 
     fn stop_and_join(self) {
         self.state.stop.store(true, Ordering::SeqCst);
-        // Sever in-flight connections mid-frame…
-        for c in self.state.conns.lock().unwrap().iter() {
+        // Sever in-flight connections mid-frame. Take the registry out of
+        // the lock first: shutdown() can block on a wedged peer, and no
+        // guard may be held across it (GX702) — workers racing us just
+        // see an already-emptied registry.
+        let conns = std::mem::take(&mut *self.state.conns.lock().unwrap());
+        for c in &conns {
             let _ = c.shutdown(Shutdown::Both);
         }
         // …and poke every acceptor blocked in accept(). The poke sockets
@@ -1106,6 +1110,37 @@ mod tests {
             .and_then(|()| read_json(&mut c))
             .map(|r| r.is_none());
         assert!(matches!(dead, Ok(true) | Err(_)));
+    }
+
+    /// Regression test for the GX702 teardown fix: `stop_and_join` used to
+    /// iterate the connection registry *inside* its lock while severing,
+    /// so a `shutdown(2)` stalled on a wedged peer kept every worker from
+    /// registering or deregistering forever. The fixed path takes the
+    /// whole registry out of the lock first — a concurrent lock holder
+    /// delays the take but can never deadlock against severing, and the
+    /// registry is observably emptied.
+    #[test]
+    fn shutdown_takes_the_conn_registry_instead_of_severing_under_its_lock() {
+        let server = start();
+        let state = Arc::clone(&server.state);
+        let mut c1 = TcpStream::connect(server.local_addr()).unwrap();
+        let mut c2 = TcpStream::connect(server.local_addr()).unwrap();
+        assert!(is_ok(&roundtrip(&mut c1, &Request::Ping)));
+        assert!(is_ok(&roundtrip(&mut c2, &Request::Ping)));
+        let blocker = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let guard = state.conns.lock().unwrap();
+                std::thread::sleep(Duration::from_millis(50));
+                drop(guard);
+            })
+        };
+        server.shutdown();
+        blocker.join().unwrap();
+        assert!(
+            state.conns.lock().unwrap().is_empty(),
+            "teardown must take the registry, not iterate it in place"
+        );
     }
 
     #[test]

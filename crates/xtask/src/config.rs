@@ -11,7 +11,10 @@
 //!
 //! `rule` is a rule ID (`GX101`, …) or a tier glob (`GX4*`); `path` is a
 //! repo-relative path prefix; `reason` is mandatory — an allowlist entry
-//! without a reason is itself a lint error (GX291).
+//! without a reason is itself a lint error (GX291). The GX7xx/GX303
+//! concurrency rules additionally accept an optional `fn = "dispatch"`
+//! key scoping the entry to one function — path-wide suppression would
+//! hide future real bugs in the same file.
 
 /// One allowlist entry.
 #[derive(Debug, Clone, Default)]
@@ -19,6 +22,10 @@ pub struct AllowEntry {
     pub rule: String,
     pub path: String,
     pub reason: String,
+    /// Optional function scope (empty = whole path prefix). Only the
+    /// fn-aware concurrency rules consult this; entries carrying it never
+    /// match the per-file rules.
+    pub func: String,
     /// Line in lint.toml where the entry starts (for diagnostics).
     pub line: u32,
 }
@@ -45,15 +52,21 @@ impl std::fmt::Display for ConfigError {
 
 impl Config {
     /// True when `rule` at `path` is allowlisted. `rule` matches exactly
-    /// or via a trailing-`*` glob; `path` matches by prefix.
+    /// or via a trailing-`*` glob; `path` matches by prefix. Fn-scoped
+    /// entries never match here — they only apply through
+    /// [`Config::allowed_fn`].
     pub fn allowed(&self, rule: &str, path: &str) -> Option<&AllowEntry> {
-        self.allows.iter().find(|e| {
-            let rule_ok = match e.rule.strip_suffix('*') {
-                Some(prefix) => rule.starts_with(prefix),
-                None => e.rule == rule,
-            };
-            rule_ok && path.starts_with(e.path.as_str())
-        })
+        self.allows
+            .iter()
+            .find(|e| e.func.is_empty() && entry_matches(e, rule, path))
+    }
+
+    /// Fn-aware variant used by the concurrency tier: entries without an
+    /// `fn` key match any function, entries with one match only it.
+    pub fn allowed_fn(&self, rule: &str, path: &str, func: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|e| (e.func.is_empty() || e.func == func) && entry_matches(e, rule, path))
     }
 
     /// Parses the subset format. Empty/missing content parses to an empty
@@ -108,10 +121,11 @@ impl Config {
                 "rule" => entry.rule = value.to_string(),
                 "path" => entry.path = value.to_string(),
                 "reason" => entry.reason = value.to_string(),
+                "fn" => entry.func = value.to_string(),
                 other => {
                     return Err(ConfigError {
                         line: lineno,
-                        msg: format!("unknown key {other:?} (expected rule/path/reason)"),
+                        msg: format!("unknown key {other:?} (expected rule/path/fn/reason)"),
                     })
                 }
             }
@@ -121,6 +135,14 @@ impl Config {
         }
         Ok(cfg)
     }
+}
+
+fn entry_matches(e: &AllowEntry, rule: &str, path: &str) -> bool {
+    let rule_ok = match e.rule.strip_suffix('*') {
+        Some(prefix) => rule.starts_with(prefix),
+        None => e.rule == rule,
+    };
+    rule_ok && path.starts_with(e.path.as_str())
 }
 
 /// Validates one completed entry: all three keys are mandatory (GX291's
@@ -156,6 +178,18 @@ mod tests {
         assert!(cfg.allowed("GX101", "crates/la/src/ord.rs").is_some());
         assert!(cfg.allowed("GX102", "crates/la/src/ord.rs").is_some());
         assert!(cfg.allowed("GX201", "crates/la/src/ord.rs").is_none());
+    }
+
+    #[test]
+    fn fn_scoped_entries_match_only_that_fn() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"GX702\"\npath = \"crates/serve/src/server.rs\"\nfn = \"dispatch\"\nreason = \"journal-before-ack\"\n",
+        )
+        .expect("parses");
+        assert!(cfg.allowed_fn("GX702", "crates/serve/src/server.rs", "dispatch"));
+        assert!(!cfg.allowed_fn("GX702", "crates/serve/src/server.rs", "flush_slot"));
+        // Fn-scoped entries are invisible to the per-file matcher.
+        assert!(cfg.allowed("GX702", "crates/serve/src/server.rs").is_none());
     }
 
     #[test]

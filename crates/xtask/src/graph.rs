@@ -1,0 +1,208 @@
+//! The held-while-acquiring lock-order graph and its cycle detection.
+//!
+//! Nodes are named locks; an edge `a -> b` means some call path acquires
+//! `b` while holding `a`. Each edge keeps the first witness chain found
+//! (deterministic: functions are visited in file order). A cycle in this
+//! graph is a potential deadlock (GX701); a self-loop is a double-acquire
+//! of a non-reentrant lock (GX703).
+
+use crate::summary::Chain;
+use std::collections::BTreeMap;
+
+/// One held-while-acquiring edge with its witness acquisition path.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    /// Chain from the function that holds `from` down to the acquisition
+    /// of `to`.
+    pub witness: Chain,
+}
+
+/// The workspace lock-order graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Keyed `(from, to)`; first witness wins.
+    edges: BTreeMap<(String, String), Chain>,
+}
+
+impl LockGraph {
+    /// Records `from -> to` unless an identical edge already has a
+    /// witness. Self-loops are stored too — they are GX703's evidence.
+    pub fn add(&mut self, from: &str, to: &str, witness: Chain) {
+        self.edges
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(witness);
+    }
+
+    /// All edges, sorted by `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().map(|((from, to), witness)| Edge {
+            from: from.clone(),
+            to: to.clone(),
+            witness: witness.clone(),
+        })
+    }
+
+    /// Witness for one edge, if present.
+    pub fn witness(&self, from: &str, to: &str) -> Option<&Chain> {
+        self.edges.get(&(from.to_string(), to.to_string()))
+    }
+
+    /// All node names, sorted.
+    pub fn nodes(&self) -> Vec<String> {
+        let mut nodes: Vec<String> = self
+            .edges
+            .keys()
+            .flat_map(|(a, b)| [a.clone(), b.clone()])
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Elementary cycles (length ≥ 2), each reported once, rooted at its
+    /// lexicographically smallest node. Self-loops are excluded — GX703
+    /// reads them straight off the edge set.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let nodes = self.nodes();
+        let succ = |n: &str| -> Vec<String> {
+            self.edges
+                .keys()
+                .filter(|(a, _)| a == n)
+                .map(|(_, b)| b.clone())
+                .collect()
+        };
+        let mut cycles = Vec::new();
+        for start in &nodes {
+            let mut path = vec![start.clone()];
+            dfs(start, start, &succ, &mut path, &mut cycles);
+        }
+        cycles
+    }
+
+    /// Self-loop edges `a -> a` (double-acquire witnesses).
+    pub fn self_loops(&self) -> Vec<(String, Chain)> {
+        self.edges
+            .iter()
+            .filter(|((a, b), _)| a == b)
+            .map(|((a, _), w)| (a.clone(), w.clone()))
+            .collect()
+    }
+}
+
+/// DFS enumerating elementary cycles through `start`, visiting only
+/// nodes lexicographically greater than `start` (so each cycle is found
+/// exactly once, rooted at its smallest node). Path length capped at 8.
+fn dfs(
+    start: &str,
+    at: &str,
+    succ: &dyn Fn(&str) -> Vec<String>,
+    path: &mut Vec<String>,
+    cycles: &mut Vec<Vec<String>>,
+) {
+    if path.len() > 8 {
+        return;
+    }
+    for next in succ(at) {
+        if next == start && path.len() >= 2 {
+            cycles.push(path.clone());
+        } else if next.as_str() > start && !path.contains(&next) {
+            path.push(next.clone());
+            dfs(start, &next, succ, path, cycles);
+            path.pop();
+        }
+    }
+}
+
+/// Text rendering of the graph: one line per edge with its witness.
+pub fn render_text(graph: &LockGraph) -> String {
+    let mut out = String::from("lock-order graph (held -> acquired):\n");
+    let edges: Vec<Edge> = graph.edges().collect();
+    if edges.is_empty() {
+        out.push_str("  (no held-while-acquiring edges)\n");
+        return out;
+    }
+    for e in &edges {
+        out.push_str(&format!("  {} -> {}\n", e.from, e.to));
+        for f in &e.witness {
+            out.push_str(&format!("      via {f}\n"));
+        }
+    }
+    out
+}
+
+/// DOT rendering for `dot -Tsvg` consumption.
+pub fn render_dot(graph: &LockGraph) -> String {
+    let mut out = String::from("digraph lock_order {\n  rankdir=LR;\n");
+    for n in graph.nodes() {
+        out.push_str(&format!("  \"{n}\";\n"));
+    }
+    for e in graph.edges() {
+        let label = e
+            .witness
+            .first()
+            .map(|f| format!("{}:{}", f.path, f.line))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{label}\"];\n",
+            e.from, e.to
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Frame;
+
+    fn frame(func: &str) -> Chain {
+        vec![Frame {
+            path: "crates/x/src/a.rs".into(),
+            line: 1,
+            func: func.into(),
+            what: "acquires".into(),
+        }]
+    }
+
+    #[test]
+    fn two_cycle_found_once() {
+        let mut g = LockGraph::default();
+        g.add("a", "b", frame("f"));
+        g.add("b", "a", frame("g"));
+        g.add("a", "c", frame("h"));
+        let cycles = g.cycles();
+        assert_eq!(cycles, vec![vec!["a".to_string(), "b".to_string()]]);
+    }
+
+    #[test]
+    fn three_cycle_rooted_at_smallest() {
+        let mut g = LockGraph::default();
+        g.add("b", "c", frame("f"));
+        g.add("c", "a", frame("g"));
+        g.add("a", "b", frame("h"));
+        let cycles = g.cycles();
+        assert_eq!(
+            cycles,
+            vec![vec!["a".to_string(), "b".to_string(), "c".to_string()]]
+        );
+    }
+
+    #[test]
+    fn self_loops_are_not_cycles() {
+        let mut g = LockGraph::default();
+        g.add("a", "a", frame("f"));
+        assert!(g.cycles().is_empty());
+        assert_eq!(g.self_loops().len(), 1);
+    }
+
+    #[test]
+    fn acyclic_graph_is_clean() {
+        let mut g = LockGraph::default();
+        g.add("sessions", "entry", frame("f"));
+        g.add("entry", "db_advisory", frame("g"));
+        assert!(g.cycles().is_empty());
+    }
+}

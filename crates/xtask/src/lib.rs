@@ -15,39 +15,72 @@
 //!   results only if every random draw is seed-threaded through
 //!   `MlaOptions` and no recorded output depends on hash-map order.
 //! * **Unsafe hygiene** (GX501): every `unsafe` carries a `// SAFETY:`.
+//! * **Concurrency** (GX701–GX704): whole-workspace lock-order graph,
+//!   interprocedural guard-across-blocking detection, double-acquire
+//!   paths, and relaxed-atomic handshake mismatches — built on per-fn
+//!   summaries propagated to fixpoint (see `parse`/`summary`/`graph`/
+//!   `concurrency`).
 //!
 //! Run it as `cargo run -p gptune-xtask -- lint` (wired into `tier1.sh`);
 //! see `lint.toml` at the workspace root for the allowlist format and
 //! DESIGN.md §"Static-analysis policy" for the full rule catalogue.
 
+pub mod concurrency;
 pub mod config;
 pub mod context;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod summary;
 
 use config::Config;
 use context::FileCtx;
 use rules::Diagnostic;
 use std::path::{Path, PathBuf};
 
-/// Lints one file's source text under its repo-relative path.
+/// Lints one file's source text under its repo-relative path. Per-file
+/// rules only — the cross-file concurrency tier needs the whole
+/// workspace and runs from [`lint_files`].
 pub fn lint_source(path_rel: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
     let lexed = lexer::lex(source);
     let ctx = FileCtx::new(path_rel, &lexed);
     rules::check_file(&ctx, cfg)
 }
 
-/// Result of a workspace lint run.
-pub struct LintReport {
-    pub diagnostics: Vec<Diagnostic>,
-    pub files_scanned: usize,
+/// Lints a set of `(repo-relative path, source)` pairs: per-file rules on
+/// each, then the workspace concurrency tier across all of them.
+/// Diagnostics are sorted by path then line, so output is byte-stable.
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let mut parsed = Vec::new();
+    for (rel, source) in files {
+        let lexed = lexer::lex(source);
+        let ctx = FileCtx::new(rel, &lexed);
+        diagnostics.extend(rules::check_file(&ctx, cfg));
+        parsed.push(parse::parse_file(&ctx));
+    }
+    diagnostics.extend(concurrency::check(&parsed, cfg));
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    diagnostics
 }
 
-/// Lints every `crates/*/src/**/*.rs` plus the root package's `src/`
-/// under `root`. Diagnostics are sorted by path then line, so output is
-/// byte-stable across runs.
-pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
-    let mut files: Vec<PathBuf> = Vec::new();
+/// Parses every workspace file (no linting) — the substrate for
+/// `lint --lock-graph`.
+pub fn parse_workspace(root: &Path) -> std::io::Result<Vec<parse::ParsedFile>> {
+    let files = read_workspace_sources(root)?;
+    Ok(files
+        .iter()
+        .map(|(rel, source)| {
+            let lexed = lexer::lex(source);
+            parse::parse_file(&FileCtx::new(rel, &lexed))
+        })
+        .collect())
+}
+
+/// Reads every lintable workspace source file as `(rel-path, text)`.
+pub fn read_workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
@@ -57,27 +90,37 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
             .collect();
         members.sort();
         for member in members {
-            collect_rs(&member.join("src"), &mut files)?;
+            collect_rs(&member.join("src"), &mut paths)?;
         }
     }
-    collect_rs(&root.join("src"), &mut files)?;
-    files.sort();
-
-    let mut diagnostics = Vec::new();
-    let files_scanned = files.len();
-    for file in &files {
+    collect_rs(&root.join("src"), &mut paths)?;
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for file in &paths {
         let source = std::fs::read_to_string(file)?;
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        diagnostics.extend(lint_source(&rel, &source, cfg));
+        out.push((rel, source));
     }
-    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(out)
+}
+
+/// Result of a workspace lint run.
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+/// Lints every `crates/*/src/**/*.rs` plus the root package's `src/`
+/// under `root` — per-file rules plus the workspace concurrency tier.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let files = read_workspace_sources(root)?;
     Ok(LintReport {
-        diagnostics,
-        files_scanned,
+        diagnostics: lint_files(&files, cfg),
+        files_scanned: files.len(),
     })
 }
 

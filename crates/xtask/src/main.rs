@@ -1,9 +1,11 @@
 //! `gptune-xtask` CLI.
 //!
 //! ```text
-//! cargo run -p gptune-xtask -- lint            # lint the workspace
-//! cargo run -p gptune-xtask -- lint --root P   # lint another checkout
-//! cargo run -p gptune-xtask -- rules           # print the rule catalogue
+//! cargo run -p gptune-xtask -- lint                 # lint the workspace
+//! cargo run -p gptune-xtask -- lint --root P        # lint another checkout
+//! cargo run -p gptune-xtask -- lint --lock-graph    # dump the lock-order graph (text + DOT)
+//! cargo run -p gptune-xtask -- lint --explain GX701 # long-form rule rationale
+//! cargo run -p gptune-xtask -- rules                # print the rule catalogue
 //! ```
 //!
 //! `lint` exits 0 when clean, 1 on violations, 2 on usage/config errors.
@@ -23,7 +25,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: gptune-xtask <lint [--root PATH] [--quiet] | rules>");
+            eprintln!(
+                "usage: gptune-xtask <lint [--root PATH] [--quiet] [--lock-graph] [--explain GX###] | rules>"
+            );
             ExitCode::from(2)
         }
     }
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
 fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut lock_graph = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -43,6 +48,16 @@ fn lint(args: &[String]) -> ExitCode {
                 }
             },
             "--quiet" | "-q" => quiet = true,
+            "--lock-graph" => lock_graph = true,
+            "--explain" => {
+                return match it.next() {
+                    Some(rule) => explain(rule),
+                    None => {
+                        eprintln!("--explain needs a rule ID (e.g. GX701)");
+                        ExitCode::from(2)
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 return ExitCode::from(2);
@@ -57,6 +72,19 @@ fn lint(args: &[String]) -> ExitCode {
         p.pop();
         p
     });
+
+    if lock_graph {
+        return match gptune_xtask::parse_workspace(&root) {
+            Ok(parsed) => {
+                print!("{}", gptune_xtask::concurrency::lock_graph_report(&parsed));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gptune-xtask: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let cfg = match gptune_xtask::load_config(&root) {
         Ok(cfg) => cfg,
@@ -95,4 +123,19 @@ fn lint(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// `lint --explain GX###`: long-form rationale where one exists, rule
+/// table description otherwise.
+fn explain(rule: &str) -> ExitCode {
+    if let Some(text) = gptune_xtask::concurrency::explain(rule) {
+        println!("{text}");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(r) = gptune_xtask::rules::RULES.iter().find(|r| r.id == rule) {
+        println!("{} — {}.\n{}", r.id, r.name, r.desc);
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("gptune-xtask: unknown rule {rule:?} (see `gptune-xtask rules`)");
+    ExitCode::from(2)
 }

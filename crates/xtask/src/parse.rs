@@ -1,0 +1,696 @@
+//! Item/block recovery on top of the lexer — the substrate the GX7xx
+//! concurrency tier runs on.
+//!
+//! A full AST stays out of scope (same rationale as the lexer: offline
+//! build, no `syn`). What the concurrency analysis actually needs is much
+//! smaller: for every `fn` in a file, the ordered sequence of
+//! *concurrency-relevant events* in its body —
+//!
+//! * **named-lock acquisitions** (`state.sessions.lock()`,
+//!   `shard.lock()`, `GLOBAL.read()`, `FileLock::acquire(..)`) together
+//!   with the *scope* the resulting guard lives for (let-bound guards die
+//!   at their block's `}` or at an explicit `drop(name)`; expression
+//!   temporaries die at the end of their statement; `for`-header
+//!   temporaries live for the whole loop body, exactly as the `match`
+//!   desugaring keeps them alive);
+//! * **call expressions** (last path segment, so `TcpStream::connect(..)`
+//!   is a call named `connect`) with the set of locks held at the call;
+//! * **atomic operations** carrying an explicit `Ordering` argument
+//!   (`touch.load(Ordering::Relaxed)`), which are *not* calls into the
+//!   workspace — `slot.touch.load(..)` must never resolve to
+//!   `SessionStore::load`.
+//!
+//! Scope tracking under-approximates where Rust's real temporary rules
+//! are longer-lived (a `match` scrutinee temporary lives to the end of
+//! the `match`; here it dies at the `{`). Under-approximation can only
+//! lose findings, never invent them.
+
+use crate::context::{match_delim, FileCtx};
+use crate::lexer::{Tok, Token};
+
+/// Guard-producing method names: `m.lock()`, `rw.read()`, `rw.write()`
+/// with *empty* argument lists (`stream.read(&mut buf)` is I/O, not an
+/// acquisition).
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Pseudo lock name for `FileLock::acquire(..)` — the db's cross-process
+/// advisory lock participates in the lock-order graph like any mutex.
+pub const DB_ADVISORY: &str = "db_advisory";
+
+/// Atomic memory-op method names. Only treated as atomic when the
+/// argument list names an `Ordering` variant.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "fetch_nand",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "let", "in", "as", "move", "ref", "mut",
+    "else", "unsafe", "box", "break", "continue", "where", "impl", "use", "pub", "struct", "enum",
+    "trait", "mod", "dyn",
+];
+
+/// One concurrency-relevant event in a function body, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Acquisition of the named lock (receiver identifier, or
+    /// [`DB_ADVISORY`]).
+    Acquire { lock: String },
+    /// A call expression; `argless` distinguishes `h.join()` (thread
+    /// join, blocking) from `path.join("x")` (string concatenation).
+    Call { name: String, argless: bool },
+    /// An atomic op with explicit ordering. `orderings` lists the
+    /// `Ordering` variants in argument order (success ordering first for
+    /// `compare_exchange*`).
+    Atomic {
+        field: String,
+        op: String,
+        orderings: Vec<String>,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub kind: EventKind,
+    pub line: u32,
+    /// Named locks held when the event executes (sorted, deduped; the
+    /// lock being acquired by an `Acquire` event is *not* in its own
+    /// held set).
+    pub held: Vec<String>,
+}
+
+/// One `fn` item with its recovered event sequence.
+#[derive(Debug)]
+pub struct ParsedFn {
+    pub name: String,
+    pub line: u32,
+    pub events: Vec<Event>,
+}
+
+/// All non-test functions of one file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub path: String,
+    pub fns: Vec<ParsedFn>,
+}
+
+struct FnItem {
+    fn_idx: usize,
+    name: String,
+    line: u32,
+    body_open: usize,
+    body_close: usize,
+}
+
+/// Parses every non-test `fn` in the file into its event sequence.
+pub fn parse_file(ctx: &FileCtx<'_>) -> ParsedFile {
+    let items = find_fns(ctx.tokens);
+    let mut fns = Vec::new();
+    for (n, item) in items.iter().enumerate() {
+        if ctx.in_test(item.line) {
+            continue;
+        }
+        // Token ranges of fns nested inside this one: their events belong
+        // to them, not to us.
+        let nested: Vec<(usize, usize)> = items
+            .iter()
+            .enumerate()
+            .filter(|(m, it)| *m != n && it.fn_idx > item.fn_idx && it.body_close < item.body_close)
+            .map(|(_, it)| (it.fn_idx, it.body_close))
+            .collect();
+        let events = walk_body(ctx.tokens, item, &nested);
+        fns.push(ParsedFn {
+            name: item.name.clone(),
+            line: item.line,
+            events,
+        });
+    }
+    ParsedFile {
+        path: ctx.path.to_string(),
+        fns,
+    }
+}
+
+/// Locates every `fn NAME … { body }` in the token stream (trait-method
+/// signatures ending in `;` are skipped).
+fn find_fns(toks: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else {
+            i += 1;
+            continue;
+        };
+        // Scan the signature for the body `{` at zero paren/bracket
+        // depth; a `;` first means no body.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut k = i + 2;
+        let mut body = None;
+        while k < toks.len() {
+            match toks[k].kind {
+                Tok::Punct('(') => paren += 1,
+                Tok::Punct(')') => paren -= 1,
+                Tok::Punct('[') => bracket += 1,
+                Tok::Punct(']') => bracket -= 1,
+                Tok::Punct('{') if paren == 0 && bracket == 0 => {
+                    body = Some(k);
+                    break;
+                }
+                Tok::Punct(';') if paren == 0 && bracket == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = body else {
+            i = k.max(i + 1);
+            continue;
+        };
+        let Some(close) = match_delim(toks, open, '{', '}') else {
+            break;
+        };
+        out.push(FnItem {
+            fn_idx: i,
+            name: name.to_string(),
+            line: toks[i].line,
+            body_open: open,
+            body_close: close,
+        });
+        // Continue *inside* the body so nested fns are found too.
+        i += 2;
+    }
+    out
+}
+
+/// An active guard: the lock it holds, the binding that owns it (None
+/// for expression temporaries), and the first token index at which it is
+/// no longer held.
+struct Guard {
+    lock: String,
+    binding: Option<String>,
+    end: usize,
+}
+
+fn walk_body(toks: &[Token], item: &FnItem, nested: &[(usize, usize)]) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    // Tail acquisitions of `let g = ….lock()…;` statements, keyed by the
+    // index of the acquisition's closing paren: (binding, block close).
+    let mut pending: Vec<(usize, String, usize)> = Vec::new();
+    // Block stack of close-brace indices; the fn body itself is the
+    // outermost block.
+    let mut blocks: Vec<usize> = vec![item.body_close];
+    // `for`-header interval: temporaries acquired in [start, body_open)
+    // live until the loop's close brace.
+    let mut for_header: Option<(usize, usize, usize)> = None; // (start, body_open, body_close)
+
+    let mut i = item.body_open + 1;
+    while i < item.body_close {
+        // Skip nested fn items entirely.
+        if let Some(&(_, close)) = nested.iter().find(|&&(start, _)| start == i) {
+            i = close + 1;
+            continue;
+        }
+        guards.retain(|g| g.end > i);
+        let t = &toks[i];
+        match &t.kind {
+            Tok::Punct('{') => {
+                if let Some(close) = match_delim(toks, i, '{', '}') {
+                    blocks.push(close);
+                }
+            }
+            Tok::Punct('}') => {
+                if blocks.last() == Some(&i) {
+                    blocks.pop();
+                }
+            }
+            Tok::Ident(id) => match id.as_str() {
+                "let" => {
+                    if let Some((close, binding)) = let_tail_acquisition(toks, i, item.body_close) {
+                        let block_close = *blocks.last().unwrap_or(&item.body_close);
+                        pending.push((close, binding, block_close));
+                    }
+                }
+                "for" if !toks.get(i + 1).is_some_and(|t| t.is_punct('<')) => {
+                    // Find the loop body; header temporaries live for it.
+                    let mut paren = 0i32;
+                    let mut k = i + 1;
+                    while k < item.body_close {
+                        match toks[k].kind {
+                            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+                            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+                            Tok::Punct('{') if paren == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if k < item.body_close {
+                        if let Some(close) = match_delim(toks, k, '{', '}') {
+                            for_header = Some((i, k, close));
+                        }
+                    }
+                }
+                "drop" if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) => {
+                    if let (Some(name), Some(cp)) = (
+                        toks.get(i + 2).and_then(|t| t.ident()),
+                        toks.get(i + 3).map(|t| t.is_punct(')')),
+                    ) {
+                        if cp {
+                            guards.retain(|g| g.binding.as_deref() != Some(name));
+                            i += 4;
+                            continue;
+                        }
+                    }
+                }
+                _ if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) => {
+                    let held = held_locks(&guards);
+                    if let Some((lock, close)) = acquisition_at(toks, i) {
+                        events.push(Event {
+                            kind: EventKind::Acquire { lock: lock.clone() },
+                            line: t.line,
+                            held,
+                        });
+                        let (binding, end) =
+                            guard_scope(toks, close, item.body_close, &mut pending, &for_header, i);
+                        guards.push(Guard { lock, binding, end });
+                        i = close + 1;
+                        continue;
+                    }
+                    if ATOMIC_OPS.contains(&id.as_str()) {
+                        if let Some(close) = match_delim(toks, i + 1, '(', ')') {
+                            let orderings: Vec<String> = toks[i + 2..close]
+                                .iter()
+                                .filter_map(|t| t.ident())
+                                .filter(|s| ORDERINGS.contains(s))
+                                .map(str::to_string)
+                                .collect();
+                            if !orderings.is_empty() {
+                                let field = (i >= 2 && toks[i - 1].is_punct('.'))
+                                    .then(|| toks[i - 2].ident())
+                                    .flatten();
+                                if let Some(field) = field {
+                                    events.push(Event {
+                                        kind: EventKind::Atomic {
+                                            field: field.to_string(),
+                                            op: id.clone(),
+                                            orderings,
+                                        },
+                                        line: t.line,
+                                        held,
+                                    });
+                                }
+                                i = close + 1;
+                                continue;
+                            }
+                        }
+                    }
+                    // A call whose whole argument list is one bool literal
+                    // is a builder setter (`OpenOptions::new().append(true)`)
+                    // — never a workspace fn worth resolving by name.
+                    let bool_setter = toks
+                        .get(i + 2)
+                        .and_then(|t| t.ident())
+                        .is_some_and(|a| a == "true" || a == "false")
+                        && toks.get(i + 3).is_some_and(|t| t.is_punct(')'));
+                    if !NON_CALL_KEYWORDS.contains(&id.as_str())
+                        && !id.starts_with(char::is_uppercase)
+                        && !id.starts_with('_')
+                        && !bool_setter
+                    {
+                        let argless = toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+                        events.push(Event {
+                            kind: EventKind::Call {
+                                name: id.clone(),
+                                argless,
+                            },
+                            line: t.line,
+                            held,
+                        });
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    events
+}
+
+/// Currently held lock names, sorted and deduped.
+fn held_locks(guards: &[Guard]) -> Vec<String> {
+    let mut held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+    held.sort();
+    held.dedup();
+    held
+}
+
+/// At ident index `i` followed by `(`: is this a named-lock acquisition?
+/// Returns the lock name and the closing-paren index.
+fn acquisition_at(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    let id = toks[i].ident()?;
+    if LOCK_METHODS.contains(&id)
+        && i >= 2
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+    {
+        let recv = toks[i - 2].ident()?;
+        return Some((recv.to_string(), i + 2));
+    }
+    if id == "acquire"
+        && i >= 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks[i - 3].is_ident("FileLock")
+    {
+        let close = match_delim(toks, i + 1, '(', ')')?;
+        return Some((DB_ADVISORY.to_string(), close));
+    }
+    None
+}
+
+/// Scope for the guard created by the acquisition whose closing paren is
+/// at `close`: a pending let-tail binding (block scope), a `for`-header
+/// temporary (loop-body scope), or a statement temporary.
+fn guard_scope(
+    toks: &[Token],
+    close: usize,
+    body_close: usize,
+    pending: &mut Vec<(usize, String, usize)>,
+    for_header: &Option<(usize, usize, usize)>,
+    acq_idx: usize,
+) -> (Option<String>, usize) {
+    if let Some(pos) = pending.iter().position(|(c, _, _)| *c == close) {
+        let (_, binding, block_close) = pending.remove(pos);
+        // `let _ = guard` drops immediately; anything else holds to the
+        // end of the enclosing block.
+        if binding == "_" {
+            return (None, statement_end(toks, close, body_close));
+        }
+        return (Some(binding), block_close);
+    }
+    if let Some((start, body_open, loop_close)) = for_header {
+        if acq_idx > *start && acq_idx < *body_open {
+            return (None, *loop_close);
+        }
+    }
+    (None, statement_end(toks, close, body_close))
+}
+
+/// First `;`, `{`, or `}` at zero paren/bracket depth after `from` — the
+/// end of the statement the temporary lives for.
+fn statement_end(toks: &[Token], from: usize, body_close: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = from + 1;
+    while k < body_close {
+        match toks[k].kind {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') if depth <= 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    body_close
+}
+
+/// For a `let` at index `i`: if the initializer's *tail* is a lock
+/// acquisition (optionally followed by `?` / `.unwrap()` / `.expect(..)`),
+/// returns (closing-paren index of the acquisition, binding name). A
+/// tail acquisition means the binding *is* the guard; an embedded one
+/// (`let n = m.lock().unwrap().len();`) leaves only a statement
+/// temporary, which the generic walk handles.
+fn let_tail_acquisition(toks: &[Token], i: usize, body_close: usize) -> Option<(usize, String)> {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let binding = toks.get(j)?.ident()?.to_string();
+    // Reject patterns (`let Some(g) = …`, `let (a, b) = …`).
+    if binding.starts_with(char::is_uppercase) {
+        return None;
+    }
+    // Find `=` at zero depth (skipping a `: Type` annotation; `==`, `>=`,
+    // `<=`, `!=` never appear before the initializer).
+    let mut depth = 0i32;
+    let mut k = j + 1;
+    let eq = loop {
+        if k >= body_close {
+            return None;
+        }
+        match toks[k].kind {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => depth -= 1,
+            Tok::Punct('=') if depth <= 0 => break k,
+            Tok::Punct(';') | Tok::Punct('{') if depth <= 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    };
+    let end = statement_end(toks, eq, body_close);
+    // Walk the initializer for acquisitions; test whether the last one is
+    // the tail.
+    let mut last: Option<usize> = None; // closing paren idx
+    let mut m = eq + 1;
+    while m < end {
+        if toks[m].ident().is_some() && toks.get(m + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some((_, close)) = acquisition_at(toks, m) {
+                last = Some(close);
+                m = close + 1;
+                continue;
+            }
+        }
+        m += 1;
+    }
+    let close = last?;
+    // Strip trailing `?`, `.unwrap()`, `.expect(..)`.
+    let mut k = close + 1;
+    while k < end {
+        if toks[k].is_punct('?') {
+            k += 1;
+        } else if toks[k].is_punct('.')
+            && toks
+                .get(k + 1)
+                .and_then(|t| t.ident())
+                .is_some_and(|s| s == "unwrap" || s == "expect")
+            && toks.get(k + 2).is_some_and(|t| t.is_punct('('))
+        {
+            match match_delim(toks, k + 2, '(', ')') {
+                Some(c) => k = c + 1,
+                None => return None,
+            }
+        } else {
+            return None; // embedded acquisition, not the tail
+        }
+    }
+    Some((close, binding))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let ctx = FileCtx::new("crates/serve/src/x.rs", &lexed);
+        parse_file(&ctx)
+    }
+
+    fn events_of<'a>(pf: &'a ParsedFile, name: &str) -> &'a [Event] {
+        &pf.fns.iter().find(|f| f.name == name).expect("fn").events
+    }
+
+    #[test]
+    fn let_guard_scopes_to_block_and_drop() {
+        let src = "fn f(state: &S) {\n\
+                   let table = state.sessions.lock().unwrap();\n\
+                   touch(1);\n\
+                   drop(table);\n\
+                   after(2);\n\
+                   }\n";
+        let pf = parse(src);
+        let ev = events_of(&pf, "f");
+        assert!(matches!(&ev[0].kind, EventKind::Acquire { lock } if lock == "sessions"));
+        let touch = ev
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "touch"))
+            .unwrap();
+        assert_eq!(touch.held, vec!["sessions".to_string()]);
+        let after = ev
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "after"))
+            .unwrap();
+        assert!(after.held.is_empty(), "drop() must release the guard");
+    }
+
+    #[test]
+    fn statement_temporary_does_not_cover_next_statement() {
+        let src = "fn f(s: &S) {\n\
+                   let n = s.sessions.lock().unwrap().len();\n\
+                   blocked(n);\n\
+                   }\n";
+        let pf = parse(src);
+        let ev = events_of(&pf, "f");
+        let call = ev
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "blocked"))
+            .unwrap();
+        assert!(call.held.is_empty());
+    }
+
+    #[test]
+    fn for_header_temporary_covers_loop_body() {
+        let src = "fn f(s: &S) {\n\
+                   for c in s.conns.lock().unwrap().iter() {\n\
+                   sever(c);\n\
+                   }\n\
+                   outside(1);\n\
+                   }\n";
+        let pf = parse(src);
+        let ev = events_of(&pf, "f");
+        let sever = ev
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "sever"))
+            .unwrap();
+        assert_eq!(sever.held, vec!["conns".to_string()]);
+        let outside = ev
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "outside"))
+            .unwrap();
+        assert!(outside.held.is_empty());
+    }
+
+    #[test]
+    fn block_scoped_guard_dies_at_close_brace() {
+        let src = "fn f(s: &S) {\n\
+                   let v = {\n\
+                   let mut t = s.sessions.lock().unwrap();\n\
+                   pick(1)\n\
+                   };\n\
+                   use_it(v);\n\
+                   }\n";
+        let pf = parse(src);
+        let ev = events_of(&pf, "f");
+        let pick = ev
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "pick"))
+            .unwrap();
+        assert_eq!(pick.held, vec!["sessions".to_string()]);
+        let use_it = ev
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "use_it"))
+            .unwrap();
+        assert!(use_it.held.is_empty());
+    }
+
+    #[test]
+    fn atomic_op_is_not_a_call() {
+        let src = "fn f(s: &S) {\n\
+                   let t = s.touch.load(Ordering::Relaxed);\n\
+                   s.touch.store(t, Ordering::Relaxed);\n\
+                   }\n";
+        let pf = parse(src);
+        let ev = events_of(&pf, "f");
+        assert!(ev
+            .iter()
+            .all(|e| !matches!(&e.kind, EventKind::Call { name, .. } if name == "load" || name == "store")));
+        let atomics: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::Atomic { field, .. } if field == "touch"))
+            .collect();
+        assert_eq!(atomics.len(), 2);
+    }
+
+    #[test]
+    fn file_lock_acquire_is_db_advisory() {
+        let src = "fn f(p: &Path, o: &LockOptions) -> io::Result<()> {\n\
+                   let _guard = FileLock::acquire(p, o)?;\n\
+                   write_all_now(p)?;\n\
+                   Ok(())\n\
+                   }\n";
+        let pf = parse(src);
+        let ev = events_of(&pf, "f");
+        assert!(matches!(&ev[0].kind, EventKind::Acquire { lock } if lock == DB_ADVISORY));
+        let call = ev
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "write_all_now"))
+            .unwrap();
+        assert_eq!(call.held, vec![DB_ADVISORY.to_string()]);
+    }
+
+    #[test]
+    fn rwlock_read_write_with_args_is_io_not_acquisition() {
+        let src = "fn f(g: &RwLock<u8>, s: &mut TcpStream, buf: &mut [u8]) {\n\
+                   let r = g.read();\n\
+                   s.read(buf).ok();\n\
+                   }\n";
+        let pf = parse(src);
+        let ev = events_of(&pf, "f");
+        let acquires: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::Acquire { .. }))
+            .collect();
+        assert_eq!(acquires.len(), 1, "only the empty-paren read() acquires");
+    }
+
+    #[test]
+    fn nested_fn_events_stay_separate() {
+        let src = "fn outer(s: &S) {\n\
+                   fn inner(s: &S) { let g = s.conns.lock().unwrap(); body(g); }\n\
+                   clean(1);\n\
+                   }\n";
+        let pf = parse(src);
+        let outer = events_of(&pf, "outer");
+        assert!(outer
+            .iter()
+            .all(|e| !matches!(&e.kind, EventKind::Acquire { .. })));
+        let inner = events_of(&pf, "inner");
+        assert!(inner
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Acquire { lock } if lock == "conns")));
+    }
+
+    #[test]
+    fn test_fns_are_skipped() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n fn t(s: &S) { let g = s.conns.lock().unwrap(); }\n}\n";
+        let pf = parse(src);
+        assert!(pf.fns.is_empty());
+    }
+
+    #[test]
+    fn call_names_are_last_path_segment() {
+        let src = "fn f(addr: A) {\n\
+                   let s = TcpStream::connect(addr);\n\
+                   let x = Some(1);\n\
+                   }\n";
+        let pf = parse(src);
+        let ev = events_of(&pf, "f");
+        assert!(ev
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "connect")));
+        assert!(ev
+            .iter()
+            .all(|e| !matches!(&e.kind, EventKind::Call { name, .. } if name == "Some")));
+    }
+}

@@ -10,6 +10,7 @@
 //! | 4    | GX401–GX403 | determinism: every random draw and iteration order is seed-threaded |
 //! | 5    | GX501 | unsafe hygiene: every `unsafe` carries a `// SAFETY:` justification |
 //! | 6    | GX601 | observability: no raw `Instant::now()` in the traced crates |
+//! | 7    | GX701–GX704 | workspace concurrency: lock-order inversions, guards across blocking calls (interprocedural), double-acquires, relaxed-atomic handshakes — implemented in [`crate::concurrency`] |
 //!
 //! Every rule is a pattern walk over the token stream of [`crate::lexer`]
 //! — deliberately type-blind, so each check documents the (small) set of
@@ -102,7 +103,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "GX303",
         name: "serve-socket-deadline",
-        desc: "crates/serve: every socket from accept()/connect() must arm read/write deadlines (set_read_timeout/set_write_timeout or arm_deadlines) within a few lines",
+        desc: "crates/serve: every socket from accept()/connect() must reach a deadline-arming call (set_read_timeout/set_write_timeout/arm_deadlines, possibly via a helper) before any other may-blocking operation",
     },
     RuleInfo {
         id: "GX401",
@@ -128,6 +129,26 @@ pub const RULES: &[RuleInfo] = &[
         id: "GX601",
         name: "raw-instant-now",
         desc: "no raw Instant::now() in crates/core or crates/runtime; time through PhaseTimer or gptune-trace spans",
+    },
+    RuleInfo {
+        id: "GX701",
+        name: "lock-order-inversion",
+        desc: "no cycle in the workspace held-while-acquiring graph over the named-lock registry (witness paths printed; see `lint --explain GX701`)",
+    },
+    RuleInfo {
+        id: "GX702",
+        name: "guard-across-blocking-call",
+        desc: "no registry-lock guard held across a may-blocking call, interprocedurally — a callee blocking frames down the call graph counts",
+    },
+    RuleInfo {
+        id: "GX703",
+        name: "double-acquire",
+        desc: "no call path re-acquires a non-reentrant named lock it already holds (self-deadlock)",
+    },
+    RuleInfo {
+        id: "GX704",
+        name: "relaxed-atomic-handshake",
+        desc: "no Relaxed op on an atomic field that is synchronized with Acquire/Release/SeqCst elsewhere in the workspace",
     },
 ];
 
@@ -168,7 +189,6 @@ pub fn check_file(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Diagnostic> {
     allow_justifications(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     lock_discipline(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     serve_lock_io(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
-    serve_socket_deadlines(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     determinism(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     unsafe_hygiene(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     raw_timing(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
@@ -701,52 +721,9 @@ fn serve_lock_io(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnosti
     }
 }
 
-/// Idents that satisfy GX303 when they appear near a socket acquisition.
-const DEADLINE_ARMERS: &[&str] = &["set_read_timeout", "set_write_timeout", "arm_deadlines"];
-
-/// GX303: in `crates/serve`, every socket obtained from `accept(..)` or
-/// `connect(..)` must have read/write deadlines armed within the next
-/// dozen lines. An unbounded socket lets one stalled peer pin a worker
-/// forever — the overload-control contract says every serve-side socket
-/// is deadline-bounded. `fn accept(`-style *definitions* and test code
-/// are exempt.
-fn serve_socket_deadlines(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
-    if !ctx.path.starts_with("crates/serve/") {
-        return;
-    }
-    let t = ctx.tokens;
-    for i in 0..t.len() {
-        let Some(name) = t[i].ident() else { continue };
-        if name != "accept" && name != "connect" {
-            continue;
-        }
-        if !t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
-            continue;
-        }
-        if i > 0 && t[i - 1].ident() == Some("fn") {
-            continue; // a definition, not a call site
-        }
-        let line = t[i].line;
-        if ctx.in_test(line) {
-            continue;
-        }
-        let armed = t[i..]
-            .iter()
-            .take_while(|x| x.line <= line + 12)
-            .any(|x| x.ident().is_some_and(|id| DEADLINE_ARMERS.contains(&id)));
-        if !armed {
-            emit(
-                line,
-                "GX303",
-                format!(
-                    "`{name}(..)` yields a socket with no deadline armed within 12 lines; call \
-                     set_read_timeout/set_write_timeout (or arm_deadlines) before using it"
-                ),
-                out,
-            );
-        }
-    }
-}
+// GX303 (serve-socket-deadline) lives in `crate::concurrency`: the old
+// "armed within 12 lines" lexical heuristic was replaced by the
+// summary-based check over parsed fn bodies.
 
 // ---------------------------------------------------------------- tier 4
 
@@ -1151,31 +1128,6 @@ mod tests {
         assert!(rules_hit("crates/serve/src/server.rs", scoped).is_empty());
         // The rule is scoped to crates/serve.
         assert!(!rules_hit("crates/runtime/src/x.rs", bad).contains(&"GX302"));
-    }
-
-    #[test]
-    fn gx303_serve_sockets_must_arm_deadlines() {
-        let bad = "fn f(l: &TcpListener) {\n  let s = l.accept().unwrap().0;\n  serve_conn(s);\n}";
-        assert_eq!(rules_hit("crates/serve/src/server.rs", bad), vec!["GX303"]);
-        let bad_connect = "fn f(a: SocketAddr) {\n  let s = TcpStream::connect(a).unwrap();\n  s.write_all(b\"x\");\n}";
-        assert_eq!(
-            rules_hit("crates/serve/src/client.rs", bad_connect),
-            vec!["GX303"]
-        );
-        // Arming either deadline nearby satisfies the rule…
-        let ok = "fn f(l: &TcpListener) {\n  let s = l.accept().unwrap().0;\n  let _ = s.set_read_timeout(t);\n  let _ = s.set_write_timeout(t);\n}";
-        assert!(rules_hit("crates/serve/src/server.rs", ok).is_empty());
-        // …as does the shared helper.
-        let helper = "fn f(l: &TcpListener, o: &ServeOptions) {\n  let s = l.accept().unwrap().0;\n  arm_deadlines(&s, o);\n}";
-        assert!(rules_hit("crates/serve/src/server.rs", helper).is_empty());
-        // Definitions are not call sites.
-        let def =
-            "impl Listener {\n  fn accept(&self) -> io::Result<TcpStream> { self.inner() }\n}";
-        assert!(rules_hit("crates/serve/src/server.rs", def).is_empty());
-        // Tests and other crates are out of scope.
-        let tested = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() {\n    let s = TcpStream::connect(a).unwrap();\n  }\n}";
-        assert!(rules_hit("crates/serve/src/server.rs", tested).is_empty());
-        assert!(!rules_hit("crates/runtime/src/x.rs", bad).contains(&"GX303"));
     }
 
     #[test]

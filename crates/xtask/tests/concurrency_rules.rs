@@ -1,0 +1,169 @@
+//! Fixture-driven tests for the GX7xx concurrency tier and the
+//! summary-based GX303 — each rule gets one triggering and one clean
+//! fixture, linted under synthetic *production* paths (the fixtures
+//! directory itself is test code by the lint's own path rules), plus a
+//! golden-file test for the `lint --lock-graph` text rendering.
+
+use gptune_xtask::concurrency;
+use gptune_xtask::config::Config;
+use gptune_xtask::context::FileCtx;
+use gptune_xtask::lexer::lex;
+use gptune_xtask::parse::{parse_file, ParsedFile};
+use gptune_xtask::rules::Diagnostic;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn parsed(name: &str, path_rel: &str) -> ParsedFile {
+    let src = fixture(name);
+    let lexed = lex(&src);
+    parse_file(&FileCtx::new(path_rel, &lexed))
+}
+
+/// Runs the concurrency tier over fixtures mounted at synthetic paths.
+fn check(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let parsed: Vec<ParsedFile> = files.iter().map(|(n, p)| parsed(n, p)).collect();
+    concurrency::check(&parsed, &Config::default())
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn gx701_flags_the_seeded_inversion_with_both_witness_paths() {
+    let diags = check(&[("gx701_inversion.rs", "crates/serve/src/fixture.rs")]);
+    let gx701: Vec<_> = diags.iter().filter(|d| d.rule == "GX701").collect();
+    assert_eq!(gx701.len(), 1, "exactly one cycle: {diags:?}");
+    let msg = &gx701[0].msg;
+    // Both directions of the inversion must be printed as witness paths.
+    assert!(msg.contains("path 1:") && msg.contains("path 2:"), "{msg}");
+    assert!(
+        msg.contains("session_then_inflight") && msg.contains("inflight_then_session"),
+        "{msg}"
+    );
+    // Each witness descends through the helper that hides the acquisition.
+    assert!(
+        msg.contains("bump_inflight") && msg.contains("touch_sessions"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn gx701_accepts_the_committed_order() {
+    let diags = check(&[("gx701_ordered.rs", "crates/serve/src/fixture.rs")]);
+    assert!(!rules_of(&diags).contains(&"GX701"), "{diags:?}");
+}
+
+#[test]
+fn gx702_flags_blocking_two_frames_down() {
+    let diags = check(&[("gx702_deep_block.rs", "crates/serve/src/fixture.rs")]);
+    let gx702: Vec<_> = diags.iter().filter(|d| d.rule == "GX702").collect();
+    assert_eq!(gx702.len(), 1, "{diags:?}");
+    let msg = &gx702[0].msg;
+    // The witness chain spells out the two intermediate frames down to
+    // the primitive.
+    assert!(msg.contains("notify_all"), "{msg}");
+    assert!(
+        msg.contains("send_frame") && msg.contains("write_all"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn gx702_accepts_snapshot_then_drop() {
+    let diags = check(&[("gx702_clean.rs", "crates/serve/src/fixture.rs")]);
+    assert!(!rules_of(&diags).contains(&"GX702"), "{diags:?}");
+}
+
+#[test]
+fn gx703_flags_reacquire_through_a_helper() {
+    let diags = check(&[("gx703_double_acquire.rs", "crates/serve/src/fixture.rs")]);
+    let gx703: Vec<_> = diags.iter().filter(|d| d.rule == "GX703").collect();
+    assert_eq!(gx703.len(), 1, "{diags:?}");
+    assert!(gx703[0].msg.contains("pick_victim"), "{}", gx703[0].msg);
+}
+
+#[test]
+fn gx703_accepts_passing_the_guard_down() {
+    let diags = check(&[("gx703_clean.rs", "crates/serve/src/fixture.rs")]);
+    assert!(!rules_of(&diags).contains(&"GX703"), "{diags:?}");
+}
+
+#[test]
+fn gx704_flags_relaxed_poll_of_a_released_flag() {
+    let diags = check(&[(
+        "gx704_relaxed_handshake.rs",
+        "crates/runtime/src/fixture.rs",
+    )]);
+    let gx704: Vec<_> = diags.iter().filter(|d| d.rule == "GX704").collect();
+    assert_eq!(gx704.len(), 1, "{diags:?}");
+    let msg = &gx704[0].msg;
+    assert!(msg.contains("`ready`") && msg.contains("Release"), "{msg}");
+}
+
+#[test]
+fn gx704_accepts_pure_counters_and_paired_orderings() {
+    let diags = check(&[("gx704_clean.rs", "crates/runtime/src/fixture.rs")]);
+    assert!(!rules_of(&diags).contains(&"GX704"), "{diags:?}");
+}
+
+#[test]
+fn gx303_flags_blocking_before_arming() {
+    let diags = check(&[("gx303_unarmed.rs", "crates/serve/src/fixture.rs")]);
+    let gx303: Vec<_> = diags.iter().filter(|d| d.rule == "GX303").collect();
+    assert_eq!(gx303.len(), 1, "{diags:?}");
+    assert!(gx303[0].msg.contains("read_exact"), "{}", gx303[0].msg);
+}
+
+#[test]
+fn gx303_accepts_arming_via_the_shared_helper() {
+    let diags = check(&[("gx303_armed_helper.rs", "crates/serve/src/fixture.rs")]);
+    assert!(!rules_of(&diags).contains(&"GX303"), "{diags:?}");
+}
+
+#[test]
+fn gx303_is_scoped_to_serve() {
+    let diags = check(&[("gx303_unarmed.rs", "crates/runtime/src/fixture.rs")]);
+    assert!(!rules_of(&diags).contains(&"GX303"), "{diags:?}");
+}
+
+#[test]
+fn fn_scoped_allow_suppresses_exactly_one_function() {
+    let cfg = Config::parse(
+        "[[allow]]\nrule = \"GX702\"\npath = \"crates/serve/src/fixture.rs\"\nfn = \"broadcast\"\nreason = \"fixture\"\n",
+    )
+    .expect("config parses");
+    let files = vec![parsed("gx702_deep_block.rs", "crates/serve/src/fixture.rs")];
+    let diags = concurrency::check(&files, &cfg);
+    assert!(!rules_of(&diags).contains(&"GX702"), "{diags:?}");
+}
+
+#[test]
+fn full_pipeline_reports_the_inversion() {
+    // End to end through lint_files: per-file rules plus the concurrency
+    // tier, exactly one GX701 for the seeded inversion.
+    let src = fixture("gx701_inversion.rs");
+    let diags = gptune_xtask::lint_files(
+        &[("crates/serve/src/fixture.rs".to_string(), src)],
+        &Config::default(),
+    );
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == "GX701").count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_graph_text_matches_golden() {
+    let files = vec![parsed("gx701_inversion.rs", "crates/serve/src/fixture.rs")];
+    let text = concurrency::lock_graph_text(&files);
+    let golden = fixture("lock_graph_golden.txt");
+    assert_eq!(text, golden, "lock-graph text drifted from the golden file");
+}

@@ -1,0 +1,16 @@
+// GX303 clean fixture: deadlines are armed through the shared helper
+// before the first blocking operation — the summary-based check accepts
+// arming via any recognized armer, not just a literal set_read_timeout
+// within N lines.
+
+fn serve_one(listener: &TcpListener, opts: &ServeOptions) {
+    let (mut stream, _) = listener.accept().unwrap();
+    arm_deadlines(&stream, opts);
+    let mut buf = [0u8; 4];
+    stream.read_exact(&mut buf).unwrap();
+}
+
+fn arm_deadlines(stream: &TcpStream, opts: &ServeOptions) {
+    let _ = stream.set_read_timeout(opts.io_timeout);
+    let _ = stream.set_write_timeout(opts.io_timeout);
+}

@@ -1,0 +1,10 @@
+// GX303 triggering fixture: the accepted socket reaches a blocking read
+// before any deadline-arming call (the arming after the read is too
+// late — a silent peer wedges the thread first).
+
+fn serve_one(listener: &TcpListener) {
+    let (mut stream, _) = listener.accept().unwrap();
+    let mut buf = [0u8; 4];
+    stream.read_exact(&mut buf).unwrap();
+    stream.set_read_timeout(None).unwrap();
+}

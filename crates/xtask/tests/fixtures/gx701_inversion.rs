@@ -1,0 +1,25 @@
+// GX701 triggering fixture: a seeded A→B / B→A lock-order inversion on
+// two registry locks, with each second acquisition buried in a helper so
+// only the interprocedural summaries can see it.
+
+fn session_then_inflight(s: &ServerState) {
+    let table = s.sessions.lock().unwrap();
+    bump_inflight(s);
+    drop(table);
+}
+
+fn bump_inflight(s: &ServerState) {
+    let mut counts = s.inflight.lock().unwrap();
+    counts.bump();
+}
+
+fn inflight_then_session(s: &ServerState) {
+    let counts = s.inflight.lock().unwrap();
+    touch_sessions(s);
+    drop(counts);
+}
+
+fn touch_sessions(s: &ServerState) {
+    let table = s.sessions.lock().unwrap();
+    table.touch();
+}

@@ -1,0 +1,19 @@
+// GX701 clean fixture: both paths acquire in the same committed order
+// (sessions before inflight), so the lock graph has edges but no cycle.
+
+fn session_then_inflight(s: &ServerState) {
+    let table = s.sessions.lock().unwrap();
+    bump_inflight(s);
+    drop(table);
+}
+
+fn bump_inflight(s: &ServerState) {
+    let mut counts = s.inflight.lock().unwrap();
+    counts.bump();
+}
+
+fn also_ordered(s: &ServerState) {
+    let table = s.sessions.lock().unwrap();
+    let counts = s.inflight.lock().unwrap();
+    counts.merge(&table);
+}

@@ -1,0 +1,20 @@
+// GX702 clean fixture: the guard is dropped (and a snapshot taken)
+// before the blocking call chain runs.
+
+fn broadcast(s: &ServerState) {
+    let peers = {
+        let guard = s.conns.lock().unwrap();
+        guard.clone()
+    };
+    notify_all(&peers);
+}
+
+fn notify_all(peers: &[TcpStream]) {
+    for peer in peers {
+        send_frame(peer);
+    }
+}
+
+fn send_frame(peer: &mut TcpStream) {
+    peer.write_all(b"notify").ok();
+}

@@ -1,0 +1,19 @@
+// GX702 triggering fixture: the conns guard is held across a call whose
+// blocking I/O sits two frames down the call graph — invisible to any
+// lexical check, caught by the propagated summaries.
+
+fn broadcast(s: &ServerState) {
+    let guard = s.conns.lock().unwrap();
+    notify_all(s);
+    drop(guard);
+}
+
+fn notify_all(s: &ServerState) {
+    for peer in s.peers() {
+        send_frame(peer);
+    }
+}
+
+fn send_frame(peer: &mut TcpStream) {
+    peer.write_all(b"notify").ok();
+}

@@ -1,0 +1,12 @@
+// GX703 clean fixture: the victim is picked under the same guard the
+// caller already holds (passed down), never by re-locking.
+
+fn evict(s: &ServerState) {
+    let mut table = s.sessions.lock().unwrap();
+    let victim = pick_victim(&table);
+    table.remove(victim);
+}
+
+fn pick_victim(table: &SessionTable) -> u64 {
+    table.oldest()
+}

@@ -1,0 +1,13 @@
+// GX703 triggering fixture: a helper re-acquires the sessions lock its
+// caller already holds — a guaranteed self-deadlock with std Mutex.
+
+fn evict(s: &ServerState) {
+    let table = s.sessions.lock().unwrap();
+    let victim = pick_victim(s);
+    table.remove(victim);
+}
+
+fn pick_victim(s: &ServerState) -> u64 {
+    let table = s.sessions.lock().unwrap();
+    table.oldest()
+}

@@ -1,0 +1,18 @@
+// GX704 clean fixture: a pure Relaxed counter (no synchronizing op on
+// the same field anywhere) and a correctly paired Release/Acquire flag.
+
+fn bump(s: &Shared) {
+    s.hits.fetch_add(1, Ordering::Relaxed);
+}
+
+fn read_hits(s: &Shared) -> u64 {
+    s.hits.load(Ordering::Relaxed)
+}
+
+fn publish(s: &Shared) {
+    s.ready.store(true, Ordering::Release);
+}
+
+fn poll(s: &Shared) -> bool {
+    s.ready.load(Ordering::Acquire)
+}

@@ -1,0 +1,12 @@
+// GX704 triggering fixture: `ready` is published with Release but polled
+// with Relaxed — the poller has no happens-before edge to the data the
+// publisher wrote before the store.
+
+fn publish(s: &Shared) {
+    s.payload.set(42);
+    s.ready.store(true, Ordering::Release);
+}
+
+fn poll(s: &Shared) -> bool {
+    s.ready.load(Ordering::Relaxed)
+}

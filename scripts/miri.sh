@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Miri gate for the journal_v2 binary codec (optional, not part of tier1).
+#
+# journal_v2 is the one module that does byte-level encoding/decoding of
+# untrusted on-disk data (varints, bit-packed frames, f64 bit patterns),
+# so it is where undefined behaviour — out-of-bounds reads on truncated
+# input, misaligned loads, uninitialised padding — would hide from normal
+# tests. Miri interprets the codec round-trip tests and rejects any UB.
+#
+# Needs a nightly toolchain with the miri component:
+#   rustup +nightly component add miri
+# Miri runs ~100x slower than native and has no real filesystem, so this
+# stays scoped to the in-memory codec tests (the `journal_v2::` unit
+# filter) instead of the whole db suite.
+#
+# Usage:
+#   scripts/miri.sh              # journal_v2 codec round-trip tests
+#   scripts/miri.sh <filter...>  # extra args forwarded to `cargo miri test`
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+    echo "miri.sh: a nightly toolchain is required (rustup toolchain install nightly)" >&2
+    exit 1
+fi
+if ! rustup +nightly component list 2>/dev/null | grep -q "miri.*(installed)"; then
+    echo "miri.sh: the miri component is required (rustup +nightly component add miri)" >&2
+    exit 1
+fi
+
+# File accesses inside the codec tests (tempdir round-trips) need Miri's
+# disabled-isolation mode; the codec logic itself is pure in-memory.
+export MIRIFLAGS="${MIRIFLAGS:--Zmiri-disable-isolation}"
+
+echo "== Miri: journal_v2 codec round-trip tests =="
+cargo +nightly miri test -p gptune-db journal_v2:: "$@"
+
+echo "miri.sh: clean"

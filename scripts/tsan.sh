@@ -47,4 +47,15 @@ cargo +nightly test \
     --test chaos \
     "$@"
 
+echo "== TSan: serve protocol chaos suite (proxy faults, kill-restart, eviction) =="
+# The serve chaos suite exercises the exact lock structure the GX7xx
+# static tier reasons about (session table, per-session entry locks,
+# conns registry, teardown) under real concurrency — TSan validates at
+# runtime what the lock-order graph proves statically.
+cargo +nightly test \
+    -Zbuild-std \
+    --target "$HOST_TARGET" \
+    --test serve_chaos \
+    "$@"
+
 echo "tsan.sh: clean"

@@ -20,9 +20,20 @@ cargo test -q --release -p gptune-gp --test equivalence
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Domain-specific lint suite (NaN-safety, panic tiers, lock discipline,
-# determinism, unsafe hygiene, observability) -- see DESIGN.md
-# "Static-analysis policy".
-cargo run -q -p gptune-xtask -- lint
+# determinism, unsafe hygiene, observability) plus the GX7xx workspace
+# concurrency tier (lock-order graph, interprocedural blocking summaries)
+# -- see DESIGN.md "Static-analysis policy" and section 6. -D semantics:
+# any finding fails the gate. The full sweep must stay interactive
+# (< 10s wall) so it never gets skipped locally; the binary is built
+# above by `cargo build --release`, so this times the lint itself.
+lint_start="$(date +%s%N)"
+cargo run -q --release -p gptune-xtask -- lint
+lint_ms="$(( ($(date +%s%N) - lint_start) / 1000000 ))"
+echo "gptune-xtask lint wall time: ${lint_ms}ms"
+if [ "$lint_ms" -ge 10000 ]; then
+  echo "gptune-xtask lint took ${lint_ms}ms (>= 10s budget)" >&2
+  exit 1
+fi
 # Trace smoke gate: a tiny traced MLA must export a JSONL trace that
 # trace_tool summarizes cleanly, with at least one modeling span per
 # iteration (5 iterations at budget 10 on 2 tasks).
