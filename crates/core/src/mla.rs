@@ -21,7 +21,7 @@ use crate::perfmodel::{FeatureScaler, LinearPerfModel};
 use crate::problem::TuningProblem;
 use gptune_db::CheckpointKind;
 use gptune_gp::gp::{expected_improvement, lower_confidence_bound, probability_of_improvement};
-use gptune_gp::{LcmFitOptions, LcmModel, Prediction};
+use gptune_gp::{IncrementalLcm, LcmFitOptions, LcmModel, Prediction};
 use gptune_opt::{cmaes, de, pso};
 use gptune_runtime::{
     with_pool, EvalOutcome, FailureKind, JobStatus, Phase, PhaseTimer, WorkerGroup,
@@ -748,6 +748,10 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
     let mut iters_this_process = 0usize;
     let mut iteration_stats: Vec<IterationStat> = Vec::new();
     let mut completed = true;
+    // Persistent surrogate: under an incremental `opts.refit` schedule,
+    // iterations between full refits extend the existing Cholesky factor
+    // in O(n²) instead of re-optimizing hyperparameters from scratch.
+    let mut surrogate = IncrementalLcm::new(opts.refit);
     while eps < opts.eps_total {
         if opts
             .stop_after_iterations
@@ -767,11 +771,15 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
             seed: opts.lcm.seed.wrapping_add(iteration as u64 * 7919),
             ..opts.lcm.clone()
         };
-        let (model, modeling_wall) = timer.time_iter(Phase::Modeling, iteration as u64, || {
-            with_pool(opts.model_workers, || {
-                LcmModel::fit(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
-            })
-        });
+        let (_refit_mode, modeling_wall) =
+            timer.time_iter(Phase::Modeling, iteration as u64, || {
+                with_pool(opts.model_workers, || {
+                    surrogate.update(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
+                })
+            });
+        // PANIC-SAFETY: update always leaves a fitted model in place.
+        #[allow(clippy::expect_used)]
+        let model = surrogate.model().expect("surrogate updated this iteration");
 
         // Search phase: one new point per task, parallel over tasks.
         let (new_points, search_wall): (Vec<(usize, Config)>, _) =
@@ -798,7 +806,7 @@ pub fn tune(problem: &TuningProblem, opts: &MlaOptions) -> MlaResult {
                                 .fold(f64::INFINITY, f64::min);
                             let cfg = search_task(
                                 problem,
-                                &model,
+                                model,
                                 &inputs,
                                 &evals,
                                 task_idx,

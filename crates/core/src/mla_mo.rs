@@ -15,7 +15,7 @@ use crate::options::MlaOptions;
 use crate::problem::TuningProblem;
 use gptune_db::CheckpointKind;
 use gptune_gp::gp::expected_improvement;
-use gptune_gp::{LcmFitOptions, LcmModel};
+use gptune_gp::{IncrementalLcm, LcmFitOptions, LcmModel};
 use gptune_opt::nsga2::{self, pareto_front_indices};
 use gptune_runtime::{with_pool, Phase, PhaseTimer};
 use gptune_space::{sampling, Config};
@@ -156,6 +156,11 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
     let mut iters_this_process = 0usize;
     let mut iteration_stats: Vec<IterationStat> = Vec::new();
     let mut completed = true;
+    // One persistent surrogate per objective: an incremental `opts.refit`
+    // schedule extends each factor in O(n²) between full refits.
+    let mut surrogates: Vec<IncrementalLcm> = (0..gamma)
+        .map(|_| IncrementalLcm::new(opts.refit))
+        .collect();
     while eps < opts.eps_total {
         if opts
             .stop_after_iterations
@@ -173,26 +178,27 @@ pub fn tune_multiobjective(problem: &TuningProblem, opts: &MlaOptions) -> MoMlaR
         let per_objective: Vec<_> = (0..gamma)
             .map(|s| build_inputs(problem, &evals, s, opts))
             .collect();
-        let (models, modeling_wall): (Vec<LcmModel>, _) =
-            timer.time_iter(Phase::Modeling, iteration as u64, || {
-                with_pool(opts.model_workers, || {
-                    per_objective
-                        .iter()
-                        .enumerate()
-                        .map(|(s, (inputs, y))| {
-                            let lcm_opts = LcmFitOptions {
-                                seed: opts
-                                    .lcm
-                                    .seed
-                                    .wrapping_add(iteration as u64 * 7919)
-                                    .wrapping_add(s as u64 * 65537),
-                                ..opts.lcm.clone()
-                            };
-                            LcmModel::fit(&inputs.xs, &inputs.task_of, y, delta, &lcm_opts)
-                        })
-                        .collect()
-                })
-            });
+        let ((), modeling_wall) = timer.time_iter(Phase::Modeling, iteration as u64, || {
+            with_pool(opts.model_workers, || {
+                for (s, (inputs, y)) in per_objective.iter().enumerate() {
+                    let lcm_opts = LcmFitOptions {
+                        seed: opts
+                            .lcm
+                            .seed
+                            .wrapping_add(iteration as u64 * 7919)
+                            .wrapping_add(s as u64 * 65537),
+                        ..opts.lcm.clone()
+                    };
+                    surrogates[s].update(&inputs.xs, &inputs.task_of, y, delta, &lcm_opts);
+                }
+            })
+        });
+        // PANIC-SAFETY: every surrogate was updated just above.
+        #[allow(clippy::expect_used)]
+        let models: Vec<&LcmModel> = surrogates
+            .iter()
+            .map(|s| s.model().expect("surrogate updated this iteration"))
+            .collect();
 
         // Search phase: NSGA-II over the vector of −EI_s per task.
         let (new_points, search_wall): (Vec<(usize, Config)>, _) =

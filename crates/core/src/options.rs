@@ -1,6 +1,6 @@
 //! MLA configuration.
 
-use gptune_gp::LcmFitOptions;
+use gptune_gp::{LcmFitOptions, RefitSchedule};
 
 use gptune_opt::nsga2::Nsga2Options;
 use gptune_opt::pso::PsoOptions;
@@ -46,8 +46,14 @@ pub struct MlaOptions {
     /// (paper Sec. 3.1) when `None`.
     pub n_initial: Option<usize>,
     /// LCM fitting configuration (latent count `Q`, multi-start count
-    /// `n_start`, inner L-BFGS budget, base seed).
+    /// `n_start`, inner L-BFGS budget, base seed, active-set cap).
     pub lcm: LcmFitOptions,
+    /// When the surrogate re-optimizes hyperparameters vs. extends the
+    /// existing factor incrementally in O(n²). The default refits fully
+    /// every iteration — bit-identical to the pre-incremental behavior
+    /// (and required for bit-identical checkpoint resume); long runs and
+    /// long-lived serve sessions should raise `full_every`.
+    pub refit: RefitSchedule,
     /// Acquisition function maximized in the search phase.
     pub acquisition: Acquisition,
     /// Global optimizer for the acquisition search.
@@ -125,6 +131,7 @@ impl Default for MlaOptions {
             eps_total: 20,
             n_initial: None,
             lcm: LcmFitOptions::default(),
+            refit: RefitSchedule::default(),
             acquisition: Acquisition::ExpectedImprovement,
             search_method: SearchMethod::Pso,
             pso: PsoOptions {

@@ -17,7 +17,8 @@
 use crate::mla::{build_inputs, search_task, transform_objective, Evaluations, SurrogateInputs};
 use crate::options::MlaOptions;
 use crate::problem::TuningProblem;
-use gptune_gp::{LcmFitOptions, LcmModel};
+use gptune_gp::{IncrementalLcm, LcmFitOptions, ModelState};
+use gptune_la::ord::feq;
 use gptune_space::{sampling, Config};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,7 +54,10 @@ impl std::fmt::Display for ReportError {
 /// needs to rebuild an equivalent [`TunerSession`] after an eviction or a
 /// restart, given the same problem and options. The surrogate itself is
 /// *not* captured — it is a deterministic function of the history and is
-/// refit lazily on the first post-restore suggest.
+/// refit lazily on the first post-restore suggest. Under an incremental
+/// [`gptune_gp::RefitSchedule`], the small [`ModelState`] replay recipe
+/// rides along so the restored surrogate (last full fit + extensions)
+/// comes out bit-identical instead of collapsing to a fresh full refit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionSnapshot {
     /// Suggestion counter at capture time (keeps the post-restore
@@ -64,6 +68,10 @@ pub struct SessionSnapshot {
     pub n_refits: u64,
     /// Accepted reports in arrival order: `(task, config, outputs)`.
     pub history: Vec<(usize, Config, Vec<f64>)>,
+    /// Incremental-surrogate replay recipe; `None` under the default
+    /// always-full schedule (or when the active-set cap has engaged), in
+    /// which case restore refits from history exactly as before.
+    pub model_state: Option<ModelState>,
 }
 
 /// An ask/tell tuning session over one [`TuningProblem`].
@@ -73,8 +81,11 @@ pub struct TunerSession {
     evals: Evaluations,
     /// Remaining initial-design configurations per task (served in order).
     initial: Vec<Vec<Config>>,
-    /// Cached surrogate; invalidated by every accepted report.
-    model: Option<(LcmModel, SurrogateInputs)>,
+    /// Persistent surrogate: refit fully or extended incrementally per
+    /// [`MlaOptions::refit`]; marked stale by every accepted report.
+    surrogate: IncrementalLcm,
+    /// Inputs matching the surrogate's last update (for acquisition search).
+    inputs: Option<SurrogateInputs>,
     dirty: bool,
     n_suggested: u64,
     n_refits: u64,
@@ -95,12 +106,14 @@ impl TunerSession {
                 q
             })
             .collect();
+        let surrogate = IncrementalLcm::new(opts.refit);
         TunerSession {
             problem,
             opts,
             evals: Evaluations::new(),
             initial,
-            model: None,
+            surrogate,
+            inputs: None,
             dirty: false,
             n_suggested: 0,
             n_refits: 0,
@@ -128,6 +141,35 @@ impl TunerSession {
         }
         s.n_suggested = s.n_suggested.max(snapshot.n_suggested);
         s.n_refits = snapshot.n_refits;
+        if let Some(state) = &snapshot.model_state {
+            // The surrogate covers the first `state.y.len()` points of the
+            // history (reports accepted after the last refit were not yet
+            // absorbed at capture time).
+            let (inputs, y) = build_inputs(&s.problem, &s.evals, 0, &s.opts);
+            let m = state.y.len();
+            if m <= inputs.xs.len()
+                && s.surrogate
+                    .restore(
+                        &inputs.xs[..m],
+                        &inputs.task_of[..m],
+                        s.problem.n_tasks(),
+                        &s.opts.lcm,
+                        state,
+                    )
+                    .is_ok()
+            {
+                // The restored session is clean iff the surrogate absorbed
+                // every replayed output — exactly the live session's state
+                // at capture time. A stale (or failed) restore refits
+                // lazily on the next suggest, as before.
+                s.dirty = y.len() != m || y.iter().zip(&state.y).any(|(a, b)| !feq(*a, *b));
+                s.inputs = Some(SurrogateInputs {
+                    xs: inputs.xs[..m].to_vec(),
+                    task_of: inputs.task_of[..m].to_vec(),
+                    ..inputs
+                });
+            }
+        }
         Ok(s)
     }
 
@@ -142,6 +184,7 @@ impl TunerSession {
                 .history()
                 .map(|(t, c, o)| (t, c.clone(), o.to_vec()))
                 .collect(),
+            model_state: self.surrogate.state(),
         }
     }
 
@@ -183,7 +226,7 @@ impl TunerSession {
             .count();
         if n_finite >= 2 {
             self.refit_if_dirty();
-            if let Some((model, inputs)) = &self.model {
+            if let (Some(model), Some(inputs)) = (self.surrogate.model(), self.inputs.as_ref()) {
                 let y_best_model = self
                     .evals
                     .points
@@ -282,7 +325,7 @@ impl TunerSession {
     }
 
     fn refit_if_dirty(&mut self) {
-        if !self.dirty && self.model.is_some() {
+        if !self.dirty && self.surrogate.model().is_some() {
             return;
         }
         let (inputs, y) = build_inputs(&self.problem, &self.evals, 0, &self.opts);
@@ -290,14 +333,14 @@ impl TunerSession {
             seed: self.opts.lcm.seed.wrapping_add(self.n_refits * 7919),
             ..self.opts.lcm.clone()
         };
-        let model = LcmModel::fit(
+        self.surrogate.update(
             &inputs.xs,
             &inputs.task_of,
             &y,
             self.problem.n_tasks(),
             &lcm_opts,
         );
-        self.model = Some((model, inputs));
+        self.inputs = Some(inputs);
         self.dirty = false;
         self.n_refits += 1;
     }
@@ -458,6 +501,55 @@ mod tests {
     }
 
     #[test]
+    fn incremental_schedule_snapshot_restores_the_model_bitwise() {
+        let p = toy(1);
+        let mut o = fast_opts();
+        o.refit = gptune_gp::RefitSchedule {
+            full_every: 4,
+            nll_drift: 0.0,
+        };
+        let mut live = TunerSession::new(p.clone(), o.clone());
+        for _ in 0..6 {
+            let cfg = live.suggest(0).unwrap();
+            let y = measure(&p, 0, &cfg);
+            live.report(0, cfg, y).unwrap();
+        }
+        let snap = live.snapshot();
+        assert!(
+            snap.model_state.is_some(),
+            "incremental schedule snapshots carry a model replay recipe"
+        );
+        let mut restored = TunerSession::restore(p.clone(), o, &snap).unwrap();
+        // The restored surrogate replays the last full fit + extensions, so
+        // the mid-incremental-cycle suggestion stream continues bit-for-bit.
+        for _ in 0..3 {
+            let a = live.suggest(0).unwrap();
+            let b = restored.suggest(0).unwrap();
+            assert_eq!(a, b);
+            let y = measure(&p, 0, &a);
+            live.report(0, a, y.clone()).unwrap();
+            restored.report(0, b, y).unwrap();
+        }
+        assert_eq!(live.n_refits(), restored.n_refits());
+    }
+
+    #[test]
+    fn default_schedule_snapshot_has_no_model_state() {
+        let p = toy(1);
+        let mut s = TunerSession::new(p.clone(), fast_opts());
+        for _ in 0..5 {
+            let cfg = s.suggest(0).unwrap();
+            let y = measure(&p, 0, &cfg);
+            s.report(0, cfg, y).unwrap();
+        }
+        assert!(s.n_refits() >= 1);
+        assert!(
+            s.snapshot().model_state.is_none(),
+            "always-full schedule keeps snapshots exactly as before"
+        );
+    }
+
+    #[test]
     fn restore_rejects_a_snapshot_from_another_problem() {
         let p1 = toy(1);
         let mut s = TunerSession::new(p1.clone(), fast_opts());
@@ -479,6 +571,7 @@ mod tests {
             n_suggested: 1,
             n_refits: 0,
             history: vec![row.clone(), row],
+            model_state: None,
         };
         let s = TunerSession::restore(p, fast_opts(), &snap).unwrap();
         assert_eq!(s.n_reports(), 1, "at-least-once archive replays dedup");

@@ -22,7 +22,7 @@ use crate::mla::{
 use crate::options::MlaOptions;
 use crate::problem::TuningProblem;
 use gptune_db::CheckpointKind;
-use gptune_gp::{LcmFitOptions, LcmModel};
+use gptune_gp::{IncrementalLcm, LcmFitOptions};
 use gptune_runtime::{with_pool, Phase, PhaseTimer};
 use gptune_space::{sampling, Config};
 use rand::rngs::StdRng;
@@ -238,6 +238,8 @@ pub fn transfer_tune(
     // MLA iterations on the target only.
     let mut iters_this_process = 0usize;
     let mut completed = true;
+    // Persistent surrogate; see [`MlaOptions::refit`].
+    let mut surrogate = IncrementalLcm::new(opts.refit);
     while fresh.len() < opts.eps_total {
         if opts
             .stop_after_iterations
@@ -264,13 +266,14 @@ pub fn transfer_tune(
             seed: opts.lcm.seed.wrapping_add(iteration as u64 * 104_729),
             ..opts.lcm.clone()
         };
-        let model = timer
-            .time_iter(Phase::Modeling, iteration as u64, || {
-                with_pool(opts.model_workers, || {
-                    LcmModel::fit(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
-                })
+        timer.time_iter(Phase::Modeling, iteration as u64, || {
+            with_pool(opts.model_workers, || {
+                surrogate.update(&inputs.xs, &inputs.task_of, &y, delta, &lcm_opts)
             })
-            .0;
+        });
+        // PANIC-SAFETY: update always leaves a fitted model in place.
+        #[allow(clippy::expect_used)]
+        let model = surrogate.model().expect("surrogate updated this iteration");
 
         let y_best_model = evals
             .points
@@ -284,7 +287,7 @@ pub fn transfer_tune(
             .time_iter(Phase::Search, iteration as u64, || {
                 search_task(
                     problem,
-                    &model,
+                    model,
                     &inputs,
                     &evals,
                     target_idx,

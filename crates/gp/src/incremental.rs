@@ -1,0 +1,649 @@
+//! Incremental LCM refits: rank-1 factor extension + refit scheduling.
+//!
+//! The MLA loop refits the LCM surrogate every iteration; from scratch
+//! that is O(n³) per restart and grows cubically with history size. This
+//! module makes refits incremental and bounded:
+//!
+//! * **Extension** — while hyperparameters are held fixed, each new
+//!   observation extends the stored Cholesky factor with one
+//!   cross-covariance column in O(n²) ([`LcmModel::extend`]), and the
+//!   pairwise distance cache grows in place instead of being rebuilt.
+//! * **Schedule** — hyperparameters are re-optimized (a *full* refit,
+//!   warm-started from the previous optimum) every `full_every`-th update
+//!   or when the per-point NLL drifts past `nll_drift`, whichever first.
+//! * **Cap** — with [`LcmFitOptions::max_active_set`] set, the active
+//!   training set stops growing past the cap: full refits fit a
+//!   farthest-point subset, and incremental updates evict the nearest
+//!   non-incumbent point before admitting a new one, so per-update cost
+//!   is O(cap²) no matter how long the history gets.
+//!
+//! Every update is traced as a `gptune.gp.refit` span with a
+//! `mode=full|incremental|capped` field and a per-mode counter, so
+//! utilization reports show the refit mix.
+//!
+//! The default schedule (`full_every = 1`) reproduces today's
+//! refit-from-scratch behavior bit for bit — no warm starts, no factor
+//! extension — so existing determinism and resume guarantees hold unless
+//! a caller opts in.
+
+use crate::lcm::{sqdist, DistanceCache, LcmFitOptions, LcmModel};
+use gptune_la::ord::feq;
+
+/// When hyperparameters are re-optimized, vs. extended incrementally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefitSchedule {
+    /// Run a full (hyperparameter re-optimizing) refit every `k`-th
+    /// update; the `k−1` updates in between extend the factor at fixed
+    /// hyperparameters. `1` (the default) refits fully every time —
+    /// bit-identical to the pre-incremental behavior.
+    pub full_every: u64,
+    /// NLL-drift trigger: force a full refit when the model's per-point
+    /// NLL (standardized outputs) has moved more than this from its value
+    /// right after the last full fit. `0.0` disables the trigger.
+    pub nll_drift: f64,
+}
+
+impl Default for RefitSchedule {
+    fn default() -> Self {
+        RefitSchedule {
+            full_every: 1,
+            nll_drift: 0.25,
+        }
+    }
+}
+
+impl RefitSchedule {
+    /// A schedule that re-optimizes hyperparameters every `full_every`-th
+    /// update and extends incrementally in between.
+    pub fn every(full_every: u64) -> Self {
+        RefitSchedule {
+            full_every: full_every.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Whether this schedule ever takes the incremental path.
+    pub fn is_incremental(&self) -> bool {
+        self.full_every > 1
+    }
+}
+
+/// How one [`IncrementalLcm::update`] call refreshed the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitMode {
+    /// Hyperparameters re-optimized; covariance factored from scratch.
+    Full,
+    /// New points appended to the existing factor at fixed hyperparameters.
+    Incremental,
+    /// Active set at the cap: evict-nearest + append at fixed
+    /// hyperparameters.
+    Capped,
+}
+
+impl RefitMode {
+    /// The `mode` field value recorded on `gptune.gp.refit` spans.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RefitMode::Full => "full",
+            RefitMode::Incremental => "incremental",
+            RefitMode::Capped => "capped",
+        }
+    }
+}
+
+/// Snapshot of the incremental bookkeeping, sufficient to rebuild the
+/// surrogate *bit-identically* on restore: replay the last full fit
+/// (same prefix, seed, and warm start), then replay the tail extensions
+/// with the outputs exactly as the model saw them.
+///
+/// Only uncapped models are snapshotted ([`IncrementalLcm::state`]
+/// returns `None` when the active-set cap has engaged, and sessions fall
+/// back to a fresh full refit on restore).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelState {
+    /// Data length at the last full fit.
+    pub n_full: usize,
+    /// `LcmFitOptions::seed` used by the last full fit.
+    pub full_seed: u64,
+    /// Incremental updates applied since the last full fit.
+    pub updates_since_full: u64,
+    /// Packed warm-start hyperparameters the last full fit was given.
+    pub warm: Option<Vec<f64>>,
+    /// Outputs exactly as passed to each update (prefix: at the last full
+    /// fit; tail: as appended) — stored because failure censoring can
+    /// rewrite history values between updates.
+    pub y: Vec<f64>,
+}
+
+/// A surrogate that persists across tuner iterations and decides, per
+/// update, between a full hyperparameter refit and an O(n²) incremental
+/// factor extension. See the module docs for the policy.
+#[derive(Clone)]
+pub struct IncrementalLcm {
+    schedule: RefitSchedule,
+    model: Option<LcmModel>,
+    /// Pairwise distance cache grown in place across full refits. `None`
+    /// until the first fit and whenever the active-set cap engaged (the
+    /// subset fit indexes differently).
+    cache: Option<DistanceCache>,
+    /// Outputs exactly as seen by each update, for prefix-consistency
+    /// checks (failure censoring may rewrite old values, which demands a
+    /// full refit) and for snapshotting.
+    y_seen: Vec<f64>,
+    n_full: usize,
+    full_seed: u64,
+    warm_used: Option<Vec<f64>>,
+    updates_since_full: u64,
+    /// Per-point NLL right after the last full fit (drift reference).
+    nll_ref: f64,
+}
+
+impl IncrementalLcm {
+    /// An empty surrogate; the first [`update`](Self::update) fits fully.
+    pub fn new(schedule: RefitSchedule) -> Self {
+        IncrementalLcm {
+            schedule,
+            model: None,
+            cache: None,
+            y_seen: Vec::new(),
+            n_full: 0,
+            full_seed: 0,
+            warm_used: None,
+            updates_since_full: 0,
+            nll_ref: 0.0,
+        }
+    }
+
+    /// The current model, once at least one update has run.
+    pub fn model(&self) -> Option<&LcmModel> {
+        self.model.as_ref()
+    }
+
+    /// The schedule this surrogate runs under.
+    pub fn schedule(&self) -> RefitSchedule {
+        self.schedule
+    }
+
+    /// Incremental updates applied since the last full fit.
+    pub fn updates_since_full(&self) -> u64 {
+        self.updates_since_full
+    }
+
+    /// Refreshes the model against the complete current training set
+    /// (`xs`/`task_of`/`y` are the *full* history, of which the already
+    /// seen prefix must be unchanged for the incremental path to engage).
+    /// Returns how the model was refreshed.
+    pub fn update(
+        &mut self,
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        opts: &LcmFitOptions,
+    ) -> RefitMode {
+        let tracer = gptune_trace::global();
+        let planned = self.decide(xs, task_of, y, n_tasks, opts);
+        let mut span = tracer
+            .span("gptune.gp.refit")
+            .with("n", xs.len())
+            .with("mode", planned.as_str());
+        let prev = self.y_seen.len();
+        let mode = match planned {
+            RefitMode::Full => {
+                self.full_fit(xs, task_of, y, n_tasks, opts);
+                RefitMode::Full
+            }
+            RefitMode::Incremental => {
+                let ok = {
+                    let model = self.model.as_mut().expect("incremental without model");
+                    model
+                        .extend(&xs[prev..], &task_of[prev..], &y[prev..])
+                        .is_ok()
+                };
+                if ok {
+                    if let Some(c) = self.cache.as_mut() {
+                        c.append(xs);
+                    }
+                    self.commit_incremental(y);
+                    RefitMode::Incremental
+                } else {
+                    // Numerically non-PSD extension (e.g. duplicate point
+                    // under a tiny noise term): fall back to a full refit.
+                    self.full_fit(xs, task_of, y, n_tasks, opts);
+                    RefitMode::Full
+                }
+            }
+            RefitMode::Capped => {
+                let cap = opts.max_active_set.expect("capped without a cap");
+                if self.apply_capped(xs, task_of, y, cap).is_ok() {
+                    self.cache = None;
+                    self.commit_incremental(y);
+                    RefitMode::Capped
+                } else {
+                    self.full_fit(xs, task_of, y, n_tasks, opts);
+                    RefitMode::Full
+                }
+            }
+        };
+        if mode != planned {
+            span.add("fallback", mode.as_str());
+        }
+        drop(span);
+        tracer
+            .counter(match mode {
+                RefitMode::Full => "gptune.gp.refit.full",
+                RefitMode::Incremental => "gptune.gp.refit.incremental",
+                RefitMode::Capped => "gptune.gp.refit.capped",
+            })
+            .add(1);
+        mode
+    }
+
+    /// Snapshot of the incremental state, when one can be restored
+    /// bit-identically (incremental schedule, model present, cap never
+    /// engaged since the last full fit).
+    pub fn state(&self) -> Option<ModelState> {
+        if !self.schedule.is_incremental() || self.model.is_none() || self.cache.is_none() {
+            return None;
+        }
+        Some(ModelState {
+            n_full: self.n_full,
+            full_seed: self.full_seed,
+            updates_since_full: self.updates_since_full,
+            warm: self.warm_used.clone(),
+            y: self.y_seen.clone(),
+        })
+    }
+
+    /// Rebuilds the surrogate from a [`ModelState`] snapshot by replaying
+    /// the last full fit (same prefix, seed, warm start) and the tail
+    /// extensions — the factor, alpha, and every downstream suggestion
+    /// come out bit-identical to the session that wrote the snapshot.
+    pub fn restore(
+        &mut self,
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        n_tasks: usize,
+        opts: &LcmFitOptions,
+        state: &ModelState,
+    ) -> Result<(), String> {
+        let n = xs.len();
+        if state.n_full == 0 || state.n_full > n || state.y.len() != n || task_of.len() != n {
+            return Err("incremental restore: inconsistent model state".into());
+        }
+        if opts.max_active_set.is_some_and(|c| c > 0 && n > c) {
+            return Err("incremental restore: capped models are not snapshotted".into());
+        }
+        if state.y[state.n_full..].iter().any(|v| !v.is_finite()) {
+            return Err("incremental restore: non-finite appended output".into());
+        }
+        let mut replay_opts = opts.clone();
+        replay_opts.seed = state.full_seed;
+        let mut cache = DistanceCache::build(&xs[..state.n_full]);
+        let mut model = LcmModel::fit_impl(
+            &xs[..state.n_full],
+            &task_of[..state.n_full],
+            &state.y[..state.n_full],
+            n_tasks,
+            &replay_opts,
+            state.warm.as_deref(),
+            Some(&cache),
+        );
+        let nll_ref = model.nll() / model.n_samples() as f64;
+        // Replay the tail one point at a time — the same operation order
+        // the original session applied, whatever its batching was.
+        for p in state.n_full..n {
+            model
+                .extend(&xs[p..p + 1], &task_of[p..p + 1], &state.y[p..p + 1])
+                .map_err(|e| format!("incremental restore: replay failed: {e}"))?;
+        }
+        cache.append(xs);
+        self.model = Some(model);
+        self.cache = Some(cache);
+        self.y_seen = state.y.clone();
+        self.n_full = state.n_full;
+        self.full_seed = state.full_seed;
+        self.warm_used = state.warm.clone();
+        self.updates_since_full = state.updates_since_full;
+        self.nll_ref = nll_ref;
+        Ok(())
+    }
+
+    /// Picks the refit mode for this update. Anything that invalidates
+    /// the fixed-hyperparameter extension — shape changes, rewritten
+    /// prefix outputs (censor drift), non-finite new outputs, the
+    /// schedule or drift trigger — routes to a full refit.
+    fn decide(
+        &self,
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        opts: &LcmFitOptions,
+    ) -> RefitMode {
+        if !self.schedule.is_incremental() {
+            return RefitMode::Full;
+        }
+        let Some(model) = self.model.as_ref() else {
+            return RefitMode::Full;
+        };
+        let n = xs.len();
+        let prev = self.y_seen.len();
+        if n < prev || task_of.len() != n || y.len() != n || n == 0 {
+            return RefitMode::Full;
+        }
+        let hp = model.hyperparams();
+        if hp.n_tasks != n_tasks
+            || xs[0].len() != hp.dim
+            || opts.kernel != model.kernel_kind()
+            || opts.q.clamp(1, n_tasks) != hp.q
+        {
+            return RefitMode::Full;
+        }
+        if self.updates_since_full.saturating_add(1) >= self.schedule.full_every {
+            return RefitMode::Full;
+        }
+        if y[prev..].iter().any(|v| !v.is_finite()) {
+            return RefitMode::Full;
+        }
+        if y[..prev]
+            .iter()
+            .zip(&self.y_seen)
+            .any(|(a, b)| !feq(*a, *b))
+        {
+            return RefitMode::Full;
+        }
+        // Per-point NLL drift since the last full fit.
+        let per_point = model.nll() / model.n_samples() as f64;
+        if self.schedule.nll_drift > 0.0
+            && (per_point - self.nll_ref).abs() > self.schedule.nll_drift
+        {
+            return RefitMode::Full;
+        }
+        if let Some(cap) = opts.max_active_set {
+            if cap > 0 && model.n_samples() + (n - prev) > cap {
+                return RefitMode::Capped;
+            }
+        }
+        // Uncapped (or under the cap): the model must hold exactly the
+        // seen prefix for a plain extension to be valid.
+        if model.n_samples() != prev || model.training_tasks() != &task_of[..prev] {
+            return RefitMode::Full;
+        }
+        let xs_match = model
+            .training_xs()
+            .iter()
+            .zip(xs)
+            .all(|(a, b)| a.len() == b.len() && a.iter().zip(b).all(|(u, v)| feq(*u, *v)));
+        if !xs_match {
+            return RefitMode::Full;
+        }
+        RefitMode::Incremental
+    }
+
+    /// Full refit: warm-started when the schedule is incremental, reusing
+    /// the grown distance cache when it verifiably covers the data prefix.
+    fn full_fit(
+        &mut self,
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        opts: &LcmFitOptions,
+    ) {
+        let warm: Option<Vec<f64>> = if self.schedule.is_incremental() {
+            self.model.as_ref().map(|m| m.hyperparams().pack())
+        } else {
+            None
+        };
+        let capped = opts.max_active_set.is_some_and(|c| c > 0 && xs.len() > c);
+        let model = if capped {
+            self.cache = None;
+            LcmModel::fit_impl(xs, task_of, y, n_tasks, opts, warm.as_deref(), None)
+        } else {
+            let reusable = match (&self.model, &self.cache) {
+                (Some(m), Some(c)) => {
+                    c.n() == m.n_samples()
+                        && c.n() <= xs.len()
+                        && m.training_xs().iter().zip(xs).all(|(a, b)| {
+                            a.len() == b.len() && a.iter().zip(b).all(|(u, v)| feq(*u, *v))
+                        })
+                }
+                _ => false,
+            };
+            let cache = if reusable {
+                let mut c = self.cache.take().expect("verified above");
+                c.append(xs);
+                c
+            } else {
+                DistanceCache::build(xs)
+            };
+            let model =
+                LcmModel::fit_impl(xs, task_of, y, n_tasks, opts, warm.as_deref(), Some(&cache));
+            debug_assert_eq!(cache.n(), xs.len());
+            self.cache = Some(cache);
+            model
+        };
+        self.nll_ref = model.nll() / model.n_samples() as f64;
+        self.model = Some(model);
+        self.y_seen = y.to_vec();
+        self.n_full = xs.len();
+        self.full_seed = opts.seed;
+        self.warm_used = warm;
+        self.updates_since_full = 0;
+    }
+
+    /// Capped extension: admit each new point, evicting the nearest
+    /// non-incumbent active point first whenever the set is at the cap.
+    fn apply_capped(
+        &mut self,
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        cap: usize,
+    ) -> Result<(), gptune_la::LaError> {
+        let prev = self.y_seen.len();
+        let model = self.model.as_mut().expect("capped without model");
+        for p in prev..xs.len() {
+            if model.n_samples() >= cap.max(2) {
+                let victim = evict_candidate(model, &xs[p]);
+                model.remove(victim);
+            }
+            model.extend(&xs[p..p + 1], &task_of[p..p + 1], &y[p..p + 1])?;
+        }
+        Ok(())
+    }
+
+    fn commit_incremental(&mut self, y: &[f64]) {
+        self.y_seen = y.to_vec();
+        self.updates_since_full += 1;
+    }
+}
+
+/// The active point to evict for a new point at `x`: the nearest one in
+/// input space, never a per-task incumbent (best standardized output).
+/// Deterministic; ties break toward the lowest index.
+fn evict_candidate(model: &LcmModel, x: &[f64]) -> usize {
+    let tasks = model.training_tasks();
+    let ys = model.y_standardized();
+    let n_tasks = model.hyperparams().n_tasks;
+    let mut incumbent = vec![usize::MAX; n_tasks];
+    for (i, (&t, &yv)) in tasks.iter().zip(ys).enumerate() {
+        if incumbent[t] == usize::MAX || yv < ys[incumbent[t]] {
+            incumbent[t] = i;
+        }
+    }
+    let mut protected = vec![false; model.n_samples()];
+    for &i in &incumbent {
+        if i != usize::MAX {
+            protected[i] = true;
+        }
+    }
+    let mut pick = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, xi) in model.training_xs().iter().enumerate() {
+        if protected[i] {
+            continue;
+        }
+        let d = sqdist(xi, x);
+        if d < best_d {
+            best_d = d;
+            pick = i;
+        }
+    }
+    pick
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(per_task: usize) -> (Vec<Vec<f64>>, Vec<usize>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut tasks = Vec::new();
+        let mut ys = Vec::new();
+        for t in 0..2usize {
+            for j in 0..per_task {
+                let x = (j as f64 + 0.5) / per_task as f64;
+                xs.push(vec![x]);
+                tasks.push(t);
+                ys.push((2.0 * std::f64::consts::PI * x).sin() + t as f64 * 0.5);
+            }
+        }
+        (xs, tasks, ys)
+    }
+
+    fn fast_opts() -> LcmFitOptions {
+        LcmFitOptions {
+            n_starts: 1,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_schedule_always_refits_fully() {
+        let (xs, tasks, ys) = toy(6);
+        let mut inc = IncrementalLcm::new(RefitSchedule::default());
+        let opts = fast_opts();
+        assert_eq!(inc.update(&xs, &tasks, &ys, 2, &opts), RefitMode::Full);
+        assert_eq!(inc.update(&xs, &tasks, &ys, 2, &opts), RefitMode::Full);
+        // Bit-identical to a direct fit.
+        let direct = LcmModel::fit(&xs, &tasks, &ys, 2, &opts);
+        let a = inc.model().unwrap().predict(0, &[0.37]);
+        let b = direct.predict(0, &[0.37]);
+        assert!(feq(a.mean, b.mean) && feq(a.variance, b.variance));
+        assert!(inc.state().is_none());
+    }
+
+    #[test]
+    fn incremental_schedule_extends_between_full_fits() {
+        let (xs, tasks, ys) = toy(8);
+        let mut inc = IncrementalLcm::new(RefitSchedule {
+            full_every: 4,
+            nll_drift: 0.0,
+        });
+        let opts = fast_opts();
+        let n0 = xs.len() - 4;
+        assert_eq!(
+            inc.update(&xs[..n0], &tasks[..n0], &ys[..n0], 2, &opts),
+            RefitMode::Full
+        );
+        for k in 0..3 {
+            let n = n0 + k + 1;
+            assert_eq!(
+                inc.update(&xs[..n], &tasks[..n], &ys[..n], 2, &opts),
+                RefitMode::Incremental
+            );
+        }
+        assert_eq!(inc.updates_since_full(), 3);
+        // Fourth update hits the schedule: full again.
+        assert_eq!(inc.update(&xs, &tasks, &ys, 2, &opts), RefitMode::Full);
+        assert_eq!(inc.updates_since_full(), 0);
+    }
+
+    #[test]
+    fn rewritten_prefix_forces_full_refit() {
+        let (xs, tasks, mut ys) = toy(8);
+        let mut inc = IncrementalLcm::new(RefitSchedule {
+            full_every: 100,
+            nll_drift: 0.0,
+        });
+        let opts = fast_opts();
+        let n0 = xs.len() - 1;
+        inc.update(&xs[..n0], &tasks[..n0], &ys[..n0], 2, &opts);
+        // Censor drift: an old output changes value.
+        ys[0] += 1.0;
+        assert_eq!(inc.update(&xs, &tasks, &ys, 2, &opts), RefitMode::Full);
+    }
+
+    #[test]
+    fn non_finite_new_output_forces_full_refit() {
+        let (xs, tasks, mut ys) = toy(8);
+        let mut inc = IncrementalLcm::new(RefitSchedule::every(100));
+        let opts = fast_opts();
+        let n0 = xs.len() - 1;
+        inc.update(&xs[..n0], &tasks[..n0], &ys[..n0], 2, &opts);
+        ys[xs.len() - 1] = f64::NAN;
+        assert_eq!(inc.update(&xs, &tasks, &ys, 2, &opts), RefitMode::Full);
+    }
+
+    #[test]
+    fn capped_updates_hold_the_active_set_at_the_cap() {
+        let (xs, tasks, ys) = toy(12);
+        let cap = 10;
+        let opts = LcmFitOptions {
+            max_active_set: Some(cap),
+            ..fast_opts()
+        };
+        let mut inc = IncrementalLcm::new(RefitSchedule {
+            full_every: 100,
+            nll_drift: 0.0,
+        });
+        let n0 = 8;
+        assert_eq!(
+            inc.update(&xs[..n0], &tasks[..n0], &ys[..n0], 2, &opts),
+            RefitMode::Full
+        );
+        for n in (n0 + 1)..=xs.len() {
+            let mode = inc.update(&xs[..n], &tasks[..n], &ys[..n], 2, &opts);
+            assert_ne!(mode, RefitMode::Full, "n={n}");
+            assert!(inc.model().unwrap().n_samples() <= cap);
+        }
+        assert_eq!(inc.model().unwrap().n_samples(), cap);
+        // Capped state is not snapshotted.
+        assert!(inc.state().is_none());
+    }
+
+    #[test]
+    fn state_roundtrips_bit_identically() {
+        let (xs, tasks, ys) = toy(10);
+        let mut inc = IncrementalLcm::new(RefitSchedule {
+            full_every: 50,
+            nll_drift: 0.0,
+        });
+        let opts = fast_opts();
+        let n0 = xs.len() - 4;
+        inc.update(&xs[..n0], &tasks[..n0], &ys[..n0], 2, &opts);
+        for n in (n0 + 1)..=xs.len() {
+            inc.update(&xs[..n], &tasks[..n], &ys[..n], 2, &opts);
+        }
+        let state = inc.state().expect("uncapped incremental state");
+        assert_eq!(state.n_full, n0);
+        assert_eq!(state.updates_since_full, 4);
+
+        let mut back = IncrementalLcm::new(RefitSchedule::every(50));
+        back.restore(&xs, &tasks, 2, &opts, &state).unwrap();
+        let (a, b) = (inc.model().unwrap(), back.model().unwrap());
+        assert!(feq(a.nll_from_factor(), b.nll_from_factor()));
+        for x in [0.05, 0.31, 0.77] {
+            for t in 0..2 {
+                let pa = a.predict(t, &[x]);
+                let pb = b.predict(t, &[x]);
+                assert!(feq(pa.mean, pb.mean), "mean {} vs {}", pa.mean, pb.mean);
+                assert!(feq(pa.variance, pb.variance));
+            }
+        }
+        assert_eq!(back.state().unwrap(), state);
+    }
+}

@@ -139,6 +139,12 @@ pub struct LcmFitOptions {
     /// distance-cached one. For equivalence tests and before/after
     /// benchmarks only — never faster, never more accurate.
     pub reference_impl: bool,
+    /// Subset-of-data approximation: cap the active training set at this
+    /// many points. When the history exceeds the cap, a farthest-point
+    /// subset (seeded with each task's incumbent) is fitted instead, so
+    /// fit and prediction cost stop growing with history size. `None`
+    /// uses every point (exact).
+    pub max_active_set: Option<usize>,
 }
 
 impl Default for LcmFitOptions {
@@ -155,6 +161,7 @@ impl Default for LcmFitOptions {
             },
             seed: 0,
             reference_impl: false,
+            max_active_set: None,
         }
     }
 }
@@ -222,6 +229,29 @@ impl LcmModel {
         n_tasks: usize,
         opts: &LcmFitOptions,
     ) -> LcmModel {
+        Self::fit_impl(xs, task_of, y, n_tasks, opts, None, None)
+    }
+
+    /// The full fit path behind [`fit`](Self::fit), with two extra inputs
+    /// used by the incremental-refit machinery:
+    ///
+    /// * `warm` — a packed hyperparameter vector that replaces restart 0's
+    ///   random initialization (warm-started re-optimization). Ignored when
+    ///   its arity does not match the current `q`/`n_tasks`/`dim`.
+    /// * `cache` — a pre-built [`DistanceCache`] over exactly `xs`, grown
+    ///   incrementally by the caller so repeated full refits skip the
+    ///   O(n²·dim) rebuild.
+    ///
+    /// With both `None` this is bit-identical to [`fit`](Self::fit).
+    pub(crate) fn fit_impl(
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        opts: &LcmFitOptions,
+        warm: Option<&[f64]>,
+        cache: Option<&DistanceCache>,
+    ) -> LcmModel {
         let n = xs.len();
         assert!(n > 0, "LcmModel::fit: empty data");
         assert_eq!(task_of.len(), n);
@@ -231,23 +261,24 @@ impl LcmModel {
         assert!(xs.iter().all(|x| x.len() == dim));
         let q = opts.q.clamp(1, n_tasks);
 
-        // Standardize outputs (ignore non-finite values for the statistics;
-        // they are replaced by the worst finite value so the model treats
-        // failed runs as very bad, mirroring GPTune's handling).
-        let finite: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
-        assert!(!finite.is_empty(), "LcmModel::fit: all outputs non-finite");
-        let worst = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let cleaned: Vec<f64> = y
-            .iter()
-            .map(|&v| if v.is_finite() { v } else { worst })
-            .collect();
-        let shift = cleaned.iter().sum::<f64>() / n as f64;
-        let var = cleaned
-            .iter()
-            .map(|v| (v - shift) * (v - shift))
-            .sum::<f64>()
-            / n as f64;
-        let scale = var.sqrt().max(1e-12);
+        // Subset-of-data approximation: fit on a farthest-point subset when
+        // the history exceeds the cap (the distance cache is over the full
+        // history, so the subset fit rebuilds its own).
+        if let Some(cap) = opts.max_active_set {
+            if cap > 0 && n > cap {
+                let idx = select_active_set(xs, task_of, y, n_tasks, cap);
+                let sub_xs: Vec<Vec<f64>> = idx.iter().map(|&i| xs[i].clone()).collect();
+                let sub_tasks: Vec<usize> = idx.iter().map(|&i| task_of[i]).collect();
+                let sub_y: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                let inner = LcmFitOptions {
+                    max_active_set: None,
+                    ..opts.clone()
+                };
+                return Self::fit_impl(&sub_xs, &sub_tasks, &sub_y, n_tasks, &inner, warm, None);
+            }
+        }
+
+        let (cleaned, shift, scale) = clean_and_standardize(y);
         let y_std_vals: Vec<f64> = cleaned.iter().map(|v| (v - shift) / scale).collect();
 
         let data = LcmData {
@@ -260,8 +291,21 @@ impl LcmModel {
         };
 
         // Theta-independent pairwise squared differences, computed once and
-        // shared read-only by every restart and every L-BFGS iteration.
-        let dists = DistanceCache::build(xs);
+        // shared read-only by every restart and every L-BFGS iteration —
+        // or reused from the caller's incrementally grown cache.
+        let built;
+        let dists = match cache {
+            Some(c) => {
+                debug_assert_eq!(c.n(), n, "fit_impl: distance cache size mismatch");
+                c
+            }
+            None => {
+                built = DistanceCache::build(xs);
+                &built
+            }
+        };
+        // A warm start must match the current packing arity to be usable.
+        let warm = warm.filter(|w| w.len() == q * (dim + 2 * n_tasks) + n_tasks);
         // Restarts run in parallel, so each inner likelihood keeps its
         // Cholesky sequential to avoid oversubscribing the rayon pool; a
         // single-restart fit may use the blocked parallel factorization.
@@ -273,10 +317,11 @@ impl LcmModel {
             .with("dim", dim)
             .with("n_tasks", n_tasks)
             .with("q", q)
-            .with("restarts", n_starts);
+            .with("restarts", n_starts)
+            .with("warm", warm.is_some());
         let ctx = FitCtx {
             data: &data,
-            dists: &dists,
+            dists,
             parallel_chol: n_starts == 1,
         };
         let objective = |theta: &[f64], grad: &mut [f64]| -> f64 {
@@ -293,7 +338,12 @@ impl LcmModel {
             .map(|k| {
                 let restart_span = tracer.span("gptune.gp.fit_restart").with("restart", k);
                 let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(k as u64));
-                let init = LcmHyperparams::random_init(q, n_tasks, dim, &mut rng).pack();
+                // Restart 0 takes the warm-start vector when one is given
+                // (the previous fit's optimum); the rest stay random.
+                let init = match (k, warm) {
+                    (0, Some(w)) => w.to_vec(),
+                    _ => LcmHyperparams::random_init(q, n_tasks, dim, &mut rng).pack(),
+                };
                 let r = lbfgs::minimize(|theta, grad| objective(theta, grad), &init, &opts.lbfgs);
                 drop(restart_span.with("nll", r.value));
                 (r.value, r.x)
@@ -377,6 +427,213 @@ impl LcmModel {
     /// Number of training samples.
     pub fn n_samples(&self) -> usize {
         self.xs.len()
+    }
+
+    /// The latent kernel family this model was fitted with.
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Output standardization `(shift, scale)`: `y_raw = y_std·scale + shift`.
+    pub fn standardization(&self) -> (f64, f64) {
+        (self.shift, self.scale)
+    }
+
+    /// Training inputs (normalized coordinates), in insertion order.
+    pub fn training_xs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// Task index of each training sample.
+    pub fn training_tasks(&self) -> &[usize] {
+        &self.task_of
+    }
+
+    /// Standardized training outputs.
+    pub fn y_standardized(&self) -> &[f64] {
+        &self.y_std_vals
+    }
+
+    /// Builds a model at *fixed* hyperparameters — no optimization, just
+    /// covariance assembly, factorization, and the solve. This is the
+    /// from-scratch baseline the incremental extension is pinned against,
+    /// and the reconstruction path for snapshot restore.
+    ///
+    /// `standardization` fixes the output `(shift, scale)` (so predictions
+    /// are comparable with a model fitted on a prefix of the data); `None`
+    /// recomputes both from `y` exactly like [`fit`](Self::fit).
+    pub fn from_hyperparams(
+        xs: &[Vec<f64>],
+        task_of: &[usize],
+        y: &[f64],
+        n_tasks: usize,
+        kernel: KernelKind,
+        hp: LcmHyperparams,
+        standardization: Option<(f64, f64)>,
+    ) -> LcmModel {
+        let n = xs.len();
+        assert!(n > 0, "LcmModel::from_hyperparams: empty data");
+        assert_eq!(task_of.len(), n);
+        assert_eq!(y.len(), n);
+        assert!(task_of.iter().all(|&t| t < n_tasks));
+        assert_eq!(hp.n_tasks, n_tasks, "from_hyperparams: task arity");
+        assert!(
+            xs.iter().all(|x| x.len() == hp.dim),
+            "from_hyperparams: dim mismatch"
+        );
+
+        let (cleaned, own_shift, own_scale) = clean_and_standardize(y);
+        let (shift, scale) = standardization.unwrap_or((own_shift, own_scale));
+        let y_std_vals: Vec<f64> = cleaned.iter().map(|v| (v - shift) / scale).collect();
+
+        let kernels: Vec<ArdKernel> = (0..hp.q)
+            .map(|qq| ArdKernel::with_kind(kernel, hp.lengthscales[qq].clone()))
+            .collect();
+        let coeffs = task_coeffs(&hp);
+        let dists = DistanceCache::build(xs);
+        let packed: Vec<PackedKernel> = kernels.iter().map(|k| dists.packed(k)).collect();
+        let sigma = assemble_covariance(task_of, n_tasks, &coeffs, &packed, &hp.d);
+        let chol = if n >= PARALLEL_CHOL_THRESHOLD {
+            Cholesky::factor_with_jitter_parallel(&sigma, 0.0, 12, &CholeskyOptions::default())
+        } else {
+            Cholesky::factor_with_jitter(&sigma, 0.0, 12)
+        }
+        .expect("LCM covariance not factorizable even with jitter");
+        let alpha = chol.solve(&y_std_vals);
+        let prior_var: Vec<f64> = (0..n_tasks)
+            .map(|task| {
+                (0..hp.q)
+                    .map(|qq| hp.a[qq][task] * hp.a[qq][task] + hp.b[qq][task])
+                    .sum()
+            })
+            .collect();
+        let nll = nll_from_chol(&chol, &y_std_vals, &alpha);
+
+        LcmModel {
+            hp,
+            kernel,
+            xs: xs.to_vec(),
+            task_of: task_of.to_vec(),
+            y_std_vals,
+            shift,
+            scale,
+            chol,
+            alpha,
+            nll,
+            kernels,
+            coeffs,
+            prior_var,
+        }
+    }
+
+    /// Appends new observations *without* re-optimizing hyperparameters:
+    /// each point extends the stored Cholesky factor with one
+    /// cross-covariance column in O(n²) ([`Cholesky::extend_row`]) instead
+    /// of refactoring in O(n³). The output standardization is kept fixed,
+    /// so predictions remain on the same scale as the last full fit.
+    ///
+    /// All-or-nothing: on error (a new point makes the covariance
+    /// numerically non-PSD, e.g. an exact duplicate under a tiny noise
+    /// term) the model is left untouched and the caller should fall back
+    /// to a full refit.
+    ///
+    /// # Panics
+    /// Panics on arity mismatches or non-finite outputs — censoring of
+    /// failed evaluations is the caller's job (a non-finite `y` changes
+    /// the censoring penalty, which requires a full refit anyway).
+    pub fn extend(
+        &mut self,
+        xs_new: &[Vec<f64>],
+        tasks_new: &[usize],
+        y_new: &[f64],
+    ) -> Result<(), gptune_la::LaError> {
+        let m = xs_new.len();
+        assert_eq!(tasks_new.len(), m);
+        assert_eq!(y_new.len(), m);
+        assert!(tasks_new.iter().all(|&t| t < self.hp.n_tasks));
+        assert!(xs_new.iter().all(|x| x.len() == self.hp.dim));
+        assert!(
+            y_new.iter().all(|v| v.is_finite()),
+            "LcmModel::extend: non-finite output (needs a full refit)"
+        );
+        if m == 0 {
+            return Ok(());
+        }
+        let t = self.hp.n_tasks;
+        // Staged: all factor extensions run on temporaries and commit only
+        // after every point succeeded, so an Err leaves `self` untouched.
+        let mut chol = self.chol.clone();
+        let mut staged_xs: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut staged_tasks: Vec<usize> = Vec::with_capacity(m);
+        for (x, &task) in xs_new.iter().zip(tasks_new) {
+            // Cross covariance against every point already in the factor
+            // (committed and staged), mirroring `assemble_covariance`.
+            let mut k = Vec::with_capacity(self.xs.len() + staged_xs.len());
+            for (xp, &tp) in self
+                .xs
+                .iter()
+                .zip(&self.task_of)
+                .chain(staged_xs.iter().zip(&staged_tasks))
+            {
+                let mut s = 0.0;
+                for (kern, cq) in self.kernels.iter().zip(&self.coeffs) {
+                    let coeff = cq[task * t + tp];
+                    if !feq(coeff, 0.0) {
+                        s += coeff * kern.eval(x, xp);
+                    }
+                }
+                k.push(s);
+            }
+            // Diagonal entry: latent variance + noise + the fixed nugget,
+            // plus whatever jitter the factorization applied to Σ's
+            // diagonal, so the extended factor stays consistent.
+            let mut kappa = 0.0;
+            for (kern, cq) in self.kernels.iter().zip(&self.coeffs) {
+                let coeff = cq[task * t + task];
+                if !feq(coeff, 0.0) {
+                    kappa += coeff * kern.eval(x, x);
+                }
+            }
+            kappa += self.hp.d[task] + 1e-10;
+            kappa += chol.jitter();
+            chol = chol.extend_row(&k, kappa)?;
+            staged_xs.push(x.clone());
+            staged_tasks.push(task);
+        }
+        self.chol = chol;
+        self.xs.extend(staged_xs);
+        self.task_of.extend(staged_tasks);
+        self.y_std_vals
+            .extend(y_new.iter().map(|v| (v - self.shift) / self.scale));
+        self.alpha = self.chol.solve(&self.y_std_vals);
+        self.nll = nll_from_chol(&self.chol, &self.y_std_vals, &self.alpha);
+        Ok(())
+    }
+
+    /// Removes one training point, shrinking the stored factor in O(n²)
+    /// via [`Cholesky::remove_row`] (a rank-1 *update* on the trailing
+    /// block, so it cannot fail). Used by the capped incremental path to
+    /// evict a point before admitting a new one.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range or the model would become empty.
+    pub fn remove(&mut self, idx: usize) {
+        assert!(idx < self.xs.len(), "LcmModel::remove: index out of range");
+        assert!(self.xs.len() > 1, "LcmModel::remove: would empty the model");
+        self.chol = self.chol.remove_row(idx);
+        self.xs.remove(idx);
+        self.task_of.remove(idx);
+        self.y_std_vals.remove(idx);
+        self.alpha = self.chol.solve(&self.y_std_vals);
+        self.nll = nll_from_chol(&self.chol, &self.y_std_vals, &self.alpha);
+    }
+
+    /// Negative log marginal likelihood recomputed from the *stored*
+    /// factor (rather than the optimizer's last likelihood evaluation) —
+    /// the apples-to-apples quantity for comparing an incrementally
+    /// extended model against a from-scratch rebuild.
+    pub fn nll_from_factor(&self) -> f64 {
+        nll_from_chol(&self.chol, &self.y_std_vals, &self.alpha)
     }
 
     /// Posterior prediction for `task` at normalized point `x`
@@ -707,6 +964,111 @@ impl LcmModel {
     }
 }
 
+/// Replaces non-finite outputs by the worst finite value (so the model
+/// treats failed runs as very bad, mirroring GPTune's handling) and
+/// returns the cleaned values with their mean/std standardization.
+fn clean_and_standardize(y: &[f64]) -> (Vec<f64>, f64, f64) {
+    let n = y.len();
+    let finite: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
+    assert!(!finite.is_empty(), "LcmModel: all outputs non-finite");
+    let worst = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let cleaned: Vec<f64> = y
+        .iter()
+        .map(|&v| if v.is_finite() { v } else { worst })
+        .collect();
+    let shift = cleaned.iter().sum::<f64>() / n as f64;
+    let var = cleaned
+        .iter()
+        .map(|v| (v - shift) * (v - shift))
+        .sum::<f64>()
+        / n as f64;
+    let scale = var.sqrt().max(1e-12);
+    (cleaned, shift, scale)
+}
+
+/// NLL from a factor and its solve: `½ yᵀα + ½ log|Σ| + ½ n·ln 2π`.
+fn nll_from_chol(chol: &Cholesky, y: &[f64], alpha: &[f64]) -> f64 {
+    0.5 * y.iter().zip(alpha).map(|(a, b)| a * b).sum::<f64>()
+        + 0.5 * chol.log_det()
+        + 0.5 * y.len() as f64 * (2.0 * std::f64::consts::PI).ln()
+}
+
+/// Squared Euclidean distance between two (normalized) input points.
+pub(crate) fn sqdist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Farthest-point subset selection for the subset-of-data approximation:
+/// seeds with each task's incumbent (best cleaned output), then greedily
+/// adds the point with the largest min-distance to the selected set.
+/// Ties break toward the lowest index; the result is sorted ascending so
+/// the subset preserves data order. Deterministic, O(cap·n·dim).
+fn select_active_set(
+    xs: &[Vec<f64>],
+    task_of: &[usize],
+    y: &[f64],
+    n_tasks: usize,
+    cap: usize,
+) -> Vec<usize> {
+    let n = xs.len();
+    debug_assert!(cap > 0 && cap < n);
+    let (cleaned, _, _) = clean_and_standardize(y);
+    let mut selected = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(cap);
+    for t in 0..n_tasks {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if task_of[i] == t && best.is_none_or(|b| cleaned[i] < cleaned[b]) {
+                best = Some(i);
+            }
+        }
+        if let Some(i) = best {
+            if order.len() < cap && !selected[i] {
+                selected[i] = true;
+                order.push(i);
+            }
+        }
+    }
+    if order.is_empty() {
+        selected[0] = true;
+        order.push(0);
+    }
+    let mut mind = vec![f64::INFINITY; n];
+    for i in 0..n {
+        if !selected[i] {
+            for &j in &order {
+                let d = sqdist(&xs[i], &xs[j]);
+                if d < mind[i] {
+                    mind[i] = d;
+                }
+            }
+        }
+    }
+    while order.len() < cap {
+        let mut pick: Option<usize> = None;
+        let mut best_d = -1.0;
+        for i in 0..n {
+            if !selected[i] && mind[i] > best_d {
+                best_d = mind[i];
+                pick = Some(i);
+            }
+        }
+        let Some(p) = pick else { break };
+        selected[p] = true;
+        order.push(p);
+        for i in 0..n {
+            if !selected[i] {
+                let d = sqdist(&xs[i], &xs[p]);
+                if d < mind[i] {
+                    mind[i] = d;
+                }
+            }
+        }
+    }
+    order.sort_unstable();
+    order
+}
+
 /// Packed per-pair, per-dimension squared coordinate differences
 /// `(x_{i,d} − x_{j,d})²` for all pairs `j ≤ i` — computed once per fit and
 /// shared read-only across all rayon restarts and every L-BFGS iteration
@@ -716,7 +1078,8 @@ impl LcmModel {
 /// `p(i, j) = i(i+1)/2 + j` owns the `dim` contiguous entries
 /// `d2[p·dim .. (p+1)·dim]`, and the pairs of row `i` are contiguous —
 /// aligning packed traversal with `Matrix` row slices of `W`.
-struct DistanceCache {
+#[derive(Clone)]
+pub(crate) struct DistanceCache {
     n: usize,
     dim: usize,
     d2: Vec<f64>,
@@ -732,7 +1095,7 @@ struct PackedKernel {
 }
 
 impl DistanceCache {
-    fn build(xs: &[Vec<f64>]) -> DistanceCache {
+    pub(crate) fn build(xs: &[Vec<f64>]) -> DistanceCache {
         let n = xs.len();
         let dim = if n > 0 { xs[0].len() } else { 0 };
         let mut d2 = Vec::with_capacity(n * (n + 1) / 2 * dim);
@@ -745,6 +1108,36 @@ impl DistanceCache {
             }
         }
         DistanceCache { n, dim, d2 }
+    }
+
+    /// Number of points the cache currently covers.
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Grows the cache in place to cover `xs` (whose first `self.n` rows
+    /// must be the points it was built over): appends the pair rows
+    /// `(i, j ≤ i)` for `i ∈ [self.n, xs.len())` — (n+1)·dim entries per
+    /// new point, identical values and order to a fresh `build`.
+    pub(crate) fn append(&mut self, xs: &[Vec<f64>]) {
+        assert!(xs.len() >= self.n, "DistanceCache::append: shrinking");
+        if self.n == 0 {
+            *self = DistanceCache::build(xs);
+            return;
+        }
+        assert!(xs.iter().all(|x| x.len() == self.dim));
+        self.d2
+            .reserve((xs.len() * (xs.len() + 1) / 2 - self.n * (self.n + 1) / 2) * self.dim);
+        for i in self.n..xs.len() {
+            let xi = &xs[i];
+            for xj in xs.iter().take(i + 1) {
+                for dd in 0..self.dim {
+                    let t = xi[dd] - xj[dd];
+                    self.d2.push(t * t);
+                }
+            }
+        }
+        self.n = xs.len();
     }
 
     #[inline]

@@ -24,9 +24,11 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod gp;
+pub mod incremental;
 pub mod kernel;
 pub mod lcm;
 
 pub use gp::SingleTaskGp;
+pub use incremental::{IncrementalLcm, ModelState, RefitMode, RefitSchedule};
 pub use kernel::{ArdKernel, KernelKind, SeArdKernel};
 pub use lcm::{LcmFitOptions, LcmHyperparams, LcmModel, Prediction};

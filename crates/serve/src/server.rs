@@ -47,7 +47,7 @@ use crate::protocol::{
 };
 use crate::spec::{config_to_json, ProblemSpec};
 use crate::store::SessionStore;
-use gptune_core::{MlaOptions, ReportError, SessionSnapshot, TunerSession};
+use gptune_core::{MlaOptions, RefitSchedule, ReportError, SessionSnapshot, TunerSession};
 use gptune_db::json::Json;
 use std::collections::BTreeMap;
 use std::io;
@@ -103,12 +103,18 @@ impl Default for ServeOptions {
 }
 
 /// Maps the client-visible [`SessionOptions`] onto serving-appropriate
-/// tuner options: single-start LCM fits and a small acquisition search,
-/// so a suggest call stays interactive even as histories grow.
+/// tuner options: single-start LCM fits, a small acquisition search, and
+/// an incremental refit schedule (hyperparameters re-optimized every 8th
+/// refit or on NLL drift; rank-1 factor extension in between), so a
+/// suggest call stays interactive even as histories grow.
 pub fn serving_mla_options(opts: &SessionOptions, defaults: &ServeOptions) -> MlaOptions {
     let mut mla = MlaOptions::default().with_seed(opts.seed);
     mla.n_initial = Some(opts.n_initial.unwrap_or(defaults.default_n_initial).max(1));
     mla.lcm.n_starts = 1;
+    mla.refit = RefitSchedule {
+        full_every: 8,
+        nll_drift: 0.25,
+    };
     mla.pso.particles = 12;
     mla.pso.iters = 15;
     mla.eval_workers = 1;
@@ -318,6 +324,7 @@ fn flush_entry(store: &SessionStore, entry: &mut SessionEntry) -> io::Result<()>
         &entry.opts,
         snap.n_suggested,
         snap.n_refits,
+        snap.model_state.as_ref(),
     )
 }
 
@@ -568,6 +575,7 @@ fn restore_entry(
         n_suggested: stored.n_suggested,
         n_refits: stored.n_refits,
         history: stored.history,
+        model_state: stored.model_state,
     };
     let session = TunerSession::restore(
         problem,

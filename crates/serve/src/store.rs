@@ -27,6 +27,7 @@
 
 use crate::protocol::SessionOptions;
 use crate::spec::ProblemSpec;
+use gptune_core::ModelState;
 use gptune_db::json::{self, Json};
 use gptune_db::{
     atomic_write, fnv1a, journal, sanitize, shard, DbEntry, DbRecord, DbValue, LockOptions,
@@ -66,6 +67,10 @@ pub struct StoredSession {
     pub n_refits: u64,
     /// Archived `(task, config, outputs)` rows in append order.
     pub history: Vec<(usize, Config, Vec<f64>)>,
+    /// Incremental-surrogate replay recipe saved with the meta, when the
+    /// session ran an incremental refit schedule (`None` otherwise, and
+    /// for meta files written before this field existed).
+    pub model_state: Option<ModelState>,
     /// What recovery saw while folding the journal (torn tails, CRC
     /// failures); clean on the happy path.
     pub recovery: RecoveryReport,
@@ -74,6 +79,48 @@ pub struct StoredSession {
 /// Server-side archive of tuner sessions, rooted at one directory.
 pub struct SessionStore {
     root: PathBuf,
+}
+
+/// Encodes a [`ModelState`] for the meta file. `u64` counters use the
+/// decimal-string encoding (exact beyond 2^53); floats use the shortest
+/// round-trip form, so the replayed fit is bit-identical.
+fn model_state_to_json(ms: &ModelState) -> Json {
+    Json::Obj(vec![
+        ("n_full".into(), Json::from_u64(ms.n_full as u64)),
+        ("full_seed".into(), Json::from_u64(ms.full_seed)),
+        (
+            "updates_since_full".into(),
+            Json::from_u64(ms.updates_since_full),
+        ),
+        (
+            "warm".into(),
+            match &ms.warm {
+                Some(w) => Json::Arr(w.iter().map(|v| Json::from_f64(*v)).collect()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "y".into(),
+            Json::Arr(ms.y.iter().map(|v| Json::from_f64(*v)).collect()),
+        ),
+    ])
+}
+
+/// Decodes a meta-file [`ModelState`]; `None` on any missing or
+/// ill-typed field (the session then restores via a lazy full refit).
+fn model_state_from_json(j: &Json) -> Option<ModelState> {
+    let floats = |v: &Json| -> Option<Vec<f64>> { v.as_arr()?.iter().map(Json::as_f64).collect() };
+    let warm = match j.get("warm") {
+        None | Some(Json::Null) => None,
+        Some(w) => Some(floats(w)?),
+    };
+    Some(ModelState {
+        n_full: j.get("n_full")?.as_u64()? as usize,
+        full_seed: j.get("full_seed")?.as_u64()?,
+        updates_since_full: j.get("updates_since_full")?.as_u64()?,
+        warm,
+        y: floats(j.get("y")?)?,
+    })
 }
 
 impl SessionStore {
@@ -116,8 +163,9 @@ impl SessionStore {
         opts: &SessionOptions,
         n_suggested: u64,
         n_refits: u64,
+        model_state: Option<&ModelState>,
     ) -> io::Result<()> {
-        let j = Json::Obj(vec![
+        let mut fields = vec![
             ("v".into(), Json::Int(1)),
             ("kind".into(), Json::Str("serve-session".into())),
             ("tenant".into(), Json::Str(tenant.into())),
@@ -130,7 +178,11 @@ impl SessionStore {
             ("opts".into(), opts.to_json()),
             ("n_suggested".into(), Json::from_u64(n_suggested)),
             ("n_refits".into(), Json::from_u64(n_refits)),
-        ]);
+        ];
+        if let Some(ms) = model_state {
+            fields.push(("model_state".into(), model_state_to_json(ms)));
+        }
+        let j = Json::Obj(fields);
         let mut text = j.to_string();
         text.push('\n');
         atomic_write(&self.meta_path(tenant, &spec.name), text.as_bytes())
@@ -199,6 +251,8 @@ impl SessionStore {
             .unwrap_or_default();
         let n_suggested = j.get("n_suggested").and_then(Json::as_u64).unwrap_or(0);
         let n_refits = j.get("n_refits").and_then(Json::as_u64).unwrap_or(0);
+        // Absent or malformed state degrades to a lazy full refit.
+        let model_state = j.get("model_state").and_then(model_state_from_json);
 
         // The journal — keyed by the *recomputed* signature, so a meta
         // file whose spec was hand-edited resolves to its own (empty)
@@ -227,6 +281,7 @@ impl SessionStore {
             n_suggested,
             n_refits,
             history,
+            model_state,
             recovery,
         }))
     }
@@ -301,7 +356,9 @@ mod tests {
             (1usize, vec![Value::Real(0.9)], vec![2.0]),
             (0usize, vec![Value::Real(0.3)], vec![3.0]),
         ];
-        store.save_meta("acme", &spec(), &opts(), 5, 2).unwrap();
+        store
+            .save_meta("acme", &spec(), &opts(), 5, 2, None)
+            .unwrap();
         store
             .append_reports("acme", &spec(), &opts(), &rows)
             .unwrap();
@@ -312,6 +369,40 @@ mod tests {
         assert_eq!(stored.n_refits, 2);
         assert_eq!(stored.history, rows, "rows come back in append order");
         assert!(stored.recovery.is_clean());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn model_state_roundtrips_exactly_and_old_metas_load_without_it() {
+        let root = tmp_root("modelstate");
+        let store = SessionStore::new(&root).unwrap();
+        // Awkward values on purpose: a seed beyond 2^53, subnormal-ish and
+        // negative floats — the replay recipe must come back bit-exact.
+        let ms = ModelState {
+            n_full: 7,
+            full_seed: u64::MAX - 11,
+            updates_since_full: 3,
+            warm: Some(vec![-1.5, 0.1, 3.0e-300, 7.25]),
+            y: vec![0.1 + 0.2, -0.0, 42.0],
+        };
+        store
+            .save_meta("acme", &spec(), &opts(), 9, 4, Some(&ms))
+            .unwrap();
+        let stored = store.load("acme", "toy").unwrap().expect("stored");
+        let back = stored.model_state.expect("model state saved");
+        assert_eq!(back, ms);
+        assert_eq!(
+            back.y[0].to_bits(),
+            ms.y[0].to_bits(),
+            "floats survive the meta file bit-for-bit"
+        );
+        // A meta written without the field (pre-incremental format, or an
+        // always-full schedule) loads as `None`.
+        store
+            .save_meta("acme", &spec(), &opts(), 9, 4, None)
+            .unwrap();
+        let stored = store.load("acme", "toy").unwrap().expect("stored");
+        assert!(stored.model_state.is_none());
         let _ = std::fs::remove_dir_all(&root);
     }
 
@@ -328,7 +419,9 @@ mod tests {
         let root = tmp_root("tenants");
         let store = SessionStore::new(&root).unwrap();
         for tenant in ["alpha", "beta"] {
-            store.save_meta(tenant, &spec(), &opts(), 0, 0).unwrap();
+            store
+                .save_meta(tenant, &spec(), &opts(), 0, 0, None)
+                .unwrap();
         }
         store
             .append_reports(
@@ -349,7 +442,7 @@ mod tests {
     fn purge_removes_every_file() {
         let root = tmp_root("purge");
         let store = SessionStore::new(&root).unwrap();
-        store.save_meta("t", &spec(), &opts(), 1, 0).unwrap();
+        store.save_meta("t", &spec(), &opts(), 1, 0, None).unwrap();
         store
             .append_reports(
                 "t",
@@ -375,7 +468,7 @@ mod tests {
         // retry after a lost acknowledgement). Recovery must fold them.
         let root = tmp_root("dups");
         let store = SessionStore::new(&root).unwrap();
-        store.save_meta("t", &spec(), &opts(), 2, 0).unwrap();
+        store.save_meta("t", &spec(), &opts(), 2, 0, None).unwrap();
         let row = (0usize, vec![Value::Real(0.4)], vec![4.0]);
         store
             .append_reports("t", &spec(), &opts(), &[row.clone()])
@@ -392,7 +485,7 @@ mod tests {
     fn torn_journal_tail_is_survivable_and_reported() {
         let root = tmp_root("torn");
         let store = SessionStore::new(&root).unwrap();
-        store.save_meta("t", &spec(), &opts(), 1, 0).unwrap();
+        store.save_meta("t", &spec(), &opts(), 1, 0, None).unwrap();
         store
             .append_reports(
                 "t",

@@ -1,0 +1,30 @@
+//! Fixture (trigger): GX1xx NaN-safety over rank-1 Cholesky kernel
+//! shapes written the naive way — IEEE equality on the downdate pivot
+//! (a NaN `r2` sails straight past `== 0.0`) and an unwrap'd
+//! `partial_cmp` comparator picking the active-set eviction victim.
+//! The lint must flag every one. See `gx1xx_rank1_cholesky_clean.rs`
+//! for the shipped idiom.
+
+pub fn downdate_diag(diag: &mut [f64], w: &[f64]) -> usize {
+    let mut pivot = 0;
+    for (j, d) in diag.iter_mut().enumerate() {
+        let r2 = *d * *d - w[j] * w[j];
+        if r2 == 0.0 {
+            // GX101: misses the NaN pivot entirely
+            pivot = j;
+        }
+        if *d != 0.0 {
+            // GX101
+            *d = r2.sqrt();
+        }
+    }
+    pivot
+}
+
+pub fn pick_victim(dist: &[f64]) -> usize {
+    dist.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)) // GX103
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

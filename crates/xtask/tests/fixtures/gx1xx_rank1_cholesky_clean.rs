@@ -1,0 +1,31 @@
+//! Fixture (clean): the shipped rank-1 Cholesky kernel idiom. The
+//! non-PSD downdate check is the NaN-robust `!(r2 > 0.0)` negation form
+//! and the failure is a *typed* error — never an unwrap or a poisoned
+//! factor — and victim selection uses `total_cmp`. Linted under the la
+//! production path, this file must produce zero diagnostics.
+
+/// Typed stand-in for `gptune_la::LaError::NotPositiveDefinite`.
+pub enum DowndateError {
+    NotPositiveDefinite { pivot: usize },
+}
+
+pub fn downdate_diag(diag: &mut [f64], w: &[f64]) -> Result<(), DowndateError> {
+    for (j, d) in diag.iter_mut().enumerate() {
+        let r2 = *d * *d - w[j] * w[j];
+        // NaN-robust pivot guard: a NaN `r2` fails `r2 > 0.0` and lands
+        // in the typed error instead of a panic mid-factor.
+        if !(r2 > 0.0) || !r2.is_finite() {
+            return Err(DowndateError::NotPositiveDefinite { pivot: j });
+        }
+        *d = r2.sqrt();
+    }
+    Ok(())
+}
+
+pub fn pick_victim(dist: &[f64]) -> usize {
+    dist.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

@@ -38,6 +38,21 @@ fn gx102_gx103_flag_partial_cmp_shapes() {
 }
 
 #[test]
+fn gx1xx_covers_rank1_cholesky_kernel_shapes() {
+    // The naive rank-1 downdate shapes — IEEE pivot equality and an
+    // unwrap'd partial_cmp eviction comparator — must all fire under the
+    // la production path...
+    let rules = rules_at("gx1xx_rank1_cholesky.rs", "crates/la/src/cholesky.rs");
+    assert_eq!(rules, vec!["GX101", "GX101", "GX103"]);
+    // ...while the shipped kernel idiom — the NaN-robust `!(r2 > 0.0)`
+    // guard returning a typed NotPositiveDefinite error (never an
+    // unwrap), total_cmp victim selection — lints completely clean. This
+    // is the exact shape `rank1_downdate`/`evict_candidate` use.
+    let rules = rules_at("gx1xx_rank1_cholesky_clean.rs", "crates/la/src/cholesky.rs");
+    assert!(rules.is_empty(), "clean kernel idiom fired: {rules:?}");
+}
+
+#[test]
 fn gx2xx_panic_tier_applies_in_strict_crates() {
     let rules = rules_at("gx2xx_panic_tier.rs", "crates/runtime/src/fixture.rs");
     assert_eq!(

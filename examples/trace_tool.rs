@@ -253,6 +253,31 @@ fn summarize(path: &str, chrome_out: Option<&str>) -> i32 {
         }
     }
 
+    // --- Surrogate refit mix ---
+    // The per-mode counters from `gptune.gp.refit` spans: how often the
+    // tuner paid a full hyperparameter re-optimization vs. an O(n²)
+    // incremental factor extension vs. a capped active-set update.
+    let refit_total: u64 = counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("gptune.gp.refit."))
+        .map(|(_, v)| *v)
+        .sum();
+    if refit_total > 0 {
+        println!("surrogate refits:");
+        for mode in ["full", "incremental", "capped"] {
+            let name = format!("gptune.gp.refit.{mode}");
+            let v = counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            println!(
+                "  {mode:<12} {v:>7}  {:>5.1}%",
+                100.0 * v as f64 / refit_total as f64
+            );
+        }
+    }
+
     // --- Fault instant-events and runtime counters ---
     let mut faults: BTreeMap<&str, u64> = BTreeMap::new();
     for e in &events {

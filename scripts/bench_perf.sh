@@ -28,6 +28,7 @@ mkdir -p "$out_dir"
 # name | binary | output file (one emitter per line).
 EMITTERS=(
   "lcm_perf|lcm_perf|BENCH_lcm.json"
+  "lcm_scale|lcm_scale|BENCH_lcm_scale.json"
   "trace_overhead|trace_overhead|BENCH_trace_overhead.json"
   "serve_bench|serve_bench|BENCH_serve.json"
 )

@@ -17,6 +17,11 @@ cargo test -q --test serve_chaos
 # W ∘ K gradients, and batched prediction must match their retained
 # pre-refactor references to ≤ 1e-12 under the optimizer's reassociations.
 cargo test -q --release -p gptune-gp --test equivalence
+# Incremental-LCM equivalence smoke in release mode: 64 sequential rank-1
+# extensions must match a from-scratch rebuild to ≤ 1e-10, downdate∘update
+# must round-trip the factor, and the capped (subset-of-data) posterior
+# must stay within its fixed tolerance -- see crates/gp/tests/incremental.rs.
+cargo test -q --release -p gptune-gp --test incremental
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Domain-specific lint suite (NaN-safety, panic tiers, lock discipline,
