@@ -89,6 +89,10 @@ pub struct TunerSession {
     dirty: bool,
     n_suggested: u64,
     n_refits: u64,
+    /// Wire request id of the in-flight serve request, if any; session
+    /// spans carry it while set so server traces correlate with the
+    /// client call that caused the work.
+    request_id: Option<String>,
 }
 
 impl TunerSession {
@@ -117,6 +121,7 @@ impl TunerSession {
             dirty: false,
             n_suggested: 0,
             n_refits: 0,
+            request_id: None,
         }
     }
 
@@ -193,6 +198,27 @@ impl TunerSession {
         &self.problem
     }
 
+    /// Attaches (or clears) the wire request id for subsequent session
+    /// operations: `suggest`/`report`/refit spans emitted while it is set
+    /// carry a `rid` field, so `trace_tool correlate` can link server-side
+    /// modeling work back to the client request that triggered it. The
+    /// serve layer sets this once per dispatched request; embedded users
+    /// can ignore it. Purely observational — never consulted by the
+    /// tuning logic, so determinism is unaffected.
+    pub fn set_request_id(&mut self, rid: Option<String>) {
+        self.request_id = rid;
+    }
+
+    /// Tags a session-level span with the request id when one is set.
+    /// (Takes the span rather than the name so every span name stays a
+    /// literal at its call site, per the GX602 taxonomy lint.)
+    fn tag_rid(&self, mut span: gptune_trace::Span) -> gptune_trace::Span {
+        if let Some(rid) = &self.request_id {
+            span.add("rid", rid.as_str());
+        }
+        span
+    }
+
     /// Suggests a configuration to evaluate for `task_idx`. Returns `None`
     /// only for an out-of-range task. Serves the initial design first,
     /// then refits the surrogate (if reports landed since the last fit)
@@ -202,6 +228,9 @@ impl TunerSession {
         if task_idx >= self.problem.n_tasks() {
             return None;
         }
+        let _span = self
+            .tag_rid(gptune_trace::global().span("gptune.core.session.suggest"))
+            .with("task", task_idx);
         self.n_suggested += 1;
         let mut rng = StdRng::seed_from_u64(
             (self.opts.seed ^ SESSION_SEED_TAG)
@@ -270,6 +299,9 @@ impl TunerSession {
         config: Config,
         outputs: Vec<f64>,
     ) -> Result<(), ReportError> {
+        let _span = self
+            .tag_rid(gptune_trace::global().span("gptune.core.session.report"))
+            .with("task", task_idx);
         if task_idx >= self.problem.n_tasks() {
             return Err(ReportError::BadTask);
         }
@@ -281,6 +313,14 @@ impl TunerSession {
         }
         if self.evals.contains(task_idx, &config) {
             return Err(ReportError::Duplicate);
+        }
+        // Censored evaluations (failed runs reported as non-finite) are a
+        // model-health signal: a rising rate means the surrogate is being
+        // fit around a shrinking feasible region.
+        if outputs.iter().any(|v| !v.is_finite()) {
+            gptune_trace::global()
+                .counter("gptune.core.evals_censored")
+                .add(1);
         }
         self.evals.points.push((task_idx, config));
         self.evals.outputs.push(outputs);
@@ -328,6 +368,7 @@ impl TunerSession {
         if !self.dirty && self.surrogate.model().is_some() {
             return;
         }
+        let _span = self.tag_rid(gptune_trace::global().span("gptune.core.session.refit"));
         let (inputs, y) = build_inputs(&self.problem, &self.evals, 0, &self.opts);
         let lcm_opts = LcmFitOptions {
             seed: self.opts.lcm.seed.wrapping_add(self.n_refits * 7919),
@@ -561,6 +602,39 @@ mod tests {
             Err(e) => e,
         };
         assert_eq!(err, ReportError::BadTask);
+    }
+
+    #[test]
+    fn session_spans_carry_the_request_id_and_censored_reports_count() {
+        use gptune_trace::Field;
+        let prev = gptune_trace::install(gptune_trace::Tracer::ring(1024));
+        let p = toy(1);
+        let mut s = TunerSession::new(p, fast_opts());
+        s.set_request_id(Some("rid-7".into()));
+        let cfg = s.suggest(0).unwrap();
+        s.report(0, cfg, vec![f64::INFINITY]).unwrap();
+        s.set_request_id(None);
+        let _ = s.suggest(0);
+        let g = gptune_trace::global();
+        let snap = g.metrics();
+        let data = g.drain();
+        gptune_trace::install(prev);
+        assert_eq!(snap.counter("gptune.core.evals_censored"), Some(1));
+        let rid = Field::Str("rid-7".into());
+        let names_with_rid: Vec<&str> = data
+            .events
+            .iter()
+            .filter(|e| e.field("rid") == Some(&rid))
+            .map(|e| e.name.as_ref())
+            .collect();
+        assert!(names_with_rid.contains(&"gptune.core.session.suggest"));
+        assert!(names_with_rid.contains(&"gptune.core.session.report"));
+        // After clearing the rid, new session spans are untagged.
+        assert!(data
+            .events
+            .iter()
+            .filter(|e| e.name.as_ref().starts_with("gptune.core.session."))
+            .any(|e| e.field("rid").is_none()));
     }
 
     #[test]

@@ -229,13 +229,12 @@ impl IncrementalLcm {
             span.add("fallback", mode.as_str());
         }
         drop(span);
-        tracer
-            .counter(match mode {
-                RefitMode::Full => "gptune.gp.refit.full",
-                RefitMode::Incremental => "gptune.gp.refit.incremental",
-                RefitMode::Capped => "gptune.gp.refit.capped",
-            })
-            .add(1);
+        match mode {
+            RefitMode::Full => tracer.counter("gptune.gp.refit.full"),
+            RefitMode::Incremental => tracer.counter("gptune.gp.refit.incremental"),
+            RefitMode::Capped => tracer.counter("gptune.gp.refit.capped"),
+        }
+        .add(1);
         mode
     }
 
@@ -353,11 +352,16 @@ impl IncrementalLcm {
         {
             return RefitMode::Full;
         }
-        // Per-point NLL drift since the last full fit.
+        // Per-point NLL drift since the last full fit. Each trip is a
+        // model-health signal (the surrogate disagrees with its own
+        // reference fit), so it gets its own counter for dashboards.
         let per_point = model.nll() / model.n_samples() as f64;
         if self.schedule.nll_drift > 0.0
             && (per_point - self.nll_ref).abs() > self.schedule.nll_drift
         {
+            gptune_trace::global()
+                .counter("gptune.gp.nll_drift_events")
+                .add(1);
             return RefitMode::Full;
         }
         if let Some(cap) = opts.max_active_set {

@@ -413,6 +413,7 @@ fn run_job<T, R>(
     let jobs_metric = tracer.counter("gptune.runtime.jobs");
     let retries_metric = tracer.counter("gptune.runtime.retries");
     let crashes_metric = tracer.counter("gptune.runtime.crashes");
+    let duration_metric = tracer.histogram("gptune.runtime.job_duration_us");
     let t0 = Instant::now();
     let mut attempt: u32 = 0;
     loop {
@@ -431,8 +432,12 @@ fn run_job<T, R>(
             .with("job", job)
             .with("worker", worker)
             .with("attempt", attempt);
+        let a0 = Instant::now();
         let caught = panic::catch_unwind(AssertUnwindSafe(|| f(item, attempt)));
         drop(span);
+        // Per-attempt latency histogram: spans give the timeline, this
+        // feeds the windowed p50/p99 the live dashboard reads.
+        duration_metric.record(a0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         let attempts = attempt + 1;
         let elapsed = t0.elapsed();
         let transient: Option<String> = match &caught {

@@ -14,6 +14,18 @@
 //! feeds the schedule), floored by any `retry_after_ms` hint the server
 //! attached. Plain server errors (`ok:false` with no retryable code) are
 //! never retried — they surface as `ErrorKind::Other` immediately.
+//!
+//! # Request ids
+//!
+//! Every call mints a request id — deterministically, from a seed and a
+//! call counter, never a clock — and stamps it on the frame header (see
+//! [`crate::protocol::with_rid`]). One logical call keeps one id across
+//! every retry and resend, WAL entries journal the id of the report they
+//! cache, and replay reuses the journaled id on the wire. Client-side
+//! spans (`gptune.serve.client.rpc` / `retry` / `wal_append` /
+//! `wal_replay`) carry the same id the server's spans record, which is
+//! what lets `trace_tool correlate` stitch the two timelines into one
+//! causal chain per request.
 
 use crate::chaos::mix;
 use crate::protocol::{
@@ -76,6 +88,10 @@ impl BackoffPolicy {
     }
 }
 
+/// Default request-id seed; override with [`ServeClient::with_rid_seed`]
+/// when several clients must keep their id streams disjoint.
+const RID_SEED: u64 = 0x7269_6432_5f31_3670;
+
 /// A connected client, optionally backed by a write-ahead journal.
 pub struct ServeClient {
     addr: SocketAddr,
@@ -84,6 +100,11 @@ pub struct ServeClient {
     backoff: BackoffPolicy,
     /// Set once `open_session` succeeds; reused by auto-reconnect.
     opened: Option<(String, ProblemSpec, SessionOptions, String)>,
+    /// Tracer for client-side spans; `None` reads the process global.
+    tracer: Option<gptune_trace::Tracer>,
+    /// Request ids are `mix(rid_seed, counter)` — deterministic (GX401).
+    rid_seed: u64,
+    rid_counter: u64,
 }
 
 impl ServeClient {
@@ -97,6 +118,9 @@ impl ServeClient {
             wal: None,
             backoff: BackoffPolicy::default(),
             opened: None,
+            tracer: None,
+            rid_seed: RID_SEED,
+            rid_counter: 0,
         })
     }
 
@@ -111,6 +135,40 @@ impl ServeClient {
     pub fn with_backoff(mut self, policy: BackoffPolicy) -> ServeClient {
         self.backoff = policy;
         self
+    }
+
+    /// Overrides the tracer used for client-side spans (default: the
+    /// process-global tracer). In-process tests point the client at its
+    /// own ring so the client and server timelines drain separately —
+    /// exactly the two files `trace_tool correlate` merges.
+    pub fn with_tracer(mut self, tracer: gptune_trace::Tracer) -> ServeClient {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Overrides the request-id seed. Ids are minted deterministically
+    /// from `(seed, call counter)` — no clock or OS entropy — so a
+    /// replayed run mints the identical id stream. Clients sharing a
+    /// server should pick distinct seeds to keep their streams disjoint.
+    pub fn with_rid_seed(mut self, seed: u64) -> ServeClient {
+        self.rid_seed = seed;
+        self
+    }
+
+    fn tracer(&self) -> gptune_trace::Tracer {
+        self.tracer.clone().unwrap_or_else(gptune_trace::global)
+    }
+
+    /// Mints the next request id: one per logical call, reused across
+    /// every retry of that call.
+    fn next_rid(&mut self) -> String {
+        self.rid_counter += 1;
+        format!(
+            "{:016x}",
+            mix(self
+                .rid_seed
+                .wrapping_add(self.rid_counter.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        )
     }
 
     /// The server address this client talks to.
@@ -155,24 +213,34 @@ impl ServeClient {
     }
 
     /// Reports an outcome. With a WAL attached the report is journaled
-    /// first, so a crash of either side between append and acknowledgement
-    /// is repaired by the next replay.
+    /// first — under the same request id the wire send will carry, so a
+    /// replay after a crash reuses the original id and the server-side
+    /// trace still links back to this call.
     pub fn report(&mut self, task: usize, config: &[Value], outputs: &[f64]) -> io::Result<()> {
         let (_, spec, _, key) = self
             .opened
             .clone()
             .ok_or_else(|| bad_server("no open session"))?;
-        if let Some(wal) = &self.wal {
-            let entry = wal_entry(&spec, task, config, outputs)
+        let rid = self.next_rid();
+        if let Some(wal) = self.wal.clone() {
+            let entry = wal_entry(&spec, task, config, outputs, &rid)
                 .ok_or_else(|| bad_server(format!("task {task} out of range")))?;
-            journal::append(wal, &[entry], &LockOptions::default())?;
+            let span = self
+                .tracer()
+                .span("gptune.serve.client.wal_append")
+                .with("rid", rid.as_str());
+            journal::append(&wal, &[entry], &LockOptions::default())?;
+            drop(span);
         }
-        self.rpc(&Request::Report {
-            session: key,
-            task,
-            config: config.to_vec(),
-            outputs: outputs.to_vec(),
-        })?;
+        self.rpc_with_rid(
+            &Request::Report {
+                session: key,
+                task,
+                config: config.to_vec(),
+                outputs: outputs.to_vec(),
+            },
+            &rid,
+        )?;
         Ok(())
     }
 
@@ -222,6 +290,24 @@ impl ServeClient {
         self.rpc_once(&Request::Ping).map(|_| ())
     }
 
+    /// Readiness/health report (raw server JSON: `ready`, `sessions`,
+    /// `uptime_secs`, windowed request rate and per-op p99, …).
+    pub fn health(&mut self) -> io::Result<Json> {
+        self.rpc_once(&Request::Health)
+    }
+
+    /// Scrapes the server's metrics registry: one `metrics` exchange,
+    /// decoded from the text exposition back into a structured snapshot
+    /// (lifetime counters/gauges/histograms plus the windowed view).
+    pub fn metrics(&mut self) -> io::Result<gptune_trace::MetricsSnapshot> {
+        let resp = self.rpc_once(&Request::Metrics)?;
+        let text = resp
+            .get("exposition")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| bad_server("metrics response lacks exposition"))?;
+        gptune_trace::expo::parse(text).map_err(bad_server)
+    }
+
     /// Tears down the socket and rebuilds the session: reconnect, re-open
     /// (the server re-attaches), replay the WAL. Called automatically when
     /// a request hits a transport error.
@@ -252,28 +338,38 @@ impl ServeClient {
     /// [`BackoffPolicy::max_retries`] times. Plain server failures
     /// (`ok:false` with no retryable code) are never retried.
     fn rpc(&mut self, req: &Request) -> io::Result<Json> {
+        let rid = self.next_rid();
+        self.rpc_with_rid(req, &rid)
+    }
+
+    fn rpc_with_rid(&mut self, req: &Request, rid: &str) -> io::Result<Json> {
+        let tracer = self.tracer();
+        let mut span = tracer
+            .span("gptune.serve.client.rpc")
+            .with("op", req.op())
+            .with("rid", rid);
         let mut attempt: u32 = 0;
         let mut last_reason: Option<String> = None;
-        loop {
+        let result = loop {
             // Reconnect only when the connection is actually gone: after
             // a transport fault or a `draining` reply (the server hangs
             // up behind those). An `overloaded` reply leaves the
             // connection healthy — retrying on it avoids tearing the
             // session down just to rebuild it.
-            let (err, retry_hint_ms, conn_dead) = match self.exchange(req) {
-                Ok(resp) if is_ok(&resp) => return Ok(resp),
+            let (err, retry_hint_ms, conn_dead) = match self.exchange(req, rid) {
+                Ok(resp) if is_ok(&resp) => break Ok(resp),
                 Ok(resp) if is_retryable_error(&resp) => {
                     let drained = error_code(&resp).as_deref() == Some(CODE_DRAINING);
                     last_reason = Some(error_of(&resp));
                     (bad_server(error_of(&resp)), retry_after_of(&resp), drained)
                 }
-                Ok(resp) => return Err(bad_server(error_of(&resp))),
+                Ok(resp) => break Err(bad_server(error_of(&resp))),
                 Err(e) => (e, None, true),
             };
             if attempt >= self.backoff.max_retries {
                 // When retries die on a transport fault mid-storm, the
                 // typed reason we saw earlier is the informative one.
-                return Err(match last_reason {
+                break Err(match last_reason {
                     Some(reason) => bad_server(reason),
                     None => err,
                 });
@@ -284,18 +380,44 @@ impl ServeClient {
                 .max(retry_hint_ms.unwrap_or(0));
             std::thread::sleep(Duration::from_millis(delay));
             attempt += 1;
+            // The retry resends under the *same* rid: at the server it is
+            // the same logical request, and the correlated timeline shows
+            // one intent with several wire attempts.
+            tracer
+                .instant("gptune.serve.client.retry")
+                .with("rid", rid)
+                .with("attempt", attempt)
+                .emit();
             if conn_dead {
                 // A failed reconnect is not fatal mid-loop: the next
                 // exchange fails fast on the dead stream and we back off
                 // again.
                 let _ = self.reconnect();
             }
-        }
+        };
+        span.add("attempts", attempt + 1);
+        span.add("ok", result.is_ok());
+        drop(span);
+        result
     }
 
     fn rpc_once(&mut self, req: &Request) -> io::Result<Json> {
-        let resp = self.exchange(req)?;
-        if is_ok(&resp) {
+        let rid = self.next_rid();
+        self.rpc_once_with_rid(req, &rid)
+    }
+
+    fn rpc_once_with_rid(&mut self, req: &Request, rid: &str) -> io::Result<Json> {
+        let mut span = self
+            .tracer()
+            .span("gptune.serve.client.rpc")
+            .with("op", req.op())
+            .with("rid", rid)
+            .with("attempts", 1u64);
+        let resp = self.exchange(req, rid)?;
+        let ok = is_ok(&resp);
+        span.add("ok", ok);
+        drop(span);
+        if ok {
             Ok(resp)
         } else {
             Err(bad_server(error_of(&resp)))
@@ -304,8 +426,9 @@ impl ServeClient {
 
     /// The raw wire exchange: errors here are transport faults only; the
     /// response JSON may still carry `ok:false`.
-    fn exchange(&mut self, req: &Request) -> io::Result<Json> {
-        write_json(&mut self.stream, &req.to_json())?;
+    fn exchange(&mut self, req: &Request, rid: &str) -> io::Result<Json> {
+        let frame = crate::protocol::with_rid(req.to_json(), rid);
+        write_json(&mut self.stream, &frame)?;
         read_json(&mut self.stream)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the stream"))
     }
@@ -325,6 +448,7 @@ impl ServeClient {
             .clone()
             .ok_or_else(|| bad_server("no open session"))?;
         let (entries, _report) = journal::load(&wal)?;
+        let mut span = self.tracer().span("gptune.serve.client.wal_replay");
         let mut replayed = 0;
         let mut duplicates = 0;
         for entry in entries {
@@ -337,27 +461,42 @@ impl ServeClient {
                 continue;
             };
             let config: Config = rec.config.iter().map(value_from_db).collect();
-            let resp = self.rpc_once(&Request::Report {
+            let req = Request::Report {
                 session: key.clone(),
                 task,
                 config,
                 outputs: rec.outputs.clone(),
-            })?;
+            };
+            // Replay under the journaled rid when the entry carries one:
+            // on the wire (and in the server's spans) the replay *is* the
+            // original report, so correlation survives crashes.
+            let resp = match rec.prov.run.strip_prefix("serve-wal:") {
+                Some(rid) if !rid.is_empty() => {
+                    let rid = rid.to_string();
+                    self.rpc_once_with_rid(&req, &rid)?
+                }
+                _ => self.rpc_once(&req)?,
+            };
             replayed += 1;
             if resp.get("duplicate").and_then(|v| v.as_bool()) == Some(true) {
                 duplicates += 1;
             }
         }
+        span.add("replayed", replayed as u64);
+        span.add("duplicates", duplicates as u64);
+        drop(span);
         Ok((replayed, duplicates))
     }
 }
 
-/// Builds the WAL journal entry for one report.
+/// Builds the WAL journal entry for one report. The request id rides in
+/// the provenance `run` field (`serve-wal:<rid>`) so replay can reuse it.
 fn wal_entry(
     spec: &ProblemSpec,
     task: usize,
     config: &[Value],
     outputs: &[f64],
+    rid: &str,
 ) -> Option<DbEntry> {
     let task_cfg = spec.tasks.get(task)?;
     Some(DbEntry::Eval(DbRecord {
@@ -368,7 +507,7 @@ fn wal_entry(
         outputs: outputs.to_vec(),
         prov: Provenance {
             seed: 0,
-            run: "serve-wal".into(),
+            run: format!("serve-wal:{rid}"),
             machine: None,
         },
     }))
@@ -535,6 +674,98 @@ mod tests {
         let cfg = client.suggest(1).unwrap();
         client.report(1, &cfg, &[5.0]).unwrap();
         assert_eq!(client.history().unwrap().len(), 2);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn request_ids_are_deterministic_and_journal_with_reports() {
+        use gptune_trace::{Field, Tracer};
+        let root = tmp_root("rids");
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+
+        // Two clients with the same rid seed and the same call sequence
+        // mint identical id streams (GX401: no clock, no entropy).
+        let rid_stream = |tag: u64| -> Vec<String> {
+            let tracer = Tracer::ring(256);
+            let mut c = ServeClient::connect(server.local_addr())
+                .unwrap()
+                .with_tracer(tracer.clone())
+                .with_rid_seed(0xfeed); // same seed both runs
+            c.open_session("t", &spec(), &SessionOptions::default())
+                .unwrap();
+            c.report(0, &[Value::Real(0.1 + tag as f64 * 0.2)], &[1.0])
+                .unwrap();
+            let mut rids: Vec<(u64, String)> = tracer
+                .drain()
+                .events
+                .iter()
+                .filter(|e| e.name.as_ref() == "gptune.serve.client.rpc")
+                .filter_map(|e| match e.field("rid") {
+                    Some(Field::Str(r)) => Some((e.ts_ns, r.clone())),
+                    _ => None,
+                })
+                .collect();
+            rids.sort();
+            rids.into_iter().map(|(_, r)| r).collect()
+        };
+        let a = rid_stream(0);
+        let b = rid_stream(1);
+        assert_eq!(a.len(), 2, "open + report: {a:?}");
+        assert_eq!(a, b, "rid stream must be deterministic in (seed, counter)");
+        assert_ne!(a[0], a[1], "each call gets a fresh rid");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wal_replay_reuses_the_journaled_request_ids() {
+        use gptune_trace::{Field, Tracer};
+        let root = tmp_root("walrid");
+        let wal = wal_path(&root);
+        let server = serve("127.0.0.1:0", ServeOptions::default()).unwrap();
+        let mut c = ServeClient::connect(server.local_addr())
+            .unwrap()
+            .with_wal(&wal);
+        c.open_session("t", &spec(), &SessionOptions::default())
+            .unwrap();
+        c.report(0, &[Value::Real(0.3)], &[1.0]).unwrap();
+        c.report(1, &[Value::Real(0.6)], &[2.0]).unwrap();
+        // The journal carries one distinct rid per report.
+        let (entries, _) = journal::load(&wal).unwrap();
+        let rids: Vec<String> = entries
+            .iter()
+            .filter_map(|e| match e {
+                DbEntry::Eval(r) => r.prov.run.strip_prefix("serve-wal:").map(str::to_string),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rids.len(), 2, "every WAL entry journals its rid");
+        assert_ne!(rids[0], rids[1]);
+
+        // A fresh client (fresh rid stream) replaying the WAL puts the
+        // *journaled* ids back on the wire, visible in its rpc spans.
+        let tracer = Tracer::ring(512);
+        let mut c2 = ServeClient::connect(server.local_addr())
+            .unwrap()
+            .with_wal(&wal)
+            .with_tracer(tracer.clone())
+            .with_rid_seed(999);
+        c2.open_session("t", &spec(), &SessionOptions::default())
+            .unwrap();
+        let data = tracer.drain();
+        for rid in &rids {
+            let reused = data.events.iter().any(|e| {
+                e.name.as_ref() == "gptune.serve.client.rpc"
+                    && e.field("rid") == Some(&Field::Str(rid.clone()))
+            });
+            assert!(reused, "replay must reuse journaled rid {rid}");
+        }
+        assert!(data
+            .events
+            .iter()
+            .any(|e| e.name.as_ref() == "gptune.serve.client.wal_replay"
+                && e.field("replayed") == Some(&Field::U64(2))));
         server.shutdown();
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -30,14 +30,23 @@
 //!   ([`ChaosProxy`], driven by a seeded [`FaultSpec`]) that tears
 //!   frames, resets connections, and delays or duplicates requests, for
 //!   robustness suites.
+//! - [`obs`] — offline trace correlation: parse the JSONL dumps of a
+//!   client and a server tracer and join them causally by the request
+//!   id every rpc carries in its frame header.
 //!
 //! Every request is traced through `gptune-trace` (span
-//! `gptune.serve.request`, histograms `gptune.serve.latency_us.<op>`,
-//! counters `gptune.serve.requests` / `gptune.serve.errors` /
-//! `gptune.serve.tenant.<tenant>.requests` and the robustness set
+//! `gptune.serve.request` tagged with the client-minted `rid`,
+//! histograms `gptune.serve.latency_us.<op>`, counters
+//! `gptune.serve.requests` / `gptune.serve.errors`, the per-tenant SLO
+//! set `gptune.serve.tenant.<tenant>.{requests,over_budget,sheds}`
+//! judged against [`ServeOptions::latency_budget`], and the robustness
+//! set
 //! `gptune.serve.{evictions,restores,sheds,timeouts,drains,archive_errors}`,
-//! gauge `gptune.serve.sessions`), which is what `serve_bench` reads its
-//! p50/p99 from.
+//! gauges `gptune.serve.{sessions,uptime_secs,draining}`), which is what
+//! `serve_bench` reads its p50/p99 from. The `metrics` wire request
+//! exports the whole registry — lifetime plus rolling-window deltas — as
+//! deterministic Prometheus-style text ([`ServeClient::metrics`] parses
+//! it back), and `examples/obs_tool.rs` is the live dashboard over it.
 //!
 //! # Quickstart
 //!
@@ -63,13 +72,26 @@
 
 pub mod chaos;
 pub mod client;
+pub mod obs;
 pub mod protocol;
 pub mod server;
 pub mod spec;
 pub mod store;
+mod tenant_metrics;
+
+/// Serializes tests that install the process-global tracer (metrics
+/// scrapes, rid-span assertions) so parallel tests never swap it out from
+/// under each other mid-request.
+#[cfg(test)]
+pub(crate) fn test_trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 pub use chaos::{ChaosProxy, FaultCounts, FaultSpec};
 pub use client::{BackoffPolicy, ServeClient};
+pub use obs::{correlate, parse_jsonl, CorrelationReport, LinkedRequest};
 pub use protocol::{Request, SessionOptions, CODE_DRAINING, CODE_OVERLOADED, MAX_FRAME};
 pub use server::{serve, serving_mla_options, ServeOptions, ServerHandle};
 pub use spec::ProblemSpec;

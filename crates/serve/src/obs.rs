@@ -1,0 +1,393 @@
+//! Observability post-processing: JSONL trace parsing and client/server
+//! correlation by request id.
+//!
+//! The serve wire protocol stamps a client-minted request id on every
+//! frame (see [`crate::protocol::with_rid`]); the client tags its
+//! `gptune.serve.client.*` spans with it and the server tags
+//! `gptune.serve.request` plus the session-level spans the request
+//! triggers. Given the two JSONL dumps — one drained client-side, one
+//! server-side — [`correlate`] reconstructs one causal record per
+//! request: intent (rpc span), local durability (WAL append), wire
+//! attempts (retry instants), and the server-side processing spans, all
+//! keyed by the shared id. `trace_tool correlate` renders the result.
+//!
+//! Timestamps are nanoseconds since each tracer's *own* epoch, so they
+//! order events within one dump but are not comparable across the two;
+//! causality across the boundary comes from the id, not the clock.
+
+use gptune_db::json::{self, Json};
+use gptune_trace::{Event, EventKind, Field, HistogramSnapshot, TraceData};
+
+/// Parses a `gptune_trace::jsonl` dump back into a [`TraceData`].
+///
+/// Inverse of [`gptune_trace::jsonl::to_string`] up to numeric field
+/// representation: a non-negative integer field parses as `U64` whatever
+/// it was emitted from, and a `null` (non-finite float) comes back as
+/// NaN — both re-serialize to the identical JSONL text, so
+/// `to_string ∘ parse_jsonl` is the identity on emitted dumps. The
+/// windowed metrics view is not part of the JSONL format (dumps are
+/// lifetime views); it parses back empty.
+pub fn parse_jsonl(text: &str) -> Result<TraceData, String> {
+    let mut data = TraceData::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| format!("line {}: {what}", lineno + 1);
+        let v = json::parse(line).map_err(|e| bad(&format!("bad JSON: {e}")))?;
+        let name = || {
+            v.get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        match v.get("type").and_then(Json::as_str) {
+            Some("track") => data
+                .tracks
+                .push((v.get("id").and_then(Json::as_u64).unwrap_or(0), name())),
+            Some("event") => {
+                let kind = match v.get("ph").and_then(Json::as_str) {
+                    Some("span") => EventKind::Span {
+                        dur_ns: v.get("dur_ns").and_then(Json::as_u64).unwrap_or(0),
+                    },
+                    _ => EventKind::Instant,
+                };
+                let mut fields = Vec::new();
+                if let Some(Json::Obj(kvs)) = v.get("args") {
+                    for (k, fv) in kvs {
+                        fields.push((k.clone().into(), json_field(fv)));
+                    }
+                }
+                data.events.push(Event {
+                    name: name().into(),
+                    kind,
+                    ts_ns: v.get("ts_ns").and_then(Json::as_u64).unwrap_or(0),
+                    track: v.get("track").and_then(Json::as_u64).unwrap_or(0),
+                    fields,
+                });
+            }
+            Some("metric") => {
+                let value = v.get("value");
+                match v.get("metric").and_then(Json::as_str) {
+                    Some("counter") => data
+                        .metrics
+                        .counters
+                        .push((name(), value.and_then(Json::as_u64).unwrap_or(0))),
+                    Some("gauge") => data
+                        .metrics
+                        .gauges
+                        .push((name(), value.and_then(Json::as_f64).unwrap_or(f64::NAN))),
+                    Some("histogram") => {
+                        let buckets = v
+                            .get("buckets")
+                            .and_then(Json::as_arr)
+                            .unwrap_or(&[])
+                            .iter()
+                            .filter_map(|pair| {
+                                let pair = pair.as_arr()?;
+                                Some((pair.first()?.as_u64()? as u32, pair.get(1)?.as_u64()?))
+                            })
+                            .collect();
+                        data.metrics.histograms.push((
+                            name(),
+                            HistogramSnapshot {
+                                count: v.get("count").and_then(Json::as_u64).unwrap_or(0),
+                                sum: v.get("sum").and_then(Json::as_u64).unwrap_or(0),
+                                buckets,
+                            },
+                        ));
+                    }
+                    _ => return Err(bad("unknown metric kind")),
+                }
+            }
+            Some("meta") => {
+                data.dropped = v.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+            }
+            _ => return Err(bad("unknown record type")),
+        }
+    }
+    Ok(data)
+}
+
+fn json_field(v: &Json) -> Field {
+    match v {
+        Json::Bool(b) => Field::Bool(*b),
+        Json::Str(s) => Field::Str(s.clone()),
+        Json::Null => Field::F64(f64::NAN),
+        _ => {
+            if let Some(u) = v.as_u64() {
+                Field::U64(u)
+            } else if let Some(i) = v.as_i64() {
+                Field::I64(i)
+            } else {
+                Field::F64(v.as_f64().unwrap_or(f64::NAN))
+            }
+        }
+    }
+}
+
+/// One client request correlated (or not) with its server-side trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkedRequest {
+    /// The shared request id.
+    pub rid: String,
+    /// Wire op (`suggest`, `report`, …) from the client rpc span.
+    pub op: String,
+    /// Client-side start of the rpc span (client epoch).
+    pub client_ts_ns: u64,
+    /// Wire attempts the client made under this id (1 = no retries).
+    pub attempts: u64,
+    /// Whether the client acknowledged success (`ok` field on the span).
+    pub acked: bool,
+    /// Whether a WAL append under this id precedes the send.
+    pub wal_appended: bool,
+    /// Names of server-side spans carrying the id, in server time order
+    /// (e.g. `gptune.core.session.report`, `gptune.serve.request`).
+    pub server_spans: Vec<String>,
+}
+
+impl LinkedRequest {
+    /// Whether the server trace shows this request at all.
+    pub fn linked(&self) -> bool {
+        !self.server_spans.is_empty()
+    }
+}
+
+/// Outcome of [`correlate`]: per-request links plus the acked/linked
+/// tallies the acceptance gate reads.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelationReport {
+    /// Requests the client saw acknowledged (rpc spans with `ok:true`).
+    pub acked: usize,
+    /// Acknowledged requests whose id appears in the server dump.
+    pub linked: usize,
+    /// Every client request with a rid, in client time order.
+    pub requests: Vec<LinkedRequest>,
+}
+
+impl CorrelationReport {
+    /// Fraction of acknowledged requests found in the server trace
+    /// (1.0 when nothing was acknowledged).
+    pub fn link_rate(&self) -> f64 {
+        if self.acked == 0 {
+            1.0
+        } else {
+            self.linked as f64 / self.acked as f64
+        }
+    }
+}
+
+fn str_field<'e>(ev: &'e Event, key: &str) -> Option<&'e str> {
+    match ev.field(key) {
+        Some(Field::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Correlates a client-side trace with a server-side trace by request id.
+///
+/// Walks the client's `gptune.serve.client.rpc` spans (one per logical
+/// call) and looks each id up among the server's rid-tagged events. An
+/// acknowledged call with no server-side match means the server dump is
+/// incomplete — dropped ring events, or a scrape that missed a restart.
+pub fn correlate(client: &TraceData, server: &TraceData) -> CorrelationReport {
+    // Index the server dump: rid -> events carrying it, server time order.
+    let mut by_rid: std::collections::BTreeMap<&str, Vec<&Event>> = Default::default();
+    for ev in &server.events {
+        if let Some(rid) = str_field(ev, "rid") {
+            by_rid.entry(rid).or_default().push(ev);
+        }
+    }
+    for evs in by_rid.values_mut() {
+        evs.sort_by_key(|e| e.ts_ns);
+    }
+
+    let mut report = CorrelationReport::default();
+    let mut rpcs: Vec<&Event> = client
+        .events
+        .iter()
+        .filter(|e| e.name.as_ref() == "gptune.serve.client.rpc")
+        .collect();
+    rpcs.sort_by_key(|e| e.ts_ns);
+    for rpc in rpcs {
+        let Some(rid) = str_field(rpc, "rid") else {
+            continue;
+        };
+        let acked = rpc.field("ok") == Some(&Field::Bool(true));
+        let wal_appended = client.events.iter().any(|e| {
+            e.name.as_ref() == "gptune.serve.client.wal_append" && str_field(e, "rid") == Some(rid)
+        });
+        let server_spans: Vec<String> = by_rid
+            .get(rid)
+            .map(|evs| evs.iter().map(|e| e.name.to_string()).collect())
+            .unwrap_or_default();
+        if acked {
+            report.acked += 1;
+            if !server_spans.is_empty() {
+                report.linked += 1;
+            }
+        }
+        report.requests.push(LinkedRequest {
+            rid: rid.to_string(),
+            op: str_field(rpc, "op").unwrap_or("?").to_string(),
+            client_ts_ns: rpc.ts_ns,
+            attempts: rpc.field("attempts").and_then(Field::as_u64).unwrap_or(1),
+            acked,
+            wal_appended,
+            server_spans,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptune_trace::{jsonl, Tracer};
+    use std::time::Duration;
+
+    #[test]
+    fn jsonl_roundtrips_through_parse_including_hostile_names() {
+        let t = Tracer::ring(64);
+        t.record_span(
+            "gptune.test.op",
+            10,
+            Duration::from_nanos(500),
+            vec![
+                ("n".into(), Field::U64(3)),
+                ("neg".into(), Field::I64(-7)),
+                ("rid".into(), Field::Str("he said \"hi\"\\n".into())),
+                ("ok".into(), Field::Bool(true)),
+                ("ratio".into(), Field::F64(0.25)),
+            ],
+        );
+        t.instant("gptune.test.mark").emit();
+        // Hostile metric names: quotes, backslashes, newlines, non-ASCII.
+        t.counter("he said \"hi\"").add(2);
+        t.counter("back\\slash\\").add(1);
+        t.counter("smörgås.δέλτα.метрика").add(5);
+        t.gauge("new\nline").set(1.5);
+        t.histogram("tab\there").record(7);
+        let data = t.drain();
+        let text = jsonl::to_string(&data);
+        let parsed = parse_jsonl(&text).expect("emitted JSONL parses");
+        // Event and metric payloads survive exactly…
+        assert_eq!(parsed.events, data.events);
+        assert_eq!(parsed.metrics.counters, data.metrics.counters);
+        assert_eq!(parsed.metrics.gauges, data.metrics.gauges);
+        assert_eq!(parsed.metrics.histograms, data.metrics.histograms);
+        assert_eq!(parsed.dropped, data.dropped);
+        // …and re-emitting reproduces the identical text (deterministic
+        // escaping both ways).
+        assert_eq!(jsonl::to_string(&parsed), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_unknown_records() {
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"type\":\"elephant\"}").is_err());
+        assert!(parse_jsonl("").unwrap().events.is_empty());
+    }
+
+    fn span(tracer: &Tracer, name: &'static str, ts: u64, fields: Vec<(&str, Field)>) {
+        tracer.record_span(
+            name,
+            ts,
+            Duration::from_nanos(100),
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string().into(), v))
+                .collect(),
+        );
+    }
+
+    #[test]
+    fn correlate_links_acked_calls_to_server_spans_by_rid() {
+        let client = Tracer::ring(64);
+        let server = Tracer::ring(64);
+        let rid = |s: &str| Field::Str(s.to_string());
+        // Two acked reports, one with a WAL append; one failed call.
+        span(
+            &client,
+            "gptune.serve.client.wal_append",
+            5,
+            vec![("rid", rid("aa"))],
+        );
+        span(
+            &client,
+            "gptune.serve.client.rpc",
+            10,
+            vec![
+                ("op", Field::Str("report".into())),
+                ("rid", rid("aa")),
+                ("attempts", Field::U64(2)),
+                ("ok", Field::Bool(true)),
+            ],
+        );
+        span(
+            &client,
+            "gptune.serve.client.rpc",
+            20,
+            vec![
+                ("op", Field::Str("suggest".into())),
+                ("rid", rid("bb")),
+                ("attempts", Field::U64(1)),
+                ("ok", Field::Bool(true)),
+            ],
+        );
+        span(
+            &client,
+            "gptune.serve.client.rpc",
+            30,
+            vec![
+                ("op", Field::Str("report".into())),
+                ("rid", rid("cc")),
+                ("ok", Field::Bool(false)),
+            ],
+        );
+        // Server saw "aa" (request + session work) but never "bb" or "cc".
+        span(
+            &server,
+            "gptune.core.session.report",
+            100,
+            vec![("rid", rid("aa"))],
+        );
+        span(
+            &server,
+            "gptune.serve.request",
+            110,
+            vec![("op", Field::Str("report".into())), ("rid", rid("aa"))],
+        );
+        let report = correlate(&client.drain(), &server.drain());
+        assert_eq!(report.acked, 2);
+        assert_eq!(report.linked, 1);
+        assert!((report.link_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(report.requests.len(), 3);
+        let aa = &report.requests[0];
+        assert_eq!(aa.rid, "aa");
+        assert_eq!(aa.op, "report");
+        assert_eq!(aa.attempts, 2);
+        assert!(aa.acked && aa.wal_appended && aa.linked());
+        assert_eq!(
+            aa.server_spans,
+            vec![
+                "gptune.core.session.report".to_string(),
+                "gptune.serve.request".to_string()
+            ]
+        );
+        let bb = &report.requests[1];
+        assert!(bb.acked && !bb.linked() && !bb.wal_appended);
+        let cc = &report.requests[2];
+        assert!(!cc.acked && !cc.linked());
+        assert_eq!(cc.attempts, 1, "missing attempts field defaults to 1");
+    }
+
+    #[test]
+    fn empty_traces_correlate_vacuously() {
+        let r = correlate(&TraceData::default(), &TraceData::default());
+        assert_eq!(r.acked, 0);
+        assert_eq!(r.linked, 0);
+        assert!((r.link_rate() - 1.0).abs() < 1e-12);
+    }
+}

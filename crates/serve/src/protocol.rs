@@ -171,6 +171,9 @@ pub enum Request {
     },
     /// Readiness and session-table-pressure probe.
     Health,
+    /// Scrapes the server's metrics as deterministic Prometheus-style
+    /// text (see `gptune_trace::expo`).
+    Metrics,
     /// Begins a graceful drain: the server flushes every session to its
     /// archive and answers subsequent requests with a `draining` error.
     Drain,
@@ -187,6 +190,7 @@ impl Request {
             Request::History { .. } => "history",
             Request::Close { .. } => "close",
             Request::Health => "health",
+            Request::Metrics => "metrics",
             Request::Drain => "drain",
         }
     }
@@ -230,6 +234,7 @@ impl Request {
                 ("session".into(), Json::Str(session.clone())),
             ]),
             Request::Health => Json::Obj(vec![("op".into(), Json::Str("health".into()))]),
+            Request::Metrics => Json::Obj(vec![("op".into(), Json::Str("metrics".into()))]),
             Request::Drain => Json::Obj(vec![("op".into(), Json::Str("drain".into()))]),
         }
     }
@@ -294,10 +299,31 @@ impl Request {
                 session: session()?,
             }),
             "health" => Ok(Request::Health),
+            "metrics" => Ok(Request::Metrics),
             "drain" => Ok(Request::Drain),
             other => Err(format!("unknown op {other:?}")),
         }
     }
+}
+
+/// Attaches a client-generated request id to a request frame. The id is
+/// a *frame header*, not part of [`Request`]: servers that predate it
+/// parse requests field-by-field and ignore it, so propagation is
+/// forward- and backward-compatible.
+pub fn with_rid(j: Json, rid: &str) -> Json {
+    match j {
+        Json::Obj(mut fields) => {
+            fields.retain(|(k, _)| k != "rid");
+            fields.push(("rid".into(), Json::Str(rid.to_string())));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// The request id carried by a frame, if any.
+pub fn rid_of(j: &Json) -> Option<&str> {
+    j.get("rid").and_then(|v| v.as_str())
 }
 
 /// Builds a success response with extra payload fields.
@@ -440,6 +466,7 @@ mod tests {
                 session: "acme/toy".into(),
             },
             Request::Health,
+            Request::Metrics,
             Request::Drain,
         ];
         for req in reqs {
@@ -447,6 +474,37 @@ mod tests {
             let parsed = gptune_db::json::parse(&text).unwrap();
             assert_eq!(Request::from_json(&parsed).unwrap(), req, "{text}");
         }
+    }
+
+    #[test]
+    fn request_ids_ride_the_frame_header() {
+        let framed = with_rid(
+            Request::Suggest {
+                session: "s".into(),
+                task: 1,
+            }
+            .to_json(),
+            "r01",
+        );
+        assert_eq!(rid_of(&framed), Some("r01"));
+        // The id is invisible to request parsing (old servers ignore it).
+        let req = Request::from_json(&framed).unwrap();
+        assert_eq!(
+            req,
+            Request::Suggest {
+                session: "s".into(),
+                task: 1
+            }
+        );
+        // Re-tagging replaces, never duplicates.
+        let retagged = with_rid(framed, "r02");
+        assert_eq!(rid_of(&retagged), Some("r02"));
+        let text = retagged.to_string();
+        assert_eq!(text.matches("\"rid\"").count(), 1, "{text}");
+        // Survives the wire text.
+        let reparsed = gptune_db::json::parse(&text).unwrap();
+        assert_eq!(rid_of(&reparsed), Some("r02"));
+        assert_eq!(rid_of(&Request::Ping.to_json()), None);
     }
 
     #[test]

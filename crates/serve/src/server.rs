@@ -85,6 +85,11 @@ pub struct ServeOptions {
     pub max_inflight_per_tenant: usize,
     /// Retry hint attached to `overloaded` / `draining` errors.
     pub retry_after_ms: u64,
+    /// Per-request latency budget for SLO accounting: requests handled
+    /// slower than this increment the tenant's `over_budget` counter
+    /// (surfaced by the `metrics` scrape). Purely observational — nothing
+    /// is rejected for running over.
+    pub latency_budget: Duration,
 }
 
 impl Default for ServeOptions {
@@ -98,6 +103,7 @@ impl Default for ServeOptions {
             io_timeout: Some(Duration::from_secs(30)),
             max_inflight_per_tenant: 32,
             retry_after_ms: 100,
+            latency_budget: Duration::from_millis(250),
         }
     }
 }
@@ -157,6 +163,8 @@ struct ServerState {
     clock: AtomicU64,
     store: Option<SessionStore>,
     opts: ServeOptions,
+    /// Server start time, for uptime reporting in `health` / `metrics`.
+    started: Instant,
 }
 
 impl ServerState {
@@ -238,7 +246,25 @@ fn tenant_of(req: &Request) -> Option<&str> {
         | Request::Report { session, .. }
         | Request::History { session }
         | Request::Close { session } => session.split('/').next(),
-        Request::Ping | Request::Health | Request::Drain => None,
+        Request::Ping | Request::Health | Request::Metrics | Request::Drain => None,
+    }
+}
+
+/// Per-op latency histogram, resolved through a closed table of literal
+/// names — GX602: metric names are static strings, never formatted, so
+/// the scrape's name set is knowable from the source.
+fn latency_histogram(tracer: &gptune_trace::Tracer, op: &str) -> gptune_trace::HistogramHandle {
+    match op {
+        "ping" => tracer.histogram("gptune.serve.latency_us.ping"),
+        "open_session" => tracer.histogram("gptune.serve.latency_us.open_session"),
+        "suggest" => tracer.histogram("gptune.serve.latency_us.suggest"),
+        "report" => tracer.histogram("gptune.serve.latency_us.report"),
+        "history" => tracer.histogram("gptune.serve.latency_us.history"),
+        "close" => tracer.histogram("gptune.serve.latency_us.close"),
+        "health" => tracer.histogram("gptune.serve.latency_us.health"),
+        "metrics" => tracer.histogram("gptune.serve.latency_us.metrics"),
+        "drain" => tracer.histogram("gptune.serve.latency_us.drain"),
+        _ => tracer.histogram("gptune.serve.latency_us.parse_error"),
     }
 }
 
@@ -397,6 +423,7 @@ pub fn serve(addr: impl ToSocketAddrs, opts: ServeOptions) -> io::Result<ServerH
         clock: AtomicU64::new(0),
         store,
         opts: opts.clone(),
+        started: Instant::now(),
     });
     let mut threads = Vec::with_capacity(opts.workers.max(1));
     for worker in 0..opts.workers.max(1) {
@@ -482,34 +509,55 @@ fn handle_conn(stream: &mut TcpStream, state: &Arc<ServerState>) -> io::Result<(
 
 fn handle_frame(frame: &Json, state: &Arc<ServerState>) -> Json {
     let tracer = gptune_trace::global();
+    // The request id rides the frame header, not the request body: the
+    // client mints it, retries and WAL replays reuse it, and every span
+    // the request touches (here and inside the session) carries it, so
+    // `trace_tool correlate` can stitch client and server timelines.
+    let rid = crate::protocol::rid_of(frame).map(str::to_string);
     let start = Instant::now();
-    let (op, response) = match Request::from_json(frame) {
+    let (op, tenant, response) = match Request::from_json(frame) {
         Ok(req) => {
             let op = req.op();
-            (op, gate(req, state))
+            let tenant = tenant_of(&req).map(str::to_string);
+            (op, tenant, gate(req, rid.as_deref(), state))
         }
-        Err(e) => ("parse_error", err_response(e)),
+        Err(e) => ("parse_error", None, err_response(e)),
     };
     let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    tracer
-        .histogram(&format!("gptune.serve.latency_us.{op}"))
-        .record(micros);
+    latency_histogram(&tracer, op).record(micros);
     tracer.counter("gptune.serve.requests").add(1);
     if !crate::protocol::is_ok(&response) {
         tracer.counter("gptune.serve.errors").add(1);
     }
+    if let Some(tenant) = &tenant {
+        crate::tenant_metrics::record(
+            &tracer,
+            tenant,
+            micros,
+            state.opts.latency_budget,
+            &response,
+        );
+    }
     let mut span = tracer.span("gptune.serve.request");
     span.add("op", op);
     span.add("us", micros as i64);
+    if let Some(rid) = rid {
+        span.add("rid", rid);
+    }
     drop(span);
     response
 }
 
 /// Admission control in front of [`dispatch`]: drain rejection first,
-/// then the per-tenant in-flight cap.
-fn gate(req: Request, state: &Arc<ServerState>) -> Json {
+/// then the per-tenant in-flight cap. Observability ops (`health`,
+/// `metrics`) are never gated — a draining or overloaded server must
+/// still be scrapeable.
+fn gate(req: Request, rid: Option<&str>, state: &Arc<ServerState>) -> Json {
     if state.draining.load(Ordering::SeqCst)
-        && !matches!(req, Request::Ping | Request::Health | Request::Drain)
+        && !matches!(
+            req,
+            Request::Ping | Request::Health | Request::Metrics | Request::Drain
+        )
     {
         return err_with_code(
             CODE_DRAINING,
@@ -521,7 +569,7 @@ fn gate(req: Request, state: &Arc<ServerState>) -> Json {
         Ok(g) => g,
         Err(shed) => return shed,
     };
-    dispatch(req, state)
+    dispatch(req, rid, state)
 }
 
 /// Looks up a session by key: lock the table, clone the `Arc`, stamp the
@@ -617,7 +665,7 @@ fn adopt(state: &ServerState, key: &str, entry: SessionEntry) -> Arc<SessionSlot
     adopted
 }
 
-fn dispatch(req: Request, state: &Arc<ServerState>) -> Json {
+fn dispatch(req: Request, rid: Option<&str>, state: &Arc<ServerState>) -> Json {
     let tracer = gptune_trace::global();
     match req {
         Request::Ping => ok_response(vec![("pong".into(), Json::Bool(true))]),
@@ -626,6 +674,18 @@ fn dispatch(req: Request, state: &Arc<ServerState>) -> Json {
             let resident = state.sessions.lock().unwrap().len();
             let cap = state.resident_cap();
             let draining = state.draining.load(Ordering::SeqCst);
+            let snap = tracer.metrics();
+            // Windowed per-op p99s: walk the snapshot's histogram list by
+            // prefix rather than formatting lookup names (GX602).
+            let per_op: Vec<(String, Json)> = snap
+                .windowed
+                .histograms
+                .iter()
+                .filter_map(|(name, h)| {
+                    name.strip_prefix("gptune.serve.latency_us.")
+                        .map(|op| (op.to_string(), Json::from_u64(h.p99())))
+                })
+                .collect();
             ok_response(vec![
                 ("ready".into(), Json::Bool(!draining)),
                 ("draining".into(), Json::Bool(draining)),
@@ -636,7 +696,40 @@ fn dispatch(req: Request, state: &Arc<ServerState>) -> Json {
                     Json::from_f64(resident as f64 / cap.max(1) as f64),
                 ),
                 ("archive".into(), Json::Bool(state.store.is_some())),
+                (
+                    "uptime_secs".into(),
+                    Json::from_u64(state.started.elapsed().as_secs()),
+                ),
+                (
+                    "requests_total".into(),
+                    Json::from_u64(snap.counter("gptune.serve.requests").unwrap_or(0)),
+                ),
+                (
+                    "request_rate".into(),
+                    Json::from_f64(
+                        snap.windowed
+                            .rate_per_sec("gptune.serve.requests")
+                            .unwrap_or(0.0),
+                    ),
+                ),
+                ("windowed_p99_us".into(), Json::Obj(per_op)),
             ])
+        }
+
+        Request::Metrics => {
+            // Just-in-time gauges so a scrape always carries the current
+            // values even when no recent request has updated them.
+            tracer
+                .gauge("gptune.serve.sessions")
+                .set(state.sessions.lock().unwrap().len() as f64);
+            tracer
+                .gauge("gptune.serve.uptime_secs")
+                .set(state.started.elapsed().as_secs_f64());
+            tracer
+                .gauge("gptune.serve.draining")
+                .set(f64::from(u8::from(state.draining.load(Ordering::SeqCst))));
+            let text = gptune_trace::expo::encode(&tracer.metrics());
+            ok_response(vec![("exposition".into(), Json::Str(text))])
         }
 
         Request::Drain => {
@@ -648,9 +741,6 @@ fn dispatch(req: Request, state: &Arc<ServerState>) -> Json {
             if tenant.is_empty() || tenant.contains('/') {
                 return err_response("tenant must be non-empty and slash-free");
             }
-            tracer
-                .counter(&format!("gptune.serve.tenant.{tenant}.requests"))
-                .add(1);
             let key = format!("{tenant}/{}", spec.name);
             // Re-attach to an existing session first — replayed
             // open_session frames after a reconnect are idempotent.
@@ -747,6 +837,7 @@ fn dispatch(req: Request, state: &Arc<ServerState>) -> Json {
                 Err(resp) => return resp,
             };
             let mut guard = slot.entry.lock().unwrap();
+            guard.session.set_request_id(rid.map(str::to_string));
             match guard.session.suggest(task) {
                 Some(config) => ok_response(vec![("config".into(), config_to_json(&config))]),
                 None => err_response(format!("task {task} out of range")),
@@ -764,6 +855,7 @@ fn dispatch(req: Request, state: &Arc<ServerState>) -> Json {
                 Err(resp) => return resp,
             };
             let mut guard = slot.entry.lock().unwrap();
+            guard.session.set_request_id(rid.map(str::to_string));
             let duplicate = match guard.session.report(task, config, outputs) {
                 Ok(()) => false,
                 // Duplicates are a *success* for the protocol: replays
@@ -1149,6 +1241,103 @@ mod tests {
             state.conns.lock().unwrap().is_empty(),
             "teardown must take the registry, not iterate it in place"
         );
+    }
+
+    #[test]
+    fn metrics_scrape_and_extended_health_report_windowed_activity() {
+        let _serial = crate::test_trace_lock();
+        let prev = gptune_trace::install(gptune_trace::Tracer::ring(4096));
+        let server = start();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        open(&mut c, "t", spec("p"));
+        for _ in 0..5 {
+            assert!(is_ok(&roundtrip(&mut c, &Request::Ping)));
+        }
+        let m = roundtrip(&mut c, &Request::Metrics);
+        assert!(is_ok(&m), "{m}");
+        let text = m.get("exposition").unwrap().as_str().unwrap().to_string();
+        // The exposition is machine-parseable and carries both lifetime
+        // and windowed views of the request counter, plus the JIT gauges.
+        let snap = gptune_trace::expo::parse(&text).expect("exposition parses");
+        assert!(snap.counter("gptune.serve.requests").unwrap() >= 6);
+        assert!(snap.windowed.counter("gptune.serve.requests").unwrap() >= 6);
+        assert!(snap.windowed.horizon_ns > 0);
+        assert!(snap.gauge("gptune.serve.uptime_secs").is_some());
+        assert_eq!(snap.gauge("gptune.serve.draining"), Some(0.0));
+        assert!(snap.counter("gptune.serve.tenant.t.requests").unwrap() >= 1);
+        // The extended health reply rides the same windowed data.
+        let h = roundtrip(&mut c, &Request::Health);
+        assert!(is_ok(&h), "{h}");
+        assert!(h.get("uptime_secs").unwrap().as_u64().is_some());
+        assert!(h.get("requests_total").unwrap().as_u64().unwrap() >= 7);
+        assert!(h.get("request_rate").unwrap().as_f64().unwrap() > 0.0);
+        let per_op = h.get("windowed_p99_us").unwrap();
+        assert!(per_op.get("ping").unwrap().as_u64().is_some());
+        server.shutdown();
+        gptune_trace::install(prev);
+    }
+
+    #[test]
+    fn metrics_and_health_answer_while_draining() {
+        let _serial = crate::test_trace_lock();
+        let prev = gptune_trace::install(gptune_trace::Tracer::ring(1024));
+        let server = start();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        assert!(is_ok(&roundtrip(&mut c, &Request::Drain)));
+        let mut c2 = TcpStream::connect(server.local_addr()).unwrap();
+        let m = roundtrip(&mut c2, &Request::Metrics);
+        assert!(is_ok(&m), "metrics must be scrapeable mid-drain: {m}");
+        let text = m.get("exposition").unwrap().as_str().unwrap();
+        let snap = gptune_trace::expo::parse(text).unwrap();
+        assert_eq!(snap.gauge("gptune.serve.draining"), Some(1.0));
+        server.shutdown();
+        gptune_trace::install(prev);
+    }
+
+    #[test]
+    fn request_ids_flow_into_server_and_session_spans() {
+        use gptune_trace::Field;
+        let _serial = crate::test_trace_lock();
+        let prev = gptune_trace::install(gptune_trace::Tracer::ring(4096));
+        let server = start();
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        open(&mut c, "t", spec("p"));
+        let framed = crate::protocol::with_rid(
+            Request::Suggest {
+                session: "t/p".into(),
+                task: 0,
+            }
+            .to_json(),
+            "rid-0042",
+        );
+        write_json(&mut c, &framed).unwrap();
+        let resp = read_json(&mut c).unwrap().unwrap();
+        assert!(is_ok(&resp), "{resp}");
+        let data = gptune_trace::global().drain();
+        let tagged: Vec<&str> = data
+            .events
+            .iter()
+            .filter(|e| e.field("rid") == Some(&Field::Str("rid-0042".into())))
+            .map(|e| e.name.as_ref())
+            .collect();
+        assert!(
+            tagged.contains(&"gptune.serve.request"),
+            "server request span must carry the rid: {tagged:?}"
+        );
+        assert!(
+            tagged.contains(&"gptune.core.session.suggest"),
+            "session-level span must carry the rid: {tagged:?}"
+        );
+        // A frame without a rid leaves spans untagged, not empty-tagged.
+        assert!(is_ok(&roundtrip(&mut c, &Request::Ping)));
+        let data = gptune_trace::global().drain();
+        assert!(data
+            .events
+            .iter()
+            .filter(|e| e.name.as_ref() == "gptune.serve.request")
+            .all(|e| e.field("rid").is_none()));
+        server.shutdown();
+        gptune_trace::install(prev);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Per-tenant SLO accounting.
+//!
+//! This is the one serve module allowed to mint dynamically-formatted
+//! metric names (GX602 carries a lint.toml allow for it): tenant names
+//! are caller-chosen strings, so the `gptune.serve.tenant.<tenant>.*`
+//! families are inherently dynamic. Cardinality is bounded by the set of
+//! tenants admitted through the session table — the same set the
+//! in-flight map already keys on — not by request volume.
+//!
+//! Three counters per tenant, each with lifetime and windowed views:
+//!
+//! - `…requests` — completed requests attributed to the tenant,
+//! - `…over_budget` — requests whose handling latency exceeded
+//!   [`crate::ServeOptions::latency_budget`],
+//! - `…sheds` — requests rejected with the typed `overloaded` error.
+//!
+//! Together they give per-tenant SLO attainment straight off a `metrics`
+//! scrape: `1 - over_budget/requests` within budget, shed rate, etc.
+
+use crate::protocol::{error_code, CODE_OVERLOADED};
+use gptune_db::json::Json;
+use gptune_trace::Tracer;
+use std::time::Duration;
+
+/// Records one completed request against `tenant`'s SLO ledger.
+pub(crate) fn record(
+    tracer: &Tracer,
+    tenant: &str,
+    micros: u64,
+    budget: Duration,
+    response: &Json,
+) {
+    tracer
+        .counter(&format!("gptune.serve.tenant.{tenant}.requests"))
+        .add(1);
+    if u128::from(micros) > budget.as_micros() {
+        tracer
+            .counter(&format!("gptune.serve.tenant.{tenant}.over_budget"))
+            .add(1);
+    }
+    if error_code(response).as_deref() == Some(CODE_OVERLOADED) {
+        tracer
+            .counter(&format!("gptune.serve.tenant.{tenant}.sheds"))
+            .add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{err_with_code, ok_response};
+
+    #[test]
+    fn slo_ledger_splits_requests_over_budget_and_sheds() {
+        let tracer = Tracer::ring(64);
+        let budget = Duration::from_millis(1);
+        let ok = ok_response(vec![]);
+        record(&tracer, "acme", 500, budget, &ok); // in budget
+        record(&tracer, "acme", 5_000, budget, &ok); // over budget
+        let shed = err_with_code(CODE_OVERLOADED, "cap", 10);
+        record(&tracer, "acme", 10, budget, &shed);
+        let snap = tracer.metrics();
+        assert_eq!(snap.counter("gptune.serve.tenant.acme.requests"), Some(3));
+        assert_eq!(
+            snap.counter("gptune.serve.tenant.acme.over_budget"),
+            Some(1)
+        );
+        assert_eq!(snap.counter("gptune.serve.tenant.acme.sheds"), Some(1));
+        // Another tenant's ledger is untouched.
+        assert_eq!(snap.counter("gptune.serve.tenant.beta.requests"), None);
+    }
+}

@@ -1,0 +1,631 @@
+//! Deterministic Prometheus-style text exposition of a
+//! [`MetricsSnapshot`], plus the matching parser.
+//!
+//! The `metrics` wire request of gptune-serve returns this format and
+//! `obs_tool` parses it back, so encode → parse must round-trip exactly.
+//! The grammar (documented in DESIGN.md §9):
+//!
+//! * Comment lines start with `#`; `# TYPE <family> <kind>` declares a
+//!   family as `counter`, `gauge`, or `histogram` before its samples.
+//! * Sample lines are `<family>[suffix]{labels} <value>`. Counters use
+//!   the `_total` suffix; histograms emit cumulative `_bucket` lines
+//!   (log2 upper bounds: `le="0"`, `le="2"`, `le="4"`, …, `le="+Inf"`)
+//!   plus `_sum` and `_count`; gauges are bare.
+//! * The family name is the metric name sanitized to
+//!   `[A-Za-z0-9_:]` (every other byte becomes `_`); the **exact**
+//!   original name rides in the `name` label, escaped Prometheus-style
+//!   (`\\`, `\"`, `\n`). Identity lives in the label, so hostile names
+//!   (quotes, backslashes, newlines, non-ASCII) survive the round trip
+//!   even when sanitization collides.
+//! * Rolling-window deltas carry a `window="1"` label; the reserved
+//!   bare sample `gptune_window_horizon_ns` reports the wall-clock span
+//!   the windows cover (0 = windows disabled).
+//!
+//! Output order is fully deterministic: lifetime counters, gauges,
+//! histograms (each name-sorted, inherited from the registry's
+//! `BTreeMap`), then the window horizon and the windowed deltas.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, WindowedMetrics, N_BUCKETS};
+use std::fmt::Write as _;
+
+/// Reserved sample name carrying [`WindowedMetrics::horizon_ns`].
+pub const HORIZON_SAMPLE: &str = "gptune_window_horizon_ns";
+
+/// Sanitizes a metric name into a Prometheus family name.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if ok && !(i == 0 && c.is_ascii_digit()) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
+fn label_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn labels(name: &str, windowed: bool, le: Option<&str>) -> String {
+    let mut out = format!("{{name=\"{}\"", label_escape(name));
+    if let Some(le) = le {
+        let _ = write!(out, ",le=\"{le}\"");
+    }
+    if windowed {
+        out.push_str(",window=\"1\"");
+    }
+    out.push('}');
+    out
+}
+
+/// The sample-line idents a family of a given kind will occupy.
+fn kind_idents(fam: &str, kind: &str) -> Vec<String> {
+    match kind {
+        "counter" => vec![format!("{fam}_total")],
+        "gauge" => vec![fam.to_string()],
+        _ => vec![
+            format!("{fam}_bucket"),
+            format!("{fam}_sum"),
+            format!("{fam}_count"),
+        ],
+    }
+}
+
+/// Allocates collision-free family names. The same (sanitized name,
+/// kind) pair reuses its family — same-kind sanitization collisions
+/// deliberately share one family, identity riding in the `name` label —
+/// but a family claimed by a *different* kind, or any clash between
+/// sample idents (a gauge sanitized to an existing `<counter>_total`,
+/// say), grows trailing underscores until every line in the document
+/// classifies unambiguously. Deterministic because encode order is.
+#[derive(Default)]
+struct Families {
+    declared: Vec<(String, &'static str)>,
+    idents: Vec<String>,
+}
+
+impl Families {
+    fn declare(&mut self, out: &mut String, name: &str, kind: &'static str) -> String {
+        let mut fam = sanitize(name);
+        loop {
+            if self.declared.iter().any(|(f, k)| *f == fam && *k == kind) {
+                return fam; // TYPE already emitted for this family
+            }
+            let clash = fam == HORIZON_SAMPLE
+                || self.declared.iter().any(|(f, _)| *f == fam)
+                || kind_idents(&fam, kind)
+                    .iter()
+                    .any(|i| self.idents.contains(i));
+            if clash {
+                fam.push('_');
+                continue;
+            }
+            let _ = writeln!(out, "# TYPE {fam} {kind}");
+            self.idents.extend(kind_idents(&fam, kind));
+            self.declared.push((fam.clone(), kind));
+            return fam;
+        }
+    }
+}
+
+fn encode_counters(
+    out: &mut String,
+    counters: &[(String, u64)],
+    windowed: bool,
+    seen: &mut Families,
+) {
+    for (name, v) in counters {
+        let fam = seen.declare(out, name, "counter");
+        let _ = writeln!(out, "{fam}_total{} {v}", labels(name, windowed, None));
+    }
+}
+
+fn encode_histograms(
+    out: &mut String,
+    histograms: &[(String, HistogramSnapshot)],
+    windowed: bool,
+    seen: &mut Families,
+) {
+    for (name, h) in histograms {
+        let fam = seen.declare(out, name, "histogram");
+        let mut cum = 0u64;
+        let mut saw_inf = false;
+        for &(i, n) in &h.buckets {
+            cum += n;
+            let le = match i as usize {
+                0 => "0".to_string(),
+                b if b >= N_BUCKETS - 1 => {
+                    saw_inf = true;
+                    "+Inf".to_string()
+                }
+                b => (1u64 << b).to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{fam}_bucket{} {cum}",
+                labels(name, windowed, Some(&le))
+            );
+        }
+        if !saw_inf {
+            let _ = writeln!(
+                out,
+                "{fam}_bucket{} {cum}",
+                labels(name, windowed, Some("+Inf"))
+            );
+        }
+        let _ = writeln!(out, "{fam}_sum{} {}", labels(name, windowed, None), h.sum);
+        let _ = writeln!(
+            out,
+            "{fam}_count{} {}",
+            labels(name, windowed, None),
+            h.count
+        );
+    }
+}
+
+/// Encodes a snapshot as deterministic exposition text.
+pub fn encode(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# gptune-trace exposition v1\n");
+    let mut seen = Families::default();
+    encode_counters(&mut out, &m.counters, false, &mut seen);
+    for (name, v) in &m.gauges {
+        let fam = seen.declare(&mut out, name, "gauge");
+        let _ = writeln!(out, "{fam}{} {v}", labels(name, false, None));
+    }
+    encode_histograms(&mut out, &m.histograms, false, &mut seen);
+    let _ = writeln!(out, "{HORIZON_SAMPLE} {}", m.windowed.horizon_ns);
+    encode_counters(&mut out, &m.windowed.counters, true, &mut seen);
+    encode_histograms(&mut out, &m.windowed.histograms, true, &mut seen);
+    out
+}
+
+/// One parsed sample line.
+struct Sample {
+    family: String,
+    labels: Vec<(String, String)>,
+    value: String,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_labels(s: &str) -> Result<(Vec<(String, String)>, &str), String> {
+    // `s` starts just after `{`; returns labels plus the rest after `}`.
+    let mut labels = Vec::new();
+    let mut chars = s.char_indices().peekable();
+    loop {
+        let mut key = String::new();
+        for (_, c) in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label {key}: expected opening quote")),
+        }
+        let mut val = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => val.push('\\'),
+                    Some((_, '"')) => val.push('"'),
+                    Some((_, 'n')) => val.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label {key}")),
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => val.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated label value for {key}"));
+        }
+        labels.push((key, val));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((i, '}')) => return Ok((labels, &s[i + 1..])),
+            other => return Err(format!("expected , or }} after label, got {other:?}")),
+        }
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (ident_end, has_labels) = match line.find(['{', ' ']) {
+        Some(i) => (i, line.as_bytes().get(i) == Some(&b'{')),
+        None => return Err(format!("malformed sample line: {line:?}")),
+    };
+    let family = line[..ident_end].to_string();
+    let (labels, rest) = if has_labels {
+        parse_labels(&line[ident_end + 1..])?
+    } else {
+        (Vec::new(), &line[ident_end..])
+    };
+    Ok(Sample {
+        family,
+        labels,
+        value: rest.trim().to_string(),
+    })
+}
+
+fn bucket_index(le: &str) -> Result<usize, String> {
+    match le {
+        "0" => Ok(0),
+        "+Inf" => Ok(N_BUCKETS - 1),
+        v => {
+            let bound: u64 = v.parse().map_err(|e| format!("bad le {v:?}: {e}"))?;
+            if !bound.is_power_of_two() {
+                return Err(format!("le {v:?} is not a power of two"));
+            }
+            Ok(bound.trailing_zeros() as usize)
+        }
+    }
+}
+
+#[derive(Default)]
+struct PartialHist {
+    buckets: Vec<(u32, u64)>,
+    cum: u64,
+    sum: u64,
+    count: u64,
+}
+
+#[derive(Default)]
+struct Section {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, PartialHist)>,
+}
+
+impl Section {
+    fn hist(&mut self, name: &str) -> &mut PartialHist {
+        if let Some(i) = self.hists.iter().position(|(n, _)| n == name) {
+            &mut self.hists[i].1
+        } else {
+            self.hists.push((name.to_string(), PartialHist::default()));
+            let last = self.hists.len() - 1;
+            &mut self.hists[last].1
+        }
+    }
+}
+
+/// Parses exposition text back into a [`MetricsSnapshot`];
+/// `parse(&encode(m))` reconstructs `m` exactly.
+pub fn parse(text: &str) -> Result<MetricsSnapshot, String> {
+    let mut kinds: Vec<(String, String)> = Vec::new();
+    let mut horizon_ns = 0u64;
+    let mut lifetime = Section::default();
+    let mut windowed = Section::default();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                if let (Some(fam), Some(kind)) = (parts.next(), parts.next()) {
+                    kinds.push((fam.to_string(), kind.to_string()));
+                }
+            }
+            continue;
+        }
+        let sample = parse_sample(line)?;
+        if sample.family == HORIZON_SAMPLE && sample.labels.is_empty() {
+            horizon_ns = sample
+                .value
+                .parse()
+                .map_err(|e| format!("bad horizon: {e}"))?;
+            continue;
+        }
+        let section = if sample.label("window") == Some("1") {
+            &mut windowed
+        } else {
+            &mut lifetime
+        };
+        let name = sample
+            .label("name")
+            .ok_or_else(|| format!("sample {} has no name label", sample.family))?
+            .to_string();
+        // Exact family match wins (a gauge sanitized to `…_sum` must not
+        // be mistaken for a histogram component); otherwise classify by
+        // the histogram/counter suffix.
+        let kind_of = |fam: &str| {
+            kinds
+                .iter()
+                .find(|(f, _)| f == fam)
+                .map(|(_, k)| k.as_str())
+        };
+        if kind_of(&sample.family) == Some("gauge") {
+            let v: f64 = sample
+                .value
+                .parse()
+                .map_err(|e| format!("bad gauge {name:?}: {e}"))?;
+            section.gauges.push((name, v));
+        } else if let Some(fam) = sample.family.strip_suffix("_total") {
+            if kind_of(fam) != Some("counter") {
+                return Err(format!("undeclared counter family {fam:?}"));
+            }
+            let v: u64 = sample
+                .value
+                .parse()
+                .map_err(|e| format!("bad counter {name:?}: {e}"))?;
+            section.counters.push((name, v));
+        } else if let Some(fam) = sample.family.strip_suffix("_bucket") {
+            if kind_of(fam) != Some("histogram") {
+                return Err(format!("undeclared histogram family {fam:?}"));
+            }
+            let le = sample
+                .label("le")
+                .ok_or_else(|| format!("bucket of {name:?} has no le label"))?;
+            let idx = bucket_index(le)?;
+            let cum: u64 = sample
+                .value
+                .parse()
+                .map_err(|e| format!("bad bucket of {name:?}: {e}"))?;
+            let h = section.hist(&name);
+            let delta = cum
+                .checked_sub(h.cum)
+                .ok_or_else(|| format!("non-monotonic buckets for {name:?}"))?;
+            h.cum = cum;
+            if delta > 0 {
+                h.buckets.push((idx as u32, delta));
+            }
+        } else if let Some(fam) = sample.family.strip_suffix("_sum") {
+            if kind_of(fam) != Some("histogram") {
+                return Err(format!("undeclared histogram family {fam:?}"));
+            }
+            section.hist(&name).sum = sample
+                .value
+                .parse()
+                .map_err(|e| format!("bad sum of {name:?}: {e}"))?;
+        } else if let Some(fam) = sample.family.strip_suffix("_count") {
+            if kind_of(fam) != Some("histogram") {
+                return Err(format!("undeclared histogram family {fam:?}"));
+            }
+            section.hist(&name).count = sample
+                .value
+                .parse()
+                .map_err(|e| format!("bad count of {name:?}: {e}"))?;
+        } else {
+            return Err(format!("unclassifiable sample {:?}", sample.family));
+        }
+    }
+    let finish = |s: Section| -> (
+        Vec<(String, u64)>,
+        Vec<(String, f64)>,
+        Vec<(String, HistogramSnapshot)>,
+    ) {
+        let hists = s
+            .hists
+            .into_iter()
+            .map(|(n, h)| {
+                (
+                    n,
+                    HistogramSnapshot {
+                        count: h.count,
+                        sum: h.sum,
+                        buckets: h.buckets,
+                    },
+                )
+            })
+            .collect();
+        (s.counters, s.gauges, hists)
+    };
+    let (counters, gauges, histograms) = finish(lifetime);
+    let (wc, _, wh) = finish(windowed);
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+        windowed: WindowedMetrics {
+            horizon_ns,
+            counters: wc,
+            histograms: wh,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("gptune.serve.requests".into(), 42),
+                ("gptune.serve.sheds".into(), 0),
+            ],
+            gauges: vec![
+                ("gptune.serve.sessions".into(), 3.0),
+                ("gptune.test.frac".into(), 0.125),
+            ],
+            histograms: vec![(
+                "gptune.serve.latency_us.suggest".into(),
+                HistogramSnapshot {
+                    count: 7,
+                    sum: 5130,
+                    buckets: vec![(0, 1), (3, 4), (10, 2)],
+                },
+            )],
+            windowed: WindowedMetrics {
+                horizon_ns: 115_000_000_000,
+                counters: vec![("gptune.serve.requests".into(), 9)],
+                histograms: vec![(
+                    "gptune.serve.latency_us.suggest".into(),
+                    HistogramSnapshot {
+                        count: 2,
+                        sum: 1030,
+                        buckets: vec![(10, 2)],
+                    },
+                )],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_roundtrips() {
+        let m = sample_snapshot();
+        let text = encode(&m);
+        assert_eq!(text, encode(&m), "same snapshot → identical text");
+        let back = parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(encode(&back), text);
+    }
+
+    #[test]
+    fn exposition_shape_is_prometheus_like() {
+        let text = encode(&sample_snapshot());
+        assert!(text.contains("# TYPE gptune_serve_requests counter"));
+        assert!(text.contains("gptune_serve_requests_total{name=\"gptune.serve.requests\"} 42"));
+        assert!(text.contains("gptune_serve_sessions{name=\"gptune.serve.sessions\"} 3"));
+        assert!(text.contains(
+            "gptune_serve_latency_us_suggest_bucket{name=\"gptune.serve.latency_us.suggest\",le=\"8\"} 5"
+        ));
+        assert!(text.contains(",le=\"+Inf\"} 7"));
+        assert!(text.contains("gptune_window_horizon_ns 115000000000"));
+        assert!(text.contains(
+            "gptune_serve_requests_total{name=\"gptune.serve.requests\",window=\"1\"} 9"
+        ));
+    }
+
+    #[test]
+    fn hostile_metric_names_roundtrip() {
+        let hostile = [
+            "he said \"hi\"",
+            "back\\slash\\",
+            "smörgås.δέλτα.метрика",
+            "new\nline",
+            "trailing space ",
+            "{weird}=chars,le=\"0\"",
+        ];
+        let mut m = MetricsSnapshot::default();
+        for (i, name) in hostile.iter().enumerate() {
+            m.counters.push((name.to_string(), i as u64 + 1));
+            m.histograms.push((
+                name.to_string(),
+                HistogramSnapshot {
+                    count: 1,
+                    sum: 9,
+                    buckets: vec![(4, 1)],
+                },
+            ));
+        }
+        m.counters.sort();
+        m.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let text = encode(&m);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, m, "hostile names survive encode → parse");
+        // Escaping is deterministic: same input, same bytes.
+        assert_eq!(text, encode(&parse(&text).unwrap()));
+    }
+
+    #[test]
+    fn sanitization_collisions_keep_identity_via_the_name_label() {
+        let m = MetricsSnapshot {
+            counters: vec![("a.b".into(), 1), ("a:b".into(), 2), ("a_b".into(), 3)],
+            ..Default::default()
+        };
+        let back = parse(&encode(&m)).unwrap();
+        assert_eq!(back.counter("a.b"), Some(1));
+        assert_eq!(back.counter("a:b"), Some(2));
+        assert_eq!(back.counter("a_b"), Some(3));
+    }
+
+    #[test]
+    fn cross_kind_family_collisions_stay_unambiguous() {
+        // A counter and a histogram sharing one sanitized name must get
+        // distinct families, and a gauge whose family equals an existing
+        // counter's `_total` ident must shift out of its way.
+        let m = MetricsSnapshot {
+            counters: vec![("shared.name".into(), 3), ("x".into(), 7)],
+            gauges: vec![("x_total".into(), 1.5)],
+            histograms: vec![(
+                "shared.name".into(),
+                HistogramSnapshot {
+                    count: 1,
+                    sum: 9,
+                    buckets: vec![(4, 1)],
+                },
+            )],
+            ..Default::default()
+        };
+        let text = encode(&m);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, m, "cross-kind collisions survive the round trip");
+        assert_eq!(encode(&back), text);
+        assert_eq!(back.counter("x"), Some(7));
+        assert_eq!(back.gauge("x_total"), Some(1.5));
+    }
+
+    #[test]
+    fn gauge_sanitized_to_sum_suffix_stays_a_gauge() {
+        let m = MetricsSnapshot {
+            gauges: vec![("gptune.test.latency_sum".into(), 1.5)],
+            ..Default::default()
+        };
+        let back = parse(&encode(&m)).unwrap();
+        assert_eq!(back.gauge("gptune.test.latency_sum"), Some(1.5));
+        assert!(back.histograms.is_empty());
+    }
+
+    #[test]
+    fn nonfinite_gauges_roundtrip() {
+        let m = MetricsSnapshot {
+            gauges: vec![
+                ("inf".into(), f64::INFINITY),
+                ("ninf".into(), f64::NEG_INFINITY),
+            ],
+            ..Default::default()
+        };
+        let back = parse(&encode(&m)).unwrap();
+        assert_eq!(back.gauge("inf"), Some(f64::INFINITY));
+        assert_eq!(back.gauge("ninf"), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("not a metric line").is_err());
+        assert!(parse("x_total{name=\"x\"} notanumber").is_err());
+        assert!(parse("# TYPE h histogram\nh_bucket{name=\"h\",le=\"3\"} 1").is_err());
+        assert!(parse("x_total{name=\"x} 1").is_err());
+        // Buckets must be cumulative.
+        assert!(parse(
+            "# TYPE h histogram\nh_bucket{name=\"h\",le=\"2\"} 5\nh_bucket{name=\"h\",le=\"4\"} 3"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let m = MetricsSnapshot::default();
+        assert_eq!(parse(&encode(&m)).unwrap(), m);
+    }
+}

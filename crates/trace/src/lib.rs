@@ -30,14 +30,18 @@
 //! full taxonomy).
 
 pub mod chrome;
+pub mod expo;
 pub mod jsonl;
 pub mod metrics;
 pub mod tracer;
+pub mod window;
 
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricsSnapshot,
+    WindowedMetrics,
 };
 pub use tracer::{Event, EventKind, Field, InstantEvent, Name, Span, TraceData, Tracer};
+pub use window::WindowSpec;
 
 use parking_lot::RwLock;
 

@@ -3,34 +3,80 @@
 //! All updates are relaxed atomics; registration (name → handle lookup)
 //! takes a registry mutex, so callers fetch a handle once and reuse it in
 //! loops. Names follow the `gptune.<crate>.<name>` scheme documented in
-//! DESIGN.md §9. Maps are `BTreeMap` so snapshots are deterministically
-//! ordered.
+//! DESIGN.md §9 (and enforced by the GX602 lint). Maps are `BTreeMap` so
+//! snapshots are deterministically ordered.
+//!
+//! Counters and histograms keep two views: exact lifetime totals, and —
+//! when the registry was built with an enabled [`WindowSpec`] — rolling
+//! per-window deltas (see [`crate::window`]) surfaced through
+//! [`MetricsSnapshot::windowed`] so rates and quantiles can reflect the
+//! last few minutes instead of the whole process lifetime.
 
+use crate::window::{CounterRing, HistRing, WindowCtx, WindowSpec};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of log2 histogram buckets; bucket `i` covers values with `i`
 /// significant bits (`[2^(i-1), 2^i)`), bucket 0 holds zeros, the last
 /// bucket absorbs everything larger.
 pub const N_BUCKETS: usize = 64;
 
-/// A log2-bucketed histogram of u64 samples (typically nanoseconds).
+/// A monotonic counter: an exact lifetime total plus optional rolling
+/// window deltas.
+#[derive(Debug)]
+pub struct Counter {
+    total: AtomicU64,
+    ring: Option<CounterRing>,
+}
+
+impl std::fmt::Debug for CounterRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterRing").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for HistRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistRing").finish_non_exhaustive()
+    }
+}
+
+impl Counter {
+    fn new(ctx: Option<WindowCtx>) -> Self {
+        Counter {
+            total: AtomicU64::new(0),
+            ring: ctx.map(CounterRing::new),
+        }
+    }
+
+    fn add(&self, n: u64) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+        if let Some(ring) = &self.ring {
+            ring.add(n);
+        }
+    }
+}
+
+/// A log2-bucketed histogram of u64 samples (typically nanoseconds),
+/// with an exact lifetime view plus optional rolling window deltas.
 #[derive(Debug)]
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     buckets: [AtomicU64; N_BUCKETS],
+    ring: Option<HistRing>,
 }
 
 impl Histogram {
-    fn new() -> Self {
+    fn new(ctx: Option<WindowCtx>) -> Self {
         Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            ring: ctx.map(HistRing::new),
         }
     }
 
@@ -41,6 +87,9 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         if let Some(b) = self.buckets.get(idx) {
             b.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(ring) = &self.ring {
+            ring.record(v, idx);
         }
     }
 
@@ -81,10 +130,17 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Approximate `q`-quantile (`q ∈ [0, 1]`) from the log2 buckets:
-    /// the upper bound of the bucket holding the `⌈q·count⌉`-th smallest
-    /// sample. Exact for zeros; otherwise conservative by at most 2×
-    /// (the bucket width). Returns 0 when the histogram is empty.
+    /// Approximate `q`-quantile (`q ∈ [0, 1]`) from the log2 buckets.
+    ///
+    /// Locates the bucket holding the `⌈q·count⌉`-th smallest sample and
+    /// interpolates within it, assuming the bucket's samples are evenly
+    /// spread across `[2^(i-1), 2^i)` (midpoint convention: the k-th of
+    /// n samples sits at `lo + width·(2k−1)/(2n)`). Exact for zeros
+    /// (bucket 0) and for samples uniform within a bucket; in general the
+    /// absolute error is below the bucket width, so the result is within
+    /// a factor of 2 of the true quantile (the last bucket is unbounded
+    /// and saturates to `u64::MAX`). Returns 0 when the histogram is
+    /// empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -93,12 +149,17 @@ impl HistogramSnapshot {
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for &(i, n) in &self.buckets {
+            let before = seen;
             seen += n;
             if seen >= rank {
                 return match i as usize {
                     0 => 0,
                     b if b >= N_BUCKETS - 1 => u64::MAX,
-                    b => (1u64 << b) - 1,
+                    b => {
+                        let lo = 1u64 << (b - 1);
+                        let k = rank - before; // 1-based rank within the bucket
+                        lo + ((lo as f64) * ((2 * k - 1) as f64) / ((2 * n) as f64)) as u64
+                    }
                 };
             }
         }
@@ -116,13 +177,55 @@ impl HistogramSnapshot {
     }
 }
 
+/// Rolling-window view: counter and histogram deltas over the last
+/// [`WindowedMetrics::horizon_ns`] nanoseconds. Empty (horizon 0) when
+/// the registry's windows are disabled. Gauges are point-in-time and
+/// have no windowed form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowedMetrics {
+    /// Wall-clock span the live windows cover, in nanoseconds (0 when
+    /// windows are disabled).
+    pub horizon_ns: u64,
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl WindowedMetrics {
+    /// Windowed delta of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Windowed histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Events per second for a counter over the window horizon (`None`
+    /// when the counter is unknown or windows are disabled).
+    pub fn rate_per_sec(&self, name: &str) -> Option<f64> {
+        if self.horizon_ns == 0 {
+            return None;
+        }
+        Some(self.counter(name)? as f64 * 1e9 / self.horizon_ns as f64)
+    }
+}
+
 /// Point-in-time view of every registered metric, deterministically
-/// ordered by name.
+/// ordered by name. `counters`/`gauges`/`histograms` are exact lifetime
+/// values; `windowed` holds the rolling-window deltas.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub windowed: WindowedMetrics,
 }
 
 impl MetricsSnapshot {
@@ -149,30 +252,42 @@ impl MetricsSnapshot {
 }
 
 pub(crate) struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    window_ctx: Option<WindowCtx>,
 }
 
 impl Registry {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(epoch: Instant, windows: WindowSpec) -> Self {
         Registry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            window_ctx: WindowCtx::new(epoch, windows),
         }
     }
 
+    // Lookups probe with `get` before falling back to `entry`: `entry`
+    // would allocate an owned key on every call, and repeat lookups by
+    // name (the common case on request paths) should not allocate.
+
     pub(crate) fn counter(&self, name: &str) -> CounterHandle {
         let mut map = self.counters.lock();
+        if let Some(cell) = map.get(name) {
+            return CounterHandle(Some(Arc::clone(cell)));
+        }
         let cell = map
             .entry(name.to_string())
-            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+            .or_insert_with(|| Arc::new(Counter::new(self.window_ctx)));
         CounterHandle(Some(Arc::clone(cell)))
     }
 
     pub(crate) fn gauge(&self, name: &str) -> GaugeHandle {
         let mut map = self.gauges.lock();
+        if let Some(cell) = map.get(name) {
+            return GaugeHandle(Some(Arc::clone(cell)));
+        }
         let cell = map
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
@@ -181,19 +296,36 @@ impl Registry {
 
     pub(crate) fn histogram(&self, name: &str) -> HistogramHandle {
         let mut map = self.histograms.lock();
+        if let Some(cell) = map.get(name) {
+            return HistogramHandle(Some(Arc::clone(cell)));
+        }
         let cell = map
             .entry(name.to_string())
-            .or_insert_with(|| Arc::new(Histogram::new()));
+            .or_insert_with(|| Arc::new(Histogram::new(self.window_ctx)));
         HistogramHandle(Some(Arc::clone(cell)))
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self.counters.lock();
+        let histograms = self.histograms.lock();
+        let windowed = match &self.window_ctx {
+            Some(ctx) => WindowedMetrics {
+                horizon_ns: ctx.horizon_ns(),
+                counters: counters
+                    .iter()
+                    .filter_map(|(n, c)| c.ring.as_ref().map(|r| (n.clone(), r.merged())))
+                    .collect(),
+                histograms: histograms
+                    .iter()
+                    .filter_map(|(n, h)| h.ring.as_ref().map(|r| (n.clone(), r.merged())))
+                    .collect(),
+            },
+            None => WindowedMetrics::default(),
+        };
         MetricsSnapshot {
-            counters: self
-                .counters
-                .lock()
+            counters: counters
                 .iter()
-                .map(|(n, v)| (n.clone(), v.load(Ordering::Relaxed)))
+                .map(|(n, c)| (n.clone(), c.total.load(Ordering::Relaxed)))
                 .collect(),
             gauges: self
                 .gauges
@@ -201,12 +333,11 @@ impl Registry {
                 .iter()
                 .map(|(n, v)| (n.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
                 .collect(),
-            histograms: self
-                .histograms
-                .lock()
+            histograms: histograms
                 .iter()
                 .map(|(n, h)| (n.clone(), h.snapshot()))
                 .collect(),
+            windowed,
         }
     }
 }
@@ -214,13 +345,13 @@ impl Registry {
 /// Monotonic counter handle; a disabled handle (from a disabled tracer)
 /// is a no-op.
 #[derive(Debug, Clone, Default)]
-pub struct CounterHandle(pub(crate) Option<Arc<AtomicU64>>);
+pub struct CounterHandle(pub(crate) Option<Arc<Counter>>);
 
 impl CounterHandle {
     /// Adds `n`.
     pub fn add(&self, n: u64) {
         if let Some(c) = &self.0 {
-            c.fetch_add(n, Ordering::Relaxed);
+            c.add(n);
         }
     }
 
@@ -280,9 +411,13 @@ impl HistogramHandle {
 mod tests {
     use super::*;
 
+    fn registry() -> Registry {
+        Registry::new(Instant::now(), WindowSpec::disabled())
+    }
+
     #[test]
     fn counter_and_gauge_roundtrip() {
-        let r = Registry::new();
+        let r = registry();
         let c = r.counter("gptune.test.jobs");
         c.inc();
         c.add(4);
@@ -299,7 +434,7 @@ mod tests {
 
     #[test]
     fn histogram_buckets_by_log2() {
-        let r = Registry::new();
+        let r = registry();
         let h = r.histogram("gptune.test.latency");
         h.record(0); // bucket 0
         h.record(1); // bucket 1: [1,2)
@@ -316,9 +451,11 @@ mod tests {
 
     #[test]
     fn quantiles_from_log2_buckets() {
-        let r = Registry::new();
+        let r = registry();
         let h = r.histogram("q");
-        // 90 small samples in bucket 3 ([4,8)), 10 big in bucket 10.
+        // 90 small samples in bucket 3 ([4,8)), 10 big in bucket 10
+        // ([512,1024)); interpolation spreads each bucket's samples
+        // evenly across it.
         for _ in 0..90 {
             h.record(5);
         }
@@ -327,18 +464,38 @@ mod tests {
         }
         let s = r.snapshot();
         let hs = s.histogram("q").unwrap();
-        assert_eq!(hs.p50(), 7, "median falls in the [4,8) bucket");
-        assert_eq!(hs.quantile(0.9), 7);
-        assert_eq!(hs.p99(), 1023, "tail falls in the [512,1024) bucket");
-        assert_eq!(hs.quantile(1.0), 1023);
-        assert_eq!(hs.quantile(0.0), 7, "rank clamps to the first sample");
+        assert_eq!(hs.p50(), 6, "median interpolates within [4,8)");
+        assert_eq!(hs.quantile(0.9), 7, "upper edge of the [4,8) bucket");
+        assert_eq!(hs.p99(), 947, "tail interpolates within [512,1024)");
+        assert_eq!(hs.quantile(1.0), 998);
+        assert_eq!(hs.quantile(0.0), 4, "rank clamps to the first sample");
+    }
+
+    #[test]
+    fn quantile_is_exact_for_uniform_samples() {
+        // 1..=1024 fills buckets uniformly, so the even-spread
+        // interpolation recovers the true order statistics exactly — the
+        // old bucket-upper-bound answer was 1023 for the median.
+        let r = registry();
+        let h = r.histogram("u");
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let s = r.snapshot();
+        let hs = s.histogram("u").unwrap();
+        assert_eq!(hs.p50(), 512);
+        assert_eq!(hs.p99(), 1014);
+        assert_eq!(hs.quantile(0.25), 256);
+        // The top sample (1024) sits alone in [1024,2048): interpolation
+        // places it mid-bucket — within the documented 2× bound.
+        assert_eq!(hs.quantile(1.0), 1536);
     }
 
     #[test]
     fn quantile_edge_cases() {
         let empty = HistogramSnapshot::default();
         assert_eq!(empty.quantile(0.5), 0);
-        let r = Registry::new();
+        let r = registry();
         let h = r.histogram("z");
         h.record(0);
         h.record(u64::MAX);
@@ -350,7 +507,7 @@ mod tests {
 
     #[test]
     fn histogram_extreme_values_stay_in_range() {
-        let r = Registry::new();
+        let r = registry();
         let h = r.histogram("x");
         h.record(u64::MAX);
         let s = r.snapshot();
@@ -361,8 +518,44 @@ mod tests {
     }
 
     #[test]
+    fn disabled_windows_yield_an_empty_windowed_view() {
+        let r = registry();
+        r.counter("c").add(5);
+        r.histogram("h").record(7);
+        let s = r.snapshot();
+        assert_eq!(s.windowed, WindowedMetrics::default());
+        assert_eq!(s.windowed.rate_per_sec("c"), None);
+    }
+
+    #[test]
+    fn windowed_view_tracks_recent_activity_and_expires() {
+        let spec = WindowSpec {
+            width: Duration::from_millis(2),
+            count: 3,
+        };
+        let r = Registry::new(Instant::now(), spec);
+        let c = r.counter("gptune.test.reqs");
+        let h = r.histogram("gptune.test.lat");
+        c.add(4);
+        h.record(100);
+        let s = r.snapshot();
+        assert_eq!(s.windowed.counter("gptune.test.reqs"), Some(4));
+        assert_eq!(s.windowed.histogram("gptune.test.lat").unwrap().count, 1);
+        assert!(s.windowed.horizon_ns > 0);
+        assert!(s.windowed.rate_per_sec("gptune.test.reqs").unwrap() > 0.0);
+        // Past the 6ms horizon the windowed view empties while the
+        // lifetime totals persist.
+        std::thread::sleep(Duration::from_millis(10));
+        let s = r.snapshot();
+        assert_eq!(s.counter("gptune.test.reqs"), Some(4));
+        assert_eq!(s.histogram("gptune.test.lat").unwrap().count, 1);
+        assert_eq!(s.windowed.counter("gptune.test.reqs"), Some(0));
+        assert_eq!(s.windowed.histogram("gptune.test.lat").unwrap().count, 0);
+    }
+
+    #[test]
     fn concurrent_updates_do_not_lose_counts() {
-        let r = std::sync::Arc::new(Registry::new());
+        let r = std::sync::Arc::new(registry());
         let mut handles = Vec::new();
         for _ in 0..8 {
             let r = std::sync::Arc::clone(&r);

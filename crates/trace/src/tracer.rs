@@ -8,6 +8,7 @@
 //! dropped and counted, never blocking the recorder.
 
 use crate::metrics::{CounterHandle, GaugeHandle, HistogramHandle, MetricsSnapshot, Registry};
+use crate::window::WindowSpec;
 use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
@@ -229,7 +230,15 @@ impl Tracer {
     /// An enabled tracer whose per-shard ring holds `shard_capacity`
     /// events (total capacity `shard_capacity * N_SHARDS`); on overflow
     /// the oldest events in the hot shard are dropped and counted.
+    /// Metrics keep rolling-window deltas with the default
+    /// [`WindowSpec`] (12 × 10s).
     pub fn ring(shard_capacity: usize) -> Self {
+        Tracer::ring_with_windows(shard_capacity, WindowSpec::default())
+    }
+
+    /// Like [`Tracer::ring`] with an explicit rolling-window geometry;
+    /// pass [`WindowSpec::disabled`] to keep lifetime metrics only.
+    pub fn ring_with_windows(shard_capacity: usize, windows: WindowSpec) -> Self {
         let shards = (0..N_SHARDS)
             .map(|_| {
                 Mutex::new(Shard {
@@ -238,14 +247,15 @@ impl Tracer {
                 })
             })
             .collect();
+        let epoch = Instant::now();
         Tracer {
             inner: Some(Arc::new(Inner {
                 id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
-                epoch: Instant::now(),
+                epoch,
                 shard_cap: shard_capacity.max(1),
                 shards,
                 tracks: Mutex::new(BTreeMap::new()),
-                metrics: Registry::new(),
+                metrics: Registry::new(epoch, windows),
             })),
         }
     }

@@ -1,0 +1,325 @@
+//! Rolling-window metric deltas: a ring of per-window slots behind each
+//! counter and histogram so rates and quantiles can reflect the last
+//! `count × width` seconds instead of the process lifetime.
+//!
+//! Each slot is stamped with the window id it currently holds
+//! (`now / width`). A recorder whose window id differs from the stamp
+//! CAS-claims the slot and zeroes its deltas before adding; every update
+//! is a relaxed atomic. Recorders racing a window boundary can bleed a
+//! handful of samples into a freshly reset slot (or lose them to the
+//! reset) — windowed numbers are operational telemetry, not accounting,
+//! and the error is bounded by the writes in flight at one boundary.
+//! The lifetime registry in [`crate::metrics`] stays exact.
+//!
+//! Windows are configured per tracer ([`WindowSpec`]); a disabled spec
+//! (the only mode a [`crate::Tracer::disabled`] tracer ever sees) skips
+//! ring maintenance entirely, and the enabled fast path adds one clock
+//! read plus a few relaxed atomic ops per sample.
+
+use crate::metrics::{HistogramSnapshot, N_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Rolling-window configuration: `count` windows of `width` each. The
+/// default (12 × 10s) keeps ~2 minutes of history; `disabled()` turns
+/// window bookkeeping off entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    pub width: Duration,
+    pub count: usize,
+}
+
+impl Default for WindowSpec {
+    fn default() -> Self {
+        WindowSpec {
+            width: Duration::from_secs(10),
+            count: 12,
+        }
+    }
+}
+
+impl WindowSpec {
+    /// No rolling windows: metrics keep only lifetime totals.
+    pub const fn disabled() -> Self {
+        WindowSpec {
+            width: Duration::ZERO,
+            count: 0,
+        }
+    }
+
+    /// Whether this spec maintains any windows.
+    pub fn enabled(&self) -> bool {
+        self.count > 0 && !self.width.is_zero()
+    }
+
+    /// Maximum span of history the ring can cover.
+    pub fn horizon(&self) -> Duration {
+        self.width.saturating_mul(self.count as u32)
+    }
+}
+
+/// Shared clock context for every ring in one registry: the registry's
+/// epoch plus the window geometry. `Instant` is `Copy`, so each ring
+/// carries its own copy and never touches shared state to read time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WindowCtx {
+    epoch: Instant,
+    width_ns: u64,
+    count: u64,
+}
+
+impl WindowCtx {
+    pub(crate) fn new(epoch: Instant, spec: WindowSpec) -> Option<WindowCtx> {
+        if !spec.enabled() {
+            return None;
+        }
+        Some(WindowCtx {
+            epoch,
+            width_ns: (spec.width.as_nanos() as u64).max(1),
+            count: spec.count as u64,
+        })
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn wid(&self, now_ns: u64) -> u64 {
+        now_ns / self.width_ns
+    }
+
+    /// Span of wall time the live windows cover right now: the full
+    /// older windows plus the elapsed part of the current one, capped by
+    /// process uptime so early scrapes don't under-report rates.
+    pub(crate) fn horizon_ns(&self) -> u64 {
+        let now = self.now_ns();
+        ((self.count - 1) * self.width_ns + now % self.width_ns).min(now.max(1))
+    }
+}
+
+/// Window-id stamp meaning "slot never claimed". A real stamp of
+/// `u64::MAX` would need ~584 years of nanoseconds, so the sentinel is
+/// unreachable.
+const EMPTY: u64 = u64::MAX;
+
+/// Claims `stamp` for window `wid` if it is stale, returning true when
+/// this caller won the reset race (and must zero the slot's deltas).
+fn claim(stamp: &AtomicU64, wid: u64) -> bool {
+    let cur = stamp.load(Ordering::Relaxed);
+    cur != wid
+        && stamp
+            .compare_exchange(cur, wid, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+}
+
+/// True when a slot stamped `stamp` belongs to one of the `count` live
+/// windows ending at `wid` (inclusive).
+fn live(stamp: u64, wid: u64, count: u64) -> bool {
+    stamp != EMPTY && stamp <= wid && wid - stamp < count
+}
+
+struct CounterSlot {
+    wid: AtomicU64,
+    value: AtomicU64,
+}
+
+/// Per-window deltas for one counter.
+pub(crate) struct CounterRing {
+    ctx: WindowCtx,
+    slots: Vec<CounterSlot>,
+}
+
+impl CounterRing {
+    pub(crate) fn new(ctx: WindowCtx) -> CounterRing {
+        CounterRing {
+            slots: (0..ctx.count)
+                .map(|_| CounterSlot {
+                    wid: AtomicU64::new(EMPTY),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+            ctx,
+        }
+    }
+
+    pub(crate) fn add(&self, n: u64) {
+        let wid = self.ctx.wid(self.ctx.now_ns());
+        let Some(slot) = self.slots.get((wid % self.ctx.count) as usize) else {
+            return;
+        };
+        if claim(&slot.wid, wid) {
+            slot.value.store(0, Ordering::Relaxed);
+        }
+        slot.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total delta across the live windows.
+    pub(crate) fn merged(&self) -> u64 {
+        let wid = self.ctx.wid(self.ctx.now_ns());
+        self.slots
+            .iter()
+            .filter(|s| live(s.wid.load(Ordering::Relaxed), wid, self.ctx.count))
+            .map(|s| s.value.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+struct HistSlot {
+    wid: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+/// Per-window deltas for one histogram (full log2 bucket array per slot).
+pub(crate) struct HistRing {
+    ctx: WindowCtx,
+    slots: Vec<HistSlot>,
+}
+
+impl HistRing {
+    pub(crate) fn new(ctx: WindowCtx) -> HistRing {
+        HistRing {
+            slots: (0..ctx.count)
+                .map(|_| HistSlot {
+                    wid: AtomicU64::new(EMPTY),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+            ctx,
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64, bucket: usize) {
+        let wid = self.ctx.wid(self.ctx.now_ns());
+        let Some(slot) = self.slots.get((wid % self.ctx.count) as usize) else {
+            return;
+        };
+        if claim(&slot.wid, wid) {
+            slot.count.store(0, Ordering::Relaxed);
+            slot.sum.store(0, Ordering::Relaxed);
+            for b in &slot.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(v, Ordering::Relaxed);
+        if let Some(b) = slot.buckets.get(bucket) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Merged snapshot across the live windows.
+    pub(crate) fn merged(&self) -> HistogramSnapshot {
+        let wid = self.ctx.wid(self.ctx.now_ns());
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut buckets = [0u64; N_BUCKETS];
+        for slot in &self.slots {
+            if !live(slot.wid.load(Ordering::Relaxed), wid, self.ctx.count) {
+                continue;
+            }
+            count += slot.count.load(Ordering::Relaxed);
+            sum += slot.sum.load(Ordering::Relaxed);
+            for (acc, b) in buckets.iter_mut().zip(&slot.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (n > 0).then_some((i as u32, n)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(width: Duration, count: usize) -> WindowCtx {
+        WindowCtx::new(Instant::now(), WindowSpec { width, count }).unwrap()
+    }
+
+    #[test]
+    fn spec_enablement_and_horizon() {
+        assert!(!WindowSpec::disabled().enabled());
+        let spec = WindowSpec::default();
+        assert!(spec.enabled());
+        assert_eq!(spec.horizon(), Duration::from_secs(120));
+        assert!(WindowCtx::new(Instant::now(), WindowSpec::disabled()).is_none());
+    }
+
+    #[test]
+    fn counter_ring_accumulates_within_the_horizon() {
+        // Wide windows: everything this test does lands in window 0.
+        let r = CounterRing::new(ctx(Duration::from_secs(3600), 4));
+        r.add(3);
+        r.add(4);
+        assert_eq!(r.merged(), 7);
+    }
+
+    #[test]
+    fn counter_ring_forgets_expired_windows() {
+        // 1ms windows, 2 of them: after sleeping > 2ms the old delta is
+        // outside the horizon even though its slot was never reclaimed.
+        let r = CounterRing::new(ctx(Duration::from_millis(1), 2));
+        r.add(10);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(r.merged(), 0, "expired windows drop out of the merge");
+        r.add(2);
+        assert_eq!(r.merged(), 2);
+    }
+
+    #[test]
+    fn hist_ring_merges_and_recovers() {
+        let r = HistRing::new(ctx(Duration::from_millis(2), 3));
+        r.record(1000, 10);
+        r.record(1000, 10);
+        assert_eq!(r.merged().count, 2);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(r.merged().count, 0, "windowed view recovers after idle");
+        r.record(5, 3);
+        let m = r.merged();
+        assert_eq!(m.count, 1);
+        assert_eq!(m.sum, 5);
+        assert_eq!(m.buckets, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn slot_reuse_resets_stale_deltas() {
+        // One slot: every new window lands on the same slot and must
+        // reset it.
+        let r = CounterRing::new(ctx(Duration::from_millis(1), 1));
+        r.add(100);
+        std::thread::sleep(Duration::from_millis(3));
+        r.add(1);
+        assert_eq!(r.merged(), 1, "stale slot was zeroed before reuse");
+    }
+
+    #[test]
+    fn concurrent_ring_updates_do_not_underflow() {
+        let r = std::sync::Arc::new(CounterRing::new(ctx(Duration::from_secs(3600), 4)));
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let r = std::sync::Arc::clone(&r);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    r.add(1);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        // A single hour-wide window: no boundary races, so the delta is
+        // exact.
+        assert_eq!(r.merged(), 8000);
+    }
+}

@@ -25,8 +25,9 @@ pub enum Tok {
     /// Float literal: has a fraction, an exponent, or an `f32`/`f64`
     /// suffix. `1.max(2)` stays an `Int` (method call on an integer).
     Float,
-    /// String literal of any flavour; contents dropped.
-    Str,
+    /// String literal of any flavour; body retained verbatim (escapes
+    /// uninterpreted) for the metric-name taxonomy rule.
+    Str(String),
     /// Char or byte literal; contents dropped.
     Char,
     /// One punctuation character (`==` arrives as two adjacent `=`).
@@ -57,6 +58,14 @@ impl Token {
     /// True when the token is the identifier `s`.
     pub fn is_ident(&self, s: &str) -> bool {
         matches!(&self.kind, Tok::Ident(t) if t == s)
+    }
+
+    /// The string literal's body, when the token is one.
+    pub fn str_body(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
     }
 }
 
@@ -186,20 +195,26 @@ impl<'a> Lexer<'a> {
         self.out.comments.push(Comment { line, text });
     }
 
-    /// A cooked (escaped) string body, starting at the opening quote.
+    /// A cooked (escaped) string body, starting at the opening quote. The
+    /// body is retained verbatim (escapes uninterpreted) — the metric-name
+    /// taxonomy rule (GX602) matches on literal contents.
     fn cooked_string(&mut self) {
         let line = self.line;
         self.bump(); // opening `"`
-        while let Some(b) = self.bump() {
-            match b {
-                b'\\' => {
+        let start = self.pos;
+        let mut end;
+        loop {
+            end = self.pos;
+            match self.bump() {
+                Some(b'\\') => {
                     self.bump();
                 }
-                b'"' => break,
-                _ => {}
+                Some(b'"') | None => break,
+                Some(_) => {}
             }
         }
-        self.push(Tok::Str, line);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(Tok::Str(text), line);
     }
 
     /// A raw string body, starting at the `r`-prefix hashes: `#*"…"#*`.
@@ -210,7 +225,10 @@ impl<'a> Lexer<'a> {
             hashes += 1;
         }
         self.bump(); // opening `"`
+        let start = self.pos;
+        let mut end;
         loop {
+            end = self.pos;
             match self.bump() {
                 Some(b'"') => {
                     let mut seen = 0usize;
@@ -223,10 +241,14 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(_) => {}
-                None => break,
+                None => {
+                    end = self.pos;
+                    break;
+                }
             }
         }
-        self.push(Tok::Str, line);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(Tok::Str(text), line);
     }
 
     /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal):
@@ -434,14 +456,31 @@ mod tests {
     }
 
     #[test]
-    fn strings_hide_contents() {
+    fn strings_keep_their_body_as_one_token() {
+        // One Str token per literal — the rules never see into a string as
+        // punctuation/idents — but the body itself is retained for GX602.
         assert_eq!(
             kinds(r#"("partial_cmp")"#),
-            vec![Tok::Punct('('), Tok::Str, Tok::Punct(')')]
+            vec![
+                Tok::Punct('('),
+                Tok::Str("partial_cmp".into()),
+                Tok::Punct(')')
+            ]
         );
-        assert_eq!(kinds(r##"r#"un"wrap"#"##), vec![Tok::Str]);
-        assert_eq!(kinds(r#"b"bytes""#), vec![Tok::Str]);
-        assert_eq!(kinds("\"esc \\\" quote\""), vec![Tok::Str]);
+        assert_eq!(
+            kinds(r##"r#"un"wrap"#"##),
+            vec![Tok::Str("un\"wrap".into())]
+        );
+        assert_eq!(kinds(r#"b"bytes""#), vec![Tok::Str("bytes".into())]);
+        // Escapes are kept verbatim, not interpreted.
+        assert_eq!(
+            kinds("\"esc \\\" quote\""),
+            vec![Tok::Str("esc \\\" quote".into())]
+        );
+        assert_eq!(
+            kinds("\"unterminated"),
+            vec![Tok::Str("unterminated".into())]
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! | 3    | GX301–GX303 | lock & socket discipline: no guard held across channel ops or joins; no blocking I/O under the serve session-table lock; every serve-side socket deadline-armed |
 //! | 4    | GX401–GX403 | determinism: every random draw and iteration order is seed-threaded |
 //! | 5    | GX501 | unsafe hygiene: every `unsafe` carries a `// SAFETY:` justification |
-//! | 6    | GX601 | observability: no raw `Instant::now()` in the traced crates |
+//! | 6    | GX601–GX602 | observability: no raw `Instant::now()` in the traced crates; every span/metric name a literal in the `gptune.<crate>.<name>` taxonomy |
 //! | 7    | GX701–GX704 | workspace concurrency: lock-order inversions, guards across blocking calls (interprocedural), double-acquires, relaxed-atomic handshakes — implemented in [`crate::concurrency`] |
 //!
 //! Every rule is a pattern walk over the token stream of [`crate::lexer`]
@@ -131,6 +131,11 @@ pub const RULES: &[RuleInfo] = &[
         desc: "no raw Instant::now() in crates/core or crates/runtime; time through PhaseTimer or gptune-trace spans",
     },
     RuleInfo {
+        id: "GX602",
+        name: "metric-name-taxonomy",
+        desc: "span/metric names passed to .span/.instant/.counter/.gauge/.histogram must be string literals of the form gptune.<segment>.<segment>[.<segment>…] (lowercase/digits/underscores); dynamic names hide cardinality and break scrape grammars — quarantine them behind a lint.toml allowlist with a reason",
+    },
+    RuleInfo {
         id: "GX701",
         name: "lock-order-inversion",
         desc: "no cycle in the workspace held-while-acquiring graph over the named-lock registry (witness paths printed; see `lint --explain GX701`)",
@@ -192,6 +197,7 @@ pub fn check_file(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Diagnostic> {
     determinism(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     unsafe_hygiene(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     raw_timing(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
+    metric_name_taxonomy(ctx, &mut |l, r, m, o: &mut _| push(l, r, m, o), &mut out);
     out
 }
 
@@ -935,6 +941,85 @@ fn raw_timing(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>)
     }
 }
 
+/// Crates exempt from the name-taxonomy rule: the instrumentation layer
+/// itself (registries and exposition codecs pass names through variables
+/// by design) and this lint suite (rule sources quote violating shapes).
+const TAXONOMY_EXEMPT_CRATES: &[&str] = &["trace", "xtask"];
+
+/// Recording/lookup methods whose first argument is a span/metric name.
+const METRIC_NAME_METHODS: &[&str] = &["span", "instant", "counter", "gauge", "histogram"];
+
+/// True when `name` fits the workspace metric taxonomy:
+/// `gptune.<segment>.<segment>[.<segment>…]` with every segment non-empty
+/// lowercase ASCII, digits, or underscores.
+fn taxonomy_ok(name: &str) -> bool {
+    let mut segments = name.split('.');
+    if segments.next() != Some("gptune") {
+        return false;
+    }
+    let mut rest = 0usize;
+    for seg in segments {
+        rest += 1;
+        if seg.is_empty()
+            || !seg
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            return false;
+        }
+    }
+    rest >= 2
+}
+
+/// GX602: every name handed to `.span(` / `.instant(` / `.counter(` /
+/// `.gauge(` / `.histogram(` must be a string literal matching the
+/// `gptune.<crate>.<name>` taxonomy. A computed name (variable, `format!`,
+/// helper call) creates metric families the dashboards and the exposition
+/// grammar cannot enumerate, and a literal outside the taxonomy breaks
+/// the scrape's `name="…"` round-trip convention. Deliberate dynamic
+/// names (the per-tenant SLO ledger) are quarantined via `lint.toml`.
+/// Type-blind like every rule here: it matches the method-name token, so
+/// snapshot lookups (`m.histogram(name)`) count too — by design, lookups
+/// share the taxonomy.
+fn metric_name_taxonomy(ctx: &FileCtx<'_>, emit: &mut Emit<'_>, out: &mut Vec<Diagnostic>) {
+    if TAXONOMY_EXEMPT_CRATES.contains(&ctx.crate_name()) {
+        return;
+    }
+    let t = ctx.tokens;
+    for i in 1..t.len() {
+        let is_name_method = METRIC_NAME_METHODS.iter().any(|m| t[i].is_ident(m));
+        if !is_name_method
+            || !t[i - 1].is_punct('.')
+            || !t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            || ctx.in_test(t[i].line)
+        {
+            continue;
+        }
+        let Some(arg) = t.get(i + 2) else { continue };
+        match arg.str_body() {
+            Some(body) if taxonomy_ok(body) => {}
+            Some(body) => emit(
+                t[i].line,
+                "GX602",
+                format!(
+                    "metric/span name \"{body}\" is outside the `gptune.<crate>.<name>` taxonomy \
+                     (lowercase dot-separated segments, at least three)"
+                ),
+                out,
+            ),
+            None => emit(
+                t[i].line,
+                "GX602",
+                "metric/span name must be a string literal in the `gptune.<crate>.<name>` \
+                 taxonomy; computed names hide metric cardinality — quarantine deliberate \
+                 dynamic families in lint.toml with a reason"
+                    .to_string(),
+                out,
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1218,6 +1303,72 @@ mod tests {
         .is_empty());
         // Non-clock `now` idents don't trip it.
         assert!(rules_hit("crates/runtime/src/x.rs", "fn f(now: u64) -> u64 { now }").is_empty());
+    }
+
+    #[test]
+    fn gx602_metric_names_must_be_taxonomy_literals() {
+        // Computed names: a variable, a format!, a helper call.
+        assert_eq!(
+            rules_hit(
+                "crates/serve/src/x.rs",
+                "fn f(t: &Tracer, name: &str) { t.counter(name).add(1); }"
+            ),
+            vec!["GX602"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/serve/src/x.rs",
+                "fn f(t: &Tracer, op: &str) { t.histogram(&format!(\"gptune.serve.latency_us.{op}\")).record(1); }"
+            ),
+            vec!["GX602"]
+        );
+        // Literals outside the taxonomy: wrong root, too few segments,
+        // uppercase.
+        assert_eq!(
+            rules_hit(
+                "crates/serve/src/x.rs",
+                "fn f(t: &Tracer) { t.counter(\"requests\").add(1); }"
+            ),
+            vec!["GX602"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/serve/src/x.rs",
+                "fn f(t: &Tracer) { t.gauge(\"gptune.sessions\").set(1.0); }"
+            ),
+            vec!["GX602"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/serve/src/x.rs",
+                "fn f(t: &Tracer) { t.span(\"gptune.Serve.request\"); }"
+            ),
+            vec!["GX602"]
+        );
+        // The blessed shape is silent, for recording and snapshot lookups
+        // alike, with any segment depth ≥ 3.
+        assert!(rules_hit(
+            "crates/serve/src/x.rs",
+            "fn f(t: &Tracer, m: &MetricsSnapshot) {\n  t.counter(\"gptune.serve.requests\").add(1);\n  t.histogram(\"gptune.serve.latency_us.suggest\").record(9);\n  let _ = m.counter(\"gptune.serve.requests\");\n}"
+        )
+        .is_empty());
+        // Tests, the instrumentation crate, and unrelated method names are
+        // exempt.
+        assert!(rules_hit(
+            "crates/serve/src/x.rs",
+            "#[cfg(test)]\nmod t { fn f(t: &Tracer, n: &str) { t.counter(n).add(1); } }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            "crates/trace/src/metrics.rs",
+            "fn f(t: &Tracer, n: &str) { t.counter(n).add(1); }"
+        )
+        .is_empty());
+        assert!(rules_hit(
+            "crates/serve/src/x.rs",
+            "fn f(t: &Tracer) { t.record_span(\"whatever\", 0, d, vec![]); }"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! GX602 fixture: computed and off-taxonomy span/metric names.
+use gptune_trace::Tracer;
+
+pub fn computed_name(tracer: &Tracer, tenant: &str) {
+    // GX602: format!-built family — unbounded cardinality.
+    tracer
+        .counter(&format!("gptune.serve.tenant.{tenant}.requests"))
+        .add(1);
+}
+
+pub fn name_through_variable(tracer: &Tracer, name: &str) {
+    tracer.histogram(name).record(7); // GX602: name not a literal
+}
+
+pub fn off_taxonomy_literals(tracer: &Tracer) {
+    tracer.counter("requests").add(1); // GX602: no gptune. root
+    tracer.gauge("gptune.sessions").set(1.0); // GX602: only two segments
+    tracer.span("gptune.Serve.request"); // GX602: uppercase segment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_names_in_tests_are_exempt() {
+        let t = Tracer::ring(8);
+        let n = String::from("anything goes here");
+        t.counter(&n).add(1);
+    }
+}

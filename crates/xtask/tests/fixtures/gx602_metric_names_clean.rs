@@ -1,0 +1,24 @@
+//! GX602 clean fixture: the shipped idiom — every name a taxonomy
+//! literal, dynamic dispatch resolved through a closed match so each
+//! branch still hands the tracer a literal.
+use gptune_trace::{HistogramHandle, MetricsSnapshot, Tracer};
+
+pub fn request_path(tracer: &Tracer, op: &str, micros: u64) {
+    latency_histogram(tracer, op).record(micros);
+    tracer.counter("gptune.serve.requests").add(1);
+    let span = tracer.span("gptune.serve.request").with("op", op);
+    drop(span);
+}
+
+fn latency_histogram(tracer: &Tracer, op: &str) -> HistogramHandle {
+    match op {
+        "suggest" => tracer.histogram("gptune.serve.latency_us.suggest"),
+        "report" => tracer.histogram("gptune.serve.latency_us.report"),
+        _ => tracer.histogram("gptune.serve.latency_us.parse_error"),
+    }
+}
+
+pub fn readout(m: &MetricsSnapshot) -> u64 {
+    // Snapshot lookups share the taxonomy: literals lint clean.
+    m.counter("gptune.serve.requests").unwrap_or(0)
+}

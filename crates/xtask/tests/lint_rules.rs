@@ -113,6 +113,33 @@ fn gx601_flags_raw_instant_now_in_traced_crates_only() {
 }
 
 #[test]
+fn gx602_flags_computed_and_off_taxonomy_metric_names() {
+    let rules = rules_at("gx602_metric_names.rs", "crates/serve/src/fixture.rs");
+    assert_eq!(rules, vec!["GX602"; 5]);
+    // The closed-match idiom and snapshot lookups by literal lint clean.
+    let rules = rules_at("gx602_metric_names_clean.rs", "crates/serve/src/fixture.rs");
+    assert!(rules.is_empty(), "clean metric idiom fired: {rules:?}");
+    // The instrumentation layer is exempt wholesale.
+    let rules = rules_at("gx602_metric_names.rs", "crates/trace/src/fixture.rs");
+    assert!(rules.is_empty(), "trace crate must be exempt: {rules:?}");
+    // The quarantine path: a lint.toml entry silences a deliberate
+    // dynamic family.
+    let cfg = Config::parse(
+        "[[allow]]\nrule = \"GX602\"\npath = \"crates/serve/src/tenant_metrics.rs\"\nreason = \"bounded per-tenant ledger\"\n",
+    )
+    .expect("valid config");
+    let diags = lint_source(
+        "crates/serve/src/tenant_metrics.rs",
+        &fixture("gx602_metric_names.rs"),
+        &cfg,
+    );
+    assert!(
+        diags.is_empty(),
+        "allowlisted GX602 must not fire: {diags:?}"
+    );
+}
+
+#[test]
 fn allowlist_suppresses_by_rule_and_path_prefix() {
     let cfg = Config::parse(
         "[[allow]]\nrule = \"GX1*\"\npath = \"crates/gp/src/\"\nreason = \"fixture\"\n",

@@ -40,9 +40,11 @@ fn main() {
                 .map(String::as_str);
             summarize(&args[2], chrome_out)
         }
+        Some("correlate") if args.len() >= 4 => correlate_dumps(&args[2], &args[3]),
         _ => {
             eprintln!("usage: trace_tool demo <out.jsonl>");
             eprintln!("       trace_tool summarize <in.jsonl> [--chrome out.json]");
+            eprintln!("       trace_tool correlate <client.jsonl> <server.jsonl>");
             2
         }
     };
@@ -374,4 +376,57 @@ fn self_times(spans: &[SpanRow]) -> Vec<u64> {
         .zip(&child_time)
         .map(|(s, &c)| s.dur.saturating_sub(c))
         .collect()
+}
+
+/// `correlate <client.jsonl> <server.jsonl>` — merge a client-side and a
+/// server-side trace dump into one causal timeline per request id: when
+/// the client issued the call, whether it journaled a WAL entry first,
+/// how many wire attempts it took, and which server-side spans (request
+/// handling, session suggest/report/refit work) carried the same id.
+/// Timestamps are per-dump (each tracer has its own epoch), so ordering
+/// is only meaningful within one side; the id is the causal link.
+fn correlate_dumps(client_path: &str, server_path: &str) -> i32 {
+    let load = |path: &str| -> Result<gptune::trace::tracer::TraceData, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        gptune::serve::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (client, server) = match (load(client_path), load(server_path)) {
+        (Ok(c), Ok(s)) => (c, s),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("trace_tool: {e}");
+            return 1;
+        }
+    };
+    let report = gptune::serve::correlate(&client, &server);
+    if report.requests.is_empty() {
+        println!("no client rpc spans with request ids found in {client_path}");
+        return 0;
+    }
+    for r in &report.requests {
+        let ack = if r.acked { "acked" } else { "FAILED" };
+        let mut chain = Vec::new();
+        if r.wal_appended {
+            chain.push("wal append".to_string());
+        }
+        chain.push(if r.attempts > 1 {
+            format!("sent x{}", r.attempts)
+        } else {
+            "sent".to_string()
+        });
+        if r.server_spans.is_empty() {
+            chain.push("(no server trace)".to_string());
+        } else {
+            chain.extend(r.server_spans.iter().map(|s| format!("server {s}")));
+        }
+        chain.push(ack.to_string());
+        println!("{}  {:<12} {}", r.rid, r.op, chain.join(" -> "));
+    }
+    println!(
+        "\n{} requests, {} acked, {} linked to server spans ({:.1}% of acked)",
+        report.requests.len(),
+        report.acked,
+        report.linked,
+        100.0 * report.link_rate()
+    );
+    0
 }

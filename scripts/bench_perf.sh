@@ -5,7 +5,10 @@
 #   * lcm_perf        -> BENCH_lcm.json             distance-cached LCM vs
 #                        reference likelihood/fit/prediction speedups
 #   * trace_overhead  -> BENCH_trace_overhead.json  tracing-enabled vs
-#                        disabled overhead guard (<= 3%)
+#                        disabled overhead guard (<= 3%), plus the
+#                        rolling-window metrics arm (windowed vs plain
+#                        tracer on the live serve request path, same
+#                        <= 3% bar)
 #   * serve_bench     -> BENCH_serve.json           >= 1000 concurrent
 #                        suggest/report sessions, p50/p99 request latency
 #                        from the gptune-trace histograms, and the

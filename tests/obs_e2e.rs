@@ -1,0 +1,224 @@
+//! End-to-end observability suite: request-id correlation across the
+//! wire, and windowed-vs-lifetime metrics behavior through a server
+//! kill-restart.
+//!
+//! Both tests install the process-global tracer (the server records into
+//! it), so they serialize on a local lock. The client side always records
+//! into its own private tracer via `with_tracer`, exactly as a real
+//! deployment would: two processes, two dumps, one shared request id
+//! space.
+
+use gptune::serve::{
+    correlate, parse_jsonl, serve, BackoffPolicy, ChaosProxy, FaultSpec, ProblemSpec, ServeClient,
+    ServeOptions, SessionOptions,
+};
+use gptune::space::{Param, Value};
+use gptune::trace::{jsonl, Tracer, WindowSpec};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+fn trace_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gptune_it_obs_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn spec(name: &str) -> ProblemSpec {
+    ProblemSpec {
+        name: name.into(),
+        task_params: vec![Param::real("t", 0.0, 1.0)],
+        tuning_params: vec![Param::real("x", 0.0, 1.0)],
+        tasks: vec![vec![Value::Real(0.5)]],
+        n_objectives: 1,
+    }
+}
+
+fn config_at(i: usize) -> Vec<Value> {
+    vec![Value::Real(((i * 37 + 11) % 101) as f64 / 101.0)]
+}
+
+/// A chaos-proxied workload's acknowledged calls all correlate to
+/// server-side spans by request id — the acceptance gate for the wire
+/// propagation: ≥95% of acked client rpcs must be found in the server
+/// dump (here it is exactly 100%: the in-process ring drops nothing).
+#[test]
+fn chaos_run_correlates_acked_reports_to_server_spans() {
+    let _guard = trace_lock();
+    // Server side records into the process-global tracer.
+    drop(gptune::trace::install(Tracer::ring(1 << 16)));
+    let root = tmp_root("corr");
+    let server = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let proxy = ChaosProxy::launch(
+        server.local_addr(),
+        FaultSpec {
+            seed: 0x0b5,
+            // Resets must be rarer than a full WAL replay (open + up to
+            // N journaled reports per reconnect), or the deterministic
+            // per-connection schedule guarantees every replay dies
+            // mid-flight and no reconnect can ever complete.
+            reset_every: 41,
+            duplicate_every: 5,
+            delay_every: 3,
+            delay_ms: 2,
+            ..FaultSpec::default()
+        },
+    )
+    .unwrap();
+
+    // Client side records into its own tracer — a separate "process".
+    let client_tracer = Tracer::ring(1 << 14);
+    let mut client = ServeClient::connect(proxy.local_addr())
+        .unwrap()
+        .with_tracer(client_tracer.clone())
+        .with_wal(root.join("client.wal"))
+        .with_backoff(BackoffPolicy {
+            // More patient than the serve_chaos workload: WAL replay
+            // re-sends the whole journal on every reconnect, so each
+            // proxy reset costs several frames of its own.
+            max_retries: 40,
+            base_ms: 2,
+            cap_ms: 50,
+            jitter_seed: 0x0b5,
+        });
+    client
+        .open_session("obs", &spec("corr"), &SessionOptions::default())
+        .unwrap();
+    const N: usize = 18;
+    for i in 0..N {
+        if i % 3 == 0 {
+            let _ = client.suggest(0);
+        }
+        client.report(0, &config_at(i), &[i as f64 * 0.1]).unwrap();
+    }
+    assert_eq!(client.history().unwrap().len(), N);
+    proxy.shutdown();
+    server.shutdown();
+
+    // Two dumps — through the real JSONL encode/decode path, as
+    // `trace_tool correlate` would consume them.
+    let client_dump = jsonl::to_string(&client_tracer.drain());
+    let server_dump = jsonl::to_string(&gptune::trace::global().drain());
+    let report = correlate(
+        &parse_jsonl(&client_dump).unwrap(),
+        &parse_jsonl(&server_dump).unwrap(),
+    );
+
+    assert!(
+        report.acked >= N,
+        "expected at least {N} acked calls, saw {}",
+        report.acked
+    );
+    assert!(
+        report.link_rate() >= 0.95,
+        "link rate {:.3} below the 95% acceptance bar ({} acked, {} linked)",
+        report.link_rate(),
+        report.acked,
+        report.linked
+    );
+    // Every reported row was journaled under its request id before the
+    // send, and the linked reports show real server-side session work.
+    // WAL replay after a proxy reset re-sends reports under their
+    // journaled ids, so rpc spans may repeat a rid — distinct ids must
+    // count exactly the N logical reports.
+    let reports: Vec<_> = report
+        .requests
+        .iter()
+        .filter(|r| r.op == "report")
+        .collect();
+    let mut rids: Vec<&str> = reports.iter().map(|r| r.rid.as_str()).collect();
+    rids.sort_unstable();
+    rids.dedup();
+    assert_eq!(rids.len(), N, "one request id per logical report");
+    assert!(reports.iter().all(|r| r.wal_appended));
+    assert!(reports.iter().filter(|r| r.acked).all(|r| r
+        .server_spans
+        .iter()
+        .any(|s| s == "gptune.core.session.report")));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Kill-restart drill: the rolling windows forget a dead server's burst
+/// within one horizon while the lifetime registry keeps the full story —
+/// windowed p99/rates describe "now", lifetime histograms describe
+/// "ever". (One global tracer spans both server incarnations here, just
+/// like one scrape endpoint surviving a worker restart.)
+#[test]
+fn windowed_metrics_recover_after_kill_restart_while_lifetime_persists() {
+    let _guard = trace_lock();
+    let windows = WindowSpec {
+        width: Duration::from_millis(250),
+        count: 8,
+    };
+    drop(gptune::trace::install(Tracer::ring_with_windows(
+        1 << 14,
+        windows,
+    )));
+
+    let opts = || ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    };
+    let server = serve("127.0.0.1:0", opts()).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client
+        .open_session("obs", &spec("drill"), &SessionOptions::default())
+        .unwrap();
+    const N: usize = 12;
+    for i in 0..N {
+        client.report(0, &config_at(i), &[i as f64 * 0.1]).unwrap();
+    }
+    // Mid-burst state: the report histogram is hot in both views.
+    let snap = gptune::trace::global().metrics();
+    let life_hot = snap
+        .histogram("gptune.serve.latency_us.report")
+        .expect("lifetime report histogram")
+        .count;
+    let win_hot = snap
+        .windowed
+        .histogram("gptune.serve.latency_us.report")
+        .map_or(0, |h| h.count);
+    assert_eq!(life_hot, N as u64);
+    assert!(win_hot > 0, "burst must be visible in the rolling window");
+
+    // Kill — not drain — then restart on a fresh port and go quiet for
+    // longer than the window horizon.
+    server.shutdown();
+    let server = serve("127.0.0.1:0", opts()).unwrap();
+    std::thread::sleep(windows.horizon() + Duration::from_millis(300));
+
+    // Scrape the replacement over the wire, through the exposition text.
+    let mut probe = ServeClient::connect(server.local_addr()).unwrap();
+    let snap = probe.metrics().unwrap();
+    let life_after = snap
+        .histogram("gptune.serve.latency_us.report")
+        .expect("lifetime histogram survives the restart")
+        .count;
+    let win_after = snap
+        .windowed
+        .histogram("gptune.serve.latency_us.report")
+        .map_or(0, |h| h.count);
+    assert_eq!(
+        life_after, N as u64,
+        "lifetime histograms must persist through the drill"
+    );
+    assert_eq!(
+        win_after, 0,
+        "the rolling window must have forgotten the pre-kill burst"
+    );
+    assert!(snap.windowed.horizon_ns > 0, "windows stay enabled");
+    server.shutdown();
+}

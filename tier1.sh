@@ -70,3 +70,20 @@ if ! grep -q '"bit_identical": true' "$trace_dir/BENCH_serve_smoke.json"; then
   echo "serve smoke: post-recovery history diverged from the clean run" >&2
   exit 1
 fi
+# Observability smoke gate: obs_tool --smoke stands up a real server,
+# drives a WAL-backed burst, scrapes the live `metrics` endpoint (exit 2
+# if the dashboard would render zero traffic), and dumps both sides'
+# JSONL traces; trace_tool correlate must then link every acknowledged
+# client rpc to its server-side spans by request id.
+cargo run -q --release --example obs_tool -- --smoke "$trace_dir/obs"
+correlate_out="$(cargo run -q --release --example trace_tool -- correlate \
+  "$trace_dir/obs/client.jsonl" "$trace_dir/obs/server.jsonl")"
+echo "$correlate_out" | tail -n 1
+if ! echo "$correlate_out" | grep -q '(100.0% of acked)'; then
+  echo "obs smoke: correlate did not link 100% of acked requests" >&2
+  exit 1
+fi
+if echo "$correlate_out" | grep -q ' 0 acked'; then
+  echo "obs smoke: no acknowledged requests in the client dump" >&2
+  exit 1
+fi
